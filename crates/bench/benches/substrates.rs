@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for every substrate the reproduction builds:
+//! executor joins, true-cardinality oracles, classical DP planning,
+//! transformer training steps, beam-search decoding, and the tree codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtmlf::{FeaturizationModule, MtmlfConfig};
+use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+use mtmlf_exec::Executor;
+use mtmlf_nn::layers::Module;
+use mtmlf_nn::{Adam, Matrix, TransformerEncoder, Var};
+use mtmlf_optd::{exact_optimal_order, PgOptimizer};
+use mtmlf_query::treecodec::{decode, encode};
+use mtmlf_query::{JoinTree, PlanNode, Query};
+use mtmlf_storage::{Database, TableId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup_db() -> (Database, Vec<Query>) {
+    let mut db = imdb_lite(1, ImdbScale { scale: 0.05 });
+    db.analyze_all(16, 8);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 10,
+            min_tables: 4,
+            max_tables: 5,
+            ..WorkloadConfig::default()
+        },
+        7,
+    );
+    (db, queries)
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let (db, queries) = setup_db();
+    let exec = Executor::new(&db);
+    let q = &queries[0];
+    let order = mtmlf_exec::executor::greedy_legal_order(q).unwrap();
+    let plan = PlanNode::left_deep(&order).unwrap();
+    c.bench_function("executor/multiway_hash_join", |b| {
+        b.iter(|| exec.execute_plan(q, &plan).unwrap().output_cardinality)
+    });
+    c.bench_function("executor/subset_cardinalities", |b| {
+        b.iter(|| exec.subset_cardinalities(q).unwrap().len())
+    });
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let (db, queries) = setup_db();
+    let q = &queries[0];
+    let pg = PgOptimizer::new(&db);
+    c.bench_function("optd/pg_left_deep_dp", |b| {
+        b.iter(|| pg.plan(q).unwrap().estimated_cost)
+    });
+    c.bench_function("optd/exact_optimal_order", |b| {
+        b.iter(|| exact_optimal_order(&db, q).unwrap().estimated_cost)
+    });
+}
+
+fn bench_transformer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let enc = TransformerEncoder::new(32, 4, 3, &mut rng);
+    let x = Matrix::xavier(11, 32, &mut rng);
+    c.bench_function("nn/transformer_forward_11x32", |b| {
+        b.iter(|| enc.forward(&Var::constant(x.clone())).to_matrix().sum())
+    });
+    let mut opt = Adam::new(enc.parameters(), 1e-3);
+    c.bench_function("nn/transformer_train_step_11x32", |b| {
+        b.iter(|| {
+            let loss = enc.forward(&Var::constant(x.clone())).mean();
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+            loss.item()
+        })
+    });
+}
+
+fn bench_beam_and_codec(c: &mut Criterion) {
+    let (db, queries) = setup_db();
+    let config = MtmlfConfig::tiny();
+    let featurizer = FeaturizationModule::untrained(&db, &config).unwrap();
+    let shared = mtmlf::shared::SharedModule::new(&config);
+    let jo = mtmlf::transjo::TransJo::new(&config);
+    let q = &queries[0];
+    let order = mtmlf_exec::executor::greedy_legal_order(q).unwrap();
+    let plan = PlanNode::left_deep(&order).unwrap();
+    let serialized = mtmlf::serialize::serialize_plan(&featurizer, q, &plan, &config).unwrap();
+    let s = shared.forward(&serialized.features);
+    let reps = mtmlf::train::table_representations(&s, &serialized.scan_node_of_slot);
+    c.bench_function("mtmlf/beam_search_k4", |b| {
+        b.iter(|| mtmlf::beam::beam_search(&jo, &s, &reps, &serialized.graph, 4, true).len())
+    });
+
+    let tree = JoinTree::left_deep(&(0..7).map(TableId).collect::<Vec<_>>()).unwrap();
+    c.bench_function("query/treecodec_roundtrip_7", |b| {
+        b.iter(|| {
+            let e = encode(&tree, 64).unwrap();
+            decode(&e).unwrap().leaf_count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_executor, bench_planners, bench_transformer, bench_beam_and_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Minimal command-line flag parsing for the regenerator binaries
+//! (`--key value` pairs and bare `--flag`s; no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn from_args<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let args: Vec<String> = args.into_iter().map(Into::into).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                flags.push(key.to_string());
+            }
+            i += 1;
+        }
+        Self { values, flags }
+    }
+
+    /// A floating-point flag with a default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// An integer flag with a default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::from_args(["--scale", "0.25", "--queries", "100", "--bushy"]);
+        assert_eq!(a.f64("scale", 1.0), 0.25);
+        assert_eq!(a.usize("queries", 5), 100);
+        assert!(a.flag("bushy"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::from_args(Vec::<String>::new());
+        assert_eq!(a.f64("scale", 0.5), 0.5);
+        assert_eq!(a.u64("seed", 7), 7);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let a = Args::from_args(["--queries", "not-a-number"]);
+        assert_eq!(a.usize("queries", 42), 42);
+    }
+}

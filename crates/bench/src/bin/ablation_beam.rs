@@ -1,0 +1,115 @@
+//! Ablation: beam width `k` vs join-order quality (paper Section 4.3).
+//!
+//! Sweeps the beam width of the legality-constrained search of a trained
+//! MTMLF-QO and reports total simulated execution time, optimal-match
+//! rate, and mean JOEU on the test set. With `--bushy`, additionally
+//! compares the exact-optimal *bushy* plan space against left-deep
+//! (Section 4.1's codec supports both).
+//!
+//! ```text
+//! cargo run -p mtmlf-bench --release --bin ablation_beam -- \
+//!     [--scale 0.06] [--train 200] [--test 60] [--max-beam 8] [--bushy]
+//! ```
+
+use mtmlf::{joeu, LossWeights, MtmlfConfig};
+use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
+use mtmlf_bench::{report, Args};
+use mtmlf_exec::Executor;
+
+fn main() {
+    let args = Args::parse();
+    let setup = SingleDbSetup {
+        scale: args.f64("scale", 0.06),
+        train_queries: args.usize("train", 200),
+        test_queries: args.usize("test", 60),
+        min_tables: args.usize("min-tables", 3),
+        max_tables: args.usize("max-tables", 6),
+        epochs: args.usize("epochs", 12),
+        seed: args.u64("seed", 1),
+    };
+    let max_beam = args.usize("max-beam", 8);
+    println!("# Ablation — beam width sweep (legality-constrained decoding)");
+    println!("# setup: {setup:?}");
+    let exp = SingleDbExperiment::build(setup.clone());
+    let featurizer = exp.fit_featurizer();
+    let model = exp.train_variant(&featurizer, LossWeights::default());
+    let exec = Executor::new(&exp.db);
+
+    let mut rows = Vec::new();
+    for k in 1..=max_beam {
+        // Rebuild the model view with the new beam width (weights shared).
+        let config = MtmlfConfig {
+            beam_width: k,
+            ..exp.model_config(LossWeights::default())
+        };
+        let view = mtmlf::MtmlfQo::from_modules(
+            featurizer.clone(),
+            model.transferable_modules().0,
+            model.transferable_modules().1,
+            model.transferable_modules().2,
+            config,
+        );
+        let mut total = 0.0;
+        let mut matched = 0usize;
+        let mut joeu_sum = 0.0;
+        let mut n = 0usize;
+        for l in &exp.test {
+            let Some(optimal) = &l.optimal_order else {
+                continue;
+            };
+            let order = view
+                .predict_join_order(&l.query, &l.plan)
+                .expect("constrained beam always yields a legal order");
+            order.validate(&l.query).expect("legality guarantee");
+            total += exec
+                .execute_order(&l.query, &order)
+                .expect("legal order executes")
+                .sim_minutes;
+            let opt_tables = optimal.tables();
+            let got_tables = order.tables();
+            if got_tables == opt_tables {
+                matched += 1;
+            }
+            // JOEU over table-id sequences.
+            let to_usize = |ts: &[mtmlf_storage::TableId]| -> Vec<usize> {
+                ts.iter().map(|t| t.index()).collect()
+            };
+            joeu_sum += joeu(&to_usize(&got_tables), &to_usize(&opt_tables));
+            n += 1;
+        }
+        rows.push(vec![
+            format!("k={k}"),
+            format!("{total:.2} min"),
+            format!("{:.0}%", 100.0 * matched as f64 / n.max(1) as f64),
+            format!("{:.2}", joeu_sum / n.max(1) as f64),
+        ]);
+    }
+    println!();
+    print!(
+        "{}",
+        report::render_table(&["Beam", "Total Time", "Optimal match", "Mean JOEU"], &rows)
+    );
+
+    if args.flag("bushy") {
+        println!("\n# Bushy vs left-deep exact-optimal plan spaces:");
+        let mut ld_total = 0.0;
+        let mut bushy_total = 0.0;
+        for l in &exp.test {
+            let ld = mtmlf_optd::exact_optimal_order(&exp.db, &l.query).expect("left-deep DP");
+            let bushy = mtmlf_optd::exact_optimal_bushy(&exp.db, &l.query).expect("bushy DP");
+            ld_total += exec
+                .execute_plan(&l.query, &ld.order.to_plan().expect("plan"))
+                .expect("execution")
+                .sim_minutes;
+            bushy_total += exec
+                .execute_plan(&l.query, &bushy.order.to_plan().expect("plan"))
+                .expect("execution")
+                .sim_minutes;
+        }
+        println!("#   left-deep optimal: {ld_total:.2} min");
+        println!(
+            "#   bushy optimal:     {bushy_total:.2} min ({:.1}% better)",
+            100.0 * (ld_total - bushy_total) / ld_total.max(1e-9)
+        );
+    }
+}

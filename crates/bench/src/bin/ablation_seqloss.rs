@@ -1,0 +1,109 @@
+//! Ablation: token-level cross-entropy vs the sequence-level JOEU loss
+//! (paper Section 5, Eq. 3).
+//!
+//! Trains two JoinSel-only models — one with the standard token-level loss,
+//! one with the sequence-level loss — and compares join-order quality on
+//! the test set.
+//!
+//! ```text
+//! cargo run -p mtmlf-bench --release --bin ablation_seqloss -- \
+//!     [--scale 0.06] [--train 150] [--test 50] [--seed 1]
+//! ```
+
+use mtmlf::{joeu, LossWeights, MtmlfConfig, MtmlfQo};
+use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
+use mtmlf_bench::{report, Args};
+use mtmlf_exec::Executor;
+
+fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64, f64) {
+    let exec = Executor::new(&exp.db);
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    let mut joeu_sum = 0.0;
+    let mut n = 0usize;
+    for l in &exp.test {
+        let Some(optimal) = &l.optimal_order else {
+            continue;
+        };
+        let order = model
+            .predict_join_order(&l.query, &l.plan)
+            .expect("prediction succeeds");
+        total += exec
+            .execute_order(&l.query, &order)
+            .expect("legal order")
+            .sim_minutes;
+        let to_usize = |ts: &[mtmlf_storage::TableId]| -> Vec<usize> {
+            ts.iter().map(|t| t.index()).collect()
+        };
+        if order.tables() == optimal.tables() {
+            matched += 1;
+        }
+        joeu_sum += joeu(&to_usize(&order.tables()), &to_usize(&optimal.tables()));
+        n += 1;
+    }
+    (
+        total,
+        matched as f64 / n.max(1) as f64,
+        joeu_sum / n.max(1) as f64,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = SingleDbSetup {
+        scale: args.f64("scale", 0.06),
+        train_queries: args.usize("train", 150),
+        test_queries: args.usize("test", 50),
+        min_tables: args.usize("min-tables", 3),
+        max_tables: args.usize("max-tables", 6),
+        epochs: args.usize("epochs", 12),
+        seed: args.u64("seed", 1),
+    };
+    println!("# Ablation — token-level CE vs sequence-level JOEU loss");
+    println!("# setup: {setup:?}");
+    let exp = SingleDbExperiment::build(setup);
+    let featurizer = exp.fit_featurizer();
+
+    let train_with = |sequence_loss: bool| -> MtmlfQo {
+        let config = MtmlfConfig {
+            sequence_loss,
+            weights: LossWeights::jo_only(),
+            ..exp.model_config(LossWeights::jo_only())
+        };
+        let mut model = MtmlfQo::from_modules(
+            featurizer.clone(),
+            mtmlf::shared::SharedModule::new(&config),
+            mtmlf::tasks::TaskHeads::new(&config),
+            mtmlf::transjo::TransJo::new(&config),
+            config,
+        );
+        model.train(&exp.train).expect("training");
+        model
+    };
+
+    let token = train_with(false);
+    let sequence = train_with(true);
+    let (t_total, t_match, t_joeu) = evaluate(&exp, &token);
+    let (s_total, s_match, s_joeu) = evaluate(&exp, &sequence);
+    println!();
+    print!(
+        "{}",
+        report::render_table(
+            &["Loss", "Total Time", "Optimal match", "Mean JOEU"],
+            &[
+                vec![
+                    "token-level CE".into(),
+                    format!("{t_total:.2} min"),
+                    format!("{:.0}%", t_match * 100.0),
+                    format!("{t_joeu:.2}"),
+                ],
+                vec![
+                    "sequence-level (Eq. 3)".into(),
+                    format!("{s_total:.2} min"),
+                    format!("{:.0}%", s_match * 100.0),
+                    format!("{s_joeu:.2}"),
+                ],
+            ],
+        )
+    );
+}

@@ -1,0 +1,107 @@
+//! Ablation: two-phase join-order training (the paper's Section 3.2
+//! "research opportunities").
+//!
+//! Optimal join orders are exponential to label, so only a small "precious"
+//! set exists; classical-optimizer orders are free. Compare:
+//!
+//! 1. training only on the small optimal set;
+//! 2. phase 1 on the full workload with classical-optimizer orders, then
+//!    phase 2 on the same small optimal set.
+//!
+//! ```text
+//! cargo run -p mtmlf-bench --release --bin ablation_twophase -- \
+//!     [--scale 0.06] [--train 300] [--precious 60] [--test 50]
+//! ```
+
+use mtmlf::{LossWeights, MtmlfQo};
+use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
+use mtmlf_bench::{report, Args};
+use mtmlf_exec::Executor;
+
+fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64) {
+    let exec = Executor::new(&exp.db);
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    let mut n = 0usize;
+    for l in &exp.test {
+        let Some(optimal) = &l.optimal_order else {
+            continue;
+        };
+        let order = model
+            .predict_join_order(&l.query, &l.plan)
+            .expect("prediction");
+        total += exec
+            .execute_order(&l.query, &order)
+            .expect("legal order")
+            .sim_minutes;
+        if order.tables() == optimal.tables() {
+            matched += 1;
+        }
+        n += 1;
+    }
+    (total, matched as f64 / n.max(1) as f64)
+}
+
+fn main() {
+    let args = Args::parse();
+    let setup = SingleDbSetup {
+        scale: args.f64("scale", 0.06),
+        train_queries: args.usize("train", 300),
+        test_queries: args.usize("test", 50),
+        min_tables: args.usize("min-tables", 3),
+        max_tables: args.usize("max-tables", 6),
+        epochs: args.usize("epochs", 12),
+        seed: args.u64("seed", 1),
+    };
+    let precious = args.usize("precious", 60).min(setup.train_queries);
+    println!("# Ablation — two-phase join-order training");
+    println!("# setup: {setup:?}, precious optimal labels: {precious}");
+    let exp = SingleDbExperiment::build(setup);
+    let featurizer = exp.fit_featurizer();
+    let precious_set = &exp.train[..precious];
+
+    // Variant 1: optimal-only training on the small precious set.
+    let config = exp.model_config(LossWeights::default());
+    let mut optimal_only = MtmlfQo::from_modules(
+        featurizer.clone(),
+        mtmlf::shared::SharedModule::new(&config),
+        mtmlf::tasks::TaskHeads::new(&config),
+        mtmlf::transjo::TransJo::new(&config),
+        config.clone(),
+    );
+    optimal_only.train(precious_set).expect("training");
+
+    // Variant 2: two-phase — cheap classical orders first, then precious.
+    let mut two_phase = MtmlfQo::from_modules(
+        featurizer.clone(),
+        mtmlf::shared::SharedModule::new(&config),
+        mtmlf::tasks::TaskHeads::new(&config),
+        mtmlf::transjo::TransJo::new(&config),
+        config.clone(),
+    );
+    two_phase
+        .train_two_phase(&exp.train, precious_set, config.epochs)
+        .expect("two-phase training");
+
+    let (t1, m1) = evaluate(&exp, &optimal_only);
+    let (t2, m2) = evaluate(&exp, &two_phase);
+    println!();
+    print!(
+        "{}",
+        report::render_table(
+            &["Training", "Total Time", "Optimal match"],
+            &[
+                vec![
+                    format!("optimal-only ({precious} labels)"),
+                    format!("{t1:.2} min"),
+                    format!("{:.0}%", m1 * 100.0),
+                ],
+                vec![
+                    format!("two-phase ({} cheap + {precious} optimal)", exp.train.len()),
+                    format!("{t2:.2} min"),
+                    format!("{:.0}%", m2 * 100.0),
+                ],
+            ],
+        )
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table 1** of the paper: Q-errors on the JOB-like workload.
+//!
+//! ```text
+//! cargo run -p mtmlf-bench --release --bin table1 -- \
+//!     [--scale 0.08] [--train 300] [--test 80] [--max-tables 6] [--seed 1]
+//! ```
+
+use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
+use mtmlf_bench::{table1, Args};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let setup = SingleDbSetup {
+        scale: args.f64("scale", 0.08),
+        train_queries: args.usize("train", 300),
+        test_queries: args.usize("test", 80),
+        min_tables: args.usize("min-tables", 3),
+        max_tables: args.usize("max-tables", 6),
+        epochs: args.usize("epochs", 12),
+        seed: args.u64("seed", 1),
+    };
+    println!("# Table 1 — Q-errors on the JOB-like workload");
+    println!("# setup: {setup:?}");
+    let t0 = Instant::now();
+    let exp = SingleDbExperiment::build(setup);
+    println!(
+        "# data ready in {:.1}s ({} train / {} test labelled queries)",
+        t0.elapsed().as_secs_f64(),
+        exp.train.len(),
+        exp.test.len()
+    );
+    let t1 = Instant::now();
+    let result = table1::run(&exp);
+    println!("# methods trained + evaluated in {:.1}s\n", t1.elapsed().as_secs_f64());
+    print!("{}", table1::render(&result));
+    println!("\n# Paper reference (absolute numbers differ; ordering is the target):");
+    println!("#   PostgreSQL  card median 184.00, cost median 4.90");
+    println!("#   Tree-LSTM   card median 8.78,   cost median 4.00");
+    println!("#   MTMLF-QO    card median 4.48,   cost median 2.10");
+}

@@ -1,0 +1,29 @@
+//! # mtmlf-bench
+//!
+//! The reproduction harness for the paper's evaluation (Section 6):
+//!
+//! - [`table1`] — Q-errors of CardEst/CostEst on the JOB-like workload
+//!   (PostgreSQL, Tree-LSTM, MTMLF-QO, and the single-task ablations);
+//! - [`table2`] — total simulated execution time of the join orders chosen
+//!   by PostgreSQL, the exact optimum, MTMLF-QO, and MTMLF-JoinSel;
+//! - [`table3`] — cross-DB transferability: MLA-pre-trained MTMLF-QO on an
+//!   unseen generated database vs from-scratch training vs PostgreSQL.
+//!
+//! Each table has a binary regenerator (`cargo run -p mtmlf-bench --release
+//! --bin table1|table2|table3`) plus ablation binaries (`ablation_beam`,
+//! `ablation_seqloss`) and criterion micro-benchmarks for the substrates
+//! (`cargo bench -p mtmlf-bench`).
+//!
+//! All experiments are deterministic in their `--seed` and scale down the
+//! paper's data sizes (see DESIGN.md §1); the *relative* results — who
+//! wins, by roughly what factor — are the reproduction target recorded in
+//! EXPERIMENTS.md.
+
+pub mod args;
+pub mod report;
+pub mod single_db;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use args::Args;

@@ -1,0 +1,95 @@
+//! Plain-text table rendering for the regenerator binaries.
+
+/// Renders an aligned text table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a float with two decimals, using thousands grouping for large
+/// magnitudes (matches the paper's table style, e.g. `670,000`).
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return v.to_string();
+    }
+    if v.abs() >= 10_000.0 {
+        let n = v.round() as i64;
+        group_thousands(n)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn group_thousands(n: i64) -> String {
+    let digits = n.abs().to_string();
+    let mut out = String::new();
+    let bytes = digits.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    if n < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["Method", "median"],
+            &[
+                vec!["PostgreSQL".into(), "184.00".into()],
+                vec!["MTMLF-QO".into(), "4.48".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[2].contains("PostgreSQL"));
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt(4.479), "4.48");
+        assert_eq!(fmt(670_000.0), "670,000");
+        assert_eq!(fmt(10_416.4), "10,416");
+        assert_eq!(fmt(-12_345.0), "-12,345");
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared single-DB experiment setup (Tables 1 and 2, Section 6.1).
+//!
+//! Builds the IMDB-shaped database, generates the JOB-like training
+//! workload and a held-out test workload (the stand-in for the 113 JOB
+//! queries), labels both with true per-node cardinalities/costs and
+//! exact-optimal join orders, and trains the MTMLF variants.
+
+use mtmlf::{FeaturizationModule, LossWeights, MtmlfConfig, MtmlfQo};
+use mtmlf_datagen::{
+    generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, LabeledQuery,
+    WorkloadConfig,
+};
+use mtmlf_storage::Database;
+
+/// Experiment sizing.
+#[derive(Debug, Clone)]
+pub struct SingleDbSetup {
+    /// IMDB scale factor.
+    pub scale: f64,
+    /// Training queries (paper: 150K scaled down).
+    pub train_queries: usize,
+    /// Held-out test queries (paper: the JOB queries / a 5% JoinSel split).
+    pub test_queries: usize,
+    /// Minimum tables per query (JOB queries join several tables).
+    pub min_tables: usize,
+    /// Maximum tables per query (paper caps optimal labelling at 8).
+    pub max_tables: usize,
+    /// Joint-training epochs for the MTMLF variants.
+    pub epochs: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SingleDbSetup {
+    fn default() -> Self {
+        Self {
+            scale: 0.08,
+            train_queries: 300,
+            test_queries: 80,
+            min_tables: 3,
+            max_tables: 6,
+            epochs: 12,
+            seed: 1,
+        }
+    }
+}
+
+/// The prepared single-DB experiment.
+pub struct SingleDbExperiment {
+    /// The analyzed database.
+    pub db: Database,
+    /// Labelled training workload.
+    pub train: Vec<LabeledQuery>,
+    /// Labelled held-out test workload.
+    pub test: Vec<LabeledQuery>,
+    /// The setup used.
+    pub setup: SingleDbSetup,
+}
+
+impl SingleDbExperiment {
+    /// Builds the database, both workloads, and all labels.
+    pub fn build(setup: SingleDbSetup) -> Self {
+        let mut db = imdb_lite(setup.seed, ImdbScale { scale: setup.scale });
+        db.analyze_all(24, 12);
+        let wl = |count: usize, seed: u64| WorkloadConfig {
+            count,
+            min_tables: setup.min_tables,
+            max_tables: setup.max_tables,
+            ..WorkloadConfig::default()
+        }
+        .pipe(|cfg| generate_queries(&db, &cfg, seed));
+        let train_q = wl(setup.train_queries, setup.seed ^ 0x71A1);
+        let test_q = wl(setup.test_queries, setup.seed ^ 0x7E57);
+        let label_cfg = LabelConfig::default();
+        let train = label_workload(&db, &train_q, &label_cfg).expect("labelling train workload");
+        let test = label_workload(&db, &test_q, &label_cfg).expect("labelling test workload");
+        Self {
+            db,
+            train,
+            test,
+            setup,
+        }
+    }
+
+    /// The model configuration used by the single-DB experiments.
+    pub fn model_config(&self, weights: LossWeights) -> MtmlfConfig {
+        MtmlfConfig {
+            weights,
+            max_query_tables: self.setup.max_tables.max(8),
+            epochs: self.setup.epochs,
+            seed: self.setup.seed,
+            ..MtmlfConfig::default()
+        }
+    }
+
+    /// Fits the featurization module once (shared by all model variants —
+    /// its encoders are frozen after fitting).
+    pub fn fit_featurizer(&self) -> FeaturizationModule {
+        FeaturizationModule::fit(&self.db, &self.model_config(LossWeights::default()))
+            .expect("featurizer fits on the generated database")
+    }
+
+    /// Trains one MTMLF variant on the training workload, reusing a fitted
+    /// featurizer.
+    pub fn train_variant(
+        &self,
+        featurizer: &FeaturizationModule,
+        weights: LossWeights,
+    ) -> MtmlfQo {
+        let config = self.model_config(weights);
+        let mut model = MtmlfQo::from_modules(
+            featurizer.clone(),
+            mtmlf::shared::SharedModule::new(&config),
+            mtmlf::tasks::TaskHeads::new(&config),
+            mtmlf::transjo::TransJo::new(&config),
+            config,
+        );
+        model.train(&self.train).expect("training succeeds");
+        model
+    }
+}
+
+/// Tiny pipe helper to keep the workload construction readable.
+trait Pipe: Sized {
+    fn pipe<T>(self, f: impl FnOnce(Self) -> T) -> T {
+        f(self)
+    }
+}
+impl<T: Sized> Pipe for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_tiny_experiment() {
+        let exp = SingleDbExperiment::build(SingleDbSetup {
+            scale: 0.02,
+            train_queries: 6,
+            test_queries: 3,
+            min_tables: 2,
+            max_tables: 4,
+            epochs: 2,
+            seed: 2,
+        });
+        assert_eq!(exp.train.len(), 6);
+        assert_eq!(exp.test.len(), 3);
+        for l in exp.train.iter().chain(&exp.test) {
+            assert!(l.optimal_order.is_some());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Table 1 — Q-errors on the JOB-like workload.
+//!
+//! Paper rows: PostgreSQL, Tree-LSTM, MTMLF-QO, MTMLF-CardEst,
+//! MTMLF-CostEst. Every method predicts the cardinality and cost of the
+//! sub-plan rooted at each node of the test queries' initial plans; the
+//! table reports median/max/mean q-error over the *multi-table (join)*
+//! sub-plans. Single-table scans are excluded identically for all methods:
+//! they are the per-table encoders' own training task and every method
+//! estimates them well, so they would only dilute the comparison.
+
+use crate::single_db::SingleDbExperiment;
+use mtmlf::LossWeights;
+use mtmlf_optd::{PgEstimator, PlanCoster, QErrorSummary};
+use mtmlf_treelstm::{TreeLstm, TreeLstmConfig};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Method name.
+    pub method: String,
+    /// Cardinality q-error summary (absent for cost-only methods).
+    pub card: Option<QErrorSummary>,
+    /// Cost q-error summary (absent for card-only methods).
+    pub cost: Option<QErrorSummary>,
+}
+
+/// The full Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Rows in paper order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs the Table 1 experiment.
+pub fn run(exp: &SingleDbExperiment) -> Table1Result {
+    let mut rows = Vec::new();
+
+    // --- PostgreSQL baseline: statistics estimator + shared cost model.
+    let (pg_card, pg_cost) = pg_errors(exp);
+    rows.push(Table1Row {
+        method: "PostgreSQL".into(),
+        card: QErrorSummary::from_errors(&pg_card),
+        cost: QErrorSummary::from_errors(&pg_cost),
+    });
+
+    // --- Tree-LSTM baseline.
+    let (tl_card, tl_cost) = treelstm_errors(exp);
+    rows.push(Table1Row {
+        method: "Tree-LSTM".into(),
+        card: QErrorSummary::from_errors(&tl_card),
+        cost: QErrorSummary::from_errors(&tl_cost),
+    });
+
+    // --- MTMLF variants (shared featurizer).
+    let featurizer = exp.fit_featurizer();
+    let joint = exp.train_variant(&featurizer, LossWeights::default());
+    let (card, cost) = mtmlf_errors(exp, &joint);
+    rows.push(Table1Row {
+        method: "MTMLF-QO".into(),
+        card: QErrorSummary::from_errors(&card),
+        cost: QErrorSummary::from_errors(&cost),
+    });
+
+    let card_only = exp.train_variant(&featurizer, LossWeights::card_only());
+    let (card, _) = mtmlf_errors(exp, &card_only);
+    rows.push(Table1Row {
+        method: "MTMLF-CardEst".into(),
+        card: QErrorSummary::from_errors(&card),
+        cost: None,
+    });
+
+    let cost_only = exp.train_variant(&featurizer, LossWeights::cost_only());
+    let (_, cost) = mtmlf_errors(exp, &cost_only);
+    rows.push(Table1Row {
+        method: "MTMLF-CostEst".into(),
+        card: None,
+        cost: QErrorSummary::from_errors(&cost),
+    });
+
+    Table1Result { rows }
+}
+
+/// Per-node q-errors of the PostgreSQL-style estimator on the test set.
+pub fn pg_errors(exp: &SingleDbExperiment) -> (Vec<f64>, Vec<f64>) {
+    let estimator = PgEstimator::new(&exp.db);
+    let coster = PlanCoster::new(&estimator, &exp.db);
+    let mut card_errors = Vec::new();
+    let mut cost_errors = Vec::new();
+    for l in &exp.test {
+        let graph = l.query.join_graph().expect("validated query");
+        let per_node = coster
+            .per_node(&l.query, &graph, &l.plan)
+            .expect("estimation succeeds");
+        for (i, node) in l.plan.post_order().iter().enumerate() {
+            if node.leaf_count() < 2 {
+                continue; // Table 1 scores multi-table (join) sub-plans
+            }
+            let (card_est, cost_est) = per_node[i];
+            card_errors.push(mtmlf_optd::q_error(card_est, l.node_cards[i] as f64));
+            cost_errors.push(mtmlf_optd::q_error(cost_est, l.node_costs[i]));
+        }
+    }
+    (card_errors, cost_errors)
+}
+
+/// Per-node q-errors of a trained Tree-LSTM on the test set.
+pub fn treelstm_errors(exp: &SingleDbExperiment) -> (Vec<f64>, Vec<f64>) {
+    let mut model = TreeLstm::new(
+        exp.db.table_count(),
+        TreeLstmConfig {
+            seed: exp.setup.seed,
+            ..TreeLstmConfig::default()
+        },
+    );
+    model.train(&exp.db, &exp.train);
+    let mut card_errors = Vec::new();
+    let mut cost_errors = Vec::new();
+    for l in &exp.test {
+        let preds = model.predict(&exp.db, &l.query, &l.plan);
+        for (i, node) in l.plan.post_order().iter().enumerate() {
+            if node.leaf_count() < 2 {
+                continue;
+            }
+            let (card_est, cost_est) = preds[i];
+            card_errors.push(mtmlf_optd::q_error(card_est, l.node_cards[i] as f64));
+            cost_errors.push(mtmlf_optd::q_error(cost_est, l.node_costs[i]));
+        }
+    }
+    (card_errors, cost_errors)
+}
+
+/// Per-node q-errors of a trained MTMLF variant on the test set.
+pub fn mtmlf_errors(exp: &SingleDbExperiment, model: &mtmlf::MtmlfQo) -> (Vec<f64>, Vec<f64>) {
+    let mut card_errors = Vec::new();
+    let mut cost_errors = Vec::new();
+    for l in &exp.test {
+        let preds = model
+            .predict_nodes(&l.query, &l.plan)
+            .expect("prediction succeeds");
+        for (i, node) in l.plan.post_order().iter().enumerate() {
+            if node.leaf_count() < 2 {
+                continue;
+            }
+            let (card_est, cost_est) = preds[i];
+            card_errors.push(mtmlf_optd::q_error(card_est, l.node_cards[i] as f64));
+            cost_errors.push(mtmlf_optd::q_error(cost_est, l.node_costs[i]));
+        }
+    }
+    (card_errors, cost_errors)
+}
+
+/// Renders the result in the paper's layout.
+pub fn render(result: &Table1Result) -> String {
+    let headers = [
+        "Method",
+        "Card median",
+        "Card max",
+        "Card mean",
+        "Cost median",
+        "Cost max",
+        "Cost mean",
+    ];
+    let fmt_summary = |s: &Option<QErrorSummary>| -> [String; 3] {
+        match s {
+            Some(s) => [
+                crate::report::fmt(s.median),
+                crate::report::fmt(s.max),
+                crate::report::fmt(s.mean),
+            ],
+            None => ["\\".into(), "\\".into(), "\\".into()],
+        }
+    };
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let c = fmt_summary(&r.card);
+            let k = fmt_summary(&r.cost);
+            vec![
+                r.method.clone(),
+                c[0].clone(),
+                c[1].clone(),
+                c[2].clone(),
+                k[0].clone(),
+                k[1].clone(),
+                k[2].clone(),
+            ]
+        })
+        .collect();
+    crate::report::render_table(&headers, &rows)
+}

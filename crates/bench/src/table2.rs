@@ -1,0 +1,141 @@
+//! Table 2 — total execution time of different join orders (single DB).
+//!
+//! Paper rows: PostgreSQL, Optimal, MTMLF-QO, MTMLF-JoinSel (single-task),
+//! with total time over the test queries and the improvement ratio over
+//! PostgreSQL. Every order executes under identical default physical
+//! operators so only *order quality* is measured (the paper's isolation).
+
+use crate::single_db::SingleDbExperiment;
+use mtmlf::{LossWeights, MtmlfQo};
+use mtmlf_exec::Executor;
+use mtmlf_optd::PgOptimizer;
+use mtmlf_query::JoinOrder;
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Planner name.
+    pub planner: String,
+    /// Total simulated execution time over the test workload (sim-minutes).
+    pub total_minutes: f64,
+    /// Improvement over the PostgreSQL row (absent for PostgreSQL itself).
+    pub improvement: Option<f64>,
+    /// Fraction of test queries whose order matches the optimal order.
+    pub optimal_match: f64,
+}
+
+/// The full Table 2 result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Rows in paper order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Per-query detail (for diagnosis with `--verbose`).
+#[derive(Debug, Clone)]
+pub struct QueryDetail {
+    /// The query, printed SQL-ish.
+    pub query: String,
+    /// sim-minutes for [pg, optimal, mtmlf, joinsel].
+    pub minutes: [f64; 4],
+}
+
+/// Runs the Table 2 experiment with externally trained models (so Table 1
+/// and Table 2 can share the expensive training).
+pub fn run_with_models(
+    exp: &SingleDbExperiment,
+    joint: &MtmlfQo,
+    jo_only: &MtmlfQo,
+) -> (Table2Result, Vec<QueryDetail>) {
+    let exec = Executor::new(&exp.db);
+    let pg = PgOptimizer::new(&exp.db);
+
+    let mut totals = [0.0f64; 4]; // pg, optimal, mtmlf, mtmlf-joinsel
+    let mut matches = [0usize; 4];
+    let mut counted = 0usize;
+    let mut details: Vec<QueryDetail> = Vec::new();
+
+    for l in &exp.test {
+        let Some(optimal) = &l.optimal_order else {
+            continue;
+        };
+        counted += 1;
+        let pg_order = JoinOrder::LeftDeep(
+            pg.plan(&l.query)
+                .expect("pg plans validated queries")
+                .plan
+                .tables(),
+        );
+        // MTMLF-QO uses multi-task consistent inference: the jointly
+        // trained cost head re-ranks the beam's candidates.
+        let mtmlf_order = joint
+            .predict_join_order_costed(&l.query, &l.plan)
+            .expect("prediction succeeds");
+        let joinsel_order = jo_only
+            .predict_join_order(&l.query, &l.plan)
+            .expect("prediction succeeds");
+        let orders = [&pg_order, optimal, &mtmlf_order, &joinsel_order];
+        let mut minutes = [0.0f64; 4];
+        for (i, order) in orders.iter().enumerate() {
+            let outcome = exec
+                .execute_order(&l.query, order)
+                .expect("orders are legal by construction");
+            minutes[i] = outcome.sim_minutes;
+            totals[i] += outcome.sim_minutes;
+            if order.tables() == optimal.tables() {
+                matches[i] += 1;
+            }
+        }
+        details.push(QueryDetail {
+            query: l.query.to_string(),
+            minutes,
+        });
+    }
+
+    let names = ["PostgreSQL", "Optimal", "MTMLF-QO", "MTMLF-JoinSel"];
+    let rows = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Table2Row {
+            planner: name.to_string(),
+            total_minutes: totals[i],
+            improvement: (i > 0).then(|| (totals[0] - totals[i]) / totals[0]),
+            optimal_match: matches[i] as f64 / counted.max(1) as f64,
+        })
+        .collect();
+    (Table2Result { rows }, details)
+}
+
+/// Trains the models and runs the experiment (standalone entry point).
+pub fn run(exp: &SingleDbExperiment) -> (Table2Result, Vec<QueryDetail>) {
+    let featurizer = exp.fit_featurizer();
+    let joint = exp.train_variant(&featurizer, LossWeights::default());
+    let jo_only = exp.train_variant(&featurizer, LossWeights::jo_only());
+    run_with_models(exp, &joint, &jo_only)
+}
+
+/// Renders the result in the paper's layout.
+pub fn render(result: &Table2Result) -> String {
+    let headers = [
+        "JoinOrder",
+        "Total Time",
+        "Overall Improvement Ratio",
+        "Optimal-order match",
+    ];
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.planner.clone(),
+                format!("{:.1} min", r.total_minutes),
+                match r.improvement {
+                    Some(i) => format!("{:.1}%", i * 100.0),
+                    None => "\\".into(),
+                },
+                format!("{:.0}%", r.optimal_match * 100.0),
+            ]
+        })
+        .collect();
+    crate::report::render_table(&headers, &rows)
+}

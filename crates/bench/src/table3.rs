@@ -1,0 +1,191 @@
+//! Table 3 — cross-DB transferability (Section 6.3).
+//!
+//! Eleven databases come out of the Section 6.2 pipeline; the first ten
+//! pre-train the (S)/(T) modules via MLA, the eleventh is the unseen test
+//! database. Rows: PostgreSQL, MTMLF-QO (MLA, zero-shot transfer with only
+//! the new featurizer fitted), MTMLF-QO (single, trained from scratch on
+//! the test DB's training split).
+
+use mtmlf::{MetaLearner, MtmlfConfig, MtmlfQo};
+use mtmlf_datagen::{
+    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery,
+    PipelineConfig, WorkloadConfig,
+};
+use mtmlf_exec::Executor;
+use mtmlf_optd::PgOptimizer;
+use mtmlf_query::JoinOrder;
+use mtmlf_storage::Database;
+
+/// Experiment sizing.
+#[derive(Debug, Clone)]
+pub struct Table3Setup {
+    /// Number of databases (paper: 11 — 10 train + 1 test).
+    pub databases: usize,
+    /// Labelled queries per training database.
+    pub queries_per_db: usize,
+    /// Training/test queries on the held-out database.
+    pub test_db_train: usize,
+    /// Test queries evaluated on the held-out database.
+    pub test_db_test: usize,
+    /// Minimum tables per query.
+    pub min_tables: usize,
+    /// Maximum tables per query.
+    pub max_tables: usize,
+    /// Pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Table3Setup {
+    fn default() -> Self {
+        Self {
+            databases: 11,
+            queries_per_db: 100,
+            test_db_train: 300,
+            test_db_test: 40,
+            min_tables: 4,
+            max_tables: 6,
+            pipeline: PipelineConfig {
+                min_rows: 500,
+                max_rows: 3_000,
+                max_attrs: 6,
+                ..PipelineConfig::default()
+            },
+            seed: 3,
+        }
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Planner name.
+    pub planner: String,
+    /// Total simulated execution time (sim-minutes).
+    pub total_minutes: f64,
+    /// Improvement over PostgreSQL.
+    pub improvement: Option<f64>,
+}
+
+/// The full Table 3 result.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// Rows in paper order.
+    pub rows: Vec<Table3Row>,
+}
+
+fn make_db(setup: &Table3Setup, index: usize) -> (Database, Vec<LabeledQuery>, Vec<LabeledQuery>) {
+    let seed = setup.seed.wrapping_mul(1_000_003) ^ index as u64;
+    let mut db =
+        generate_database(&format!("gen{index}"), seed, &setup.pipeline).expect("pipeline DB");
+    db.analyze_all(16, 8);
+    let wl_cfg = WorkloadConfig {
+        count: if index + 1 == setup.databases {
+            setup.test_db_train + setup.test_db_test
+        } else {
+            setup.queries_per_db
+        },
+        min_tables: setup.min_tables,
+        max_tables: setup.max_tables,
+        ..WorkloadConfig::default()
+    };
+    let queries = generate_queries(&db, &wl_cfg, seed ^ 0x77);
+    let labeled = label_workload(&db, &queries, &LabelConfig::default()).expect("labelling");
+    if index + 1 == setup.databases {
+        let reserved = setup.test_db_test.min(labeled.len());
+        let split = labeled.len() - reserved;
+        let (train, test) = labeled.split_at(split);
+        (db, train.to_vec(), test.to_vec())
+    } else {
+        (db, labeled, Vec::new())
+    }
+}
+
+/// Runs the Table 3 experiment. Returns the result plus the per-query
+/// count evaluated.
+pub fn run(setup: &Table3Setup, config: &MtmlfConfig) -> Table3Result {
+    // Generate all databases; the last is the held-out test DB.
+    let mut training_dbs: Vec<(Database, Vec<LabeledQuery>)> = Vec::new();
+    let mut test_db = None;
+    for i in 0..setup.databases {
+        let (db, train, test) = make_db(setup, i);
+        if i + 1 == setup.databases {
+            test_db = Some((db, train, test));
+        } else {
+            training_dbs.push((db, train));
+        }
+    }
+    let (test_db, test_train, test_test) = test_db.expect("at least one database");
+
+    // MLA pre-training on the first n−1 databases.
+    let mut meta = MetaLearner::new(config.clone());
+    let refs: Vec<(&Database, &[LabeledQuery])> = training_dbs
+        .iter()
+        .map(|(db, wl)| (db, wl.as_slice()))
+        .collect();
+    meta.pretrain(&refs).expect("MLA pre-training");
+    let mla_model = meta.transfer(&test_db).expect("transfer to the unseen DB");
+
+    // From-scratch single-DB model on the test DB's training split.
+    let mut single = MtmlfQo::new(&test_db, config.clone()).expect("single model");
+    single.train(&test_train).expect("single-DB training");
+
+    // Execute the held-out queries under each planner's orders.
+    let exec = Executor::new(&test_db);
+    let pg = PgOptimizer::new(&test_db);
+    let mut totals = [0.0f64; 3];
+    for l in &test_test {
+        let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query).expect("pg plan").plan.tables());
+        let mla_order = mla_model
+            .predict_join_order_costed(&l.query, &l.plan)
+            .expect("MLA prediction");
+        let single_order = single
+            .predict_join_order_costed(&l.query, &l.plan)
+            .expect("single prediction");
+        for (i, order) in [&pg_order, &mla_order, &single_order].iter().enumerate() {
+            // A catastrophically bad order can exceed the executor's row
+            // limit; charge the work done up to the cap as a penalty
+            // (matching what aborting such a query would cost in practice).
+            totals[i] += match exec.execute_order(&l.query, order) {
+                Ok(outcome) => outcome.sim_minutes,
+                Err(mtmlf_exec::ExecError::RowLimitExceeded { limit }) => {
+                    3.0 * limit as f64 / mtmlf_exec::WORK_UNITS_PER_SIM_MINUTE
+                }
+                Err(e) => panic!("execution failed: {e}"),
+            };
+        }
+    }
+
+    let names = ["PostgreSQL", "MTMLF-QO (MLA)", "MTMLF-QO (single)"];
+    let rows = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Table3Row {
+            planner: name.to_string(),
+            total_minutes: totals[i],
+            improvement: (i > 0).then(|| (totals[0] - totals[i]) / totals[0]),
+        })
+        .collect();
+    Table3Result { rows }
+}
+
+/// Renders the result in the paper's layout.
+pub fn render(result: &Table3Result) -> String {
+    let headers = ["JoinOrder", "Total Time", "Overall Improvement Ratio"];
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.planner.clone(),
+                format!("{:.1} min", r.total_minutes),
+                match r.improvement {
+                    Some(i) => format!("{:.1}%", i * 100.0),
+                    None => "\\".into(),
+                },
+            ]
+        })
+        .collect();
+    crate::report::render_table(&headers, &rows)
+}

@@ -1,0 +1,195 @@
+//! Model hyper-parameters.
+
+/// Weights of the multi-task loss `L_QO = w_card·L_card + w_cost·L_cost +
+/// w_jo·L_jo` (paper Eq. 1; all three are 1 in the paper's experiments).
+/// Setting a weight to zero yields the single-task ablations
+/// (MTMLF-CardEst, MTMLF-CostEst, MTMLF-JoinSel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossWeights {
+    /// Weight of the cardinality Q-error loss.
+    pub card: f32,
+    /// Weight of the cost Q-error loss.
+    pub cost: f32,
+    /// Weight of the join-order loss.
+    pub jo: f32,
+    /// Weight of the access-path advisor loss (an *additional* DBMS task
+    /// demonstrating the framework's extensibility — Section 2.2's
+    /// "task-specific module contains a series of models corresponding to
+    /// all DBMS tasks"; off by default so the paper's three-task
+    /// experiments are unchanged).
+    pub advisor: f32,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        Self {
+            card: 1.0,
+            cost: 1.0,
+            jo: 1.0,
+            advisor: 0.0,
+        }
+    }
+}
+
+impl LossWeights {
+    /// Single-task CardEst (the MTMLF-CardEst ablation).
+    pub fn card_only() -> Self {
+        Self {
+            card: 1.0,
+            cost: 0.0,
+            jo: 0.0,
+            advisor: 0.0,
+        }
+    }
+
+    /// Single-task CostEst (the MTMLF-CostEst ablation).
+    pub fn cost_only() -> Self {
+        Self {
+            card: 0.0,
+            cost: 1.0,
+            jo: 0.0,
+            advisor: 0.0,
+        }
+    }
+
+    /// Single-task JoinSel (the MTMLF-JoinSel ablation).
+    pub fn jo_only() -> Self {
+        Self {
+            card: 0.0,
+            cost: 0.0,
+            jo: 1.0,
+            advisor: 0.0,
+        }
+    }
+
+    /// All four tasks, including the access-path advisor extension.
+    pub fn with_advisor() -> Self {
+        Self {
+            advisor: 1.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// MTMLF-QO hyper-parameters.
+///
+/// The paper uses 3 transformer blocks with 4 heads throughout and Adam at
+/// `1e-4`; the defaults here shrink widths/depths to match the scaled-down
+/// data and CPU training (model and data are scaled together, preserving
+/// the comparisons).
+#[derive(Debug, Clone)]
+pub struct MtmlfConfig {
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads in every transformer.
+    pub heads: usize,
+    /// Blocks in each per-table encoder `Enc_i`.
+    pub enc_blocks: usize,
+    /// Blocks in `Trans_Share`.
+    pub share_blocks: usize,
+    /// Blocks in `Trans_JO`.
+    pub jo_blocks: usize,
+    /// Maximum columns per table the featurizer supports.
+    pub max_cols: usize,
+    /// Maximum tables per query (plan depth cap for positional encodings).
+    pub max_query_tables: usize,
+    /// Feature-hash buckets for string literals (LIKE needles).
+    pub needle_buckets: usize,
+    /// Multi-task loss weights.
+    pub weights: LossWeights,
+    /// Adam learning rate for joint training.
+    pub lr: f32,
+    /// Joint-training epochs.
+    pub epochs: usize,
+    /// Adam learning rate for encoder pre-training.
+    pub enc_lr: f32,
+    /// Epochs of per-table encoder pre-training.
+    pub enc_epochs: usize,
+    /// Single-table queries generated per table for encoder pre-training.
+    pub enc_queries: usize,
+    /// Beam width `k` of the join-order beam search (Section 4.3).
+    pub beam_width: usize,
+    /// Train `Trans_JO` with the sequence-level JOEU loss (Section 5)
+    /// instead of token-level cross-entropy only.
+    pub sequence_loss: bool,
+    /// Penalty `λ` on illegal candidate mass in the sequence-level loss.
+    pub lambda_illegal: f32,
+    /// Additionally train the bushy position head (Section 4.1's KL loss
+    /// against the tree decoding embeddings); requires bushy-labelled
+    /// training data.
+    pub bushy: bool,
+    /// Global seed for weight init, shuffling, and encoder-query sampling.
+    pub seed: u64,
+}
+
+impl Default for MtmlfConfig {
+    fn default() -> Self {
+        Self {
+            d_model: 32,
+            heads: 4,
+            enc_blocks: 2,
+            share_blocks: 3,
+            jo_blocks: 2,
+            max_cols: 24,
+            max_query_tables: 8,
+            needle_buckets: 16,
+            weights: LossWeights::default(),
+            lr: 1e-3,
+            epochs: 8,
+            enc_lr: 2e-3,
+            enc_epochs: 30,
+            enc_queries: 200,
+            beam_width: 8,
+            sequence_loss: false,
+            lambda_illegal: 2.0,
+            bushy: false,
+            seed: 0,
+        }
+    }
+}
+
+impl MtmlfConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            d_model: 16,
+            heads: 2,
+            enc_blocks: 1,
+            share_blocks: 1,
+            jo_blocks: 1,
+            epochs: 3,
+            enc_epochs: 5,
+            enc_queries: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// Codec width of the bushy position head: the Section 4.1 decoding
+/// embeddings of a query over `m ≤ max_query_tables` tables need
+/// `2^(m−1)` leaf positions in the worst (left-deep) case.
+pub fn codec_positions(config: &MtmlfConfig) -> usize {
+    mtmlf_query::treecodec::codec_dim(config.max_query_tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_weights() {
+        assert_eq!(LossWeights::card_only().jo, 0.0);
+        assert_eq!(LossWeights::cost_only().card, 0.0);
+        assert_eq!(LossWeights::jo_only().jo, 1.0);
+        let d = LossWeights::default();
+        assert_eq!((d.card, d.cost, d.jo), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn default_divisibility() {
+        let c = MtmlfConfig::default();
+        assert_eq!(c.d_model % c.heads, 0);
+        let t = MtmlfConfig::tiny();
+        assert_eq!(t.d_model % t.heads, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the MTMLF model.
+
+use std::fmt;
+
+/// Errors produced by model construction, training, and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MtmlfError {
+    /// Underlying storage failure.
+    Storage(mtmlf_storage::StorageError),
+    /// Underlying query/plan failure.
+    Query(mtmlf_query::QueryError),
+    /// Underlying execution failure.
+    Exec(mtmlf_exec::ExecError),
+    /// Underlying classical-optimizer failure.
+    Opt(String),
+    /// The query touches more tables than the model was configured for.
+    TooManyQueryTables {
+        /// Tables in the query.
+        got: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// A table has more columns than the configured featurization width.
+    TooManyColumns {
+        /// Columns in the table.
+        got: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The featurization module has no encoder for a table (not fitted).
+    EncoderMissing(u32),
+    /// Beam search produced no legal candidate (impossible for connected
+    /// queries; indicates a malformed join graph).
+    NoLegalOrder,
+    /// A training sample lacked the label needed by the requested task.
+    MissingLabel(&'static str),
+}
+
+impl fmt::Display for MtmlfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+            Self::Query(e) => write!(f, "query error: {e}"),
+            Self::Exec(e) => write!(f, "execution error: {e}"),
+            Self::Opt(e) => write!(f, "optimizer error: {e}"),
+            Self::TooManyQueryTables { got, max } => {
+                write!(f, "query touches {got} tables, model supports {max}")
+            }
+            Self::TooManyColumns { got, max } => {
+                write!(f, "table has {got} columns, featurizer supports {max}")
+            }
+            Self::EncoderMissing(t) => write!(f, "no trained encoder for table T{t}"),
+            Self::NoLegalOrder => write!(f, "beam search found no legal join order"),
+            Self::MissingLabel(which) => write!(f, "training sample lacks {which} label"),
+        }
+    }
+}
+
+impl std::error::Error for MtmlfError {}
+
+impl From<mtmlf_storage::StorageError> for MtmlfError {
+    fn from(e: mtmlf_storage::StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<mtmlf_query::QueryError> for MtmlfError {
+    fn from(e: mtmlf_query::QueryError) -> Self {
+        Self::Query(e)
+    }
+}
+
+impl From<mtmlf_exec::ExecError> for MtmlfError {
+    fn from(e: mtmlf_exec::ExecError) -> Self {
+        Self::Exec(e)
+    }
+}
+
+impl From<mtmlf_optd::OptError> for MtmlfError {
+    fn from(e: mtmlf_optd::OptError) -> Self {
+        Self::Opt(e.to_string())
+    }
+}

@@ -1,0 +1,64 @@
+//! # mtmlf — A Unified Transferable Model for ML-Enhanced DBMS
+//!
+//! Rust reproduction of the CIDR 2022 paper's MTMLF framework and its
+//! query-optimization case study **MTMLF-QO**.
+//!
+//! The model follows the paper's Figure 2 architecture:
+//!
+//! - **(F) Featurization & encoding** ([`featurize`], [`encoder`]) — the
+//!   *database-specific* module: per-table transformer encoders `Enc_i`
+//!   trained on single-table cardinality estimation summarize each table's
+//!   distribution under a filter; a serializer ([`serialize`]) flattens the
+//!   tree-structured plan into a node-embedding sequence `E(P)` with tree
+//!   positional encodings.
+//! - **(S) Shared representation** ([`shared`]) — `Trans_Share`, a
+//!   transformer encoder producing one representation `S_i` per plan node,
+//!   jointly trained on all tasks (the *task-shared* knowledge).
+//! - **(T) Task-specific heads** ([`tasks`], [`transjo`]) — `M_CardEst`
+//!   and `M_CostEst` MLPs read per-node cardinality/cost; `Trans_JO`, a
+//!   transformer decoder with a pointer output over the query's table
+//!   representations, generates the join order as a sequence (seq2seq with
+//!   teacher forcing).
+//! - **(L) Loss & training** ([`train`]) — the weighted multi-task loss
+//!   `L_QO = w_card·L_card + w_cost·L_cost + w_jo·L_jo` (Eq. 1); join-order
+//!   training supports both the token-level cross-entropy and the
+//!   sequence-level JOEU loss of Section 5 ([`joeu()`]).
+//! - **Beam search** ([`beam`]) — the legality-pruned beam decoding of
+//!   Section 4.3: the query's join-graph adjacency masks candidates at
+//!   every step, so emitted orders are guaranteed executable.
+//! - **Meta-learning** ([`meta`]) — Algorithm 1 (MLA): per-DB (F) modules,
+//!   cross-DB shuffled training of (S)+(T), and transfer to a new DB by
+//!   training only its featurizer (plus optional fine-tuning).
+//!
+//! One deliberate implementation choice: the paper formulates `P̂_t` as a
+//! fixed-length multinoulli over the database's `n` tables. This
+//! reproduction computes the same distribution with a *pointer* layer
+//! (decoder state dotted with each candidate table's shared
+//! representation), which is size-agnostic across databases — required for
+//! the cross-DB meta-learning experiment, where table counts differ — and
+//! reduces to the paper's formulation on a single DB.
+
+pub mod beam;
+pub mod config;
+pub mod encoder;
+pub mod error;
+pub mod featurize;
+pub mod joeu;
+pub mod meta;
+pub mod model;
+pub mod persist;
+pub mod serialize;
+pub mod shared;
+pub mod tasks;
+pub mod train;
+pub mod transjo;
+
+pub use config::{LossWeights, MtmlfConfig};
+pub use error::MtmlfError;
+pub use featurize::FeaturizationModule;
+pub use joeu::joeu;
+pub use meta::MetaLearner;
+pub use model::MtmlfQo;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MtmlfError>;

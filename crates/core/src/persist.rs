@@ -1,0 +1,141 @@
+//! Model persistence: save and load MTMLF-QO weights.
+//!
+//! The weight file carries the parameter values of the featurization
+//! module (per-table encoders) and of the transferable (S)/(T) modules, in
+//! a stable order. The architecture (widths, depths, table count) is *not*
+//! stored — it comes from the [`crate::MtmlfConfig`] and database used to
+//! rebuild the model, and every shape is validated at load time.
+//!
+//! This realizes the paper's deployment story: the provider trains and
+//! ships the (S)/(T) weights; the user instantiates the architecture
+//! locally and loads them.
+
+use crate::featurize::FeaturizationModule;
+use crate::model::MtmlfQo;
+use crate::Result;
+use mtmlf_nn::layers::Module;
+use mtmlf_nn::serialize::{load_parameters, save_parameters};
+use mtmlf_nn::Var;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+impl FeaturizationModule {
+    /// All encoder parameters, in table order.
+    pub fn parameters(&self) -> Vec<Var> {
+        (0..self.table_count())
+            .flat_map(|t| {
+                self.encoder(mtmlf_storage::TableId(t as u32))
+                    .expect("index in range")
+                    .parameters()
+            })
+            .collect()
+    }
+}
+
+impl MtmlfQo {
+    /// All parameters (featurization + shared + task modules), stable order.
+    pub fn all_parameters(&self) -> Vec<Var> {
+        let mut p = self.featurization().parameters();
+        let (shared, heads, jo) = self.transferable_modules();
+        p.extend(shared.parameters());
+        p.extend(heads.parameters());
+        p.extend(jo.parameters());
+        p
+    }
+
+    /// Saves all weights to a file.
+    pub fn save_weights(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = File::create(path).map_err(io_err)?;
+        save_parameters(BufWriter::new(file), &self.all_parameters()).map_err(io_err)
+    }
+
+    /// Loads weights saved by [`MtmlfQo::save_weights`] into this model.
+    /// The model must have been built with the same configuration and
+    /// database shape; mismatches are rejected.
+    pub fn load_weights(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        let file = File::open(path).map_err(io_err)?;
+        load_parameters(BufReader::new(file), &self.all_parameters()).map_err(io_err)
+    }
+}
+
+fn io_err(e: io::Error) -> crate::MtmlfError {
+    crate::MtmlfError::Opt(format!("weight file I/O: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MtmlfConfig;
+    use mtmlf_datagen::{
+        generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, WorkloadConfig,
+    };
+
+    #[test]
+    fn weights_roundtrip_preserves_predictions() {
+        let mut db = imdb_lite(9, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let queries = generate_queries(
+            &db,
+            &WorkloadConfig {
+                count: 6,
+                max_tables: 4,
+                ..WorkloadConfig::default()
+            },
+            5,
+        );
+        let labeled = label_workload(&db, &queries, &LabelConfig::default()).unwrap();
+        let cfg = MtmlfConfig {
+            enc_queries: 15,
+            enc_epochs: 2,
+            epochs: 2,
+            seed: 9,
+            ..MtmlfConfig::tiny()
+        };
+        let mut trained = MtmlfQo::new(&db, cfg.clone()).unwrap();
+        trained.train(&labeled).unwrap();
+        let dir = std::env::temp_dir().join("mtmlf_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.bin");
+        trained.save_weights(&path).unwrap();
+
+        // A fresh model with the same config but different seed-derived
+        // weights; after loading it must agree exactly.
+        let mut fresh = MtmlfQo::new(&db, MtmlfConfig { seed: 77, ..cfg }).unwrap();
+        let l = &labeled[0];
+        let before = fresh.predict_nodes(&l.query, &l.plan).unwrap();
+        fresh.load_weights(&path).unwrap();
+        let after = fresh.predict_nodes(&l.query, &l.plan).unwrap();
+        let reference = trained.predict_nodes(&l.query, &l.plan).unwrap();
+        assert_ne!(before, reference, "different init predicts differently");
+        assert_eq!(after, reference, "loaded weights reproduce predictions");
+        let order_a = fresh.predict_join_order(&l.query, &l.plan).unwrap();
+        let order_b = trained.predict_join_order(&l.query, &l.plan).unwrap();
+        assert_eq!(order_a, order_b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let mut db = imdb_lite(10, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let small = MtmlfConfig {
+            enc_queries: 5,
+            enc_epochs: 1,
+            seed: 1,
+            ..MtmlfConfig::tiny()
+        };
+        let big = MtmlfConfig {
+            d_model: 32,
+            ..small.clone()
+        };
+        let a = MtmlfQo::new(&db, small).unwrap();
+        let mut b = MtmlfQo::new(&db, big).unwrap();
+        let dir = std::env::temp_dir().join("mtmlf_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.bin");
+        a.save_weights(&path).unwrap();
+        assert!(b.load_weights(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,78 @@
+//! The shared representation module (S): `Trans_Share`.
+
+use crate::config::MtmlfConfig;
+use crate::serialize::raw_width;
+use mtmlf_nn::layers::{Linear, Module};
+use mtmlf_nn::{Matrix, TransformerEncoder, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `Trans_Share`: projects raw node features to model width and runs the
+/// shared transformer encoder. The output `(S_1, S_2, …)` has one row per
+/// plan node, in one-to-one correspondence with the input `E(P)` (paper
+/// Section 3.2 S). Trained jointly on all tasks; shared across databases
+/// under meta-learning.
+#[derive(Clone)]
+pub struct SharedModule {
+    input_proj: Linear,
+    trans_share: TransformerEncoder,
+}
+
+impl SharedModule {
+    /// Builds the module for a configuration.
+    pub fn new(config: &MtmlfConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5AA5);
+        Self {
+            input_proj: Linear::new(raw_width(config), config.d_model, &mut rng),
+            trans_share: TransformerEncoder::new(
+                config.d_model,
+                config.heads,
+                config.share_blocks,
+                &mut rng,
+            ),
+        }
+    }
+
+    /// Computes the shared representation `(nodes, d_model)` from raw node
+    /// features.
+    pub fn forward(&self, features: &Matrix) -> Var {
+        let x = Var::constant(features.clone());
+        self.trans_share.forward(&self.input_proj.forward(&x))
+    }
+}
+
+impl Module for SharedModule {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.input_proj.parameters();
+        p.extend(self.trans_share.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let cfg = MtmlfConfig::tiny();
+        let module = SharedModule::new(&cfg);
+        let features = Matrix::zeros(7, raw_width(&cfg));
+        assert_eq!(module.forward(&features).shape(), (7, cfg.d_model));
+    }
+
+    #[test]
+    fn clone_shares_parameters() {
+        let cfg = MtmlfConfig::tiny();
+        let a = SharedModule::new(&cfg);
+        let b = a.clone();
+        let features = Matrix::full(2, raw_width(&cfg), 0.1);
+        let loss = a.forward(&features).sum();
+        loss.backward();
+        // The clone's parameters see the same gradients (same nodes).
+        let ga: f32 = a.parameters().iter().map(|p| p.grad().norm()).sum();
+        let gb: f32 = b.parameters().iter().map(|p| p.grad().norm()).sum();
+        assert!(ga > 0.0);
+        assert_eq!(ga, gb);
+    }
+}

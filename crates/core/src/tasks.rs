@@ -1,0 +1,79 @@
+//! Task-specific heads (T.i, T.ii): `M_CardEst` and `M_CostEst`.
+
+use crate::config::MtmlfConfig;
+use mtmlf_nn::layers::{Mlp, Module};
+use mtmlf_nn::Var;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The two per-node regression heads. Both read the shared representation
+/// row `S_i` of a plan node and output the *log* cardinality / cost of the
+/// sub-plan rooted there (two-layer MLPs, as in the paper's Section 6.1).
+#[derive(Clone)]
+pub struct TaskHeads {
+    card: Mlp,
+    cost: Mlp,
+    advisor: Mlp,
+}
+
+impl TaskHeads {
+    /// Builds all heads.
+    pub fn new(config: &MtmlfConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7EAD);
+        Self {
+            card: Mlp::new(&[config.d_model, config.d_model, 1], &mut rng),
+            cost: Mlp::new(&[config.d_model, config.d_model, 1], &mut rng),
+            advisor: Mlp::new(&[config.d_model, config.d_model, 1], &mut rng),
+        }
+    }
+
+    /// Per-node log-cardinality predictions `(nodes, 1)`.
+    pub fn card(&self, shared: &Var) -> Var {
+        self.card.forward(shared)
+    }
+
+    /// Per-node log-cost predictions `(nodes, 1)`.
+    pub fn cost(&self, shared: &Var) -> Var {
+        self.cost.forward(shared)
+    }
+
+    /// Per-node access-path logits `(nodes, 1)`: positive means an index
+    /// scan is predicted cheaper than a sequential scan for the node's
+    /// filters (meaningful on scan nodes; the physical-design task of the
+    /// paper's Section 2.2).
+    pub fn advisor(&self, shared: &Var) -> Var {
+        self.advisor.forward(shared)
+    }
+}
+
+impl Module for TaskHeads {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.card.parameters();
+        p.extend(self.cost.parameters());
+        p.extend(self.advisor.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_nn::Matrix;
+
+    #[test]
+    fn per_node_outputs() {
+        let cfg = MtmlfConfig::tiny();
+        let heads = TaskHeads::new(&cfg);
+        let s = Var::constant(Matrix::zeros(5, cfg.d_model));
+        assert_eq!(heads.card(&s).shape(), (5, 1));
+        assert_eq!(heads.cost(&s).shape(), (5, 1));
+    }
+
+    #[test]
+    fn heads_are_independent() {
+        let cfg = MtmlfConfig::tiny();
+        let heads = TaskHeads::new(&cfg);
+        let s = Var::constant(Matrix::full(1, cfg.d_model, 0.3));
+        assert_ne!(heads.card(&s).item(), heads.cost(&s).item());
+    }
+}

@@ -1,0 +1,36 @@
+//! # mtmlf-datagen
+//!
+//! Synthetic data and workload generation for the MTMLF reproduction.
+//!
+//! Three generators:
+//!
+//! 1. **The paper's Section 6.2 pipeline** ([`pipeline`]): generates
+//!    databases with 6–11 tables following steps S1 (join schema: 2–3 fact
+//!    tables, dimension tables with PK–FK edges into one or two facts,
+//!    transitive FK–FK joins), S2 (attribute columns with varied skew,
+//!    correlation, and domain sizes), and S3 (foreign keys correlated with
+//!    attribute columns). Used by the cross-DB transferability experiment
+//!    (Table 3).
+//! 2. **An IMDB-shaped database** ([`imdb`]): a deterministic, scaled-down
+//!    snowflake mimicking the IMDB dataset's shape — skewed production
+//!    years, correlated kind/year columns, string columns with LIKE-able
+//!    tokens — the substrate of the single-DB experiments (Tables 1 and 2).
+//! 3. **A JOB-like workload generator** ([`workload`]): multi-join queries
+//!    over any generated database with conjunctive range/equality/`LIKE`
+//!    filters anchored at real data values, plus the single-table filter
+//!    queries that train the per-table encoders `Enc_i`.
+//!
+//! [`label`] executes workloads to attach ground truth: per-plan-node true
+//! cardinalities and costs, and exact-optimal join orders (ECQO stand-in).
+
+pub mod distribution;
+pub mod imdb;
+pub mod label;
+pub mod pipeline;
+pub mod text;
+pub mod workload;
+
+pub use imdb::imdb_lite;
+pub use label::{label_workload, LabeledQuery, LabelConfig};
+pub use pipeline::{generate_database, PipelineConfig};
+pub use workload::{generate_queries, single_table_queries, SingleTableQuery, WorkloadConfig};

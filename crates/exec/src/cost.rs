@@ -1,0 +1,245 @@
+//! Deterministic work-unit cost accounting ("simulated execution time").
+//!
+//! Every physical operator charges work units as a function of its *actual*
+//! input and output sizes during execution. The total converts linearly to
+//! "sim-minutes". Because all plans for the same query are charged under
+//! identical semantics on identical data, ratios between planners (the
+//! quantity Tables 2 and 3 of the paper report) are substrate-independent.
+
+use mtmlf_query::{JoinOp, ScanOp};
+
+/// Work units per simulated minute. Chosen so that the Table 2 regeneration
+/// lands in the paper's magnitude range (hundreds of minutes for ~1000
+/// multi-join queries on the scaled data).
+pub const WORK_UNITS_PER_SIM_MINUTE: f64 = 2.0e6;
+
+/// Per-operator cost coefficients (work units per tuple touched).
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorCost {
+    /// Cost of scanning one tuple sequentially.
+    pub seq_tuple: f64,
+    /// Cost of an index lookup (charged per result tuple; random access).
+    pub index_tuple: f64,
+    /// Fixed index traversal cost per scan.
+    pub index_descent: f64,
+    /// Cost of inserting one tuple into a join hash table.
+    pub hash_build: f64,
+    /// Cost of probing the hash table with one tuple.
+    pub hash_probe: f64,
+    /// Per-tuple sort coefficient for merge join (multiplied by log2 n).
+    pub sort_tuple: f64,
+    /// Per-comparison cost in nested-loop join.
+    pub nl_compare: f64,
+    /// Cost of materializing one output tuple (any operator).
+    pub output_tuple: f64,
+}
+
+impl Default for OperatorCost {
+    fn default() -> Self {
+        // Relative magnitudes follow PostgreSQL's defaults in spirit:
+        // sequential IO is the unit, random access ~4x, hashing ~1.2x CPU.
+        Self {
+            seq_tuple: 1.0,
+            index_tuple: 4.0,
+            index_descent: 32.0,
+            hash_build: 1.5,
+            hash_probe: 1.0,
+            sort_tuple: 0.25,
+            nl_compare: 0.02,
+            output_tuple: 1.0,
+        }
+    }
+}
+
+/// Accumulates work units over the execution of one or more plans.
+#[derive(Debug, Clone)]
+pub struct CostTracker {
+    coefficients: OperatorCost,
+    units: f64,
+}
+
+impl Default for CostTracker {
+    fn default() -> Self {
+        Self::new(OperatorCost::default())
+    }
+}
+
+impl CostTracker {
+    /// Creates a tracker with explicit coefficients.
+    pub fn new(coefficients: OperatorCost) -> Self {
+        Self {
+            coefficients,
+            units: 0.0,
+        }
+    }
+
+    /// Total charged work units.
+    pub fn units(&self) -> f64 {
+        self.units
+    }
+
+    /// Total in sim-minutes.
+    pub fn sim_minutes(&self) -> f64 {
+        self.units / WORK_UNITS_PER_SIM_MINUTE
+    }
+
+    /// Resets the accumulator.
+    pub fn reset(&mut self) {
+        self.units = 0.0;
+    }
+
+    /// Charges a scan of `table_rows` tuples producing `out_rows`.
+    pub fn charge_scan(&mut self, op: ScanOp, table_rows: usize, out_rows: usize) -> f64 {
+        let c = &self.coefficients;
+        let units = match op {
+            ScanOp::SeqScan => c.seq_tuple * table_rows as f64 + c.output_tuple * out_rows as f64,
+            ScanOp::IndexScan => {
+                c.index_descent + c.index_tuple * out_rows as f64 + c.output_tuple * out_rows as f64
+            }
+        };
+        self.units += units;
+        units
+    }
+
+    /// Charges a join with `left_rows`/`right_rows` inputs and `out_rows`
+    /// output. The build side of a hash join is the smaller input.
+    pub fn charge_join(
+        &mut self,
+        op: JoinOp,
+        left_rows: usize,
+        right_rows: usize,
+        out_rows: usize,
+    ) -> f64 {
+        let c = &self.coefficients;
+        let (build, probe) = if left_rows <= right_rows {
+            (left_rows as f64, right_rows as f64)
+        } else {
+            (right_rows as f64, left_rows as f64)
+        };
+        let units = match op {
+            JoinOp::HashJoin => c.hash_build * build + c.hash_probe * probe,
+            JoinOp::MergeJoin => {
+                let l = left_rows as f64;
+                let r = right_rows as f64;
+                c.sort_tuple * (l * log2(l) + r * log2(r)) + c.seq_tuple * (l + r)
+            }
+            JoinOp::NestedLoopJoin => c.nl_compare * left_rows as f64 * right_rows as f64,
+        } + c.output_tuple * out_rows as f64;
+        self.units += units;
+        units
+    }
+
+    /// Pure estimate of a scan's cost (no accumulation) — used by the
+    /// classical cost model in `mtmlf-optd` so planner and executor share
+    /// one cost semantics.
+    pub fn scan_cost(coefficients: &OperatorCost, op: ScanOp, table_rows: f64, out_rows: f64) -> f64 {
+        match op {
+            ScanOp::SeqScan => coefficients.seq_tuple * table_rows + coefficients.output_tuple * out_rows,
+            ScanOp::IndexScan => {
+                coefficients.index_descent
+                    + coefficients.index_tuple * out_rows
+                    + coefficients.output_tuple * out_rows
+            }
+        }
+    }
+
+    /// Pure estimate of a join's cost (no accumulation).
+    pub fn join_cost(
+        coefficients: &OperatorCost,
+        op: JoinOp,
+        left_rows: f64,
+        right_rows: f64,
+        out_rows: f64,
+    ) -> f64 {
+        let (build, probe) = if left_rows <= right_rows {
+            (left_rows, right_rows)
+        } else {
+            (right_rows, left_rows)
+        };
+        (match op {
+            JoinOp::HashJoin => coefficients.hash_build * build + coefficients.hash_probe * probe,
+            JoinOp::MergeJoin => {
+                coefficients.sort_tuple * (left_rows * log2(left_rows) + right_rows * log2(right_rows))
+                    + coefficients.seq_tuple * (left_rows + right_rows)
+            }
+            JoinOp::NestedLoopJoin => coefficients.nl_compare * left_rows * right_rows,
+        }) + coefficients.output_tuple * out_rows
+    }
+
+    /// The tracker's coefficients.
+    pub fn coefficients(&self) -> &OperatorCost {
+        &self.coefficients
+    }
+}
+
+fn log2(x: f64) -> f64 {
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_scan_linear_in_table() {
+        let mut t = CostTracker::default();
+        let a = t.charge_scan(ScanOp::SeqScan, 1000, 10);
+        let before = t.units();
+        let b = t.charge_scan(ScanOp::SeqScan, 2000, 10);
+        assert!(b > a);
+        assert!((t.units() - before - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_scan_cheap_when_selective() {
+        let mut t = CostTracker::default();
+        let idx = t.charge_scan(ScanOp::IndexScan, 1_000_000, 5);
+        let seq = t.charge_scan(ScanOp::SeqScan, 1_000_000, 5);
+        assert!(idx < seq / 100.0, "index {idx} vs seq {seq}");
+    }
+
+    #[test]
+    fn index_scan_expensive_when_unselective() {
+        let mut t = CostTracker::default();
+        let idx = t.charge_scan(ScanOp::IndexScan, 10_000, 9_000);
+        let seq = t.charge_scan(ScanOp::SeqScan, 10_000, 9_000);
+        assert!(idx > seq, "index {idx} vs seq {seq}");
+    }
+
+    #[test]
+    fn hash_join_builds_on_smaller_side() {
+        let c = OperatorCost::default();
+        let ab = CostTracker::join_cost(&c, JoinOp::HashJoin, 10.0, 1000.0, 50.0);
+        let ba = CostTracker::join_cost(&c, JoinOp::HashJoin, 1000.0, 10.0, 50.0);
+        assert_eq!(ab, ba, "hash join cost is symmetric");
+    }
+
+    #[test]
+    fn nested_loop_quadratic() {
+        let c = OperatorCost::default();
+        let small = CostTracker::join_cost(&c, JoinOp::NestedLoopJoin, 100.0, 100.0, 0.0);
+        let big = CostTracker::join_cost(&c, JoinOp::NestedLoopJoin, 1000.0, 1000.0, 0.0);
+        assert!((big / small - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nl_beats_hash_on_tiny_inputs() {
+        let c = OperatorCost::default();
+        let nl = CostTracker::join_cost(&c, JoinOp::NestedLoopJoin, 3.0, 4.0, 2.0);
+        let hash = CostTracker::join_cost(&c, JoinOp::HashJoin, 3.0, 4.0, 2.0);
+        assert!(nl < hash, "nl {nl} vs hash {hash}");
+    }
+
+    #[test]
+    fn sim_minutes_conversion() {
+        let mut t = CostTracker::default();
+        t.charge_scan(ScanOp::SeqScan, WORK_UNITS_PER_SIM_MINUTE as usize, 0);
+        assert!((t.sim_minutes() - 1.0).abs() < 1e-6);
+        t.reset();
+        assert_eq!(t.units(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for execution.
+
+use mtmlf_query::QueryError;
+use mtmlf_storage::{StorageError, TableId};
+use std::fmt;
+
+/// Errors produced during plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Underlying query/plan failure.
+    Query(QueryError),
+    /// A join between two sub-plans has no connecting join predicate
+    /// (cross products are not executed).
+    NoJoinPredicate {
+        /// Tables bound on the left side.
+        left: Vec<TableId>,
+        /// Tables bound on the right side.
+        right: Vec<TableId>,
+    },
+    /// A join key column was not an integer column.
+    NonIntegerJoinKey {
+        /// The offending table.
+        table: TableId,
+    },
+    /// A plan referenced a table that the query does not touch.
+    PlanTableNotInQuery(TableId),
+    /// A plan bound the same table twice.
+    DuplicatePlanTable(TableId),
+    /// An intermediate result exceeded the executor's row limit (guards
+    /// against pathological join orders exhausting memory).
+    RowLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+            Self::Query(e) => write!(f, "query error: {e}"),
+            Self::NoJoinPredicate { left, right } => {
+                write!(f, "no join predicate between {left:?} and {right:?}")
+            }
+            Self::NonIntegerJoinKey { table } => {
+                write!(f, "join key on table {table} is not an integer column")
+            }
+            Self::PlanTableNotInQuery(t) => write!(f, "plan table {t} not in query"),
+            Self::DuplicatePlanTable(t) => write!(f, "plan binds table {t} twice"),
+            Self::RowLimitExceeded { limit } => {
+                write!(f, "intermediate result exceeded the row limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<QueryError> for ExecError {
+    fn from(e: QueryError) -> Self {
+        ExecError::Query(e)
+    }
+}

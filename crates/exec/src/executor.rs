@@ -1,0 +1,520 @@
+//! The executor: runs plans against a database, observing true
+//! cardinalities and charging simulated cost.
+
+use crate::cost::CostTracker;
+use crate::error::ExecError;
+use crate::filter::evaluate_filters;
+use crate::hasher::FxHashMap;
+use crate::join::equi_join_limited;
+use crate::relation::Relation;
+use crate::Result;
+use mtmlf_query::{JoinOrder, PlanNode, Query};
+use mtmlf_storage::{Database, TableId};
+
+/// Per-node observation from executing a plan: the ground-truth labels the
+/// paper attaches to every node of the initial plan `P` (Section 3.2 I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeObservation {
+    /// Tables covered by the sub-plan rooted at this node.
+    pub tables: Vec<TableId>,
+    /// True output cardinality of the sub-plan.
+    pub cardinality: u64,
+    /// Cumulative cost (work units) of the sub-plan, children included —
+    /// the paper's per-node "cost" label.
+    pub subplan_cost: f64,
+}
+
+/// Result of executing one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Observations in post-order (aligned with [`PlanNode::post_order`]).
+    pub nodes: Vec<NodeObservation>,
+    /// True cardinality of the root.
+    pub output_cardinality: u64,
+    /// Total charged work units.
+    pub total_units: f64,
+    /// Total in sim-minutes.
+    pub sim_minutes: f64,
+}
+
+/// Default cap on intermediate result sizes (rows). Generous for the
+/// scaled data (hundreds of MB at worst) while preventing pathological
+/// join orders from exhausting memory.
+pub const DEFAULT_ROW_LIMIT: usize = 10_000_000;
+
+/// Executes plans against one database.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'a> {
+    db: &'a Database,
+    row_limit: usize,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over a database with the default row limit.
+    pub fn new(db: &'a Database) -> Self {
+        Self {
+            db,
+            row_limit: DEFAULT_ROW_LIMIT,
+        }
+    }
+
+    /// Overrides the intermediate-result row limit.
+    pub fn with_row_limit(mut self, row_limit: usize) -> Self {
+        self.row_limit = row_limit;
+        self
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Executes `plan` for `query`, returning per-node observations and the
+    /// total simulated cost. The plan may cover a subset of the query's
+    /// tables (used when labelling sub-plans), but must not bind a table
+    /// twice or bind tables outside the query.
+    pub fn execute_plan(&self, query: &Query, plan: &PlanNode) -> Result<ExecOutcome> {
+        let mut seen = Vec::new();
+        for t in plan.tables() {
+            if !query.tables().contains(&t) {
+                return Err(ExecError::PlanTableNotInQuery(t));
+            }
+            if seen.contains(&t) {
+                return Err(ExecError::DuplicatePlanTable(t));
+            }
+            seen.push(t);
+        }
+        let mut tracker = CostTracker::default();
+        let mut nodes = Vec::with_capacity(plan.node_count());
+        let root = self.eval(query, plan, &mut tracker, &mut nodes)?;
+        Ok(ExecOutcome {
+            output_cardinality: root.len() as u64,
+            total_units: tracker.units(),
+            sim_minutes: tracker.sim_minutes(),
+            nodes,
+        })
+    }
+
+    /// Executes the plan induced by a join order.
+    pub fn execute_order(&self, query: &Query, order: &JoinOrder) -> Result<ExecOutcome> {
+        order.validate(query)?;
+        self.execute_plan(query, &order.to_plan()?)
+    }
+
+    /// True result cardinality of the full query (independent of the join
+    /// order; evaluated over a greedy legal order).
+    pub fn true_cardinality(&self, query: &Query) -> Result<u64> {
+        let order = greedy_legal_order(query)?;
+        Ok(self
+            .execute_plan(query, &PlanNode::left_deep(&order)?)?
+            .output_cardinality)
+    }
+
+    fn eval(
+        &self,
+        query: &Query,
+        node: &PlanNode,
+        tracker: &mut CostTracker,
+        nodes: &mut Vec<NodeObservation>,
+    ) -> Result<Relation> {
+        match node {
+            PlanNode::Scan { table, op } => {
+                let base = self.db.table(*table)?;
+                let rows = evaluate_filters(base, query.filters_on(*table))?;
+                let units = tracker.charge_scan(*op, base.rows(), rows.len());
+                let relation = Relation::base(*table, rows);
+                nodes.push(NodeObservation {
+                    tables: vec![*table],
+                    cardinality: relation.len() as u64,
+                    subplan_cost: units,
+                });
+                Ok(relation)
+            }
+            PlanNode::Join { op, left, right } => {
+                let l = self.eval(query, left, tracker, nodes)?;
+                let l_cost = nodes.last().expect("left observation pushed").subplan_cost;
+                let r = self.eval(query, right, tracker, nodes)?;
+                let r_cost = nodes.last().expect("right observation pushed").subplan_cost;
+                let predicates = connecting_predicates(query, l.tables(), r.tables());
+                if predicates.is_empty() {
+                    return Err(ExecError::NoJoinPredicate {
+                        left: l.tables().to_vec(),
+                        right: r.tables().to_vec(),
+                    });
+                }
+                let out = equi_join_limited(self.db, &l, &r, &predicates, self.row_limit)?;
+                let units = tracker.charge_join(*op, l.len(), r.len(), out.len());
+                nodes.push(NodeObservation {
+                    tables: out.tables().to_vec(),
+                    cardinality: out.len() as u64,
+                    subplan_cost: l_cost + r_cost + units,
+                });
+                Ok(out)
+            }
+        }
+    }
+
+    /// True cardinalities for every *connected subset* of the query's tables
+    /// (keyed by join-graph-local bitset). This is the oracle behind the
+    /// exact-cardinality optimal join enumerator (the paper's ECQO \[34\]).
+    pub fn subset_cardinalities(&self, query: &Query) -> Result<FxHashMap<u64, u64>> {
+        let graph = query.join_graph()?;
+        let n = graph.len();
+        let mut relations: FxHashMap<u64, Relation> = FxHashMap::default();
+        let mut cards: FxHashMap<u64, u64> = FxHashMap::default();
+
+        // Singletons: filtered base tables.
+        for v in 0..n {
+            let t = graph.table(v);
+            let base = self.db.table(t)?;
+            let rows = evaluate_filters(base, query.filters_on(t))?;
+            let rel = Relation::base(t, rows);
+            cards.insert(1 << v, rel.len() as u64);
+            relations.insert(1 << v, rel);
+        }
+
+        // Enumerate connected subsets by size; each connected subset S of
+        // size k ≥ 2 has at least one vertex v with S \ {v} connected and v
+        // adjacent to it (any leaf of a spanning tree of S). Size k only
+        // reads size k−1 and singletons, so lower tiers are freed as the DP
+        // ascends (the full map of materialized relations would dominate
+        // memory on join-heavy queries).
+        for size in 2..=n {
+            if size > 2 {
+                relations.retain(|s, _| {
+                    let ones = s.count_ones() as usize;
+                    ones == 1 || ones == size - 1
+                });
+            }
+            let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let mut s = smallest_subset_of_size(size);
+            while s <= full {
+                if s.count_ones() as usize == size && graph.subset_connected(s) {
+                    // Find a removable vertex.
+                    let mut built = false;
+                    let mut bits = s;
+                    while bits != 0 && !built {
+                        let v = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let rest = s & !(1u64 << v);
+                        if graph.subset_connected(rest) && graph.frontier(rest) & (1 << v) != 0 {
+                            let left = relations.get(&rest).expect("smaller subsets built");
+                            let right = relations.get(&(1u64 << v)).expect("singleton built");
+                            let preds = connecting_predicates(query, left.tables(), right.tables());
+                            debug_assert!(!preds.is_empty());
+                            let out = equi_join_limited(
+                                self.db,
+                                left,
+                                right,
+                                &preds,
+                                self.row_limit,
+                            )?;
+                            cards.insert(s, out.len() as u64);
+                            relations.insert(s, out);
+                            built = true;
+                        }
+                    }
+                    debug_assert!(built, "connected subset must decompose");
+                }
+                s = match next_subset(s, full) {
+                    Some(next) => next,
+                    None => break,
+                };
+            }
+        }
+        Ok(cards)
+    }
+}
+
+/// Join predicates with one side bound in `left` and the other in `right`.
+pub fn connecting_predicates<'q>(
+    query: &'q Query,
+    left: &[TableId],
+    right: &[TableId],
+) -> Vec<&'q mtmlf_query::predicate::JoinPredicate> {
+    query
+        .joins()
+        .iter()
+        .filter(|j| {
+            (left.contains(&j.left.table) && right.contains(&j.right.table))
+                || (left.contains(&j.right.table) && right.contains(&j.left.table))
+        })
+        .collect()
+}
+
+/// A legal left-deep order built greedily from the join graph (vertex 0
+/// first, then any frontier vertex). Deterministic.
+pub fn greedy_legal_order(query: &Query) -> Result<Vec<TableId>> {
+    let graph = query.join_graph()?;
+    let n = graph.len();
+    let mut order = Vec::with_capacity(n);
+    let mut joined = 0u64;
+    for step in 0..n {
+        let candidates = graph.frontier(joined);
+        let v = if step == 0 {
+            0
+        } else {
+            candidates.trailing_zeros() as usize
+        };
+        order.push(graph.table(v));
+        joined |= 1 << v;
+    }
+    Ok(order)
+}
+
+/// The numerically smallest bitset with `size` bits set.
+fn smallest_subset_of_size(size: usize) -> u64 {
+    (1u64 << size) - 1
+}
+
+/// Gosper's hack: next bitset with the same popcount, or None past `full`.
+fn next_subset(s: u64, full: u64) -> Option<u64> {
+    let c = s & s.wrapping_neg();
+    let r = s + c;
+    if r > full || c == 0 {
+        return None;
+    }
+    let next = (((r ^ s) >> 2) / c) | r;
+    if next > full {
+        None
+    } else {
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_query::predicate::{ColumnRef, JoinPredicate};
+    use mtmlf_query::{CmpOp, FilterPredicate};
+    use mtmlf_storage::{Column, ColumnDef, ColumnId, ColumnType, Table, TableSchema, Value};
+    use std::collections::BTreeMap;
+
+    /// fact(id, val), dim1(id, fact_id), dim2(id, fact_id, tag)
+    fn make_db() -> Database {
+        let mut db = Database::new("exec");
+        let fact = Table::from_columns(
+            TableSchema::new(
+                "fact",
+                vec![ColumnDef::pk("id"), ColumnDef::attr("val", ColumnType::Int)],
+            ),
+            vec![
+                Column::Int((0..100).collect()),
+                Column::Int((0..100).map(|i| i % 10).collect()),
+            ],
+        )
+        .unwrap();
+        db.add_table(fact).unwrap();
+        let dim1 = Table::from_columns(
+            TableSchema::new(
+                "dim1",
+                vec![ColumnDef::pk("id"), ColumnDef::fk("fact_id", TableId(0))],
+            ),
+            vec![
+                Column::Int((0..50).collect()),
+                Column::Int((0..50).map(|i| i * 2).collect()), // references even fact ids
+            ],
+        )
+        .unwrap();
+        db.add_table(dim1).unwrap();
+        let dim2 = Table::from_columns(
+            TableSchema::new(
+                "dim2",
+                vec![
+                    ColumnDef::pk("id"),
+                    ColumnDef::fk("fact_id", TableId(0)),
+                    ColumnDef::attr("tag", ColumnType::Int),
+                ],
+            ),
+            vec![
+                Column::Int((0..20).collect()),
+                Column::Int((0..20).map(|i| i * 5).collect()), // fact ids 0,5,...,95
+                Column::Int((0..20).map(|i| i % 2).collect()),
+            ],
+        )
+        .unwrap();
+        db.add_table(dim2).unwrap();
+        db
+    }
+
+    fn jp(a: u32, ac: u32, b: u32, bc: u32) -> JoinPredicate {
+        JoinPredicate::new(
+            ColumnRef::new(TableId(a), ColumnId(ac)),
+            ColumnRef::new(TableId(b), ColumnId(bc)),
+        )
+    }
+
+    fn three_table_query() -> Query {
+        Query::new(
+            vec![TableId(0), TableId(1), TableId(2)],
+            vec![jp(0, 0, 1, 1), jp(0, 0, 2, 1)],
+            BTreeMap::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_observation() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let mut filters = BTreeMap::new();
+        filters.insert(
+            TableId(0),
+            vec![FilterPredicate::Cmp {
+                column: ColumnId(1),
+                op: CmpOp::Eq,
+                value: Value::Int(3),
+            }],
+        );
+        let q = Query::new(vec![TableId(0)], vec![], filters).unwrap();
+        let outcome = exec.execute_plan(&q, &PlanNode::scan(TableId(0))).unwrap();
+        assert_eq!(outcome.output_cardinality, 10); // val==3 hits 10 of 100
+        assert_eq!(outcome.nodes.len(), 1);
+        assert!(outcome.total_units > 0.0);
+    }
+
+    #[test]
+    fn two_way_join_cardinality() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = Query::new(
+            vec![TableId(0), TableId(1)],
+            vec![jp(0, 0, 1, 1)],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let plan = PlanNode::left_deep(&[TableId(0), TableId(1)]).unwrap();
+        let outcome = exec.execute_plan(&q, &plan).unwrap();
+        // Every dim1 row references an even fact id < 100: all 50 match.
+        assert_eq!(outcome.output_cardinality, 50);
+        assert_eq!(outcome.nodes.len(), 3);
+        // Root cost strictly exceeds either child's cost.
+        let root = outcome.nodes.last().unwrap();
+        assert!(root.subplan_cost > outcome.nodes[0].subplan_cost);
+    }
+
+    #[test]
+    fn cardinality_is_order_independent() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        let orders: [Vec<TableId>; 3] = [
+            vec![TableId(0), TableId(1), TableId(2)],
+            vec![TableId(1), TableId(0), TableId(2)],
+            vec![TableId(2), TableId(0), TableId(1)],
+        ];
+        let mut cards = Vec::new();
+        for o in &orders {
+            let plan = PlanNode::left_deep(o).unwrap();
+            cards.push(exec.execute_plan(&q, &plan).unwrap().output_cardinality);
+        }
+        assert_eq!(cards[0], cards[1]);
+        assert_eq!(cards[1], cards[2]);
+        // dim1 hits even ids, dim2 hits multiples of 5; both -> multiples of 10.
+        assert_eq!(cards[0], 10);
+    }
+
+    #[test]
+    fn cost_depends_on_order() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        let a = exec
+            .execute_plan(&q, &PlanNode::left_deep(&[TableId(0), TableId(1), TableId(2)]).unwrap())
+            .unwrap();
+        let b = exec
+            .execute_plan(&q, &PlanNode::left_deep(&[TableId(2), TableId(0), TableId(1)]).unwrap())
+            .unwrap();
+        assert_ne!(a.total_units, b.total_units);
+    }
+
+    #[test]
+    fn cross_product_rejected() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        // dim1 ⋈ dim2 has no direct predicate in this query.
+        let plan = PlanNode::left_deep(&[TableId(1), TableId(2)]).unwrap();
+        assert!(matches!(
+            exec.execute_plan(&q, &plan),
+            Err(ExecError::NoJoinPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_validation() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        let outside = PlanNode::scan(TableId(9));
+        assert!(matches!(
+            exec.execute_plan(&q, &outside),
+            Err(ExecError::PlanTableNotInQuery(_))
+        ));
+        let dup = PlanNode::join_default(PlanNode::scan(TableId(0)), PlanNode::scan(TableId(0)));
+        assert!(matches!(
+            exec.execute_plan(&q, &dup),
+            Err(ExecError::DuplicatePlanTable(_))
+        ));
+    }
+
+    #[test]
+    fn true_cardinality_matches_execution() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        assert_eq!(exec.true_cardinality(&q).unwrap(), 10);
+    }
+
+    #[test]
+    fn subset_cardinalities_cover_connected_subsets() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        let cards = exec.subset_cardinalities(&q).unwrap();
+        // Graph: 0-1, 0-2 (star). Connected subsets: {0},{1},{2},{0,1},{0,2},{0,1,2}.
+        assert_eq!(cards.len(), 6);
+        assert_eq!(cards[&0b001], 100);
+        assert_eq!(cards[&0b010], 50);
+        assert_eq!(cards[&0b100], 20);
+        assert_eq!(cards[&0b011], 50);
+        assert_eq!(cards[&0b101], 20);
+        assert_eq!(cards[&0b111], 10);
+    }
+
+    #[test]
+    fn greedy_order_is_legal() {
+        let q = three_table_query();
+        let order = greedy_legal_order(&q).unwrap();
+        JoinOrder::LeftDeep(order).validate(&q).unwrap();
+    }
+
+    #[test]
+    fn execute_order_validates() {
+        let db = make_db();
+        let exec = Executor::new(&db);
+        let q = three_table_query();
+        let bad = JoinOrder::LeftDeep(vec![TableId(1), TableId(2), TableId(0)]);
+        assert!(exec.execute_order(&q, &bad).is_err(), "1-2 not adjacent");
+        let good = JoinOrder::LeftDeep(vec![TableId(1), TableId(0), TableId(2)]);
+        assert_eq!(exec.execute_order(&q, &good).unwrap().output_cardinality, 10);
+    }
+
+    #[test]
+    fn gosper_enumeration() {
+        // All 3-subsets of 5 elements.
+        let full = 0b11111u64;
+        let mut s = smallest_subset_of_size(3);
+        let mut count = 0;
+        loop {
+            if s.count_ones() == 3 {
+                count += 1;
+            }
+            match next_subset(s, full) {
+                Some(n) => s = n,
+                None => break,
+            }
+        }
+        assert_eq!(count, 10);
+    }
+}

@@ -1,0 +1,350 @@
+//! Vectorized evaluation of per-table filter predicates.
+
+use crate::error::ExecError;
+use crate::Result;
+use mtmlf_query::{CmpOp, FilterPredicate, LikePattern};
+use mtmlf_storage::{Column, Table, Value};
+
+/// Evaluates a conjunction of filter predicates on a base table, returning
+/// the selected row indices in ascending order.
+pub fn evaluate_filters(table: &Table, filters: &[FilterPredicate]) -> Result<Vec<u32>> {
+    let rows = table.rows();
+    if filters.is_empty() {
+        return Ok((0..rows as u32).collect());
+    }
+    let mut selected: Option<Vec<u32>> = None;
+    for pred in filters {
+        let column = table.column(pred.column())?;
+        selected = Some(match selected {
+            None => eval_predicate(column, pred, None)?,
+            Some(prev) => eval_predicate(column, pred, Some(&prev))?,
+        });
+        if selected.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    Ok(selected.unwrap_or_default())
+}
+
+/// Evaluates one predicate over a column, optionally restricted to a sorted
+/// candidate row list.
+fn eval_predicate(
+    column: &Column,
+    pred: &FilterPredicate,
+    candidates: Option<&[u32]>,
+) -> Result<Vec<u32>> {
+    match pred {
+        FilterPredicate::Cmp { op, value, .. } => eval_cmp(column, *op, value, candidates),
+        FilterPredicate::Between { lo, hi, .. } => eval_between(column, lo, hi, candidates),
+        FilterPredicate::Like { pattern, .. } => Ok(eval_like(column, pattern, candidates)),
+        FilterPredicate::InSet { values, .. } => eval_in(column, values, candidates),
+    }
+}
+
+/// Applies `keep` over either all rows or the candidate subset.
+fn scan_rows(len: usize, candidates: Option<&[u32]>, mut keep: impl FnMut(usize) -> bool) -> Vec<u32> {
+    match candidates {
+        Some(cands) => cands.iter().copied().filter(|&r| keep(r as usize)).collect(),
+        None => (0..len as u32).filter(|&r| keep(r as usize)).collect(),
+    }
+}
+
+fn eval_cmp(
+    column: &Column,
+    op: CmpOp,
+    value: &Value,
+    candidates: Option<&[u32]>,
+) -> Result<Vec<u32>> {
+    match (column, value) {
+        (Column::Int(data), Value::Int(v)) => {
+            Ok(scan_rows(data.len(), candidates, |r| op.eval(data[r].cmp(v))))
+        }
+        (Column::Float(data), Value::Float(v)) => Ok(scan_rows(data.len(), candidates, |r| {
+            data[r].partial_cmp(v).is_some_and(|o| op.eval(o))
+        })),
+        // Integer literal against float column (workload generators quantize).
+        (Column::Float(data), Value::Int(v)) => {
+            let v = *v as f64;
+            Ok(scan_rows(data.len(), candidates, |r| {
+                data[r].partial_cmp(&v).is_some_and(|o| op.eval(o))
+            }))
+        }
+        (Column::Str { codes, dict }, Value::Str(s)) => {
+            // Equality/inequality resolve through the dictionary; ordered
+            // comparisons use code order, which matches lexicographic order.
+            match dict.encode(s) {
+                Some(code) => Ok(scan_rows(codes.len(), candidates, |r| {
+                    op.eval(codes[r].cmp(&code))
+                })),
+                None => match op {
+                    CmpOp::Eq => Ok(Vec::new()),
+                    CmpOp::Neq => {
+                        Ok(scan_rows(codes.len(), candidates, |_| true))
+                    }
+                    // Value absent from dictionary: find its insertion point
+                    // among dictionary entries and compare codes against it.
+                    _ => {
+                        let boundary =
+                            dict.iter().take_while(|(_, w)| *w < s.as_ref()).count() as u32;
+                        Ok(scan_rows(codes.len(), candidates, |r| {
+                            let c = codes[r];
+                            match op {
+                                CmpOp::Lt | CmpOp::Le => c < boundary,
+                                CmpOp::Gt | CmpOp::Ge => c >= boundary,
+                                CmpOp::Eq | CmpOp::Neq => unreachable!("handled above"),
+                            }
+                        }))
+                    }
+                },
+            }
+        }
+        _ => Err(ExecError::Storage(mtmlf_storage::StorageError::TypeMismatch {
+            column: "<filter>".into(),
+            expected: column.ctype().name(),
+            got: value.type_name(),
+        })),
+    }
+}
+
+fn eval_between(
+    column: &Column,
+    lo: &Value,
+    hi: &Value,
+    candidates: Option<&[u32]>,
+) -> Result<Vec<u32>> {
+    match (column, lo, hi) {
+        (Column::Int(data), Value::Int(a), Value::Int(b)) => {
+            Ok(scan_rows(data.len(), candidates, |r| {
+                (*a..=*b).contains(&data[r])
+            }))
+        }
+        (Column::Float(data), Value::Float(a), Value::Float(b)) => {
+            Ok(scan_rows(data.len(), candidates, |r| {
+                data[r] >= *a && data[r] <= *b
+            }))
+        }
+        (Column::Float(data), Value::Int(a), Value::Int(b)) => {
+            let (a, b) = (*a as f64, *b as f64);
+            Ok(scan_rows(data.len(), candidates, |r| {
+                data[r] >= a && data[r] <= b
+            }))
+        }
+        _ => Err(ExecError::Storage(mtmlf_storage::StorageError::TypeMismatch {
+            column: "<between>".into(),
+            expected: column.ctype().name(),
+            got: lo.type_name(),
+        })),
+    }
+}
+
+/// LIKE evaluation: match each distinct dictionary value once, then filter
+/// rows through the per-code match bitmap.
+fn eval_like(column: &Column, pattern: &LikePattern, candidates: Option<&[u32]>) -> Vec<u32> {
+    let Some((codes, dict)) = column.as_str() else {
+        return Vec::new(); // LIKE on non-string matches nothing.
+    };
+    let mut matches = vec![false; dict.len()];
+    for (code, value) in dict.iter() {
+        matches[code as usize] = pattern.matches(value);
+    }
+    scan_rows(codes.len(), candidates, |r| matches[codes[r] as usize])
+}
+
+fn eval_in(column: &Column, values: &[Value], candidates: Option<&[u32]>) -> Result<Vec<u32>> {
+    match column {
+        Column::Int(data) => {
+            let set: Vec<i64> = values.iter().filter_map(Value::as_int).collect();
+            Ok(scan_rows(data.len(), candidates, |r| set.contains(&data[r])))
+        }
+        Column::Str { codes, dict } => {
+            let set: Vec<u32> = values
+                .iter()
+                .filter_map(Value::as_str)
+                .filter_map(|s| dict.encode(s))
+                .collect();
+            Ok(scan_rows(codes.len(), candidates, |r| set.contains(&codes[r])))
+        }
+        Column::Float(data) => {
+            let set: Vec<f64> = values.iter().filter_map(Value::as_float).collect();
+            Ok(scan_rows(data.len(), candidates, |r| set.contains(&data[r])))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_storage::{ColumnDef, ColumnId, ColumnType, TableSchema};
+
+    fn make_table() -> Table {
+        Table::from_columns(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::attr("i", ColumnType::Int),
+                    ColumnDef::attr("f", ColumnType::Float),
+                    ColumnDef::attr("s", ColumnType::Str),
+                ],
+            ),
+            vec![
+                Column::Int(vec![1, 2, 3, 4, 5]),
+                Column::Float(vec![0.1, 0.2, 0.3, 0.4, 0.5]),
+                Column::str_from_strings(&["apple", "banana", "apricot", "cherry", "avocado"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn cmp(col: u32, op: CmpOp, v: Value) -> FilterPredicate {
+        FilterPredicate::Cmp {
+            column: ColumnId(col),
+            op,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn empty_filters_select_all() {
+        let t = make_table();
+        assert_eq!(evaluate_filters(&t, &[]).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn int_comparisons() {
+        let t = make_table();
+        assert_eq!(
+            evaluate_filters(&t, &[cmp(0, CmpOp::Gt, Value::Int(3))]).unwrap(),
+            vec![3, 4]
+        );
+        assert_eq!(
+            evaluate_filters(&t, &[cmp(0, CmpOp::Eq, Value::Int(2))]).unwrap(),
+            vec![1]
+        );
+        assert_eq!(
+            evaluate_filters(&t, &[cmp(0, CmpOp::Neq, Value::Int(2))]).unwrap(),
+            vec![0, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn conjunction_narrows() {
+        let t = make_table();
+        let rows = evaluate_filters(
+            &t,
+            &[
+                cmp(0, CmpOp::Ge, Value::Int(2)),
+                cmp(1, CmpOp::Lt, Value::Float(0.45)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let t = make_table();
+        let rows = evaluate_filters(
+            &t,
+            &[FilterPredicate::Between {
+                column: ColumnId(0),
+                lo: Value::Int(2),
+                hi: Value::Int(4),
+            }],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn like_contains_prefix_suffix() {
+        let t = make_table();
+        let contains = evaluate_filters(
+            &t,
+            &[FilterPredicate::Like {
+                column: ColumnId(2),
+                pattern: LikePattern::Contains("an".into()),
+            }],
+        )
+        .unwrap();
+        assert_eq!(contains, vec![1]); // banana
+        let prefix = evaluate_filters(
+            &t,
+            &[FilterPredicate::Like {
+                column: ColumnId(2),
+                pattern: LikePattern::Prefix("ap".into()),
+            }],
+        )
+        .unwrap();
+        assert_eq!(prefix, vec![0, 2]); // apple, apricot
+        let suffix = evaluate_filters(
+            &t,
+            &[FilterPredicate::Like {
+                column: ColumnId(2),
+                pattern: LikePattern::Suffix("o".into()),
+            }],
+        )
+        .unwrap();
+        assert_eq!(suffix, vec![4]); // avocado
+    }
+
+    #[test]
+    fn string_equality_and_missing_value() {
+        let t = make_table();
+        assert_eq!(
+            evaluate_filters(&t, &[cmp(2, CmpOp::Eq, Value::str("cherry"))]).unwrap(),
+            vec![3]
+        );
+        assert_eq!(
+            evaluate_filters(&t, &[cmp(2, CmpOp::Eq, Value::str("durian"))]).unwrap(),
+            Vec::<u32>::new()
+        );
+        assert_eq!(
+            evaluate_filters(&t, &[cmp(2, CmpOp::Neq, Value::str("durian"))]).unwrap(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn string_range_with_missing_boundary() {
+        let t = make_table();
+        // "b" is not in the dictionary; everything < "b" is apple/apricot/avocado.
+        let rows = evaluate_filters(&t, &[cmp(2, CmpOp::Lt, Value::str("b"))]).unwrap();
+        assert_eq!(rows, vec![0, 2, 4]);
+        let rows = evaluate_filters(&t, &[cmp(2, CmpOp::Ge, Value::str("b"))]).unwrap();
+        assert_eq!(rows, vec![1, 3]);
+    }
+
+    #[test]
+    fn in_set() {
+        let t = make_table();
+        let rows = evaluate_filters(
+            &t,
+            &[FilterPredicate::InSet {
+                column: ColumnId(0),
+                values: vec![Value::Int(1), Value::Int(5), Value::Int(99)],
+            }],
+        )
+        .unwrap();
+        assert_eq!(rows, vec![0, 4]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let t = make_table();
+        assert!(evaluate_filters(&t, &[cmp(0, CmpOp::Eq, Value::str("x"))]).is_err());
+    }
+
+    #[test]
+    fn short_circuit_on_empty() {
+        let t = make_table();
+        let rows = evaluate_filters(
+            &t,
+            &[
+                cmp(0, CmpOp::Gt, Value::Int(100)),
+                cmp(1, CmpOp::Lt, Value::Float(0.5)),
+            ],
+        )
+        .unwrap();
+        assert!(rows.is_empty());
+    }
+}

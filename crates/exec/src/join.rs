@@ -1,0 +1,301 @@
+//! Equi-join of intermediate relations.
+//!
+//! Output tuples are always computed with a hash-based algorithm; the
+//! physical operator on the plan node only changes the *charged* cost (see
+//! crate docs). The hash join builds on the smaller input and probes with
+//! the larger, exactly what the charged cost model assumes.
+
+use crate::error::ExecError;
+use crate::hasher::FxHashMap;
+use crate::relation::Relation;
+use crate::Result;
+use mtmlf_query::predicate::JoinPredicate;
+use mtmlf_storage::{Database, TableId};
+
+/// Resolved join key: position of the bound table in the relation plus the
+/// base-table key column data.
+struct KeySide<'a> {
+    position: usize,
+    data: &'a [i64],
+}
+
+fn resolve_side<'a>(
+    db: &'a Database,
+    relation: &Relation,
+    table: TableId,
+    column: mtmlf_storage::ColumnId,
+) -> Result<KeySide<'a>> {
+    let position = relation
+        .position_of(table)
+        .ok_or(ExecError::PlanTableNotInQuery(table))?;
+    let data = db
+        .table(table)?
+        .column(column)?
+        .as_int()
+        .ok_or(ExecError::NonIntegerJoinKey { table })?;
+    Ok(KeySide { position, data })
+}
+
+/// Joins `left` and `right` on the given predicates. Every predicate must
+/// have one side bound in `left` and the other in `right`. The first
+/// predicate drives the hash join; remaining predicates are verified on
+/// each candidate match.
+pub fn equi_join(
+    db: &Database,
+    left: &Relation,
+    right: &Relation,
+    predicates: &[&JoinPredicate],
+) -> Result<Relation> {
+    equi_join_limited(db, left, right, predicates, usize::MAX)
+}
+
+/// [`equi_join`] with a cap on the output size: exceeding `row_limit`
+/// aborts with [`ExecError::RowLimitExceeded`] instead of exhausting
+/// memory on a pathological join order.
+pub fn equi_join_limited(
+    db: &Database,
+    left: &Relation,
+    right: &Relation,
+    predicates: &[&JoinPredicate],
+    row_limit: usize,
+) -> Result<Relation> {
+    let (&first, rest) = predicates
+        .split_first()
+        .ok_or_else(|| ExecError::NoJoinPredicate {
+            left: left.tables().to_vec(),
+            right: right.tables().to_vec(),
+        })?;
+
+    // Orient the driving predicate: left side of the predicate bound in `left`.
+    let (l_ref, r_ref) = if left.position_of(first.left.table).is_some() {
+        (first.left, first.right)
+    } else {
+        (first.right, first.left)
+    };
+    let l_key = resolve_side(db, left, l_ref.table, l_ref.column)?;
+    let r_key = resolve_side(db, right, r_ref.table, r_ref.column)?;
+
+    // Residual predicate key sides, oriented the same way.
+    let mut residual = Vec::with_capacity(rest.len());
+    for &p in rest {
+        let (pl, pr) = if left.position_of(p.left.table).is_some() {
+            (p.left, p.right)
+        } else {
+            (p.right, p.left)
+        };
+        residual.push((
+            resolve_side(db, left, pl.table, pl.column)?,
+            resolve_side(db, right, pr.table, pr.column)?,
+        ));
+    }
+
+    // Build on the smaller side.
+    let swap = right.len() < left.len();
+    let (build_rel, probe_rel) = if swap { (right, left) } else { (left, right) };
+    let (build_key, probe_key) = if swap { (&r_key, &l_key) } else { (&l_key, &r_key) };
+
+    let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+    let build_rows = build_rel.rows_of(build_key.position);
+    for (tuple, &row) in build_rows.iter().enumerate() {
+        let key = build_key.data[row as usize];
+        table.entry(key).or_default().push(tuple as u32);
+    }
+
+    // Output columns: left tables then right tables (relation binding order).
+    let out_tables: Vec<TableId> = left
+        .tables()
+        .iter()
+        .chain(right.tables())
+        .copied()
+        .collect();
+    let mut out_columns: Vec<Vec<u32>> = vec![Vec::new(); out_tables.len()];
+    let left_arity = left.tables().len();
+
+    let probe_rows = probe_rel.rows_of(probe_key.position);
+    for (probe_tuple, &row) in probe_rows.iter().enumerate() {
+        let key = probe_key.data[row as usize];
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
+        for &build_tuple in matches {
+            let (l_tuple, r_tuple) = if swap {
+                (probe_tuple, build_tuple as usize)
+            } else {
+                (build_tuple as usize, probe_tuple)
+            };
+            // Verify residual predicates.
+            let ok = residual.iter().all(|(ls, rs)| {
+                let lv = ls.data[left.rows_of(ls.position)[l_tuple] as usize];
+                let rv = rs.data[right.rows_of(rs.position)[r_tuple] as usize];
+                lv == rv
+            });
+            if !ok {
+                continue;
+            }
+            if out_columns[0].len() >= row_limit {
+                return Err(ExecError::RowLimitExceeded { limit: row_limit });
+            }
+            for (i, col) in out_columns.iter_mut().enumerate() {
+                if i < left_arity {
+                    col.push(left.rows_of(i)[l_tuple]);
+                } else {
+                    col.push(right.rows_of(i - left_arity)[r_tuple]);
+                }
+            }
+        }
+    }
+    Ok(Relation::from_parts(out_tables, out_columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_query::predicate::ColumnRef;
+    use mtmlf_storage::{Column, ColumnDef, ColumnId, TableSchema};
+
+    /// Two tables: a(id, x) with rows id=0..4, b(id, a_id) referencing a.
+    fn make_db() -> Database {
+        let mut db = Database::new("j");
+        let a = mtmlf_storage::Table::from_columns(
+            TableSchema::new(
+                "a",
+                vec![
+                    ColumnDef::pk("id"),
+                    ColumnDef::attr("x", mtmlf_storage::ColumnType::Int),
+                ],
+            ),
+            vec![Column::Int(vec![0, 1, 2, 3, 4]), Column::Int(vec![9, 9, 7, 7, 5])],
+        )
+        .unwrap();
+        db.add_table(a).unwrap();
+        let b = mtmlf_storage::Table::from_columns(
+            TableSchema::new(
+                "b",
+                vec![ColumnDef::pk("id"), ColumnDef::fk("a_id", TableId(0))],
+            ),
+            vec![
+                Column::Int(vec![0, 1, 2, 3]),
+                Column::Int(vec![0, 0, 2, 9]), // 9 dangles
+            ],
+        )
+        .unwrap();
+        db.add_table(b).unwrap();
+        db
+    }
+
+    fn pred(at: u32, ac: u32, bt: u32, bc: u32) -> JoinPredicate {
+        JoinPredicate::new(
+            ColumnRef::new(TableId(at), ColumnId(ac)),
+            ColumnRef::new(TableId(bt), ColumnId(bc)),
+        )
+    }
+
+    #[test]
+    fn pk_fk_join() {
+        let db = make_db();
+        let a = Relation::base(TableId(0), (0..5).collect());
+        let b = Relation::base(TableId(1), (0..4).collect());
+        let p = pred(0, 0, 1, 1); // a.id = b.a_id
+        let out = equi_join(&db, &a, &b, &[&p]).unwrap();
+        assert_eq!(out.tables(), &[TableId(0), TableId(1)]);
+        assert_eq!(out.len(), 3, "b rows 0,1 match a row 0; b row 2 matches a row 2");
+        // Collect matched (a_row, b_row) pairs.
+        let mut pairs: Vec<(u32, u32)> = (0..out.len())
+            .map(|i| (out.rows_of(0)[i], out.rows_of(1)[i]))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn join_respects_filtered_inputs() {
+        let db = make_db();
+        let a = Relation::base(TableId(0), vec![2, 3]); // only a.id in {2,3}
+        let b = Relation::base(TableId(1), (0..4).collect());
+        let p = pred(0, 0, 1, 1);
+        let out = equi_join(&db, &a, &b, &[&p]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows_of(0)[0], 2);
+        assert_eq!(out.rows_of(1)[0], 2);
+    }
+
+    #[test]
+    fn orientation_is_symmetric() {
+        let db = make_db();
+        let a = Relation::base(TableId(0), (0..5).collect());
+        let b = Relation::base(TableId(1), (0..4).collect());
+        let p = pred(0, 0, 1, 1);
+        let ab = equi_join(&db, &a, &b, &[&p]).unwrap();
+        let ba = equi_join(&db, &b, &a, &[&p]).unwrap();
+        assert_eq!(ab.len(), ba.len());
+        assert_eq!(ba.tables(), &[TableId(1), TableId(0)]);
+    }
+
+    #[test]
+    fn residual_predicate_filters() {
+        let db = make_db();
+        let a = Relation::base(TableId(0), (0..5).collect());
+        let b = Relation::base(TableId(1), (0..4).collect());
+        let p1 = pred(0, 0, 1, 1); // a.id = b.a_id
+        let p2 = pred(0, 0, 1, 0); // a.id = b.id (residual)
+        let out = equi_join(&db, &a, &b, &[&p1, &p2]).unwrap();
+        // Matches must satisfy both: (a0,b0) yes (0=0), (a0,b1) no (0!=1),
+        // (a2,b2) yes (2=2).
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn no_predicate_is_error() {
+        let db = make_db();
+        let a = Relation::base(TableId(0), vec![0]);
+        let b = Relation::base(TableId(1), vec![0]);
+        assert!(matches!(
+            equi_join(&db, &a, &b, &[]),
+            Err(ExecError::NoJoinPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_side_yields_empty() {
+        let db = make_db();
+        let a = Relation::base(TableId(0), vec![]);
+        let b = Relation::base(TableId(1), (0..4).collect());
+        let p = pred(0, 0, 1, 1);
+        let out = equi_join(&db, &a, &b, &[&p]).unwrap();
+        assert!(out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+    use mtmlf_query::predicate::ColumnRef;
+    use mtmlf_storage::{Column, ColumnDef, ColumnId, TableSchema};
+
+    #[test]
+    fn row_limit_aborts_explosive_join() {
+        // Two 100-row tables all sharing one key: 10,000-row product.
+        let mut db = Database::new("limit");
+        for name in ["a", "b"] {
+            let t = mtmlf_storage::Table::from_columns(
+                TableSchema::new(
+                    name,
+                    vec![ColumnDef::pk("id"), ColumnDef::attr("k", mtmlf_storage::ColumnType::Int)],
+                ),
+                vec![Column::Int((0..100).collect()), Column::Int(vec![7; 100])],
+            )
+            .unwrap();
+            db.add_table(t).unwrap();
+        }
+        let a = Relation::base(TableId(0), (0..100).collect());
+        let b = Relation::base(TableId(1), (0..100).collect());
+        let p = JoinPredicate::new(
+            ColumnRef::new(TableId(0), ColumnId(1)),
+            ColumnRef::new(TableId(1), ColumnId(1)),
+        );
+        let ok = equi_join_limited(&db, &a, &b, &[&p], 20_000).unwrap();
+        assert_eq!(ok.len(), 10_000);
+        let err = equi_join_limited(&db, &a, &b, &[&p], 5_000).unwrap_err();
+        assert!(matches!(err, ExecError::RowLimitExceeded { limit: 5_000 }));
+    }
+}

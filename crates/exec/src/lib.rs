@@ -1,0 +1,37 @@
+//! # mtmlf-exec
+//!
+//! Query executor for the MTMLF reproduction. This crate plays the role the
+//! paper assigns to PostgreSQL's runtime: it *actually executes* query plans
+//! on the stored data to obtain
+//!
+//! 1. **true cardinalities** for every sub-plan (the training labels for
+//!    CardEst and the oracle behind the exact-optimal join enumerator), and
+//! 2. **simulated execution time**: a deterministic work-unit account of the
+//!    physical operators, reported in "sim-minutes" (Tables 2 and 3 of the
+//!    paper compare total execution time of different join orders; here the
+//!    comparison is under the same deterministic cost semantics for all
+//!    planners, so ratios are meaningful even though absolute wall-clock is
+//!    not measured).
+//!
+//! Joins are equi-joins over integer key columns. Output *tuples* are always
+//! computed with a hash-based algorithm (the result relation is identical
+//! for any correct join algorithm); the *charged work* follows the plan's
+//! physical operator (hash/merge/nested-loop), so operator choice affects
+//! simulated time exactly as it affects a real system's runtime profile.
+
+pub mod cost;
+pub mod error;
+pub mod executor;
+pub mod filter;
+pub mod hasher;
+pub mod join;
+pub mod relation;
+
+pub use cost::{CostTracker, OperatorCost, WORK_UNITS_PER_SIM_MINUTE};
+pub use error::ExecError;
+pub use executor::{ExecOutcome, Executor, NodeObservation};
+pub use filter::evaluate_filters;
+pub use relation::Relation;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

@@ -1,0 +1,99 @@
+//! Intermediate relations: column-major tuples of base-table row indices.
+
+use mtmlf_storage::TableId;
+
+/// An intermediate relation produced by scans and joins.
+///
+/// Rather than materializing attribute values, the relation stores for each
+/// bound base table a column of row indices into that table. Tuple `i` of
+/// the relation is `(columns[0][i], columns\[1\][i], ...)`, one row index per
+/// bound table. Attribute values are fetched lazily from base tables when a
+/// join key or filter needs them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// The bound base tables, in binding order.
+    tables: Vec<TableId>,
+    /// One row-index column per bound table; all have equal length.
+    columns: Vec<Vec<u32>>,
+}
+
+impl Relation {
+    /// A relation over a single base table with the given selected rows.
+    pub fn base(table: TableId, rows: Vec<u32>) -> Self {
+        Self {
+            tables: vec![table],
+            columns: vec![rows],
+        }
+    }
+
+    /// Builds a relation from parallel columns (used by joins).
+    pub fn from_parts(tables: Vec<TableId>, columns: Vec<Vec<u32>>) -> Self {
+        debug_assert_eq!(tables.len(), columns.len());
+        debug_assert!(columns.windows(2).all(|w| w[0].len() == w[1].len()));
+        Self { tables, columns }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound base tables.
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// Position of `table` among the bound tables.
+    pub fn position_of(&self, table: TableId) -> Option<usize> {
+        self.tables.iter().position(|&t| t == table)
+    }
+
+    /// The row-index column for the bound table at `position`.
+    pub fn rows_of(&self, position: usize) -> &[u32] {
+        &self.columns[position]
+    }
+
+    /// Consumes the relation into its parts.
+    pub fn into_parts(self) -> (Vec<TableId>, Vec<Vec<u32>>) {
+        (self.tables, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_relation() {
+        let r = Relation::base(TableId(3), vec![0, 2, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tables(), &[TableId(3)]);
+        assert_eq!(r.rows_of(0), &[0, 2, 4]);
+        assert_eq!(r.position_of(TableId(3)), Some(0));
+        assert_eq!(r.position_of(TableId(1)), None);
+    }
+
+    #[test]
+    fn multi_table_parts() {
+        let r = Relation::from_parts(
+            vec![TableId(0), TableId(1)],
+            vec![vec![1, 1, 2], vec![5, 6, 5]],
+        );
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.rows_of(1), &[5, 6, 5]);
+        let (tables, cols) = r.into_parts();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(cols[0], vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::base(TableId(0), vec![]);
+        assert!(r.is_empty());
+    }
+}

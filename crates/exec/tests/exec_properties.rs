@@ -1,0 +1,152 @@
+//! Property tests of executor algebra: cardinality invariants that must
+//! hold for any data and any legal plan.
+
+use mtmlf_exec::{evaluate_filters, Executor};
+use mtmlf_query::predicate::{ColumnRef, JoinPredicate};
+use mtmlf_query::{CmpOp, FilterPredicate, PlanNode, Query};
+use mtmlf_storage::{Column, ColumnDef, ColumnId, ColumnType, Database, Table, TableId, TableSchema, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A small two-table database with arbitrary FK contents.
+fn build_db(a_vals: Vec<i64>, fk: Vec<u8>) -> Database {
+    let mut db = Database::new("prop");
+    let a_rows = 16i64;
+    let a = Table::from_columns(
+        TableSchema::new(
+            "a",
+            vec![ColumnDef::pk("id"), ColumnDef::attr("v", ColumnType::Int)],
+        ),
+        vec![
+            Column::Int((0..a_rows).collect()),
+            Column::Int(a_vals.iter().map(|&v| v % 8).collect()),
+        ],
+    )
+    .unwrap();
+    db.add_table(a).unwrap();
+    let b = Table::from_columns(
+        TableSchema::new(
+            "b",
+            vec![ColumnDef::pk("id"), ColumnDef::fk("a_id", TableId(0))],
+        ),
+        vec![
+            Column::Int((0..fk.len() as i64).collect()),
+            Column::Int(fk.iter().map(|&k| i64::from(k % 16)).collect()),
+        ],
+    )
+    .unwrap();
+    db.add_table(b).unwrap();
+    db
+}
+
+fn join_query(filters: BTreeMap<TableId, Vec<FilterPredicate>>) -> Query {
+    Query::new(
+        vec![TableId(0), TableId(1)],
+        vec![JoinPredicate::new(
+            ColumnRef::new(TableId(0), ColumnId(0)),
+            ColumnRef::new(TableId(1), ColumnId(1)),
+        )],
+        filters,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join cardinality is symmetric in the input order.
+    #[test]
+    fn join_commutes(
+        a_vals in proptest::collection::vec(0i64..100, 16),
+        fk in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let db = build_db(a_vals, fk);
+        let exec = Executor::new(&db);
+        let q = join_query(BTreeMap::new());
+        let ab = exec
+            .execute_plan(&q, &PlanNode::left_deep(&[TableId(0), TableId(1)]).unwrap())
+            .unwrap();
+        let ba = exec
+            .execute_plan(&q, &PlanNode::left_deep(&[TableId(1), TableId(0)]).unwrap())
+            .unwrap();
+        prop_assert_eq!(ab.output_cardinality, ba.output_cardinality);
+    }
+
+    /// An unfiltered PK-FK join binds every FK row exactly once (every FK
+    /// value lands in the PK domain by construction).
+    #[test]
+    fn pk_fk_join_preserves_fk_side(
+        a_vals in proptest::collection::vec(0i64..100, 16),
+        fk in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let n = fk.len() as u64;
+        let db = build_db(a_vals, fk);
+        let exec = Executor::new(&db);
+        let q = join_query(BTreeMap::new());
+        prop_assert_eq!(exec.true_cardinality(&q).unwrap(), n);
+    }
+
+    /// Adding a filter never increases any cardinality (monotonicity).
+    #[test]
+    fn filters_are_monotone(
+        a_vals in proptest::collection::vec(0i64..100, 16),
+        fk in proptest::collection::vec(any::<u8>(), 1..40),
+        bound in 0i64..8,
+    ) {
+        let db = build_db(a_vals, fk);
+        let exec = Executor::new(&db);
+        let unfiltered = exec.true_cardinality(&join_query(BTreeMap::new())).unwrap();
+        let mut filters = BTreeMap::new();
+        filters.insert(
+            TableId(0),
+            vec![FilterPredicate::Cmp {
+                column: ColumnId(1),
+                op: CmpOp::Lt,
+                value: Value::Int(bound),
+            }],
+        );
+        let filtered = exec.true_cardinality(&join_query(filters)).unwrap();
+        prop_assert!(filtered <= unfiltered);
+    }
+
+    /// Conjunctive filter evaluation equals the intersection of the
+    /// individual predicate selections.
+    #[test]
+    fn conjunction_is_intersection(
+        a_vals in proptest::collection::vec(0i64..100, 16),
+        b1 in 0i64..8,
+        b2 in 0i64..8,
+    ) {
+        let db = build_db(a_vals, vec![0]);
+        let table = db.table(TableId(0)).unwrap();
+        let p1 = FilterPredicate::Cmp {
+            column: ColumnId(1),
+            op: CmpOp::Ge,
+            value: Value::Int(b1),
+        };
+        let p2 = FilterPredicate::Cmp {
+            column: ColumnId(1),
+            op: CmpOp::Le,
+            value: Value::Int(b2),
+        };
+        let both = evaluate_filters(table, &[p1.clone(), p2.clone()]).unwrap();
+        let s1 = evaluate_filters(table, &[p1]).unwrap();
+        let s2 = evaluate_filters(table, &[p2]).unwrap();
+        let expected: Vec<u32> = s1.iter().copied().filter(|r| s2.contains(r)).collect();
+        prop_assert_eq!(both, expected);
+    }
+
+    /// Subset cardinalities agree with direct execution for the full set.
+    #[test]
+    fn subset_oracle_consistent(
+        a_vals in proptest::collection::vec(0i64..100, 16),
+        fk in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let db = build_db(a_vals, fk);
+        let exec = Executor::new(&db);
+        let q = join_query(BTreeMap::new());
+        let cards = exec.subset_cardinalities(&q).unwrap();
+        let direct = exec.true_cardinality(&q).unwrap();
+        prop_assert_eq!(cards[&0b11], direct);
+    }
+}

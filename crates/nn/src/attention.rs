@@ -1,0 +1,180 @@
+//! Multi-head scaled dot-product attention.
+
+use crate::autograd::Var;
+use crate::layers::{Linear, Module};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// Multi-head attention over sequences.
+///
+/// Inputs are `(seq, d_model)` matrices. With `query == keys/values` this is
+/// self-attention; with different inputs it is cross-attention (used by the
+/// `Trans_JO` decoder over the shared representation).
+#[derive(Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Builds attention with `heads` heads over `d_model` features
+    /// (`d_model` must be divisible by `heads`).
+    pub fn new(d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must divide into heads");
+        Self {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            heads,
+            head_dim: d_model / heads,
+        }
+    }
+
+    /// Forward pass. `mask`, if given, is a `(q_len, kv_len)` matrix added
+    /// to the attention logits (use large negative values to forbid
+    /// positions — e.g. a causal mask in the decoder).
+    pub fn forward(&self, query: &Var, keys_values: &Var, mask: Option<&Matrix>) -> Var {
+        let q = self.wq.forward(query);
+        let k = self.wk.forward(keys_values);
+        let v = self.wv.forward(keys_values);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mask_var = mask.map(|m| Var::constant(m.clone()));
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let lo = h * self.head_dim;
+            let hi = lo + self.head_dim;
+            let qh = q.slice_cols(lo, hi);
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            let mut scores = qh.matmul_nt(&kh).scale(scale);
+            if let Some(m) = &mask_var {
+                scores = scores.add(m);
+            }
+            let attention = scores.softmax_rows();
+            head_outputs.push(attention.matmul(&vh));
+        }
+        let concat = Var::concat_cols(&head_outputs);
+        self.wo.forward(&concat)
+    }
+
+    /// A causal (lower-triangular) mask for decoder self-attention:
+    /// position `i` may attend to positions `0..=i` only.
+    pub fn causal_mask(len: usize) -> Matrix {
+        let mut m = Matrix::zeros(len, len);
+        for r in 0..len {
+            for c in (r + 1)..len {
+                m.set(r, c, -1e9);
+            }
+        }
+        m
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.wq.parameters();
+        p.extend(self.wk.parameters());
+        p.extend(self.wv.parameters());
+        p.extend(self.wo.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_query() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let q = Var::constant(Matrix::xavier(3, 8, &mut rng));
+        let kv = Var::constant(Matrix::xavier(5, 8, &mut rng));
+        let out = attn.forward(&q, &kv, None);
+        assert_eq!(out.shape(), (3, 8));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = MultiHeadAttention::new(8, 2, &mut rng);
+        // Two inputs identical in the past, different in the future: masked
+        // attention outputs at position 0 must agree.
+        let mut a = Matrix::xavier(3, 8, &mut rng);
+        let b = {
+            let mut b = a.clone();
+            for c in 0..8 {
+                b.set(2, c, -b.get(2, c) + 0.7);
+            }
+            b
+        };
+        a.set(2, 0, a.get(2, 0)); // no-op, keep a as-is
+        let mask = MultiHeadAttention::causal_mask(3);
+        let out_a = attn
+            .forward(&Var::constant(a.clone()), &Var::constant(a), Some(&mask))
+            .to_matrix();
+        let out_b = attn
+            .forward(&Var::constant(b.clone()), &Var::constant(b), Some(&mask))
+            .to_matrix();
+        for c in 0..8 {
+            assert!(
+                (out_a.get(0, c) - out_b.get(0, c)).abs() < 1e-5,
+                "position 0 must not see position 2"
+            );
+            assert!(
+                (out_a.get(1, c) - out_b.get(1, c)).abs() < 1e-5,
+                "position 1 must not see position 2"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_weights_rows_sum_to_one_implicitly() {
+        // With identical value rows the output equals that row regardless of
+        // the attention distribution — a cheap normalization check.
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = MultiHeadAttention::new(4, 1, &mut rng);
+        let kv_data: Vec<f32> = (0..2).flat_map(|_| vec![0.3, -0.2, 0.8, 0.1]).collect();
+        let kv = Var::constant(Matrix::from_vec(2, 4, kv_data));
+        let q = Var::constant(Matrix::xavier(1, 4, &mut rng));
+        let out1 = attn.forward(&q, &kv, None).to_matrix();
+        // Changing the query must not change the output when all values are
+        // identical.
+        let q2 = Var::constant(Matrix::xavier(1, 4, &mut rng));
+        let out2 = attn.forward(&q2, &kv, None).to_matrix();
+        for c in 0..4 {
+            assert!((out1.get(0, c) - out2.get(0, c)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_projections() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let attn = MultiHeadAttention::new(8, 4, &mut rng);
+        let x = Var::constant(Matrix::xavier(3, 8, &mut rng));
+        let loss = attn.forward(&x, &x, None).sum();
+        loss.backward();
+        for p in attn.parameters() {
+            // Weight matrices must all receive gradient (biases of wk may be
+            // near zero by symmetry; check weights only via shape).
+            let (r, _) = p.shape();
+            if r > 1 {
+                assert!(p.grad().norm() > 0.0, "projection got no gradient");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model must divide into heads")]
+    fn head_divisibility_checked() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = MultiHeadAttention::new(10, 3, &mut rng);
+    }
+}

@@ -1,0 +1,896 @@
+//! Reverse-mode automatic differentiation on [`Matrix`] values.
+//!
+//! [`Var`] is a reference-counted node of a dynamically built computation
+//! graph ("tape"). Operators allocate new nodes holding the forward value
+//! and a backward closure; [`Var::backward`] topologically sorts the graph
+//! and accumulates gradients into every node with `requires_grad`.
+//!
+//! Graphs are rebuilt per training example (define-by-run), which matches
+//! the variable-length sequences of query plans.
+
+use crate::matrix::Matrix;
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
+
+struct Node {
+    id: u64,
+    value: RefCell<Matrix>,
+    grad: RefCell<Matrix>,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+    requires_grad: bool,
+}
+
+/// A differentiable matrix variable.
+#[derive(Clone)]
+pub struct Var {
+    node: Rc<Node>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.node.value.borrow();
+        write!(
+            f,
+            "Var(id={}, {}x{}, grad={})",
+            self.node.id,
+            v.rows(),
+            v.cols(),
+            self.node.requires_grad
+        )
+    }
+}
+
+impl Var {
+    fn new(
+        value: Matrix,
+        parents: Vec<Var>,
+        backward: Option<BackwardFn>,
+        requires_grad: bool,
+    ) -> Self {
+        let (r, c) = value.shape();
+        Var {
+            node: Rc::new(Node {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value: RefCell::new(value),
+                grad: RefCell::new(Matrix::zeros(r, c)),
+                parents,
+                backward,
+                requires_grad,
+            }),
+        }
+    }
+
+    /// A trainable leaf (parameter).
+    pub fn parameter(value: Matrix) -> Self {
+        Self::new(value, Vec::new(), None, true)
+    }
+
+    /// A constant leaf (input data; receives no gradient).
+    pub fn constant(value: Matrix) -> Self {
+        Self::new(value, Vec::new(), None, false)
+    }
+
+    fn derived(value: Matrix, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        let requires = parents.iter().any(Var::requires_grad);
+        let backward = requires.then_some(backward);
+        Self::new(value, parents, backward, requires)
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.node.requires_grad
+    }
+
+    /// Borrow the forward value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        self.node.value.borrow()
+    }
+
+    /// Clone the forward value.
+    pub fn to_matrix(&self) -> Matrix {
+        self.node.value.borrow().clone()
+    }
+
+    /// Clone the accumulated gradient.
+    pub fn grad(&self) -> Matrix {
+        self.node.grad.borrow().clone()
+    }
+
+    /// Shape of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.node.value.borrow().shape()
+    }
+
+    /// The scalar payload of a 1×1 variable.
+    pub fn item(&self) -> f32 {
+        self.node.value.borrow().item()
+    }
+
+    /// Zeroes the gradient (optimizers call this on parameters).
+    pub fn zero_grad(&self) {
+        let mut g = self.node.grad.borrow_mut();
+        let shape = g.shape();
+        *g = Matrix::zeros(shape.0, shape.1);
+    }
+
+    /// Overwrites the value in place (optimizers; keeps the same node so
+    /// existing optimizer state remains attached).
+    pub fn set_value(&self, value: Matrix) {
+        assert_eq!(
+            value.shape(),
+            self.shape(),
+            "set_value must preserve shape"
+        );
+        *self.node.value.borrow_mut() = value;
+    }
+
+    fn accumulate(&self, delta: &Matrix) {
+        if !self.node.requires_grad {
+            return;
+        }
+        self.node.grad.borrow_mut().add_assign(delta);
+    }
+
+    /// Runs reverse-mode accumulation from this node. The seed gradient is
+    /// all-ones (so for a 1×1 loss this computes ∂loss/∂θ for every
+    /// parameter θ).
+    pub fn backward(&self) {
+        // Iterative DFS post-order: parents precede consumers in `order`.
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Var, usize)> = vec![(self.clone(), 0)];
+        while let Some((var, child_idx)) = stack.pop() {
+            if child_idx == 0
+                && !visited.insert(var.node.id) {
+                    continue;
+                }
+            if child_idx < var.node.parents.len() {
+                let parent = var.node.parents[child_idx].clone();
+                stack.push((var, child_idx + 1));
+                if !visited.contains(&parent.node.id) {
+                    stack.push((parent, 0));
+                }
+            } else {
+                order.push(var);
+            }
+        }
+        // Seed.
+        {
+            let shape = self.shape();
+            *self.node.grad.borrow_mut() = Matrix::full(shape.0, shape.1, 1.0);
+        }
+        for var in order.iter().rev() {
+            if let Some(f) = &var.node.backward {
+                let g = var.node.grad.borrow().clone();
+                f(&g, &var.node.parents);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise & linear-algebra operators
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Var) -> Var {
+        let value = self.value().add(&other.value());
+        Var::derived(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, p| {
+                p[0].accumulate(g);
+                p[1].accumulate(g);
+            }),
+        )
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Var) -> Var {
+        let value = self.value().sub(&other.value());
+        Var::derived(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, p| {
+                p[0].accumulate(g);
+                p[1].accumulate(&g.scale(-1.0));
+            }),
+        )
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&self, other: &Var) -> Var {
+        let value = self.value().hadamard(&other.value());
+        Var::derived(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, p| {
+                p[0].accumulate(&g.hadamard(&p[1].value()));
+                p[1].accumulate(&g.hadamard(&p[0].value()));
+            }),
+        )
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Var {
+        let value = self.value().scale(s);
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| p[0].accumulate(&g.scale(s))),
+        )
+    }
+
+    /// Adds a 1×cols row vector to every row (bias).
+    pub fn add_broadcast_row(&self, row: &Var) -> Var {
+        let value = self.value().add_row_broadcast(&row.value());
+        Var::derived(
+            value,
+            vec![self.clone(), row.clone()],
+            Box::new(|g, p| {
+                p[0].accumulate(g);
+                // Bias gradient: column sums.
+                let mut col_sum = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (s, &v) in col_sum.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *s += v;
+                    }
+                }
+                p[1].accumulate(&col_sum);
+            }),
+        )
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, other: &Var) -> Var {
+        let value = self.value().matmul(&other.value());
+        Var::derived(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, p| {
+                // dA = G Bᵀ ; dB = Aᵀ G
+                p[0].accumulate(&g.matmul_nt(&p[1].value()));
+                p[1].accumulate(&p[0].value().matmul_tn(g));
+            }),
+        )
+    }
+
+    /// `self × otherᵀ` (used by attention scores).
+    pub fn matmul_nt(&self, other: &Var) -> Var {
+        let value = self.value().matmul_nt(&other.value());
+        Var::derived(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, p| {
+                // out = A Bᵀ ⇒ dA = G B ; dB = Gᵀ A
+                p[0].accumulate(&g.matmul(&p[1].value()));
+                p[1].accumulate(&g.matmul_tn(&p[0].value()));
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// ReLU.
+    pub fn relu(&self) -> Var {
+        let value = self.value().map(|v| v.max(0.0));
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(|g, p| {
+                let mask = p[0].value().map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                p[0].accumulate(&g.hadamard(&mask));
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let value = self.value().map(f32::tanh);
+        let out = Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(|g, p| {
+                let y = p[0].value().map(f32::tanh);
+                let d = y.map(|t| 1.0 - t * t);
+                p[0].accumulate(&g.hadamard(&d));
+            }),
+        );
+        out
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(|g, p| {
+                let y = p[0].value().map(|v| 1.0 / (1.0 + (-v).exp()));
+                let d = y.map(|s| s * (1.0 - s));
+                p[0].accumulate(&g.hadamard(&d));
+            }),
+        )
+    }
+
+    /// GELU (tanh approximation), the transformer's default activation.
+    pub fn gelu(&self) -> Var {
+        const C: f32 = 0.797_884_6; // sqrt(2/π)
+        let f = |v: f32| 0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh());
+        let value = self.value().map(f);
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                // Numerically robust derivative of the approximation.
+                let d = p[0].value().map(|v| {
+                    let inner = C * (v + 0.044715 * v * v * v);
+                    let t = inner.tanh();
+                    let dinner = C * (1.0 + 3.0 * 0.044715 * v * v);
+                    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner
+                });
+                p[0].accumulate(&g.hadamard(&d));
+            }),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        let value = self.value().map(f32::exp);
+        let y = value.clone();
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| p[0].accumulate(&g.hadamard(&y))),
+        )
+    }
+
+    /// Natural log of `x + eps` (safe for non-negative inputs).
+    pub fn ln_eps(&self, eps: f32) -> Var {
+        let value = self.value().map(|v| (v + eps).ln());
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                let d = p[0].value().map(|v| 1.0 / (v + eps));
+                p[0].accumulate(&g.hadamard(&d));
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Row-wise normalizations
+    // ------------------------------------------------------------------
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Var {
+        let value = self.value().softmax_rows();
+        Var::derived(
+            value.clone(),
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                // dx_r = y_r ⊙ (g_r − (g_r · y_r))
+                let mut dx = Matrix::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let y = value.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = y.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                    for (d, (&yv, &gv)) in dx.row_mut(r).iter_mut().zip(y.iter().zip(gr)) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                p[0].accumulate(&dx);
+            }),
+        )
+    }
+
+    /// Row-wise log-softmax (numerically stable; used for sequence
+    /// likelihoods).
+    pub fn log_softmax_rows(&self) -> Var {
+        let x = self.to_matrix();
+        let mut value = x.clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+        let softmax = x.softmax_rows();
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                // dx_r = g_r − softmax(x)_r · sum(g_r)
+                let mut dx = Matrix::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let gsum: f32 = g.row(r).iter().sum();
+                    for (d, (&s, &gv)) in dx
+                        .row_mut(r)
+                        .iter_mut()
+                        .zip(softmax.row(r).iter().zip(g.row(r)))
+                    {
+                        *d = gv - s * gsum;
+                    }
+                }
+                p[0].accumulate(&dx);
+            }),
+        )
+    }
+
+    /// Row-wise layer normalization (no affine; compose with a
+    /// [`crate::LayerNorm`] layer for the learnable scale/shift).
+    pub fn layernorm_rows(&self, eps: f32) -> Var {
+        let x = self.to_matrix();
+        let mut value = x.clone();
+        let mut inv_stds = Vec::with_capacity(x.rows());
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            let n = row.len() as f32;
+            let mean: f32 = row.iter().sum::<f32>() / n;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            inv_stds.push(inv_std);
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv_std;
+            }
+        }
+        let y = value.clone();
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                // dx = inv_std * (g − mean(g) − y ⊙ mean(g ⊙ y)) rowwise.
+                let mut dx = Matrix::zeros(g.rows(), g.cols());
+                for (r, &inv_std) in inv_stds.iter().enumerate() {
+                    let n = g.cols() as f32;
+                    let gr = g.row(r);
+                    let yr = y.row(r);
+                    let g_mean: f32 = gr.iter().sum::<f32>() / n;
+                    let gy_mean: f32 = gr.iter().zip(yr).map(|(&a, &b)| a * b).sum::<f32>() / n;
+                    for (d, (&gv, &yv)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(yr)) {
+                        *d = inv_std * (gv - g_mean - yv * gy_mean);
+                    }
+                }
+                p[0].accumulate(&dx);
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Shape surgery
+    // ------------------------------------------------------------------
+
+    /// Copy of rows `lo..hi` (gradient scatters back).
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Var {
+        let value = self.value().slice_rows(lo, hi);
+        let (rows, cols) = self.shape();
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                let mut dx = Matrix::zeros(rows, cols);
+                for (i, r) in (lo..hi).enumerate() {
+                    dx.row_mut(r).copy_from_slice(g.row(i));
+                }
+                p[0].accumulate(&dx);
+            }),
+        )
+    }
+
+    /// Copy of columns `lo..hi` (gradient scatters back).
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Var {
+        let value = self.value().slice_cols(lo, hi);
+        let (rows, cols) = self.shape();
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                let mut dx = Matrix::zeros(rows, cols);
+                for r in 0..rows {
+                    dx.row_mut(r)[lo..hi].copy_from_slice(g.row(r));
+                }
+                p[0].accumulate(&dx);
+            }),
+        )
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(parts: &[Var]) -> Var {
+        let values: Vec<Matrix> = parts.iter().map(Var::to_matrix).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let value = Matrix::concat_rows(&refs);
+        let sizes: Vec<usize> = values.iter().map(Matrix::rows).collect();
+        Var::derived(
+            value,
+            parts.to_vec(),
+            Box::new(move |g, p| {
+                let mut offset = 0;
+                for (var, &rows) in p.iter().zip(&sizes) {
+                    var.accumulate(&g.slice_rows(offset, offset + rows));
+                    offset += rows;
+                }
+            }),
+        )
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(parts: &[Var]) -> Var {
+        let values: Vec<Matrix> = parts.iter().map(Var::to_matrix).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let value = Matrix::concat_cols(&refs);
+        let sizes: Vec<usize> = values.iter().map(Matrix::cols).collect();
+        Var::derived(
+            value,
+            parts.to_vec(),
+            Box::new(move |g, p| {
+                let mut offset = 0;
+                for (var, &cols) in p.iter().zip(&sizes) {
+                    var.accumulate(&g.slice_cols(offset, offset + cols));
+                    offset += cols;
+                }
+            }),
+        )
+    }
+
+    /// Gathers rows of an embedding table (gradient scatter-adds).
+    pub fn embedding(table: &Var, indices: &[usize]) -> Var {
+        let t = table.value();
+        let mut value = Matrix::zeros(indices.len(), t.cols());
+        for (r, &i) in indices.iter().enumerate() {
+            value.row_mut(r).copy_from_slice(t.row(i));
+        }
+        drop(t);
+        let indices = indices.to_vec();
+        let shape = table.shape();
+        Var::derived(
+            value,
+            vec![table.clone()],
+            Box::new(move |g, p| {
+                let mut dt = Matrix::zeros(shape.0, shape.1);
+                for (r, &i) in indices.iter().enumerate() {
+                    for (d, &gv) in dt.row_mut(i).iter_mut().zip(g.row(r)) {
+                        *d += gv;
+                    }
+                }
+                p[0].accumulate(&dt);
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all entries (1×1 output).
+    pub fn sum(&self) -> Var {
+        let value = Matrix::scalar(self.value().sum());
+        let shape = self.shape();
+        Var::derived(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, p| {
+                p[0].accumulate(&Matrix::full(shape.0, shape.1, g.item()));
+            }),
+        )
+    }
+
+    /// Mean of all entries (1×1 output).
+    pub fn mean(&self) -> Var {
+        let shape = self.shape();
+        let n = (shape.0 * shape.1) as f32;
+        self.sum().scale(1.0 / n)
+    }
+
+    /// Mean over rows: `(n, d)` → `(1, d)` (sequence pooling).
+    pub fn mean_rows(&self) -> Var {
+        let (rows, _) = self.shape();
+        let ones = Var::constant(Matrix::full(1, rows, 1.0 / rows as f32));
+        ones.matmul(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_param(v: f32) -> Var {
+        Var::parameter(Matrix::scalar(v))
+    }
+
+    /// Finite-difference check of d(loss)/d(param) for a scalar loss.
+    fn finite_diff(build: impl Fn(&Var) -> Var, at: Matrix, idx: usize) -> (f32, f32) {
+        let p = Var::parameter(at.clone());
+        let loss = build(&p);
+        loss.backward();
+        let analytic = p.grad().data()[idx];
+
+        let eps = 1e-3;
+        let mut plus = at.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = at.clone();
+        minus.data_mut()[idx] -= eps;
+        let lp = build(&Var::parameter(plus)).item();
+        let lm = build(&Var::parameter(minus)).item();
+        (analytic, (lp - lm) / (2.0 * eps))
+    }
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn add_and_scale_grads() {
+        let a = scalar_param(2.0);
+        let b = scalar_param(3.0);
+        let loss = a.add(&b).scale(4.0);
+        loss.backward();
+        assert_eq!(a.grad().item(), 4.0);
+        assert_eq!(b.grad().item(), 4.0);
+    }
+
+    #[test]
+    fn hadamard_grads() {
+        let a = scalar_param(2.0);
+        let b = scalar_param(3.0);
+        let loss = a.hadamard(&b);
+        loss.backward();
+        assert_eq!(a.grad().item(), 3.0);
+        assert_eq!(b.grad().item(), 2.0);
+    }
+
+    #[test]
+    fn reuse_accumulates() {
+        // loss = x * x → dx = 2x.
+        let x = scalar_param(5.0);
+        let loss = x.hadamard(&x);
+        loss.backward();
+        assert_eq!(x.grad().item(), 10.0);
+    }
+
+    #[test]
+    fn matmul_grad_finite_diff() {
+        let b = Var::constant(Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.1, -0.3, 0.7]));
+        let at = Matrix::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]);
+        for idx in 0..6 {
+            let (a, fd) = finite_diff(|p| p.matmul(&b).hadamard(&p.matmul(&b)).sum(), at.clone(), idx);
+            assert_close(a, fd, 2e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_grad_finite_diff() {
+        let b = Var::constant(Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.1, -0.3, 0.7]));
+        let at = Matrix::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]);
+        for idx in 0..6 {
+            let (a, fd) = finite_diff(|p| p.matmul_nt(&b).sum(), at.clone(), idx);
+            assert_close(a, fd, 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_finite_diff() {
+        let at = Matrix::from_vec(1, 4, vec![0.1, 0.5, -0.3, 0.9]);
+        let w = Var::constant(Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.2]));
+        for idx in 0..4 {
+            let (a, fd) = finite_diff(
+                |p| p.softmax_rows().hadamard(&w).sum(),
+                at.clone(),
+                idx,
+            );
+            assert_close(a, fd, 1e-2);
+        }
+    }
+
+    #[test]
+    fn log_softmax_grad_finite_diff() {
+        let at = Matrix::from_vec(1, 4, vec![0.1, 0.5, -0.3, 0.9]);
+        let w = Var::constant(Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.2]));
+        for idx in 0..4 {
+            let (a, fd) = finite_diff(
+                |p| p.log_softmax_rows().hadamard(&w).sum(),
+                at.clone(),
+                idx,
+            );
+            assert_close(a, fd, 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_grad_finite_diff() {
+        let at = Matrix::from_vec(1, 4, vec![0.2, -0.4, 0.8, 1.2]);
+        let w = Var::constant(Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.2]));
+        for idx in 0..4 {
+            let (a, fd) = finite_diff(
+                |p| p.layernorm_rows(1e-5).hadamard(&w).sum(),
+                at.clone(),
+                idx,
+            );
+            assert_close(a, fd, 3e-2);
+        }
+    }
+
+    #[test]
+    fn activations_grad_finite_diff() {
+        let at = Matrix::from_vec(1, 3, vec![0.5, -0.7, 1.3]);
+        for idx in 0..3 {
+            let (a, fd) = finite_diff(|p| p.tanh().sum(), at.clone(), idx);
+            assert_close(a, fd, 1e-2);
+            let (a, fd) = finite_diff(|p| p.sigmoid().sum(), at.clone(), idx);
+            assert_close(a, fd, 1e-2);
+            let (a, fd) = finite_diff(|p| p.gelu().sum(), at.clone(), idx);
+            assert_close(a, fd, 1e-2);
+            let (a, fd) = finite_diff(|p| p.relu().sum(), at.clone(), idx);
+            assert_close(a, fd, 1e-2);
+        }
+    }
+
+    #[test]
+    fn slicing_grads_scatter() {
+        let at = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let p = Var::parameter(at);
+        let loss = p.slice_rows(1, 2).sum();
+        loss.backward();
+        assert_eq!(p.grad().data(), &[0., 0., 1., 1., 0., 0.]);
+        let p2 = Var::parameter(Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let loss2 = p2.slice_cols(2, 3).sum();
+        loss2.backward();
+        assert_eq!(p2.grad().data(), &[0., 0., 1., 0., 0., 1.]);
+    }
+
+    #[test]
+    fn concat_grads_split() {
+        let a = Var::parameter(Matrix::from_vec(1, 2, vec![1., 2.]));
+        let b = Var::parameter(Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]));
+        let loss = Var::concat_rows(&[a.clone(), b.clone()]).scale(2.0).sum();
+        loss.backward();
+        assert_eq!(a.grad().data(), &[2., 2.]);
+        assert_eq!(b.grad().data(), &[2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn embedding_scatter_add() {
+        let table = Var::parameter(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let e = Var::embedding(&table, &[0, 2, 0]);
+        assert_eq!(e.to_matrix().data(), &[1., 2., 5., 6., 1., 2.]);
+        e.sum().backward();
+        // Row 0 used twice, row 2 once, row 1 never.
+        assert_eq!(table.grad().data(), &[2., 2., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn broadcast_bias_grad() {
+        let x = Var::constant(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = Var::parameter(Matrix::from_vec(1, 2, vec![0.5, -0.5]));
+        let loss = x.add_broadcast_row(&b).sum();
+        loss.backward();
+        assert_eq!(b.grad().data(), &[2., 2.]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let c = Var::constant(Matrix::scalar(1.0));
+        let p = scalar_param(2.0);
+        let loss = c.hadamard(&p);
+        loss.backward();
+        assert_eq!(c.grad().item(), 0.0);
+        assert_eq!(p.grad().item(), 1.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_once() {
+        // y = x + x; z = y * y = 4x² → dz/dx = 8x.
+        let x = scalar_param(3.0);
+        let y = x.add(&x);
+        let z = y.hadamard(&y);
+        z.backward();
+        assert_eq!(x.grad().item(), 24.0);
+    }
+
+    #[test]
+    fn mean_and_ln() {
+        let p = Var::parameter(Matrix::from_vec(1, 2, vec![1.0, 3.0]));
+        let loss = p.mean();
+        loss.backward();
+        assert_eq!(p.grad().data(), &[0.5, 0.5]);
+        let (a, fd) = finite_diff(
+            |p| p.ln_eps(1e-6).sum(),
+            Matrix::from_vec(1, 2, vec![2.0, 0.5]),
+            0,
+        );
+        assert_close(a, fd, 1e-2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a small matrix with bounded entries (no NaN/inf).
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-2.0f32..2.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Central finite difference of a scalar-valued builder at one entry.
+    fn fd(build: &dyn Fn(&Var) -> Var, at: &Matrix, idx: usize) -> (f32, f32) {
+        let p = Var::parameter(at.clone());
+        build(&p).backward();
+        let analytic = p.grad().data()[idx];
+        let eps = 2e-3;
+        let mut plus = at.clone();
+        plus.data_mut()[idx] += eps;
+        let mut minus = at.clone();
+        minus.data_mut()[idx] -= eps;
+        let lp = build(&Var::parameter(plus)).item();
+        let lm = build(&Var::parameter(minus)).item();
+        (analytic, (lp - lm) / (2.0 * eps))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A randomly composed smooth expression has gradients matching
+        /// finite differences at a random coordinate.
+        #[test]
+        fn random_expression_matches_finite_difference(
+            at in arb_matrix(2, 3),
+            w in arb_matrix(3, 2),
+            idx in 0usize..6,
+            path in 0u8..4,
+        ) {
+            let w = Var::constant(w);
+            let build = move |p: &Var| -> Var {
+                let h = p.matmul(&w); // (2,2)
+                let h = match path {
+                    0 => h.tanh(),
+                    1 => h.sigmoid(),
+                    2 => h.gelu(),
+                    _ => h.softmax_rows(),
+                };
+                h.hadamard(&h).mean()
+            };
+            let (analytic, numeric) = fd(&build, &at, idx);
+            prop_assert!(
+                (analytic - numeric).abs() <= 0.05 * (1.0 + numeric.abs()),
+                "analytic {} vs numeric {}", analytic, numeric
+            );
+        }
+
+        /// Gradient of a sum splits linearly: d(sum(a+b)) = 1 for both.
+        #[test]
+        fn addition_linearity(a in arb_matrix(2, 2), b in arb_matrix(2, 2)) {
+            let pa = Var::parameter(a);
+            let pb = Var::parameter(b);
+            pa.add(&pb).sum().backward();
+            prop_assert!(pa.grad().data().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+            prop_assert!(pb.grad().data().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        }
+
+        /// Softmax rows always sum to 1 and layer-norm rows have ~zero mean.
+        #[test]
+        fn normalization_invariants(m in arb_matrix(3, 4)) {
+            let v = Var::constant(m);
+            let s = v.softmax_rows().to_matrix();
+            for r in 0..3 {
+                let sum: f32 = s.row(r).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-5);
+            }
+            let n = v.layernorm_rows(1e-5).to_matrix();
+            for r in 0..3 {
+                let mean: f32 = n.row(r).iter().sum::<f32>() / 4.0;
+                prop_assert!(mean.abs() < 1e-5);
+            }
+        }
+    }
+}

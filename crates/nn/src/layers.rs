@@ -1,0 +1,229 @@
+//! Parameterized layers: linear, layer norm, feed-forward, MLP.
+
+use crate::autograd::Var;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// Anything holding trainable parameters.
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<Var>;
+
+    /// Total scalar parameter count.
+    fn parameter_count(&self) -> usize {
+        self.parameters()
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                r * c
+            })
+            .sum()
+    }
+}
+
+/// Affine layer `y = x W + b` mapping `(n, in)` to `(n, out)`.
+#[derive(Clone)]
+pub struct Linear {
+    w: Var,
+    b: Var,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        Self {
+            w: Var::parameter(Matrix::xavier(input, output, rng)),
+            b: Var::parameter(Matrix::zeros(1, output)),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Var) -> Var {
+        x.matmul(&self.w).add_broadcast_row(&self.b)
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// Layer normalization with learnable scale and shift.
+#[derive(Clone)]
+pub struct LayerNorm {
+    gamma: Var,
+    beta: Var,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gamma: Var::parameter(Matrix::full(1, dim, 1.0)),
+            beta: Var::parameter(Matrix::zeros(1, dim)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Forward pass: row-wise normalize, then scale and shift.
+    pub fn forward(&self, x: &Var) -> Var {
+        let normalized = x.layernorm_rows(self.eps);
+        // Broadcast gamma over rows via hadamard with a tiled row: build a
+        // constant-free formulation: y = n ⊙ Γ + β, where Γ/β broadcast.
+        let (rows, _) = normalized.shape();
+        let gamma_tiled = Var::concat_rows(&vec![self.gamma.clone(); rows]);
+        normalized.hadamard(&gamma_tiled).add_broadcast_row(&self.beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> Vec<Var> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Transformer position-wise feed-forward: `Linear → GELU → Linear`.
+#[derive(Clone)]
+pub struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl FeedForward {
+    /// Builds with hidden width `hidden` (typically `4 × d_model`).
+    pub fn new(dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Self {
+            l1: Linear::new(dim, hidden, rng),
+            l2: Linear::new(hidden, dim, rng),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Var) -> Var {
+        self.l2.forward(&self.l1.forward(x).gelu())
+    }
+}
+
+impl Module for FeedForward {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.l1.parameters();
+        p.extend(self.l2.parameters());
+        p
+    }
+}
+
+/// A multi-layer perceptron with GELU activations between layers (the
+/// paper's `M_CardEst` / `M_CostEst` heads are two-layer MLPs).
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds from a width list, e.g. `[64, 32, 1]` for a two-layer head.
+    pub fn new(widths: &[usize], rng: &mut StdRng) -> Self {
+        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Forward pass (no activation after the last layer).
+    pub fn forward(&self, x: &Var) -> Var {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h = h.gelu();
+            }
+        }
+        h
+    }
+}
+
+impl Module for Mlp {
+    fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(Linear::parameters).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(4, 3, &mut rng);
+        let x = Var::constant(Matrix::zeros(5, 4));
+        assert_eq!(l.forward(&x).shape(), (5, 3));
+        assert_eq!(l.parameter_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn linear_trains_toward_target() {
+        // One linear layer can fit y = 2x + 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(1, 1, &mut rng);
+        let mut opt = crate::optim::Adam::new(l.parameters(), 0.05);
+        for _ in 0..200 {
+            let x = Var::constant(Matrix::from_vec(4, 1, vec![-1.0, 0.0, 1.0, 2.0]));
+            let target = Var::constant(Matrix::from_vec(4, 1, vec![-1.0, 1.0, 3.0, 5.0]));
+            let pred = l.forward(&x);
+            let diff = pred.sub(&target);
+            let loss = diff.hadamard(&diff).mean();
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        let x = Var::constant(Matrix::from_vec(1, 1, vec![3.0]));
+        let y = l.forward(&x).item();
+        assert!((y - 7.0).abs() < 0.1, "prediction {y}");
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Var::constant(Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 10., 20., 30., 40.]));
+        let y = ln.forward(&x).to_matrix();
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gamma_beta_trainable() {
+        let ln = LayerNorm::new(3);
+        let x = Var::constant(Matrix::from_vec(1, 3, vec![1., 2., 3.]));
+        let loss = ln.forward(&x).sum();
+        loss.backward();
+        let params = ln.parameters();
+        assert!(params[0].grad().norm() > 0.0, "gamma receives gradient");
+        assert!(params[1].grad().norm() > 0.0, "beta receives gradient");
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[8, 16, 1], &mut rng);
+        let x = Var::constant(Matrix::zeros(3, 8));
+        assert_eq!(mlp.forward(&x).shape(), (3, 1));
+        assert_eq!(mlp.parameters().len(), 4);
+    }
+
+    #[test]
+    fn feedforward_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ff = FeedForward::new(6, 24, &mut rng);
+        let x = Var::constant(Matrix::zeros(5, 6));
+        assert_eq!(ff.forward(&x).shape(), (5, 6));
+    }
+}

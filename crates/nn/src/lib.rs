@@ -1,0 +1,35 @@
+//! # mtmlf-nn
+//!
+//! A from-scratch neural-network stack for the MTMLF reproduction: the
+//! paper trains transformer encoders (per-table `Enc_i`, `Trans_Share`), a
+//! transformer decoder (`Trans_JO`), MLP heads, and a Tree-LSTM baseline —
+//! all of which this crate supports on CPU with `f32` dense matrices and
+//! reverse-mode (tape) automatic differentiation.
+//!
+//! Everything is deterministic: weight initialization takes an explicit
+//! RNG, and no global state affects results.
+//!
+//! Layout conventions:
+//! - All tensors are 2-D [`Matrix`] values, row-major.
+//! - A sequence is a `(seq_len, d_model)` matrix; batching is by iterating
+//!   samples and accumulating gradients (sequence lengths vary per query).
+//!
+//! The autograd [`Var`] is a reference-counted tape node; operators build
+//! the graph, [`Var::backward`] runs reverse-mode accumulation, and
+//! [`optim::Adam`] updates parameters in place.
+
+pub mod attention;
+pub mod autograd;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod serialize;
+pub mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use autograd::Var;
+pub use layers::{FeedForward, LayerNorm, Linear, Mlp, Module};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use transformer::{DecoderBlock, EncoderBlock, TransformerDecoder, TransformerEncoder};

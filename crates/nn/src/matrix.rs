@@ -1,0 +1,462 @@
+//! Dense row-major `f32` matrices.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major vector; `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A 1×1 matrix (scalar).
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    /// A row vector.
+    pub fn row_vec(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self::from_vec(1, cols, data)
+    }
+
+    /// Xavier/Glorot-uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (rows + cols))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a 1×1 matrix.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar {self:?}");
+        self.data[0]
+    }
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: the inner loop walks contiguous rows of
+        // `other` and `out`, which the compiler auto-vectorizes.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `row` (a 1×cols matrix) to every row.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise zip-map.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place elementwise accumulate: `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0 for empty).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Copy of rows `lo..hi`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.rows, "row slice out of range");
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
+    /// Copy of columns `lo..hi`.
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo <= hi && hi <= self.cols, "col slice out of range");
+        let mut out = Matrix::zeros(self.rows, hi - lo);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[lo..hi]);
+        }
+        out
+    }
+
+    /// Vertical concatenation (equal column counts).
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let cols = parts[0].cols;
+        let rows = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            assert_eq!(m.cols, cols, "concat_rows width mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Horizontal concatenation (equal row counts).
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = parts[0].rows;
+        let cols = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for m in parts {
+                assert_eq!(m.rows, rows, "concat_cols height mismatch");
+                out.row_mut(r)[offset..offset + m.cols].copy_from_slice(m.row(r));
+                offset += m.cols;
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier(4, 5, &mut rng);
+        let b = Matrix::xavier(3, 5, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::xavier(5, 4, &mut rng);
+        let b = Matrix::xavier(5, 3, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.hadamard(&b).data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let row = m(1, 2, &[10., 20.]);
+        assert_eq!(a.add_row_broadcast(&row).data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert!((a.norm() - 30f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.slice_rows(1, 3).data(), &[3., 4., 5., 6.]);
+        assert_eq!(a.slice_cols(1, 2).data(), &[2., 4., 6.]);
+        let top = a.slice_rows(0, 1);
+        let bottom = a.slice_rows(1, 3);
+        assert_eq!(Matrix::concat_rows(&[&top, &bottom]), a);
+        let left = a.slice_cols(0, 1);
+        let right = a.slice_cols(1, 2);
+        assert_eq!(Matrix::concat_cols(&[&left, &right]), a);
+    }
+
+    #[test]
+    fn softmax_rows_normalized() {
+        let a = m(2, 3, &[1., 2., 3., 1000., 1000., 1000.]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large inputs don't overflow (max-subtraction).
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Matrix::xavier(10, 10, &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= a));
+        assert!(w.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

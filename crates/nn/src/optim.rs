@@ -1,0 +1,176 @@
+//! Optimizers: Adam (the paper uses Adam with lr 1e-4) and plain SGD.
+
+use crate::autograd::Var;
+use crate::matrix::Matrix;
+
+/// Adam optimizer (Kingma & Ba \[14\], as used by the paper).
+pub struct Adam {
+    params: Vec<Var>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    clip: Option<f32>,
+}
+
+impl Adam {
+    /// Creates Adam over `params` with learning rate `lr` and default betas
+    /// `(0.9, 0.999)`.
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let m = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        Self {
+            params,
+            m,
+            v,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            clip: Some(5.0),
+        }
+    }
+
+    /// Sets (or disables) global gradient-norm clipping.
+    pub fn with_clip(mut self, clip: Option<f32>) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    /// Sets the learning rate (e.g. lowered for fine-tuning).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// The current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Applies one Adam update from the accumulated gradients.
+    pub fn step(&mut self) {
+        self.t += 1;
+        // Optional global-norm clip to stabilize transformer training.
+        let scale = match self.clip {
+            Some(clip) => {
+                let total: f32 = self
+                    .params
+                    .iter()
+                    .map(|p| {
+                        let g = p.grad();
+                        g.data().iter().map(|v| v * v).sum::<f32>()
+                    })
+                    .sum::<f32>()
+                    .sqrt();
+                if total > clip {
+                    clip / total
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let g = p.grad().scale(scale);
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let mut value = p.to_matrix();
+            for (((mv, vv), gv), x) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(g.data())
+                .zip(value.data_mut())
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / bias1;
+                let v_hat = *vv / bias2;
+                *x -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.set_value(value);
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize (x - 3)² from x = 0.
+        let x = Var::parameter(Matrix::scalar(0.0));
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        for _ in 0..200 {
+            opt.zero_grad();
+            let c = Var::constant(Matrix::scalar(3.0));
+            let d = x.sub(&c);
+            let loss = d.hadamard(&d);
+            loss.backward();
+            opt.step();
+        }
+        assert!((x.item() - 3.0).abs() < 0.05, "x = {}", x.item());
+        assert_eq!(opt.steps(), 200);
+    }
+
+    #[test]
+    fn clipping_bounds_update() {
+        let x = Var::parameter(Matrix::scalar(0.0));
+        let mut opt = Adam::new(vec![x.clone()], 0.1).with_clip(Some(1e-3));
+        opt.zero_grad();
+        let loss = x.scale(1e6);
+        loss.backward();
+        opt.step();
+        // With tiny clip the first Adam step is still bounded by lr.
+        assert!(x.item().abs() <= 0.11, "x = {}", x.item());
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let x = Var::parameter(Matrix::scalar(1.0));
+        let loss = x.scale(2.0);
+        loss.backward();
+        assert_eq!(x.grad().item(), 2.0);
+        let opt = Adam::new(vec![x.clone()], 0.1);
+        opt.zero_grad();
+        assert_eq!(x.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn lr_adjustable() {
+        let mut opt = Adam::new(vec![Var::parameter(Matrix::scalar(0.0))], 0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+}

@@ -1,0 +1,276 @@
+//! Transformer encoder and decoder stacks (pre-norm variant).
+//!
+//! The paper uses "a transformer with 3 blocks and 4 headers" for each
+//! `Enc_i`, `Trans_Share`, and `Trans_JO` (Section 6.1 hyper-parameters);
+//! these stacks are configurable in depth, width, and head count.
+
+use crate::attention::MultiHeadAttention;
+use crate::autograd::Var;
+use crate::layers::{FeedForward, LayerNorm, Module};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// One pre-norm encoder block: self-attention and feed-forward, each with a
+/// residual connection.
+#[derive(Clone)]
+pub struct EncoderBlock {
+    attention: MultiHeadAttention,
+    feed_forward: FeedForward,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+}
+
+impl EncoderBlock {
+    /// Builds one block.
+    pub fn new(d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
+        Self {
+            attention: MultiHeadAttention::new(d_model, heads, rng),
+            feed_forward: FeedForward::new(d_model, d_model * 4, rng),
+            norm1: LayerNorm::new(d_model),
+            norm2: LayerNorm::new(d_model),
+        }
+    }
+
+    /// Forward pass over a `(seq, d_model)` sequence.
+    pub fn forward(&self, x: &Var) -> Var {
+        let attended = self
+            .attention
+            .forward(&self.norm1.forward(x), &self.norm1.forward(x), None);
+        let x = x.add(&attended);
+        let fed = self.feed_forward.forward(&self.norm2.forward(&x));
+        x.add(&fed)
+    }
+}
+
+impl Module for EncoderBlock {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.attention.parameters();
+        p.extend(self.feed_forward.parameters());
+        p.extend(self.norm1.parameters());
+        p.extend(self.norm2.parameters());
+        p
+    }
+}
+
+/// A stack of encoder blocks with a final layer norm.
+#[derive(Clone)]
+pub struct TransformerEncoder {
+    blocks: Vec<EncoderBlock>,
+    final_norm: LayerNorm,
+}
+
+impl TransformerEncoder {
+    /// Builds `depth` blocks of width `d_model` with `heads` heads.
+    pub fn new(d_model: usize, heads: usize, depth: usize, rng: &mut StdRng) -> Self {
+        Self {
+            blocks: (0..depth).map(|_| EncoderBlock::new(d_model, heads, rng)).collect(),
+            final_norm: LayerNorm::new(d_model),
+        }
+    }
+
+    /// Forward pass over a `(seq, d_model)` sequence.
+    pub fn forward(&self, x: &Var) -> Var {
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward(&h);
+        }
+        self.final_norm.forward(&h)
+    }
+}
+
+impl Module for TransformerEncoder {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p: Vec<Var> = self.blocks.iter().flat_map(EncoderBlock::parameters).collect();
+        p.extend(self.final_norm.parameters());
+        p
+    }
+}
+
+/// One pre-norm decoder block: causal self-attention, cross-attention over
+/// the encoder output, and feed-forward, each with a residual connection.
+#[derive(Clone)]
+pub struct DecoderBlock {
+    self_attention: MultiHeadAttention,
+    cross_attention: MultiHeadAttention,
+    feed_forward: FeedForward,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    norm3: LayerNorm,
+}
+
+impl DecoderBlock {
+    /// Builds one block.
+    pub fn new(d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
+        Self {
+            self_attention: MultiHeadAttention::new(d_model, heads, rng),
+            cross_attention: MultiHeadAttention::new(d_model, heads, rng),
+            feed_forward: FeedForward::new(d_model, d_model * 4, rng),
+            norm1: LayerNorm::new(d_model),
+            norm2: LayerNorm::new(d_model),
+            norm3: LayerNorm::new(d_model),
+        }
+    }
+
+    /// Forward pass: `x` is the `(t, d_model)` decoded prefix, `memory` the
+    /// `(s, d_model)` encoder output, `causal` the `(t, t)` causal mask.
+    pub fn forward(&self, x: &Var, memory: &Var, causal: &Matrix) -> Var {
+        let q = self.norm1.forward(x);
+        let self_attended = self.self_attention.forward(&q, &q, Some(causal));
+        let x = x.add(&self_attended);
+        let cross = self
+            .cross_attention
+            .forward(&self.norm2.forward(&x), memory, None);
+        let x = x.add(&cross);
+        let fed = self.feed_forward.forward(&self.norm3.forward(&x));
+        x.add(&fed)
+    }
+}
+
+impl Module for DecoderBlock {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.self_attention.parameters();
+        p.extend(self.cross_attention.parameters());
+        p.extend(self.feed_forward.parameters());
+        p.extend(self.norm1.parameters());
+        p.extend(self.norm2.parameters());
+        p.extend(self.norm3.parameters());
+        p
+    }
+}
+
+/// A stack of decoder blocks with a final layer norm.
+#[derive(Clone)]
+pub struct TransformerDecoder {
+    blocks: Vec<DecoderBlock>,
+    final_norm: LayerNorm,
+}
+
+impl TransformerDecoder {
+    /// Builds `depth` blocks of width `d_model` with `heads` heads.
+    pub fn new(d_model: usize, heads: usize, depth: usize, rng: &mut StdRng) -> Self {
+        Self {
+            blocks: (0..depth).map(|_| DecoderBlock::new(d_model, heads, rng)).collect(),
+            final_norm: LayerNorm::new(d_model),
+        }
+    }
+
+    /// Forward pass with an auto-generated causal mask.
+    pub fn forward(&self, x: &Var, memory: &Var) -> Var {
+        let (t, _) = x.shape();
+        let causal = MultiHeadAttention::causal_mask(t);
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward(&h, memory, &causal);
+        }
+        self.final_norm.forward(&h)
+    }
+}
+
+impl Module for TransformerDecoder {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p: Vec<Var> = self.blocks.iter().flat_map(DecoderBlock::parameters).collect();
+        p.extend(self.final_norm.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoder_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = TransformerEncoder::new(16, 4, 2, &mut rng);
+        let x = Var::constant(Matrix::xavier(5, 16, &mut rng));
+        assert_eq!(enc.forward(&x).shape(), (5, 16));
+    }
+
+    #[test]
+    fn decoder_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dec = TransformerDecoder::new(16, 4, 2, &mut rng);
+        let x = Var::constant(Matrix::xavier(3, 16, &mut rng));
+        let memory = Var::constant(Matrix::xavier(7, 16, &mut rng));
+        assert_eq!(dec.forward(&x, &memory).shape(), (3, 16));
+    }
+
+    #[test]
+    fn decoder_is_causal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dec = TransformerDecoder::new(8, 2, 1, &mut rng);
+        let memory = Var::constant(Matrix::xavier(4, 8, &mut rng));
+        let a = Matrix::xavier(3, 8, &mut rng);
+        let mut b = a.clone();
+        for c in 0..8 {
+            b.set(2, c, 5.0); // perturb only the last position
+        }
+        let oa = dec.forward(&Var::constant(a), &memory).to_matrix();
+        let ob = dec.forward(&Var::constant(b), &memory).to_matrix();
+        for c in 0..8 {
+            assert!((oa.get(0, c) - ob.get(0, c)).abs() < 1e-4);
+            assert!((oa.get(1, c) - ob.get(1, c)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn encoder_is_permutation_sensitive_via_content() {
+        // Without positional encodings an encoder is permutation
+        // *equivariant*: permuting input rows permutes output rows.
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = TransformerEncoder::new(8, 2, 1, &mut rng);
+        let x = Matrix::xavier(3, 8, &mut rng);
+        let out = enc.forward(&Var::constant(x.clone())).to_matrix();
+        // Swap rows 0 and 2.
+        let mut swapped = Matrix::zeros(3, 8);
+        swapped.row_mut(0).copy_from_slice(x.row(2));
+        swapped.row_mut(1).copy_from_slice(x.row(1));
+        swapped.row_mut(2).copy_from_slice(x.row(0));
+        let out_swapped = enc.forward(&Var::constant(swapped)).to_matrix();
+        for c in 0..8 {
+            assert!((out.get(0, c) - out_swapped.get(2, c)).abs() < 1e-4);
+            assert!((out.get(2, c) - out_swapped.get(0, c)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn encoder_overfits_tiny_regression() {
+        // A 1-block encoder + mean pool should fit two separable inputs.
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = TransformerEncoder::new(8, 2, 1, &mut rng);
+        let head = crate::layers::Linear::new(8, 1, &mut rng);
+        let mut params = enc.parameters();
+        params.extend(head.parameters());
+        let mut opt = Adam::new(params, 1e-2);
+        let a = Matrix::xavier(4, 8, &mut rng);
+        let b = Matrix::xavier(4, 8, &mut rng);
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            opt.zero_grad();
+            let mut total = Var::constant(Matrix::scalar(0.0));
+            for (x, target) in [(&a, 1.0f32), (&b, -1.0)] {
+                let h = enc.forward(&Var::constant(x.clone()));
+                let pooled = h.mean_rows();
+                let pred = head.forward(&pooled);
+                let t = Var::constant(Matrix::scalar(target));
+                let d = pred.sub(&t);
+                total = total.add(&d.hadamard(&d).sum());
+            }
+            total.backward();
+            opt.step();
+            last = total.item();
+        }
+        assert!(last < 0.05, "final loss {last}");
+    }
+
+    #[test]
+    fn parameter_counts_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let enc = TransformerEncoder::new(16, 4, 3, &mut rng);
+        let dec = TransformerDecoder::new(16, 4, 3, &mut rng);
+        assert!(enc.parameter_count() > 3 * (4 * 16 * 16));
+        assert!(dec.parameter_count() > enc.parameter_count());
+    }
+}

@@ -1,0 +1,177 @@
+//! Plan costing under an estimator, with physical operator selection.
+//!
+//! The coefficients are shared with the executor's [`CostTracker`], so the
+//! planner's objective and the runtime's charge agree up to estimation
+//! error — which is the point: a planner with perfect cardinalities (the
+//! ECQO stand-in) finds the truly optimal plan under the simulated runtime.
+
+use crate::estimator::Estimator;
+use crate::Result;
+use mtmlf_exec::cost::{CostTracker, OperatorCost};
+use mtmlf_query::{JoinGraph, JoinOp, PlanNode, Query, ScanOp};
+use mtmlf_storage::Database;
+
+/// Selectivity below which the planner picks an index scan for a filtered
+/// base table (access-path selection; the paper's canonical example of
+/// database-agnostic meta knowledge).
+pub const INDEX_SCAN_SELECTIVITY: f64 = 0.02;
+/// Input size below which a nested-loop join beats building a hash table.
+pub const NL_JOIN_MAX_ROWS: f64 = 8.0;
+
+/// Chooses the scan operator for a base table given estimated selectivity.
+pub fn choose_scan_op(selectivity: f64, filtered: bool) -> ScanOp {
+    if filtered && selectivity < INDEX_SCAN_SELECTIVITY {
+        ScanOp::IndexScan
+    } else {
+        ScanOp::SeqScan
+    }
+}
+
+/// Chooses the join operator from estimated input sizes.
+pub fn choose_join_op(left_rows: f64, right_rows: f64) -> JoinOp {
+    if left_rows.min(right_rows) <= NL_JOIN_MAX_ROWS && left_rows * right_rows <= 65536.0 {
+        JoinOp::NestedLoopJoin
+    } else {
+        JoinOp::HashJoin
+    }
+}
+
+/// Costs plans under an estimator. Base-table sizes come from the catalog
+/// (every planner can see table row counts).
+pub struct PlanCoster<'a, E: Estimator> {
+    estimator: &'a E,
+    db: &'a Database,
+    coefficients: OperatorCost,
+}
+
+impl<'a, E: Estimator> PlanCoster<'a, E> {
+    /// Creates a coster with default coefficients.
+    pub fn new(estimator: &'a E, db: &'a Database) -> Self {
+        Self {
+            estimator,
+            db,
+            coefficients: OperatorCost::default(),
+        }
+    }
+
+    /// Estimated cost (work units) of `plan` for `query`. Scan operators on
+    /// leaves and join operators on inner nodes are taken from the plan.
+    pub fn cost(&self, query: &Query, graph: &JoinGraph, plan: &PlanNode) -> Result<f64> {
+        Ok(self.cost_rec(query, graph, plan)?.0)
+    }
+
+    /// Estimated `(cardinality, cumulative cost)` of the sub-plan rooted at
+    /// every node of `plan`, in post-order — the estimator-side analogue of
+    /// the executor's per-node observations, used to score the classical
+    /// baseline on the paper's per-node CardEst/CostEst tasks.
+    pub fn per_node(
+        &self,
+        query: &Query,
+        graph: &JoinGraph,
+        plan: &PlanNode,
+    ) -> Result<Vec<(f64, f64)>> {
+        let mut out = Vec::with_capacity(plan.node_count());
+        self.per_node_rec(query, graph, plan, &mut out)?;
+        Ok(out)
+    }
+
+    fn per_node_rec(
+        &self,
+        query: &Query,
+        graph: &JoinGraph,
+        plan: &PlanNode,
+        out: &mut Vec<(f64, f64)>,
+    ) -> Result<(f64, f64, u64)> {
+        match plan {
+            PlanNode::Scan { table, op } => {
+                let v = graph
+                    .vertex_of(*table)
+                    .ok_or(mtmlf_query::QueryError::OrderTableNotInQuery(*table))?;
+                let bits = 1u64 << v;
+                let rows = self.estimator.cardinality(query, graph, bits)?;
+                let table_rows = self.db.table(*table)?.rows() as f64;
+                let cost = CostTracker::scan_cost(&self.coefficients, *op, table_rows, rows);
+                out.push((rows, cost));
+                Ok((cost, rows, bits))
+            }
+            PlanNode::Join { op, left, right } => {
+                let (lc, lr, lb) = self.per_node_rec(query, graph, left, out)?;
+                let (rc, rr, rb) = self.per_node_rec(query, graph, right, out)?;
+                let bits = lb | rb;
+                let rows = self.estimator.cardinality(query, graph, bits)?;
+                let jc = CostTracker::join_cost(&self.coefficients, *op, lr, rr, rows);
+                let cost = lc + rc + jc;
+                out.push((rows, cost));
+                Ok((cost, rows, bits))
+            }
+        }
+    }
+
+    /// Returns `(cost, estimated_rows, subset_bits)`.
+    fn cost_rec(
+        &self,
+        query: &Query,
+        graph: &JoinGraph,
+        plan: &PlanNode,
+    ) -> Result<(f64, f64, u64)> {
+        match plan {
+            PlanNode::Scan { table, op } => {
+                let v = graph
+                    .vertex_of(*table)
+                    .ok_or(mtmlf_query::QueryError::OrderTableNotInQuery(*table))?;
+                let bits = 1u64 << v;
+                let rows = self.estimator.cardinality(query, graph, bits)?;
+                let table_rows = self.db.table(*table)?.rows() as f64;
+                let cost = CostTracker::scan_cost(&self.coefficients, *op, table_rows, rows);
+                Ok((cost, rows, bits))
+            }
+            PlanNode::Join { op, left, right } => {
+                let (lc, lr, lb) = self.cost_rec(query, graph, left)?;
+                let (rc, rr, rb) = self.cost_rec(query, graph, right)?;
+                let bits = lb | rb;
+                let out = self.estimator.cardinality(query, graph, bits)?;
+                let jc = CostTracker::join_cost(&self.coefficients, *op, lr, rr, out);
+                Ok((lc + rc + jc, out, bits))
+            }
+        }
+    }
+
+    /// The coefficient set in use.
+    pub fn coefficients(&self) -> &OperatorCost {
+        &self.coefficients
+    }
+}
+
+/// Convenience: cost a plan under an estimator with default coefficients.
+pub fn plan_cost<E: Estimator>(
+    estimator: &E,
+    db: &Database,
+    query: &Query,
+    graph: &JoinGraph,
+    plan: &PlanNode,
+) -> Result<f64> {
+    PlanCoster::new(estimator, db).cost(query, graph, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_op_selection() {
+        assert_eq!(choose_scan_op(0.001, true), ScanOp::IndexScan);
+        assert_eq!(choose_scan_op(0.5, true), ScanOp::SeqScan);
+        assert_eq!(choose_scan_op(0.001, false), ScanOp::SeqScan);
+    }
+
+    #[test]
+    fn join_op_selection() {
+        assert_eq!(choose_join_op(3.0, 100.0), JoinOp::NestedLoopJoin);
+        assert_eq!(choose_join_op(1000.0, 1000.0), JoinOp::HashJoin);
+        assert_eq!(
+            choose_join_op(2.0, 1_000_000.0),
+            JoinOp::HashJoin,
+            "tiny×huge still exceeds the NL product cap"
+        );
+    }
+}

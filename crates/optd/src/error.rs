@@ -1,0 +1,65 @@
+//! Error type for optimization.
+
+use mtmlf_exec::ExecError;
+use mtmlf_query::QueryError;
+use mtmlf_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the optimizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// Underlying storage failure (e.g. statistics not built).
+    Storage(StorageError),
+    /// Underlying query failure.
+    Query(QueryError),
+    /// Underlying execution failure (true-cardinality oracle).
+    Exec(ExecError),
+    /// The DP could not construct any legal plan (should be impossible for
+    /// validated, connected queries).
+    NoPlanFound,
+    /// A cardinality was requested for a subset with no DP entry.
+    MissingCardinality(u64),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage error: {e}"),
+            Self::Query(e) => write!(f, "query error: {e}"),
+            Self::Exec(e) => write!(f, "execution error: {e}"),
+            Self::NoPlanFound => write!(f, "no legal plan found"),
+            Self::MissingCardinality(s) => {
+                write!(f, "no cardinality available for subset {s:#b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Query(e) => Some(e),
+            Self::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for OptError {
+    fn from(e: StorageError) -> Self {
+        OptError::Storage(e)
+    }
+}
+
+impl From<QueryError> for OptError {
+    fn from(e: QueryError) -> Self {
+        OptError::Query(e)
+    }
+}
+
+impl From<ExecError> for OptError {
+    fn from(e: ExecError) -> Self {
+        OptError::Exec(e)
+    }
+}

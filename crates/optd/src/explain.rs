@@ -1,0 +1,230 @@
+//! `EXPLAIN`-style plan rendering: the tree with estimated (and optionally
+//! true) per-node cardinalities and costs — the operational view DBAs use
+//! to see *why* an optimizer chose a plan, and the easiest way to inspect
+//! where an estimator goes wrong.
+
+use crate::cost::PlanCoster;
+use crate::estimator::Estimator;
+use crate::Result;
+use mtmlf_query::{PlanNode, Query};
+use mtmlf_storage::Database;
+
+/// Per-node annotation carried by the rendering.
+#[derive(Debug, Clone)]
+pub struct ExplainNode {
+    /// Operator + operand description.
+    pub label: String,
+    /// Estimated output cardinality.
+    pub estimated_rows: f64,
+    /// True output cardinality, when observations are supplied.
+    pub true_rows: Option<u64>,
+    /// Estimated cumulative cost.
+    pub estimated_cost: f64,
+}
+
+/// Renders a plan as an `EXPLAIN`-style tree under `estimator`. When
+/// `observed` (post-order true cardinalities, e.g. from
+/// [`mtmlf_exec::ExecOutcome`]) is provided, true row counts are printed
+/// next to the estimates.
+pub fn explain<E: Estimator>(
+    estimator: &E,
+    db: &Database,
+    query: &Query,
+    plan: &PlanNode,
+    observed: Option<&[u64]>,
+) -> Result<String> {
+    let graph = query.join_graph()?;
+    let coster = PlanCoster::new(estimator, db);
+    let per_node = coster.per_node(query, &graph, plan)?;
+    if let Some(obs) = observed {
+        debug_assert_eq!(obs.len(), per_node.len());
+    }
+
+    // Map post-order indices onto the tree structure for rendering.
+    let mut lines = Vec::new();
+    let mut cursor = per_node.len();
+    render(
+        db,
+        plan,
+        &per_node,
+        observed,
+        &mut cursor,
+        "",
+        true,
+        true,
+        &mut lines,
+    );
+    lines.reverse();
+    Ok(lines.join("\n"))
+}
+
+/// Walks the tree root-first while consuming post-order indices from the
+/// back (the root is the last post-order entry).
+#[allow(clippy::too_many_arguments)]
+fn render(
+    db: &Database,
+    node: &PlanNode,
+    per_node: &[(f64, f64)],
+    observed: Option<&[u64]>,
+    cursor: &mut usize,
+    prefix: &str,
+    is_root: bool,
+    is_last: bool,
+    lines: &mut Vec<String>,
+) {
+    *cursor -= 1;
+    let idx = *cursor;
+    let (est_rows, est_cost) = per_node[idx];
+    let label = match node {
+        PlanNode::Scan { table, op } => {
+            let name = db.table(*table).map(|t| t.name().to_string()).unwrap_or_else(|_| table.to_string());
+            format!("{}({name})", op.name())
+        }
+        PlanNode::Join { op, .. } => op.name().to_string(),
+    };
+    let truth = observed
+        .and_then(|o| o.get(idx))
+        .map(|t| format!(", true rows {t}"))
+        .unwrap_or_default();
+    let connector = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}└─ ")
+    } else {
+        format!("{prefix}├─ ")
+    };
+    let line = format!("{connector}{label}  (est rows {est_rows:.0}{truth}, est cost {est_cost:.0})");
+
+    // Children render before this line is pushed (post-order consumption),
+    // but must appear *after* it in the output; we push in reverse and flip
+    // at the end.
+    if let PlanNode::Join { left, right, .. } = node {
+        let child_prefix = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}   ")
+        } else {
+            format!("{prefix}│  ")
+        };
+        // Post-order stores left subtree first, so consume right first when
+        // walking backwards.
+        render(db, right, per_node, observed, cursor, &child_prefix, false, true, lines);
+        render(db, left, per_node, observed, cursor, &child_prefix, false, false, lines);
+    }
+    lines.push(line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::PgEstimator;
+    use mtmlf_query::predicate::{ColumnRef, JoinPredicate};
+    use mtmlf_storage::{Column, ColumnDef, ColumnId, ColumnType, Table, TableId, TableSchema};
+    use std::collections::BTreeMap;
+
+    fn make_db() -> Database {
+        let mut db = Database::new("explain");
+        let a = Table::from_columns(
+            TableSchema::new(
+                "orders",
+                vec![ColumnDef::pk("id"), ColumnDef::attr("v", ColumnType::Int)],
+            ),
+            vec![
+                Column::Int((0..100).collect()),
+                Column::Int((0..100).map(|i| i % 10).collect()),
+            ],
+        )
+        .unwrap();
+        db.add_table(a).unwrap();
+        let b = Table::from_columns(
+            TableSchema::new(
+                "items",
+                vec![ColumnDef::pk("id"), ColumnDef::fk("order_id", TableId(0))],
+            ),
+            vec![
+                Column::Int((0..50).collect()),
+                Column::Int((0..50).map(|i| i * 2).collect()),
+            ],
+        )
+        .unwrap();
+        db.add_table(b).unwrap();
+        db.analyze_all(8, 4);
+        db
+    }
+
+    fn query() -> Query {
+        Query::new(
+            vec![TableId(0), TableId(1)],
+            vec![JoinPredicate::new(
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                ColumnRef::new(TableId(1), ColumnId(1)),
+            )],
+            BTreeMap::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_tree_with_names_and_estimates() {
+        let db = make_db();
+        let q = query();
+        let plan = PlanNode::left_deep(&[TableId(0), TableId(1)]).unwrap();
+        let est = PgEstimator::new(&db);
+        let text = explain(&est, &db, &q, &plan, None).unwrap();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("SeqScan(orders)"), "{text}");
+        assert!(text.contains("SeqScan(items)"), "{text}");
+        assert!(text.contains("est rows"), "{text}");
+        // Root first, children indented.
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("HashJoin"), "{text}");
+    }
+
+    #[test]
+    fn includes_true_rows_when_observed() {
+        let db = make_db();
+        let q = query();
+        let plan = PlanNode::left_deep(&[TableId(0), TableId(1)]).unwrap();
+        let outcome = mtmlf_exec::Executor::new(&db).execute_plan(&q, &plan).unwrap();
+        let cards: Vec<u64> = outcome.nodes.iter().map(|n| n.cardinality).collect();
+        let est = PgEstimator::new(&db);
+        let text = explain(&est, &db, &q, &plan, Some(&cards)).unwrap();
+        assert!(text.contains("true rows 50"), "{text}");
+    }
+
+    #[test]
+    fn three_way_structure() {
+        let mut db = make_db();
+        let c = Table::from_columns(
+            TableSchema::new(
+                "notes",
+                vec![ColumnDef::pk("id"), ColumnDef::fk("order_id", TableId(0))],
+            ),
+            vec![Column::Int((0..20).collect()), Column::Int((0..20).collect())],
+        )
+        .unwrap();
+        db.add_table(c).unwrap();
+        db.analyze_all(8, 4);
+        let q = Query::new(
+            vec![TableId(0), TableId(1), TableId(2)],
+            vec![
+                JoinPredicate::new(
+                    ColumnRef::new(TableId(0), ColumnId(0)),
+                    ColumnRef::new(TableId(1), ColumnId(1)),
+                ),
+                JoinPredicate::new(
+                    ColumnRef::new(TableId(0), ColumnId(0)),
+                    ColumnRef::new(TableId(2), ColumnId(1)),
+                ),
+            ],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let plan = PlanNode::left_deep(&[TableId(0), TableId(1), TableId(2)]).unwrap();
+        let est = PgEstimator::new(&db);
+        let text = explain(&est, &db, &q, &plan, None).unwrap();
+        assert_eq!(text.lines().count(), 5, "{text}");
+        assert!(text.contains("└─ SeqScan(notes)"), "{text}");
+        assert!(text.contains("│"), "{text}");
+    }
+}

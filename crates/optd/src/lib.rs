@@ -1,0 +1,37 @@
+//! # mtmlf-optd
+//!
+//! Classical (non-learned) query optimization, providing the two baselines
+//! the paper's evaluation compares against:
+//!
+//! - **PostgreSQL-style optimizer** ([`PgOptimizer`]): per-column statistics
+//!   (equi-depth histograms + MCVs), attribute-independence and
+//!   join-uniformity assumptions, magic selectivity constants for `LIKE` —
+//!   the estimator whose large q-errors on correlated data form Table 1's
+//!   "PostgreSQL" row — driving a cost-based dynamic-programming join
+//!   enumerator with access-path and join-operator selection.
+//! - **Exact-cardinality optimal join orders** ([`exact_optimal_order`]):
+//!   the same DP driven by *true* cardinalities from `mtmlf-exec`, which is
+//!   what the ECQO program \[34\] computes; the paper uses it both as the
+//!   "Optimal" row of Table 2 and as the training labels for `Trans_JO`.
+//!
+//! The [`Estimator`] trait abstracts over cardinality sources so the DP is
+//! shared by both and can also run over a learned estimator.
+
+pub mod cost;
+pub mod dp;
+pub mod error;
+pub mod estimator;
+pub mod explain;
+pub mod metrics;
+pub mod pg;
+
+pub use cost::{choose_join_op, choose_scan_op, plan_cost, PlanCoster};
+pub use dp::{best_bushy_order, best_left_deep_order, exact_optimal_bushy, exact_optimal_order, greedy_order};
+pub use error::OptError;
+pub use estimator::{Estimator, PgEstimator, TrueCardEstimator};
+pub use explain::explain;
+pub use metrics::{q_error, QErrorSummary};
+pub use pg::PgOptimizer;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OptError>;

@@ -1,0 +1,110 @@
+//! Evaluation metrics: q-error and its workload summary.
+
+/// The q-error of an estimate against the truth:
+/// `max(est/true, true/est)`, with both sides floored at 1 tuple (the
+/// convention of the CardEst literature the paper follows [15, 32]).
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// Median / max / mean summary of a set of q-errors — the three columns the
+/// paper's Table 1 reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QErrorSummary {
+    /// Median q-error.
+    pub median: f64,
+    /// Maximum q-error.
+    pub max: f64,
+    /// Mean q-error.
+    pub mean: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl QErrorSummary {
+    /// Summarizes a non-empty set of q-errors. Returns `None` for empty
+    /// input.
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Self {
+            median,
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            count: n,
+        })
+    }
+
+    /// Summarizes paired (estimate, truth) samples.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Option<Self> {
+        let errors: Vec<f64> = pairs.into_iter().map(|(e, t)| q_error(e, t)).collect();
+        Self::from_errors(&errors)
+    }
+}
+
+impl std::fmt::Display for QErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "median {:.2}, max {:.2}, mean {:.2} (n={})",
+            self.median, self.max, self.mean, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_symmetric() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(50.0, 50.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_floors_at_one_tuple() {
+        assert_eq!(q_error(0.0, 10.0), 10.0);
+        assert_eq!(q_error(0.001, 0.0), 1.0);
+        assert!(q_error(5.0, 5.0) >= 1.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = QErrorSummary::from_errors(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 22.0);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn summary_even_count_median() {
+        let s = QErrorSummary::from_errors(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(QErrorSummary::from_errors(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_from_pairs() {
+        let s = QErrorSummary::from_pairs(vec![(10.0, 10.0), (1.0, 100.0)]).unwrap();
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.5);
+    }
+}

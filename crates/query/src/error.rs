@@ -1,0 +1,66 @@
+//! Error type for query/plan construction.
+
+use mtmlf_storage::TableId;
+use std::fmt;
+
+/// Errors produced when constructing or validating queries and plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query must touch at least one table.
+    EmptyQuery,
+    /// A join predicate references a table outside the query's table set.
+    JoinTableNotInQuery(TableId),
+    /// A filter references a table outside the query's table set.
+    FilterTableNotInQuery(TableId),
+    /// The query's join graph is disconnected (cross products unsupported).
+    DisconnectedJoinGraph,
+    /// A join order listed a table that is not part of the query.
+    OrderTableNotInQuery(TableId),
+    /// A join order did not cover all query tables exactly once.
+    OrderNotAPermutation,
+    /// A join order is not executable: no join predicate connects the next
+    /// table to the already-joined prefix.
+    IllegalOrder {
+        /// Position in the order where legality broke.
+        position: usize,
+        /// The offending table.
+        table: TableId,
+    },
+    /// Too many tables for the bitset representation (max 64).
+    TooManyTables(usize),
+    /// A decoding embedding set could not be reverted to a tree.
+    InvalidTreeEmbedding(String),
+    /// A LIKE pattern was not of a supported shape.
+    UnsupportedLikePattern(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyQuery => write!(f, "query touches no tables"),
+            Self::JoinTableNotInQuery(t) => {
+                write!(f, "join predicate references table {t} outside the query")
+            }
+            Self::FilterTableNotInQuery(t) => {
+                write!(f, "filter references table {t} outside the query")
+            }
+            Self::DisconnectedJoinGraph => write!(f, "join graph is disconnected"),
+            Self::OrderTableNotInQuery(t) => {
+                write!(f, "join order references table {t} outside the query")
+            }
+            Self::OrderNotAPermutation => {
+                write!(f, "join order is not a permutation of the query tables")
+            }
+            Self::IllegalOrder { position, table } => write!(
+                f,
+                "illegal join order: table {table} at position {position} has no join \
+                 predicate with the joined prefix"
+            ),
+            Self::TooManyTables(n) => write!(f, "too many tables for bitset join graph: {n} > 64"),
+            Self::InvalidTreeEmbedding(msg) => write!(f, "invalid tree embedding: {msg}"),
+            Self::UnsupportedLikePattern(p) => write!(f, "unsupported LIKE pattern `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

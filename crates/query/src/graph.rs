@@ -1,0 +1,270 @@
+//! Join-graph adjacency bitsets and the beam-search legality frontier.
+//!
+//! Section 4.3 of the paper: "we utilize this relationship to construct a
+//! corresponding adjacency matrix for each query ... we only choose
+//! candidates from tables having join key with current joined table ...
+//! After selection, we perform AND operation on the adjacency vector of the
+//! selected table and current joined table" — the "AND" in the paper
+//! accumulates reachability; here the frontier is the OR of adjacency rows
+//! of the joined prefix minus the prefix itself, which is the executable-next
+//! set the pruning strategy needs.
+
+use crate::error::QueryError;
+use crate::query::Query;
+use crate::Result;
+use mtmlf_storage::TableId;
+use std::collections::HashMap;
+
+/// Adjacency structure over the tables of one query, in *local* vertex ids
+/// `0..n` (dense), with a mapping back to global [`TableId`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinGraph {
+    /// Global table id of each local vertex, ascending.
+    vertices: Vec<TableId>,
+    /// `adj[i]` has bit `j` set iff a join predicate connects vertices i, j.
+    adj: Vec<u64>,
+}
+
+impl JoinGraph {
+    /// Builds the join graph of a query.
+    pub fn from_query(query: &Query) -> Result<Self> {
+        let vertices: Vec<TableId> = query.tables().to_vec();
+        if vertices.len() > 64 {
+            return Err(QueryError::TooManyTables(vertices.len()));
+        }
+        let index: HashMap<TableId, usize> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        let mut adj = vec![0u64; vertices.len()];
+        for j in query.joins() {
+            let a = index[&j.left.table];
+            let b = index[&j.right.table];
+            adj[a] |= 1 << b;
+            adj[b] |= 1 << a;
+        }
+        Ok(Self { vertices, adj })
+    }
+
+    /// Builds a graph directly from vertices and undirected edges in local
+    /// ids (used by generators and tests).
+    pub fn from_edges(vertices: Vec<TableId>, edges: &[(usize, usize)]) -> Result<Self> {
+        if vertices.len() > 64 {
+            return Err(QueryError::TooManyTables(vertices.len()));
+        }
+        let mut adj = vec![0u64; vertices.len()];
+        for &(a, b) in edges {
+            adj[a] |= 1 << b;
+            adj[b] |= 1 << a;
+        }
+        Ok(Self { vertices, adj })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Global table id of local vertex `i`.
+    pub fn table(&self, i: usize) -> TableId {
+        self.vertices[i]
+    }
+
+    /// Local vertex of a global table id, if present.
+    pub fn vertex_of(&self, t: TableId) -> Option<usize> {
+        self.vertices.binary_search(&t).ok()
+    }
+
+    /// Adjacency bitset of vertex `i`.
+    pub fn adjacency(&self, i: usize) -> u64 {
+        self.adj[i]
+    }
+
+    /// True when vertices `a` and `b` are directly joinable.
+    pub fn joinable(&self, a: usize, b: usize) -> bool {
+        self.adj[a] & (1 << b) != 0
+    }
+
+    /// True when the graph is connected (single vertex counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.vertices.is_empty() {
+            return false;
+        }
+        let full: u64 = if self.vertices.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.vertices.len()) - 1
+        };
+        self.reachable_from(0) == full
+    }
+
+    /// Bitset of vertices reachable from `start`.
+    pub fn reachable_from(&self, start: usize) -> u64 {
+        let mut seen = 1u64 << start;
+        let mut frontier = seen;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[v];
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen
+    }
+
+    /// The legality frontier: vertices (as a bitset) that can legally join
+    /// *next* given the already-joined `prefix` bitset. Empty prefix means
+    /// every vertex is a legal start.
+    pub fn frontier(&self, prefix: u64) -> u64 {
+        if prefix == 0 {
+            return if self.vertices.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.vertices.len()) - 1
+            };
+        }
+        let mut reach = 0u64;
+        let mut p = prefix;
+        while p != 0 {
+            let v = p.trailing_zeros() as usize;
+            p &= p - 1;
+            reach |= self.adj[v];
+        }
+        reach & !prefix
+    }
+
+    /// True when a bitset of vertices induces a connected subgraph.
+    pub fn subset_connected(&self, subset: u64) -> bool {
+        if subset == 0 {
+            return false;
+        }
+        let start = subset.trailing_zeros() as usize;
+        let mut seen = 1u64 << start;
+        let mut frontier = seen;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[v] & subset;
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen == subset
+    }
+
+    /// Checks a left-deep order (local vertex ids) for legality: each next
+    /// vertex must join with the prefix.
+    pub fn check_left_deep(&self, order: &[usize]) -> Result<()> {
+        if order.len() != self.vertices.len() {
+            return Err(QueryError::OrderNotAPermutation);
+        }
+        let mut seen = 0u64;
+        for (pos, &v) in order.iter().enumerate() {
+            if v >= self.vertices.len() || seen & (1 << v) != 0 {
+                return Err(QueryError::OrderNotAPermutation);
+            }
+            if pos > 0 && self.frontier(seen) & (1 << v) == 0 {
+                return Err(QueryError::IllegalOrder {
+                    position: pos,
+                    table: self.vertices[v],
+                });
+            }
+            seen |= 1 << v;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> JoinGraph {
+        let vertices = (0..n as u32).map(TableId).collect();
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        JoinGraph::from_edges(vertices, &edges).unwrap()
+    }
+
+    fn star(n: usize) -> JoinGraph {
+        let vertices = (0..n as u32).map(TableId).collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        JoinGraph::from_edges(vertices, &edges).unwrap()
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(chain(5).is_connected());
+        assert!(star(6).is_connected());
+        let disconnected =
+            JoinGraph::from_edges(vec![TableId(0), TableId(1), TableId(2)], &[(0, 1)]).unwrap();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn frontier_on_chain() {
+        let g = chain(4);
+        assert_eq!(g.frontier(0), 0b1111);
+        assert_eq!(g.frontier(0b0001), 0b0010);
+        assert_eq!(g.frontier(0b0011), 0b0100);
+        assert_eq!(g.frontier(0b0110), 0b1001);
+    }
+
+    #[test]
+    fn frontier_on_star() {
+        let g = star(4);
+        // Joined only a leaf: next must be the hub.
+        assert_eq!(g.frontier(0b0010), 0b0001);
+        // Joined the hub: all leaves legal.
+        assert_eq!(g.frontier(0b0001), 0b1110);
+    }
+
+    #[test]
+    fn subset_connectivity() {
+        let g = chain(5);
+        assert!(g.subset_connected(0b00111));
+        assert!(!g.subset_connected(0b00101));
+        assert!(g.subset_connected(0b00001));
+        assert!(!g.subset_connected(0));
+    }
+
+    #[test]
+    fn legality_check() {
+        let g = chain(4);
+        assert!(g.check_left_deep(&[0, 1, 2, 3]).is_ok());
+        assert!(g.check_left_deep(&[1, 2, 0, 3]).is_ok());
+        assert!(matches!(
+            g.check_left_deep(&[0, 2, 1, 3]),
+            Err(QueryError::IllegalOrder { position: 1, .. })
+        ));
+        assert!(matches!(
+            g.check_left_deep(&[0, 1, 2]),
+            Err(QueryError::OrderNotAPermutation)
+        ));
+        assert!(matches!(
+            g.check_left_deep(&[0, 0, 1, 2]),
+            Err(QueryError::OrderNotAPermutation)
+        ));
+    }
+
+    #[test]
+    fn vertex_mapping() {
+        let g = JoinGraph::from_edges(vec![TableId(3), TableId(7)], &[(0, 1)]).unwrap();
+        assert_eq!(g.vertex_of(TableId(7)), Some(1));
+        assert_eq!(g.vertex_of(TableId(4)), None);
+        assert_eq!(g.table(0), TableId(3));
+        assert!(g.joinable(0, 1));
+    }
+}

@@ -1,0 +1,38 @@
+//! # mtmlf-query
+//!
+//! Query and plan intermediate representation for the MTMLF reproduction.
+//!
+//! The paper models a query as `Q = (T_Q, j_Q, f_Q)`: the touched tables,
+//! the equi-join predicates, and the per-table filter predicates (Section
+//! 3.2 I). Candidate plans are binary trees whose leaves are scans and whose
+//! inner nodes are joins. This crate provides:
+//!
+//! - [`predicate`]: filter predicates (comparison, range, `LIKE`, `IN`) and
+//!   equi-join predicates;
+//! - [`query`]: the [`Query`] type with its invariants;
+//! - [`graph`]: [`JoinGraph`] adjacency bitsets, connectivity, and the
+//!   AND-accumulated legality frontier used by the beam search (Section 4.3);
+//! - [`plan`]: [`PlanNode`] trees, scan/join physical operators, builders
+//!   from left-deep orders and bushy [`JoinTree`]s;
+//! - [`treecodec`]: the complete-binary-tree decoding embeddings of Section
+//!   4.1 (tree ↔ sequence conversion, both directions);
+//! - [`order`]: join orders as produced by optimizers and the decoder.
+
+pub mod error;
+pub mod graph;
+pub mod order;
+pub mod plan;
+pub mod predicate;
+pub mod query;
+pub mod sql;
+pub mod treecodec;
+
+pub use error::QueryError;
+pub use graph::JoinGraph;
+pub use order::JoinOrder;
+pub use plan::{JoinOp, JoinTree, PlanNode, ScanOp};
+pub use predicate::{CmpOp, ColumnRef, FilterPredicate, JoinPredicate, LikePattern};
+pub use query::Query;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

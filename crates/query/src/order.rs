@@ -1,0 +1,210 @@
+//! Join orders: what optimizers emit and `Trans_JO` decodes.
+
+use crate::error::QueryError;
+use crate::graph::JoinGraph;
+use crate::plan::{JoinTree, PlanNode};
+use crate::query::Query;
+use crate::Result;
+use mtmlf_storage::TableId;
+use std::fmt;
+
+/// A join order for a query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinOrder {
+    /// A left-deep order: the table sequence `T'_1, T'_2, ...` (Section 3.2
+    /// T.iii — left-deep orders flatten directly into a sequence).
+    LeftDeep(Vec<TableId>),
+    /// A bushy order, carried as its join tree (Section 4.1).
+    Bushy(JoinTree),
+}
+
+impl JoinOrder {
+    /// The underlying join tree.
+    pub fn tree(&self) -> Result<JoinTree> {
+        match self {
+            JoinOrder::LeftDeep(order) => JoinTree::left_deep(order),
+            JoinOrder::Bushy(tree) => Ok(tree.clone()),
+        }
+    }
+
+    /// Converts to a physical plan with default operators.
+    pub fn to_plan(&self) -> Result<PlanNode> {
+        Ok(self.tree()?.to_plan())
+    }
+
+    /// The tables of the order, in join sequence (leaf order for bushy).
+    pub fn tables(&self) -> Vec<TableId> {
+        match self {
+            JoinOrder::LeftDeep(order) => order.clone(),
+            JoinOrder::Bushy(tree) => tree.leaves(),
+        }
+    }
+
+    /// Number of tables joined.
+    pub fn len(&self) -> usize {
+        match self {
+            JoinOrder::LeftDeep(order) => order.len(),
+            JoinOrder::Bushy(tree) => tree.leaf_count(),
+        }
+    }
+
+    /// True for an empty order (never produced by valid constructors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates the order against a query: it must be a permutation of the
+    /// query's tables and executable under the query's join graph (for
+    /// left-deep: every next table joins the prefix; for bushy: every join
+    /// node connects its two sides).
+    pub fn validate(&self, query: &Query) -> Result<()> {
+        let mut tables = self.tables();
+        tables.sort_unstable();
+        tables.dedup();
+        if tables != query.tables() {
+            for t in &tables {
+                if !query.tables().contains(t) {
+                    return Err(QueryError::OrderTableNotInQuery(*t));
+                }
+            }
+            return Err(QueryError::OrderNotAPermutation);
+        }
+        let graph = query.join_graph()?;
+        match self {
+            JoinOrder::LeftDeep(order) => {
+                let local: Vec<usize> = order
+                    .iter()
+                    .map(|t| graph.vertex_of(*t).expect("validated membership"))
+                    .collect();
+                graph.check_left_deep(&local)
+            }
+            JoinOrder::Bushy(tree) => check_bushy(tree, &graph).map(|_| ()),
+        }
+    }
+}
+
+/// Checks a bushy tree: every join node must connect its two sides via at
+/// least one join edge. Returns the subtree's vertex bitset.
+fn check_bushy(tree: &JoinTree, graph: &JoinGraph) -> Result<u64> {
+    match tree {
+        JoinTree::Leaf(t) => {
+            let v = graph
+                .vertex_of(*t)
+                .ok_or(QueryError::OrderTableNotInQuery(*t))?;
+            Ok(1u64 << v)
+        }
+        JoinTree::Node(l, r) => {
+            let lb = check_bushy(l, graph)?;
+            let rb = check_bushy(r, graph)?;
+            // Some vertex of the right side must be in the frontier of the
+            // left side (or vice versa; frontier is symmetric here).
+            if graph.frontier(lb) & rb == 0 {
+                let t = graph.table(rb.trailing_zeros() as usize);
+                return Err(QueryError::IllegalOrder {
+                    position: lb.count_ones() as usize,
+                    table: t,
+                });
+            }
+            Ok(lb | rb)
+        }
+    }
+}
+
+impl fmt::Display for JoinOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinOrder::LeftDeep(order) => {
+                for (i, t) in order.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⋈ ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            JoinOrder::Bushy(tree) => write!(f, "{}", tree.to_plan()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnRef, JoinPredicate};
+    use mtmlf_storage::ColumnId;
+    use std::collections::BTreeMap;
+
+    fn jp(a: u32, b: u32) -> JoinPredicate {
+        JoinPredicate::new(
+            ColumnRef::new(TableId(a), ColumnId(0)),
+            ColumnRef::new(TableId(b), ColumnId(0)),
+        )
+    }
+
+    fn chain_query() -> Query {
+        Query::new(
+            vec![TableId(0), TableId(1), TableId(2), TableId(3)],
+            vec![jp(0, 1), jp(1, 2), jp(2, 3)],
+            BTreeMap::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn left_deep_validation() {
+        let q = chain_query();
+        let good = JoinOrder::LeftDeep(vec![TableId(1), TableId(2), TableId(0), TableId(3)]);
+        assert!(good.validate(&q).is_ok());
+        let bad = JoinOrder::LeftDeep(vec![TableId(0), TableId(2), TableId(1), TableId(3)]);
+        assert!(matches!(
+            bad.validate(&q),
+            Err(QueryError::IllegalOrder { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn permutation_validation() {
+        let q = chain_query();
+        let dup = JoinOrder::LeftDeep(vec![TableId(0), TableId(0), TableId(1), TableId(2)]);
+        assert!(dup.validate(&q).is_err());
+        let foreign = JoinOrder::LeftDeep(vec![TableId(0), TableId(1), TableId(2), TableId(9)]);
+        assert_eq!(
+            foreign.validate(&q).unwrap_err(),
+            QueryError::OrderTableNotInQuery(TableId(9))
+        );
+        let short = JoinOrder::LeftDeep(vec![TableId(0), TableId(1)]);
+        assert!(short.validate(&q).is_err());
+    }
+
+    #[test]
+    fn bushy_validation() {
+        let q = chain_query();
+        // (0 ⋈ 1) ⋈ (2 ⋈ 3): edge 1-2 connects the sides — legal.
+        let good = JoinOrder::Bushy(JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(TableId(0)), JoinTree::Leaf(TableId(1))),
+            JoinTree::join(JoinTree::Leaf(TableId(2)), JoinTree::Leaf(TableId(3))),
+        ));
+        assert!(good.validate(&q).is_ok());
+        // (0 ⋈ 2) is not an edge in the chain — illegal.
+        let bad = JoinOrder::Bushy(JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(TableId(0)), JoinTree::Leaf(TableId(2))),
+            JoinTree::join(JoinTree::Leaf(TableId(1)), JoinTree::Leaf(TableId(3))),
+        ));
+        assert!(bad.validate(&q).is_err());
+    }
+
+    #[test]
+    fn order_conversions() {
+        let o = JoinOrder::LeftDeep(vec![TableId(2), TableId(0), TableId(1)]);
+        assert_eq!(o.len(), 3);
+        let plan = o.to_plan().unwrap();
+        assert_eq!(plan.tables(), vec![TableId(2), TableId(0), TableId(1)]);
+        assert!(plan.is_left_deep());
+    }
+
+    #[test]
+    fn display() {
+        let o = JoinOrder::LeftDeep(vec![TableId(0), TableId(1)]);
+        assert_eq!(o.to_string(), "T0 ⋈ T1");
+    }
+}

@@ -1,0 +1,338 @@
+//! Physical plan trees.
+//!
+//! A plan is a binary tree: leaves are scans, inner nodes are joins
+//! (Section 3.1 of the paper; other physical operators are omitted,
+//! following Neo \[21\]).
+
+use crate::error::QueryError;
+use crate::Result;
+use mtmlf_storage::TableId;
+use std::fmt;
+
+/// Physical scan operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanOp {
+    /// Sequential scan of the full table.
+    #[default]
+    SeqScan,
+    /// Index scan (modeled as a cheaper scan when selectivity is high).
+    IndexScan,
+}
+
+/// Physical join operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JoinOp {
+    /// Hash join (build on one side, probe with the other).
+    #[default]
+    HashJoin,
+    /// Sort-merge join.
+    MergeJoin,
+    /// Nested-loop join.
+    NestedLoopJoin,
+}
+
+impl ScanOp {
+    /// All scan operators.
+    pub const ALL: [ScanOp; 2] = [ScanOp::SeqScan, ScanOp::IndexScan];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanOp::SeqScan => "SeqScan",
+            ScanOp::IndexScan => "IndexScan",
+        }
+    }
+}
+
+impl JoinOp {
+    /// All join operators.
+    pub const ALL: [JoinOp; 3] = [JoinOp::HashJoin, JoinOp::MergeJoin, JoinOp::NestedLoopJoin];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinOp::HashJoin => "HashJoin",
+            JoinOp::MergeJoin => "MergeJoin",
+            JoinOp::NestedLoopJoin => "NestedLoopJoin",
+        }
+    }
+}
+
+/// A *logical* join tree: the shape of the join order without physical
+/// operator annotations. Left-deep trees are a special case.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinTree {
+    /// A base table.
+    Leaf(TableId),
+    /// A join of two subtrees.
+    Node(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Builds a left-deep tree joining tables in the given order
+    /// (`((t0 ⋈ t1) ⋈ t2) ⋈ ...`). Requires at least one table.
+    pub fn left_deep(order: &[TableId]) -> Result<Self> {
+        let (&first, rest) = order.split_first().ok_or(QueryError::EmptyQuery)?;
+        let mut tree = JoinTree::Leaf(first);
+        for &t in rest {
+            tree = JoinTree::Node(Box::new(tree), Box::new(JoinTree::Leaf(t)));
+        }
+        Ok(tree)
+    }
+
+    /// Joins two subtrees.
+    pub fn join(left: JoinTree, right: JoinTree) -> Self {
+        JoinTree::Node(Box::new(left), Box::new(right))
+    }
+
+    /// Tables in leaf order (left to right).
+    pub fn leaves(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<TableId>) {
+        match self {
+            JoinTree::Leaf(t) => out.push(*t),
+            JoinTree::Node(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Node(l, r) => l.leaf_count() + r.leaf_count(),
+        }
+    }
+
+    /// Tree height: 0 for a leaf.
+    pub fn height(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Node(l, r) => 1 + l.height().max(r.height()),
+        }
+    }
+
+    /// True when every right child is a leaf (left-deep shape).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Node(l, r) => matches!(**r, JoinTree::Leaf(_)) && l.is_left_deep(),
+        }
+    }
+
+    /// Converts to a physical plan with default operators.
+    pub fn to_plan(&self) -> PlanNode {
+        match self {
+            JoinTree::Leaf(t) => PlanNode::scan(*t),
+            JoinTree::Node(l, r) => PlanNode::join_default(l.to_plan(), r.to_plan()),
+        }
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Leaf: a scan of one base table.
+    Scan {
+        /// Scanned table.
+        table: TableId,
+        /// Physical scan operator.
+        op: ScanOp,
+    },
+    /// Inner node: a join of two sub-plans.
+    Join {
+        /// Physical join operator.
+        op: JoinOp,
+        /// Left (outer / build-side) input.
+        left: Box<PlanNode>,
+        /// Right (inner / probe-side) input.
+        right: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// A sequential scan leaf.
+    pub fn scan(table: TableId) -> Self {
+        PlanNode::Scan {
+            table,
+            op: ScanOp::SeqScan,
+        }
+    }
+
+    /// A scan leaf with an explicit operator.
+    pub fn scan_with(table: TableId, op: ScanOp) -> Self {
+        PlanNode::Scan { table, op }
+    }
+
+    /// A hash join of two sub-plans.
+    pub fn join_default(left: PlanNode, right: PlanNode) -> Self {
+        PlanNode::Join {
+            op: JoinOp::HashJoin,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// A join with an explicit operator.
+    pub fn join_with(op: JoinOp, left: PlanNode, right: PlanNode) -> Self {
+        PlanNode::Join {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Builds a left-deep plan with default operators from a table order.
+    pub fn left_deep(order: &[TableId]) -> Result<Self> {
+        Ok(JoinTree::left_deep(order)?.to_plan())
+    }
+
+    /// Tables covered by this (sub-)plan, in leaf order.
+    pub fn tables(&self) -> Vec<TableId> {
+        match self {
+            PlanNode::Scan { table, .. } => vec![*table],
+            PlanNode::Join { left, right, .. } => {
+                let mut t = left.tables();
+                t.extend(right.tables());
+                t
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 1,
+            PlanNode::Join { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Total node count (leaves + inner).
+    pub fn node_count(&self) -> usize {
+        match self {
+            PlanNode::Scan { .. } => 1,
+            PlanNode::Join { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+
+    /// Post-order traversal: children before parents, root last. This is the
+    /// serialization order used by the featurization module (F.iii in the
+    /// paper's Figure 2) — every sub-plan's nodes precede its root, matching
+    /// how per-node cardinality/cost labels are attached.
+    pub fn post_order(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.post_order_into(&mut out);
+        out
+    }
+
+    fn post_order_into<'a>(&'a self, out: &mut Vec<&'a PlanNode>) {
+        if let PlanNode::Join { left, right, .. } = self {
+            left.post_order_into(out);
+            right.post_order_into(out);
+        }
+        out.push(self);
+    }
+
+    /// The logical join tree underlying this plan.
+    pub fn join_tree(&self) -> JoinTree {
+        match self {
+            PlanNode::Scan { table, .. } => JoinTree::Leaf(*table),
+            PlanNode::Join { left, right, .. } => {
+                JoinTree::join(left.join_tree(), right.join_tree())
+            }
+        }
+    }
+
+    /// True when the plan is left-deep.
+    pub fn is_left_deep(&self) -> bool {
+        self.join_tree().is_left_deep()
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanNode::Scan { table, op } => write!(f, "{}({table})", op.name()),
+            PlanNode::Join { op, left, right } => {
+                write!(f, "{}({left}, {right})", op.name())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> TableId {
+        TableId(i)
+    }
+
+    #[test]
+    fn left_deep_construction() {
+        let tree = JoinTree::left_deep(&[tid(0), tid(1), tid(2)]).unwrap();
+        assert!(tree.is_left_deep());
+        assert_eq!(tree.leaves(), vec![tid(0), tid(1), tid(2)]);
+        assert_eq!(tree.height(), 2);
+        assert!(JoinTree::left_deep(&[]).is_err());
+    }
+
+    #[test]
+    fn bushy_tree_shape() {
+        let tree = JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(tid(0)), JoinTree::Leaf(tid(1))),
+            JoinTree::join(JoinTree::Leaf(tid(2)), JoinTree::Leaf(tid(3))),
+        );
+        assert!(!tree.is_left_deep());
+        assert_eq!(tree.height(), 2);
+        assert_eq!(tree.leaf_count(), 4);
+    }
+
+    #[test]
+    fn plan_counts_and_tables() {
+        let plan = PlanNode::left_deep(&[tid(0), tid(1), tid(2), tid(3)]).unwrap();
+        assert_eq!(plan.leaf_count(), 4);
+        assert_eq!(plan.node_count(), 7);
+        assert_eq!(plan.tables(), vec![tid(0), tid(1), tid(2), tid(3)]);
+        assert!(plan.is_left_deep());
+    }
+
+    #[test]
+    fn post_order_children_first() {
+        let plan = PlanNode::left_deep(&[tid(0), tid(1), tid(2)]).unwrap();
+        let nodes = plan.post_order();
+        assert_eq!(nodes.len(), 5);
+        // Leaves of the deepest join come first, root last.
+        assert!(matches!(nodes[0], PlanNode::Scan { table, .. } if *table == tid(0)));
+        assert!(matches!(nodes[1], PlanNode::Scan { table, .. } if *table == tid(1)));
+        assert!(matches!(nodes[2], PlanNode::Join { .. }));
+        assert!(matches!(nodes[3], PlanNode::Scan { table, .. } if *table == tid(2)));
+        assert!(std::ptr::eq(nodes[4], &plan));
+    }
+
+    #[test]
+    fn join_tree_roundtrip() {
+        let tree = JoinTree::join(
+            JoinTree::Leaf(tid(5)),
+            JoinTree::join(JoinTree::Leaf(tid(1)), JoinTree::Leaf(tid(2))),
+        );
+        let plan = tree.to_plan();
+        assert_eq!(plan.join_tree(), tree);
+    }
+
+    #[test]
+    fn display_plan() {
+        let plan = PlanNode::join_with(
+            JoinOp::MergeJoin,
+            PlanNode::scan(tid(0)),
+            PlanNode::scan_with(tid(1), ScanOp::IndexScan),
+        );
+        assert_eq!(plan.to_string(), "MergeJoin(SeqScan(T0), IndexScan(T1))");
+    }
+}

@@ -1,0 +1,353 @@
+//! Filter and join predicates.
+
+use crate::error::QueryError;
+use crate::Result;
+use mtmlf_storage::{ColumnId, TableId, Value};
+use std::fmt;
+
+/// A fully-qualified column reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColumnRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column within the table.
+    pub column: ColumnId,
+}
+
+impl ColumnRef {
+    /// Creates a column reference.
+    pub fn new(table: TableId, column: ColumnId) -> Self {
+        Self { table, column }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Comparison operators for scalar filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Applies the operator to an ordering between lhs and rhs.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Neq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// All operators, for generators and exhaustive tests.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Neq,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+}
+
+/// A supported `LIKE` pattern shape. The JOB benchmark's complex `LIKE`
+/// predicates are dominated by substring (`%x%`), prefix (`x%`), and suffix
+/// (`%x`) matches, which is what the paper's workload exercises.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LikePattern {
+    /// `%needle%`
+    Contains(String),
+    /// `needle%`
+    Prefix(String),
+    /// `%needle`
+    Suffix(String),
+}
+
+impl LikePattern {
+    /// Parses a SQL LIKE pattern with `%` wildcards at the ends only.
+    pub fn parse(pattern: &str) -> Result<Self> {
+        let starts = pattern.starts_with('%');
+        let ends = pattern.ends_with('%') && pattern.len() >= 2;
+        let inner = match (starts, ends) {
+            (true, true) => &pattern[1..pattern.len() - 1],
+            (true, false) => &pattern[1..],
+            (false, true) => &pattern[..pattern.len() - 1],
+            (false, false) => pattern,
+        };
+        if inner.is_empty() || inner.contains('%') || inner.contains('_') {
+            return Err(QueryError::UnsupportedLikePattern(pattern.to_string()));
+        }
+        Ok(match (starts, ends) {
+            (true, true) => LikePattern::Contains(inner.to_string()),
+            (false, true) => LikePattern::Prefix(inner.to_string()),
+            (true, false) => LikePattern::Suffix(inner.to_string()),
+            // Treat a bare pattern as an exact-substring match, which is how
+            // the workload generator uses it.
+            (false, false) => LikePattern::Contains(inner.to_string()),
+        })
+    }
+
+    /// Tests a string against the pattern.
+    pub fn matches(&self, s: &str) -> bool {
+        match self {
+            LikePattern::Contains(needle) => s.contains(needle.as_str()),
+            LikePattern::Prefix(needle) => s.starts_with(needle.as_str()),
+            LikePattern::Suffix(needle) => s.ends_with(needle.as_str()),
+        }
+    }
+
+    /// The literal part of the pattern.
+    pub fn needle(&self) -> &str {
+        match self {
+            LikePattern::Contains(s) | LikePattern::Prefix(s) | LikePattern::Suffix(s) => s,
+        }
+    }
+
+    /// SQL spelling of the full pattern.
+    pub fn sql(&self) -> String {
+        match self {
+            LikePattern::Contains(s) => format!("%{s}%"),
+            LikePattern::Prefix(s) => format!("{s}%"),
+            LikePattern::Suffix(s) => format!("%{s}"),
+        }
+    }
+}
+
+/// A single-table filter predicate. Per-table filters compose conjunctively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterPredicate {
+    /// `col <op> literal`
+    Cmp {
+        /// Filtered column (within the predicate's table).
+        column: ColumnId,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Filtered column.
+        column: ColumnId,
+        /// Lower bound (inclusive).
+        lo: Value,
+        /// Upper bound (inclusive).
+        hi: Value,
+    },
+    /// `col LIKE pattern`.
+    Like {
+        /// Filtered string column.
+        column: ColumnId,
+        /// Pattern.
+        pattern: LikePattern,
+    },
+    /// `col IN (v1, v2, ...)`.
+    InSet {
+        /// Filtered column.
+        column: ColumnId,
+        /// Allowed values.
+        values: Vec<Value>,
+    },
+}
+
+impl FilterPredicate {
+    /// The column the predicate constrains.
+    pub fn column(&self) -> ColumnId {
+        match self {
+            FilterPredicate::Cmp { column, .. }
+            | FilterPredicate::Between { column, .. }
+            | FilterPredicate::Like { column, .. }
+            | FilterPredicate::InSet { column, .. } => *column,
+        }
+    }
+}
+
+impl fmt::Display for FilterPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterPredicate::Cmp { column, op, value } => {
+                write!(f, "{column} {} {value}", op.symbol())
+            }
+            FilterPredicate::Between { column, lo, hi } => {
+                write!(f, "{column} BETWEEN {lo} AND {hi}")
+            }
+            FilterPredicate::Like { column, pattern } => {
+                write!(f, "{column} LIKE '{}'", pattern.sql())
+            }
+            FilterPredicate::InSet { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// An equi-join predicate `left = right` between two tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinPredicate {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+}
+
+impl JoinPredicate {
+    /// Creates a join predicate; the two sides must be on different tables
+    /// (self-joins are not modeled — constructing one is a programming
+    /// error, and a silently-invalid predicate would surface as a baffling
+    /// `NoJoinPredicate` at execution time).
+    pub fn new(left: ColumnRef, right: ColumnRef) -> Self {
+        assert_ne!(left.table, right.table, "self-joins are not modeled");
+        Self { left, right }
+    }
+
+    /// True if the predicate connects tables `a` and `b` (either direction).
+    pub fn connects(&self, a: TableId, b: TableId) -> bool {
+        (self.left.table == a && self.right.table == b)
+            || (self.left.table == b && self.right.table == a)
+    }
+
+    /// True if the predicate touches table `t` on either side.
+    pub fn touches(&self, t: TableId) -> bool {
+        self.left.table == t || self.right.table == t
+    }
+
+    /// The side of the predicate on table `t`, if any.
+    pub fn side_on(&self, t: TableId) -> Option<ColumnRef> {
+        if self.left.table == t {
+            Some(self.left)
+        } else if self.right.table == t {
+            Some(self.right)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Neq.eval(Greater));
+    }
+
+    #[test]
+    fn like_parse_shapes() {
+        assert_eq!(
+            LikePattern::parse("%abc%").unwrap(),
+            LikePattern::Contains("abc".into())
+        );
+        assert_eq!(
+            LikePattern::parse("abc%").unwrap(),
+            LikePattern::Prefix("abc".into())
+        );
+        assert_eq!(
+            LikePattern::parse("%abc").unwrap(),
+            LikePattern::Suffix("abc".into())
+        );
+        assert!(LikePattern::parse("%a%b%").is_err());
+        assert!(LikePattern::parse("a_c").is_err());
+        assert!(LikePattern::parse("%%").is_err());
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(LikePattern::Contains("mid".into()).matches("a mid b"));
+        assert!(!LikePattern::Contains("mid".into()).matches("a mXd b"));
+        assert!(LikePattern::Prefix("ab".into()).matches("abc"));
+        assert!(!LikePattern::Prefix("ab".into()).matches("xab"));
+        assert!(LikePattern::Suffix("yz".into()).matches("xyz"));
+        assert!(!LikePattern::Suffix("yz".into()).matches("yzx"));
+    }
+
+    #[test]
+    fn like_sql_roundtrip() {
+        for p in ["%a%", "a%", "%a"] {
+            let parsed = LikePattern::parse(p).unwrap();
+            assert_eq!(parsed.sql(), p);
+        }
+    }
+
+    #[test]
+    fn join_predicate_connectivity() {
+        let j = JoinPredicate::new(
+            ColumnRef::new(TableId(0), ColumnId(1)),
+            ColumnRef::new(TableId(2), ColumnId(0)),
+        );
+        assert!(j.connects(TableId(0), TableId(2)));
+        assert!(j.connects(TableId(2), TableId(0)));
+        assert!(!j.connects(TableId(0), TableId(1)));
+        assert!(j.touches(TableId(2)));
+        assert_eq!(
+            j.side_on(TableId(2)),
+            Some(ColumnRef::new(TableId(2), ColumnId(0)))
+        );
+        assert_eq!(j.side_on(TableId(9)), None);
+    }
+
+    #[test]
+    fn filter_display() {
+        let p = FilterPredicate::Cmp {
+            column: ColumnId(3),
+            op: CmpOp::Ge,
+            value: Value::Int(10),
+        };
+        assert_eq!(p.to_string(), "c3 >= 10");
+        let l = FilterPredicate::Like {
+            column: ColumnId(0),
+            pattern: LikePattern::Contains("x".into()),
+        };
+        assert_eq!(l.to_string(), "c0 LIKE '%x%'");
+    }
+}

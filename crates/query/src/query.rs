@@ -1,0 +1,219 @@
+//! The query type `Q = (T_Q, j_Q, f_Q)`.
+
+use crate::error::QueryError;
+use crate::graph::JoinGraph;
+use crate::predicate::{FilterPredicate, JoinPredicate};
+use crate::Result;
+use mtmlf_storage::TableId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A select-project-join query in the paper's form: a set of touched tables,
+/// equi-join predicates between them, and conjunctive per-table filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    tables: Vec<TableId>,
+    joins: Vec<JoinPredicate>,
+    filters: BTreeMap<TableId, Vec<FilterPredicate>>,
+}
+
+impl Query {
+    /// Builds and validates a query.
+    ///
+    /// Invariants enforced:
+    /// - at least one table, no duplicates;
+    /// - every join predicate connects two tables in the set;
+    /// - every filter's table is in the set;
+    /// - the join graph is connected (no cross products).
+    pub fn new(
+        mut tables: Vec<TableId>,
+        joins: Vec<JoinPredicate>,
+        filters: BTreeMap<TableId, Vec<FilterPredicate>>,
+    ) -> Result<Self> {
+        if tables.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        tables.sort_unstable();
+        tables.dedup();
+        for j in &joins {
+            for side in [j.left.table, j.right.table] {
+                if !tables.contains(&side) {
+                    return Err(QueryError::JoinTableNotInQuery(side));
+                }
+            }
+        }
+        for t in filters.keys() {
+            if !tables.contains(t) {
+                return Err(QueryError::FilterTableNotInQuery(*t));
+            }
+        }
+        let q = Self {
+            tables,
+            joins,
+            filters,
+        };
+        if q.tables.len() > 1 {
+            let graph = q.join_graph()?;
+            if !graph.is_connected() {
+                return Err(QueryError::DisconnectedJoinGraph);
+            }
+        }
+        Ok(q)
+    }
+
+    /// Touched tables, sorted ascending.
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// Number of touched tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Join predicates.
+    pub fn joins(&self) -> &[JoinPredicate] {
+        &self.joins
+    }
+
+    /// Filters on `table` (empty slice if none).
+    pub fn filters_on(&self, table: TableId) -> &[FilterPredicate] {
+        self.filters.get(&table).map_or(&[], Vec::as_slice)
+    }
+
+    /// All `(table, filters)` pairs with at least one filter.
+    pub fn filters(&self) -> impl Iterator<Item = (TableId, &[FilterPredicate])> {
+        self.filters.iter().map(|(t, f)| (*t, f.as_slice()))
+    }
+
+    /// Join predicates connecting tables `a` and `b`.
+    pub fn joins_between(&self, a: TableId, b: TableId) -> Vec<&JoinPredicate> {
+        self.joins.iter().filter(|j| j.connects(a, b)).collect()
+    }
+
+    /// The query-local join graph (vertices = touched tables).
+    pub fn join_graph(&self) -> Result<JoinGraph> {
+        JoinGraph::from_query(self)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT COUNT(*) FROM ")?;
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        let mut first = true;
+        for j in &self.joins {
+            write!(f, "{} {j}", if first { " WHERE" } else { " AND" })?;
+            first = false;
+        }
+        for (t, preds) in &self.filters {
+            for p in preds {
+                write!(f, "{} {t}.{p}", if first { " WHERE" } else { " AND" })?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, ColumnRef};
+    use mtmlf_storage::{ColumnId, Value};
+
+    fn jp(a: u32, ac: u32, b: u32, bc: u32) -> JoinPredicate {
+        JoinPredicate::new(
+            ColumnRef::new(TableId(a), ColumnId(ac)),
+            ColumnRef::new(TableId(b), ColumnId(bc)),
+        )
+    }
+
+    #[test]
+    fn valid_chain_query() {
+        let q = Query::new(
+            vec![TableId(0), TableId(1), TableId(2)],
+            vec![jp(0, 1, 1, 0), jp(1, 1, 2, 0)],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(q.table_count(), 3);
+        assert_eq!(q.joins_between(TableId(0), TableId(1)).len(), 1);
+        assert_eq!(q.joins_between(TableId(0), TableId(2)).len(), 0);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert_eq!(
+            Query::new(vec![], vec![], BTreeMap::new()).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn join_outside_tables_rejected() {
+        let err = Query::new(vec![TableId(0), TableId(1)], vec![jp(0, 0, 5, 0)], BTreeMap::new())
+            .unwrap_err();
+        assert_eq!(err, QueryError::JoinTableNotInQuery(TableId(5)));
+    }
+
+    #[test]
+    fn filter_outside_tables_rejected() {
+        let mut filters = BTreeMap::new();
+        filters.insert(
+            TableId(7),
+            vec![FilterPredicate::Cmp {
+                column: ColumnId(0),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            }],
+        );
+        let err = Query::new(vec![TableId(0)], vec![], filters).unwrap_err();
+        assert_eq!(err, QueryError::FilterTableNotInQuery(TableId(7)));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let err = Query::new(
+            vec![TableId(0), TableId(1), TableId(2), TableId(3)],
+            vec![jp(0, 0, 1, 0), jp(2, 0, 3, 0)],
+            BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::DisconnectedJoinGraph);
+    }
+
+    #[test]
+    fn tables_deduped_and_sorted() {
+        let q = Query::new(
+            vec![TableId(2), TableId(0), TableId(2)],
+            vec![jp(0, 0, 2, 0)],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(q.tables(), &[TableId(0), TableId(2)]);
+    }
+
+    #[test]
+    fn display_sqlish() {
+        let mut filters = BTreeMap::new();
+        filters.insert(
+            TableId(0),
+            vec![FilterPredicate::Cmp {
+                column: ColumnId(1),
+                op: CmpOp::Lt,
+                value: Value::Int(5),
+            }],
+        );
+        let q = Query::new(vec![TableId(0), TableId(1)], vec![jp(0, 0, 1, 0)], filters).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("FROM T0, T1"), "{s}");
+        assert!(s.contains("WHERE"), "{s}");
+        assert!(s.contains("T0.c1 < 5"), "{s}");
+    }
+}

@@ -1,0 +1,803 @@
+//! A SQL parser for the JOB-shaped query class.
+//!
+//! Parses `SELECT COUNT(*) FROM t1 [a1], t2 [a2], ... WHERE <cond> AND ...`
+//! against a database catalog, resolving table/column names (and aliases)
+//! to ids and typing literals by column type. Supported conditions:
+//!
+//! - equi-joins: `a.col = b.col`;
+//! - comparisons: `a.col {=, <>, <, <=, >, >=} literal`;
+//! - ranges: `a.col BETWEEN lo AND hi`;
+//! - patterns: `a.col LIKE '%...%'` (the JOB predicate shapes);
+//! - sets: `a.col IN (v1, v2, ...)`.
+//!
+//! This is the textual front door of the reproduction: the JOB benchmark's
+//! queries (restricted to the join/filter class the paper models) parse
+//! directly.
+
+use crate::predicate::{CmpOp, ColumnRef, FilterPredicate, JoinPredicate, LikePattern};
+use crate::query::Query;
+use mtmlf_storage::{ColumnType, Database, TableId, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// SQL parsing errors with byte positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error.
+    Lex {
+        /// Byte offset.
+        position: usize,
+        /// Message.
+        message: String,
+    },
+    /// Grammar error.
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// Message.
+        message: String,
+    },
+    /// Name-resolution error.
+    Resolve(String),
+    /// The assembled query failed validation.
+    Semantic(crate::QueryError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { position, message } => write!(f, "lex error at byte {position}: {message}"),
+            Self::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            Self::Resolve(m) => write!(f, "name resolution: {m}"),
+            Self::Semantic(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>, SqlError> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((Token::Comma, start));
+                    self.pos += 1;
+                }
+                b'.' => {
+                    out.push((Token::Dot, start));
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((Token::LParen, start));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((Token::RParen, start));
+                    self.pos += 1;
+                }
+                b'*' => {
+                    out.push((Token::Star, start));
+                    self.pos += 1;
+                }
+                b'=' => {
+                    out.push((Token::Eq, start));
+                    self.pos += 1;
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => {
+                            out.push((Token::Le, start));
+                            self.pos += 1;
+                        }
+                        Some(b'>') => {
+                            out.push((Token::Neq, start));
+                            self.pos += 1;
+                        }
+                        _ => out.push((Token::Lt, start)),
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        out.push((Token::Ge, start));
+                        self.pos += 1;
+                    } else {
+                        out.push((Token::Gt, start));
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        out.push((Token::Neq, start));
+                        self.pos += 1;
+                    } else {
+                        return Err(SqlError::Lex {
+                            position: start,
+                            message: "expected `!=`".into(),
+                        });
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    let mut s = String::new();
+                    loop {
+                        match self.bytes.get(self.pos) {
+                            Some(b'\'') => {
+                                // Doubled quote escapes a quote.
+                                if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                                    s.push('\'');
+                                    self.pos += 2;
+                                } else {
+                                    self.pos += 1;
+                                    break;
+                                }
+                            }
+                            Some(_) => {
+                                let ch_start = self.pos;
+                                let ch = self.src[ch_start..]
+                                    .chars()
+                                    .next()
+                                    .expect("in-bounds char");
+                                s.push(ch);
+                                self.pos += ch.len_utf8();
+                            }
+                            None => {
+                                return Err(SqlError::Lex {
+                                    position: start,
+                                    message: "unterminated string literal".into(),
+                                })
+                            }
+                        }
+                    }
+                    out.push((Token::Str(s), start));
+                }
+                b'0'..=b'9' | b'-' => {
+                    let mut end = self.pos + 1;
+                    let mut is_float = false;
+                    while end < self.bytes.len() {
+                        match self.bytes[end] {
+                            b'0'..=b'9' => end += 1,
+                            b'.' if !is_float
+                                && end + 1 < self.bytes.len()
+                                && self.bytes[end + 1].is_ascii_digit() =>
+                            {
+                                is_float = true;
+                                end += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let text = &self.src[self.pos..end];
+                    let token = if is_float {
+                        Token::Float(text.parse().map_err(|_| SqlError::Lex {
+                            position: start,
+                            message: format!("bad float `{text}`"),
+                        })?)
+                    } else {
+                        Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                            position: start,
+                            message: format!("bad integer `{text}`"),
+                        })?)
+                    };
+                    out.push((token, start));
+                    self.pos = end;
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let mut end = self.pos + 1;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    out.push((Token::Ident(self.src[self.pos..end].to_string()), start));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(SqlError::Lex {
+                        position: start,
+                        message: format!("unexpected byte `{}`", other as char),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    cursor: usize,
+    db: &'a Database,
+    /// alias (lowercased) -> table id.
+    scope: BTreeMap<String, TableId>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(t, _)| t)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |(_, p)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.cursor).map(|(t, _)| t.clone());
+        self.cursor += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            position: self.position(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.bump() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => Err(self.error(format!("expected `{kw}`"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), SqlError> {
+        match self.bump() {
+            Some(t) if t == token => Ok(()),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, SqlError> {
+        self.expect_keyword("SELECT")?;
+        self.expect_keyword("COUNT")?;
+        self.expect(Token::LParen, "`(`")?;
+        self.expect(Token::Star, "`*`")?;
+        self.expect(Token::RParen, "`)`")?;
+        self.expect_keyword("FROM")?;
+        self.parse_table_list()?;
+
+        let mut joins: Vec<JoinPredicate> = Vec::new();
+        let mut filters: BTreeMap<TableId, Vec<FilterPredicate>> = BTreeMap::new();
+        if self.keyword_is("WHERE") {
+            self.bump();
+            loop {
+                self.parse_condition(&mut joins, &mut filters)?;
+                if self.keyword_is("AND") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.peek().is_some() {
+            return Err(self.error("trailing tokens after query"));
+        }
+        let tables: Vec<TableId> = self.scope.values().copied().collect();
+        Query::new(tables, joins, filters).map_err(SqlError::Semantic)
+    }
+
+    fn parse_table_list(&mut self) -> Result<(), SqlError> {
+        loop {
+            let name = match self.bump() {
+                Some(Token::Ident(s)) => s,
+                _ => return Err(self.error("expected table name")),
+            };
+            // Exact match first, then case-insensitive (catalog names are
+            // conventionally lower-case).
+            let id = self
+                .db
+                .table_id(&name)
+                .or_else(|_| self.db.table_id(&name.to_ascii_lowercase()))
+                .map_err(|_| SqlError::Resolve(format!("unknown table `{name}`")))?;
+            // Optional alias: a bare identifier that is not a keyword.
+            let alias = match self.peek() {
+                Some(Token::Ident(s))
+                    if !s.eq_ignore_ascii_case("WHERE") && !s.eq_ignore_ascii_case("AND") =>
+                {
+                    let a = s.clone();
+                    self.bump();
+                    a
+                }
+                _ => name.clone(),
+            };
+            // Self-joins are outside the modeled query class: the same
+            // table under two aliases would otherwise be silently merged by
+            // the query validator and fail confusingly at execution time.
+            if self.scope.values().any(|&t| t == id) {
+                return Err(SqlError::Resolve(format!(
+                    "table `{name}` appears twice in FROM — self-joins are not supported"
+                )));
+            }
+            let key = alias.to_ascii_lowercase();
+            if self.scope.insert(key, id).is_some() {
+                return Err(SqlError::Resolve(format!(
+                    "duplicate table or alias `{alias}`"
+                )));
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.bump();
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn parse_column(&mut self) -> Result<(ColumnRef, ColumnType), SqlError> {
+        let table_alias = match self.bump() {
+            Some(Token::Ident(s)) => s,
+            _ => return Err(self.error("expected qualified column `table.column`")),
+        };
+        self.expect(Token::Dot, "`.` in qualified column")?;
+        let column_name = match self.bump() {
+            Some(Token::Ident(s)) => s,
+            _ => return Err(self.error("expected column name")),
+        };
+        let table = *self
+            .scope
+            .get(&table_alias.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::Resolve(format!("unknown table alias `{table_alias}`")))?;
+        let schema = self
+            .db
+            .table(table)
+            .map_err(|e| SqlError::Resolve(e.to_string()))?
+            .schema();
+        let column = schema.column_id(&column_name).ok_or_else(|| {
+            SqlError::Resolve(format!(
+                "unknown column `{column_name}` on table `{}`",
+                schema.name
+            ))
+        })?;
+        let ctype = schema.column(column).expect("resolved id").ctype;
+        Ok((ColumnRef::new(table, column), ctype))
+    }
+
+    fn parse_literal(&mut self, ctype: ColumnType) -> Result<Value, SqlError> {
+        match (self.bump(), ctype) {
+            (Some(Token::Int(v)), ColumnType::Int) => Ok(Value::Int(v)),
+            (Some(Token::Int(v)), ColumnType::Float) => Ok(Value::Float(v as f64)),
+            (Some(Token::Float(v)), ColumnType::Float) => Ok(Value::Float(v)),
+            (Some(Token::Str(s)), ColumnType::Str) => Ok(Value::str(s)),
+            (Some(t), _) => Err(self.error(format!(
+                "literal {t:?} does not match column type {}",
+                ctype.name()
+            ))),
+            (None, _) => Err(self.error("expected literal")),
+        }
+    }
+
+    fn parse_condition(
+        &mut self,
+        joins: &mut Vec<JoinPredicate>,
+        filters: &mut BTreeMap<TableId, Vec<FilterPredicate>>,
+    ) -> Result<(), SqlError> {
+        let (left, ctype) = self.parse_column()?;
+        if self.keyword_is("BETWEEN") {
+            self.bump();
+            let lo = self.parse_literal(ctype)?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_literal(ctype)?;
+            filters.entry(left.table).or_default().push(FilterPredicate::Between {
+                column: left.column,
+                lo,
+                hi,
+            });
+            return Ok(());
+        }
+        if self.keyword_is("LIKE") {
+            self.bump();
+            let pattern = match self.bump() {
+                Some(Token::Str(s)) => {
+                    LikePattern::parse(&s).map_err(SqlError::Semantic)?
+                }
+                _ => return Err(self.error("expected string pattern after LIKE")),
+            };
+            filters.entry(left.table).or_default().push(FilterPredicate::Like {
+                column: left.column,
+                pattern,
+            });
+            return Ok(());
+        }
+        if self.keyword_is("IN") {
+            self.bump();
+            self.expect(Token::LParen, "`(` after IN")?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.parse_literal(ctype)?);
+                match self.bump() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    _ => return Err(self.error("expected `,` or `)` in IN list")),
+                }
+            }
+            filters.entry(left.table).or_default().push(FilterPredicate::InSet {
+                column: left.column,
+                values,
+            });
+            return Ok(());
+        }
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Neq) => CmpOp::Neq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        // `a.x = b.y` (another qualified column) is a join predicate.
+        let is_column = matches!(
+            (self.peek(), self.tokens.get(self.cursor + 1).map(|(t, _)| t)),
+            (Some(Token::Ident(_)), Some(Token::Dot))
+        );
+        if is_column {
+            if op != CmpOp::Eq {
+                return Err(self.error("only equi-joins are supported between columns"));
+            }
+            let (right, _) = self.parse_column()?;
+            if left.table == right.table {
+                return Err(SqlError::Resolve(
+                    "self-joins are not supported".to_string(),
+                ));
+            }
+            joins.push(JoinPredicate::new(left, right));
+        } else {
+            let value = self.parse_literal(ctype)?;
+            filters.entry(left.table).or_default().push(FilterPredicate::Cmp {
+                column: left.column,
+                op,
+                value,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Renders a query back to SQL text using the catalog's real table and
+/// column names — the inverse of [`parse_sql`] (round-trip safe for every
+/// query this module can parse). Useful for exporting generated workloads
+/// to other systems.
+pub fn to_sql(db: &Database, query: &Query) -> Result<String, SqlError> {
+    let table_name = |t: TableId| -> Result<&str, SqlError> {
+        Ok(db
+            .table(t)
+            .map_err(|e| SqlError::Resolve(e.to_string()))?
+            .name())
+    };
+    let column_name = |t: TableId, c: crate::predicate::ColumnRef| -> Result<String, SqlError> {
+        debug_assert_eq!(t, c.table);
+        let schema = db
+            .table(t)
+            .map_err(|e| SqlError::Resolve(e.to_string()))?
+            .schema();
+        let def = schema
+            .column(c.column)
+            .ok_or_else(|| SqlError::Resolve(format!("column {} out of range", c.column)))?;
+        Ok(format!("{}.{}", schema.name, def.name))
+    };
+    let lit = |v: &Value| -> String {
+        match v {
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            other => other.to_string(),
+        }
+    };
+    let mut sql = String::from("SELECT COUNT(*) FROM ");
+    for (i, &t) in query.tables().iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str(table_name(t)?);
+    }
+    let mut conds: Vec<String> = Vec::new();
+    for j in query.joins() {
+        conds.push(format!(
+            "{} = {}",
+            column_name(j.left.table, j.left)?,
+            column_name(j.right.table, j.right)?
+        ));
+    }
+    for (t, preds) in query.filters() {
+        let schema = db
+            .table(t)
+            .map_err(|e| SqlError::Resolve(e.to_string()))?
+            .schema();
+        for p in preds {
+            let col = schema
+                .column(p.column())
+                .ok_or_else(|| SqlError::Resolve(format!("column {} out of range", p.column())))?;
+            let qualified = format!("{}.{}", schema.name, col.name);
+            conds.push(match p {
+                FilterPredicate::Cmp { op, value, .. } => {
+                    format!("{qualified} {} {}", op.symbol(), lit(value))
+                }
+                FilterPredicate::Between { lo, hi, .. } => {
+                    format!("{qualified} BETWEEN {} AND {}", lit(lo), lit(hi))
+                }
+                FilterPredicate::Like { pattern, .. } => {
+                    format!("{qualified} LIKE '{}'", pattern.sql())
+                }
+                FilterPredicate::InSet { values, .. } => {
+                    let vs: Vec<String> = values.iter().map(&lit).collect();
+                    format!("{qualified} IN ({})", vs.join(", "))
+                }
+            });
+        }
+    }
+    if !conds.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conds.join(" AND "));
+    }
+    Ok(sql)
+}
+
+/// Parses a SQL string against a database catalog.
+pub fn parse_sql(db: &Database, sql: &str) -> Result<Query, SqlError> {
+    let tokens = Lexer::new(sql).tokens()?;
+    let mut parser = Parser {
+        tokens,
+        cursor: 0,
+        db,
+        scope: BTreeMap::new(),
+    };
+    parser.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_storage::{Column, ColumnDef, TableSchema};
+
+    pub(super) fn make_db() -> Database {
+        let mut db = Database::new("sql");
+        let title = mtmlf_storage::Table::from_columns(
+            TableSchema::new(
+                "title",
+                vec![
+                    ColumnDef::pk("id"),
+                    ColumnDef::attr("production_year", ColumnType::Int),
+                    ColumnDef::attr("name", ColumnType::Str),
+                ],
+            ),
+            vec![
+                Column::Int(vec![0, 1, 2]),
+                Column::Int(vec![1990, 2000, 2010]),
+                Column::str_from_strings(&["alpha", "beta", "gamma"]),
+            ],
+        )
+        .unwrap();
+        db.add_table(title).unwrap();
+        let cast = mtmlf_storage::Table::from_columns(
+            TableSchema::new(
+                "cast_info",
+                vec![
+                    ColumnDef::pk("id"),
+                    ColumnDef::fk("movie_id", TableId(0)),
+                    ColumnDef::attr("role", ColumnType::Int),
+                ],
+            ),
+            vec![
+                Column::Int(vec![0, 1]),
+                Column::Int(vec![0, 2]),
+                Column::Int(vec![1, 2]),
+            ],
+        )
+        .unwrap();
+        db.add_table(cast).unwrap();
+        db
+    }
+
+    #[test]
+    fn parses_join_and_filters() {
+        let db = make_db();
+        let q = parse_sql(
+            &db,
+            "SELECT COUNT(*) FROM title t, cast_info ci \
+             WHERE ci.movie_id = t.id AND t.production_year >= 2000 \
+             AND t.name LIKE '%alp%' AND ci.role IN (1, 2)",
+        )
+        .unwrap();
+        assert_eq!(q.table_count(), 2);
+        assert_eq!(q.joins().len(), 1);
+        assert_eq!(q.filters_on(TableId(0)).len(), 2);
+        assert_eq!(q.filters_on(TableId(1)).len(), 1);
+    }
+
+    #[test]
+    fn between_and_string_equality() {
+        let db = make_db();
+        let q = parse_sql(
+            &db,
+            "SELECT COUNT(*) FROM title \
+             WHERE title.production_year BETWEEN 1995 AND 2005 AND title.name = 'beta'",
+        )
+        .unwrap();
+        assert_eq!(q.filters_on(TableId(0)).len(), 2);
+        assert!(matches!(
+            q.filters_on(TableId(0))[0],
+            FilterPredicate::Between { .. }
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_aliases() {
+        let db = make_db();
+        let q = parse_sql(
+            &db,
+            "select count(*) from Title T, cast_info C where C.movie_id = T.id",
+        )
+        .unwrap();
+        assert_eq!(q.joins().len(), 1);
+    }
+
+    #[test]
+    fn resolution_errors() {
+        let db = make_db();
+        assert!(matches!(
+            parse_sql(&db, "SELECT COUNT(*) FROM nope"),
+            Err(SqlError::Resolve(_))
+        ));
+        assert!(matches!(
+            parse_sql(&db, "SELECT COUNT(*) FROM title WHERE title.zzz = 1"),
+            Err(SqlError::Resolve(_))
+        ));
+        assert!(matches!(
+            parse_sql(&db, "SELECT COUNT(*) FROM title WHERE x.id = 1"),
+            Err(SqlError::Resolve(_))
+        ));
+    }
+
+    #[test]
+    fn type_checked_literals() {
+        let db = make_db();
+        assert!(parse_sql(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.production_year = 'nineteen'"
+        )
+        .is_err());
+        assert!(parse_sql(&db, "SELECT COUNT(*) FROM title WHERE title.name = 42").is_err());
+    }
+
+    #[test]
+    fn grammar_errors_have_positions() {
+        let db = make_db();
+        let err = parse_sql(&db, "SELECT COUNT(*) FORM title").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }), "{err}");
+        let err = parse_sql(&db, "SELECT COUNT(*) FROM title WHERE").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn disconnected_join_graph_rejected_semantically() {
+        let db = make_db();
+        let err = parse_sql(&db, "SELECT COUNT(*) FROM title, cast_info").unwrap_err();
+        assert!(matches!(err, SqlError::Semantic(_)), "{err}");
+    }
+
+    #[test]
+    fn string_escapes_and_unterminated() {
+        let db = make_db();
+        let q = parse_sql(
+            &db,
+            "SELECT COUNT(*) FROM title WHERE title.name = 'it''s'",
+        )
+        .unwrap();
+        match &q.filters_on(TableId(0))[0] {
+            FilterPredicate::Cmp { value, .. } => assert_eq!(value.as_str(), Some("it's")),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+        assert!(matches!(
+            parse_sql(&db, "SELECT COUNT(*) FROM title WHERE title.name = 'oops"),
+            Err(SqlError::Lex { .. })
+        ));
+    }
+
+}
+
+#[cfg(test)]
+mod to_sql_tests {
+    use super::tests::make_db;
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_text() {
+        let db = make_db();
+        let original = parse_sql(
+            &db,
+            "SELECT COUNT(*) FROM title, cast_info \
+             WHERE cast_info.movie_id = title.id AND title.production_year BETWEEN 1995 AND 2005 \
+             AND title.name LIKE '%alp%' AND cast_info.role IN (1, 2)",
+        )
+        .unwrap();
+        let text = to_sql(&db, &original).unwrap();
+        let reparsed = parse_sql(&db, &text).unwrap();
+        assert_eq!(original, reparsed, "round trip through SQL text:\n{text}");
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let db = make_db();
+        let mut filters = std::collections::BTreeMap::new();
+        filters.insert(
+            TableId(0),
+            vec![FilterPredicate::Cmp {
+                column: mtmlf_storage::ColumnId(2),
+                op: CmpOp::Eq,
+                value: Value::str("it's"),
+            }],
+        );
+        let q = Query::new(vec![TableId(0)], vec![], filters).unwrap();
+        let text = to_sql(&db, &q).unwrap();
+        assert!(text.contains("'it''s'"), "{text}");
+        let reparsed = parse_sql(&db, &text).unwrap();
+        assert_eq!(q, reparsed);
+    }
+}
+
+#[cfg(test)]
+mod self_join_tests {
+    use super::tests::make_db;
+    use super::*;
+
+    #[test]
+    fn self_joins_rejected_at_parse_time() {
+        let db = make_db();
+        let err = parse_sql(
+            &db,
+            "SELECT COUNT(*) FROM title t1, title t2 WHERE t1.id = t2.id",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Resolve(_)), "{err}");
+        assert!(err.to_string().contains("self-join"), "{err}");
+    }
+}

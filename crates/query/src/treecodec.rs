@@ -1,0 +1,393 @@
+//! Tree ↔ sequence conversion of query plans (paper Section 4.1).
+//!
+//! The join tree is embedded into a *complete* binary tree: each subtree of
+//! the original tree is assigned a contiguous, power-of-two-aligned block of
+//! the complete tree's leaves (a node's left child takes the first half of
+//! its block, the right child the second half), and a base table occupies
+//! every leaf of its block. A table's *decoding embedding* is the 0/1
+//! occupancy vector over the complete tree's leaves, padded to a fixed
+//! dimension.
+//!
+//! For the paper's Figure 3(a) left-deep tree `((T1 ⋈ T2) ⋈ T3) ⋈ T4` the
+//! embeddings are `[1,0,0,0,0,0,0,0]`, `[0,1,0,0,0,0,0,0]`,
+//! `[0,0,1,1,0,0,0,0]`, `[0,0,0,0,1,1,1,1]`; for the bushy tree (b)
+//! `(T1 ⋈ T2) ⋈ (T3 ⋈ T4)` they are the first four unit vectors padded to
+//! width 8. Both are reproduced in this module's tests.
+//!
+//! Decoding reverts embeddings to a *unique* tree: leaves of the complete
+//! tree are labeled by their occupying table; recursively, two sibling
+//! blocks with the same single label merge into that label, and differing
+//! blocks become a join node.
+//!
+//! The module also provides the tree positional encodings (Shiv & Quirk
+//! \[30\]) used by the serializer (F.iii) to linearize a plan.
+
+use crate::error::QueryError;
+use crate::plan::{JoinTree, PlanNode};
+use crate::Result;
+use mtmlf_storage::TableId;
+
+/// Per-table decoding embedding: occupancy over complete-binary-tree leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodingEmbedding {
+    /// The base table this embedding positions.
+    pub table: TableId,
+    /// 0/1 occupancy vector, length = codec dimension.
+    pub positions: Vec<f32>,
+}
+
+/// Encodes a join tree into per-table decoding embeddings of width `dim`.
+///
+/// `dim` must be a power of two and at least `2^height(tree)`. Tables are
+/// returned in leaf order (left to right).
+pub fn encode(tree: &JoinTree, dim: usize) -> Result<Vec<DecodingEmbedding>> {
+    if !dim.is_power_of_two() {
+        return Err(QueryError::InvalidTreeEmbedding(format!(
+            "dimension {dim} is not a power of two"
+        )));
+    }
+    let width = 1usize << tree.height();
+    if width > dim {
+        return Err(QueryError::InvalidTreeEmbedding(format!(
+            "tree of height {} needs width {width} > dim {dim}",
+            tree.height()
+        )));
+    }
+    let mut out = Vec::with_capacity(tree.leaf_count());
+    assign_blocks(tree, 0, width, dim, &mut out);
+    Ok(out)
+}
+
+fn assign_blocks(
+    tree: &JoinTree,
+    lo: usize,
+    hi: usize,
+    dim: usize,
+    out: &mut Vec<DecodingEmbedding>,
+) {
+    match tree {
+        JoinTree::Leaf(table) => {
+            let mut positions = vec![0.0f32; dim];
+            for p in positions.iter_mut().take(hi).skip(lo) {
+                *p = 1.0;
+            }
+            out.push(DecodingEmbedding {
+                table: *table,
+                positions,
+            });
+        }
+        JoinTree::Node(l, r) => {
+            let mid = lo + (hi - lo) / 2;
+            assign_blocks(l, lo, mid, dim, out);
+            assign_blocks(r, mid, hi, dim, out);
+        }
+    }
+}
+
+/// Decodes per-table embeddings back into the unique join tree they encode.
+///
+/// Values are thresholded at 0.5, so the decoder also accepts the soft
+/// predictions `P̂_t` produced by `Trans_JO`.
+pub fn decode(embeddings: &[DecodingEmbedding]) -> Result<JoinTree> {
+    if embeddings.is_empty() {
+        return Err(QueryError::InvalidTreeEmbedding("no embeddings".into()));
+    }
+    let dim = embeddings[0].positions.len();
+    if embeddings.iter().any(|e| e.positions.len() != dim) {
+        return Err(QueryError::InvalidTreeEmbedding(
+            "inconsistent embedding dimensions".into(),
+        ));
+    }
+    // Label each complete-tree leaf with its occupying table.
+    let mut labels: Vec<Option<TableId>> = vec![None; dim];
+    for e in embeddings {
+        for (i, &v) in e.positions.iter().enumerate() {
+            if v >= 0.5 {
+                if labels[i].is_some() {
+                    return Err(QueryError::InvalidTreeEmbedding(format!(
+                        "leaf {i} claimed by two tables"
+                    )));
+                }
+                labels[i] = Some(e.table);
+            }
+        }
+    }
+    // Active width: smallest power of two covering all occupied leaves.
+    let last = labels
+        .iter()
+        .rposition(Option::is_some)
+        .ok_or_else(|| QueryError::InvalidTreeEmbedding("all embeddings empty".into()))?;
+    let width = (last + 1).next_power_of_two();
+    let occupied = labels[..width].iter().filter(|l| l.is_some()).count();
+    if occupied != width {
+        return Err(QueryError::InvalidTreeEmbedding(format!(
+            "{} of {width} active leaves unoccupied",
+            width - occupied
+        )));
+    }
+    let tree = build(&labels[..width])?;
+    // Each table must appear exactly once as a decoded leaf.
+    let leaves = tree.leaves();
+    if leaves.len() != embeddings.len() {
+        return Err(QueryError::InvalidTreeEmbedding(format!(
+            "decoded {} leaves from {} embeddings (misaligned blocks)",
+            leaves.len(),
+            embeddings.len()
+        )));
+    }
+    Ok(tree)
+}
+
+fn build(labels: &[Option<TableId>]) -> Result<JoinTree> {
+    debug_assert!(!labels.is_empty());
+    let first = labels[0].expect("occupancy checked by caller");
+    if labels.iter().all(|&l| l == Some(first)) {
+        return Ok(JoinTree::Leaf(first));
+    }
+    if labels.len() == 1 {
+        return Err(QueryError::InvalidTreeEmbedding(
+            "single leaf with conflicting labels".into(),
+        ));
+    }
+    let mid = labels.len() / 2;
+    Ok(JoinTree::join(build(&labels[..mid])?, build(&labels[mid..])?))
+}
+
+/// The codec dimension the paper uses for a database of `n` tables: a query
+/// over `m ≤ n` tables in a left-deep plan has height `m − 1`, so width
+/// `2^(m−1)`; the fixed dimension covers the worst case.
+pub fn codec_dim(max_tables: usize) -> usize {
+    1usize << max_tables.saturating_sub(1).min(16)
+}
+
+/// Tree positional encoding for each node of a plan in post-order.
+///
+/// Each node's position is its root-to-node path; level `ℓ` of the path
+/// occupies two slots (`[1,0]` = left child, `[0,1]` = right child), zero
+/// beyond the node's depth. Output vectors have length `2 * max_depth`.
+pub fn node_positions(plan: &PlanNode, max_depth: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::with_capacity(plan.node_count());
+    let mut path = Vec::new();
+    walk_positions(plan, &mut path, max_depth, &mut out);
+    out
+}
+
+fn walk_positions(
+    node: &PlanNode,
+    path: &mut Vec<bool>, // false = left, true = right
+    max_depth: usize,
+    out: &mut Vec<Vec<f32>>,
+) {
+    if let PlanNode::Join { left, right, .. } = node {
+        path.push(false);
+        walk_positions(left, path, max_depth, out);
+        path.pop();
+        path.push(true);
+        walk_positions(right, path, max_depth, out);
+        path.pop();
+    }
+    let mut v = vec![0.0f32; 2 * max_depth];
+    for (level, &turn) in path.iter().take(max_depth).enumerate() {
+        v[2 * level + usize::from(turn)] = 1.0;
+    }
+    out.push(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> TableId {
+        TableId(i)
+    }
+
+    /// Paper Figure 3(a)/Figure 4: left-deep `((T1 ⋈ T2) ⋈ T3) ⋈ T4`.
+    #[test]
+    fn paper_left_deep_example() {
+        let tree = JoinTree::left_deep(&[tid(1), tid(2), tid(3), tid(4)]).unwrap();
+        let e = encode(&tree, 8).unwrap();
+        let rows: Vec<Vec<f32>> = e.iter().map(|d| d.positions.clone()).collect();
+        assert_eq!(rows[0], vec![1., 0., 0., 0., 0., 0., 0., 0.]);
+        assert_eq!(rows[1], vec![0., 1., 0., 0., 0., 0., 0., 0.]);
+        assert_eq!(rows[2], vec![0., 0., 1., 1., 0., 0., 0., 0.]);
+        assert_eq!(rows[3], vec![0., 0., 0., 0., 1., 1., 1., 1.]);
+        assert_eq!(decode(&e).unwrap(), tree);
+    }
+
+    /// Paper Figure 3(b): bushy `(T1 ⋈ T2) ⋈ (T3 ⋈ T4)`.
+    #[test]
+    fn paper_bushy_example() {
+        let tree = JoinTree::join(
+            JoinTree::join(JoinTree::Leaf(tid(1)), JoinTree::Leaf(tid(2))),
+            JoinTree::join(JoinTree::Leaf(tid(3)), JoinTree::Leaf(tid(4))),
+        );
+        let e = encode(&tree, 8).unwrap();
+        let rows: Vec<Vec<f32>> = e.iter().map(|d| d.positions.clone()).collect();
+        assert_eq!(rows[0], vec![1., 0., 0., 0., 0., 0., 0., 0.]);
+        assert_eq!(rows[1], vec![0., 1., 0., 0., 0., 0., 0., 0.]);
+        assert_eq!(rows[2], vec![0., 0., 1., 0., 0., 0., 0., 0.]);
+        assert_eq!(rows[3], vec![0., 0., 0., 1., 0., 0., 0., 0.]);
+        assert_eq!(decode(&e).unwrap(), tree);
+    }
+
+    #[test]
+    fn single_table() {
+        let tree = JoinTree::Leaf(tid(9));
+        let e = encode(&tree, 4).unwrap();
+        assert_eq!(e[0].positions, vec![1., 0., 0., 0.]);
+        assert_eq!(decode(&e).unwrap(), tree);
+    }
+
+    #[test]
+    fn dim_validation() {
+        let tree = JoinTree::left_deep(&[tid(0), tid(1), tid(2), tid(3)]).unwrap();
+        assert!(encode(&tree, 4).is_err(), "height 3 needs width 8");
+        assert!(encode(&tree, 6).is_err(), "non power of two");
+        assert!(encode(&tree, 16).is_ok(), "padding allowed");
+    }
+
+    #[test]
+    fn decode_rejects_conflicts() {
+        let e = vec![
+            DecodingEmbedding {
+                table: tid(0),
+                positions: vec![1., 0.],
+            },
+            DecodingEmbedding {
+                table: tid(1),
+                positions: vec![1., 0.],
+            },
+        ];
+        assert!(decode(&e).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_gaps() {
+        let e = vec![
+            DecodingEmbedding {
+                table: tid(0),
+                positions: vec![1., 0., 0., 0.],
+            },
+            DecodingEmbedding {
+                table: tid(1),
+                positions: vec![0., 0., 0., 1.],
+            },
+        ];
+        assert!(decode(&e).is_err(), "leaves 1,2 unoccupied within width 4");
+    }
+
+    #[test]
+    fn decode_thresholds_soft_values() {
+        let e = vec![
+            DecodingEmbedding {
+                table: tid(0),
+                positions: vec![0.9, 0.1],
+            },
+            DecodingEmbedding {
+                table: tid(1),
+                positions: vec![0.2, 0.8],
+            },
+        ];
+        let tree = decode(&e).unwrap();
+        assert_eq!(
+            tree,
+            JoinTree::join(JoinTree::Leaf(tid(0)), JoinTree::Leaf(tid(1)))
+        );
+    }
+
+    #[test]
+    fn codec_dim_bounds() {
+        assert_eq!(codec_dim(1), 1);
+        assert_eq!(codec_dim(4), 8);
+        assert_eq!(codec_dim(8), 128);
+    }
+
+    #[test]
+    fn positions_shape_and_root() {
+        let plan = PlanNode::left_deep(&[tid(0), tid(1), tid(2)]).unwrap();
+        let pos = node_positions(&plan, 4);
+        assert_eq!(pos.len(), plan.node_count());
+        // Root is last in post-order and has the zero path.
+        assert!(pos.last().unwrap().iter().all(|&x| x == 0.0));
+        // First node is the deepest-left leaf: path LL -> [1,0,1,0,0,0,0,0].
+        assert_eq!(pos[0], vec![1., 0., 1., 0., 0., 0., 0., 0.]);
+        // Third node (the inner join, path L) -> [1,0,0,...].
+        assert_eq!(pos[2], vec![1., 0., 0., 0., 0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn positions_distinguish_siblings() {
+        let plan = PlanNode::left_deep(&[tid(0), tid(1)]).unwrap();
+        let pos = node_positions(&plan, 2);
+        assert_eq!(pos[0], vec![1., 0., 0., 0.]); // left leaf
+        assert_eq!(pos[1], vec![0., 1., 0., 0.]); // right leaf
+        assert_eq!(pos[2], vec![0., 0., 0., 0.]); // root
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy: random join trees over distinct tables with ≤ `max` leaves.
+    fn arb_tree(max: usize) -> impl Strategy<Value = JoinTree> {
+        // Generate a shape via random split points over a permutation.
+        (2..=max).prop_flat_map(|n| {
+            let perm = Just((0..n as u32).map(TableId).collect::<Vec<_>>());
+            (perm, proptest::collection::vec(any::<bool>(), n * 2)).prop_map(|(tables, bits)| {
+                build_random(&tables, &bits, &mut 0)
+            })
+        })
+    }
+
+    fn build_random(tables: &[TableId], bits: &[bool], cursor: &mut usize) -> JoinTree {
+        if tables.len() == 1 {
+            return JoinTree::Leaf(tables[0]);
+        }
+        let b = bits.get(*cursor).copied().unwrap_or(false);
+        *cursor += 1;
+        // Split point: either 1 (left-deep-ish) or half (bushy-ish).
+        let split = if b { tables.len() / 2 } else { tables.len() - 1 };
+        let split = split.clamp(1, tables.len() - 1);
+        JoinTree::join(
+            build_random(&tables[..split], bits, cursor),
+            build_random(&tables[split..], bits, cursor),
+        )
+    }
+
+    proptest! {
+        /// Any tree round-trips through the codec (paper: "revert a unique
+        /// tree from the decoding embeddings").
+        #[test]
+        fn roundtrip(tree in arb_tree(7)) {
+            let dim = (1usize << tree.height()).max(1);
+            let embeddings = encode(&tree, dim).unwrap();
+            let back = decode(&embeddings).unwrap();
+            prop_assert_eq!(back, tree);
+        }
+
+        /// Padding to a larger dimension does not change the decoded tree.
+        #[test]
+        fn roundtrip_padded(tree in arb_tree(6)) {
+            let dim = (1usize << tree.height()).max(1) * 4;
+            let embeddings = encode(&tree, dim).unwrap();
+            let back = decode(&embeddings).unwrap();
+            prop_assert_eq!(back, tree);
+        }
+
+        /// Embeddings partition the active width: disjoint and covering.
+        #[test]
+        fn embeddings_partition(tree in arb_tree(6)) {
+            let width = 1usize << tree.height();
+            let embeddings = encode(&tree, width).unwrap();
+            let mut sum = vec![0.0f32; width];
+            for e in &embeddings {
+                for (s, v) in sum.iter_mut().zip(&e.positions) {
+                    *s += v;
+                }
+            }
+            prop_assert!(sum.iter().all(|&s| s == 1.0));
+        }
+    }
+}

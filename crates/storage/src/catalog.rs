@@ -1,0 +1,298 @@
+//! Databases and catalogs: named collections of tables plus the join schema.
+
+use crate::error::StorageError;
+use crate::schema::{ColumnId, KeyRole, TableId};
+use crate::table::Table;
+use crate::Result;
+use std::collections::HashMap;
+
+/// One edge of the join schema: `from.column` is a foreign key referencing
+/// `to`'s primary key (PK–FK), or both are foreign keys into the same fact
+/// table (transitive FK–FK, see the paper's Section 6.2 S1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinEdge {
+    /// Referencing table.
+    pub from: TableId,
+    /// Foreign-key column in `from`.
+    pub from_col: ColumnId,
+    /// Referenced table.
+    pub to: TableId,
+    /// Key column in `to` (its primary key for PK–FK edges).
+    pub to_col: ColumnId,
+    /// True for PK–FK edges, false for derived FK–FK edges.
+    pub pk_fk: bool,
+}
+
+/// A database: an ordered set of tables with unique names.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    name: String,
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a table, returning its id.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId> {
+        let name = table.name().to_string();
+        if self.by_name.contains_key(&name) {
+            return Err(StorageError::DuplicateTable(name));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.insert(name, id);
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Borrow a table by id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.index())
+            .ok_or(StorageError::TableIdOutOfRange(id.0))
+    }
+
+    /// Mutably borrow a table by id.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(id.index())
+            .ok_or(StorageError::TableIdOutOfRange(id.0))
+    }
+
+    /// Find a table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Borrow a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        self.table(self.table_id(name)?)
+    }
+
+    /// Iterate `(id, table)` pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// Runs `ANALYZE` on every table.
+    pub fn analyze_all(&mut self, buckets: usize, mcvs: usize) {
+        for t in &mut self.tables {
+            t.analyze(buckets, mcvs);
+        }
+    }
+
+    /// Derives the join schema from foreign-key metadata: one PK–FK edge per
+    /// foreign key (in both directions the executor cares about only one
+    /// canonical direction: from = FK side), plus FK–FK edges between pairs
+    /// of foreign keys referencing the same table.
+    pub fn join_edges(&self) -> Vec<JoinEdge> {
+        let mut edges = Vec::new();
+        // (referenced table -> list of (referencing table, fk column))
+        let mut fks_by_target: HashMap<TableId, Vec<(TableId, ColumnId)>> = HashMap::new();
+        for (tid, table) in self.tables() {
+            for (col_idx, def) in table.schema().columns.iter().enumerate() {
+                if let KeyRole::ForeignKey { table: target } = def.key {
+                    let Ok(target_table) = self.table(target) else {
+                        continue;
+                    };
+                    let Some(pk) = target_table.schema().primary_key() else {
+                        continue;
+                    };
+                    let from_col = ColumnId(col_idx as u32);
+                    edges.push(JoinEdge {
+                        from: tid,
+                        from_col,
+                        to: target,
+                        to_col: pk,
+                        pk_fk: true,
+                    });
+                    fks_by_target.entry(target).or_default().push((tid, from_col));
+                }
+            }
+        }
+        // Transitive FK–FK edges: two different tables' FKs into the same
+        // target can equi-join directly.
+        for refs in fks_by_target.values() {
+            for i in 0..refs.len() {
+                for j in (i + 1)..refs.len() {
+                    let (ta, ca) = refs[i];
+                    let (tb, cb) = refs[j];
+                    if ta == tb {
+                        continue;
+                    }
+                    edges.push(JoinEdge {
+                        from: ta,
+                        from_col: ca,
+                        to: tb,
+                        to_col: cb,
+                        pk_fk: false,
+                    });
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// A catalog of databases, keyed by name. Used by the meta-learning driver,
+/// which trains across many generated databases.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    databases: Vec<Database>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a database, returning its index.
+    pub fn add_database(&mut self, db: Database) -> Result<usize> {
+        if self.by_name.contains_key(db.name()) {
+            return Err(StorageError::DuplicateTable(db.name().to_string()));
+        }
+        let idx = self.databases.len();
+        self.by_name.insert(db.name().to_string(), idx);
+        self.databases.push(db);
+        Ok(idx)
+    }
+
+    /// Number of databases.
+    pub fn len(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// True when no databases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.databases.is_empty()
+    }
+
+    /// Borrow a database by index.
+    pub fn database(&self, idx: usize) -> Option<&Database> {
+        self.databases.get(idx)
+    }
+
+    /// Borrow a database by name.
+    pub fn database_by_name(&self, name: &str) -> Option<&Database> {
+        self.by_name.get(name).map(|&i| &self.databases[i])
+    }
+
+    /// Iterate databases in registration order.
+    pub fn databases(&self) -> impl Iterator<Item = &Database> {
+        self.databases.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+
+    fn make_db() -> Database {
+        let mut db = Database::new("test");
+        let fact = Table::from_columns(
+            TableSchema::new(
+                "fact",
+                vec![ColumnDef::pk("id"), ColumnDef::attr("x", ColumnType::Int)],
+            ),
+            vec![Column::Int(vec![0, 1, 2]), Column::Int(vec![5, 6, 7])],
+        )
+        .unwrap();
+        let fact_id = db.add_table(fact).unwrap();
+        let dim1 = Table::from_columns(
+            TableSchema::new(
+                "dim1",
+                vec![ColumnDef::pk("id"), ColumnDef::fk("fact_id", fact_id)],
+            ),
+            vec![Column::Int(vec![0, 1]), Column::Int(vec![0, 2])],
+        )
+        .unwrap();
+        db.add_table(dim1).unwrap();
+        let dim2 = Table::from_columns(
+            TableSchema::new(
+                "dim2",
+                vec![ColumnDef::pk("id"), ColumnDef::fk("fact_id", fact_id)],
+            ),
+            vec![Column::Int(vec![0]), Column::Int(vec![1])],
+        )
+        .unwrap();
+        db.add_table(dim2).unwrap();
+        db
+    }
+
+    #[test]
+    fn add_and_lookup_tables() {
+        let db = make_db();
+        assert_eq!(db.table_count(), 3);
+        assert_eq!(db.table_id("dim1").unwrap(), TableId(1));
+        assert!(db.table_id("nope").is_err());
+        assert_eq!(db.table_by_name("fact").unwrap().rows(), 3);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = make_db();
+        let dup = Table::empty(TableSchema::new("fact", vec![ColumnDef::pk("id")]));
+        assert!(matches!(
+            db.add_table(dup),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn join_edges_pk_fk_and_fk_fk() {
+        let db = make_db();
+        let edges = db.join_edges();
+        let pk_fk: Vec<_> = edges.iter().filter(|e| e.pk_fk).collect();
+        let fk_fk: Vec<_> = edges.iter().filter(|e| !e.pk_fk).collect();
+        assert_eq!(pk_fk.len(), 2, "one PK-FK edge per dimension table");
+        assert_eq!(fk_fk.len(), 1, "dim1 and dim2 share the fact target");
+        assert_eq!(fk_fk[0].from, TableId(1));
+        assert_eq!(fk_fk[0].to, TableId(2));
+    }
+
+    #[test]
+    fn analyze_all_builds_stats() {
+        let mut db = make_db();
+        db.analyze_all(4, 2);
+        for (_, t) in db.tables() {
+            assert!(t.has_stats());
+        }
+    }
+
+    #[test]
+    fn catalog_registration() {
+        let mut cat = Catalog::new();
+        cat.add_database(make_db()).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert!(cat.database_by_name("test").is_some());
+        assert!(cat.add_database(make_db()).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Typed, append-only columns.
+
+use crate::error::StorageError;
+use crate::schema::ColumnType;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dictionary for string columns: distinct values sorted lexicographically,
+/// so code order equals lexicographic order and range/LIKE predicates can be
+/// evaluated on codes.
+#[derive(Debug, Clone, Default)]
+pub struct StrDict {
+    values: Vec<Arc<str>>,
+}
+
+impl StrDict {
+    /// Builds a dictionary from any iterator of strings (deduplicated and
+    /// sorted internally).
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut v: Vec<Arc<str>> = values
+            .into_iter()
+            .map(|s| Arc::from(s.as_ref()))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        Self { values: v }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The string for a code.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(|s| s.as_ref())
+    }
+
+    /// The code for a string (binary search).
+    pub fn encode(&self, s: &str) -> Option<u32> {
+        self.values
+            .binary_search_by(|probe| probe.as_ref().cmp(s))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Iterates `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_ref()))
+    }
+}
+
+/// A typed column of values.
+///
+/// Integer and float columns store raw values; string columns store `u32`
+/// codes into a shared [`StrDict`].
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Dictionary-encoded strings.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The shared dictionary.
+        dict: Arc<StrDict>,
+    },
+}
+
+impl Column {
+    /// Creates an empty column of the given type (string columns get an
+    /// empty dictionary; use [`Column::str_from_strings`] for real data).
+    pub fn empty(ctype: ColumnType) -> Self {
+        match ctype {
+            ColumnType::Int => Column::Int(Vec::new()),
+            ColumnType::Float => Column::Float(Vec::new()),
+            ColumnType::Str => Column::Str {
+                codes: Vec::new(),
+                dict: Arc::new(StrDict::default()),
+            },
+        }
+    }
+
+    /// Builds a string column directly from row values, constructing the
+    /// dictionary in one pass.
+    pub fn str_from_strings<S: AsRef<str>>(rows: &[S]) -> Self {
+        let dict = Arc::new(StrDict::from_values(rows.iter().map(|s| s.as_ref())));
+        let mut index: HashMap<&str, u32> = HashMap::with_capacity(dict.len());
+        for (code, value) in dict.iter() {
+            index.insert(value, code);
+        }
+        let codes = rows.iter().map(|s| index[s.as_ref()]).collect();
+        // `index` borrows from `dict`'s Arc contents; drop before move is fine
+        // because codes are plain integers.
+        drop(index);
+        Column::Str { codes, dict }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type of the column.
+    pub fn ctype(&self) -> ColumnType {
+        match self {
+            Column::Int(_) => ColumnType::Int,
+            Column::Float(_) => ColumnType::Float,
+            Column::Str { .. } => ColumnType::Str,
+        }
+    }
+
+    /// Reads one cell as a [`Value`]. Panics if `row` is out of bounds
+    /// (callers iterate within `0..len()`).
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Str { codes, dict } => {
+                let code = codes[row];
+                Value::Str(Arc::from(
+                    dict.decode(code).expect("dictionary code in range"),
+                ))
+            }
+        }
+    }
+
+    /// Integer slice view (for key columns and histogram building).
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Float slice view.
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// String column view: `(codes, dict)`.
+    pub fn as_str(&self) -> Option<(&[u32], &StrDict)> {
+        match self {
+            Column::Str { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Appends one value, checking its type.
+    pub fn push(&mut self, value: &Value, column_name: &str) -> Result<()> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => {
+                v.push(*x);
+                Ok(())
+            }
+            (Column::Float(v), Value::Float(x)) => {
+                v.push(*x);
+                Ok(())
+            }
+            (col @ Column::Str { .. }, Value::Str(_)) => {
+                // Appending to a dictionary-encoded column is only supported
+                // when the value already exists in the dictionary: bulk
+                // construction should use `str_from_strings`.
+                let Column::Str { codes, dict } = col else {
+                    unreachable!()
+                };
+                let s = value.as_str().expect("matched Str variant");
+                match dict.encode(s) {
+                    Some(code) => {
+                        codes.push(code);
+                        Ok(())
+                    }
+                    None => Err(StorageError::TypeMismatch {
+                        column: column_name.to_string(),
+                        expected: "str present in dictionary",
+                        got: "str absent from dictionary",
+                    }),
+                }
+            }
+            (col, v) => Err(StorageError::TypeMismatch {
+                column: column_name.to_string(),
+                expected: col.ctype().name(),
+                got: v.type_name(),
+            }),
+        }
+    }
+
+    /// A numeric view of row `row`: ints and floats map to their value,
+    /// string columns map to their dictionary code (monotone in lexicographic
+    /// order, which is what histograms need).
+    pub fn numeric_at(&self, row: usize) -> f64 {
+        match self {
+            Column::Int(v) => v[row] as f64,
+            Column::Float(v) => v[row],
+            Column::Str { codes, .. } => codes[row] as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_orders_and_roundtrips() {
+        let d = StrDict::from_values(["beta", "alpha", "beta", "gamma"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.decode(0), Some("alpha"));
+        assert_eq!(d.encode("gamma"), Some(2));
+        assert_eq!(d.encode("delta"), None);
+    }
+
+    #[test]
+    fn str_column_from_strings() {
+        let c = Column::str_from_strings(&["b", "a", "b"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0).as_str(), Some("b"));
+        assert_eq!(c.get(1).as_str(), Some("a"));
+        let (codes, dict) = c.as_str().unwrap();
+        assert_eq!(codes, &[1, 0, 1]);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn push_type_checked() {
+        let mut c = Column::empty(ColumnType::Int);
+        c.push(&Value::Int(1), "x").unwrap();
+        let err = c.push(&Value::Float(1.0), "x").unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn push_str_requires_dictionary_membership() {
+        let mut c = Column::str_from_strings(&["a", "b"]);
+        c.push(&Value::str("a"), "s").unwrap();
+        assert!(c.push(&Value::str("zz"), "s").is_err());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn numeric_views() {
+        let c = Column::Float(vec![1.5, 2.5]);
+        assert_eq!(c.numeric_at(1), 2.5);
+        let s = Column::str_from_strings(&["b", "a"]);
+        assert_eq!(s.numeric_at(0), 1.0); // "b" has code 1
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column name was not found in a table.
+    UnknownColumn { table: String, column: String },
+    /// A table id was out of range for the database.
+    TableIdOutOfRange(u32),
+    /// A column id was out of range for the table.
+    ColumnIdOutOfRange { table: String, column: u32 },
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// Row arity did not match the schema arity on insert.
+    ArityMismatch { expected: usize, got: usize },
+    /// Columns of a single table had inconsistent lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// A duplicate table name was registered in a database.
+    DuplicateTable(String),
+    /// Statistics were requested before being built.
+    StatsNotBuilt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            Self::TableIdOutOfRange(id) => write!(f, "table id {id} out of range"),
+            Self::ColumnIdOutOfRange { table, column } => {
+                write!(f, "column id {column} out of range for table `{table}`")
+            }
+            Self::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch on column `{column}`: expected {expected}, got {got}"
+            ),
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+            }
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "column length mismatch: expected {expected} rows, got {got}")
+            }
+            Self::DuplicateTable(name) => write!(f, "duplicate table `{name}`"),
+            Self::StatsNotBuilt(name) => {
+                write!(f, "statistics for table `{name}` have not been built")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

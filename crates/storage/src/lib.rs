@@ -1,0 +1,40 @@
+//! # mtmlf-storage
+//!
+//! In-memory columnar storage engine used as the data substrate for the
+//! MTMLF reproduction (*A Unified Transferable Model for ML-Enhanced DBMS*,
+//! CIDR 2022).
+//!
+//! The engine stores relations column-wise with three physical column types
+//! (64-bit integers, 64-bit floats, and dictionary-encoded strings), tracks
+//! schemas with primary-key / foreign-key metadata (the paper's "join
+//! schema"), and computes the per-column statistics (equi-depth histograms,
+//! most-common-value lists, distinct counts) that back the PostgreSQL-style
+//! baseline estimator in `mtmlf-optd`.
+//!
+//! Design choices:
+//! - Columns are append-only and NOT nullable: all data in this reproduction
+//!   is synthetically generated, so null handling would be dead code.
+//! - Strings are dictionary encoded (`u32` codes into a sorted dictionary),
+//!   which makes `LIKE` evaluation a dictionary scan plus a code lookup and
+//!   gives every distinct value a stable id for value embeddings.
+//! - Everything is deterministic; sampling takes an explicit seed.
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod sample;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Catalog, Database, JoinEdge};
+pub use column::{Column, StrDict};
+pub use error::StorageError;
+pub use schema::{ColumnDef, ColumnId, ColumnType, KeyRole, TableId, TableSchema};
+pub use stats::{ColumnStats, Histogram, Mcv, TableStats};
+pub use table::Table;
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,75 @@
+//! Deterministic reservoir sampling over table rows.
+//!
+//! The featurization module of MTMLF summarizes single-table distributions;
+//! for large tables it trains on a sample, mirroring the paper's note that
+//! single-table statistics are cheap to obtain (an `ANALYZE`-style pass).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a uniform sample of `k` distinct row indices from `0..n` using
+/// reservoir sampling (Algorithm R). Deterministic in `seed`. If `k >= n`
+/// all indices are returned in order.
+pub fn reservoir_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir.sort_unstable();
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_population_returns_all() {
+        assert_eq!(reservoir_indices(3, 10, 1), vec![0, 1, 2]);
+        assert_eq!(reservoir_indices(3, 3, 1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sample_size_and_range() {
+        let s = reservoir_indices(1000, 50, 42);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|&i| i < 1000));
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50, "indices are distinct");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(reservoir_indices(500, 20, 7), reservoir_indices(500, 20, 7));
+        assert_ne!(reservoir_indices(500, 20, 7), reservoir_indices(500, 20, 8));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Each index should appear with probability k/n across seeds.
+        let n = 100;
+        let k = 10;
+        let trials = 400;
+        let mut counts = vec![0u32; n];
+        for seed in 0..trials {
+            for &i in &reservoir_indices(n, k, seed) {
+                counts[i] += 1;
+            }
+        }
+        let expected = trials as f64 * k as f64 / n as f64; // 40
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.8,
+                "index {i} count {c} vs expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Table schemas, column definitions, and id types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a table within a [`crate::Database`] (index into its table
+/// vector). Stable for the lifetime of the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column within a table (index into its column vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnId(pub u32);
+
+impl TableId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ColumnId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integer; all primary/foreign keys use this type.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Dictionary-encoded string.
+    Str,
+}
+
+impl ColumnType {
+    /// Human-readable type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+        }
+    }
+}
+
+/// Key role of a column in the join schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum KeyRole {
+    /// A plain attribute column.
+    #[default]
+    None,
+    /// The table's primary key (unique, dense `0..rows`).
+    PrimaryKey,
+    /// A foreign key referencing `table`'s primary key.
+    ForeignKey {
+        /// Referenced table.
+        table: TableId,
+    },
+}
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Logical type.
+    pub ctype: ColumnType,
+    /// Whether this column is a primary or foreign key.
+    pub key: KeyRole,
+}
+
+impl ColumnDef {
+    /// A plain attribute column.
+    pub fn attr(name: impl Into<String>, ctype: ColumnType) -> Self {
+        Self {
+            name: name.into(),
+            ctype,
+            key: KeyRole::None,
+        }
+    }
+
+    /// A primary-key column (always `Int`).
+    pub fn pk(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ctype: ColumnType::Int,
+            key: KeyRole::PrimaryKey,
+        }
+    }
+
+    /// A foreign-key column referencing `table` (always `Int`).
+    pub fn fk(name: impl Into<String>, table: TableId) -> Self {
+        Self {
+            name: name.into(),
+            ctype: ColumnType::Int,
+            key: KeyRole::ForeignKey { table },
+        }
+    }
+}
+
+/// Schema of one table: an ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema from a name and column definitions.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Finds a column id by name.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ColumnId(i as u32))
+    }
+
+    /// The column definition for `id`, if in range.
+    pub fn column(&self, id: ColumnId) -> Option<&ColumnDef> {
+        self.columns.get(id.index())
+    }
+
+    /// Id of the primary-key column, if the table has one.
+    pub fn primary_key(&self) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.key == KeyRole::PrimaryKey)
+            .map(|i| ColumnId(i as u32))
+    }
+
+    /// Ids of all foreign-key columns together with their referenced tables.
+    pub fn foreign_keys(&self) -> Vec<(ColumnId, TableId)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c.key {
+                KeyRole::ForeignKey { table } => Some((ColumnId(i as u32), table)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> TableSchema {
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::pk("id"),
+                ColumnDef::fk("customer_id", TableId(2)),
+                ColumnDef::attr("amount", ColumnType::Float),
+                ColumnDef::attr("status", ColumnType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = sample_schema();
+        assert_eq!(s.column_id("amount"), Some(ColumnId(2)));
+        assert_eq!(s.column_id("missing"), None);
+    }
+
+    #[test]
+    fn key_roles() {
+        let s = sample_schema();
+        assert_eq!(s.primary_key(), Some(ColumnId(0)));
+        assert_eq!(s.foreign_keys(), vec![(ColumnId(1), TableId(2))]);
+    }
+
+    #[test]
+    fn arity_and_column_access() {
+        let s = sample_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column(ColumnId(3)).unwrap().ctype, ColumnType::Str);
+        assert!(s.column(ColumnId(9)).is_none());
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(TableId(3).to_string(), "T3");
+        assert_eq!(ColumnId(1).to_string(), "c1");
+    }
+}

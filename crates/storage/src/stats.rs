@@ -1,0 +1,386 @@
+//! Per-column statistics: equi-depth histograms, most-common values,
+//! distinct counts.
+//!
+//! These are the inputs of the PostgreSQL-style baseline estimator in
+//! `mtmlf-optd` and of the "ANALYZE"-like step the paper's user-side
+//! workflow performs before fine-tuning (Section 2.3).
+
+use crate::column::Column;
+use crate::schema::{ColumnType, TableSchema};
+use std::collections::HashMap;
+
+/// An equi-depth histogram over the numeric view of a column (dictionary
+/// codes for string columns).
+///
+/// `bounds` has `buckets + 1` entries; bucket `i` covers
+/// `[bounds[i], bounds[i+1])` (the last bucket is closed on the right) and
+/// holds approximately `rows / buckets` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket boundaries, ascending, `len = buckets + 1`.
+    pub bounds: Vec<f64>,
+    /// Exact per-bucket row counts (equi-depth up to rounding).
+    pub counts: Vec<u64>,
+    /// Total rows summarized.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram with at most `buckets` buckets from
+    /// unsorted values. Returns `None` for empty input or `buckets == 0`.
+    pub fn build(values: &[f64], buckets: usize) -> Option<Self> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs in stored data"));
+        let n = sorted.len();
+        let buckets = buckets.min(n);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        let mut counts = Vec::with_capacity(buckets);
+        bounds.push(sorted[0]);
+        let mut start = 0usize;
+        for b in 1..=buckets {
+            let end = (n * b) / buckets;
+            // Extend the bucket to the last duplicate of its boundary value so
+            // equal values never straddle a bucket edge.
+            let mut end = end.max(start + 1).min(n);
+            if b < buckets {
+                let boundary = sorted[end - 1];
+                while end < n && sorted[end] == boundary {
+                    end += 1;
+                }
+            } else {
+                end = n;
+            }
+            if start >= n {
+                break;
+            }
+            bounds.push(sorted[end - 1]);
+            counts.push((end - start) as u64);
+            start = end;
+        }
+        Some(Self {
+            bounds,
+            counts,
+            total: n as u64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Estimated fraction of rows with value `< x` (strict), assuming uniform
+    /// spread inside each bucket — the same interpolation PostgreSQL uses.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x <= self.bounds[0] {
+            return 0.0;
+        }
+        if x > *self.bounds.last().expect("non-empty bounds") {
+            return 1.0;
+        }
+        let mut acc = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if x > hi {
+                acc += count;
+                continue;
+            }
+            let inside = if hi > lo {
+                ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            return (acc as f64 + inside * count as f64) / self.total as f64;
+        }
+        1.0
+    }
+
+    /// Estimated fraction of rows in `[lo, hi]` (inclusive ends).
+    pub fn fraction_between(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        // Widen `hi` infinitesimally by using <= semantics at the top bound:
+        // fraction_below is strict, so below(next_up(hi)) - below(lo).
+        let upper = self.fraction_below(next_up(hi));
+        let lower = self.fraction_below(lo);
+        (upper - lower).clamp(0.0, 1.0)
+    }
+}
+
+fn next_up(x: f64) -> f64 {
+    // Smallest float strictly greater than x (finite inputs only).
+    if x == f64::INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x >= 0.0 { bits + 1 } else { bits - 1 };
+    f64::from_bits(next)
+}
+
+/// One most-common-value entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mcv {
+    /// The value's numeric view.
+    pub value: f64,
+    /// Fraction of rows equal to the value.
+    pub frequency: f64,
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Logical type of the column.
+    pub ctype: ColumnType,
+    /// Total rows.
+    pub rows: u64,
+    /// Number of distinct values.
+    pub distinct: u64,
+    /// Minimum numeric view.
+    pub min: f64,
+    /// Maximum numeric view.
+    pub max: f64,
+    /// Equi-depth histogram (absent for empty columns).
+    pub histogram: Option<Histogram>,
+    /// Most common values, descending by frequency.
+    pub mcvs: Vec<Mcv>,
+}
+
+impl ColumnStats {
+    /// Builds statistics for one column.
+    pub fn build(column: &Column, buckets: usize, mcv_count: usize) -> Self {
+        let rows = column.len();
+        let values: Vec<f64> = (0..rows).map(|r| column.numeric_at(r)).collect();
+        let mut freq: HashMap<u64, u64> = HashMap::with_capacity(rows.min(1 << 16));
+        for &v in &values {
+            *freq.entry(v.to_bits()).or_insert(0) += 1;
+        }
+        let distinct = freq.len() as u64;
+        let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+        let mut pairs: Vec<(f64, u64)> = freq
+            .into_iter()
+            .map(|(bits, c)| (f64::from_bits(bits), c))
+            .collect();
+        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.total_cmp(&b.0)));
+        let mcvs = pairs
+            .iter()
+            .take(mcv_count)
+            .filter(|(_, c)| *c > 1 || rows <= mcv_count)
+            .map(|&(value, c)| Mcv {
+                value,
+                frequency: c as f64 / rows.max(1) as f64,
+            })
+            .collect();
+        Self {
+            ctype: column.ctype(),
+            rows: rows as u64,
+            distinct,
+            min: if rows == 0 { 0.0 } else { min },
+            max: if rows == 0 { 0.0 } else { max },
+            histogram: Histogram::build(&values, buckets),
+            mcvs,
+        }
+    }
+
+    /// Frequency of `value` according to the MCV list, if tracked there.
+    pub fn mcv_frequency(&self, value: f64) -> Option<f64> {
+        self.mcvs
+            .iter()
+            .find(|m| m.value == value)
+            .map(|m| m.frequency)
+    }
+}
+
+/// Statistics for all columns of a table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+    /// Total rows.
+    pub rows: u64,
+}
+
+impl TableStats {
+    /// Builds statistics for every column.
+    pub fn build(
+        _schema: &TableSchema,
+        columns: &[Column],
+        buckets: usize,
+        mcvs: usize,
+    ) -> Self {
+        let per_column = columns
+            .iter()
+            .map(|c| ColumnStats::build(c, buckets, mcvs))
+            .collect::<Vec<_>>();
+        let rows = columns.first().map_or(0, |c| c.len() as u64);
+        Self {
+            columns: per_column,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_depth_buckets_balanced() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 10).unwrap();
+        assert_eq!(h.buckets(), 10);
+        assert_eq!(h.total, 1000);
+        for &c in &h.counts {
+            assert!((90..=110).contains(&(c as i64)), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_straddle_buckets() {
+        // 500 copies of 1.0 and 500 distinct values.
+        let mut values = vec![1.0f64; 500];
+        values.extend((2..502).map(|i| i as f64));
+        let h = Histogram::build(&values, 4).unwrap();
+        // Sum of counts equals total.
+        assert_eq!(h.counts.iter().sum::<u64>(), 1000);
+        // fraction_below(1.0 + eps) should be ~0.5.
+        let f = h.fraction_below(1.0001);
+        assert!((f - 0.5).abs() < 0.05, "fraction {f}");
+    }
+
+    #[test]
+    fn fraction_below_interpolates() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 5).unwrap();
+        assert_eq!(h.fraction_below(-1.0), 0.0);
+        assert_eq!(h.fraction_below(1000.0), 1.0);
+        let mid = h.fraction_below(49.5);
+        assert!((mid - 0.5).abs() < 0.06, "mid fraction {mid}");
+    }
+
+    #[test]
+    fn fraction_between_inclusive() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 10).unwrap();
+        let f = h.fraction_between(0.0, 99.0);
+        assert!(f > 0.99, "full range fraction {f}");
+        assert_eq!(h.fraction_between(10.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn column_stats_basics() {
+        let col = Column::Int(vec![1, 1, 1, 2, 3]);
+        let s = ColumnStats::build(&col, 4, 2);
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let f = s.mcv_frequency(1.0).unwrap();
+        assert!((f - 0.6).abs() < 1e-9);
+        assert_eq!(s.mcv_frequency(9.0), None);
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let col = Column::Int(vec![]);
+        let s = ColumnStats::build(&col, 4, 2);
+        assert_eq!(s.rows, 0);
+        assert!(s.histogram.is_none());
+        assert!(s.mcvs.is_empty());
+    }
+
+    #[test]
+    fn string_stats_use_dictionary_codes() {
+        let col = Column::str_from_strings(&["b", "a", "b", "c"]);
+        let s = ColumnStats::build(&col, 2, 2);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 2.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Bucket counts always sum to the population size.
+        #[test]
+        fn counts_sum_to_total(
+            values in proptest::collection::vec(-1000i64..1000, 1..300),
+            buckets in 1usize..16,
+        ) {
+            let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let h = Histogram::build(&floats, buckets).unwrap();
+            prop_assert_eq!(h.counts.iter().sum::<u64>(), floats.len() as u64);
+            prop_assert_eq!(h.bounds.len(), h.counts.len() + 1);
+        }
+
+        /// `fraction_below` is monotone non-decreasing and bounded in [0,1].
+        #[test]
+        fn fraction_below_monotone(
+            values in proptest::collection::vec(-1000i64..1000, 1..300),
+            probes in proptest::collection::vec(-1200f64..1200.0, 2..8),
+        ) {
+            let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let h = Histogram::build(&floats, 8).unwrap();
+            let mut sorted = probes.clone();
+            sorted.sort_by(f64::total_cmp);
+            let mut last = 0.0f64;
+            for p in sorted {
+                let f = h.fraction_below(p);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prop_assert!(f + 1e-9 >= last, "monotonicity violated");
+                last = f;
+            }
+        }
+
+        /// The histogram's range estimate is exact for the full domain and
+        /// within one bucket's mass of the truth for arbitrary ranges.
+        #[test]
+        fn range_estimate_bounded_error(
+            values in proptest::collection::vec(0i64..100, 20..300),
+            lo in 0i64..100,
+            width in 0i64..100,
+        ) {
+            let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let buckets = 10usize;
+            let h = Histogram::build(&floats, buckets).unwrap();
+            let hi = lo + width;
+            let est = h.fraction_between(lo as f64, hi as f64) * floats.len() as f64;
+            let truth = values.iter().filter(|&&v| v >= lo && v <= hi).count() as f64;
+            // Interpolation error is bounded by ~2 bucket masses.
+            let bucket_mass = floats.len() as f64 / buckets as f64;
+            prop_assert!(
+                (est - truth).abs() <= 2.0 * bucket_mass + 1.0,
+                "est {} truth {} mass {}", est, truth, bucket_mass
+            );
+        }
+
+        /// MCV frequencies are true relative frequencies.
+        #[test]
+        fn mcv_frequencies_exact(
+            values in proptest::collection::vec(0i64..8, 10..200),
+        ) {
+            let col = Column::Int(values.clone());
+            let stats = ColumnStats::build(&col, 4, 4);
+            for mcv in &stats.mcvs {
+                let count = values.iter().filter(|&&v| v as f64 == mcv.value).count();
+                let expected = count as f64 / values.len() as f64;
+                prop_assert!((mcv.frequency - expected).abs() < 1e-9);
+            }
+        }
+    }
+}

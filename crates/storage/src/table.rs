@@ -1,0 +1,237 @@
+//! Tables: a schema plus one column per column definition.
+
+use crate::column::Column;
+use crate::error::StorageError;
+use crate::schema::{ColumnId, TableSchema};
+use crate::stats::TableStats;
+use crate::value::Value;
+use crate::Result;
+
+/// An in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Column>,
+    rows: usize,
+    stats: Option<TableStats>,
+}
+
+impl Table {
+    /// Creates an empty table with columns matching `schema`.
+    pub fn empty(schema: TableSchema) -> Self {
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| Column::empty(c.ctype))
+            .collect();
+        Self {
+            schema,
+            columns,
+            rows: 0,
+            stats: None,
+        }
+    }
+
+    /// Creates a table from pre-built columns. All columns must match the
+    /// schema types and have equal lengths.
+    pub fn from_columns(schema: TableSchema, columns: Vec<Column>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (def, col) in schema.columns.iter().zip(&columns) {
+            if col.ctype() != def.ctype {
+                return Err(StorageError::TypeMismatch {
+                    column: def.name.clone(),
+                    expected: def.ctype.name(),
+                    got: col.ctype().name(),
+                });
+            }
+            if col.len() != rows {
+                return Err(StorageError::LengthMismatch {
+                    expected: rows,
+                    got: col.len(),
+                });
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            rows,
+            stats: None,
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column by id.
+    pub fn column(&self, id: ColumnId) -> Result<&Column> {
+        self.columns
+            .get(id.index())
+            .ok_or_else(|| StorageError::ColumnIdOutOfRange {
+                table: self.schema.name.clone(),
+                column: id.0,
+            })
+    }
+
+    /// Borrow a column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let id = self
+            .schema
+            .column_id(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: name.to_string(),
+            })?;
+        self.column(id)
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Appends one row; `row` must match the schema arity and types.
+    /// Invalidates previously built statistics.
+    pub fn insert(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for ((col, def), v) in self.columns.iter_mut().zip(&self.schema.columns).zip(row) {
+            col.push(v, &def.name)?;
+        }
+        self.rows += 1;
+        self.stats = None;
+        Ok(())
+    }
+
+    /// Reads a full row (mainly for tests and debugging; the executor works
+    /// column-wise).
+    pub fn row(&self, index: usize) -> Option<Vec<Value>> {
+        if index >= self.rows {
+            return None;
+        }
+        Some(self.columns.iter().map(|c| c.get(index)).collect())
+    }
+
+    /// Builds and caches per-column statistics with `buckets` histogram
+    /// buckets and `mcvs` most-common values (the storage analogue of
+    /// PostgreSQL's `ANALYZE`, which the paper's user-side workflow invokes).
+    pub fn analyze(&mut self, buckets: usize, mcvs: usize) {
+        self.stats = Some(TableStats::build(&self.schema, &self.columns, buckets, mcvs));
+    }
+
+    /// Previously built statistics.
+    pub fn stats(&self) -> Result<&TableStats> {
+        self.stats
+            .as_ref()
+            .ok_or_else(|| StorageError::StatsNotBuilt(self.schema.name.clone()))
+    }
+
+    /// True if `analyze` has been run since the last mutation.
+    pub fn has_stats(&self) -> bool {
+        self.stats.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn two_col_schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::attr("a", ColumnType::Int),
+                ColumnDef::attr("b", ColumnType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = Table::empty(two_col_schema());
+        t.insert(&[Value::Int(1), Value::Float(1.5)]).unwrap();
+        t.insert(&[Value::Int(2), Value::Float(2.5)]).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.row(1), Some(vec![Value::Int(2), Value::Float(2.5)]));
+        assert_eq!(t.row(2), None);
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        let mut t = Table::empty(two_col_schema());
+        let err = t.insert(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn from_columns_validates_lengths() {
+        let schema = two_col_schema();
+        let err = Table::from_columns(
+            schema.clone(),
+            vec![Column::Int(vec![1, 2]), Column::Float(vec![1.0])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::LengthMismatch { .. }));
+        let t = Table::from_columns(
+            schema,
+            vec![Column::Int(vec![1, 2]), Column::Float(vec![1.0, 2.0])],
+        )
+        .unwrap();
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn from_columns_validates_types() {
+        let err = Table::from_columns(
+            two_col_schema(),
+            vec![Column::Float(vec![1.0]), Column::Float(vec![1.0])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn stats_lifecycle() {
+        let mut t = Table::empty(two_col_schema());
+        t.insert(&[Value::Int(1), Value::Float(1.0)]).unwrap();
+        assert!(t.stats().is_err());
+        t.analyze(4, 2);
+        assert!(t.stats().is_ok());
+        t.insert(&[Value::Int(2), Value::Float(2.0)]).unwrap();
+        assert!(!t.has_stats(), "mutation invalidates stats");
+    }
+
+    #[test]
+    fn column_lookup_errors() {
+        let t = Table::empty(two_col_schema());
+        assert!(t.column_by_name("missing").is_err());
+        assert!(t.column(ColumnId(5)).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Scalar values exchanged at the storage boundary.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single scalar value.
+///
+/// `Value` is the row-oriented exchange type used when inserting rows,
+/// writing literals in predicates, and reading individual cells. Bulk data
+/// lives in typed [`crate::Column`]s and never round-trips through `Value`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer (also used for all key columns).
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Name of the value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric view of the value used by histograms: ints and floats map to
+    /// their numeric value, strings have no numeric view.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Constructs a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), None);
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+    }
+
+    #[test]
+    fn numeric_view() {
+        assert_eq!(Value::Int(7).as_numeric(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_numeric(), Some(1.5));
+        assert_eq!(Value::str("x").as_numeric(), None);
+    }
+
+    #[test]
+    fn cross_type_comparison_is_none() {
+        assert_eq!(Value::Int(1).partial_cmp(&Value::str("1")), None);
+        assert!(Value::Int(1) != Value::Float(1.0));
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Float(1.0) < Value::Float(1.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("abc").to_string(), "'abc'");
+    }
+}

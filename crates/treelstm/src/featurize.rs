@@ -1,0 +1,232 @@
+//! Plan featurization for the Tree-LSTM baseline.
+//!
+//! Each plan node becomes a fixed-width vector:
+//!
+//! - operator one-hot (2 scan + 3 join operators),
+//! - table one-hot (scan nodes; zero for joins),
+//! - `log2(table rows)` (scan nodes),
+//! - an aggregated predicate summary: predicate count, per-shape counts
+//!   (equality / range / LIKE / IN), and the normalized positions of
+//!   anchored literal values within the column's `[min, max]` range.
+//!
+//! This mirrors the information the original Tree-LSTM estimator consumes
+//! (operator, predicates with normalized values, metadata) without sharing
+//! code with the MTMLF featurization module, keeping the baselines
+//! independent.
+
+use mtmlf_query::{CmpOp, FilterPredicate, JoinOp, PlanNode, Query, ScanOp};
+use mtmlf_storage::{ColumnStats, Database, TableId, Value};
+
+/// Width of the per-predicate summary block.
+const PRED_SUMMARY: usize = 7;
+/// Number of physical operator slots (2 scans + 3 joins).
+const OP_SLOTS: usize = 5;
+
+/// Featurizes plans of one database into fixed-width node vectors.
+#[derive(Debug, Clone)]
+pub struct PlanFeaturizer {
+    tables: usize,
+}
+
+impl PlanFeaturizer {
+    /// Builds a featurizer for a database with `tables` tables.
+    pub fn new(tables: usize) -> Self {
+        Self { tables }
+    }
+
+    /// Feature width per node.
+    pub fn width(&self) -> usize {
+        OP_SLOTS + self.tables + 1 + PRED_SUMMARY
+    }
+
+    /// Features for every node of `plan`, in post-order.
+    pub fn featurize(&self, db: &Database, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
+        plan.post_order()
+            .iter()
+            .map(|node| self.node_features(db, query, node))
+            .collect()
+    }
+
+    fn node_features(&self, db: &Database, query: &Query, node: &PlanNode) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.width()];
+        match node {
+            PlanNode::Scan { table, op } => {
+                v[match op {
+                    ScanOp::SeqScan => 0,
+                    ScanOp::IndexScan => 1,
+                }] = 1.0;
+                if table.index() < self.tables {
+                    v[OP_SLOTS + table.index()] = 1.0;
+                }
+                let rows = db.table(*table).map(|t| t.rows()).unwrap_or(0);
+                v[OP_SLOTS + self.tables] = (rows as f32 + 1.0).log2();
+                let summary = predicate_summary(db, *table, query.filters_on(*table));
+                v[OP_SLOTS + self.tables + 1..].copy_from_slice(&summary);
+            }
+            PlanNode::Join { op, .. } => {
+                v[match op {
+                    JoinOp::HashJoin => 2,
+                    JoinOp::MergeJoin => 3,
+                    JoinOp::NestedLoopJoin => 4,
+                }] = 1.0;
+            }
+        }
+        v
+    }
+}
+
+/// Aggregated predicate features:
+/// `[count, eq, range, like, in, mean_norm_lo, mean_norm_hi]`.
+fn predicate_summary(db: &Database, table: TableId, filters: &[FilterPredicate]) -> [f32; PRED_SUMMARY] {
+    let mut out = [0.0f32; PRED_SUMMARY];
+    if filters.is_empty() {
+        // Unfiltered scans span the full normalized range.
+        out[5] = 0.0;
+        out[6] = 1.0;
+        return out;
+    }
+    out[0] = filters.len() as f32;
+    let stats = db.table(table).ok().and_then(|t| t.stats().ok());
+    let mut lo_sum = 0.0;
+    let mut hi_sum = 0.0;
+    let mut norm_count = 0.0;
+    for f in filters {
+        let col_stats = stats.and_then(|s| s.columns.get(f.column().index()));
+        match f {
+            FilterPredicate::Cmp { op, value, .. } => {
+                match op {
+                    CmpOp::Eq | CmpOp::Neq => out[1] += 1.0,
+                    _ => out[2] += 1.0,
+                }
+                if let Some((lo, hi)) = normalized_bounds(col_stats, op, value) {
+                    lo_sum += lo;
+                    hi_sum += hi;
+                    norm_count += 1.0;
+                }
+            }
+            FilterPredicate::Between { lo, hi, .. } => {
+                out[2] += 1.0;
+                if let (Some(s), Some(l), Some(h)) =
+                    (col_stats, lo.as_numeric(), hi.as_numeric())
+                {
+                    lo_sum += normalize(s, l);
+                    hi_sum += normalize(s, h);
+                    norm_count += 1.0;
+                }
+            }
+            FilterPredicate::Like { .. } => out[3] += 1.0,
+            FilterPredicate::InSet { values, .. } => {
+                out[4] += values.len() as f32;
+            }
+        }
+    }
+    if norm_count > 0.0 {
+        out[5] = lo_sum / norm_count;
+        out[6] = hi_sum / norm_count;
+    } else {
+        out[6] = 1.0;
+    }
+    out
+}
+
+fn normalized_bounds(
+    stats: Option<&ColumnStats>,
+    op: &CmpOp,
+    value: &Value,
+) -> Option<(f32, f32)> {
+    let s = stats?;
+    let v = normalize(s, value.as_numeric()?);
+    Some(match op {
+        CmpOp::Eq | CmpOp::Neq => (v, v),
+        CmpOp::Lt | CmpOp::Le => (0.0, v),
+        CmpOp::Gt | CmpOp::Ge => (v, 1.0),
+    })
+}
+
+fn normalize(stats: &ColumnStats, v: f64) -> f32 {
+    if stats.max > stats.min {
+        (((v - stats.min) / (stats.max - stats.min)).clamp(0.0, 1.0)) as f32
+    } else {
+        0.5
+    }
+}
+
+/// Convenience: featurize a plan with a fresh featurizer sized to `db`.
+pub fn featurize_plan(db: &Database, query: &Query, plan: &PlanNode) -> Vec<Vec<f32>> {
+    PlanFeaturizer::new(db.table_count()).featurize(db, query, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_datagen::{imdb_lite, imdb::ImdbScale};
+    use mtmlf_query::predicate::{ColumnRef, JoinPredicate};
+    use mtmlf_storage::ColumnId;
+    use std::collections::BTreeMap;
+
+    fn setup() -> (Database, Query) {
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let q = mtmlf_query::Query::new(
+            vec![TableId(0), TableId(4)],
+            vec![JoinPredicate::new(
+                ColumnRef::new(TableId(0), ColumnId(0)),
+                ColumnRef::new(TableId(4), ColumnId(1)),
+            )],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        (db, q)
+    }
+
+    #[test]
+    fn width_consistent() {
+        let (db, q) = setup();
+        let f = PlanFeaturizer::new(db.table_count());
+        let plan = PlanNode::left_deep(&[TableId(0), TableId(4)]).unwrap();
+        let features = f.featurize(&db, &q, &plan);
+        assert_eq!(features.len(), 3);
+        for row in &features {
+            assert_eq!(row.len(), f.width());
+        }
+    }
+
+    #[test]
+    fn scan_and_join_nodes_distinguished() {
+        let (db, q) = setup();
+        let f = PlanFeaturizer::new(db.table_count());
+        let plan = PlanNode::left_deep(&[TableId(0), TableId(4)]).unwrap();
+        let features = f.featurize(&db, &q, &plan);
+        // Post-order: scan, scan, join.
+        assert_eq!(features[0][0], 1.0, "seq scan slot");
+        assert_eq!(features[2][2], 1.0, "hash join slot");
+        assert_eq!(features[2][OP_SLOTS], 0.0, "join has no table one-hot");
+        // Scans carry log table size.
+        assert!(features[0][OP_SLOTS + db.table_count()] > 0.0);
+    }
+
+    #[test]
+    fn predicate_summaries_change_features() {
+        let (db, _) = setup();
+        let f = PlanFeaturizer::new(db.table_count());
+        let mut filters = BTreeMap::new();
+        filters.insert(
+            TableId(0),
+            vec![FilterPredicate::Cmp {
+                column: ColumnId(1),
+                op: CmpOp::Le,
+                value: Value::Int(1990),
+            }],
+        );
+        let q_filtered = mtmlf_query::Query::new(vec![TableId(0)], vec![], filters).unwrap();
+        let q_plain = mtmlf_query::Query::new(vec![TableId(0)], vec![], BTreeMap::new()).unwrap();
+        let plan = PlanNode::scan(TableId(0));
+        let with = f.featurize(&db, &q_filtered, &plan);
+        let without = f.featurize(&db, &q_plain, &plan);
+        assert_ne!(with[0], without[0]);
+        // Range predicate normalizes the upper bound below 1.0.
+        let base = OP_SLOTS + db.table_count() + 1;
+        assert!(with[0][base + 6] < 1.0);
+        assert_eq!(without[0][base + 6], 1.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # mtmlf-treelstm
+//!
+//! The Tree-LSTM learned baseline (Sun & Li, *An End-to-End Learning-based
+//! Cost Estimator* \[32\]) for cardinality and cost estimation: the "previous
+//! SOTA" row of the paper's Table 1.
+//!
+//! A binary N-ary Tree-LSTM cell is evaluated bottom-up over the physical
+//! plan tree; per-node hidden states feed two MLP heads predicting the
+//! log-cardinality and log-cost of the sub-plan rooted at each node. Both
+//! heads train with the Q-error surrogate (squared log error), the same
+//! criterion the paper's MTMLF-QO uses, so Table 1 compares architectures
+//! rather than loss functions.
+
+pub mod featurize;
+pub mod model;
+
+pub use featurize::{featurize_plan, PlanFeaturizer};
+pub use model::{TreeLstm, TreeLstmConfig};

@@ -1,0 +1,304 @@
+//! The binary Tree-LSTM estimator.
+
+use crate::featurize::PlanFeaturizer;
+use mtmlf_datagen::LabeledQuery;
+use mtmlf_nn::layers::{Linear, Mlp, Module};
+use mtmlf_nn::loss::{log_pred_to_estimate, q_error_log_loss};
+use mtmlf_nn::{Adam, Matrix, Var};
+use mtmlf_query::{PlanNode, Query};
+use mtmlf_storage::Database;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tree-LSTM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeLstmConfig {
+    /// Hidden state width.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs over the workload.
+    pub epochs: usize,
+    /// Weight initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TreeLstmConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            lr: 1e-3,
+            epochs: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// A binary (N-ary, N = 2) Tree-LSTM over plan trees with per-node
+/// cardinality and cost heads.
+pub struct TreeLstm {
+    featurizer: PlanFeaturizer,
+    /// Maps `[x, h_left, h_right]` to the five gates `i, f_l, f_r, o, u`.
+    cell: Linear,
+    card_head: Mlp,
+    cost_head: Mlp,
+    hidden: usize,
+    config: TreeLstmConfig,
+}
+
+struct NodeState {
+    h: Var,
+    c: Var,
+}
+
+impl TreeLstm {
+    /// Builds an untrained model for a database with `tables` tables.
+    pub fn new(tables: usize, config: TreeLstmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let featurizer = PlanFeaturizer::new(tables);
+        let input = featurizer.width() + 2 * config.hidden;
+        Self {
+            cell: Linear::new(input, 5 * config.hidden, &mut rng),
+            card_head: Mlp::new(&[config.hidden, config.hidden, 1], &mut rng),
+            cost_head: Mlp::new(&[config.hidden, config.hidden, 1], &mut rng),
+            featurizer,
+            hidden: config.hidden,
+            config,
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut p = self.cell.parameters();
+        p.extend(self.card_head.parameters());
+        p.extend(self.cost_head.parameters());
+        p
+    }
+
+    /// Evaluates the cell over a plan, returning per-node hidden states in
+    /// post-order.
+    fn states(&self, db: &Database, query: &Query, plan: &PlanNode) -> Vec<Var> {
+        let mut out = Vec::with_capacity(plan.node_count());
+        self.eval(db, query, plan, &mut out);
+        out
+    }
+
+    fn eval(
+        &self,
+        db: &Database,
+        query: &Query,
+        node: &PlanNode,
+        out: &mut Vec<Var>,
+    ) -> NodeState {
+        let zero = || Var::constant(Matrix::zeros(1, self.hidden));
+        let (left, right) = match node {
+            PlanNode::Scan { .. } => (
+                NodeState { h: zero(), c: zero() },
+                NodeState { h: zero(), c: zero() },
+            ),
+            PlanNode::Join { left, right, .. } => {
+                let l = self.eval(db, query, left, out);
+                let r = self.eval(db, query, right, out);
+                (l, r)
+            }
+        };
+        let features = {
+            let f = self
+                .featurizer
+                .featurize(db, query, &shallow_copy(node))
+                .pop()
+                .expect("at least the root feature");
+            Var::constant(Matrix::row_vec(f))
+        };
+        let input = Var::concat_cols(&[features, left.h, right.h]);
+        let gates = self.cell.forward(&input);
+        let h = self.hidden;
+        let i = gates.slice_cols(0, h).sigmoid();
+        let f_l = gates.slice_cols(h, 2 * h).sigmoid();
+        let f_r = gates.slice_cols(2 * h, 3 * h).sigmoid();
+        let o = gates.slice_cols(3 * h, 4 * h).sigmoid();
+        let u = gates.slice_cols(4 * h, 5 * h).tanh();
+        let c = i
+            .hadamard(&u)
+            .add(&f_l.hadamard(&left.c))
+            .add(&f_r.hadamard(&right.c));
+        let hidden = o.hadamard(&c.tanh());
+        out.push(hidden.clone());
+        NodeState { h: hidden, c }
+    }
+
+    /// Predicts `(cardinality, cost)` for the sub-plan rooted at each node
+    /// of `plan`, in post-order.
+    pub fn predict(&self, db: &Database, query: &Query, plan: &PlanNode) -> Vec<(f64, f64)> {
+        self.states(db, query, plan)
+            .iter()
+            .map(|h| {
+                let card = self.card_head.forward(h).item();
+                let cost = self.cost_head.forward(h).item();
+                (log_pred_to_estimate(card), log_pred_to_estimate(cost))
+            })
+            .collect()
+    }
+
+    /// Trains on labelled queries with per-node Q-error losses on both
+    /// heads. Returns the mean loss of the final epoch.
+    pub fn train(&mut self, db: &Database, data: &[LabeledQuery]) -> f32 {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xA5A5);
+        let mut opt = Adam::new(self.parameters(), self.config.lr);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut final_epoch_loss = 0.0;
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for &qi in &order {
+                let sample = &data[qi];
+                let states = self.states(db, &sample.query, &sample.plan);
+                let mut loss = Var::constant(Matrix::scalar(0.0));
+                for (i, h) in states.iter().enumerate() {
+                    let card_pred = self.card_head.forward(h);
+                    let cost_pred = self.cost_head.forward(h);
+                    loss = loss
+                        .add(&q_error_log_loss(&card_pred, sample.node_cards[i] as f64))
+                        .add(&q_error_log_loss(&cost_pred, sample.node_costs[i]));
+                }
+                let loss = loss.scale(1.0 / (2.0 * states.len() as f32));
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+                epoch_loss += loss.item();
+            }
+            final_epoch_loss = epoch_loss / data.len().max(1) as f32;
+        }
+        final_epoch_loss
+    }
+}
+
+/// A shallow single-node copy for leaf-feature extraction: joins lose their
+/// children (children features are not part of the node's own vector).
+fn shallow_copy(node: &PlanNode) -> PlanNode {
+    match node {
+        PlanNode::Scan { table, op } => PlanNode::Scan {
+            table: *table,
+            op: *op,
+        },
+        PlanNode::Join { op, .. } => PlanNode::Join {
+            op: *op,
+            // Dummy children: featurization only reads the join operator.
+            left: Box::new(PlanNode::scan(mtmlf_storage::TableId(u32::MAX - 1))),
+            right: Box::new(PlanNode::scan(mtmlf_storage::TableId(u32::MAX))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, WorkloadConfig};
+    use mtmlf_optd::q_error;
+
+    fn setup(count: usize) -> (Database, Vec<LabeledQuery>) {
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let queries = generate_queries(
+            &db,
+            &WorkloadConfig {
+                count,
+                max_tables: 4,
+                ..WorkloadConfig::default()
+            },
+            7,
+        );
+        let labeled = label_workload(&db, &queries, &LabelConfig::default()).unwrap();
+        (db, labeled)
+    }
+
+    #[test]
+    fn predicts_per_node() {
+        let (db, labeled) = setup(4);
+        let model = TreeLstm::new(db.table_count(), TreeLstmConfig::default());
+        let sample = &labeled[0];
+        let preds = model.predict(&db, &sample.query, &sample.plan);
+        assert_eq!(preds.len(), sample.plan.node_count());
+        for (card, cost) in preds {
+            assert!(card >= 1.0);
+            assert!(cost >= 1.0);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (db, labeled) = setup(12);
+        let mut model = TreeLstm::new(
+            db.table_count(),
+            TreeLstmConfig {
+                hidden: 32,
+                epochs: 1,
+                ..TreeLstmConfig::default()
+            },
+        );
+        let first = model.train(&db, &labeled);
+        let mut model2 = TreeLstm::new(
+            db.table_count(),
+            TreeLstmConfig {
+                hidden: 32,
+                epochs: 12,
+                ..TreeLstmConfig::default()
+            },
+        );
+        let last = model2.train(&db, &labeled);
+        assert!(
+            last < first * 0.8,
+            "loss should drop: 1 epoch {first}, 12 epochs {last}"
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_qerror() {
+        let (db, labeled) = setup(20);
+        let (train, test) = labeled.split_at(16);
+        let untrained = TreeLstm::new(db.table_count(), TreeLstmConfig::default());
+        let mut trained = TreeLstm::new(
+            db.table_count(),
+            TreeLstmConfig {
+                hidden: 32,
+                epochs: 15,
+                ..TreeLstmConfig::default()
+            },
+        );
+        trained.train(&db, train);
+        let eval = |m: &TreeLstm| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0;
+            for s in test {
+                let preds = m.predict(&db, &s.query, &s.plan);
+                for (i, (card, _)) in preds.iter().enumerate() {
+                    total += q_error(*card, s.node_cards[i] as f64).ln();
+                    n += 1;
+                }
+            }
+            (total / n as f64).exp()
+        };
+        let before = eval(&untrained);
+        let after = eval(&trained);
+        assert!(
+            after < before,
+            "geometric-mean q-error should improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (db, labeled) = setup(4);
+        let cfg = TreeLstmConfig {
+            hidden: 16,
+            epochs: 2,
+            ..TreeLstmConfig::default()
+        };
+        let mut a = TreeLstm::new(db.table_count(), cfg.clone());
+        let mut b = TreeLstm::new(db.table_count(), cfg);
+        let la = a.train(&db, &labeled);
+        let lb = b.train(&db, &labeled);
+        assert_eq!(la, lb);
+    }
+}

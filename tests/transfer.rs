@@ -1,0 +1,115 @@
+//! Cross-DB meta-learning integration (paper Section 3.3 / Table 3 logic).
+
+use mtmlf::{MetaLearner, MtmlfConfig};
+use mtmlf_datagen::{
+    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery,
+    PipelineConfig, WorkloadConfig,
+};
+use mtmlf_storage::Database;
+
+fn make_db(seed: u64) -> (Database, Vec<LabeledQuery>) {
+    let pipeline = PipelineConfig {
+        min_rows: 150,
+        max_rows: 600,
+        max_attrs: 4,
+        ..PipelineConfig::tiny()
+    };
+    let mut db = generate_database(&format!("xfer{seed}"), seed, &pipeline).unwrap();
+    db.analyze_all(8, 4);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 8,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        seed ^ 0x1234,
+    );
+    let labeled = label_workload(&db, &queries, &LabelConfig::default()).unwrap();
+    (db, labeled)
+}
+
+fn config() -> MtmlfConfig {
+    MtmlfConfig {
+        enc_queries: 15,
+        enc_epochs: 2,
+        epochs: 2,
+        seed: 5,
+        ..MtmlfConfig::tiny()
+    }
+}
+
+#[test]
+fn mla_pretrain_transfer_and_finetune() {
+    let (db_a, wl_a) = make_db(101);
+    let (db_b, wl_b) = make_db(102);
+    let (db_new, wl_new) = make_db(103);
+
+    let mut meta = MetaLearner::new(config());
+    let history = meta
+        .pretrain(&[(&db_a, wl_a.as_slice()), (&db_b, wl_b.as_slice())])
+        .unwrap();
+    assert!(history.iter().all(|l| l.is_finite()));
+
+    // Zero-shot transfer: the shared modules drive a new DB's featurizer.
+    let mut model = meta.transfer(&db_new).unwrap();
+    for l in &wl_new {
+        let order = model.predict_join_order(&l.query, &l.plan).unwrap();
+        order.validate(&l.query).unwrap();
+    }
+
+    // Fine-tuning on a handful of queries runs and stays finite.
+    let history = model.fine_tune(&wl_new[..4], 2, 3e-4).unwrap();
+    assert!(history.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn transfer_works_across_different_table_counts() {
+    // The pointer-based decoder must handle databases whose table counts
+    // differ between pre-training and deployment.
+    let (db_a, wl_a) = make_db(104);
+    let (db_new, wl_new) = make_db(105);
+    assert!(
+        db_a.table_count() >= 6 && db_new.table_count() >= 6,
+        "pipeline DBs have 6-7 tables"
+    );
+    let mut meta = MetaLearner::new(config());
+    meta.pretrain(&[(&db_a, wl_a.as_slice())]).unwrap();
+    let model = meta.transfer(&db_new).unwrap();
+    for l in &wl_new {
+        let preds = model.predict_nodes(&l.query, &l.plan).unwrap();
+        assert_eq!(preds.len(), l.plan.node_count());
+    }
+}
+
+#[test]
+fn featurizers_are_db_specific_but_modules_shared() {
+    let (db_a, wl_a) = make_db(106);
+    let (db_b, _) = make_db(107);
+    let mut meta = MetaLearner::new(config());
+    meta.pretrain(&[(&db_a, wl_a.as_slice())]).unwrap();
+    let m1 = meta.transfer(&db_b).unwrap();
+    let m2 = meta.transfer(&db_b).unwrap();
+    // Both transfers share (S)/(T) parameters with the meta-learner: the
+    // predictions of two independently transferred models agree exactly
+    // (their featurizers are re-fitted with the same seed).
+    let l = &wl_a[0];
+    // Use db_a's workload shape on db_b? Not valid; instead compare on a
+    // fresh workload for db_b.
+    let _ = l;
+    let queries = generate_queries(
+        &db_b,
+        &WorkloadConfig {
+            count: 3,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        9,
+    );
+    let labeled = label_workload(&db_b, &queries, &LabelConfig::default()).unwrap();
+    for l in &labeled {
+        let a = m1.predict_nodes(&l.query, &l.plan).unwrap();
+        let b = m2.predict_nodes(&l.query, &l.plan).unwrap();
+        assert_eq!(a, b);
+    }
+}
