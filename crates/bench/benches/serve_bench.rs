@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the serving layer: the sequential
+//! per-query baseline vs batched planning vs a warm-cache hit.
+//!
+//! ```text
+//! cargo bench -p mtmlf-bench --bench serve_bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtmlf::plan_batch;
+use mtmlf::serve::{PlannerService, ServiceConfig};
+use mtmlf_bench::serve::{build, drive_clients};
+use mtmlf_nn::no_grad;
+use std::sync::Arc;
+
+fn bench_serve(c: &mut Criterion) {
+    let exp = build(0.02, 8, 1).expect("serve experiment builds");
+
+    c.bench_function("serve/sequential_direct", |b| {
+        b.iter(|| {
+            for q in &exp.queries {
+                exp.model.plan_with_estimates(q).expect("plan");
+            }
+        })
+    });
+
+    c.bench_function("serve/plan_batch", |b| {
+        b.iter(|| {
+            let outcomes = no_grad(|| plan_batch(&exp.model, &exp.queries));
+            outcomes.into_iter().map(|r| r.expect("plan")).count()
+        })
+    });
+
+    let pooled = PlannerService::start(
+        Arc::clone(&exp.model),
+        ServiceConfig {
+            workers: 2,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+    c.bench_function("serve/pooled_batched", |b| {
+        b.iter(|| drive_clients(&pooled, &exp.queries, 1, 4).expect("drive").1)
+    });
+
+    let cached = PlannerService::start(Arc::clone(&exp.model), ServiceConfig::default())
+        .expect("service starts");
+    for q in &exp.queries {
+        cached.plan(q.clone()).expect("warm-up plan");
+    }
+    let warm = exp.queries[0].clone();
+    c.bench_function("serve/warm_cache_hit", |b| {
+        b.iter(|| cached.plan(warm.clone()).expect("cached plan").est_cost)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -65,6 +65,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// A string flag with a default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
     /// Whether a bare flag was given.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)

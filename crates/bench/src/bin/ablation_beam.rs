@@ -16,7 +16,7 @@ use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
 use mtmlf_bench::{report, Args};
 use mtmlf_exec::Executor;
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let setup = SingleDbSetup {
         scale: args.f64("scale", 0.06),
@@ -30,9 +30,9 @@ fn main() {
     let max_beam = args.usize("max-beam", 8);
     println!("# Ablation — beam width sweep (legality-constrained decoding)");
     println!("# setup: {setup:?}");
-    let exp = SingleDbExperiment::build(setup.clone());
-    let featurizer = exp.fit_featurizer();
-    let model = exp.train_variant(&featurizer, LossWeights::default());
+    let exp = SingleDbExperiment::build(setup.clone())?;
+    let featurizer = exp.fit_featurizer()?;
+    let model = exp.train_variant(&featurizer, LossWeights::default())?;
     let exec = Executor::new(&exp.db);
 
     let mut rows = Vec::new();
@@ -57,14 +57,9 @@ fn main() {
             let Some(optimal) = &l.optimal_order else {
                 continue;
             };
-            let order = view
-                .predict_join_order(&l.query, &l.plan)
-                .expect("constrained beam always yields a legal order");
-            order.validate(&l.query).expect("legality guarantee");
-            total += exec
-                .execute_order(&l.query, &order)
-                .expect("legal order executes")
-                .sim_minutes;
+            let order = view.predict_join_order(&l.query, &l.plan)?;
+            order.validate(&l.query)?;
+            total += exec.execute_order(&l.query, &order)?.sim_minutes;
             let opt_tables = optimal.tables();
             let got_tables = order.tables();
             if got_tables == opt_tables {
@@ -95,15 +90,13 @@ fn main() {
         let mut ld_total = 0.0;
         let mut bushy_total = 0.0;
         for l in &exp.test {
-            let ld = mtmlf_optd::exact_optimal_order(&exp.db, &l.query).expect("left-deep DP");
-            let bushy = mtmlf_optd::exact_optimal_bushy(&exp.db, &l.query).expect("bushy DP");
+            let ld = mtmlf_optd::exact_optimal_order(&exp.db, &l.query)?;
+            let bushy = mtmlf_optd::exact_optimal_bushy(&exp.db, &l.query)?;
             ld_total += exec
-                .execute_plan(&l.query, &ld.order.to_plan().expect("plan"))
-                .expect("execution")
+                .execute_plan(&l.query, &ld.order.to_plan()?)?
                 .sim_minutes;
             bushy_total += exec
-                .execute_plan(&l.query, &bushy.order.to_plan().expect("plan"))
-                .expect("execution")
+                .execute_plan(&l.query, &bushy.order.to_plan()?)?
                 .sim_minutes;
         }
         println!("#   left-deep optimal: {ld_total:.2} min");
@@ -112,4 +105,5 @@ fn main() {
             100.0 * (ld_total - bushy_total) / ld_total.max(1e-9)
         );
     }
+    Ok(())
 }

@@ -19,7 +19,7 @@ use mtmlf_datagen::{
 };
 use mtmlf_exec::Executor;
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let scale = args.f64("scale", 0.05);
     let train_n = args.usize("train", 200);
@@ -47,8 +47,8 @@ fn main() {
         label_bushy: true,
         ..LabelConfig::default()
     };
-    let train = label_workload(&db, &wl(train_n, seed ^ 0xB1), &label_cfg).expect("labelling");
-    let test = label_workload(&db, &wl(test_n, seed ^ 0xB2), &label_cfg).expect("labelling");
+    let train = label_workload(&db, &wl(train_n, seed ^ 0xB1), &label_cfg)?;
+    let test = label_workload(&db, &wl(test_n, seed ^ 0xB2), &label_cfg)?;
 
     let config = MtmlfConfig {
         bushy: true,
@@ -56,27 +56,31 @@ fn main() {
         seed,
         ..MtmlfConfig::default()
     };
-    let mut model = MtmlfQo::new(&db, config).expect("model");
-    model.train(&train).expect("training");
+    let mut model = MtmlfQo::new(&db, config)?;
+    model.train(&train)?;
 
     let exec = Executor::new(&db);
     let mut totals = [0.0f64; 4]; // left-deep pred, bushy pred, ld optimal, bushy optimal
     let mut bushy_fallbacks = 0usize;
     for l in &test {
-        let ld_pred = model.predict_join_order(&l.query, &l.plan).expect("ld");
-        let bushy_pred = model
-            .predict_bushy_join_order(&l.query, &l.plan)
-            .expect("bushy");
+        let ld_pred = model.predict_join_order(&l.query, &l.plan)?;
+        let bushy_pred = model.predict_bushy_join_order(&l.query, &l.plan)?;
         if matches!(bushy_pred, mtmlf_query::JoinOrder::LeftDeep(_)) {
             bushy_fallbacks += 1;
         }
-        let ld_opt = l.optimal_order.as_ref().expect("labelled");
-        let bushy_opt = l.optimal_bushy.as_ref().expect("bushy labelled");
-        for (i, order) in [&ld_pred, &bushy_pred, ld_opt, bushy_opt].iter().enumerate() {
-            totals[i] += exec
-                .execute_order(&l.query, order)
-                .expect("legal order")
-                .sim_minutes;
+        let ld_opt = l
+            .optimal_order
+            .as_ref()
+            .ok_or(mtmlf::MtmlfError::MissingLabel("optimal order"))?;
+        let bushy_opt = l
+            .optimal_bushy
+            .as_ref()
+            .ok_or(mtmlf::MtmlfError::MissingLabel("optimal bushy order"))?;
+        for (i, order) in [&ld_pred, &bushy_pred, ld_opt, bushy_opt]
+            .iter()
+            .enumerate()
+        {
+            totals[i] += exec.execute_order(&l.query, order)?.sim_minutes;
         }
     }
     println!();
@@ -92,5 +96,9 @@ fn main() {
             ],
         )
     );
-    println!("# bushy decoder fell back to left-deep on {bushy_fallbacks}/{} queries", test.len());
+    println!(
+        "# bushy decoder fell back to left-deep on {bushy_fallbacks}/{} queries",
+        test.len()
+    );
+    Ok(())
 }

@@ -21,7 +21,7 @@ use mtmlf_datagen::{
 use mtmlf_optd::{q_error, QErrorSummary};
 use mtmlf_storage::Database;
 
-fn workload(db: &Database, count: usize, seed: u64) -> Vec<LabeledQuery> {
+fn workload(db: &Database, count: usize, seed: u64) -> mtmlf::Result<Vec<LabeledQuery>> {
     let queries = generate_queries(
         db,
         &WorkloadConfig {
@@ -32,13 +32,13 @@ fn workload(db: &Database, count: usize, seed: u64) -> Vec<LabeledQuery> {
         },
         seed,
     );
-    label_workload(db, &queries, &LabelConfig::default()).expect("labelling")
+    Ok(label_workload(db, &queries, &LabelConfig::default())?)
 }
 
-fn card_summary(db_queries: &[LabeledQuery], model: &MtmlfQo) -> QErrorSummary {
+fn card_summary(db_queries: &[LabeledQuery], model: &MtmlfQo) -> mtmlf::Result<QErrorSummary> {
     let mut errors = Vec::new();
     for l in db_queries {
-        let preds = model.predict_nodes(&l.query, &l.plan).expect("prediction");
+        let preds = model.predict_nodes(&l.query, &l.plan)?;
         for (i, node) in l.plan.post_order().iter().enumerate() {
             if node.leaf_count() < 2 {
                 continue;
@@ -46,10 +46,11 @@ fn card_summary(db_queries: &[LabeledQuery], model: &MtmlfQo) -> QErrorSummary {
             errors.push(q_error(preds[i].0, l.node_cards[i] as f64));
         }
     }
-    QErrorSummary::from_errors(&errors).expect("non-empty")
+    QErrorSummary::from_errors(&errors)
+        .ok_or_else(|| mtmlf::MtmlfError::Opt("no multi-table sub-plans to score".into()))
 }
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let scale = args.f64("scale", 0.05);
     let train_n = args.usize("train", 200);
@@ -60,33 +61,33 @@ fn main() {
     // Version 1 of the database and the model trained on it.
     let mut db_v1 = imdb_lite(seed, ImdbScale { scale });
     db_v1.analyze_all(24, 12);
-    let train = workload(&db_v1, train_n, seed ^ 0xD1);
+    let train = workload(&db_v1, train_n, seed ^ 0xD1)?;
     let config = MtmlfConfig {
         epochs: args.usize("epochs", 12),
         seed,
         ..MtmlfConfig::default()
     };
-    let mut model = MtmlfQo::new(&db_v1, config.clone()).expect("model");
-    model.train(&train).expect("training");
+    let mut model = MtmlfQo::new(&db_v1, config.clone())?;
+    model.train(&train)?;
 
     // Drift: regenerate the database with a different seed — same schema,
     // different value distributions, popularity ranks, and string pools.
     let mut db_v2 = imdb_lite(seed ^ 0xD21F7, ImdbScale { scale });
     db_v2.analyze_all(24, 12);
-    let test_v2 = workload(&db_v2, test_n, seed ^ 0xD2);
+    let test_v2 = workload(&db_v2, test_n, seed ^ 0xD2)?;
 
     // Regime 1: stale — featurizer still encodes v1 distributions.
-    let stale = card_summary(&test_v2, &model);
+    let stale = card_summary(&test_v2, &model)?;
 
     // Regime 2: refresh (F) only — the paper's cheap evolution path.
-    model.refresh_featurization(&db_v2).expect("refresh");
-    let refreshed = card_summary(&test_v2, &model);
+    model.refresh_featurization(&db_v2)?;
+    let refreshed = card_summary(&test_v2, &model)?;
 
     // Regime 3: full retrain on v2.
-    let train_v2 = workload(&db_v2, train_n, seed ^ 0xD3);
-    let mut retrained = MtmlfQo::new(&db_v2, config).expect("model");
-    retrained.train(&train_v2).expect("training");
-    let full = card_summary(&test_v2, &retrained);
+    let train_v2 = workload(&db_v2, train_n, seed ^ 0xD3)?;
+    let mut retrained = MtmlfQo::new(&db_v2, config)?;
+    retrained.train(&train_v2)?;
+    let full = card_summary(&test_v2, &retrained)?;
 
     println!();
     let row = |name: &str, s: &QErrorSummary| {
@@ -108,4 +109,5 @@ fn main() {
             ],
         )
     );
+    Ok(())
 }

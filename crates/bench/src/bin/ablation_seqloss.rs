@@ -15,7 +15,7 @@ use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
 use mtmlf_bench::{report, Args};
 use mtmlf_exec::Executor;
 
-fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64, f64) {
+fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> mtmlf::Result<(f64, f64, f64)> {
     let exec = Executor::new(&exp.db);
     let mut total = 0.0;
     let mut matched = 0usize;
@@ -25,13 +25,8 @@ fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64, f64) {
         let Some(optimal) = &l.optimal_order else {
             continue;
         };
-        let order = model
-            .predict_join_order(&l.query, &l.plan)
-            .expect("prediction succeeds");
-        total += exec
-            .execute_order(&l.query, &order)
-            .expect("legal order")
-            .sim_minutes;
+        let order = model.predict_join_order(&l.query, &l.plan)?;
+        total += exec.execute_order(&l.query, &order)?.sim_minutes;
         let to_usize = |ts: &[mtmlf_storage::TableId]| -> Vec<usize> {
             ts.iter().map(|t| t.index()).collect()
         };
@@ -41,14 +36,14 @@ fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64, f64) {
         joeu_sum += joeu(&to_usize(&order.tables()), &to_usize(&optimal.tables()));
         n += 1;
     }
-    (
+    Ok((
         total,
         matched as f64 / n.max(1) as f64,
         joeu_sum / n.max(1) as f64,
-    )
+    ))
 }
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let setup = SingleDbSetup {
         scale: args.f64("scale", 0.06),
@@ -61,10 +56,10 @@ fn main() {
     };
     println!("# Ablation — token-level CE vs sequence-level JOEU loss");
     println!("# setup: {setup:?}");
-    let exp = SingleDbExperiment::build(setup);
-    let featurizer = exp.fit_featurizer();
+    let exp = SingleDbExperiment::build(setup)?;
+    let featurizer = exp.fit_featurizer()?;
 
-    let train_with = |sequence_loss: bool| -> MtmlfQo {
+    let train_with = |sequence_loss: bool| -> mtmlf::Result<MtmlfQo> {
         let config = MtmlfConfig {
             sequence_loss,
             weights: LossWeights::jo_only(),
@@ -77,14 +72,14 @@ fn main() {
             mtmlf::transjo::TransJo::new(&config),
             config,
         );
-        model.train(&exp.train).expect("training");
-        model
+        model.train(&exp.train)?;
+        Ok(model)
     };
 
-    let token = train_with(false);
-    let sequence = train_with(true);
-    let (t_total, t_match, t_joeu) = evaluate(&exp, &token);
-    let (s_total, s_match, s_joeu) = evaluate(&exp, &sequence);
+    let token = train_with(false)?;
+    let sequence = train_with(true)?;
+    let (t_total, t_match, t_joeu) = evaluate(&exp, &token)?;
+    let (s_total, s_match, s_joeu) = evaluate(&exp, &sequence)?;
     println!();
     print!(
         "{}",
@@ -106,4 +101,5 @@ fn main() {
             ],
         )
     );
+    Ok(())
 }

@@ -18,7 +18,7 @@ use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
 use mtmlf_bench::{report, Args};
 use mtmlf_exec::Executor;
 
-fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64) {
+fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> mtmlf::Result<(f64, f64)> {
     let exec = Executor::new(&exp.db);
     let mut total = 0.0;
     let mut matched = 0usize;
@@ -27,22 +27,17 @@ fn evaluate(exp: &SingleDbExperiment, model: &MtmlfQo) -> (f64, f64) {
         let Some(optimal) = &l.optimal_order else {
             continue;
         };
-        let order = model
-            .predict_join_order(&l.query, &l.plan)
-            .expect("prediction");
-        total += exec
-            .execute_order(&l.query, &order)
-            .expect("legal order")
-            .sim_minutes;
+        let order = model.predict_join_order(&l.query, &l.plan)?;
+        total += exec.execute_order(&l.query, &order)?.sim_minutes;
         if order.tables() == optimal.tables() {
             matched += 1;
         }
         n += 1;
     }
-    (total, matched as f64 / n.max(1) as f64)
+    Ok((total, matched as f64 / n.max(1) as f64))
 }
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let setup = SingleDbSetup {
         scale: args.f64("scale", 0.06),
@@ -56,8 +51,8 @@ fn main() {
     let precious = args.usize("precious", 60).min(setup.train_queries);
     println!("# Ablation — two-phase join-order training");
     println!("# setup: {setup:?}, precious optimal labels: {precious}");
-    let exp = SingleDbExperiment::build(setup);
-    let featurizer = exp.fit_featurizer();
+    let exp = SingleDbExperiment::build(setup)?;
+    let featurizer = exp.fit_featurizer()?;
     let precious_set = &exp.train[..precious];
 
     // Variant 1: optimal-only training on the small precious set.
@@ -69,7 +64,7 @@ fn main() {
         mtmlf::transjo::TransJo::new(&config),
         config.clone(),
     );
-    optimal_only.train(precious_set).expect("training");
+    optimal_only.train(precious_set)?;
 
     // Variant 2: two-phase — cheap classical orders first, then precious.
     let mut two_phase = MtmlfQo::from_modules(
@@ -79,12 +74,10 @@ fn main() {
         mtmlf::transjo::TransJo::new(&config),
         config.clone(),
     );
-    two_phase
-        .train_two_phase(&exp.train, precious_set, config.epochs)
-        .expect("two-phase training");
+    two_phase.train_two_phase(&exp.train, precious_set, config.epochs)?;
 
-    let (t1, m1) = evaluate(&exp, &optimal_only);
-    let (t2, m2) = evaluate(&exp, &two_phase);
+    let (t1, m1) = evaluate(&exp, &optimal_only)?;
+    let (t2, m2) = evaluate(&exp, &two_phase)?;
     println!();
     print!(
         "{}",
@@ -104,4 +97,5 @@ fn main() {
             ],
         )
     );
+    Ok(())
 }

@@ -9,7 +9,7 @@ use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
 use mtmlf_bench::{table1, Args};
 use std::time::Instant;
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let setup = SingleDbSetup {
         scale: args.f64("scale", 0.08),
@@ -23,7 +23,7 @@ fn main() {
     println!("# Table 1 — Q-errors on the JOB-like workload");
     println!("# setup: {setup:?}");
     let t0 = Instant::now();
-    let exp = SingleDbExperiment::build(setup);
+    let exp = SingleDbExperiment::build(setup)?;
     println!(
         "# data ready in {:.1}s ({} train / {} test labelled queries)",
         t0.elapsed().as_secs_f64(),
@@ -31,11 +31,15 @@ fn main() {
         exp.test.len()
     );
     let t1 = Instant::now();
-    let result = table1::run(&exp);
-    println!("# methods trained + evaluated in {:.1}s\n", t1.elapsed().as_secs_f64());
+    let result = table1::run(&exp)?;
+    println!(
+        "# methods trained + evaluated in {:.1}s\n",
+        t1.elapsed().as_secs_f64()
+    );
     print!("{}", table1::render(&result));
     println!("\n# Paper reference (absolute numbers differ; ordering is the target):");
     println!("#   PostgreSQL  card median 184.00, cost median 4.90");
     println!("#   Tree-LSTM   card median 8.78,   cost median 4.00");
     println!("#   MTMLF-QO    card median 4.48,   cost median 2.10");
+    Ok(())
 }

@@ -10,7 +10,7 @@ use mtmlf_bench::single_db::{SingleDbExperiment, SingleDbSetup};
 use mtmlf_bench::{table2, Args};
 use std::time::Instant;
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let setup = SingleDbSetup {
         scale: args.f64("scale", 0.08),
@@ -24,7 +24,7 @@ fn main() {
     println!("# Table 2 — Execution time with different join orders");
     println!("# setup: {setup:?}");
     let t0 = Instant::now();
-    let exp = SingleDbExperiment::build(setup);
+    let exp = SingleDbExperiment::build(setup)?;
     println!(
         "# data ready in {:.1}s ({} train / {} test labelled queries)",
         t0.elapsed().as_secs_f64(),
@@ -32,14 +32,21 @@ fn main() {
         exp.test.len()
     );
     let t1 = Instant::now();
-    let (result, mut details) = table2::run(&exp);
-    println!("# trained + executed in {:.1}s\n", t1.elapsed().as_secs_f64());
+    let (result, mut details) = table2::run(&exp)?;
+    println!(
+        "# trained + executed in {:.1}s\n",
+        t1.elapsed().as_secs_f64()
+    );
     print!("{}", table2::render(&result));
     if args.flag("verbose") {
         details.sort_by(|a, b| b.minutes[0].total_cmp(&a.minutes[0]));
         println!("\n# worst queries by PostgreSQL time (pg / optimal / mtmlf / joinsel):");
         for d in details.iter().take(10) {
-            let q = if d.query.len() > 70 { &d.query[..70] } else { &d.query };
+            let q = if d.query.len() > 70 {
+                &d.query[..70]
+            } else {
+                &d.query
+            };
             println!(
                 "#  {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {q}",
                 d.minutes[0], d.minutes[1], d.minutes[2], d.minutes[3]
@@ -48,4 +55,5 @@ fn main() {
     }
     println!("\n# Paper reference: PostgreSQL 1143.2 min; Optimal 81.7% improvement;");
     println!("# MTMLF-QO 72.2%; MTMLF-JoinSel 60.6%; MTMLF-QO optimal on >70% of queries.");
+    Ok(())
 }

@@ -11,7 +11,7 @@ use mtmlf_bench::table3::{self, Table3Setup};
 use mtmlf_bench::Args;
 use std::time::Instant;
 
-fn main() {
+fn main() -> mtmlf::Result<()> {
     let args = Args::parse();
     let setup = Table3Setup {
         databases: args.usize("dbs", 11),
@@ -35,9 +35,13 @@ fn main() {
         setup.databases, setup.queries_per_db, setup.test_db_train, setup.test_db_test
     );
     let t0 = Instant::now();
-    let result = table3::run(&setup, &config);
-    println!("# generated, pre-trained, transferred, evaluated in {:.1}s\n", t0.elapsed().as_secs_f64());
+    let result = table3::run(&setup, &config)?;
+    println!(
+        "# generated, pre-trained, transferred, evaluated in {:.1}s\n",
+        t0.elapsed().as_secs_f64()
+    );
     print!("{}", table3::render(&result));
     println!("\n# Paper reference: PostgreSQL 393.9 min; MTMLF-QO (MLA) 40.6% improvement;");
     println!("# MTMLF-QO (single, from scratch) 44.3% — MLA within a few points of single.");
+    Ok(())
 }

@@ -1,0 +1,224 @@
+//! Serving throughput: sequential per-query planning vs the
+//! [`PlannerService`] in three configurations — worker pool only, pool +
+//! cross-query batching, and pool + batching + plan cache.
+//!
+//! Reports queries/second per mode plus the warm-cache vs model-path
+//! latency split, and writes the raw numbers to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run -p mtmlf-bench --release --bin table_serve -- \
+//!     [--scale 0.03] [--queries 24] [--repeats 4] [--clients 8] \
+//!     [--workers 2] [--seed 1] [--out BENCH_serve.json]
+//! ```
+
+use mtmlf::serve::{PlannerService, ServiceConfig, ServiceMetrics};
+use mtmlf::MtmlfError;
+use mtmlf_bench::serve::{build, drive_clients, ServeExperiment};
+use mtmlf_bench::{report, Args};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ModeResult {
+    name: &'static str,
+    elapsed_s: f64,
+    qps: f64,
+    metrics: Option<ServiceMetrics>,
+}
+
+fn run_mode(
+    name: &'static str,
+    exp: &ServeExperiment,
+    config: ServiceConfig,
+    repeats: usize,
+    clients: usize,
+) -> mtmlf::Result<ModeResult> {
+    let service = PlannerService::start(Arc::clone(&exp.model), config)?;
+    let (elapsed_s, served) = drive_clients(&service, &exp.queries, repeats, clients)?;
+    Ok(ModeResult {
+        name,
+        elapsed_s,
+        qps: served as f64 / elapsed_s,
+        metrics: Some(service.metrics()),
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(args: &[(&str, f64)], modes: &[ModeResult], cached: &ServiceMetrics) -> String {
+    let mut out = String::from("{\n  \"table\": \"serve\",\n  \"setup\": {");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {v}", json_escape(k)));
+    }
+    out.push_str("},\n  \"modes\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"elapsed_s\": {:.6}, \"qps\": {:.3}",
+            json_escape(m.name),
+            m.elapsed_s,
+            m.qps
+        ));
+        if let Some(metrics) = &m.metrics {
+            out.push_str(&format!(
+                ", \"cache_hits\": {}, \"model_plans\": {}, \"batches\": {}, \"batched_queries\": {}",
+                metrics.cache_hits, metrics.model_plans, metrics.batches, metrics.batched_queries
+            ));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < modes.len() { ",\n" } else { "\n" });
+    }
+    let model_mean = cached.model_latency.mean().as_secs_f64();
+    let cache_mean = cached.cache_latency.mean().as_secs_f64();
+    let p99_model = cached.model_latency.quantile(0.99).as_secs_f64();
+    let p99_cache = cached.cache_latency.quantile(0.99).as_secs_f64();
+    out.push_str(&format!(
+        "  ],\n  \"latency\": {{\"model_mean_us\": {:.3}, \"cache_mean_us\": {:.3}, \
+         \"model_p99_us\": {:.3}, \"cache_p99_us\": {:.3}, \"cache_over_model\": {:.6}}},\n",
+        model_mean * 1e6,
+        cache_mean * 1e6,
+        p99_model * 1e6,
+        p99_cache * 1e6,
+        if model_mean > 0.0 {
+            cache_mean / model_mean
+        } else {
+            0.0
+        }
+    ));
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"hit_rate\": {:.4}}}\n}}\n",
+        cached.cache_hits,
+        cached.cache_hit_rate()
+    ));
+    out
+}
+
+fn main() -> mtmlf::Result<()> {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.03);
+    let queries = args.usize("queries", 24);
+    let repeats = args.usize("repeats", 4);
+    let clients = args.usize("clients", 8);
+    let workers = args.usize("workers", 2);
+    let seed = args.u64("seed", 1);
+    let out_path = args.str("out", "BENCH_serve.json");
+    println!("# Serving throughput — sequential vs PlannerService");
+    println!(
+        "# scale {scale}, {queries} queries x {repeats} repeats, \
+         {clients} clients, {workers} workers, seed {seed}"
+    );
+
+    let exp = build(scale, queries, seed)?;
+    let total = exp.queries.len() * repeats;
+
+    // Baseline: the pre-existing one-query-at-a-time public API.
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for q in &exp.queries {
+            exp.model.plan_with_estimates(q)?;
+        }
+    }
+    let seq_s = t0.elapsed().as_secs_f64();
+    let mut modes = vec![ModeResult {
+        name: "sequential",
+        elapsed_s: seq_s,
+        qps: total as f64 / seq_s,
+        metrics: None,
+    }];
+
+    modes.push(run_mode(
+        "pooled",
+        &exp,
+        ServiceConfig {
+            workers,
+            batching: false,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+        repeats,
+        clients,
+    )?);
+    modes.push(run_mode(
+        "pooled+batched",
+        &exp,
+        ServiceConfig {
+            workers,
+            batching: true,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+        repeats,
+        clients,
+    )?);
+    modes.push(run_mode(
+        "pooled+batched+cache",
+        &exp,
+        ServiceConfig {
+            workers,
+            batching: true,
+            ..ServiceConfig::default()
+        },
+        repeats,
+        clients,
+    )?);
+
+    let baseline = modes[0].qps;
+    let rows: Vec<Vec<String>> = modes
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                format!("{:.2}", m.elapsed_s),
+                format!("{:.1}", m.qps),
+                format!("{:.2}x", m.qps / baseline),
+                m.metrics
+                    .as_ref()
+                    .map(|s| s.cache_hits.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!();
+    print!(
+        "{}",
+        report::render_table(
+            &["Mode", "Elapsed (s)", "QPS", "Speedup", "Cache hits"],
+            &rows
+        )
+    );
+
+    let cached_metrics = modes
+        .last()
+        .and_then(|m| m.metrics.clone())
+        .ok_or_else(|| MtmlfError::Service("cached mode produced no metrics".into()))?;
+    let model_us = cached_metrics.model_latency.mean().as_secs_f64() * 1e6;
+    let cache_us = cached_metrics.cache_latency.mean().as_secs_f64() * 1e6;
+    println!();
+    println!(
+        "warm-cache latency {:.1}us vs model-path {:.1}us ({:.2}% of model path)",
+        cache_us,
+        model_us,
+        if model_us > 0.0 {
+            100.0 * cache_us / model_us
+        } else {
+            0.0
+        }
+    );
+
+    let setup = [
+        ("scale", scale),
+        ("queries", queries as f64),
+        ("repeats", repeats as f64),
+        ("clients", clients as f64),
+        ("workers", workers as f64),
+        ("seed", seed as f64),
+    ];
+    let json = render_json(&setup, &modes, &cached_metrics);
+    std::fs::write(&out_path, json)
+        .map_err(|e| MtmlfError::Service(format!("writing {out_path}: {e}")))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

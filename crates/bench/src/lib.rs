@@ -21,6 +21,7 @@
 
 pub mod args;
 pub mod report;
+pub mod serve;
 pub mod single_db;
 pub mod table1;
 pub mod table2;

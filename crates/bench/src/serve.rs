@@ -1,0 +1,122 @@
+//! Shared setup and client driver for the serving benchmarks
+//! (`serve_bench` and the `table_serve` binary).
+//!
+//! The model is deliberately *untrained* (fresh modules, untrained
+//! featurizer): serving throughput and latency depend on tensor shapes,
+//! not on learned weights, and skipping encoder pre-training keeps the
+//! benchmark setup to a few seconds.
+
+use mtmlf::serve::PlannerService;
+use mtmlf::{FeaturizationModule, MtmlfConfig, MtmlfError, MtmlfQo};
+use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+use mtmlf_query::Query;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A model plus a query workload for serving experiments.
+pub struct ServeExperiment {
+    /// The model, ready to share across a service's workers.
+    pub model: Arc<MtmlfQo>,
+    /// The query workload.
+    pub queries: Vec<Query>,
+}
+
+/// Builds the serving workload: an IMDB-shaped database at `scale`, a
+/// join workload of `query_count` queries, and an untrained model over it.
+pub fn build(scale: f64, query_count: usize, seed: u64) -> mtmlf::Result<ServeExperiment> {
+    let mut db = imdb_lite(seed, ImdbScale { scale });
+    db.analyze_all(8, 4);
+    let config = MtmlfConfig {
+        max_query_tables: 8,
+        seed,
+        ..MtmlfConfig::tiny()
+    };
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: query_count,
+            min_tables: 3,
+            max_tables: 5,
+            ..WorkloadConfig::default()
+        },
+        seed ^ 0x5E,
+    );
+    let featurizer = FeaturizationModule::untrained(&db, &config)?;
+    let model = MtmlfQo::from_modules(
+        featurizer,
+        mtmlf::shared::SharedModule::new(&config),
+        mtmlf::tasks::TaskHeads::new(&config),
+        mtmlf::transjo::TransJo::new(&config),
+        config,
+    );
+    Ok(ServeExperiment {
+        model: Arc::new(model),
+        queries,
+    })
+}
+
+/// Drives `clients` concurrent threads through `service`, planning the
+/// workload `repeats` times in total (round-robin partition). Returns
+/// `(elapsed_seconds, requests_served)`.
+pub fn drive_clients(
+    service: &PlannerService,
+    queries: &[Query],
+    repeats: usize,
+    clients: usize,
+) -> mtmlf::Result<(f64, usize)> {
+    let work: Vec<&Query> = (0..repeats).flat_map(|_| queries.iter()).collect();
+    let clients = clients.max(1);
+    let t0 = Instant::now();
+    let results: Vec<mtmlf::Result<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let work = &work;
+                scope.spawn(move || -> mtmlf::Result<usize> {
+                    let mut served = 0;
+                    for q in work.iter().skip(c).step_by(clients) {
+                        service.plan((*q).clone())?;
+                        served += 1;
+                    }
+                    Ok(served)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(MtmlfError::Service("client thread panicked".into())))
+            })
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut served = 0;
+    for r in results {
+        served += r?;
+    }
+    Ok((elapsed, served))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf::serve::ServiceConfig;
+
+    #[test]
+    fn builds_and_drives_a_tiny_workload() {
+        let exp = build(0.02, 3, 5).expect("setup");
+        assert_eq!(exp.queries.len(), 3);
+        let service = PlannerService::start(
+            Arc::clone(&exp.model),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("service starts");
+        let (elapsed, served) = drive_clients(&service, &exp.queries, 2, 2).expect("drive");
+        assert_eq!(served, 6);
+        assert!(elapsed > 0.0);
+        assert_eq!(service.metrics().requests, 6);
+    }
+}

@@ -59,27 +59,29 @@ pub struct SingleDbExperiment {
 
 impl SingleDbExperiment {
     /// Builds the database, both workloads, and all labels.
-    pub fn build(setup: SingleDbSetup) -> Self {
+    pub fn build(setup: SingleDbSetup) -> mtmlf::Result<Self> {
         let mut db = imdb_lite(setup.seed, ImdbScale { scale: setup.scale });
         db.analyze_all(24, 12);
-        let wl = |count: usize, seed: u64| WorkloadConfig {
-            count,
-            min_tables: setup.min_tables,
-            max_tables: setup.max_tables,
-            ..WorkloadConfig::default()
-        }
-        .pipe(|cfg| generate_queries(&db, &cfg, seed));
+        let wl = |count: usize, seed: u64| {
+            WorkloadConfig {
+                count,
+                min_tables: setup.min_tables,
+                max_tables: setup.max_tables,
+                ..WorkloadConfig::default()
+            }
+            .pipe(|cfg| generate_queries(&db, &cfg, seed))
+        };
         let train_q = wl(setup.train_queries, setup.seed ^ 0x71A1);
         let test_q = wl(setup.test_queries, setup.seed ^ 0x7E57);
         let label_cfg = LabelConfig::default();
-        let train = label_workload(&db, &train_q, &label_cfg).expect("labelling train workload");
-        let test = label_workload(&db, &test_q, &label_cfg).expect("labelling test workload");
-        Self {
+        let train = label_workload(&db, &train_q, &label_cfg)?;
+        let test = label_workload(&db, &test_q, &label_cfg)?;
+        Ok(Self {
             db,
             train,
             test,
             setup,
-        }
+        })
     }
 
     /// The model configuration used by the single-DB experiments.
@@ -95,9 +97,8 @@ impl SingleDbExperiment {
 
     /// Fits the featurization module once (shared by all model variants —
     /// its encoders are frozen after fitting).
-    pub fn fit_featurizer(&self) -> FeaturizationModule {
+    pub fn fit_featurizer(&self) -> mtmlf::Result<FeaturizationModule> {
         FeaturizationModule::fit(&self.db, &self.model_config(LossWeights::default()))
-            .expect("featurizer fits on the generated database")
     }
 
     /// Trains one MTMLF variant on the training workload, reusing a fitted
@@ -106,7 +107,7 @@ impl SingleDbExperiment {
         &self,
         featurizer: &FeaturizationModule,
         weights: LossWeights,
-    ) -> MtmlfQo {
+    ) -> mtmlf::Result<MtmlfQo> {
         let config = self.model_config(weights);
         let mut model = MtmlfQo::from_modules(
             featurizer.clone(),
@@ -115,8 +116,8 @@ impl SingleDbExperiment {
             mtmlf::transjo::TransJo::new(&config),
             config,
         );
-        model.train(&self.train).expect("training succeeds");
-        model
+        model.train(&self.train)?;
+        Ok(model)
     }
 }
 
@@ -142,7 +143,8 @@ mod tests {
             max_tables: 4,
             epochs: 2,
             seed: 2,
-        });
+        })
+        .expect("tiny experiment builds");
         assert_eq!(exp.train.len(), 6);
         assert_eq!(exp.test.len(), 3);
         for l in exp.train.iter().chain(&exp.test) {

@@ -32,11 +32,11 @@ pub struct Table1Result {
 }
 
 /// Runs the Table 1 experiment.
-pub fn run(exp: &SingleDbExperiment) -> Table1Result {
+pub fn run(exp: &SingleDbExperiment) -> mtmlf::Result<Table1Result> {
     let mut rows = Vec::new();
 
     // --- PostgreSQL baseline: statistics estimator + shared cost model.
-    let (pg_card, pg_cost) = pg_errors(exp);
+    let (pg_card, pg_cost) = pg_errors(exp)?;
     rows.push(Table1Row {
         method: "PostgreSQL".into(),
         card: QErrorSummary::from_errors(&pg_card),
@@ -52,45 +52,43 @@ pub fn run(exp: &SingleDbExperiment) -> Table1Result {
     });
 
     // --- MTMLF variants (shared featurizer).
-    let featurizer = exp.fit_featurizer();
-    let joint = exp.train_variant(&featurizer, LossWeights::default());
-    let (card, cost) = mtmlf_errors(exp, &joint);
+    let featurizer = exp.fit_featurizer()?;
+    let joint = exp.train_variant(&featurizer, LossWeights::default())?;
+    let (card, cost) = mtmlf_errors(exp, &joint)?;
     rows.push(Table1Row {
         method: "MTMLF-QO".into(),
         card: QErrorSummary::from_errors(&card),
         cost: QErrorSummary::from_errors(&cost),
     });
 
-    let card_only = exp.train_variant(&featurizer, LossWeights::card_only());
-    let (card, _) = mtmlf_errors(exp, &card_only);
+    let card_only = exp.train_variant(&featurizer, LossWeights::card_only())?;
+    let (card, _) = mtmlf_errors(exp, &card_only)?;
     rows.push(Table1Row {
         method: "MTMLF-CardEst".into(),
         card: QErrorSummary::from_errors(&card),
         cost: None,
     });
 
-    let cost_only = exp.train_variant(&featurizer, LossWeights::cost_only());
-    let (_, cost) = mtmlf_errors(exp, &cost_only);
+    let cost_only = exp.train_variant(&featurizer, LossWeights::cost_only())?;
+    let (_, cost) = mtmlf_errors(exp, &cost_only)?;
     rows.push(Table1Row {
         method: "MTMLF-CostEst".into(),
         card: None,
         cost: QErrorSummary::from_errors(&cost),
     });
 
-    Table1Result { rows }
+    Ok(Table1Result { rows })
 }
 
 /// Per-node q-errors of the PostgreSQL-style estimator on the test set.
-pub fn pg_errors(exp: &SingleDbExperiment) -> (Vec<f64>, Vec<f64>) {
+pub fn pg_errors(exp: &SingleDbExperiment) -> mtmlf::Result<(Vec<f64>, Vec<f64>)> {
     let estimator = PgEstimator::new(&exp.db);
     let coster = PlanCoster::new(&estimator, &exp.db);
     let mut card_errors = Vec::new();
     let mut cost_errors = Vec::new();
     for l in &exp.test {
-        let graph = l.query.join_graph().expect("validated query");
-        let per_node = coster
-            .per_node(&l.query, &graph, &l.plan)
-            .expect("estimation succeeds");
+        let graph = l.query.join_graph()?;
+        let per_node = coster.per_node(&l.query, &graph, &l.plan)?;
         for (i, node) in l.plan.post_order().iter().enumerate() {
             if node.leaf_count() < 2 {
                 continue; // Table 1 scores multi-table (join) sub-plans
@@ -100,7 +98,7 @@ pub fn pg_errors(exp: &SingleDbExperiment) -> (Vec<f64>, Vec<f64>) {
             cost_errors.push(mtmlf_optd::q_error(cost_est, l.node_costs[i]));
         }
     }
-    (card_errors, cost_errors)
+    Ok((card_errors, cost_errors))
 }
 
 /// Per-node q-errors of a trained Tree-LSTM on the test set.
@@ -130,13 +128,14 @@ pub fn treelstm_errors(exp: &SingleDbExperiment) -> (Vec<f64>, Vec<f64>) {
 }
 
 /// Per-node q-errors of a trained MTMLF variant on the test set.
-pub fn mtmlf_errors(exp: &SingleDbExperiment, model: &mtmlf::MtmlfQo) -> (Vec<f64>, Vec<f64>) {
+pub fn mtmlf_errors(
+    exp: &SingleDbExperiment,
+    model: &mtmlf::MtmlfQo,
+) -> mtmlf::Result<(Vec<f64>, Vec<f64>)> {
     let mut card_errors = Vec::new();
     let mut cost_errors = Vec::new();
     for l in &exp.test {
-        let preds = model
-            .predict_nodes(&l.query, &l.plan)
-            .expect("prediction succeeds");
+        let preds = model.predict_nodes(&l.query, &l.plan)?;
         for (i, node) in l.plan.post_order().iter().enumerate() {
             if node.leaf_count() < 2 {
                 continue;
@@ -146,7 +145,7 @@ pub fn mtmlf_errors(exp: &SingleDbExperiment, model: &mtmlf::MtmlfQo) -> (Vec<f6
             cost_errors.push(mtmlf_optd::q_error(cost_est, l.node_costs[i]));
         }
     }
-    (card_errors, cost_errors)
+    Ok((card_errors, cost_errors))
 }
 
 /// Renders the result in the paper's layout.

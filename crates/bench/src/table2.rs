@@ -46,7 +46,7 @@ pub fn run_with_models(
     exp: &SingleDbExperiment,
     joint: &MtmlfQo,
     jo_only: &MtmlfQo,
-) -> (Table2Result, Vec<QueryDetail>) {
+) -> mtmlf::Result<(Table2Result, Vec<QueryDetail>)> {
     let exec = Executor::new(&exp.db);
     let pg = PgOptimizer::new(&exp.db);
 
@@ -60,26 +60,15 @@ pub fn run_with_models(
             continue;
         };
         counted += 1;
-        let pg_order = JoinOrder::LeftDeep(
-            pg.plan(&l.query)
-                .expect("pg plans validated queries")
-                .plan
-                .tables(),
-        );
+        let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query)?.plan.tables());
         // MTMLF-QO uses multi-task consistent inference: the jointly
         // trained cost head re-ranks the beam's candidates.
-        let mtmlf_order = joint
-            .predict_join_order_costed(&l.query, &l.plan)
-            .expect("prediction succeeds");
-        let joinsel_order = jo_only
-            .predict_join_order(&l.query, &l.plan)
-            .expect("prediction succeeds");
+        let mtmlf_order = joint.predict_join_order_costed(&l.query, &l.plan)?;
+        let joinsel_order = jo_only.predict_join_order(&l.query, &l.plan)?;
         let orders = [&pg_order, optimal, &mtmlf_order, &joinsel_order];
         let mut minutes = [0.0f64; 4];
         for (i, order) in orders.iter().enumerate() {
-            let outcome = exec
-                .execute_order(&l.query, order)
-                .expect("orders are legal by construction");
+            let outcome = exec.execute_order(&l.query, order)?;
             minutes[i] = outcome.sim_minutes;
             totals[i] += outcome.sim_minutes;
             if order.tables() == optimal.tables() {
@@ -103,14 +92,14 @@ pub fn run_with_models(
             optimal_match: matches[i] as f64 / counted.max(1) as f64,
         })
         .collect();
-    (Table2Result { rows }, details)
+    Ok((Table2Result { rows }, details))
 }
 
 /// Trains the models and runs the experiment (standalone entry point).
-pub fn run(exp: &SingleDbExperiment) -> (Table2Result, Vec<QueryDetail>) {
-    let featurizer = exp.fit_featurizer();
-    let joint = exp.train_variant(&featurizer, LossWeights::default());
-    let jo_only = exp.train_variant(&featurizer, LossWeights::jo_only());
+pub fn run(exp: &SingleDbExperiment) -> mtmlf::Result<(Table2Result, Vec<QueryDetail>)> {
+    let featurizer = exp.fit_featurizer()?;
+    let joint = exp.train_variant(&featurizer, LossWeights::default())?;
+    let jo_only = exp.train_variant(&featurizer, LossWeights::jo_only())?;
     run_with_models(exp, &joint, &jo_only)
 }
 

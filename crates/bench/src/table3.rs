@@ -8,8 +8,8 @@
 
 use mtmlf::{MetaLearner, MtmlfConfig, MtmlfQo};
 use mtmlf_datagen::{
-    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery,
-    PipelineConfig, WorkloadConfig,
+    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery, PipelineConfig,
+    WorkloadConfig,
 };
 use mtmlf_exec::Executor;
 use mtmlf_optd::PgOptimizer;
@@ -75,10 +75,12 @@ pub struct Table3Result {
     pub rows: Vec<Table3Row>,
 }
 
-fn make_db(setup: &Table3Setup, index: usize) -> (Database, Vec<LabeledQuery>, Vec<LabeledQuery>) {
+fn make_db(
+    setup: &Table3Setup,
+    index: usize,
+) -> mtmlf::Result<(Database, Vec<LabeledQuery>, Vec<LabeledQuery>)> {
     let seed = setup.seed.wrapping_mul(1_000_003) ^ index as u64;
-    let mut db =
-        generate_database(&format!("gen{index}"), seed, &setup.pipeline).expect("pipeline DB");
+    let mut db = generate_database(&format!("gen{index}"), seed, &setup.pipeline)?;
     db.analyze_all(16, 8);
     let wl_cfg = WorkloadConfig {
         count: if index + 1 == setup.databases {
@@ -91,32 +93,36 @@ fn make_db(setup: &Table3Setup, index: usize) -> (Database, Vec<LabeledQuery>, V
         ..WorkloadConfig::default()
     };
     let queries = generate_queries(&db, &wl_cfg, seed ^ 0x77);
-    let labeled = label_workload(&db, &queries, &LabelConfig::default()).expect("labelling");
+    let labeled = label_workload(&db, &queries, &LabelConfig::default())?;
     if index + 1 == setup.databases {
         let reserved = setup.test_db_test.min(labeled.len());
         let split = labeled.len() - reserved;
         let (train, test) = labeled.split_at(split);
-        (db, train.to_vec(), test.to_vec())
+        Ok((db, train.to_vec(), test.to_vec()))
     } else {
-        (db, labeled, Vec::new())
+        Ok((db, labeled, Vec::new()))
     }
 }
 
 /// Runs the Table 3 experiment. Returns the result plus the per-query
 /// count evaluated.
-pub fn run(setup: &Table3Setup, config: &MtmlfConfig) -> Table3Result {
+pub fn run(setup: &Table3Setup, config: &MtmlfConfig) -> mtmlf::Result<Table3Result> {
     // Generate all databases; the last is the held-out test DB.
     let mut training_dbs: Vec<(Database, Vec<LabeledQuery>)> = Vec::new();
     let mut test_db = None;
     for i in 0..setup.databases {
-        let (db, train, test) = make_db(setup, i);
+        let (db, train, test) = make_db(setup, i)?;
         if i + 1 == setup.databases {
             test_db = Some((db, train, test));
         } else {
             training_dbs.push((db, train));
         }
     }
-    let (test_db, test_train, test_test) = test_db.expect("at least one database");
+    let Some((test_db, test_train, test_test)) = test_db else {
+        return Err(mtmlf::MtmlfError::InvalidConfig(
+            "table 3 needs at least one database".into(),
+        ));
+    };
 
     // MLA pre-training on the first n−1 databases.
     let mut meta = MetaLearner::new(config.clone());
@@ -124,25 +130,21 @@ pub fn run(setup: &Table3Setup, config: &MtmlfConfig) -> Table3Result {
         .iter()
         .map(|(db, wl)| (db, wl.as_slice()))
         .collect();
-    meta.pretrain(&refs).expect("MLA pre-training");
-    let mla_model = meta.transfer(&test_db).expect("transfer to the unseen DB");
+    meta.pretrain(&refs)?;
+    let mla_model = meta.transfer(&test_db)?;
 
     // From-scratch single-DB model on the test DB's training split.
-    let mut single = MtmlfQo::new(&test_db, config.clone()).expect("single model");
-    single.train(&test_train).expect("single-DB training");
+    let mut single = MtmlfQo::new(&test_db, config.clone())?;
+    single.train(&test_train)?;
 
     // Execute the held-out queries under each planner's orders.
     let exec = Executor::new(&test_db);
     let pg = PgOptimizer::new(&test_db);
     let mut totals = [0.0f64; 3];
     for l in &test_test {
-        let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query).expect("pg plan").plan.tables());
-        let mla_order = mla_model
-            .predict_join_order_costed(&l.query, &l.plan)
-            .expect("MLA prediction");
-        let single_order = single
-            .predict_join_order_costed(&l.query, &l.plan)
-            .expect("single prediction");
+        let pg_order = JoinOrder::LeftDeep(pg.plan(&l.query)?.plan.tables());
+        let mla_order = mla_model.predict_join_order_costed(&l.query, &l.plan)?;
+        let single_order = single.predict_join_order_costed(&l.query, &l.plan)?;
         for (i, order) in [&pg_order, &mla_order, &single_order].iter().enumerate() {
             // A catastrophically bad order can exceed the executor's row
             // limit; charge the work done up to the cap as a penalty
@@ -152,7 +154,7 @@ pub fn run(setup: &Table3Setup, config: &MtmlfConfig) -> Table3Result {
                 Err(mtmlf_exec::ExecError::RowLimitExceeded { limit }) => {
                     3.0 * limit as f64 / mtmlf_exec::WORK_UNITS_PER_SIM_MINUTE
                 }
-                Err(e) => panic!("execution failed: {e}"),
+                Err(e) => return Err(e.into()),
             };
         }
     }
@@ -167,7 +169,7 @@ pub fn run(setup: &Table3Setup, config: &MtmlfConfig) -> Table3Result {
             improvement: (i > 0).then(|| (totals[0] - totals[i]) / totals[0]),
         })
         .collect();
-    Table3Result { rows }
+    Ok(Table3Result { rows })
 }
 
 /// Renders the result in the paper's layout.

@@ -1,0 +1,191 @@
+//! Cross-query batched planning.
+//!
+//! [`plan_batch`] plans several queries through one packed model forward per
+//! stage instead of one forward per query: every query's plan nodes are
+//! concatenated row-wise and pushed through `Trans_Share` under a
+//! block-diagonal attention mask, so the projection and every transformer
+//! linear run as a single large matmul. The mask keeps each query's nodes
+//! attending only to themselves, which makes every output row bitwise
+//! identical to the sequential [`MtmlfQo::plan_with_estimates`] path — the
+//! property the serving layer's concurrency tests pin down.
+//!
+//! Failures are per-query: one query with no legal order (or too many
+//! tables) yields an `Err` in its slot without poisoning the rest of the
+//! batch.
+
+use crate::beam::beam_search;
+use crate::model::MtmlfQo;
+use crate::serialize::{serialize_plan, SerializedPlan};
+use crate::train::table_representations;
+use crate::{MtmlfError, Result};
+use mtmlf_nn::loss::log_pred_to_estimate;
+use mtmlf_nn::{Matrix, Var};
+use mtmlf_query::{JoinOrder, Query};
+
+/// The outcome of planning one query: the chosen join order plus the
+/// model's root cardinality and cost estimates for that plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The legality-constrained beam search's best join order.
+    pub join_order: JoinOrder,
+    /// Predicted result cardinality of the chosen plan's root.
+    pub est_card: f64,
+    /// Predicted total cost of the chosen plan.
+    pub est_cost: f64,
+}
+
+/// Plans every query in `queries`, batching the model forwards.
+///
+/// The result vector is index-aligned with the input; each slot is exactly
+/// what [`MtmlfQo::plan_with_estimates`] would return (bitwise, including
+/// the `f64` estimates) for that query alone.
+pub fn plan_batch(model: &MtmlfQo, queries: &[Query]) -> Vec<Result<PlannedQuery>> {
+    let config = model.config();
+    let mut results: Vec<Option<Result<PlannedQuery>>> = Vec::with_capacity(queries.len());
+
+    // Stage A: serialize each query's deterministic initial plan. Pure CPU
+    // work; a failure here retires that query from the batch.
+    let mut serialized: Vec<Option<SerializedPlan>> = Vec::with_capacity(queries.len());
+    for query in queries {
+        match model
+            .initial_plan(query)
+            .and_then(|plan| serialize_plan(model.featurization(), query, &plan, config))
+        {
+            Ok(s) => {
+                serialized.push(Some(s));
+                results.push(None);
+            }
+            Err(e) => {
+                serialized.push(None);
+                results.push(Some(Err(e)));
+            }
+        }
+    }
+
+    // One packed forward through (S) for all live queries, then a per-query
+    // beam decode over each query's slice of the output.
+    let live: Vec<usize> = (0..queries.len())
+        .filter(|&i| serialized[i].is_some())
+        .collect();
+    let features: Vec<&Matrix> = live
+        .iter()
+        .filter_map(|&i| serialized[i].as_ref().map(|s| &s.features))
+        .collect();
+    let shared_a = model.shared_module().forward_batch(&features);
+
+    let mut chosen: Vec<(usize, JoinOrder)> = Vec::with_capacity(live.len());
+    for (&i, s_out) in live.iter().zip(&shared_a) {
+        let Some(s) = serialized[i].as_ref() else {
+            continue;
+        };
+        let table_reps = table_representations(s_out, &s.scan_node_of_slot);
+        let candidates = beam_search(
+            model.jo_module(),
+            s_out,
+            &table_reps,
+            &s.graph,
+            config.beam_width,
+            true,
+        );
+        match candidates.first() {
+            Some(best) => chosen.push((
+                i,
+                JoinOrder::LeftDeep(best.slots.iter().map(|&slot| s.table_slots[slot]).collect()),
+            )),
+            None => results[i] = Some(Err(MtmlfError::NoLegalOrder)),
+        }
+    }
+
+    // Stage B: serialize the *chosen* plans and estimate them with one more
+    // packed forward; the row-wise heads run once over all plans' rows and
+    // each plan's root estimate is the last row of its segment.
+    let mut stage_b: Vec<(usize, JoinOrder, SerializedPlan)> = Vec::with_capacity(chosen.len());
+    for (i, order) in chosen {
+        let step = (|| -> Result<SerializedPlan> {
+            let plan = order.to_plan()?;
+            serialize_plan(model.featurization(), &queries[i], &plan, config)
+        })();
+        match step {
+            Ok(s) => stage_b.push((i, order, s)),
+            Err(e) => results[i] = Some(Err(e)),
+        }
+    }
+
+    let features_b: Vec<&Matrix> = stage_b.iter().map(|(_, _, s)| &s.features).collect();
+    let shared_b = model.shared_module().forward_batch(&features_b);
+    if !shared_b.is_empty() {
+        let lens: Vec<usize> = shared_b.iter().map(|v| v.shape().0).collect();
+        let packed = Var::concat_rows(&shared_b);
+        let cards = model.heads_module().card(&packed).to_matrix();
+        let costs = model.heads_module().cost(&packed).to_matrix();
+        let mut offset = 0;
+        for ((i, order, _), len) in stage_b.into_iter().zip(lens) {
+            let root = offset + len - 1;
+            offset += len;
+            results[i] = Some(Ok(PlannedQuery {
+                join_order: order,
+                est_card: log_pred_to_estimate(cards.get(root, 0)),
+                est_cost: log_pred_to_estimate(costs.get(root, 0)),
+            }));
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every query resolves to a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MtmlfConfig;
+    use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+
+    fn setup() -> (MtmlfQo, Vec<Query>) {
+        let mut db = imdb_lite(31, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let cfg = MtmlfConfig {
+            enc_queries: 10,
+            enc_epochs: 1,
+            seed: 31,
+            ..MtmlfConfig::tiny()
+        };
+        let queries = generate_queries(
+            &db,
+            &WorkloadConfig {
+                count: 6,
+                max_tables: 4,
+                ..WorkloadConfig::default()
+            },
+            9,
+        );
+        let model = MtmlfQo::new(&db, cfg).expect("build model");
+        (model, queries)
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let (model, queries) = setup();
+        let batched = plan_batch(&model, &queries);
+        assert_eq!(batched.len(), queries.len());
+        for (query, planned) in queries.iter().zip(batched) {
+            let planned = planned.expect("plans a generated query");
+            let (order, card, cost) = model.plan_with_estimates(query).expect("sequential path");
+            assert_eq!(planned.join_order, order);
+            assert_eq!(planned.est_card.to_bits(), card.to_bits());
+            assert_eq!(planned.est_cost.to_bits(), cost.to_bits());
+            planned.join_order.validate(query).expect("legal order");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let (model, queries) = setup();
+        assert!(plan_batch(&model, &[]).is_empty());
+        let one = plan_batch(&model, &queries[..1]);
+        assert_eq!(one.len(), 1);
+        let planned = one.into_iter().next().unwrap().expect("plans");
+        planned.join_order.validate(&queries[0]).expect("legal");
+    }
+}

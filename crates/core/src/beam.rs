@@ -188,8 +188,7 @@ pub fn beam_search_bushy(
                 }
                 // Length-normalized block score: mean log-prob of its
                 // positions.
-                let block_score: f32 =
-                    logp_row[lo..hi].iter().sum::<f32>() / (hi - lo) as f32;
+                let block_score: f32 = logp_row[lo..hi].iter().sum::<f32>() / (hi - lo) as f32;
                 let mut s = state.clone();
                 s.assigned.push((lo, hi));
                 s.used = used;

@@ -1,0 +1,265 @@
+//! A sharded LRU cache.
+//!
+//! The serving layer keys this on [`mtmlf_query::QueryFingerprint`] to
+//! reuse plans and estimates across repeated queries. Sharding bounds lock
+//! contention: each shard is an independent mutex-guarded LRU, and a key's
+//! shard is a stable function of its hash, so concurrent clients touching
+//! different queries rarely serialize on the same lock.
+//!
+//! Each shard is a classic intrusive doubly-linked LRU over a slab: O(1)
+//! get (with recency bump), insert, and eviction.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    entries: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used, or `NIL` when empty.
+    head: usize,
+    /// Least recently used, or `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(self.entries[idx].value.clone())
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.entries[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.detach(victim);
+            let old_key = self.entries[victim].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = entry;
+                slot
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Unlinks a listed entry from the recency list.
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A thread-safe LRU cache split into independently locked shards.
+pub struct ShardedLruCache<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
+    /// Creates a cache holding about `capacity` entries across `shards`
+    /// shards (each shard gets `ceil(capacity / shards)`). A zero capacity
+    /// yields a cache that stores nothing.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(if capacity == 0 { 0 } else { per_shard })))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock poisoned")
+            .get(key)
+    }
+
+    /// Inserts or refreshes `key`, evicting the shard's least recently
+    /// used entry when full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard lock poisoned")
+            .insert(key, value);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock poisoned").len())
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_roundtrip() {
+        let cache: ShardedLruCache<u64, String> = ShardedLruCache::new(8, 2);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, "one".into());
+        cache.insert(2, "two".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        assert_eq!(cache.get(&2).as_deref(), Some("two"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Single shard so the eviction order is fully deterministic.
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11);
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), Some(11), "updated in place");
+        assert_eq!(cache.get(&2), None, "stale entry evicted");
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(0, 4);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn slab_reuse_after_many_evictions() {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(4, 1);
+        for i in 0..100 {
+            cache.insert(i, i * 2);
+        }
+        assert_eq!(cache.len(), 4);
+        for i in 96..100 {
+            assert_eq!(cache.get(&i), Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache: Arc<ShardedLruCache<u64, u64>> = Arc::new(ShardedLruCache::new(64, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        cache.insert(t * 1000 + i, i);
+                        let _ = cache.get(&(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 64 + 8, "respects capacity up to rounding");
+    }
+}

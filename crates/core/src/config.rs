@@ -1,5 +1,7 @@
 //! Model hyper-parameters.
 
+use crate::error::MtmlfError;
+
 /// Weights of the multi-task loss `L_QO = w_card·L_card + w_cost·L_cost +
 /// w_jo·L_jo` (paper Eq. 1; all three are 1 in the paper's experiments).
 /// Setting a weight to zero yields the single-task ablations
@@ -163,6 +165,159 @@ impl MtmlfConfig {
             ..Self::default()
         }
     }
+
+    /// A validating builder over the default configuration. Invalid
+    /// combinations are rejected at construction instead of panicking
+    /// mid-training. The plain struct-literal path keeps working; the
+    /// builder is the checked front door.
+    ///
+    /// ```
+    /// use mtmlf::MtmlfConfig;
+    ///
+    /// let config = MtmlfConfig::builder()
+    ///     .d_model(64)
+    ///     .heads(4)
+    ///     .beam_width(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.d_model, 64);
+    ///
+    /// // d_model must divide into heads; zero beam width is meaningless.
+    /// assert!(MtmlfConfig::builder().d_model(10).heads(3).build().is_err());
+    /// assert!(MtmlfConfig::builder().beam_width(0).build().is_err());
+    /// ```
+    pub fn builder() -> MtmlfConfigBuilder {
+        MtmlfConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Checks the invariants the builder enforces (callable on
+    /// struct-literal configurations too).
+    pub fn validate(&self) -> Result<(), MtmlfError> {
+        fn invalid(why: String) -> Result<(), MtmlfError> {
+            Err(MtmlfError::InvalidConfig(why))
+        }
+        if self.d_model == 0 {
+            return invalid("d_model must be positive".into());
+        }
+        if self.heads == 0 {
+            return invalid("heads must be positive".into());
+        }
+        if self.d_model % self.heads != 0 {
+            return invalid(format!(
+                "d_model {} is not divisible by heads {}",
+                self.d_model, self.heads
+            ));
+        }
+        if self.beam_width == 0 {
+            return invalid("beam_width must be at least 1".into());
+        }
+        if self.max_cols == 0 {
+            return invalid("max_cols must be positive".into());
+        }
+        if self.max_query_tables == 0 || self.max_query_tables > 16 {
+            return invalid(format!(
+                "max_query_tables must be in 1..=16 (got {}; the bushy position \
+                 codec needs 2^(m-1) slots)",
+                self.max_query_tables
+            ));
+        }
+        if self.needle_buckets == 0 {
+            return invalid("needle_buckets must be positive".into());
+        }
+        for (name, lr) in [("lr", self.lr), ("enc_lr", self.enc_lr)] {
+            if !(lr.is_finite() && lr > 0.0) {
+                return invalid(format!("{name} must be a positive finite number, got {lr}"));
+            }
+        }
+        if !self.lambda_illegal.is_finite() || self.lambda_illegal < 0.0 {
+            return invalid(format!(
+                "lambda_illegal must be finite and non-negative, got {}",
+                self.lambda_illegal
+            ));
+        }
+        for (name, w) in [
+            ("weights.card", self.weights.card),
+            ("weights.cost", self.weights.cost),
+            ("weights.jo", self.weights.jo),
+            ("weights.advisor", self.weights.advisor),
+        ] {
+            if !w.is_finite() || w < 0.0 {
+                return invalid(format!("{name} must be finite and non-negative, got {w}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder returned by [`MtmlfConfig::builder`]; every setter mirrors a
+/// [`MtmlfConfig`] field, and [`MtmlfConfigBuilder::build`] validates the
+/// combination.
+#[derive(Debug, Clone)]
+pub struct MtmlfConfigBuilder {
+    config: MtmlfConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.config.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl MtmlfConfigBuilder {
+    builder_setters! {
+        /// Model width.
+        d_model: usize,
+        /// Attention heads in every transformer.
+        heads: usize,
+        /// Blocks in each per-table encoder `Enc_i`.
+        enc_blocks: usize,
+        /// Blocks in `Trans_Share`.
+        share_blocks: usize,
+        /// Blocks in `Trans_JO`.
+        jo_blocks: usize,
+        /// Maximum columns per table the featurizer supports.
+        max_cols: usize,
+        /// Maximum tables per query.
+        max_query_tables: usize,
+        /// Feature-hash buckets for string literals.
+        needle_buckets: usize,
+        /// Multi-task loss weights.
+        weights: LossWeights,
+        /// Adam learning rate for joint training.
+        lr: f32,
+        /// Joint-training epochs.
+        epochs: usize,
+        /// Adam learning rate for encoder pre-training.
+        enc_lr: f32,
+        /// Epochs of per-table encoder pre-training.
+        enc_epochs: usize,
+        /// Single-table queries per table for encoder pre-training.
+        enc_queries: usize,
+        /// Beam width of the join-order beam search.
+        beam_width: usize,
+        /// Use the sequence-level JOEU loss.
+        sequence_loss: bool,
+        /// Penalty on illegal candidate mass in the sequence-level loss.
+        lambda_illegal: f32,
+        /// Train the bushy position head.
+        bushy: bool,
+        /// Global seed.
+        seed: u64,
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<MtmlfConfig, MtmlfError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Codec width of the bushy position head: the Section 4.1 decoding
@@ -191,5 +346,54 @@ mod tests {
         assert_eq!(c.d_model % c.heads, 0);
         let t = MtmlfConfig::tiny();
         assert_eq!(t.d_model % t.heads, 0);
+    }
+
+    #[test]
+    fn builder_accepts_valid() {
+        let c = MtmlfConfig::builder()
+            .d_model(24)
+            .heads(3)
+            .beam_width(2)
+            .epochs(1)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.d_model, 24);
+        assert_eq!(c.heads, 3);
+        assert_eq!(c.seed, 7);
+        // Unset fields keep their defaults.
+        assert_eq!(c.max_cols, MtmlfConfig::default().max_cols);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        use crate::error::MtmlfError;
+        let invalid =
+            |b: MtmlfConfigBuilder| matches!(b.build(), Err(MtmlfError::InvalidConfig(_)));
+        assert!(invalid(MtmlfConfig::builder().d_model(10).heads(3)));
+        assert!(invalid(MtmlfConfig::builder().d_model(0)));
+        assert!(invalid(MtmlfConfig::builder().heads(0)));
+        assert!(invalid(MtmlfConfig::builder().beam_width(0)));
+        assert!(invalid(MtmlfConfig::builder().max_query_tables(0)));
+        assert!(invalid(MtmlfConfig::builder().max_query_tables(40)));
+        assert!(invalid(MtmlfConfig::builder().lr(0.0)));
+        assert!(invalid(MtmlfConfig::builder().lr(f32::NAN)));
+        assert!(invalid(MtmlfConfig::builder().lambda_illegal(-1.0)));
+        assert!(invalid(MtmlfConfig::builder().weights(LossWeights {
+            card: -1.0,
+            ..LossWeights::default()
+        })));
+    }
+
+    #[test]
+    fn struct_literal_path_still_validates() {
+        let c = MtmlfConfig {
+            d_model: 10,
+            heads: 3,
+            ..MtmlfConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(MtmlfConfig::default().validate().is_ok());
+        assert!(MtmlfConfig::tiny().validate().is_ok());
     }
 }

@@ -1,8 +1,13 @@
-//! Error type for the MTMLF model.
+//! The unified top-level error type.
+//!
+//! Every per-crate error (`StorageError`, `QueryError`, `ExecError`,
+//! `OptError`) converts into [`MtmlfError`] via `From`, so application code
+//! and the serving layer propagate a single error type (`mtmlf::Error`).
 
 use std::fmt;
 
-/// Errors produced by model construction, training, and inference.
+/// Errors produced by model construction, configuration, training,
+/// inference, and serving.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MtmlfError {
     /// Underlying storage failure.
@@ -34,6 +39,12 @@ pub enum MtmlfError {
     NoLegalOrder,
     /// A training sample lacked the label needed by the requested task.
     MissingLabel(&'static str),
+    /// An invalid hyper-parameter combination, rejected at construction by
+    /// [`crate::MtmlfConfig::builder`] instead of panicking mid-training.
+    InvalidConfig(String),
+    /// The planner service could not accept or answer a request (worker
+    /// pool shut down or a worker died).
+    Service(String),
 }
 
 impl fmt::Display for MtmlfError {
@@ -52,6 +63,8 @@ impl fmt::Display for MtmlfError {
             Self::EncoderMissing(t) => write!(f, "no trained encoder for table T{t}"),
             Self::NoLegalOrder => write!(f, "beam search found no legal join order"),
             Self::MissingLabel(which) => write!(f, "training sample lacks {which} label"),
+            Self::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            Self::Service(why) => write!(f, "planner service error: {why}"),
         }
     }
 }

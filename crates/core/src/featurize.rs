@@ -60,18 +60,14 @@ impl FeaturizationModule {
     pub fn fit(db: &Database, config: &MtmlfConfig) -> Result<Self> {
         let mut module = Self::untrained(db, config)?;
         for (tid, _) in db.tables() {
-            let samples: Vec<(Matrix, u64)> = single_table_queries(
-                db,
-                tid,
-                config.enc_queries,
-                config.seed ^ 0xF17,
-            )
-            .into_iter()
-            .map(|q| {
-                let tokens = module.predicate_tokens(tid, &q.filters);
-                (tokens, q.cardinality)
-            })
-            .collect();
+            let samples: Vec<(Matrix, u64)> =
+                single_table_queries(db, tid, config.enc_queries, config.seed ^ 0xF17)
+                    .into_iter()
+                    .map(|q| {
+                        let tokens = module.predicate_tokens(tid, &q.filters);
+                        (tokens, q.cardinality)
+                    })
+                    .collect();
             module.encoders[tid.index()].fit(
                 &samples,
                 config.enc_epochs,
@@ -104,13 +100,7 @@ impl FeaturizationModule {
                 config.enc_blocks,
                 &mut rng,
             ));
-            col_ranges.push(
-                table
-                    .columns()
-                    .iter()
-                    .map(column_range)
-                    .collect::<Vec<_>>(),
-            );
+            col_ranges.push(table.columns().iter().map(column_range).collect::<Vec<_>>());
             table_rows.push(table.rows());
         }
         Ok(Self {
@@ -364,11 +354,10 @@ mod tests {
                 .find(|&b| t.get(0, needle_base + b) == 1.0)
                 .unwrap()
         };
-        let distinct: std::collections::HashSet<usize> =
-            ["dark", "light", "house", "star", "king"]
-                .iter()
-                .map(|n| bucket_of(n))
-                .collect();
+        let distinct: std::collections::HashSet<usize> = ["dark", "light", "house", "star", "king"]
+            .iter()
+            .map(|n| bucket_of(n))
+            .collect();
         assert!(distinct.len() >= 3, "hash spreads needles: {distinct:?}");
         assert_eq!(bucket_of("dark"), bucket_of("dark"), "deterministic");
     }

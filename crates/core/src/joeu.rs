@@ -26,11 +26,7 @@ pub fn joeu(u: &[usize], optimal: &[usize]) -> f64 {
     if u.is_empty() || u.len() != optimal.len() {
         return 0.0;
     }
-    let prefix = u
-        .iter()
-        .zip(optimal)
-        .take_while(|(a, b)| a == b)
-        .count();
+    let prefix = u.iter().zip(optimal).take_while(|(a, b)| a == b).count();
     prefix as f64 / u.len() as f64
 }
 
@@ -140,13 +136,9 @@ mod tests {
         let graph = chain(4);
         let optimal = [1usize, 2, 3, 0];
         graph.check_left_deep(&optimal).unwrap();
-        let mut opt = Adam::new(
-            mtmlf_nn::layers::Module::parameters(&jo),
-            3e-3,
-        );
+        let mut opt = Adam::new(mtmlf_nn::layers::Module::parameters(&jo), 3e-3);
         for _ in 0..60 {
-            let loss =
-                sequence_level_loss(&jo, &memory, &table_reps, &graph, &optimal, 4, 2.0);
+            let loss = sequence_level_loss(&jo, &memory, &table_reps, &graph, &optimal, 4, 2.0);
             opt.zero_grad();
             loss.backward();
             opt.step();
@@ -179,8 +171,7 @@ mod tests {
         let before = illegal_mass(&jo);
         let mut opt = Adam::new(mtmlf_nn::layers::Module::parameters(&jo), 3e-3);
         for _ in 0..50 {
-            let loss =
-                sequence_level_loss(&jo, &memory, &table_reps, &graph, &optimal, 6, 4.0);
+            let loss = sequence_level_loss(&jo, &memory, &table_reps, &graph, &optimal, 6, 4.0);
             opt.zero_grad();
             loss.backward();
             opt.step();

@@ -29,6 +29,11 @@
 //! - **Meta-learning** ([`meta`]) — Algorithm 1 (MLA): per-DB (F) modules,
 //!   cross-DB shuffled training of (S)+(T), and transfer to a new DB by
 //!   training only its featurizer (plus optional fine-tuning).
+//! - **Serving** ([`serve`], [`cache`], [`batch`]) — a thread-safe
+//!   [`PlannerService`] over a trained model: a sharded plan cache keyed by
+//!   canonical query fingerprints, cross-query batched inference, and a
+//!   worker pool with latency/throughput metrics. Responses are bitwise
+//!   identical to the single-threaded facade.
 //!
 //! One deliberate implementation choice: the paper formulates `P̂_t` as a
 //! fixed-length multinoulli over the database's `n` tables. This
@@ -38,7 +43,9 @@
 //! the cross-DB meta-learning experiment, where table counts differ — and
 //! reduces to the paper's formulation on a single DB.
 
+pub mod batch;
 pub mod beam;
+pub mod cache;
 pub mod config;
 pub mod encoder;
 pub mod error;
@@ -48,17 +55,42 @@ pub mod meta;
 pub mod model;
 pub mod persist;
 pub mod serialize;
+pub mod serve;
 pub mod shared;
 pub mod tasks;
 pub mod train;
 pub mod transjo;
 
-pub use config::{LossWeights, MtmlfConfig};
+pub use batch::{plan_batch, PlannedQuery};
+pub use cache::ShardedLruCache;
+pub use config::{LossWeights, MtmlfConfig, MtmlfConfigBuilder};
 pub use error::MtmlfError;
+/// The crate's unified error type, under its conventional short name.
+pub use error::MtmlfError as Error;
 pub use featurize::FeaturizationModule;
 pub use joeu::joeu;
 pub use meta::MetaLearner;
 pub use model::MtmlfQo;
+pub use serve::{
+    PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceConfig, ServiceMetrics,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MtmlfError>;
+
+/// One-line imports for the common workflow: build a model, plan queries,
+/// serve them concurrently.
+///
+/// ```no_run
+/// use mtmlf::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::config::{MtmlfConfig, MtmlfConfigBuilder};
+    pub use crate::error::MtmlfError;
+    pub use crate::model::MtmlfQo;
+    pub use crate::serve::{
+        PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceConfig, ServiceMetrics,
+    };
+    pub use crate::Result;
+    pub use mtmlf_query::{JoinOrder, Query};
+}

@@ -338,7 +338,8 @@ mod federated_tests {
             .iter()
             .map(|p| p.to_matrix().norm())
             .sum();
-        meta.pretrain_federated(&[(&db1, w1.as_slice())], 1, 1).unwrap();
+        meta.pretrain_federated(&[(&db1, w1.as_slice())], 1, 1)
+            .unwrap();
         let after: f32 = mtmlf_nn::layers::Module::parameters(&meta.shared)
             .iter()
             .map(|p| p.to_matrix().norm())

@@ -227,10 +227,9 @@ impl MtmlfQo {
                         mtmlf_query::JoinTree::Leaf(t) => {
                             mtmlf_query::JoinTree::Leaf(slots[t.index()])
                         }
-                        mtmlf_query::JoinTree::Node(l, r) => mtmlf_query::JoinTree::join(
-                            relabel(l, slots),
-                            relabel(r, slots),
-                        ),
+                        mtmlf_query::JoinTree::Node(l, r) => {
+                            mtmlf_query::JoinTree::join(relabel(l, slots), relabel(r, slots))
+                        }
                     }
                 }
                 let order = JoinOrder::Bushy(relabel(&best.tree, &serialized.table_slots));
@@ -245,7 +244,8 @@ impl MtmlfQo {
     /// the legality-constrained beam search (Section 4.3). The result is
     /// guaranteed executable.
     pub fn predict_join_order(&self, query: &Query, plan: &PlanNode) -> Result<JoinOrder> {
-        Ok(self.beam_orders(query, plan)?
+        Ok(self
+            .beam_orders(query, plan)?
             .into_iter()
             .next()
             .expect("beam_orders returns at least one order"))
@@ -301,6 +301,48 @@ impl MtmlfQo {
             }
         }
         Ok(best.expect("at least one candidate").1)
+    }
+
+    /// Derives the deterministic initial left-deep plan the model's
+    /// serializer expects: a greedy legal order over the query's join graph
+    /// (the same construction the training pipeline uses). Callers that
+    /// only have a [`Query`] never need to build a [`PlanNode`] themselves.
+    pub fn initial_plan(&self, query: &Query) -> Result<PlanNode> {
+        let order = mtmlf_exec::executor::greedy_legal_order(query)?;
+        Ok(PlanNode::left_deep(&order)?)
+    }
+
+    /// Plans a query end to end: derives the initial plan internally and
+    /// runs the legality-constrained beam search. This is the one-call
+    /// facade used by [`crate::serve::PlannerService`] and external
+    /// consumers; `predict_join_order` remains available when a caller
+    /// wants to supply its own starting plan.
+    pub fn plan(&self, query: &Query) -> Result<JoinOrder> {
+        let initial = self.initial_plan(query)?;
+        self.predict_join_order(query, &initial)
+    }
+
+    /// Plans a query and returns the predicted join order together with the
+    /// model's root cardinality and cost estimates for the chosen plan —
+    /// exactly the payload a [`crate::serve::PlanResponse`] carries.
+    pub fn plan_with_estimates(&self, query: &Query) -> Result<(JoinOrder, f64, f64)> {
+        let order = self.plan(query)?;
+        let chosen = order.to_plan()?;
+        let nodes = self.predict_nodes(query, &chosen)?;
+        let &(card, cost) = nodes.last().expect("a plan has at least one node");
+        Ok((order, card, cost))
+    }
+
+    pub(crate) fn shared_module(&self) -> &SharedModule {
+        &self.shared
+    }
+
+    pub(crate) fn heads_module(&self) -> &TaskHeads {
+        &self.heads
+    }
+
+    pub(crate) fn jo_module(&self) -> &TransJo {
+        &self.jo
     }
 }
 
@@ -489,7 +531,12 @@ mod costed_inference_tests {
             // The costed pick has predicted root cost ≤ the plain pick's.
             let cost_of = |o: &JoinOrder| -> f64 {
                 let plan = o.to_plan().unwrap();
-                model.predict_nodes(&l.query, &plan).unwrap().last().unwrap().1
+                model
+                    .predict_nodes(&l.query, &plan)
+                    .unwrap()
+                    .last()
+                    .unwrap()
+                    .1
             };
             assert!(cost_of(&costed) <= cost_of(&plain) + 1e-9);
         }

@@ -155,7 +155,12 @@ mod tests {
     use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
     use mtmlf_storage::Database;
 
-    fn setup() -> (Database, Vec<mtmlf_query::Query>, FeaturizationModule, MtmlfConfig) {
+    fn setup() -> (
+        Database,
+        Vec<mtmlf_query::Query>,
+        FeaturizationModule,
+        MtmlfConfig,
+    ) {
         let db = imdb_lite(1, ImdbScale { scale: 0.02 });
         let cfg = MtmlfConfig::tiny();
         let module = FeaturizationModule::untrained(&db, &cfg).unwrap();
@@ -175,8 +180,8 @@ mod tests {
     fn serialization_shapes() {
         let (_, queries, module, cfg) = setup();
         for q in &queries {
-            let plan = PlanNode::left_deep(&mtmlf_exec::executor::greedy_legal_order(q).unwrap())
-                .unwrap();
+            let plan =
+                PlanNode::left_deep(&mtmlf_exec::executor::greedy_legal_order(q).unwrap()).unwrap();
             let s = serialize_plan(&module, q, &plan, &cfg).unwrap();
             assert_eq!(s.features.shape(), (plan.node_count(), raw_width(&cfg)));
             assert_eq!(s.table_slots.len(), q.table_count());

@@ -1,0 +1,644 @@
+//! A concurrent planning service over a trained [`MtmlfQo`].
+//!
+//! [`PlannerService`] turns the single-threaded facade into something a DBMS
+//! process can call from many session threads at once:
+//!
+//! * **Plan cache** — responses are memoized in a sharded LRU keyed by the
+//!   canonical [`QueryFingerprint`], so a repeated query (even with its
+//!   tables, joins, or predicates written in a different order) is answered
+//!   without touching the model.
+//! * **Cross-query batching** — concurrent cache misses are packed into one
+//!   batched model forward ([`crate::batch::plan_batch`]): same plans, same
+//!   estimates, fewer and larger matmuls.
+//! * **Worker pool** — inference runs on dedicated worker threads fed by a
+//!   channel; client threads block only on their own reply.
+//!
+//! Responses are bitwise identical to calling
+//! [`MtmlfQo::plan_with_estimates`] directly — batching changes the shape of
+//! the arithmetic, not its result, and the cache only replays stored model
+//! output.
+
+use crate::batch::plan_batch;
+use crate::cache::ShardedLruCache;
+use crate::error::MtmlfError;
+use crate::model::MtmlfQo;
+use crate::Result;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use mtmlf_nn::no_grad;
+use mtmlf_query::{fingerprint, JoinOrder, Query, QueryFingerprint};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A planning request. Convertible from a bare [`Query`]; a struct so the
+/// API can grow fields (deadlines, priorities) without breaking callers.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The query to plan.
+    pub query: Query,
+}
+
+impl From<Query> for PlanRequest {
+    fn from(query: Query) -> Self {
+        Self { query }
+    }
+}
+
+/// Where a response came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Replayed from the plan cache without running the model.
+    Cache,
+    /// Computed by a (possibly batched) model forward.
+    Model,
+}
+
+/// A planned query as returned by [`PlannerService::plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResponse {
+    /// The chosen join order (always legal for the query).
+    pub join_order: JoinOrder,
+    /// Predicted root cardinality of the chosen plan.
+    pub est_card: f64,
+    /// Predicted total cost of the chosen plan.
+    pub est_cost: f64,
+    /// Whether the answer was cached or freshly computed.
+    pub source: PlanSource,
+    /// End-to-end latency observed by the calling thread, including any
+    /// queueing and batching delay.
+    pub latency: Duration,
+}
+
+/// Tuning knobs for [`PlannerService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Inference worker threads (≥ 1).
+    pub workers: usize,
+    /// Most queries packed into one batched forward (≥ 1).
+    pub max_batch: usize,
+    /// How long a worker holding a non-full batch waits for more work
+    /// before running it.
+    pub batch_linger: Duration,
+    /// Plan-cache entries across all shards; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Cache shard count (lock-contention granularity).
+    pub cache_shards: usize,
+    /// When `false`, every miss runs as a batch of one.
+    pub batching: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+            batch_linger: Duration::from_micros(500),
+            cache_capacity: 1024,
+            cache_shards: 8,
+            batching: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(MtmlfError::InvalidConfig(
+                "service needs at least one worker thread".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(MtmlfError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone)]
+struct CachedPlan {
+    join_order: JoinOrder,
+    est_card: f64,
+    est_cost: f64,
+}
+
+struct Job {
+    query: Query,
+    fp: QueryFingerprint,
+    reply: Sender<Result<(CachedPlan, PlanSource)>>,
+}
+
+/// Power-of-two latency histogram: bucket `i` counts samples whose latency
+/// in nanoseconds lies in `[2^i, 2^(i+1))` (bucket 0 also holds 0 ns).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; 32],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, in nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl LatencyHistogram {
+    /// Mean latency over all samples (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.total_nanos / self.count)
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (e.g. `0.99`): the upper
+    /// edge of the first bucket at which the cumulative count reaches it.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    fn bucket(nanos: u64) -> usize {
+        (63 - nanos.max(1).leading_zeros() as usize).min(31)
+    }
+}
+
+/// A point-in-time snapshot of service counters, from
+/// [`PlannerService::metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Requests accepted by [`PlannerService::plan`].
+    pub requests: u64,
+    /// Requests answered from the plan cache.
+    pub cache_hits: u64,
+    /// Requests answered by a model forward.
+    pub model_plans: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Batched forwards executed by workers.
+    pub batches: u64,
+    /// Cache-miss queries that went through those batches.
+    pub batched_queries: u64,
+    /// Latency distribution of cache-served responses.
+    pub cache_latency: LatencyHistogram,
+    /// Latency distribution of model-served responses.
+    pub model_latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Fraction of answered requests served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let answered = self.cache_hits + self.model_plans;
+        if answered == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / answered as f64
+        }
+    }
+}
+
+struct MetricsInner {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    model_plans: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    cache_buckets: [AtomicU64; 32],
+    cache_count: AtomicU64,
+    cache_nanos: AtomicU64,
+    model_buckets: [AtomicU64; 32],
+    model_count: AtomicU64,
+    model_nanos: AtomicU64,
+}
+
+impl MetricsInner {
+    fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            model_plans: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            cache_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_count: AtomicU64::new(0),
+            cache_nanos: AtomicU64::new(0),
+            model_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            model_count: AtomicU64::new(0),
+            model_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, source: PlanSource, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = LatencyHistogram::bucket(nanos);
+        let (hits, buckets, count, total) = match source {
+            PlanSource::Cache => (
+                &self.cache_hits,
+                &self.cache_buckets,
+                &self.cache_count,
+                &self.cache_nanos,
+            ),
+            PlanSource::Model => (
+                &self.model_plans,
+                &self.model_buckets,
+                &self.model_count,
+                &self.model_nanos,
+            ),
+        };
+        hits.fetch_add(1, Ordering::Relaxed);
+        buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        count.fetch_add(1, Ordering::Relaxed);
+        total.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServiceMetrics {
+        let hist =
+            |buckets: &[AtomicU64; 32], count: &AtomicU64, nanos: &AtomicU64| LatencyHistogram {
+                buckets: std::array::from_fn(|i| buckets[i].load(Ordering::Relaxed)),
+                count: count.load(Ordering::Relaxed),
+                total_nanos: nanos.load(Ordering::Relaxed),
+            };
+        ServiceMetrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            model_plans: self.model_plans.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            cache_latency: hist(&self.cache_buckets, &self.cache_count, &self.cache_nanos),
+            model_latency: hist(&self.model_buckets, &self.model_count, &self.model_nanos),
+        }
+    }
+}
+
+/// A thread-safe planning service: shared plan cache, batched inference,
+/// worker pool. See the [module docs](self) for the architecture.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use mtmlf::prelude::*;
+/// use mtmlf::serve::ServiceConfig;
+///
+/// # fn demo(model: MtmlfQo, query: Query) -> mtmlf::Result<()> {
+/// let service = PlannerService::start(Arc::new(model), ServiceConfig::default())?;
+/// // Callable from any number of threads:
+/// let response = service.plan(query)?;
+/// println!(
+///     "order {:?} card {:.0} cost {:.0} via {:?} in {:?}",
+///     response.join_order, response.est_card, response.est_cost,
+///     response.source, response.latency,
+/// );
+/// println!("hit rate {:.2}", service.metrics().cache_hit_rate());
+/// # Ok(())
+/// # }
+/// ```
+pub struct PlannerService {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
+    metrics: Arc<MetricsInner>,
+}
+
+impl PlannerService {
+    /// Spawns the worker pool and returns a handle that can be shared (or
+    /// referenced) across client threads. Dropping the service drains and
+    /// joins the workers.
+    pub fn start(model: Arc<MtmlfQo>, config: ServiceConfig) -> Result<Self> {
+        config.validate()?;
+        let cache = Arc::new(ShardedLruCache::new(
+            config.cache_capacity,
+            config.cache_shards,
+        ));
+        let metrics = Arc::new(MetricsInner::new());
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..config.workers)
+            .map(|i| {
+                let model = Arc::clone(&model);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let rx = rx.clone();
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("mtmlf-planner-{i}"))
+                    .spawn(move || worker_loop(&model, &cache, &metrics, &rx, &config))
+                    .map_err(|e| MtmlfError::Service(format!("spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            tx: Some(tx),
+            workers,
+            cache,
+            metrics,
+        })
+    }
+
+    /// Plans one query, from cache when possible, otherwise via the worker
+    /// pool. Blocks the calling thread until its response is ready; safe to
+    /// call concurrently from many threads.
+    pub fn plan(&self, request: impl Into<PlanRequest>) -> Result<PlanResponse> {
+        let PlanRequest { query } = request.into();
+        let start = Instant::now();
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let fp = fingerprint(&query);
+
+        // Fast path: answer cache hits on the calling thread, no handoff.
+        if let Some(hit) = self.cache.get(&fp) {
+            return Ok(self.respond(hit, PlanSource::Cache, start));
+        }
+
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = Job {
+            query,
+            fp,
+            reply: reply_tx,
+        };
+        self.tx
+            .as_ref()
+            .expect("sender live until drop")
+            .send(job)
+            .map_err(|_| MtmlfError::Service("planner workers are gone".into()))?;
+        match reply_rx.recv() {
+            Ok(Ok((plan, source))) => Ok(self.respond(plan, source, start)),
+            Ok(Err(e)) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            Err(_) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Err(MtmlfError::Service(
+                    "planner worker dropped the reply".into(),
+                ))
+            }
+        }
+    }
+
+    fn respond(&self, plan: CachedPlan, source: PlanSource, start: Instant) -> PlanResponse {
+        let latency = start.elapsed();
+        self.metrics.record(source, latency);
+        PlanResponse {
+            join_order: plan.join_order,
+            est_card: plan.est_card,
+            est_cost: plan.est_cost,
+            source,
+            latency,
+        }
+    }
+
+    /// A point-in-time snapshot of the service counters and latency
+    /// histograms.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.metrics.snapshot()
+    }
+
+    /// Entries currently held by the plan cache.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl Drop for PlannerService {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain and exit its loop.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    model: &MtmlfQo,
+    cache: &ShardedLruCache<QueryFingerprint, CachedPlan>,
+    metrics: &MetricsInner,
+    rx: &Receiver<Job>,
+    config: &ServiceConfig,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        if config.batching && config.max_batch > 1 {
+            // Linger briefly to let concurrent misses join this batch.
+            let deadline = Instant::now() + config.batch_linger;
+            while batch.len() < config.max_batch {
+                match rx.recv_deadline(deadline) {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        process_batch(model, cache, metrics, batch);
+    }
+}
+
+fn process_batch(
+    model: &MtmlfQo,
+    cache: &ShardedLruCache<QueryFingerprint, CachedPlan>,
+    metrics: &MetricsInner,
+    batch: Vec<Job>,
+) {
+    // Re-check the cache: another client may have planned the same query
+    // between this job's miss and now.
+    let mut misses: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        match cache.get(&job.fp) {
+            Some(hit) => {
+                let _ = job.reply.send(Ok((hit, PlanSource::Cache)));
+            }
+            None => misses.push(job),
+        }
+    }
+    if misses.is_empty() {
+        return;
+    }
+
+    // Deduplicate identical queries within the batch (cache-stampede
+    // collapse): plan each distinct fingerprint once, fan the result out.
+    let mut unique_queries: Vec<Query> = Vec::with_capacity(misses.len());
+    let mut slot_of: HashMap<QueryFingerprint, usize> = HashMap::with_capacity(misses.len());
+    for job in &misses {
+        slot_of.entry(job.fp).or_insert_with(|| {
+            unique_queries.push(job.query.clone());
+            unique_queries.len() - 1
+        });
+    }
+
+    metrics.batches.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .batched_queries
+        .fetch_add(unique_queries.len() as u64, Ordering::Relaxed);
+
+    // Inference only: skip the autograd tape entirely.
+    let outcomes = no_grad(|| plan_batch(model, &unique_queries));
+
+    for (slot, outcome) in outcomes.iter().enumerate() {
+        if let Ok(planned) = outcome {
+            let fp = fingerprint(&unique_queries[slot]);
+            cache.insert(
+                fp,
+                CachedPlan {
+                    join_order: planned.join_order.clone(),
+                    est_card: planned.est_card,
+                    est_cost: planned.est_cost,
+                },
+            );
+        }
+    }
+    for job in misses {
+        let slot = slot_of[&job.fp];
+        let reply = match &outcomes[slot] {
+            Ok(planned) => Ok((
+                CachedPlan {
+                    join_order: planned.join_order.clone(),
+                    est_card: planned.est_card,
+                    est_cost: planned.est_cost,
+                },
+                PlanSource::Model,
+            )),
+            Err(e) => Err(e.clone()),
+        };
+        let _ = job.reply.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MtmlfConfig;
+    use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+
+    fn setup() -> (Arc<MtmlfQo>, Vec<Query>) {
+        let mut db = imdb_lite(41, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let cfg = MtmlfConfig {
+            enc_queries: 10,
+            enc_epochs: 1,
+            seed: 41,
+            ..MtmlfConfig::tiny()
+        };
+        let queries = generate_queries(
+            &db,
+            &WorkloadConfig {
+                count: 5,
+                max_tables: 4,
+                ..WorkloadConfig::default()
+            },
+            11,
+        );
+        let model = MtmlfQo::new(&db, cfg).expect("build model");
+        (Arc::new(model), queries)
+    }
+
+    #[test]
+    fn serves_plans_and_caches_repeats() {
+        let (model, queries) = setup();
+        let service = PlannerService::start(
+            Arc::clone(&model),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("start service");
+        for query in &queries {
+            let cold = service.plan(query.clone()).expect("cold plan");
+            assert_eq!(cold.source, PlanSource::Model);
+            cold.join_order.validate(query).expect("legal order");
+            let (order, card, cost) = model.plan_with_estimates(query).expect("direct");
+            assert_eq!(cold.join_order, order);
+            assert_eq!(cold.est_card.to_bits(), card.to_bits());
+            assert_eq!(cold.est_cost.to_bits(), cost.to_bits());
+
+            let warm = service.plan(query.clone()).expect("warm plan");
+            assert_eq!(warm.source, PlanSource::Cache);
+            assert_eq!(warm.join_order, cold.join_order);
+            assert_eq!(warm.est_card.to_bits(), cold.est_card.to_bits());
+        }
+        let m = service.metrics();
+        assert_eq!(m.requests, 2 * queries.len() as u64);
+        assert_eq!(m.cache_hits, queries.len() as u64);
+        assert_eq!(m.model_plans, queries.len() as u64);
+        assert!(m.cache_latency.mean() > Duration::ZERO);
+        assert!(m.model_latency.mean() >= m.cache_latency.mean());
+        assert_eq!(service.cached_plans(), queries.len());
+    }
+
+    #[test]
+    fn fingerprint_equivalent_queries_share_a_cache_entry() {
+        let (model, queries) = setup();
+        let service =
+            PlannerService::start(model, ServiceConfig::default()).expect("start service");
+        let query = &queries[0];
+        // Same query object twice stands in for any fingerprint-equal pair;
+        // fingerprint canonicalization itself is proptested in mtmlf-query.
+        service.plan(query.clone()).expect("cold");
+        let again = service.plan(query.clone()).expect("warm");
+        assert_eq!(again.source, PlanSource::Cache);
+        assert_eq!(service.cached_plans(), 1);
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let (model, queries) = setup();
+        let service = PlannerService::start(
+            model,
+            ServiceConfig {
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("start service");
+        let query = &queries[0];
+        let a = service.plan(query.clone()).expect("first");
+        let b = service.plan(query.clone()).expect("second");
+        assert_eq!(a.source, PlanSource::Model);
+        assert_eq!(b.source, PlanSource::Model);
+        assert_eq!(service.metrics().cache_hits, 0);
+        assert_eq!(service.cached_plans(), 0);
+    }
+
+    #[test]
+    fn rejects_invalid_service_config() {
+        let (model, _) = setup();
+        let err = PlannerService::start(
+            model,
+            ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(MtmlfError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn histogram_bucketing_and_quantiles() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 31);
+        let mut h = LatencyHistogram::default();
+        for nanos in [100u64, 200, 400, 100_000] {
+            h.buckets[LatencyHistogram::bucket(nanos)] += 1;
+            h.count += 1;
+            h.total_nanos += nanos;
+        }
+        assert_eq!(h.mean(), Duration::from_nanos(100_700 / 4));
+        assert!(h.quantile(0.5) <= Duration::from_nanos(1 << 9));
+        assert!(h.quantile(1.0) >= Duration::from_nanos(100_000));
+    }
+}

@@ -39,6 +39,26 @@ impl SharedModule {
         let x = Var::constant(features.clone());
         self.trans_share.forward(&self.input_proj.forward(&x))
     }
+
+    /// Batched forward over several plans' raw features: packs all node
+    /// rows into one matrix so the projection and every transformer linear
+    /// run as a single matmul, with a block-diagonal attention mask keeping
+    /// each plan's nodes to themselves. Output rows are identical to
+    /// per-plan [`SharedModule::forward`] calls.
+    pub fn forward_batch(&self, features: &[&Matrix]) -> Vec<Var> {
+        match features {
+            [] => Vec::new(),
+            [single] => vec![self.forward(single)],
+            _ => {
+                let lens: Vec<usize> = features.iter().map(|m| m.rows()).collect();
+                let packed = Var::constant(Matrix::concat_rows(features));
+                let projected = self.input_proj.forward(&packed);
+                self.trans_share
+                    .forward_packed(&projected, &lens)
+                    .split_rows(&lens)
+            }
+        }
+    }
 }
 
 impl Module for SharedModule {
@@ -59,6 +79,17 @@ mod tests {
         let module = SharedModule::new(&cfg);
         let features = Matrix::zeros(7, raw_width(&cfg));
         assert_eq!(module.forward(&features).shape(), (7, cfg.d_model));
+    }
+
+    #[test]
+    fn forward_batch_matches_individual() {
+        let cfg = MtmlfConfig::tiny();
+        let module = SharedModule::new(&cfg);
+        let a = Matrix::full(3, raw_width(&cfg), 0.2);
+        let b = Matrix::full(5, raw_width(&cfg), -0.1);
+        let batched = module.forward_batch(&[&a, &b]);
+        assert_eq!(batched[0].to_matrix(), module.forward(&a).to_matrix());
+        assert_eq!(batched[1].to_matrix(), module.forward(&b).to_matrix());
     }
 
     #[test]

@@ -92,12 +92,9 @@ pub fn prepare_sample_with(
                 .tables()
                 .iter()
                 .map(|t| {
-                    serialized
-                        .table_slots
-                        .binary_search(t)
-                        .map_err(|_| MtmlfError::Query(
-                            mtmlf_query::QueryError::OrderTableNotInQuery(*t),
-                        ))
+                    serialized.table_slots.binary_search(t).map_err(|_| {
+                        MtmlfError::Query(mtmlf_query::QueryError::OrderTableNotInQuery(*t))
+                    })
                 })
                 .collect::<Result<Vec<usize>>>()?,
         ),
@@ -160,11 +157,9 @@ fn bushy_targets(
     let embeddings = mtmlf_query::treecodec::encode(&tree, positions)?;
     let mut target = Matrix::zeros(table_slots.len(), positions);
     for e in &embeddings {
-        let slot = table_slots
-            .binary_search(&e.table)
-            .map_err(|_| MtmlfError::Query(
-                mtmlf_query::QueryError::OrderTableNotInQuery(e.table),
-            ))?;
+        let slot = table_slots.binary_search(&e.table).map_err(|_| {
+            MtmlfError::Query(mtmlf_query::QueryError::OrderTableNotInQuery(e.table))
+        })?;
         let mass: f32 = e.positions.iter().sum();
         for (c, &v) in e.positions.iter().enumerate() {
             target.set(slot, c, v / mass.max(1.0));
@@ -323,7 +318,14 @@ mod tests {
     };
     use mtmlf_storage::Database;
 
-    fn setup(count: usize) -> (Database, Vec<LabeledQuery>, FeaturizationModule, MtmlfConfig) {
+    fn setup(
+        count: usize,
+    ) -> (
+        Database,
+        Vec<LabeledQuery>,
+        FeaturizationModule,
+        MtmlfConfig,
+    ) {
         let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
         db.analyze_all(8, 4);
         let cfg = MtmlfConfig::tiny();

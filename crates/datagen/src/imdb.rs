@@ -170,7 +170,10 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
         Table::from_columns(
             TableSchema::new(
                 "keyword",
-                vec![ColumnDef::pk("id"), ColumnDef::attr("keyword", ColumnType::Str)],
+                vec![
+                    ColumnDef::pk("id"),
+                    ColumnDef::attr("keyword", ColumnType::Str),
+                ],
             ),
             vec![
                 Column::Int((0..n_keyword as i64).collect()),
@@ -335,7 +338,10 @@ mod tests {
         // PK-FK edges: cast_info×2, movie_info×1, movie_companies×2,
         // movie_keyword×2 = 7; plus FK-FK edges among movie_id FKs.
         assert_eq!(edges.iter().filter(|e| e.pk_fk).count(), 7);
-        assert!(edges.iter().any(|e| !e.pk_fk), "transitive FK-FK edges exist");
+        assert!(
+            edges.iter().any(|e| !e.pk_fk),
+            "transitive FK-FK edges exist"
+        );
     }
 
     #[test]
@@ -358,7 +364,11 @@ mod tests {
     fn year_kind_correlation() {
         let db = imdb_lite(3, ImdbScale { scale: 0.1 });
         let title = db.table_by_name("title").unwrap();
-        let years = title.column_by_name("production_year").unwrap().as_int().unwrap();
+        let years = title
+            .column_by_name("production_year")
+            .unwrap()
+            .as_int()
+            .unwrap();
         let kinds = title.column_by_name("kind").unwrap().as_int().unwrap();
         // Count how often kind equals its year-derived base value.
         let agree = years
@@ -385,7 +395,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let avg = movie_ids.len() as f64 / n_title as f64;
-        assert!(max > avg * 10.0, "popular titles dominate: max {max}, avg {avg}");
+        assert!(
+            max > avg * 10.0,
+            "popular titles dominate: max {max}, avg {avg}"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! `parallelism > 1` it fans out over crossbeam scoped threads.
 
 use mtmlf_exec::Executor;
-use mtmlf_optd::{best_bushy_order, best_left_deep_order, OptError, PgOptimizer, TrueCardEstimator};
+use mtmlf_optd::{
+    best_bushy_order, best_left_deep_order, OptError, PgOptimizer, TrueCardEstimator,
+};
 use mtmlf_query::{JoinOrder, PlanNode, Query};
 use mtmlf_storage::{Database, TableId};
 
@@ -132,30 +134,29 @@ pub fn label_workload(
     }
     let workers = config.parallelism.min(queries.len());
     let chunk = queries.len().div_ceil(workers);
-    let results: Vec<Result<Vec<LabeledQuery>, OptError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move |_| {
-                        let mut out = Vec::with_capacity(slice.len());
-                        for q in slice {
-                            match label_query(db, q, config) {
-                                Ok(l) => out.push(l),
-                                Err(e) if is_droppable(&e) => continue,
-                                Err(e) => return Err(e),
-                            }
+    let results: Vec<Result<Vec<LabeledQuery>, OptError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(slice.len());
+                    for q in slice {
+                        match label_query(db, q, config) {
+                            Ok(l) => out.push(l),
+                            Err(e) if is_droppable(&e) => continue,
+                            Err(e) => return Err(e),
                         }
-                        Ok(out)
-                    })
+                    }
+                    Ok(out)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("labeller thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("labeller thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
     let mut out = Vec::with_capacity(queries.len());
     for r in results {
         out.extend(r?);

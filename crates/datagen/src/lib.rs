@@ -31,6 +31,6 @@ pub mod text;
 pub mod workload;
 
 pub use imdb::imdb_lite;
-pub use label::{label_workload, LabeledQuery, LabelConfig};
+pub use label::{label_workload, LabelConfig, LabeledQuery};
 pub use pipeline::{generate_database, PipelineConfig};
 pub use workload::{generate_queries, single_table_queries, SingleTableQuery, WorkloadConfig};

@@ -9,16 +9,20 @@ use rand::rngs::StdRng;
 
 /// Themed word lists used to compose string values.
 pub const TOKENS: &[&str] = &[
-    "dark", "light", "return", "story", "night", "dream", "lost", "last", "first", "city",
-    "house", "man", "woman", "king", "queen", "blood", "fire", "water", "stone", "star",
-    "shadow", "silent", "golden", "broken", "secret", "winter", "summer", "empire", "legend",
-    "ghost", "river", "mountain", "forest", "island", "crown", "sword", "heart", "mirror",
-    "voyage", "garden",
+    "dark", "light", "return", "story", "night", "dream", "lost", "last", "first", "city", "house",
+    "man", "woman", "king", "queen", "blood", "fire", "water", "stone", "star", "shadow", "silent",
+    "golden", "broken", "secret", "winter", "summer", "empire", "legend", "ghost", "river",
+    "mountain", "forest", "island", "crown", "sword", "heart", "mirror", "voyage", "garden",
 ];
 
 /// Composes a string of `parts` tokens sampled with skew `sampler`,
 /// joined by spaces, with a numeric suffix to diversify the dictionary.
-pub fn compose_string(sampler: &ZipfSampler, parts: usize, suffix: usize, rng: &mut StdRng) -> String {
+pub fn compose_string(
+    sampler: &ZipfSampler,
+    parts: usize,
+    suffix: usize,
+    rng: &mut StdRng,
+) -> String {
     debug_assert!(sampler.domain() <= TOKENS.len());
     let mut s = String::with_capacity(parts * 8 + 4);
     for i in 0..parts {

@@ -186,8 +186,7 @@ fn generate_one(
         let anchor_row = rng.gen_range(0..table.rows());
         let mut preds = Vec::with_capacity(k);
         for &col in chosen.iter().take(k) {
-            if let Some(p) = make_predicate(table.column(col).ok()?, col, anchor_row, config, rng)
-            {
+            if let Some(p) = make_predicate(table.column(col).ok()?, col, anchor_row, config, rng) {
                 preds.push(p);
             }
         }
@@ -216,9 +215,9 @@ fn make_predicate(
             // non-empty results (as JOB queries do): equality only on
             // categorical (low-distinct) columns; ranges sized relative to
             // the column's domain.
-            let (lo, hi) = data.iter().fold((i64::MAX, i64::MIN), |(a, b), &x| {
-                (a.min(x), b.max(x))
-            });
+            let (lo, hi) = data
+                .iter()
+                .fold((i64::MAX, i64::MIN), |(a, b), &x| (a.min(x), b.max(x)));
             let span = (hi - lo).max(1);
             let sampled_distinct = {
                 let stride = (data.len() / 64).max(1);
@@ -237,7 +236,11 @@ fn make_predicate(
             } else if rng.gen_bool(0.5) {
                 FilterPredicate::Cmp {
                     column: col,
-                    op: if rng.gen_bool(0.5) { CmpOp::Le } else { CmpOp::Ge },
+                    op: if rng.gen_bool(0.5) {
+                        CmpOp::Le
+                    } else {
+                        CmpOp::Ge
+                    },
                     value: Value::Int(v),
                 }
             } else {
@@ -251,9 +254,11 @@ fn make_predicate(
         }
         Column::Float(data) => {
             let v = data[anchor_row];
-            let (lo, hi) = data.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
-                (a.min(x), b.max(x))
-            });
+            let (lo, hi) = data
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+                    (a.min(x), b.max(x))
+                });
             let width = (hi - lo).max(1e-9) * rng.gen_range(0.05..0.3);
             Some(FilterPredicate::Between {
                 column: col,

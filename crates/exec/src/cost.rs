@@ -132,9 +132,16 @@ impl CostTracker {
     /// Pure estimate of a scan's cost (no accumulation) — used by the
     /// classical cost model in `mtmlf-optd` so planner and executor share
     /// one cost semantics.
-    pub fn scan_cost(coefficients: &OperatorCost, op: ScanOp, table_rows: f64, out_rows: f64) -> f64 {
+    pub fn scan_cost(
+        coefficients: &OperatorCost,
+        op: ScanOp,
+        table_rows: f64,
+        out_rows: f64,
+    ) -> f64 {
         match op {
-            ScanOp::SeqScan => coefficients.seq_tuple * table_rows + coefficients.output_tuple * out_rows,
+            ScanOp::SeqScan => {
+                coefficients.seq_tuple * table_rows + coefficients.output_tuple * out_rows
+            }
             ScanOp::IndexScan => {
                 coefficients.index_descent
                     + coefficients.index_tuple * out_rows
@@ -159,7 +166,8 @@ impl CostTracker {
         (match op {
             JoinOp::HashJoin => coefficients.hash_build * build + coefficients.hash_probe * probe,
             JoinOp::MergeJoin => {
-                coefficients.sort_tuple * (left_rows * log2(left_rows) + right_rows * log2(right_rows))
+                coefficients.sort_tuple
+                    * (left_rows * log2(left_rows) + right_rows * log2(right_rows))
                     + coefficients.seq_tuple * (left_rows + right_rows)
             }
             JoinOp::NestedLoopJoin => coefficients.nl_compare * left_rows * right_rows,

@@ -202,13 +202,8 @@ impl<'a> Executor<'a> {
                             let right = relations.get(&(1u64 << v)).expect("singleton built");
                             let preds = connecting_predicates(query, left.tables(), right.tables());
                             debug_assert!(!preds.is_empty());
-                            let out = equi_join_limited(
-                                self.db,
-                                left,
-                                right,
-                                &preds,
-                                self.row_limit,
-                            )?;
+                            let out =
+                                equi_join_limited(self.db, left, right, &preds, self.row_limit)?;
                             cards.insert(s, out.len() as u64);
                             relations.insert(s, out);
                             built = true;
@@ -420,10 +415,16 @@ mod tests {
         let exec = Executor::new(&db);
         let q = three_table_query();
         let a = exec
-            .execute_plan(&q, &PlanNode::left_deep(&[TableId(0), TableId(1), TableId(2)]).unwrap())
+            .execute_plan(
+                &q,
+                &PlanNode::left_deep(&[TableId(0), TableId(1), TableId(2)]).unwrap(),
+            )
             .unwrap();
         let b = exec
-            .execute_plan(&q, &PlanNode::left_deep(&[TableId(2), TableId(0), TableId(1)]).unwrap())
+            .execute_plan(
+                &q,
+                &PlanNode::left_deep(&[TableId(2), TableId(0), TableId(1)]).unwrap(),
+            )
             .unwrap();
         assert_ne!(a.total_units, b.total_units);
     }
@@ -497,7 +498,10 @@ mod tests {
         let bad = JoinOrder::LeftDeep(vec![TableId(1), TableId(2), TableId(0)]);
         assert!(exec.execute_order(&q, &bad).is_err(), "1-2 not adjacent");
         let good = JoinOrder::LeftDeep(vec![TableId(1), TableId(0), TableId(2)]);
-        assert_eq!(exec.execute_order(&q, &good).unwrap().output_cardinality, 10);
+        assert_eq!(
+            exec.execute_order(&q, &good).unwrap().output_cardinality,
+            10
+        );
     }
 
     #[test]

@@ -42,9 +42,17 @@ fn eval_predicate(
 }
 
 /// Applies `keep` over either all rows or the candidate subset.
-fn scan_rows(len: usize, candidates: Option<&[u32]>, mut keep: impl FnMut(usize) -> bool) -> Vec<u32> {
+fn scan_rows(
+    len: usize,
+    candidates: Option<&[u32]>,
+    mut keep: impl FnMut(usize) -> bool,
+) -> Vec<u32> {
     match candidates {
-        Some(cands) => cands.iter().copied().filter(|&r| keep(r as usize)).collect(),
+        Some(cands) => cands
+            .iter()
+            .copied()
+            .filter(|&r| keep(r as usize))
+            .collect(),
         None => (0..len as u32).filter(|&r| keep(r as usize)).collect(),
     }
 }
@@ -56,9 +64,9 @@ fn eval_cmp(
     candidates: Option<&[u32]>,
 ) -> Result<Vec<u32>> {
     match (column, value) {
-        (Column::Int(data), Value::Int(v)) => {
-            Ok(scan_rows(data.len(), candidates, |r| op.eval(data[r].cmp(v))))
-        }
+        (Column::Int(data), Value::Int(v)) => Ok(scan_rows(data.len(), candidates, |r| {
+            op.eval(data[r].cmp(v))
+        })),
         (Column::Float(data), Value::Float(v)) => Ok(scan_rows(data.len(), candidates, |r| {
             data[r].partial_cmp(v).is_some_and(|o| op.eval(o))
         })),
@@ -78,9 +86,7 @@ fn eval_cmp(
                 })),
                 None => match op {
                     CmpOp::Eq => Ok(Vec::new()),
-                    CmpOp::Neq => {
-                        Ok(scan_rows(codes.len(), candidates, |_| true))
-                    }
+                    CmpOp::Neq => Ok(scan_rows(codes.len(), candidates, |_| true)),
                     // Value absent from dictionary: find its insertion point
                     // among dictionary entries and compare codes against it.
                     _ => {
@@ -98,11 +104,13 @@ fn eval_cmp(
                 },
             }
         }
-        _ => Err(ExecError::Storage(mtmlf_storage::StorageError::TypeMismatch {
-            column: "<filter>".into(),
-            expected: column.ctype().name(),
-            got: value.type_name(),
-        })),
+        _ => Err(ExecError::Storage(
+            mtmlf_storage::StorageError::TypeMismatch {
+                column: "<filter>".into(),
+                expected: column.ctype().name(),
+                got: value.type_name(),
+            },
+        )),
     }
 }
 
@@ -129,11 +137,13 @@ fn eval_between(
                 data[r] >= a && data[r] <= b
             }))
         }
-        _ => Err(ExecError::Storage(mtmlf_storage::StorageError::TypeMismatch {
-            column: "<between>".into(),
-            expected: column.ctype().name(),
-            got: lo.type_name(),
-        })),
+        _ => Err(ExecError::Storage(
+            mtmlf_storage::StorageError::TypeMismatch {
+                column: "<between>".into(),
+                expected: column.ctype().name(),
+                got: lo.type_name(),
+            },
+        )),
     }
 }
 
@@ -154,7 +164,9 @@ fn eval_in(column: &Column, values: &[Value], candidates: Option<&[u32]>) -> Res
     match column {
         Column::Int(data) => {
             let set: Vec<i64> = values.iter().filter_map(Value::as_int).collect();
-            Ok(scan_rows(data.len(), candidates, |r| set.contains(&data[r])))
+            Ok(scan_rows(data.len(), candidates, |r| {
+                set.contains(&data[r])
+            }))
         }
         Column::Str { codes, dict } => {
             let set: Vec<u32> = values
@@ -162,11 +174,15 @@ fn eval_in(column: &Column, values: &[Value], candidates: Option<&[u32]>) -> Res
                 .filter_map(Value::as_str)
                 .filter_map(|s| dict.encode(s))
                 .collect();
-            Ok(scan_rows(codes.len(), candidates, |r| set.contains(&codes[r])))
+            Ok(scan_rows(codes.len(), candidates, |r| {
+                set.contains(&codes[r])
+            }))
         }
         Column::Float(data) => {
             let set: Vec<f64> = values.iter().filter_map(Value::as_float).collect();
-            Ok(scan_rows(data.len(), candidates, |r| set.contains(&data[r])))
+            Ok(scan_rows(data.len(), candidates, |r| {
+                set.contains(&data[r])
+            }))
         }
     }
 }

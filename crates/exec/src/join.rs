@@ -92,7 +92,11 @@ pub fn equi_join_limited(
     // Build on the smaller side.
     let swap = right.len() < left.len();
     let (build_rel, probe_rel) = if swap { (right, left) } else { (left, right) };
-    let (build_key, probe_key) = if swap { (&r_key, &l_key) } else { (&l_key, &r_key) };
+    let (build_key, probe_key) = if swap {
+        (&r_key, &l_key)
+    } else {
+        (&l_key, &r_key)
+    };
 
     let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
     let build_rows = build_rel.rows_of(build_key.position);
@@ -164,7 +168,10 @@ mod tests {
                     ColumnDef::attr("x", mtmlf_storage::ColumnType::Int),
                 ],
             ),
-            vec![Column::Int(vec![0, 1, 2, 3, 4]), Column::Int(vec![9, 9, 7, 7, 5])],
+            vec![
+                Column::Int(vec![0, 1, 2, 3, 4]),
+                Column::Int(vec![9, 9, 7, 7, 5]),
+            ],
         )
         .unwrap();
         db.add_table(a).unwrap();
@@ -198,7 +205,11 @@ mod tests {
         let p = pred(0, 0, 1, 1); // a.id = b.a_id
         let out = equi_join(&db, &a, &b, &[&p]).unwrap();
         assert_eq!(out.tables(), &[TableId(0), TableId(1)]);
-        assert_eq!(out.len(), 3, "b rows 0,1 match a row 0; b row 2 matches a row 2");
+        assert_eq!(
+            out.len(),
+            3,
+            "b rows 0,1 match a row 0; b row 2 matches a row 2"
+        );
         // Collect matched (a_row, b_row) pairs.
         let mut pairs: Vec<(u32, u32)> = (0..out.len())
             .map(|i| (out.rows_of(0)[i], out.rows_of(1)[i]))
@@ -280,7 +291,10 @@ mod limit_tests {
             let t = mtmlf_storage::Table::from_columns(
                 TableSchema::new(
                     name,
-                    vec![ColumnDef::pk("id"), ColumnDef::attr("k", mtmlf_storage::ColumnType::Int)],
+                    vec![
+                        ColumnDef::pk("id"),
+                        ColumnDef::attr("k", mtmlf_storage::ColumnType::Int),
+                    ],
                 ),
                 vec![Column::Int((0..100).collect()), Column::Int(vec![7; 100])],
             )

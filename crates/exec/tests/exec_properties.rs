@@ -4,7 +4,9 @@
 use mtmlf_exec::{evaluate_filters, Executor};
 use mtmlf_query::predicate::{ColumnRef, JoinPredicate};
 use mtmlf_query::{CmpOp, FilterPredicate, PlanNode, Query};
-use mtmlf_storage::{Column, ColumnDef, ColumnId, ColumnType, Database, Table, TableId, TableSchema, Value};
+use mtmlf_storage::{
+    Column, ColumnDef, ColumnId, ColumnType, Database, Table, TableId, TableSchema, Value,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

@@ -74,6 +74,27 @@ impl MultiHeadAttention {
         }
         m
     }
+
+    /// A block-diagonal mask for packed batched self-attention: several
+    /// sequences of lengths `lens` are concatenated row-wise into one
+    /// `(Σlen, d_model)` input, and each position may attend only within
+    /// its own sequence. Off-block logits get `-1e9`, which underflows to
+    /// exactly zero attention weight after softmax, so a packed forward is
+    /// equivalent to running each sequence separately.
+    pub fn block_diagonal_mask(lens: &[usize]) -> Matrix {
+        let total: usize = lens.iter().sum();
+        let mut m = Matrix::full(total, total, -1e9);
+        let mut offset = 0;
+        for &len in lens {
+            for r in offset..offset + len {
+                for c in offset..offset + len {
+                    m.set(r, c, 0.0);
+                }
+            }
+            offset += len;
+        }
+        m
+    }
 }
 
 impl Module for MultiHeadAttention {

@@ -7,21 +7,55 @@
 //!
 //! Graphs are rebuilt per training example (define-by-run), which matches
 //! the variable-length sequences of query plans.
+//!
+//! Nodes are `Arc`-shared and lock their payloads, so a model's parameters
+//! can be read concurrently from many inference threads (`Var: Send + Sync`).
+//! Wrap pure-inference forwards in [`no_grad`] to skip tape construction
+//! entirely: derived nodes then keep no parents and no backward closure, and
+//! gradient storage is allocated lazily only when a gradient actually flows.
 
 use crate::matrix::Matrix;
-use std::cell::{Ref, RefCell};
+use std::cell::Cell;
 use std::collections::HashSet;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
-type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
+thread_local! {
+    static NO_GRAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with gradient tracking disabled on the current thread.
+///
+/// Inside the closure every operator produces a plain value node: no parent
+/// edges, no backward closure, no gradient storage. This makes inference
+/// both faster and lighter (intermediates are freed as soon as they go out
+/// of scope instead of being pinned by the tape). Nestable and panic-safe.
+pub fn no_grad<T, F: FnOnce() -> T>(f: F) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NO_GRAD.with(|flag| flag.set(self.0));
+        }
+    }
+    let prev = NO_GRAD.with(|flag| flag.replace(true));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Whether operators on this thread currently record the tape.
+pub fn grad_enabled() -> bool {
+    NO_GRAD.with(|flag| !flag.get())
+}
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[Var]) + Send + Sync>;
 
 struct Node {
     id: u64,
-    value: RefCell<Matrix>,
-    grad: RefCell<Matrix>,
+    value: RwLock<Matrix>,
+    /// Allocated on first accumulation; `None` reads as all-zeros.
+    grad: RwLock<Option<Matrix>>,
     parents: Vec<Var>,
     backward: Option<BackwardFn>,
     requires_grad: bool,
@@ -30,12 +64,12 @@ struct Node {
 /// A differentiable matrix variable.
 #[derive(Clone)]
 pub struct Var {
-    node: Rc<Node>,
+    node: Arc<Node>,
 }
 
 impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let v = self.node.value.borrow();
+        let v = self.value();
         write!(
             f,
             "Var(id={}, {}x{}, grad={})",
@@ -54,12 +88,11 @@ impl Var {
         backward: Option<BackwardFn>,
         requires_grad: bool,
     ) -> Self {
-        let (r, c) = value.shape();
         Var {
-            node: Rc::new(Node {
+            node: Arc::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-                value: RefCell::new(value),
-                grad: RefCell::new(Matrix::zeros(r, c)),
+                value: RwLock::new(value),
+                grad: RwLock::new(None),
                 parents,
                 backward,
                 requires_grad,
@@ -78,9 +111,13 @@ impl Var {
     }
 
     fn derived(value: Matrix, parents: Vec<Var>, backward: BackwardFn) -> Self {
-        let requires = parents.iter().any(Var::requires_grad);
-        let backward = requires.then_some(backward);
-        Self::new(value, parents, backward, requires)
+        let requires = grad_enabled() && parents.iter().any(Var::requires_grad);
+        if !requires {
+            // Pure value node: drop the edges so upstream intermediates are
+            // freed eagerly instead of being pinned by this result.
+            return Self::new(value, Vec::new(), None, false);
+        }
+        Self::new(value, parents, Some(backward), true)
     }
 
     /// Whether gradients flow into this node.
@@ -88,54 +125,59 @@ impl Var {
         self.node.requires_grad
     }
 
-    /// Borrow the forward value.
-    pub fn value(&self) -> Ref<'_, Matrix> {
-        self.node.value.borrow()
+    /// Borrow the forward value (shared read lock).
+    pub fn value(&self) -> RwLockReadGuard<'_, Matrix> {
+        self.node.value.read().expect("Var value lock poisoned")
     }
 
     /// Clone the forward value.
     pub fn to_matrix(&self) -> Matrix {
-        self.node.value.borrow().clone()
+        self.value().clone()
     }
 
-    /// Clone the accumulated gradient.
+    /// Clone the accumulated gradient (all-zeros if none has flowed).
     pub fn grad(&self) -> Matrix {
-        self.node.grad.borrow().clone()
+        let g = self.node.grad.read().expect("Var grad lock poisoned");
+        match &*g {
+            Some(m) => m.clone(),
+            None => {
+                let (r, c) = self.shape();
+                Matrix::zeros(r, c)
+            }
+        }
     }
 
     /// Shape of the value.
     pub fn shape(&self) -> (usize, usize) {
-        self.node.value.borrow().shape()
+        self.value().shape()
     }
 
     /// The scalar payload of a 1×1 variable.
     pub fn item(&self) -> f32 {
-        self.node.value.borrow().item()
+        self.value().item()
     }
 
     /// Zeroes the gradient (optimizers call this on parameters).
     pub fn zero_grad(&self) {
-        let mut g = self.node.grad.borrow_mut();
-        let shape = g.shape();
-        *g = Matrix::zeros(shape.0, shape.1);
+        *self.node.grad.write().expect("Var grad lock poisoned") = None;
     }
 
     /// Overwrites the value in place (optimizers; keeps the same node so
     /// existing optimizer state remains attached).
     pub fn set_value(&self, value: Matrix) {
-        assert_eq!(
-            value.shape(),
-            self.shape(),
-            "set_value must preserve shape"
-        );
-        *self.node.value.borrow_mut() = value;
+        assert_eq!(value.shape(), self.shape(), "set_value must preserve shape");
+        *self.node.value.write().expect("Var value lock poisoned") = value;
     }
 
     fn accumulate(&self, delta: &Matrix) {
         if !self.node.requires_grad {
             return;
         }
-        self.node.grad.borrow_mut().add_assign(delta);
+        let mut g = self.node.grad.write().expect("Var grad lock poisoned");
+        match &mut *g {
+            Some(m) => m.add_assign(delta),
+            None => *g = Some(delta.clone()),
+        }
     }
 
     /// Runs reverse-mode accumulation from this node. The seed gradient is
@@ -147,10 +189,9 @@ impl Var {
         let mut visited: HashSet<u64> = HashSet::new();
         let mut stack: Vec<(Var, usize)> = vec![(self.clone(), 0)];
         while let Some((var, child_idx)) = stack.pop() {
-            if child_idx == 0
-                && !visited.insert(var.node.id) {
-                    continue;
-                }
+            if child_idx == 0 && !visited.insert(var.node.id) {
+                continue;
+            }
             if child_idx < var.node.parents.len() {
                 let parent = var.node.parents[child_idx].clone();
                 stack.push((var, child_idx + 1));
@@ -164,12 +205,22 @@ impl Var {
         // Seed.
         {
             let shape = self.shape();
-            *self.node.grad.borrow_mut() = Matrix::full(shape.0, shape.1, 1.0);
+            *self.node.grad.write().expect("Var grad lock poisoned") =
+                Some(Matrix::full(shape.0, shape.1, 1.0));
         }
         for var in order.iter().rev() {
             if let Some(f) = &var.node.backward {
-                let g = var.node.grad.borrow().clone();
-                f(&g, &var.node.parents);
+                let g = var
+                    .node
+                    .grad
+                    .read()
+                    .expect("Var grad lock poisoned")
+                    .clone();
+                // `None` means no gradient reached this node; nothing to
+                // propagate further.
+                if let Some(g) = g {
+                    f(&g, &var.node.parents);
+                }
             }
         }
     }
@@ -504,6 +555,24 @@ impl Var {
         )
     }
 
+    /// Splits into consecutive row blocks of the given lengths (the inverse
+    /// of [`Var::concat_rows`]; used to unpack batched forwards).
+    pub fn split_rows(&self, lens: &[usize]) -> Vec<Var> {
+        let total: usize = lens.iter().sum();
+        assert_eq!(
+            total,
+            self.shape().0,
+            "split_rows lengths must cover all rows"
+        );
+        let mut out = Vec::with_capacity(lens.len());
+        let mut offset = 0;
+        for &len in lens {
+            out.push(self.slice_rows(offset, offset + len));
+            offset += len;
+        }
+        out
+    }
+
     /// Vertical concatenation.
     pub fn concat_rows(parts: &[Var]) -> Var {
         let values: Vec<Matrix> = parts.iter().map(Var::to_matrix).collect();
@@ -662,7 +731,11 @@ mod tests {
         let b = Var::constant(Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.1, -0.3, 0.7]));
         let at = Matrix::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.5, 1.5]);
         for idx in 0..6 {
-            let (a, fd) = finite_diff(|p| p.matmul(&b).hadamard(&p.matmul(&b)).sum(), at.clone(), idx);
+            let (a, fd) = finite_diff(
+                |p| p.matmul(&b).hadamard(&p.matmul(&b)).sum(),
+                at.clone(),
+                idx,
+            );
             assert_close(a, fd, 2e-2);
         }
     }
@@ -682,11 +755,7 @@ mod tests {
         let at = Matrix::from_vec(1, 4, vec![0.1, 0.5, -0.3, 0.9]);
         let w = Var::constant(Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.2]));
         for idx in 0..4 {
-            let (a, fd) = finite_diff(
-                |p| p.softmax_rows().hadamard(&w).sum(),
-                at.clone(),
-                idx,
-            );
+            let (a, fd) = finite_diff(|p| p.softmax_rows().hadamard(&w).sum(), at.clone(), idx);
             assert_close(a, fd, 1e-2);
         }
     }
@@ -696,11 +765,7 @@ mod tests {
         let at = Matrix::from_vec(1, 4, vec![0.1, 0.5, -0.3, 0.9]);
         let w = Var::constant(Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.2]));
         for idx in 0..4 {
-            let (a, fd) = finite_diff(
-                |p| p.log_softmax_rows().hadamard(&w).sum(),
-                at.clone(),
-                idx,
-            );
+            let (a, fd) = finite_diff(|p| p.log_softmax_rows().hadamard(&w).sum(), at.clone(), idx);
             assert_close(a, fd, 1e-2);
         }
     }
@@ -794,6 +859,57 @@ mod tests {
         let z = y.hadamard(&y);
         z.backward();
         assert_eq!(x.grad().item(), 24.0);
+    }
+
+    #[test]
+    fn var_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Var>();
+    }
+
+    #[test]
+    fn no_grad_skips_tape() {
+        let p = scalar_param(2.0);
+        let y = no_grad(|| p.scale(3.0).add(&p));
+        assert_eq!(y.item(), 8.0);
+        assert!(!y.requires_grad());
+        // The tape was never built, so backward is a no-op for `p`.
+        y.backward();
+        assert_eq!(p.grad().item(), 0.0);
+        // Outside the closure the tape records again.
+        let z = p.scale(3.0);
+        z.backward();
+        assert_eq!(p.grad().item(), 3.0);
+    }
+
+    #[test]
+    fn no_grad_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| no_grad(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert!(grad_enabled());
+    }
+
+    #[test]
+    fn no_grad_matches_tape_forward_bitwise() {
+        let p = Var::parameter(Matrix::from_vec(2, 3, vec![0.3, -1.2, 0.7, 2.0, -0.4, 0.1]));
+        let w = Var::parameter(Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.1, -0.3, 0.7]));
+        let taped = p.matmul(&w).gelu().softmax_rows().to_matrix();
+        let plain = no_grad(|| p.matmul(&w).gelu().softmax_rows().to_matrix());
+        assert_eq!(taped, plain);
+    }
+
+    #[test]
+    fn concurrent_reads_share_parameters() {
+        let p = Var::parameter(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = p.clone();
+                std::thread::spawn(move || no_grad(|| p.scale(2.0).sum().item()))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 6.0);
+        }
     }
 
     #[test]

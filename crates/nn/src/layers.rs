@@ -41,6 +41,20 @@ impl Linear {
     pub fn forward(&self, x: &Var) -> Var {
         x.matmul(&self.w).add_broadcast_row(&self.b)
     }
+
+    /// Batched forward: packs the inputs row-wise, runs one matmul, and
+    /// splits the result. Row-wise layers make this exactly equivalent to
+    /// mapping [`Linear::forward`] over `xs`.
+    pub fn forward_batch(&self, xs: &[Var]) -> Vec<Var> {
+        match xs {
+            [] => Vec::new(),
+            [x] => vec![self.forward(x)],
+            _ => {
+                let lens: Vec<usize> = xs.iter().map(|x| x.shape().0).collect();
+                self.forward(&Var::concat_rows(xs)).split_rows(&lens)
+            }
+        }
+    }
 }
 
 impl Module for Linear {
@@ -74,7 +88,9 @@ impl LayerNorm {
         // constant-free formulation: y = n ⊙ Γ + β, where Γ/β broadcast.
         let (rows, _) = normalized.shape();
         let gamma_tiled = Var::concat_rows(&vec![self.gamma.clone(); rows]);
-        normalized.hadamard(&gamma_tiled).add_broadcast_row(&self.beta)
+        normalized
+            .hadamard(&gamma_tiled)
+            .add_broadcast_row(&self.beta)
     }
 }
 
@@ -124,7 +140,10 @@ pub struct Mlp {
 impl Mlp {
     /// Builds from a width list, e.g. `[64, 32, 1]` for a two-layer head.
     pub fn new(widths: &[usize], rng: &mut StdRng) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -142,6 +161,19 @@ impl Mlp {
             }
         }
         h
+    }
+
+    /// Batched forward over several inputs: packs rows, runs the whole MLP
+    /// once, splits the result (all layers are row-wise).
+    pub fn forward_batch(&self, xs: &[Var]) -> Vec<Var> {
+        match xs {
+            [] => Vec::new(),
+            [x] => vec![self.forward(x)],
+            _ => {
+                let lens: Vec<usize> = xs.iter().map(|x| x.shape().0).collect();
+                self.forward(&Var::concat_rows(xs)).split_rows(&lens)
+            }
+        }
     }
 }
 
@@ -189,11 +221,20 @@ mod tests {
     #[test]
     fn layernorm_normalizes_rows() {
         let ln = LayerNorm::new(4);
-        let x = Var::constant(Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 10., 20., 30., 40.]));
+        let x = Var::constant(Matrix::from_vec(
+            2,
+            4,
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        ));
         let y = ln.forward(&x).to_matrix();
         for r in 0..2 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
-            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-5, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }
@@ -217,6 +258,23 @@ mod tests {
         let x = Var::constant(Matrix::zeros(3, 8));
         assert_eq!(mlp.forward(&x).shape(), (3, 1));
         assert_eq!(mlp.parameters().len(), 4);
+    }
+
+    #[test]
+    fn linear_and_mlp_batched_match_individual() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = Linear::new(6, 3, &mut rng);
+        let mlp = Mlp::new(&[6, 12, 2], &mut rng);
+        let xs: Vec<Var> = [2usize, 4, 1]
+            .iter()
+            .map(|&n| Var::constant(Matrix::xavier(n, 6, &mut rng)))
+            .collect();
+        for (batched, x) in l.forward_batch(&xs).iter().zip(&xs) {
+            assert_eq!(batched.to_matrix(), l.forward(x).to_matrix());
+        }
+        for (batched, x) in mlp.forward_batch(&xs).iter().zip(&xs) {
+            assert_eq!(batched.to_matrix(), mlp.forward(x).to_matrix());
+        }
     }
 
     #[test]

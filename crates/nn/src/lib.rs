@@ -16,7 +16,9 @@
 //!
 //! The autograd [`Var`] is a reference-counted tape node; operators build
 //! the graph, [`Var::backward`] runs reverse-mode accumulation, and
-//! [`optim::Adam`] updates parameters in place.
+//! [`optim::Adam`] updates parameters in place. `Var` is `Send + Sync`, so
+//! a trained model can serve inference from many threads at once; wrap
+//! serving forwards in [`no_grad`] to skip tape construction.
 
 pub mod attention;
 pub mod autograd;
@@ -28,7 +30,7 @@ pub mod serialize;
 pub mod transformer;
 
 pub use attention::MultiHeadAttention;
-pub use autograd::Var;
+pub use autograd::{grad_enabled, no_grad, Var};
 pub use layers::{FeedForward, LayerNorm, Linear, Mlp, Module};
 pub use matrix::Matrix;
 pub use optim::Adam;

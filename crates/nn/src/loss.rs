@@ -19,11 +19,7 @@ pub fn mse(pred: &Var, target: &Var) -> Var {
 /// the raw label (floored at 1).
 pub fn q_error_log_loss(pred_log: &Var, truth: f64) -> Var {
     let label = (truth.max(1.0)).ln() as f32;
-    let t = Var::constant(Matrix::full(
-        pred_log.shape().0,
-        pred_log.shape().1,
-        label,
-    ));
+    let t = Var::constant(Matrix::full(pred_log.shape().0, pred_log.shape().1, label));
     mse(pred_log, &t)
 }
 

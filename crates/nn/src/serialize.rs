@@ -81,7 +81,11 @@ pub fn load_parameters<R: Read>(r: R, params: &[Var]) -> io::Result<()> {
         if p.shape() != m.shape() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("shape mismatch: file {:?}, model {:?}", m.shape(), p.shape()),
+                format!(
+                    "shape mismatch: file {:?}, model {:?}",
+                    m.shape(),
+                    p.shape()
+                ),
             ));
         }
     }

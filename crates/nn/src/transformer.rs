@@ -33,9 +33,16 @@ impl EncoderBlock {
 
     /// Forward pass over a `(seq, d_model)` sequence.
     pub fn forward(&self, x: &Var) -> Var {
+        self.forward_masked(x, None)
+    }
+
+    /// Forward pass with an optional `(seq, seq)` additive attention mask
+    /// (e.g. a block-diagonal mask when several sequences are packed into
+    /// one input).
+    pub fn forward_masked(&self, x: &Var, mask: Option<&Matrix>) -> Var {
         let attended = self
             .attention
-            .forward(&self.norm1.forward(x), &self.norm1.forward(x), None);
+            .forward(&self.norm1.forward(x), &self.norm1.forward(x), mask);
         let x = x.add(&attended);
         let fed = self.feed_forward.forward(&self.norm2.forward(&x));
         x.add(&fed)
@@ -63,24 +70,63 @@ impl TransformerEncoder {
     /// Builds `depth` blocks of width `d_model` with `heads` heads.
     pub fn new(d_model: usize, heads: usize, depth: usize, rng: &mut StdRng) -> Self {
         Self {
-            blocks: (0..depth).map(|_| EncoderBlock::new(d_model, heads, rng)).collect(),
+            blocks: (0..depth)
+                .map(|_| EncoderBlock::new(d_model, heads, rng))
+                .collect(),
             final_norm: LayerNorm::new(d_model),
         }
     }
 
     /// Forward pass over a `(seq, d_model)` sequence.
     pub fn forward(&self, x: &Var) -> Var {
+        self.forward_masked(x, None)
+    }
+
+    /// Forward pass with an optional additive attention mask applied in
+    /// every block.
+    pub fn forward_masked(&self, x: &Var, mask: Option<&Matrix>) -> Var {
         let mut h = x.clone();
         for block in &self.blocks {
-            h = block.forward(&h);
+            h = block.forward_masked(&h, mask);
         }
         self.final_norm.forward(&h)
+    }
+
+    /// Forward pass over several sequences packed row-wise into one
+    /// `(Σlen, d_model)` input. A block-diagonal mask keeps attention
+    /// within each sequence, so the output rows equal what per-sequence
+    /// [`TransformerEncoder::forward`] calls would produce, while every
+    /// linear layer runs as a single batched matmul.
+    pub fn forward_packed(&self, x: &Var, lens: &[usize]) -> Var {
+        if lens.len() <= 1 {
+            return self.forward(x);
+        }
+        let mask = MultiHeadAttention::block_diagonal_mask(lens);
+        self.forward_masked(x, Some(&mask))
+    }
+
+    /// Batched forward: packs `xs` into one matrix, runs one packed
+    /// forward, and splits the result back into per-sequence outputs.
+    pub fn forward_batch(&self, xs: &[Var]) -> Vec<Var> {
+        match xs {
+            [] => Vec::new(),
+            [x] => vec![self.forward(x)],
+            _ => {
+                let lens: Vec<usize> = xs.iter().map(|x| x.shape().0).collect();
+                let packed = Var::concat_rows(xs);
+                self.forward_packed(&packed, &lens).split_rows(&lens)
+            }
+        }
     }
 }
 
 impl Module for TransformerEncoder {
     fn parameters(&self) -> Vec<Var> {
-        let mut p: Vec<Var> = self.blocks.iter().flat_map(EncoderBlock::parameters).collect();
+        let mut p: Vec<Var> = self
+            .blocks
+            .iter()
+            .flat_map(EncoderBlock::parameters)
+            .collect();
         p.extend(self.final_norm.parameters());
         p
     }
@@ -149,7 +195,9 @@ impl TransformerDecoder {
     /// Builds `depth` blocks of width `d_model` with `heads` heads.
     pub fn new(d_model: usize, heads: usize, depth: usize, rng: &mut StdRng) -> Self {
         Self {
-            blocks: (0..depth).map(|_| DecoderBlock::new(d_model, heads, rng)).collect(),
+            blocks: (0..depth)
+                .map(|_| DecoderBlock::new(d_model, heads, rng))
+                .collect(),
             final_norm: LayerNorm::new(d_model),
         }
     }
@@ -168,7 +216,11 @@ impl TransformerDecoder {
 
 impl Module for TransformerDecoder {
     fn parameters(&self) -> Vec<Var> {
-        let mut p: Vec<Var> = self.blocks.iter().flat_map(DecoderBlock::parameters).collect();
+        let mut p: Vec<Var> = self
+            .blocks
+            .iter()
+            .flat_map(DecoderBlock::parameters)
+            .collect();
         p.extend(self.final_norm.parameters());
         p
     }
@@ -263,6 +315,51 @@ mod tests {
             last = total.item();
         }
         assert!(last < 0.05, "final loss {last}");
+    }
+
+    #[test]
+    fn packed_forward_is_bitwise_identical_to_per_sequence() {
+        // The serving fast path packs several plans into one forward; cached
+        // and batched answers must match one-at-a-time inference exactly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = TransformerEncoder::new(16, 4, 2, &mut rng);
+        let seqs: Vec<Var> = [3usize, 5, 1, 4]
+            .iter()
+            .map(|&len| Var::constant(Matrix::xavier(len, 16, &mut rng)))
+            .collect();
+        let individual: Vec<Matrix> = seqs.iter().map(|s| enc.forward(s).to_matrix()).collect();
+        let batched: Vec<Matrix> = enc
+            .forward_batch(&seqs)
+            .iter()
+            .map(Var::to_matrix)
+            .collect();
+        assert_eq!(individual, batched);
+    }
+
+    #[test]
+    fn packed_forward_grads_flow_per_sequence() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let enc = TransformerEncoder::new(8, 2, 1, &mut rng);
+        let a = Var::parameter(Matrix::xavier(2, 8, &mut rng));
+        let b = Var::parameter(Matrix::xavier(3, 8, &mut rng));
+        let outs = enc.forward_batch(&[a.clone(), b.clone()]);
+        outs[0].sum().backward();
+        assert!(a.grad().norm() > 0.0, "first sequence receives gradient");
+        // Attention is blocked across sequences, but the packed layer norm /
+        // linear path still ties them to one graph; `b`'s rows contribute
+        // zero to `outs[0]`'s loss.
+        let out_b_alone = enc.forward(&b).to_matrix();
+        assert_eq!(outs[1].to_matrix(), out_b_alone);
+    }
+
+    #[test]
+    fn forward_batch_handles_empty_and_single() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let enc = TransformerEncoder::new(8, 2, 1, &mut rng);
+        assert!(enc.forward_batch(&[]).is_empty());
+        let x = Var::constant(Matrix::xavier(4, 8, &mut rng));
+        let one = enc.forward_batch(std::slice::from_ref(&x));
+        assert_eq!(one[0].to_matrix(), enc.forward(&x).to_matrix());
     }
 
     #[test]

@@ -477,6 +477,9 @@ mod greedy_tests {
         let greedy_min = exec.execute_order(&q, &order).unwrap().sim_minutes;
         let opt = exact_optimal_order(&db, &q).unwrap();
         let opt_min = exec.execute_order(&q, &opt.order).unwrap().sim_minutes;
-        assert!(greedy_min <= opt_min * 2.0 + 1e-9, "greedy {greedy_min} vs {opt_min}");
+        assert!(
+            greedy_min <= opt_min * 2.0 + 1e-9,
+            "greedy {greedy_min} vs {opt_min}"
+        );
     }
 }

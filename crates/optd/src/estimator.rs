@@ -121,13 +121,12 @@ impl<'a> PgEstimator<'a> {
         let stats = t.stats()?;
         let mut selectivity = 1.0;
         for pred in query.filters_on(table) {
-            let col_stats = stats
-                .columns
-                .get(pred.column().index())
-                .ok_or(mtmlf_storage::StorageError::ColumnIdOutOfRange {
+            let col_stats = stats.columns.get(pred.column().index()).ok_or(
+                mtmlf_storage::StorageError::ColumnIdOutOfRange {
                     table: t.name().to_string(),
                     column: pred.column().0,
-                })?;
+                },
+            )?;
             selectivity *= self.predicate_selectivity(col_stats, pred);
         }
         Ok((t.rows() as f64 * selectivity).max(0.0))

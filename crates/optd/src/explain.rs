@@ -77,7 +77,10 @@ fn render(
     let (est_rows, est_cost) = per_node[idx];
     let label = match node {
         PlanNode::Scan { table, op } => {
-            let name = db.table(*table).map(|t| t.name().to_string()).unwrap_or_else(|_| table.to_string());
+            let name = db
+                .table(*table)
+                .map(|t| t.name().to_string())
+                .unwrap_or_else(|_| table.to_string());
             format!("{}({name})", op.name())
         }
         PlanNode::Join { op, .. } => op.name().to_string(),
@@ -93,7 +96,8 @@ fn render(
     } else {
         format!("{prefix}├─ ")
     };
-    let line = format!("{connector}{label}  (est rows {est_rows:.0}{truth}, est cost {est_cost:.0})");
+    let line =
+        format!("{connector}{label}  (est rows {est_rows:.0}{truth}, est cost {est_cost:.0})");
 
     // Children render before this line is pushed (post-order consumption),
     // but must appear *after* it in the output; we push in reverse and flip
@@ -108,8 +112,28 @@ fn render(
         };
         // Post-order stores left subtree first, so consume right first when
         // walking backwards.
-        render(db, right, per_node, observed, cursor, &child_prefix, false, true, lines);
-        render(db, left, per_node, observed, cursor, &child_prefix, false, false, lines);
+        render(
+            db,
+            right,
+            per_node,
+            observed,
+            cursor,
+            &child_prefix,
+            false,
+            true,
+            lines,
+        );
+        render(
+            db,
+            left,
+            per_node,
+            observed,
+            cursor,
+            &child_prefix,
+            false,
+            false,
+            lines,
+        );
     }
     lines.push(line);
 }
@@ -185,7 +209,9 @@ mod tests {
         let db = make_db();
         let q = query();
         let plan = PlanNode::left_deep(&[TableId(0), TableId(1)]).unwrap();
-        let outcome = mtmlf_exec::Executor::new(&db).execute_plan(&q, &plan).unwrap();
+        let outcome = mtmlf_exec::Executor::new(&db)
+            .execute_plan(&q, &plan)
+            .unwrap();
         let cards: Vec<u64> = outcome.nodes.iter().map(|n| n.cardinality).collect();
         let est = PgEstimator::new(&db);
         let text = explain(&est, &db, &q, &plan, Some(&cards)).unwrap();
@@ -200,7 +226,10 @@ mod tests {
                 "notes",
                 vec![ColumnDef::pk("id"), ColumnDef::fk("order_id", TableId(0))],
             ),
-            vec![Column::Int((0..20).collect()), Column::Int((0..20).collect())],
+            vec![
+                Column::Int((0..20).collect()),
+                Column::Int((0..20).collect()),
+            ],
         )
         .unwrap();
         db.add_table(c).unwrap();

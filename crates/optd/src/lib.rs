@@ -26,7 +26,9 @@ pub mod metrics;
 pub mod pg;
 
 pub use cost::{choose_join_op, choose_scan_op, plan_cost, PlanCoster};
-pub use dp::{best_bushy_order, best_left_deep_order, exact_optimal_bushy, exact_optimal_order, greedy_order};
+pub use dp::{
+    best_bushy_order, best_left_deep_order, exact_optimal_bushy, exact_optimal_order, greedy_order,
+};
 pub use error::OptError;
 pub use estimator::{Estimator, PgEstimator, TrueCardEstimator};
 pub use explain::explain;

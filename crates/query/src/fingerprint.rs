@@ -1,0 +1,462 @@
+//! Canonical query fingerprints for plan caching.
+//!
+//! A [`QueryFingerprint`] is a 128-bit hash of a query's *canonical* form:
+//! two textually different constructions of the same query — tables listed
+//! in another order, join predicates permuted or side-swapped, per-table
+//! filters reordered, `IN`-list values shuffled — produce the same
+//! fingerprint, while any semantic difference (another table, operator, or
+//! literal) produces a different one. The serving layer keys its plan cache
+//! on this value, so equal fingerprints must imply equal optimal plans:
+//! literals are part of the hash, not just the predicate template.
+//!
+//! The canonical byte encoding is hashed with two independently seeded
+//! FNV-1a passes; 128 bits keep accidental collisions out of reach for any
+//! realistic cache population.
+
+use crate::predicate::{CmpOp, FilterPredicate, LikePattern};
+use crate::query::Query;
+use mtmlf_storage::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Second-lane seed (golden-ratio constant) so the two 64-bit hashes are
+/// independent functions of the same bytes.
+const LANE2_SEED: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// A canonical 128-bit query fingerprint. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl QueryFingerprint {
+    /// Fingerprints a query.
+    ///
+    /// ```
+    /// use mtmlf_query::{fingerprint, Query};
+    /// use std::collections::BTreeMap;
+    /// use mtmlf_storage::TableId;
+    ///
+    /// let q = Query::new(vec![TableId(0)], vec![], BTreeMap::new()).unwrap();
+    /// assert_eq!(fingerprint(&q), fingerprint(&q.clone()));
+    /// ```
+    pub fn of(query: &Query) -> Self {
+        let bytes = canonical_bytes(query);
+        Self {
+            hi: fnv1a(FNV_OFFSET, &bytes),
+            lo: fnv1a(LANE2_SEED, &bytes),
+        }
+    }
+
+    /// The fingerprint as a single 128-bit integer.
+    pub fn as_u128(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+
+    /// A well-mixed 64-bit projection (used to pick cache shards).
+    pub fn shard_hash(self) -> u64 {
+        self.hi ^ self.lo.rotate_left(32)
+    }
+}
+
+/// Fingerprints a query (free-function convenience for [`QueryFingerprint::of`]).
+pub fn fingerprint(query: &Query) -> QueryFingerprint {
+    QueryFingerprint::of(query)
+}
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Serializes the query into its canonical byte form: sorted tables (the
+/// `Query` invariant), join predicates side-ordered then sorted, per-table
+/// filters sorted by their own encoding, `IN` lists sorted. Every variable-
+/// length field is length-prefixed so distinct queries cannot collide by
+/// concatenation.
+fn canonical_bytes(query: &Query) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(b'T');
+    push_len(&mut out, query.tables().len());
+    for t in query.tables() {
+        out.extend_from_slice(&t.0.to_le_bytes());
+    }
+
+    let mut joins: Vec<[u8; 16]> = query
+        .joins()
+        .iter()
+        .map(|j| {
+            let a = (j.left.table.0, j.left.column.0);
+            let b = (j.right.table.0, j.right.column.0);
+            let (first, second) = if a <= b { (a, b) } else { (b, a) };
+            let mut buf = [0u8; 16];
+            buf[0..4].copy_from_slice(&first.0.to_le_bytes());
+            buf[4..8].copy_from_slice(&first.1.to_le_bytes());
+            buf[8..12].copy_from_slice(&second.0.to_le_bytes());
+            buf[12..16].copy_from_slice(&second.1.to_le_bytes());
+            buf
+        })
+        .collect();
+    joins.sort_unstable();
+    out.push(b'J');
+    push_len(&mut out, joins.len());
+    for j in &joins {
+        out.extend_from_slice(j);
+    }
+
+    out.push(b'F');
+    for (t, preds) in query.filters() {
+        // A table mapped to an empty filter list is the same query as one
+        // with no entry for that table.
+        if preds.is_empty() {
+            continue;
+        }
+        out.push(b't');
+        out.extend_from_slice(&t.0.to_le_bytes());
+        let mut encoded: Vec<Vec<u8>> = preds.iter().map(encode_filter).collect();
+        encoded.sort_unstable();
+        push_len(&mut out, encoded.len());
+        for e in &encoded {
+            out.extend_from_slice(e);
+        }
+    }
+    out
+}
+
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&(len as u64).to_le_bytes());
+}
+
+fn encode_filter(p: &FilterPredicate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    match p {
+        FilterPredicate::Cmp { column, op, value } => {
+            out.push(0x10);
+            out.extend_from_slice(&column.0.to_le_bytes());
+            out.push(op_tag(*op));
+            encode_value(value, &mut out);
+        }
+        FilterPredicate::Between { column, lo, hi } => {
+            out.push(0x11);
+            out.extend_from_slice(&column.0.to_le_bytes());
+            encode_value(lo, &mut out);
+            encode_value(hi, &mut out);
+        }
+        FilterPredicate::Like { column, pattern } => {
+            out.push(0x12);
+            out.extend_from_slice(&column.0.to_le_bytes());
+            let (tag, needle) = match pattern {
+                LikePattern::Contains(s) => (0u8, s),
+                LikePattern::Prefix(s) => (1, s),
+                LikePattern::Suffix(s) => (2, s),
+            };
+            out.push(tag);
+            push_len(&mut out, needle.len());
+            out.extend_from_slice(needle.as_bytes());
+        }
+        FilterPredicate::InSet { column, values } => {
+            out.push(0x13);
+            out.extend_from_slice(&column.0.to_le_bytes());
+            let mut encoded: Vec<Vec<u8>> = values
+                .iter()
+                .map(|v| {
+                    let mut b = Vec::new();
+                    encode_value(v, &mut b);
+                    b
+                })
+                .collect();
+            encoded.sort_unstable();
+            push_len(&mut out, encoded.len());
+            for e in &encoded {
+                out.extend_from_slice(e);
+            }
+        }
+    }
+    out
+}
+
+fn op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Neq => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            out.push(0x01);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(0x02);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x03);
+            push_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnRef, JoinPredicate};
+    use mtmlf_storage::{ColumnId, TableId};
+    use std::collections::BTreeMap;
+
+    fn jp(a: u32, ac: u32, b: u32, bc: u32) -> JoinPredicate {
+        JoinPredicate::new(
+            ColumnRef::new(TableId(a), ColumnId(ac)),
+            ColumnRef::new(TableId(b), ColumnId(bc)),
+        )
+    }
+
+    fn cmp(column: u32, op: CmpOp, value: Value) -> FilterPredicate {
+        FilterPredicate::Cmp {
+            column: ColumnId(column),
+            op,
+            value,
+        }
+    }
+
+    #[test]
+    fn invariant_under_construction_order() {
+        let filters_a: BTreeMap<_, _> = [(
+            TableId(1),
+            vec![
+                cmp(0, CmpOp::Lt, Value::Int(10)),
+                cmp(2, CmpOp::Eq, Value::Int(3)),
+            ],
+        )]
+        .into_iter()
+        .collect();
+        let filters_b: BTreeMap<_, _> = [(
+            TableId(1),
+            vec![
+                cmp(2, CmpOp::Eq, Value::Int(3)),
+                cmp(0, CmpOp::Lt, Value::Int(10)),
+            ],
+        )]
+        .into_iter()
+        .collect();
+        let a = Query::new(
+            vec![TableId(0), TableId(1), TableId(2)],
+            vec![jp(0, 1, 1, 0), jp(1, 1, 2, 0)],
+            filters_a,
+        )
+        .unwrap();
+        // Tables reordered, joins permuted and side-swapped, filters permuted.
+        let b = Query::new(
+            vec![TableId(2), TableId(1), TableId(0)],
+            vec![jp(2, 0, 1, 1), jp(1, 0, 0, 1)],
+            filters_b,
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn distinguishes_literals_ops_and_structure() {
+        let base = |value: i64, op: CmpOp| {
+            let filters: BTreeMap<_, _> = [(TableId(0), vec![cmp(0, op, Value::Int(value))])]
+                .into_iter()
+                .collect();
+            Query::new(vec![TableId(0), TableId(1)], vec![jp(0, 0, 1, 0)], filters).unwrap()
+        };
+        let q = base(5, CmpOp::Lt);
+        assert_ne!(fingerprint(&q), fingerprint(&base(6, CmpOp::Lt)), "literal");
+        assert_ne!(
+            fingerprint(&q),
+            fingerprint(&base(5, CmpOp::Le)),
+            "operator"
+        );
+        let no_filter = Query::new(
+            vec![TableId(0), TableId(1)],
+            vec![jp(0, 0, 1, 0)],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert_ne!(fingerprint(&q), fingerprint(&no_filter), "filter presence");
+        let other_join = Query::new(
+            vec![TableId(0), TableId(1)],
+            vec![jp(0, 0, 1, 1)],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert_ne!(
+            fingerprint(&no_filter),
+            fingerprint(&other_join),
+            "join column"
+        );
+    }
+
+    #[test]
+    fn in_set_order_is_canonical() {
+        let q = |vals: Vec<i64>| {
+            let filters: BTreeMap<_, _> = [(
+                TableId(0),
+                vec![FilterPredicate::InSet {
+                    column: ColumnId(0),
+                    values: vals.into_iter().map(Value::Int).collect(),
+                }],
+            )]
+            .into_iter()
+            .collect();
+            Query::new(vec![TableId(0)], vec![], filters).unwrap()
+        };
+        assert_eq!(
+            fingerprint(&q(vec![1, 2, 3])),
+            fingerprint(&q(vec![3, 1, 2]))
+        );
+        assert_ne!(
+            fingerprint(&q(vec![1, 2, 3])),
+            fingerprint(&q(vec![1, 2, 4]))
+        );
+    }
+
+    #[test]
+    fn empty_filter_list_equals_absent_entry() {
+        let with_empty: BTreeMap<_, _> = [(TableId(0), Vec::<FilterPredicate>::new())]
+            .into_iter()
+            .collect();
+        let a = Query::new(vec![TableId(0)], vec![], with_empty).unwrap();
+        let b = Query::new(vec![TableId(0)], vec![], BTreeMap::new()).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::predicate::{ColumnRef, JoinPredicate};
+    use mtmlf_storage::{ColumnId, TableId};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// A random star query over `n` tables: T0 joined to each of T1..Tn,
+    /// with random join columns and random comparison filters.
+    fn arb_star_query() -> impl Strategy<Value = (Query, Vec<JoinPredicate>)> {
+        (2usize..6, proptest::collection::vec(0u32..4, 10)).prop_map(|(n, cols)| {
+            let tables: Vec<TableId> = (0..n as u32).map(TableId).collect();
+            let joins: Vec<JoinPredicate> = (1..n as u32)
+                .map(|i| {
+                    JoinPredicate::new(
+                        ColumnRef::new(TableId(0), ColumnId(cols[i as usize % cols.len()])),
+                        ColumnRef::new(TableId(i), ColumnId(cols[(i as usize + 3) % cols.len()])),
+                    )
+                })
+                .collect();
+            let q = Query::new(tables, joins.clone(), BTreeMap::new()).unwrap();
+            (q, joins)
+        })
+    }
+
+    fn arb_filters(n_tables: u32) -> impl Strategy<Value = Vec<(u32, FilterPredicate)>> {
+        proptest::collection::vec(
+            (
+                0..n_tables,
+                0u32..4,
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Ge),
+                    Just(CmpOp::Neq)
+                ],
+                -100i64..100,
+            )
+                .prop_map(|(t, c, op, v)| {
+                    (
+                        t,
+                        FilterPredicate::Cmp {
+                            column: ColumnId(c),
+                            op,
+                            value: Value::Int(v),
+                        },
+                    )
+                }),
+            0..6,
+        )
+    }
+
+    fn build(
+        tables: Vec<TableId>,
+        joins: Vec<JoinPredicate>,
+        filters: &[(u32, FilterPredicate)],
+    ) -> Query {
+        let mut map: BTreeMap<TableId, Vec<FilterPredicate>> = BTreeMap::new();
+        for (t, p) in filters {
+            map.entry(TableId(*t)).or_default().push(p.clone());
+        }
+        Query::new(tables, joins, map).unwrap()
+    }
+
+    fn swap_sides(j: &JoinPredicate) -> JoinPredicate {
+        JoinPredicate::new(j.right, j.left)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Permuting tables, joins (including side swaps), and filters
+        /// never changes the fingerprint.
+        #[test]
+        fn invariant_under_permutation(
+            (q, joins) in arb_star_query(),
+            filters in arb_filters(2),
+            perm_seed in 0usize..24,
+        ) {
+            let original = build(q.tables().to_vec(), joins.clone(), &filters);
+
+            // Rotate table order, reverse join order, swap every join's
+            // sides, reverse the filter list: all semantically identical.
+            let mut tables = q.tables().to_vec();
+            tables.rotate_left(perm_seed % tables.len());
+            let mut shuffled_joins: Vec<JoinPredicate> =
+                joins.iter().map(swap_sides).collect();
+            shuffled_joins.reverse();
+            let mut shuffled_filters = filters.clone();
+            shuffled_filters.reverse();
+            let permuted = build(tables, shuffled_joins, &shuffled_filters);
+
+            prop_assert_eq!(fingerprint(&original), fingerprint(&permuted));
+        }
+
+        /// Changing any filter literal changes the fingerprint.
+        #[test]
+        fn distinguishes_changed_literal(
+            (q, joins) in arb_star_query(),
+            filters in arb_filters(2),
+            bump in 1i64..50,
+        ) {
+            prop_assume!(!filters.is_empty());
+            let original = build(q.tables().to_vec(), joins.clone(), &filters);
+            let mut changed = filters.clone();
+            if let (t, FilterPredicate::Cmp { column, op, value: Value::Int(v) }) =
+                changed[0].clone()
+            {
+                changed[0] = (
+                    t,
+                    FilterPredicate::Cmp {
+                        column,
+                        op,
+                        value: Value::Int(v + bump),
+                    },
+                );
+            }
+            let mutated = build(q.tables().to_vec(), joins, &changed);
+            prop_assert_ne!(fingerprint(&original), fingerprint(&mutated));
+        }
+    }
+}

@@ -32,11 +32,8 @@ impl JoinGraph {
         if vertices.len() > 64 {
             return Err(QueryError::TooManyTables(vertices.len()));
         }
-        let index: HashMap<TableId, usize> = vertices
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
+        let index: HashMap<TableId, usize> =
+            vertices.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         let mut adj = vec![0u64; vertices.len()];
         for j in query.joins() {
             let a = index[&j.left.table];

@@ -16,9 +16,12 @@
 //!   from left-deep orders and bushy [`JoinTree`]s;
 //! - [`treecodec`]: the complete-binary-tree decoding embeddings of Section
 //!   4.1 (tree ↔ sequence conversion, both directions);
-//! - [`order`]: join orders as produced by optimizers and the decoder.
+//! - [`order`]: join orders as produced by optimizers and the decoder;
+//! - [`fingerprint`]: canonical 128-bit query fingerprints (stable under
+//!   table/predicate reordering) used to key the serving layer's plan cache.
 
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod order;
 pub mod plan;
@@ -28,6 +31,7 @@ pub mod sql;
 pub mod treecodec;
 
 pub use error::QueryError;
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use graph::JoinGraph;
 pub use order::JoinOrder;
 pub use plan::{JoinOp, JoinTree, PlanNode, ScanOp};

@@ -157,8 +157,12 @@ mod tests {
 
     #[test]
     fn join_outside_tables_rejected() {
-        let err = Query::new(vec![TableId(0), TableId(1)], vec![jp(0, 0, 5, 0)], BTreeMap::new())
-            .unwrap_err();
+        let err = Query::new(
+            vec![TableId(0), TableId(1)],
+            vec![jp(0, 0, 5, 0)],
+            BTreeMap::new(),
+        )
+        .unwrap_err();
         assert_eq!(err, QueryError::JoinTableNotInQuery(TableId(5)));
     }
 

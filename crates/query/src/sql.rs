@@ -177,10 +177,8 @@ impl<'a> Lexer<'a> {
                             }
                             Some(_) => {
                                 let ch_start = self.pos;
-                                let ch = self.src[ch_start..]
-                                    .chars()
-                                    .next()
-                                    .expect("in-bounds char");
+                                let ch =
+                                    self.src[ch_start..].chars().next().expect("in-bounds char");
                                 s.push(ch);
                                 self.pos += ch.len_utf8();
                             }
@@ -428,25 +426,29 @@ impl<'a> Parser<'a> {
             let lo = self.parse_literal(ctype)?;
             self.expect_keyword("AND")?;
             let hi = self.parse_literal(ctype)?;
-            filters.entry(left.table).or_default().push(FilterPredicate::Between {
-                column: left.column,
-                lo,
-                hi,
-            });
+            filters
+                .entry(left.table)
+                .or_default()
+                .push(FilterPredicate::Between {
+                    column: left.column,
+                    lo,
+                    hi,
+                });
             return Ok(());
         }
         if self.keyword_is("LIKE") {
             self.bump();
             let pattern = match self.bump() {
-                Some(Token::Str(s)) => {
-                    LikePattern::parse(&s).map_err(SqlError::Semantic)?
-                }
+                Some(Token::Str(s)) => LikePattern::parse(&s).map_err(SqlError::Semantic)?,
                 _ => return Err(self.error("expected string pattern after LIKE")),
             };
-            filters.entry(left.table).or_default().push(FilterPredicate::Like {
-                column: left.column,
-                pattern,
-            });
+            filters
+                .entry(left.table)
+                .or_default()
+                .push(FilterPredicate::Like {
+                    column: left.column,
+                    pattern,
+                });
             return Ok(());
         }
         if self.keyword_is("IN") {
@@ -461,10 +463,13 @@ impl<'a> Parser<'a> {
                     _ => return Err(self.error("expected `,` or `)` in IN list")),
                 }
             }
-            filters.entry(left.table).or_default().push(FilterPredicate::InSet {
-                column: left.column,
-                values,
-            });
+            filters
+                .entry(left.table)
+                .or_default()
+                .push(FilterPredicate::InSet {
+                    column: left.column,
+                    values,
+                });
             return Ok(());
         }
         let op = match self.bump() {
@@ -478,7 +483,10 @@ impl<'a> Parser<'a> {
         };
         // `a.x = b.y` (another qualified column) is a join predicate.
         let is_column = matches!(
-            (self.peek(), self.tokens.get(self.cursor + 1).map(|(t, _)| t)),
+            (
+                self.peek(),
+                self.tokens.get(self.cursor + 1).map(|(t, _)| t)
+            ),
             (Some(Token::Ident(_)), Some(Token::Dot))
         );
         if is_column {
@@ -494,11 +502,14 @@ impl<'a> Parser<'a> {
             joins.push(JoinPredicate::new(left, right));
         } else {
             let value = self.parse_literal(ctype)?;
-            filters.entry(left.table).or_default().push(FilterPredicate::Cmp {
-                column: left.column,
-                op,
-                value,
-            });
+            filters
+                .entry(left.table)
+                .or_default()
+                .push(FilterPredicate::Cmp {
+                    column: left.column,
+                    op,
+                    value,
+                });
         }
         Ok(())
     }
@@ -727,11 +738,7 @@ mod tests {
     #[test]
     fn string_escapes_and_unterminated() {
         let db = make_db();
-        let q = parse_sql(
-            &db,
-            "SELECT COUNT(*) FROM title WHERE title.name = 'it''s'",
-        )
-        .unwrap();
+        let q = parse_sql(&db, "SELECT COUNT(*) FROM title WHERE title.name = 'it''s'").unwrap();
         match &q.filters_on(TableId(0))[0] {
             FilterPredicate::Cmp { value, .. } => assert_eq!(value.as_str(), Some("it's")),
             other => panic!("unexpected predicate {other:?}"),
@@ -741,7 +748,6 @@ mod tests {
             Err(SqlError::Lex { .. })
         ));
     }
-
 }
 
 #[cfg(test)]

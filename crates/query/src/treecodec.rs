@@ -150,7 +150,10 @@ fn build(labels: &[Option<TableId>]) -> Result<JoinTree> {
         ));
     }
     let mid = labels.len() / 2;
-    Ok(JoinTree::join(build(&labels[..mid])?, build(&labels[mid..])?))
+    Ok(JoinTree::join(
+        build(&labels[..mid])?,
+        build(&labels[mid..])?,
+    ))
 }
 
 /// The codec dimension the paper uses for a database of `n` tables: a query
@@ -335,9 +338,8 @@ mod proptests {
         // Generate a shape via random split points over a permutation.
         (2..=max).prop_flat_map(|n| {
             let perm = Just((0..n as u32).map(TableId).collect::<Vec<_>>());
-            (perm, proptest::collection::vec(any::<bool>(), n * 2)).prop_map(|(tables, bits)| {
-                build_random(&tables, &bits, &mut 0)
-            })
+            (perm, proptest::collection::vec(any::<bool>(), n * 2))
+                .prop_map(|(tables, bits)| build_random(&tables, &bits, &mut 0))
         })
     }
 
@@ -348,7 +350,11 @@ mod proptests {
         let b = bits.get(*cursor).copied().unwrap_or(false);
         *cursor += 1;
         // Split point: either 1 (left-deep-ish) or half (bushy-ish).
-        let split = if b { tables.len() / 2 } else { tables.len() - 1 };
+        let split = if b {
+            tables.len() / 2
+        } else {
+            tables.len() - 1
+        };
         let split = split.clamp(1, tables.len() - 1);
         JoinTree::join(
             build_random(&tables[..split], bits, cursor),

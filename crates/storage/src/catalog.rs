@@ -130,7 +130,10 @@ impl Database {
                         to_col: pk,
                         pk_fk: true,
                     });
-                    fks_by_target.entry(target).or_default().push((tid, from_col));
+                    fks_by_target
+                        .entry(target)
+                        .or_default()
+                        .push((tid, from_col));
                 }
             }
         }

@@ -23,10 +23,7 @@ impl StrDict {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut v: Vec<Arc<str>> = values
-            .into_iter()
-            .map(|s| Arc::from(s.as_ref()))
-            .collect();
+        let mut v: Vec<Arc<str>> = values.into_iter().map(|s| Arc::from(s.as_ref())).collect();
         v.sort_unstable();
         v.dedup();
         Self { values: v }

@@ -49,10 +49,16 @@ impl fmt::Display for StorageError {
                 "type mismatch on column `{column}`: expected {expected}, got {got}"
             ),
             Self::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, got {got}"
+                )
             }
             Self::LengthMismatch { expected, got } => {
-                write!(f, "column length mismatch: expected {expected} rows, got {got}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected} rows, got {got}"
+                )
             }
             Self::DuplicateTable(name) => write!(f, "duplicate table `{name}`"),
             Self::StatsNotBuilt(name) => {

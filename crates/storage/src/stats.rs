@@ -163,9 +163,11 @@ impl ColumnStats {
             *freq.entry(v.to_bits()).or_insert(0) += 1;
         }
         let distinct = freq.len() as u64;
-        let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (min, max) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
         let mut pairs: Vec<(f64, u64)> = freq
             .into_iter()
             .map(|(bits, c)| (f64::from_bits(bits), c))
@@ -211,12 +213,7 @@ pub struct TableStats {
 
 impl TableStats {
     /// Builds statistics for every column.
-    pub fn build(
-        _schema: &TableSchema,
-        columns: &[Column],
-        buckets: usize,
-        mcvs: usize,
-    ) -> Self {
+    pub fn build(_schema: &TableSchema, columns: &[Column], buckets: usize, mcvs: usize) -> Self {
         let per_column = columns
             .iter()
             .map(|c| ColumnStats::build(c, buckets, mcvs))

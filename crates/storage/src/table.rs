@@ -142,7 +142,12 @@ impl Table {
     /// buckets and `mcvs` most-common values (the storage analogue of
     /// PostgreSQL's `ANALYZE`, which the paper's user-side workflow invokes).
     pub fn analyze(&mut self, buckets: usize, mcvs: usize) {
-        self.stats = Some(TableStats::build(&self.schema, &self.columns, buckets, mcvs));
+        self.stats = Some(TableStats::build(
+            &self.schema,
+            &self.columns,
+            buckets,
+            mcvs,
+        ));
     }
 
     /// Previously built statistics.

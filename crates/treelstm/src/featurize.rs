@@ -77,7 +77,11 @@ impl PlanFeaturizer {
 
 /// Aggregated predicate features:
 /// `[count, eq, range, like, in, mean_norm_lo, mean_norm_hi]`.
-fn predicate_summary(db: &Database, table: TableId, filters: &[FilterPredicate]) -> [f32; PRED_SUMMARY] {
+fn predicate_summary(
+    db: &Database,
+    table: TableId,
+    filters: &[FilterPredicate],
+) -> [f32; PRED_SUMMARY] {
     let mut out = [0.0f32; PRED_SUMMARY];
     if filters.is_empty() {
         // Unfiltered scans span the full normalized range.
@@ -106,9 +110,7 @@ fn predicate_summary(db: &Database, table: TableId, filters: &[FilterPredicate])
             }
             FilterPredicate::Between { lo, hi, .. } => {
                 out[2] += 1.0;
-                if let (Some(s), Some(l), Some(h)) =
-                    (col_stats, lo.as_numeric(), hi.as_numeric())
-                {
+                if let (Some(s), Some(l), Some(h)) = (col_stats, lo.as_numeric(), hi.as_numeric()) {
                     lo_sum += normalize(s, l);
                     hi_sum += normalize(s, h);
                     norm_count += 1.0;
@@ -129,11 +131,7 @@ fn predicate_summary(db: &Database, table: TableId, filters: &[FilterPredicate])
     out
 }
 
-fn normalized_bounds(
-    stats: Option<&ColumnStats>,
-    op: &CmpOp,
-    value: &Value,
-) -> Option<(f32, f32)> {
+fn normalized_bounds(stats: Option<&ColumnStats>, op: &CmpOp, value: &Value) -> Option<(f32, f32)> {
     let s = stats?;
     let v = normalize(s, value.as_numeric()?);
     Some(match op {
@@ -159,7 +157,7 @@ pub fn featurize_plan(db: &Database, query: &Query, plan: &PlanNode) -> Vec<Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtmlf_datagen::{imdb_lite, imdb::ImdbScale};
+    use mtmlf_datagen::{imdb::ImdbScale, imdb_lite};
     use mtmlf_query::predicate::{ColumnRef, JoinPredicate};
     use mtmlf_storage::ColumnId;
     use std::collections::BTreeMap;

@@ -83,18 +83,18 @@ impl TreeLstm {
         out
     }
 
-    fn eval(
-        &self,
-        db: &Database,
-        query: &Query,
-        node: &PlanNode,
-        out: &mut Vec<Var>,
-    ) -> NodeState {
+    fn eval(&self, db: &Database, query: &Query, node: &PlanNode, out: &mut Vec<Var>) -> NodeState {
         let zero = || Var::constant(Matrix::zeros(1, self.hidden));
         let (left, right) = match node {
             PlanNode::Scan { .. } => (
-                NodeState { h: zero(), c: zero() },
-                NodeState { h: zero(), c: zero() },
+                NodeState {
+                    h: zero(),
+                    c: zero(),
+                },
+                NodeState {
+                    h: zero(),
+                    c: zero(),
+                },
             ),
             PlanNode::Join { left, right, .. } => {
                 let l = self.eval(db, query, left, out);
@@ -194,7 +194,9 @@ fn shallow_copy(node: &PlanNode) -> PlanNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, WorkloadConfig};
+    use mtmlf_datagen::{
+        generate_queries, imdb::ImdbScale, imdb_lite, label_workload, LabelConfig, WorkloadConfig,
+    };
     use mtmlf_optd::q_error;
 
     fn setup(count: usize) -> (Database, Vec<LabeledQuery>) {

@@ -32,7 +32,11 @@ fn main() {
     );
     let labeled = label_workload(&db, &queries, &LabelConfig::default()).expect("labelling");
     let (train, test) = labeled.split_at(100);
-    println!("labelled {} train / {} test queries", train.len(), test.len());
+    println!(
+        "labelled {} train / {} test queries",
+        train.len(),
+        test.len()
+    );
 
     // 3. Train MTMLF-QO: per-table encoders pre-train on single-table
     //    cardinalities, then the shared transformer and all three task
@@ -46,7 +50,10 @@ fn main() {
     let history = model.train(train).expect("training");
     println!(
         "joint training: epoch losses {:?}",
-        history.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>()
+        history
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     // 4. Use it. Per-node cardinality/cost predictions:

@@ -10,8 +10,8 @@
 
 use mtmlf::{MetaLearner, MtmlfConfig};
 use mtmlf_datagen::{
-    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery,
-    PipelineConfig, WorkloadConfig,
+    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery, PipelineConfig,
+    WorkloadConfig,
 };
 use mtmlf_exec::Executor;
 use mtmlf_optd::PgOptimizer;
@@ -46,7 +46,12 @@ fn main() {
     let customers: Vec<(Database, Vec<LabeledQuery>)> =
         (1..=3).map(|s| labelled_db(s, 50)).collect();
     for (db, wl) in &customers {
-        println!("  {}: {} tables, {} labelled queries", db.name(), db.table_count(), wl.len());
+        println!(
+            "  {}: {} tables, {} labelled queries",
+            db.name(),
+            db.table_count(),
+            wl.len()
+        );
     }
 
     let config = MtmlfConfig {
@@ -63,7 +68,10 @@ fn main() {
     let history = meta.pretrain(&refs).expect("MLA");
     println!(
         "  epoch losses: {:?}",
-        history.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>()
+        history
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     // User side: a brand-new database. Only the featurization module is
@@ -98,7 +106,10 @@ fn main() {
         );
     };
 
-    println!("\nevaluating join orders on {} held-out queries:", eval_set.len());
+    println!(
+        "\nevaluating join orders on {} held-out queries:",
+        eval_set.len()
+    );
     evaluate(&transferred, "zero-shot transfer ");
     transferred
         .fine_tune(finetune_set, 3, 3e-4)

@@ -69,8 +69,8 @@ fn labels_agree_with_true_cardinality_oracle() {
         } else {
             (1u64 << graph.len()) - 1
         };
-        let oracle_card = mtmlf_optd::Estimator::cardinality(&oracle, &l.query, &graph, full)
-            .unwrap();
+        let oracle_card =
+            mtmlf_optd::Estimator::cardinality(&oracle, &l.query, &graph, full).unwrap();
         assert_eq!(oracle_card as u64, l.true_cardinality);
     }
 }
@@ -137,7 +137,8 @@ fn executor_cost_consistent_with_optimal_label() {
         let optimal = l.optimal_order.as_ref().unwrap();
         let opt_minutes = exec.execute_order(&l.query, optimal).unwrap().sim_minutes;
         // Greedy order is always legal; compare.
-        let greedy = JoinOrder::LeftDeep(mtmlf_exec::executor::greedy_legal_order(&l.query).unwrap());
+        let greedy =
+            JoinOrder::LeftDeep(mtmlf_exec::executor::greedy_legal_order(&l.query).unwrap());
         let greedy_minutes = exec.execute_order(&l.query, &greedy).unwrap().sim_minutes;
         assert!(
             opt_minutes <= greedy_minutes * 1.10 + 1e-9,

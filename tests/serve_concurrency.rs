@@ -1,0 +1,141 @@
+//! Concurrency correctness for the serving layer: under many concurrent
+//! clients, `PlannerService` must return answers bit-identical to calling
+//! `MtmlfQo` directly from a single thread — for both the cold (model)
+//! and warm (cache) path.
+
+use mtmlf::prelude::*;
+use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+
+fn setup(seed: u64, count: usize) -> (Arc<MtmlfQo>, Vec<Query>) {
+    let mut db = imdb_lite(seed, ImdbScale { scale: 0.02 });
+    db.analyze_all(8, 4);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        seed ^ 0x5E21,
+    );
+    let config = MtmlfConfig {
+        enc_queries: 10,
+        enc_epochs: 1,
+        seed,
+        ..MtmlfConfig::tiny()
+    };
+    let model = MtmlfQo::new(&db, config).expect("model builds");
+    (Arc::new(model), queries)
+}
+
+/// Plans every query through `service` from `CLIENTS` threads at once and
+/// returns each client's responses in request order.
+fn concurrent_round(service: &PlannerService, queries: &[Query]) -> Vec<Vec<PlanResponse>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    queries
+                        .iter()
+                        .map(|q| service.plan(q.clone()).expect("service plans"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+#[test]
+fn concurrent_service_matches_direct_model_bitwise() {
+    let (model, queries) = setup(47, 6);
+
+    // Ground truth: the direct, single-threaded public API.
+    let direct: Vec<_> = queries
+        .iter()
+        .map(|q| model.plan_with_estimates(q).expect("direct plan"))
+        .collect();
+
+    let service = PlannerService::start(
+        Arc::clone(&model),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // Cold pass: every answer matches the direct path bit-for-bit, no
+    // matter which worker computed it or how requests were batched.
+    let cold = concurrent_round(&service, &queries);
+    for client in &cold {
+        for (resp, (order, card, cost)) in client.iter().zip(&direct) {
+            assert_eq!(&resp.join_order, order);
+            assert_eq!(resp.est_card.to_bits(), card.to_bits());
+            assert_eq!(resp.est_cost.to_bits(), cost.to_bits());
+        }
+    }
+
+    // Warm pass: same answers again, now mostly (caller-side hits: all)
+    // served from the cache.
+    let warm = concurrent_round(&service, &queries);
+    let mut sources: HashMap<&str, usize> = HashMap::new();
+    for client in &warm {
+        for (resp, (order, card, cost)) in client.iter().zip(&direct) {
+            assert_eq!(&resp.join_order, order);
+            assert_eq!(resp.est_card.to_bits(), card.to_bits());
+            assert_eq!(resp.est_cost.to_bits(), cost.to_bits());
+            *sources
+                .entry(match resp.source {
+                    PlanSource::Cache => "cache",
+                    PlanSource::Model => "model",
+                })
+                .or_default() += 1;
+        }
+    }
+    assert_eq!(
+        sources.get("cache").copied().unwrap_or(0),
+        CLIENTS * queries.len(),
+        "after a full cold pass every warm request is a cache hit"
+    );
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.requests, (2 * CLIENTS * queries.len()) as u64);
+    assert!(metrics.cache_hits >= (CLIENTS * queries.len()) as u64);
+    assert!(metrics.model_plans >= queries.len() as u64);
+    assert_eq!(metrics.errors, 0);
+}
+
+#[test]
+fn unbatched_service_is_also_bitwise_identical() {
+    let (model, queries) = setup(48, 4);
+    let direct: Vec<_> = queries
+        .iter()
+        .map(|q| model.plan_with_estimates(q).expect("direct plan"))
+        .collect();
+    let service = PlannerService::start(
+        Arc::clone(&model),
+        ServiceConfig {
+            workers: 2,
+            batching: false,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("service starts");
+    for client in concurrent_round(&service, &queries) {
+        for (resp, (order, card, cost)) in client.iter().zip(&direct) {
+            assert_eq!(resp.source, PlanSource::Model);
+            assert_eq!(&resp.join_order, order);
+            assert_eq!(resp.est_card.to_bits(), card.to_bits());
+            assert_eq!(resp.est_cost.to_bits(), cost.to_bits());
+        }
+    }
+}

@@ -28,7 +28,9 @@ fn job_style_sql_parses_and_executes() {
         truth
     );
     assert_eq!(
-        exec.execute_order(&q, &opt.order).unwrap().output_cardinality,
+        exec.execute_order(&q, &opt.order)
+            .unwrap()
+            .output_cardinality,
         truth
     );
 }

@@ -2,8 +2,8 @@
 
 use mtmlf::{MetaLearner, MtmlfConfig};
 use mtmlf_datagen::{
-    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery,
-    PipelineConfig, WorkloadConfig,
+    generate_database, generate_queries, label_workload, LabelConfig, LabeledQuery, PipelineConfig,
+    WorkloadConfig,
 };
 use mtmlf_storage::Database;
 
