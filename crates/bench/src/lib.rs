@@ -19,6 +19,8 @@
 //! wins, by roughly what factor — are the reproduction target recorded in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod report;
 pub mod serve;

@@ -132,7 +132,13 @@ pub fn plan_batch(model: &MtmlfQo, queries: &[Query]) -> Vec<Result<PlannedQuery
 
     results
         .into_iter()
-        .map(|slot| slot.expect("every query resolves to a result"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(MtmlfError::Internal(
+                    "batched planner left a query slot unresolved".into(),
+                ))
+            })
+        })
         .collect()
 }
 

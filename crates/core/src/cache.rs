@@ -150,11 +150,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
         &self.shards[h % self.shards.len()]
     }
 
-    /// Looks up `key`, bumping its recency on a hit.
+    /// Looks up `key`, bumping its recency on a hit. Shard-lock poison is
+    /// recovered (`PoisonError::into_inner`): the LRU list is repaired or
+    /// consistent after every mutation step, so a panicking peer cannot
+    /// leave a shard permanently unusable.
     pub fn get(&self, key: &K) -> Option<V> {
         self.shard(key)
             .lock()
-            .expect("cache shard lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(key)
     }
 
@@ -163,7 +166,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     pub fn insert(&self, key: K, value: V) {
         self.shard(&key)
             .lock()
-            .expect("cache shard lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, value);
     }
 
@@ -171,7 +174,11 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock poisoned").len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 

@@ -45,6 +45,12 @@ pub enum MtmlfError {
     /// The planner service could not accept or answer a request (worker
     /// pool shut down or a worker died).
     Service(String),
+    /// SQL text could not be parsed into a [`mtmlf_query::Query`].
+    Sql(mtmlf_query::SqlError),
+    /// An internal invariant was violated. Library code returns this
+    /// instead of panicking (lint rule L1), so a single bad request cannot
+    /// take down a serving worker.
+    Internal(String),
 }
 
 impl fmt::Display for MtmlfError {
@@ -65,6 +71,8 @@ impl fmt::Display for MtmlfError {
             Self::MissingLabel(which) => write!(f, "training sample lacks {which} label"),
             Self::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             Self::Service(why) => write!(f, "planner service error: {why}"),
+            Self::Sql(e) => write!(f, "SQL parse error: {e}"),
+            Self::Internal(why) => write!(f, "internal invariant violated: {why}"),
         }
     }
 }
@@ -92,5 +100,11 @@ impl From<mtmlf_exec::ExecError> for MtmlfError {
 impl From<mtmlf_optd::OptError> for MtmlfError {
     fn from(e: mtmlf_optd::OptError) -> Self {
         Self::Opt(e.to_string())
+    }
+}
+
+impl From<mtmlf_query::SqlError> for MtmlfError {
+    fn from(e: mtmlf_query::SqlError) -> Self {
+        Self::Sql(e)
     }
 }

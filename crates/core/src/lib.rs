@@ -43,6 +43,8 @@
 //! the cross-DB meta-learning experiment, where table counts differ — and
 //! reduces to the paper's formulation on a single DB.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod beam;
 pub mod cache;

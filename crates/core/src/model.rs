@@ -244,11 +244,10 @@ impl MtmlfQo {
     /// the legality-constrained beam search (Section 4.3). The result is
     /// guaranteed executable.
     pub fn predict_join_order(&self, query: &Query, plan: &PlanNode) -> Result<JoinOrder> {
-        Ok(self
-            .beam_orders(query, plan)?
+        self.beam_orders(query, plan)?
             .into_iter()
             .next()
-            .expect("beam_orders returns at least one order"))
+            .ok_or(MtmlfError::NoLegalOrder)
     }
 
     /// The legality-constrained beam's candidate orders, best-first.
@@ -300,7 +299,7 @@ impl MtmlfQo {
                 best = Some((root_cost, order));
             }
         }
-        Ok(best.expect("at least one candidate").1)
+        best.map(|(_, order)| order).ok_or(MtmlfError::NoLegalOrder)
     }
 
     /// Derives the deterministic initial left-deep plan the model's
@@ -329,7 +328,9 @@ impl MtmlfQo {
         let order = self.plan(query)?;
         let chosen = order.to_plan()?;
         let nodes = self.predict_nodes(query, &chosen)?;
-        let &(card, cost) = nodes.last().expect("a plan has at least one node");
+        let &(card, cost) = nodes
+            .last()
+            .ok_or_else(|| MtmlfError::Internal("predicted plan has no nodes".into()))?;
         Ok((order, card, cost))
     }
 

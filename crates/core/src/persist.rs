@@ -26,8 +26,8 @@ impl FeaturizationModule {
         (0..self.table_count())
             .flat_map(|t| {
                 self.encoder(mtmlf_storage::TableId(t as u32))
-                    .expect("index in range")
-                    .parameters()
+                    .map(|e| e.parameters())
+                    .unwrap_or_default()
             })
             .collect()
     }

@@ -61,10 +61,10 @@ pub fn serialize_plan(
             max: config.max_query_tables,
         });
     }
-    let slot_of = |t: TableId| -> usize {
+    let slot_of = |t: TableId| -> Result<usize> {
         table_slots
             .binary_search(&t)
-            .expect("plan tables validated against query")
+            .map_err(|_| MtmlfError::Query(mtmlf_query::QueryError::OrderTableNotInQuery(t)))
     };
     let nodes = plan.post_order();
     let positions = node_positions(plan, config.max_query_tables);
@@ -82,7 +82,7 @@ pub fn serialize_plan(
                     mtmlf_query::QueryError::OrderTableNotInQuery(t),
                 ));
             }
-            features.set(i, slot_of(t), 1.0);
+            features.set(i, slot_of(t)?, 1.0);
         }
         let op_base = t_slots;
         let size_col = t_slots + OP_SLOTS;
@@ -109,7 +109,7 @@ pub fn serialize_plan(
                 for (c, &v) in embedding.row(0).iter().enumerate() {
                     features.set(i, embed_base + c, v);
                 }
-                scan_node_of_slot[slot_of(*table)] = i;
+                scan_node_of_slot[slot_of(*table)?] = i;
             }
             PlanNode::Join { op, left, right } => {
                 features.set(
@@ -127,8 +127,8 @@ pub fn serialize_plan(
                 let lt = left.tables();
                 let rt = right.tables();
                 for pred in mtmlf_exec::executor::connecting_predicates(query, &lt, &rt) {
-                    features.set(i, join_base + slot_of(pred.left.table), 1.0);
-                    features.set(i, join_base + slot_of(pred.right.table), 1.0);
+                    features.set(i, join_base + slot_of(pred.left.table)?, 1.0);
+                    features.set(i, join_base + slot_of(pred.right.table)?, 1.0);
                 }
             }
         }

@@ -28,7 +28,7 @@ use mtmlf_nn::no_grad;
 use mtmlf_query::{fingerprint, JoinOrder, Query, QueryFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -309,8 +309,10 @@ impl MetricsInner {
 /// # }
 /// ```
 pub struct PlannerService {
-    tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// `None` once [`PlannerService::shutdown`] has run; behind a `RwLock`
+    /// so shutdown can race concurrent [`PlannerService::plan`] calls.
+    tx: RwLock<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
     metrics: Arc<MetricsInner>,
 }
@@ -318,7 +320,7 @@ pub struct PlannerService {
 impl PlannerService {
     /// Spawns the worker pool and returns a handle that can be shared (or
     /// referenced) across client threads. Dropping the service drains and
-    /// joins the workers.
+    /// joins the workers (see [`PlannerService::shutdown`]).
     pub fn start(model: Arc<MtmlfQo>, config: ServiceConfig) -> Result<Self> {
         config.validate()?;
         let cache = Arc::new(ShardedLruCache::new(
@@ -341,8 +343,8 @@ impl PlannerService {
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
-            tx: Some(tx),
-            workers,
+            tx: RwLock::new(Some(tx)),
+            workers: Mutex::new(workers),
             cache,
             metrics,
         })
@@ -355,6 +357,20 @@ impl PlannerService {
         let PlanRequest { query } = request.into();
         let start = Instant::now();
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Refuse before the cache probe: a shut-down service answers
+        // nothing, not even hits (mirrors the service model, where any
+        // submit after close is Rejected). The sender is cloned out of the
+        // guard so the read lock is not held across the cache probe, the
+        // (potentially blocking) send, or the reply wait.
+        let tx = {
+            let guard = self.tx.read().unwrap_or_else(PoisonError::into_inner);
+            guard.clone()
+        };
+        let Some(tx) = tx else {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return Err(MtmlfError::Service("planner service is shut down".into()));
+        };
         let fp = fingerprint(&query);
 
         // Fast path: answer cache hits on the calling thread, no handoff.
@@ -368,11 +384,12 @@ impl PlannerService {
             fp,
             reply: reply_tx,
         };
-        self.tx
-            .as_ref()
-            .expect("sender live until drop")
-            .send(job)
-            .map_err(|_| MtmlfError::Service("planner workers are gone".into()))?;
+        let sent = tx.send(job);
+        // Drop our sender clone eagerly: a shutdown that raced this call
+        // must not wait on this thread's reply round-trip to see the
+        // channel close.
+        drop(tx);
+        sent.map_err(|_| MtmlfError::Service("planner workers are gone".into()))?;
         match reply_rx.recv() {
             Ok(Ok((plan, source))) => Ok(self.respond(plan, source, start)),
             Ok(Err(e)) => {
@@ -410,15 +427,40 @@ impl PlannerService {
     pub fn cached_plans(&self) -> usize {
         self.cache.len()
     }
+
+    /// Stops accepting new requests and joins the worker pool.
+    ///
+    /// Graceful by construction: requests already queued (or mid-batch) are
+    /// still planned and their callers still receive replies, because the
+    /// workers drain the channel's buffer before observing disconnection.
+    /// `plan` calls that arrive after shutdown return
+    /// [`MtmlfError::Service`]. Idempotent and safe to call concurrently
+    /// with `plan` from any number of threads; the
+    /// `service-shutdown`/`service-2client` models in `mtmlf-lint` explore
+    /// every interleaving of this race for small thread counts.
+    pub fn shutdown(&self) {
+        // Take the sender inside a block so the write guard drops before
+        // joining: a worker blocked on a reply to a client that is itself
+        // blocked in `plan` must not deadlock against this lock.
+        let sender = {
+            let mut guard = self.tx.write().unwrap_or_else(PoisonError::into_inner);
+            guard.take()
+        };
+        // Closing the channel lets each worker drain and exit its loop.
+        drop(sender);
+        let handles = {
+            let mut guard = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *guard)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Drop for PlannerService {
     fn drop(&mut self) {
-        // Closing the channel lets each worker drain and exit its loop.
-        drop(self.tx.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 

@@ -23,6 +23,8 @@
 //! [`label`] executes workloads to attach ground truth: per-plan-node true
 //! cardinalities and costs, and exact-optimal join orders (ECQO stand-in).
 
+#![forbid(unsafe_code)]
+
 pub mod distribution;
 pub mod imdb;
 pub mod label;

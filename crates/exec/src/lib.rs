@@ -19,6 +19,8 @@
 //! physical operator (hash/merge/nested-loop), so operator choice affects
 //! simulated time exactly as it affects a real system's runtime profile.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod error;
 pub mod executor;

@@ -1,0 +1,721 @@
+//! A brute-force bounded-interleaving model checker for the serving path.
+//!
+//! `loom`-style, hand-rolled: a model is a small deterministic state
+//! machine with N logical threads; [`explore`] enumerates **every**
+//! interleaving of their atomic steps by depth-first search over cloned
+//! states, checking invariants after each step and at the end of each
+//! complete execution, and flagging deadlocks (no thread can run, yet not
+//! all are done).
+//!
+//! Atomicity granularity is the point: the real code's mutex-protected
+//! operations (one `LruShard` op under its shard lock; one channel
+//! send/recv) are modeled as single atomic steps, so the schedules explored
+//! here are exactly the linearizations the real locks permit.
+//!
+//! Two models mirror the serving path:
+//!
+//! * [`CacheModel`] — the intrusive doubly-linked LRU of
+//!   `mtmlf::cache::ShardedLruCache`, op for op (get with recency bump,
+//!   insert with tail eviction, slab free-list reuse), with structural
+//!   integrity and oracle-consistency invariants.
+//! * [`ServiceModel`] — `mtmlf::serve::PlannerService` submit/shutdown:
+//!   clients submit jobs to a queue, a worker drains and replies, shutdown
+//!   closes the queue then joins. Invariants: every submitted request gets
+//!   exactly one reply (no lost responses, no double-completion) and no
+//!   schedule deadlocks — including shutdown racing in-flight requests.
+//!
+//! Deliberate-bug variants (gated behind test-only constructors) prove the
+//! checker actually catches lost replies, double completions, and
+//! deadlocks.
+
+use std::collections::VecDeque;
+
+/// A model explorable by [`explore`]: N logical threads over shared state.
+pub trait Interleave: Clone {
+    /// Number of logical threads.
+    fn threads(&self) -> usize;
+    /// Whether thread `t` has run to completion.
+    fn done(&self, t: usize) -> bool;
+    /// Whether thread `t` can take a step now (a blocked thread waits).
+    fn enabled(&self, t: usize) -> bool;
+    /// Applies one atomic step of thread `t`; returns a violation message
+    /// if a per-step invariant breaks.
+    fn step(&mut self, t: usize) -> Result<(), String>;
+    /// End-of-execution invariants (all threads done).
+    fn check_complete(&self) -> Result<(), String>;
+}
+
+/// Statistics from an exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploration {
+    /// Complete executions (distinct schedules) explored.
+    pub schedules: u64,
+    /// Total atomic steps taken across all executions.
+    pub steps: u64,
+}
+
+/// A schedule that broke an invariant, with the step trace that got there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelViolation {
+    /// What broke.
+    pub message: String,
+    /// Thread ids in execution order up to the violation.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (schedule {:?})", self.message, self.schedule)
+    }
+}
+
+/// Exhaustively explores every interleaving of `model`'s threads.
+///
+/// `limit` bounds the total number of steps (across all branches) as a
+/// runaway guard; exceeding it is reported as a violation rather than
+/// silently truncating coverage.
+pub fn explore<M: Interleave>(model: &M, limit: u64) -> Result<Exploration, ModelViolation> {
+    let mut stats = Exploration {
+        schedules: 0,
+        steps: 0,
+    };
+    let mut trace = Vec::new();
+    dfs(model, &mut stats, &mut trace, limit)?;
+    Ok(stats)
+}
+
+fn dfs<M: Interleave>(
+    model: &M,
+    stats: &mut Exploration,
+    trace: &mut Vec<usize>,
+    limit: u64,
+) -> Result<(), ModelViolation> {
+    let n = model.threads();
+    let all_done = (0..n).all(|t| model.done(t));
+    if all_done {
+        stats.schedules += 1;
+        return model.check_complete().map_err(|message| ModelViolation {
+            message,
+            schedule: trace.clone(),
+        });
+    }
+    let runnable: Vec<usize> = (0..n).filter(|&t| !model.done(t) && model.enabled(t)).collect();
+    if runnable.is_empty() {
+        return Err(ModelViolation {
+            message: "deadlock: live threads exist but none can step".to_string(),
+            schedule: trace.clone(),
+        });
+    }
+    for t in runnable {
+        if stats.steps >= limit {
+            return Err(ModelViolation {
+                message: format!("exploration exceeded step limit {limit}"),
+                schedule: trace.clone(),
+            });
+        }
+        stats.steps += 1;
+        let mut next = model.clone();
+        trace.push(t);
+        if let Err(message) = next.step(t) {
+            return Err(ModelViolation {
+                message,
+                schedule: trace.clone(),
+            });
+        }
+        dfs(&next, stats, trace, limit)?;
+        trace.pop();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Cache model
+// ---------------------------------------------------------------------
+
+/// One atomic cache operation (executed under the shard mutex in the real
+/// code, hence one step here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// `cache.insert(key, value)`.
+    Insert(u32, u32),
+    /// `cache.get(&key)`.
+    Get(u32),
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct ModelEntry {
+    key: u32,
+    value: u32,
+    prev: usize,
+    next: usize,
+}
+
+/// Mirror of one `LruShard`: intrusive doubly-linked LRU over a slab with
+/// a free list, plus a linearization oracle (key → last inserted value).
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    // -- the mirrored shard --
+    map: Vec<(u32, usize)>, // sorted assoc (key → slab idx); tiny N
+    entries: Vec<ModelEntry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    // -- the harness --
+    scripts: Vec<Vec<CacheOp>>,
+    pc: Vec<usize>,
+    oracle: Vec<(u32, u32)>, // key → last value written, any-time truth
+    // Deliberate-bug switch for checker self-tests: eviction forgets to
+    // unmap the victim key, corrupting the map/list correspondence.
+    bug_skip_evict_unmap: bool,
+}
+
+impl CacheModel {
+    /// A model with one logical thread per script, sharing one shard of
+    /// the given capacity.
+    pub fn new(capacity: usize, scripts: Vec<Vec<CacheOp>>) -> Self {
+        let n = scripts.len();
+        Self {
+            map: Vec::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            scripts,
+            pc: vec![0; n],
+            oracle: Vec::new(),
+            bug_skip_evict_unmap: false,
+        }
+    }
+
+    /// Buggy variant: eviction leaves the victim key in the map (must be
+    /// caught by the structural-integrity invariant).
+    pub fn with_broken_eviction(capacity: usize, scripts: Vec<Vec<CacheOp>>) -> Self {
+        Self {
+            bug_skip_evict_unmap: true,
+            ..Self::new(capacity, scripts)
+        }
+    }
+
+    fn map_get(&self, key: u32) -> Option<usize> {
+        self.map.iter().find(|(k, _)| *k == key).map(|&(_, i)| i)
+    }
+
+    fn map_remove(&mut self, key: u32) {
+        self.map.retain(|(k, _)| *k != key);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn op_get(&mut self, key: u32) -> Option<u32> {
+        let idx = self.map_get(key)?;
+        self.detach(idx);
+        self.push_front(idx);
+        Some(self.entries[idx].value)
+    }
+
+    fn op_insert(&mut self, key: u32, value: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(idx) = self.map_get(key) {
+            self.entries[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.detach(victim);
+            let old_key = self.entries[victim].key;
+            if !self.bug_skip_evict_unmap {
+                self.map_remove(old_key);
+            }
+            self.free.push(victim);
+        }
+        let entry = ModelEntry {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = entry;
+                slot
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        self.map.push((key, idx));
+        self.push_front(idx);
+    }
+
+    /// Structural invariants of the intrusive list + map + slab.
+    fn integrity(&self) -> Result<(), String> {
+        if self.map.len() > self.capacity {
+            return Err(format!(
+                "capacity exceeded: {} entries, capacity {}",
+                self.map.len(),
+                self.capacity
+            ));
+        }
+        // Walk head→tail; must visit exactly map.len() nodes, links sane.
+        let mut seen = 0usize;
+        let mut idx = self.head;
+        let mut prev = NIL;
+        while idx != NIL {
+            if seen > self.entries.len() {
+                return Err("cycle in LRU recency list".to_string());
+            }
+            let e = &self.entries[idx];
+            if e.prev != prev {
+                return Err(format!("broken prev link at slab index {idx}"));
+            }
+            if self.map_get(e.key) != Some(idx) {
+                return Err(format!("listed entry for key {} not in map", e.key));
+            }
+            prev = idx;
+            idx = e.next;
+            seen += 1;
+        }
+        if prev != self.tail {
+            return Err("tail does not terminate the recency list".to_string());
+        }
+        if seen != self.map.len() {
+            return Err(format!(
+                "map has {} entries but recency list has {seen}",
+                self.map.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Interleave for CacheModel {
+    fn threads(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn done(&self, t: usize) -> bool {
+        self.pc[t] >= self.scripts[t].len()
+    }
+
+    fn enabled(&self, _t: usize) -> bool {
+        true // a mutex acquisition always eventually succeeds
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        let op = self.scripts[t][self.pc[t]];
+        self.pc[t] += 1;
+        match op {
+            CacheOp::Insert(k, v) => {
+                self.op_insert(k, v);
+                if !self.oracle.iter().any(|&(ok, _)| ok == k) {
+                    self.oracle.push((k, v));
+                } else {
+                    for slot in self.oracle.iter_mut() {
+                        if slot.0 == k {
+                            slot.1 = v;
+                        }
+                    }
+                }
+            }
+            CacheOp::Get(k) => {
+                let got = self.op_get(k);
+                let truth = self.oracle.iter().find(|&&(ok, _)| ok == k).map(|&(_, v)| v);
+                match (got, truth) {
+                    // A miss is always legal (the key may have been
+                    // evicted), but a hit must return the last value the
+                    // linearized history wrote — never stale data.
+                    (Some(v), Some(tv)) if v != tv => {
+                        return Err(format!(
+                            "stale read: get({k}) returned {v}, last insert wrote {tv}"
+                        ));
+                    }
+                    (Some(v), None) => {
+                        return Err(format!(
+                            "phantom read: get({k}) returned {v} but {k} was never inserted"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.integrity()
+    }
+
+    fn check_complete(&self) -> Result<(), String> {
+        self.integrity()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service model
+// ---------------------------------------------------------------------
+
+/// A reply as observed by a model client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// The worker planned the request.
+    Planned,
+    /// Submission was rejected because the service had shut down.
+    Rejected,
+}
+
+/// Mirror of `PlannerService` submit/shutdown: `clients` submitter threads,
+/// one worker draining a closable queue, and one shutdown thread that
+/// closes the queue then joins the worker.
+///
+/// Thread layout: `0..clients` = clients, `clients` = worker,
+/// `clients + 1` = shutdown.
+#[derive(Debug, Clone)]
+pub struct ServiceModel {
+    queue: VecDeque<usize>,
+    closed: bool,
+    replies: Vec<Option<Reply>>,
+    client_pc: Vec<u8>, // 0 = submit, 1 = await reply, 2 = done
+    worker_done: bool,
+    shutdown_pc: u8, // 0 = close, 1 = join, 2 = done
+    // Deliberate-bug switches for checker self-tests.
+    bug_drop_queue_on_close: bool,
+    bug_double_reply: bool,
+}
+
+impl ServiceModel {
+    /// A correct model with `clients` client threads.
+    pub fn new(clients: usize) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            closed: false,
+            replies: vec![None; clients],
+            client_pc: vec![0; clients],
+            worker_done: false,
+            shutdown_pc: 0,
+            bug_drop_queue_on_close: false,
+            bug_double_reply: false,
+        }
+    }
+
+    /// Buggy variant: the worker exits on close without draining the queue
+    /// (drops queued responses — must be caught as a deadlocked client).
+    pub fn with_lost_replies(clients: usize) -> Self {
+        Self {
+            bug_drop_queue_on_close: true,
+            ..Self::new(clients)
+        }
+    }
+
+    /// Buggy variant: the worker replies twice to the same request.
+    pub fn with_double_reply(clients: usize) -> Self {
+        Self {
+            bug_double_reply: true,
+            ..Self::new(clients)
+        }
+    }
+
+    fn clients(&self) -> usize {
+        self.replies.len()
+    }
+
+    fn worker_idx(&self) -> usize {
+        self.clients()
+    }
+
+    fn deliver(&mut self, req: usize, reply: Reply) -> Result<(), String> {
+        if self.replies[req].is_some() {
+            return Err(format!("double completion: request {req} replied twice"));
+        }
+        self.replies[req] = Some(reply);
+        Ok(())
+    }
+}
+
+impl Interleave for ServiceModel {
+    fn threads(&self) -> usize {
+        self.clients() + 2
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t < self.clients() {
+            self.client_pc[t] == 2
+        } else if t == self.worker_idx() {
+            self.worker_done
+        } else {
+            self.shutdown_pc == 2
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        if t < self.clients() {
+            match self.client_pc[t] {
+                0 => true,                          // submit (or observe closed)
+                1 => self.replies[t].is_some(),     // blocked on reply channel
+                _ => false,
+            }
+        } else if t == self.worker_idx() {
+            // `recv` wakes on a queued job or on channel close.
+            !self.queue.is_empty() || self.closed
+        } else {
+            match self.shutdown_pc {
+                0 => true,             // close the channel
+                1 => self.worker_done, // join blocks until the worker exits
+                _ => false,
+            }
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if t < self.clients() {
+            match self.client_pc[t] {
+                0 => {
+                    // PlannerService::plan — send fails after shutdown and
+                    // surfaces as an error response, never a hang.
+                    if self.closed {
+                        self.deliver(t, Reply::Rejected)?;
+                    } else {
+                        self.queue.push_back(t);
+                    }
+                    self.client_pc[t] = 1;
+                }
+                1 => {
+                    // Reply observed; consume it.
+                    self.client_pc[t] = 2;
+                }
+                _ => return Err(format!("client {t} stepped after completion")),
+            }
+            Ok(())
+        } else if t == self.worker_idx() {
+            // One `recv` iteration of worker_loop.
+            if self.bug_drop_queue_on_close && self.closed {
+                self.worker_done = true; // drops whatever is still queued
+                return Ok(());
+            }
+            if let Some(req) = self.queue.pop_front() {
+                self.deliver(req, Reply::Planned)?;
+                if self.bug_double_reply {
+                    self.deliver(req, Reply::Planned)?;
+                }
+            } else if self.closed {
+                self.worker_done = true; // channel disconnected and drained
+            }
+            Ok(())
+        } else {
+            match self.shutdown_pc {
+                0 => {
+                    self.closed = true; // drop the Sender
+                    self.shutdown_pc = 1;
+                }
+                1 => {
+                    if !self.worker_done {
+                        return Err("join completed before the worker exited".to_string());
+                    }
+                    self.shutdown_pc = 2;
+                }
+                _ => return Err("shutdown stepped after completion".to_string()),
+            }
+            Ok(())
+        }
+    }
+
+    fn check_complete(&self) -> Result<(), String> {
+        for (i, r) in self.replies.iter().enumerate() {
+            if r.is_none() {
+                return Err(format!("lost response: client {i} never got a reply"));
+            }
+        }
+        if !self.queue.is_empty() {
+            return Err(format!("{} jobs left in the queue at shutdown", self.queue.len()));
+        }
+        Ok(())
+    }
+}
+
+/// The standard model suite run by `mtmlf-lint --check`: name, schedules
+/// explored, steps taken. Any violation aborts with its message.
+pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, String)> {
+    let mut out = Vec::new();
+
+    let cache2 = CacheModel::new(
+        2,
+        vec![
+            vec![
+                CacheOp::Insert(1, 10),
+                CacheOp::Get(1),
+                CacheOp::Insert(3, 30),
+            ],
+            vec![
+                CacheOp::Insert(2, 20),
+                CacheOp::Get(2),
+                CacheOp::Insert(1, 11),
+                CacheOp::Get(3),
+            ],
+        ],
+    );
+    match explore(&cache2, 2_000_000) {
+        Ok(stats) => out.push(("cache-2thread", stats)),
+        Err(v) => return Err(("cache-2thread".to_string(), v.to_string())),
+    }
+
+    let cache3 = CacheModel::new(
+        2,
+        vec![
+            vec![CacheOp::Insert(1, 10), CacheOp::Get(2)],
+            vec![CacheOp::Insert(2, 20), CacheOp::Get(1)],
+            vec![CacheOp::Insert(1, 12), CacheOp::Get(1)],
+        ],
+    );
+    match explore(&cache3, 2_000_000) {
+        Ok(stats) => out.push(("cache-3thread", stats)),
+        Err(v) => return Err(("cache-3thread".to_string(), v.to_string())),
+    }
+
+    match explore(&ServiceModel::new(2), 2_000_000) {
+        Ok(stats) => out.push(("service-2client", stats)),
+        Err(v) => return Err(("service-2client".to_string(), v.to_string())),
+    }
+
+    match explore(&ServiceModel::new(3), 20_000_000) {
+        Ok(stats) => out.push(("service-3client", stats)),
+        Err(v) => return Err(("service-3client".to_string(), v.to_string())),
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_two_thread_model_is_exhaustive_and_clean() {
+        let model = CacheModel::new(
+            2,
+            vec![
+                vec![
+                    CacheOp::Insert(1, 10),
+                    CacheOp::Get(1),
+                    CacheOp::Insert(3, 30),
+                ],
+                vec![
+                    CacheOp::Insert(2, 20),
+                    CacheOp::Get(2),
+                    CacheOp::Insert(1, 11),
+                    CacheOp::Get(3),
+                ],
+            ],
+        );
+        let stats = explore(&model, 2_000_000).expect("no invariant failures");
+        // 7 steps interleaved two ways: C(7,3) = 35 distinct schedules.
+        assert_eq!(stats.schedules, 35);
+    }
+
+    #[test]
+    fn cache_three_thread_model_is_exhaustive_and_clean() {
+        let model = CacheModel::new(
+            2,
+            vec![
+                vec![CacheOp::Insert(1, 10), CacheOp::Get(2)],
+                vec![CacheOp::Insert(2, 20), CacheOp::Get(1)],
+                vec![CacheOp::Insert(1, 12), CacheOp::Get(1)],
+            ],
+        );
+        let stats = explore(&model, 2_000_000).expect("no invariant failures");
+        // Multinomial(6; 2,2,2) = 90 schedules.
+        assert_eq!(stats.schedules, 90);
+    }
+
+    #[test]
+    fn cache_checker_catches_broken_eviction() {
+        let model = CacheModel::with_broken_eviction(
+            1,
+            vec![vec![CacheOp::Insert(1, 10)], vec![CacheOp::Insert(2, 20)]],
+        );
+        let err = explore(&model, 1_000).expect_err("corrupted map must be caught");
+        assert!(
+            err.message.contains("capacity exceeded") || err.message.contains("recency list"),
+            "unexpected violation: {err}"
+        );
+    }
+
+    #[test]
+    fn cache_miss_before_insert_is_legal_but_phantom_hits_are_not() {
+        // A get with no prior insert must simply miss; the phantom-read
+        // detector only fires on an impossible hit.
+        let model = CacheModel::new(1, vec![vec![CacheOp::Get(9)]]);
+        assert!(explore(&model, 1_000).is_ok());
+    }
+
+    #[test]
+    fn service_two_client_model_has_no_lost_or_double_replies() {
+        let stats = explore(&ServiceModel::new(2), 2_000_000).expect("no invariant failures");
+        assert!(
+            stats.schedules > 100,
+            "expected a real schedule space, got {}",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn service_three_client_model_has_no_lost_or_double_replies() {
+        let stats = explore(&ServiceModel::new(3), 20_000_000).expect("no invariant failures");
+        assert!(stats.schedules > 1_000);
+    }
+
+    #[test]
+    fn checker_catches_lost_replies_as_deadlock() {
+        let err = explore(&ServiceModel::with_lost_replies(2), 2_000_000)
+            .expect_err("dropping the queue on close must be caught");
+        assert!(
+            err.message.contains("deadlock") || err.message.contains("lost response"),
+            "unexpected violation: {err}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_double_completion() {
+        let err = explore(&ServiceModel::with_double_reply(2), 2_000_000)
+            .expect_err("double reply must be caught");
+        assert!(err.message.contains("double completion"), "{err}");
+    }
+
+    #[test]
+    fn model_suite_runs_clean() {
+        let suite = run_model_suite().expect("suite clean");
+        assert_eq!(suite.len(), 4);
+        for (name, stats) in suite {
+            assert!(stats.schedules > 0, "{name} explored nothing");
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant checking.
+//!
+//! The lexer turns source text into a flat token stream with line numbers,
+//! discarding comments and whitespace but *harvesting* lint directives
+//! (`// lint: allow(rule)`) from them. It understands the parts of Rust's
+//! lexical grammar that would otherwise produce false positives:
+//!
+//! * line and (nested) block comments,
+//! * string / byte-string / raw-string literals (`r#"…"#` with any number
+//!   of hashes), so an `unwrap()` inside a string never counts,
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#type`).
+//!
+//! It deliberately does **not** build a syntax tree: the rules in
+//! [`crate::rules`] are token-pattern matchers with a little brace-depth
+//! bookkeeping, which keeps the whole tool dependency-free and fast.
+
+use std::collections::HashMap;
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, dehashed).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `{`, `!`, …).
+    Punct,
+    /// String, byte-string, or raw-string literal (text dropped).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (empty for string literals; the character for puncts).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A lexed file: the token stream plus harvested lint directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `line -> rules` from `// lint: allow(rule)` comments. A directive
+    /// applies to the line it sits on; when the comment is alone on its
+    /// line it also applies to the following line.
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+impl Lexed {
+    /// Whether `rule` is allowed on `line` by an escape-hatch comment.
+    pub fn is_allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parses `lint: allow(a, b)` out of a comment body, if present.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let Some(at) = comment.find("lint:") else {
+        return Vec::new();
+    };
+    let rest = comment[at + 5..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Lexes `src` into tokens and lint directives.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether anything other than whitespace appeared on the
+    // current line before the position at hand (for "comment alone on its
+    // line" detection).
+    let mut line_has_code = false;
+
+    // Consumes a quoted string starting at the opening `"`; returns the
+    // index just past the closing quote. Tracks newlines.
+    fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+        debug_assert_eq!(bytes[i], b'"');
+        i += 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                let rules = parse_allow(comment);
+                if !rules.is_empty() {
+                    out.allows.entry(line).or_default().extend(rules.clone());
+                    if !line_has_code {
+                        out.allows.entry(line + 1).or_default().extend(rules);
+                    }
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                line_has_code = true;
+                let l = line;
+                i = skip_string(bytes, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: l,
+                });
+            }
+            b'\'' => {
+                line_has_code = true;
+                // Char literal vs lifetime. `'\x'`-style and `'a'` are
+                // chars; `'a` followed by non-quote is a lifetime.
+                let l = line;
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: skip to closing quote.
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else {
+                    // Find the extent of an identifier-ish run after the quote.
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'\'' && j > i + 1 {
+                        // 'a' — char literal (multi-byte chars also land here
+                        // via the alphanumeric test failing; handle below).
+                        i = j + 1;
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line: l,
+                        });
+                    } else if j == i + 1 && j < bytes.len() && bytes[j] != b'\'' {
+                        // Non-identifier char like '+' or a multi-byte char:
+                        // scan to the closing quote.
+                        let mut k = j;
+                        while k < bytes.len() && bytes[k] != b'\'' && bytes[k] != b'\n' {
+                            k += 1;
+                        }
+                        i = (k + 1).min(bytes.len());
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: String::new(),
+                            line: l,
+                        });
+                    } else {
+                        // Lifetime: consume the quote + identifier.
+                        let text = src[i + 1..j].to_string();
+                        i = j;
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text,
+                            line: l,
+                        });
+                    }
+                }
+            }
+            b'r' | b'b' => {
+                line_has_code = true;
+                let l = line;
+                // Raw strings r"…", r#"…"#; byte strings b"…", br#"…"#;
+                // byte chars b'…'; raw identifiers r#ident; or a plain
+                // identifier starting with r/b.
+                let mut j = i + 1;
+                let is_b = c == b'b';
+                if is_b && j < bytes.len() && bytes[j] == b'r' {
+                    j += 1; // br…
+                }
+                let raw_candidate = c == b'r' || (is_b && j > i + 1);
+                let mut hashes = 0usize;
+                let mut k = j;
+                while raw_candidate && k < bytes.len() && bytes[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if raw_candidate && k < bytes.len() && bytes[k] == b'"' {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    let mut m = k + 1;
+                    'scan: while m < bytes.len() {
+                        if bytes[m] == b'\n' {
+                            line += 1;
+                        } else if bytes[m] == b'"' {
+                            let mut h = 0;
+                            while h < hashes && m + 1 + h < bytes.len() && bytes[m + 1 + h] == b'#'
+                            {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                m += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        m += 1;
+                    }
+                    i = m;
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else if c == b'r'
+                    && hashes == 1
+                    && k < bytes.len()
+                    && (bytes[k].is_ascii_alphabetic() || bytes[k] == b'_')
+                {
+                    // Raw identifier r#ident.
+                    let start = k;
+                    let mut m = k;
+                    while m < bytes.len() && (bytes[m].is_ascii_alphanumeric() || bytes[m] == b'_')
+                    {
+                        m += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[start..m].to_string(),
+                        line: l,
+                    });
+                    i = m;
+                } else if is_b && i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                    // Byte char b'…'.
+                    let mut m = i + 2;
+                    if m < bytes.len() && bytes[m] == b'\\' {
+                        m += 1;
+                    }
+                    while m < bytes.len() && bytes[m] != b'\'' {
+                        m += 1;
+                    }
+                    i = (m + 1).min(bytes.len());
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else if is_b && i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                    // Byte string b"…".
+                    i = skip_string(bytes, i + 1, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: l,
+                    });
+                } else {
+                    // Plain identifier starting with r or b.
+                    let start = i;
+                    let mut m = i;
+                    while m < bytes.len() && (bytes[m].is_ascii_alphanumeric() || bytes[m] == b'_')
+                    {
+                        m += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[start..m].to_string(),
+                        line: l,
+                    });
+                    i = m;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                line_has_code = true;
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                line_has_code = true;
+                let start = i;
+                let mut seen_dot = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.'
+                        && !seen_dot
+                        && i + 1 < bytes.len()
+                        && bytes[i + 1].is_ascii_digit()
+                    {
+                        seen_dot = true;
+                        i += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && i > start
+                        && matches!(bytes[i - 1], b'e' | b'E')
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                line_has_code = true;
+                // Multi-byte UTF-8 punctuation is split into bytes; the
+                // rules only inspect ASCII puncts, so that is harmless.
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let src = r##"
+            // x.unwrap()
+            /* panic!("no") /* nested */ still comment */
+            let s = "call .unwrap() here";
+            let r = r#"panic!("raw")"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nafter();";
+        let lexed = lex(src);
+        let after = lexed.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn allow_directives_are_harvested() {
+        let src = "x.unwrap(); // lint: allow(panic)\n// lint: allow(clock)\nInstant::now();\n";
+        let lexed = lex(src);
+        assert!(lexed.is_allowed(1, "panic"));
+        assert!(!lexed.is_allowed(1, "clock"));
+        // Comment alone on line 2 covers line 3 too.
+        assert!(lexed.is_allowed(2, "clock"));
+        assert!(lexed.is_allowed(3, "clock"));
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings() {
+        let lexed = lex("let r#type = b\"bytes\"; let y = br#\"raw\"#; let z = b'x';");
+        assert!(lexed.toks.iter().any(|t| t.is_ident("type")));
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            2
+        );
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let lexed = lex("let a = 1.5e-3; for i in 0..10 {}");
+        let nums: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0", "10"]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # mtmlf-lint
+//!
+//! The workspace invariant checker. PR 1 made MTMLF-QO a concurrent
+//! service (shared `Arc`/`RwLock` autograd tape, sharded LRU plan cache,
+//! worker pool), which puts correctness on invariants the compiler cannot
+//! see. This crate machine-enforces them:
+//!
+//! * a **static-analysis pass** ([`lexer`], [`rules`]) — a hand-rolled
+//!   Rust lexer walks every `.rs` file and enforces the L1–L4 catalog
+//!   (panic-freedom, determinism, lock ordering, error-type discipline),
+//!   ratcheted against a checked-in [`baseline`] so existing debt fails
+//!   nothing but *new* debt fails CI;
+//! * a **bounded-interleaving model checker** ([`interleave`]) — a
+//!   `loom`-style brute-force scheduler that exhaustively explores every
+//!   interleaving of small state machines mirroring the serving path's
+//!   `ShardedLruCache` and `PlannerService`, proving no lost responses, no
+//!   double completions, and no deadlocks for 2–3 threads.
+//!
+//! Run it as `cargo run -p mtmlf-lint -- --check`; results land in
+//! `results/LINT.json`. See DESIGN.md §"Static guarantees" for the catalog
+//! and how to add a lint.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod interleave;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+/// Runs the full static pass over a workspace root, returning the report
+/// (model suite not yet attached).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<report::Report> {
+    let mut rep = report::Report::default();
+    let mut graph = rules::ErrorGraph::default();
+    let files = walk::rust_files(root)?;
+    for path in &files {
+        let rel = walk::relative(root, path);
+        if rel.starts_with("crates/lint/") {
+            // The lint does not lint itself: its sources are full of the
+            // very token patterns it hunts for.
+            continue;
+        }
+        let src = fs::read_to_string(path)?;
+        let lexed = lexer::lex(&src);
+        let mask = rules::test_mask(&lexed.toks);
+        let scope = rules::FileScope::of(&rel);
+        rules::check_l1(&rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
+        rules::check_l2(&rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
+        rules::check_l3(&rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
+        graph.collect(&rel, &scope, &lexed, &mask);
+        rep.files_scanned += 1;
+    }
+    graph.finalize(&mut rep.violations);
+    rep.violations.sort_by(|a, b| {
+        (a.rule, &a.file, a.line)
+            .cmp(&(b.rule, &b.file, b.line))
+    });
+    Ok(rep)
+}

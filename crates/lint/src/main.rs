@@ -1,0 +1,153 @@
+//! `mtmlf-lint` CLI: static invariant pass + serving-path model checker.
+//!
+//! ```text
+//! cargo run -p mtmlf-lint                      # report only (exit 0)
+//! cargo run -p mtmlf-lint -- --check           # fail on new violations
+//! cargo run -p mtmlf-lint -- --update-baseline # ratchet lint.baseline
+//! cargo run -p mtmlf-lint -- --root <path>     # lint another workspace
+//! ```
+//!
+//! Always writes `results/LINT.json`. `--check` exits nonzero when any
+//! `(rule, file)` violation count exceeds the checked-in `lint.baseline`,
+//! or when the bounded-interleaving model suite finds an invariant
+//! failure.
+
+#![forbid(unsafe_code)]
+
+use mtmlf_lint::{analyze_workspace, baseline::Baseline, interleave};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    check: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        check: false,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root needs a path".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: mtmlf-lint [--check] [--update-baseline] [--root <path>]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = match analyze_workspace(&args.root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("mtmlf-lint: cannot walk {}: {e}", args.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Baseline ratchet.
+    let baseline_path = args.root.join("lint.baseline");
+    let mut baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+    if args.update_baseline {
+        let rendered = Baseline::render(&report.violations);
+        if let Err(e) = fs::write(&baseline_path, &rendered) {
+            eprintln!("mtmlf-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("baseline updated: {}", baseline_path.display());
+        baseline = Baseline::parse(&rendered);
+    }
+    let cmp = baseline.compare(&report.violations);
+    let new = cmp.new.clone();
+    report.absorb(cmp);
+
+    // Serving-path model suite.
+    match interleave::run_model_suite() {
+        Ok(models) => report.models = models,
+        Err((model, message)) => report.model_failure = Some((model, message)),
+    }
+
+    // Human diagnostics: new violations in full, tolerated debt as counts.
+    for v in &new {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    let counts = report.rule_counts();
+    let total: u64 = counts.values().sum();
+    println!(
+        "mtmlf-lint: {} files; L1={} L2={} L3={} L4={} ({} total, {} beyond baseline, {} allowed)",
+        report.files_scanned,
+        counts.get("L1").copied().unwrap_or(0),
+        counts.get("L2").copied().unwrap_or(0),
+        counts.get("L3").copied().unwrap_or(0),
+        counts.get("L4").copied().unwrap_or(0),
+        total,
+        report.new_violations,
+        report.allowed.len(),
+    );
+    for (rule, file, budget, actual) in &report.improved {
+        println!("  tightenable: {rule} {file} baseline {budget} > actual {actual}");
+    }
+    for (rule, file, budget) in &report.stale_baseline {
+        println!("  stale baseline entry: {rule} {file} ({budget} tolerated, 0 present)");
+    }
+    for (name, stats) in &report.models {
+        println!(
+            "  model {name}: {} schedules, {} steps, all invariants hold",
+            stats.schedules, stats.steps
+        );
+    }
+    if let Some((model, message)) = &report.model_failure {
+        eprintln!("model {model} FAILED: {message}");
+    }
+
+    // Machine-readable report.
+    let results_dir = args.root.join("results");
+    let json_path = results_dir.join("LINT.json");
+    if let Err(e) = fs::create_dir_all(&results_dir)
+        .and_then(|()| fs::write(&json_path, report.to_json()))
+    {
+        eprintln!("mtmlf-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", json_path.display());
+
+    if args.check && report.failed() {
+        eprintln!(
+            "mtmlf-lint --check FAILED: {} new violation(s){}",
+            report.new_violations,
+            if report.model_failure.is_some() {
+                " + model invariant failure"
+            } else {
+                ""
+            }
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! Workspace traversal: every `.rs` file, deterministic order, no deps.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", ".github"];
+
+/// Collects every `.rs` file under `root`, sorted by path for stable
+/// reports and baselines.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators (report + baseline keys).
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

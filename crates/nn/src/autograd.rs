@@ -125,9 +125,14 @@ impl Var {
         self.node.requires_grad
     }
 
-    /// Borrow the forward value (shared read lock).
+    /// Borrow the forward value (shared read lock). Poison is recovered:
+    /// a panicking writer cannot leave the tape permanently unusable for
+    /// the serving workers that share it.
     pub fn value(&self) -> RwLockReadGuard<'_, Matrix> {
-        self.node.value.read().expect("Var value lock poisoned")
+        self.node
+            .value
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Clone the forward value.
@@ -137,7 +142,11 @@ impl Var {
 
     /// Clone the accumulated gradient (all-zeros if none has flowed).
     pub fn grad(&self) -> Matrix {
-        let g = self.node.grad.read().expect("Var grad lock poisoned");
+        let g = self
+            .node
+            .grad
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match &*g {
             Some(m) => m.clone(),
             None => {
@@ -159,21 +168,33 @@ impl Var {
 
     /// Zeroes the gradient (optimizers call this on parameters).
     pub fn zero_grad(&self) {
-        *self.node.grad.write().expect("Var grad lock poisoned") = None;
+        *self
+            .node
+            .grad
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 
     /// Overwrites the value in place (optimizers; keeps the same node so
     /// existing optimizer state remains attached).
     pub fn set_value(&self, value: Matrix) {
         assert_eq!(value.shape(), self.shape(), "set_value must preserve shape");
-        *self.node.value.write().expect("Var value lock poisoned") = value;
+        *self
+            .node
+            .value
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = value;
     }
 
     fn accumulate(&self, delta: &Matrix) {
         if !self.node.requires_grad {
             return;
         }
-        let mut g = self.node.grad.write().expect("Var grad lock poisoned");
+        let mut g = self
+            .node
+            .grad
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match &mut *g {
             Some(m) => m.add_assign(delta),
             None => *g = Some(delta.clone()),
@@ -205,7 +226,11 @@ impl Var {
         // Seed.
         {
             let shape = self.shape();
-            *self.node.grad.write().expect("Var grad lock poisoned") =
+            *self
+                .node
+                .grad
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) =
                 Some(Matrix::full(shape.0, shape.1, 1.0));
         }
         for var in order.iter().rev() {
@@ -214,7 +239,7 @@ impl Var {
                     .node
                     .grad
                     .read()
-                    .expect("Var grad lock poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .clone();
                 // `None` means no gradient reached this node; nothing to
                 // propagate further.

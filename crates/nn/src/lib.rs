@@ -20,6 +20,8 @@
 //! a trained model can serve inference from many threads at once; wrap
 //! serving forwards in [`no_grad`] to skip tape construction.
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod autograd;
 pub mod layers;

@@ -17,6 +17,8 @@
 //! The [`Estimator`] trait abstracts over cardinality sources so the DP is
 //! shared by both and can also run over a learned estimator.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod dp;
 pub mod error;

@@ -20,6 +20,8 @@
 //! - [`fingerprint`]: canonical 128-bit query fingerprints (stable under
 //!   table/predicate reordering) used to key the serving layer's plan cache.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fingerprint;
 pub mod graph;
@@ -37,6 +39,7 @@ pub use order::JoinOrder;
 pub use plan::{JoinOp, JoinTree, PlanNode, ScanOp};
 pub use predicate::{CmpOp, ColumnRef, FilterPredicate, JoinPredicate, LikePattern};
 pub use query::Query;
+pub use sql::SqlError;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// SQL parsing errors with byte positions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SqlError {
     /// Lexical error.
     Lex {

@@ -19,6 +19,8 @@
 //!   gives every distinct value a stable id for value embeddings.
 //! - Everything is deterministic; sampling takes an explicit seed.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod column;
 pub mod error;

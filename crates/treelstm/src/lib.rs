@@ -11,6 +11,8 @@
 //! criterion the paper's MTMLF-QO uses, so Table 1 compares architectures
 //! rather than loss functions.
 
+#![forbid(unsafe_code)]
+
 pub mod featurize;
 pub mod model;
 

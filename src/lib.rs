@@ -24,6 +24,8 @@
 //! - [`model`] — the MTMLF-QO model itself (featurization, shared
 //!   transformer, task heads, `Trans_JO`, beam search, MLA meta-learning).
 
+#![forbid(unsafe_code)]
+
 pub use mtmlf as model;
 pub use mtmlf_datagen as datagen;
 pub use mtmlf_exec as exec;
