@@ -1,9 +1,12 @@
 //! Serving throughput: sequential per-query planning vs the
-//! [`PlannerService`] in three configurations — worker pool only, pool +
-//! cross-query batching, and pool + batching + plan cache.
+//! [`PlannerService`] in four configurations — worker pool only, pool +
+//! cross-query batching, pool + batching + plan cache, and fully degraded
+//! serving (model rejects everything, classical fallback carries the load).
 //!
-//! Reports queries/second per mode plus the warm-cache vs model-path
-//! latency split, and writes the raw numbers to `BENCH_serve.json`.
+//! Reports queries/second per mode, the warm-cache vs model-path latency
+//! split, and the resilience counters (fallbacks, sheds, timeouts) from a
+//! deliberate deadline/overload probe, and writes the raw numbers to
+//! `BENCH_serve.json`.
 //!
 //! ```text
 //! cargo run -p mtmlf-bench --release --bin table_serve -- \
@@ -11,12 +14,12 @@
 //!     [--workers 2] [--seed 1] [--out BENCH_serve.json]
 //! ```
 
-use mtmlf::serve::{PlannerService, ServiceConfig, ServiceMetrics};
-use mtmlf::MtmlfError;
-use mtmlf_bench::serve::{build, drive_clients, ServeExperiment};
+use mtmlf::serve::{PlanRequest, PlannerService, ServiceConfig, ServiceMetrics};
+use mtmlf::{FallbackPlanner, MtmlfError};
+use mtmlf_bench::serve::{build, build_with, drive_clients, ServeExperiment};
 use mtmlf_bench::{report, Args};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct ModeResult {
     name: &'static str,
@@ -46,7 +49,13 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn render_json(args: &[(&str, f64)], modes: &[ModeResult], cached: &ServiceMetrics) -> String {
+fn render_json(
+    args: &[(&str, f64)],
+    modes: &[ModeResult],
+    cached: &ServiceMetrics,
+    degraded: &ServiceMetrics,
+    probe: &ServiceMetrics,
+) -> String {
     let mut out = String::from("{\n  \"table\": \"serve\",\n  \"setup\": {");
     for (i, (k, v)) in args.iter().enumerate() {
         if i > 0 {
@@ -64,8 +73,13 @@ fn render_json(args: &[(&str, f64)], modes: &[ModeResult], cached: &ServiceMetri
         ));
         if let Some(metrics) = &m.metrics {
             out.push_str(&format!(
-                ", \"cache_hits\": {}, \"model_plans\": {}, \"batches\": {}, \"batched_queries\": {}",
-                metrics.cache_hits, metrics.model_plans, metrics.batches, metrics.batched_queries
+                ", \"cache_hits\": {}, \"model_plans\": {}, \"fallbacks\": {}, \
+                 \"batches\": {}, \"batched_queries\": {}",
+                metrics.cache_hits,
+                metrics.model_plans,
+                metrics.fallbacks,
+                metrics.batches,
+                metrics.batched_queries
             ));
         }
         out.push('}');
@@ -89,9 +103,21 @@ fn render_json(args: &[(&str, f64)], modes: &[ModeResult], cached: &ServiceMetri
         }
     ));
     out.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"hit_rate\": {:.4}}}\n}}\n",
+        "  \"cache\": {{\"hits\": {}, \"hit_rate\": {:.4}}},\n",
         cached.cache_hits,
         cached.cache_hit_rate()
+    ));
+    out.push_str(&format!(
+        "  \"resilience\": {{\"fallbacks\": {}, \"fallback_mean_us\": {:.3}, \
+         \"sheds\": {}, \"timeouts\": {}, \"expired\": {}, \"retries\": {}, \
+         \"breaker_opens\": {}}}\n}}\n",
+        degraded.fallbacks,
+        degraded.fallback_latency.mean().as_secs_f64() * 1e6,
+        probe.sheds,
+        probe.timeouts,
+        probe.expired,
+        degraded.retries + probe.retries,
+        degraded.breaker_opens + probe.breaker_opens,
     ));
     out
 }
@@ -165,6 +191,31 @@ fn main() -> mtmlf::Result<()> {
         clients,
     )?);
 
+    // Degraded serving: a model whose serializer admits fewer tables than
+    // any workload query, so every request falls through to the classical
+    // fallback planner — the floor the service keeps when the model path
+    // is entirely unavailable.
+    let degraded_exp = build_with(scale, queries, seed, 2)?;
+    let degraded_service = PlannerService::start_with_fallback(
+        Arc::clone(&degraded_exp.model),
+        Some(FallbackPlanner::new(Arc::clone(&degraded_exp.db))),
+        ServiceConfig {
+            workers,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    )?;
+    let (fb_elapsed, fb_served) =
+        drive_clients(&degraded_service, &degraded_exp.queries, repeats, clients)?;
+    let degraded_metrics = degraded_service.metrics();
+    drop(degraded_service);
+    modes.push(ModeResult {
+        name: "fallback-only",
+        elapsed_s: fb_elapsed,
+        qps: fb_served as f64 / fb_elapsed,
+        metrics: Some(degraded_metrics.clone()),
+    });
+
     let baseline = modes[0].qps;
     let rows: Vec<Vec<String>> = modes
         .iter()
@@ -191,7 +242,8 @@ fn main() -> mtmlf::Result<()> {
     );
 
     let cached_metrics = modes
-        .last()
+        .iter()
+        .find(|m| m.name == "pooled+batched+cache")
         .and_then(|m| m.metrics.clone())
         .ok_or_else(|| MtmlfError::Service("cached mode produced no metrics".into()))?;
     let model_us = cached_metrics.model_latency.mean().as_secs_f64() * 1e6;
@@ -208,6 +260,40 @@ fn main() -> mtmlf::Result<()> {
         }
     );
 
+    // Deadline/overload probe: one worker, a queue of one, and a burst of
+    // zero-deadline requests. The first request occupies the worker, one
+    // sits in the queue, the rest shed at admission; every admitted
+    // request's deadline has already expired, so the client side reports
+    // timeouts and the worker drops the queued job before the forward.
+    let probe_service = PlannerService::start(
+        Arc::clone(&exp.model),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            batching: false,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    )?;
+    for q in exp.queries.iter().cycle().take(16) {
+        match probe_service.plan(PlanRequest::new(q.clone()).with_deadline(Duration::ZERO)) {
+            Ok(_) | Err(MtmlfError::Timeout) | Err(MtmlfError::Overloaded) => {}
+            Err(other) => return Err(other),
+        }
+    }
+    probe_service.shutdown(); // drain so expired jobs are counted
+    let probe_metrics = probe_service.metrics();
+    println!();
+    println!(
+        "degraded serving {:.1} qps (all {} requests via fallback); \
+         probe: {} sheds, {} timeouts, {} expired jobs dropped pre-forward",
+        modes.last().map(|m| m.qps).unwrap_or(0.0),
+        degraded_metrics.fallbacks,
+        probe_metrics.sheds,
+        probe_metrics.timeouts,
+        probe_metrics.expired,
+    );
+
     let setup = [
         ("scale", scale),
         ("queries", queries as f64),
@@ -216,7 +302,7 @@ fn main() -> mtmlf::Result<()> {
         ("workers", workers as f64),
         ("seed", seed as f64),
     ];
-    let json = render_json(&setup, &modes, &cached_metrics);
+    let json = render_json(&setup, &modes, &cached_metrics, &degraded_metrics, &probe_metrics);
     std::fs::write(&out_path, json)
         .map_err(|e| MtmlfError::Service(format!("writing {out_path}: {e}")))?;
     println!("wrote {out_path}");

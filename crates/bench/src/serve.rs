@@ -10,6 +10,7 @@ use mtmlf::serve::PlannerService;
 use mtmlf::{FeaturizationModule, MtmlfConfig, MtmlfError, MtmlfQo};
 use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
 use mtmlf_query::Query;
+use mtmlf_storage::Database;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,6 +18,9 @@ use std::time::Instant;
 pub struct ServeExperiment {
     /// The model, ready to share across a service's workers.
     pub model: Arc<MtmlfQo>,
+    /// The database the model was built over — kept so serving experiments
+    /// can attach a classical `FallbackPlanner` to the same data.
+    pub db: Arc<Database>,
     /// The query workload.
     pub queries: Vec<Query>,
 }
@@ -24,10 +28,23 @@ pub struct ServeExperiment {
 /// Builds the serving workload: an IMDB-shaped database at `scale`, a
 /// join workload of `query_count` queries, and an untrained model over it.
 pub fn build(scale: f64, query_count: usize, seed: u64) -> mtmlf::Result<ServeExperiment> {
+    build_with(scale, query_count, seed, 8)
+}
+
+/// [`build`] with an explicit `max_query_tables` for the model. Passing a
+/// bound *below* the workload's table counts yields a model that rejects
+/// every query — the degraded-serving benchmark, where the classical
+/// fallback carries the whole load.
+pub fn build_with(
+    scale: f64,
+    query_count: usize,
+    seed: u64,
+    max_query_tables: usize,
+) -> mtmlf::Result<ServeExperiment> {
     let mut db = imdb_lite(seed, ImdbScale { scale });
     db.analyze_all(8, 4);
     let config = MtmlfConfig {
-        max_query_tables: 8,
+        max_query_tables,
         seed,
         ..MtmlfConfig::tiny()
     };
@@ -51,6 +68,7 @@ pub fn build(scale: f64, query_count: usize, seed: u64) -> mtmlf::Result<ServeEx
     );
     Ok(ServeExperiment {
         model: Arc::new(model),
+        db: Arc::new(db),
         queries,
     })
 }

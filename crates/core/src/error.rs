@@ -51,6 +51,18 @@ pub enum MtmlfError {
     /// instead of panicking (lint rule L1), so a single bad request cannot
     /// take down a serving worker.
     Internal(String),
+    /// The request's deadline expired before a response was produced. The
+    /// caller is free to retry, fall back to a classical plan, or give up.
+    Timeout,
+    /// The service shed this request at admission because its bounded queue
+    /// was full. Callers should back off; nothing was planned.
+    Overloaded,
+    /// A file-system operation failed (weight save/load). Carries the
+    /// rendered `std::io::Error` so the enum stays `Clone + Eq`.
+    Io(String),
+    /// A persisted artifact (weight checkpoint) failed integrity
+    /// validation: bad magic, truncated payload, or checksum mismatch.
+    Corrupt(String),
 }
 
 impl fmt::Display for MtmlfError {
@@ -73,6 +85,10 @@ impl fmt::Display for MtmlfError {
             Self::Service(why) => write!(f, "planner service error: {why}"),
             Self::Sql(e) => write!(f, "SQL parse error: {e}"),
             Self::Internal(why) => write!(f, "internal invariant violated: {why}"),
+            Self::Timeout => write!(f, "request deadline expired before a plan was produced"),
+            Self::Overloaded => write!(f, "service overloaded: request shed at admission"),
+            Self::Io(why) => write!(f, "I/O error: {why}"),
+            Self::Corrupt(why) => write!(f, "corrupt artifact: {why}"),
         }
     }
 }
@@ -106,5 +122,11 @@ impl From<mtmlf_optd::OptError> for MtmlfError {
 impl From<mtmlf_query::SqlError> for MtmlfError {
     fn from(e: mtmlf_query::SqlError) -> Self {
         Self::Sql(e)
+    }
+}
+
+impl From<std::io::Error> for MtmlfError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
     }
 }

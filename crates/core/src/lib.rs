@@ -34,6 +34,11 @@
 //!   canonical query fingerprints, cross-query batched inference, and a
 //!   worker pool with latency/throughput metrics. Responses are bitwise
 //!   identical to the single-threaded facade.
+//! - **Fault tolerance** ([`resilience`]) — per-request deadlines, a
+//!   circuit breaker over the model path, bounded deterministic retry,
+//!   admission control, and a classical-optimizer [`FallbackPlanner`], so
+//!   a model failure never becomes a query failure (DESIGN.md §9's
+//!   degradation ladder).
 //!
 //! One deliberate implementation choice: the paper formulates `P̂_t` as a
 //! fixed-length multinoulli over the database's `n` tables. This
@@ -56,6 +61,7 @@ pub mod joeu;
 pub mod meta;
 pub mod model;
 pub mod persist;
+pub mod resilience;
 pub mod serialize;
 pub mod serve;
 pub mod shared;
@@ -73,6 +79,10 @@ pub use featurize::FeaturizationModule;
 pub use joeu::joeu;
 pub use meta::MetaLearner;
 pub use model::MtmlfQo;
+pub use resilience::{
+    Admission, BreakerConfig, BreakerState, CircuitBreaker, Clock, FallbackPlanner, ManualClock,
+    RetryPolicy, SystemClock,
+};
 pub use serve::{
     PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceConfig, ServiceMetrics,
 };
@@ -90,6 +100,7 @@ pub mod prelude {
     pub use crate::config::{MtmlfConfig, MtmlfConfigBuilder};
     pub use crate::error::MtmlfError;
     pub use crate::model::MtmlfQo;
+    pub use crate::resilience::{BreakerConfig, BreakerState, FallbackPlanner, RetryPolicy};
     pub use crate::serve::{
         PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceConfig, ServiceMetrics,
     };

@@ -6,19 +6,57 @@
 //! stored — it comes from the [`crate::MtmlfConfig`] and database used to
 //! rebuild the model, and every shape is validated at load time.
 //!
+//! # On-disk format
+//!
+//! An integrity envelope wraps the raw parameter payload produced by
+//! [`mtmlf_nn::serialize::save_parameters`]:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"MTMLFQO\x01"
+//!      8     8  payload length, u64 LE
+//!     16     8  FNV-1a 64 checksum of the payload, u64 LE
+//!     24     n  payload (mtmlf-nn matrix format)
+//! ```
+//!
+//! A truncated, bit-flipped, or foreign file fails with a descriptive
+//! [`MtmlfError::Corrupt`] before any parameter is touched, instead of
+//! surfacing as a confusing shape error — or worse, loading garbage.
+//! Headerless files written before the envelope existed are recognized by
+//! their inner `mtmlf-nn` magic and must be loaded through the explicit
+//! [`MtmlfQo::load_weights_legacy`] opt-in (they carry no checksum, so
+//! corruption in them is undetectable).
+//!
 //! This realizes the paper's deployment story: the provider trains and
 //! ships the (S)/(T) weights; the user instantiates the architecture
 //! locally and loads them.
 
 use crate::featurize::FeaturizationModule;
 use crate::model::MtmlfQo;
+use crate::MtmlfError;
 use crate::Result;
 use mtmlf_nn::layers::Module;
-use mtmlf_nn::serialize::{load_parameters, save_parameters};
+use mtmlf_nn::serialize::{load_parameters, save_parameters, PAYLOAD_MAGIC};
 use mtmlf_nn::Var;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
+use std::fs;
 use std::path::Path;
+
+/// Magic + format version of the enveloped weight file.
+const WEIGHTS_MAGIC: &[u8; 8] = b"MTMLFQO\x01";
+/// Envelope bytes before the payload: magic + length + checksum.
+const HEADER_LEN: usize = 24;
+
+/// FNV-1a 64-bit over the payload: dependency-free, deterministic, and
+/// plenty to catch truncation and bit rot (this is an integrity check, not
+/// an authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 impl FeaturizationModule {
     /// All encoder parameters, in table order.
@@ -44,23 +82,84 @@ impl MtmlfQo {
         p
     }
 
-    /// Saves all weights to a file.
+    /// Saves all weights to a file, wrapped in the checksummed envelope
+    /// described in the [module docs](self).
     pub fn save_weights(&self, path: impl AsRef<Path>) -> Result<()> {
-        let file = File::create(path).map_err(io_err)?;
-        save_parameters(BufWriter::new(file), &self.all_parameters()).map_err(io_err)
+        let mut payload = Vec::new();
+        save_parameters(&mut payload, &self.all_parameters()).map_err(MtmlfError::from)?;
+        let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
+        file.extend_from_slice(WEIGHTS_MAGIC);
+        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        file.extend_from_slice(&payload);
+        fs::write(path, file).map_err(MtmlfError::from)
     }
 
     /// Loads weights saved by [`MtmlfQo::save_weights`] into this model.
-    /// The model must have been built with the same configuration and
-    /// database shape; mismatches are rejected.
+    ///
+    /// The envelope's magic, length, and checksum are validated before any
+    /// parameter is touched; failures return [`MtmlfError::Corrupt`]. The
+    /// model must have been built with the same configuration and database
+    /// shape; mismatches are rejected.
     pub fn load_weights(&mut self, path: impl AsRef<Path>) -> Result<()> {
-        let file = File::open(path).map_err(io_err)?;
-        load_parameters(BufReader::new(file), &self.all_parameters()).map_err(io_err)
+        let bytes = fs::read(path).map_err(MtmlfError::from)?;
+        let payload = validate_envelope(&bytes)?;
+        load_parameters(payload, &self.all_parameters()).map_err(MtmlfError::from)
+    }
+
+    /// Loads a legacy headerless weight file (raw `mtmlf-nn` payload with
+    /// no envelope, as written before the checksummed format). Such files
+    /// carry no integrity information, so prefer re-saving them with
+    /// [`MtmlfQo::save_weights`] once loaded.
+    pub fn load_weights_legacy(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        let bytes = fs::read(path).map_err(MtmlfError::from)?;
+        if !bytes.starts_with(PAYLOAD_MAGIC) {
+            return Err(MtmlfError::Corrupt(
+                "not a legacy mtmlf weight payload (bad magic)".into(),
+            ));
+        }
+        load_parameters(&bytes[..], &self.all_parameters()).map_err(MtmlfError::from)
     }
 }
 
-fn io_err(e: io::Error) -> crate::MtmlfError {
-    crate::MtmlfError::Opt(format!("weight file I/O: {e}"))
+/// Checks the envelope and returns the validated payload slice.
+fn validate_envelope(bytes: &[u8]) -> Result<&[u8]> {
+    if bytes.starts_with(PAYLOAD_MAGIC) {
+        return Err(MtmlfError::Corrupt(
+            "legacy headerless weight file (no length/checksum envelope); \
+             load it explicitly with load_weights_legacy, then re-save"
+                .into(),
+        ));
+    }
+    if bytes.len() < HEADER_LEN || &bytes[..8] != WEIGHTS_MAGIC {
+        return Err(MtmlfError::Corrupt(
+            "not an mtmlf weight file (bad or truncated magic header)".into(),
+        ));
+    }
+    let declared = u64::from_le_bytes(
+        bytes[8..16]
+            .try_into()
+            .map_err(|_| MtmlfError::Corrupt("unreadable length field".into()))?,
+    );
+    let checksum = u64::from_le_bytes(
+        bytes[16..24]
+            .try_into()
+            .map_err(|_| MtmlfError::Corrupt("unreadable checksum field".into()))?,
+    );
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != declared {
+        return Err(MtmlfError::Corrupt(format!(
+            "truncated weight file: header declares {declared} payload bytes, found {}",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(MtmlfError::Corrupt(format!(
+            "weight payload checksum mismatch: header {checksum:#018x}, computed {actual:#018x}"
+        )));
+    }
+    Ok(payload)
 }
 
 #[cfg(test)]
@@ -115,6 +214,21 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    fn tiny_model(seed: u64) -> (MtmlfQo, std::path::PathBuf) {
+        let mut db = imdb_lite(10, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let cfg = MtmlfConfig {
+            enc_queries: 5,
+            enc_epochs: 1,
+            seed,
+            ..MtmlfConfig::tiny()
+        };
+        let model = MtmlfQo::new(&db, cfg).unwrap();
+        let dir = std::env::temp_dir().join(format!("mtmlf_persist_{seed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        (model, dir)
+    }
+
     #[test]
     fn wrong_architecture_rejected() {
         let mut db = imdb_lite(10, ImdbScale { scale: 0.02 });
@@ -137,5 +251,81 @@ mod tests {
         a.save_weights(&path).unwrap();
         assert!(b.load_weights(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_shape_error() {
+        let (mut model, dir) = tiny_model(21);
+        let path = dir.join("weights.bin");
+        model.save_weights(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut mid-payload: the length check must fire before parsing.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        match model.load_weights(&path) {
+            Err(MtmlfError::Corrupt(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Header alone cut short: bad-magic path.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            model.load_weights(&path),
+            Err(MtmlfError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_fails_checksum() {
+        let (mut model, dir) = tiny_model(22);
+        let path = dir.join("weights.bin");
+        model.save_weights(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = super::HEADER_LEN + (bytes.len() - super::HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match model.load_weights(&path) {
+            Err(MtmlfError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_headerless_file_rejected_with_pointer_then_loads_via_optin() {
+        let (mut model, dir) = tiny_model(23);
+        let path = dir.join("legacy.bin");
+        // Write a headerless payload exactly as the pre-envelope format did.
+        let mut payload = Vec::new();
+        save_parameters(&mut payload, &model.all_parameters()).unwrap();
+        std::fs::write(&path, &payload).unwrap();
+        match model.load_weights(&path) {
+            Err(MtmlfError::Corrupt(msg)) => {
+                assert!(msg.contains("load_weights_legacy"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        model.load_weights_legacy(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let (mut model, dir) = tiny_model(24);
+        let path = dir.join("does_not_exist.bin");
+        assert!(matches!(
+            model.load_weights(&path),
+            Err(MtmlfError::Io(_))
+        ));
+        assert!(matches!(
+            model.load_weights_legacy(&path),
+            Err(MtmlfError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Known FNV-1a 64 vectors.
+        assert_eq!(super::fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(super::fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

@@ -11,19 +11,34 @@
 //!   batched model forward ([`crate::batch::plan_batch`]): same plans, same
 //!   estimates, fewer and larger matmuls.
 //! * **Worker pool** — inference runs on dedicated worker threads fed by a
-//!   channel; client threads block only on their own reply.
+//!   bounded channel; client threads block only on their own reply.
+//! * **Fault tolerance** — the degradation ladder of DESIGN.md §9:
+//!   per-request **deadlines** ([`PlanRequest::with_deadline`]), bounded
+//!   **retry** with deterministic backoff for transient errors, a
+//!   **circuit breaker** over the model path, a classical-optimizer
+//!   **fallback** ([`FallbackPlanner`], reported as
+//!   [`PlanSource::Fallback`]), and **admission control** that sheds load
+//!   with [`MtmlfError::Overloaded`] when the request queue is full. A
+//!   model failure never becomes a query failure when a fallback is
+//!   configured.
 //!
-//! Responses are bitwise identical to calling
+//! Model-path responses are bitwise identical to calling
 //! [`MtmlfQo::plan_with_estimates`] directly — batching changes the shape of
 //! the arithmetic, not its result, and the cache only replays stored model
-//! output.
+//! output. Fallback responses are the deterministic DP optimum of
+//! `mtmlf-optd` and are never cached (the cache stores model output only).
 
 use crate::batch::plan_batch;
 use crate::cache::ShardedLruCache;
 use crate::error::MtmlfError;
 use crate::model::MtmlfQo;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::resilience::FaultPlan;
+use crate::resilience::{
+    is_transient, Admission, BreakerState, CircuitBreaker, FallbackPlanner, RetryPolicy,
+};
 use crate::Result;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use mtmlf_nn::no_grad;
 use mtmlf_query::{fingerprint, JoinOrder, Query, QueryFingerprint};
 use std::collections::HashMap;
@@ -33,16 +48,37 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// A planning request. Convertible from a bare [`Query`]; a struct so the
-/// API can grow fields (deadlines, priorities) without breaking callers.
+/// API can grow fields without breaking callers.
 #[derive(Debug, Clone)]
 pub struct PlanRequest {
     /// The query to plan.
     pub query: Query,
+    /// Time budget for this request, measured from the `plan` call. When it
+    /// expires the caller gets [`MtmlfError::Timeout`] and any work still
+    /// queued for it is dropped before the forward. `None` falls back to
+    /// [`ServiceConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl PlanRequest {
+    /// A request with no per-request deadline override.
+    pub fn new(query: Query) -> Self {
+        Self {
+            query,
+            deadline: None,
+        }
+    }
+
+    /// Sets this request's deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 impl From<Query> for PlanRequest {
     fn from(query: Query) -> Self {
-        Self { query }
+        Self::new(query)
     }
 }
 
@@ -53,6 +89,9 @@ pub enum PlanSource {
     Cache,
     /// Computed by a (possibly batched) model forward.
     Model,
+    /// Computed by the classical [`FallbackPlanner`] because the model path
+    /// failed or the circuit breaker rejected it.
+    Fallback,
 }
 
 /// A planned query as returned by [`PlannerService::plan`].
@@ -64,7 +103,7 @@ pub struct PlanResponse {
     pub est_card: f64,
     /// Predicted total cost of the chosen plan.
     pub est_cost: f64,
-    /// Whether the answer was cached or freshly computed.
+    /// Whether the answer was cached, freshly computed, or degraded.
     pub source: PlanSource,
     /// End-to-end latency observed by the calling thread, including any
     /// queueing and batching delay.
@@ -87,6 +126,17 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// When `false`, every miss runs as a batch of one.
     pub batching: bool,
+    /// Bound on queued (admitted, not yet planned) requests (≥ 1).
+    /// Admission beyond it fails fast with [`MtmlfError::Overloaded`]
+    /// instead of growing an unbounded backlog.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    /// `None` means such requests wait indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// Retry policy for transient model-path errors.
+    pub retry: RetryPolicy,
+    /// Circuit breaker over the model path (threshold, cool-down, clock).
+    pub breaker: crate::resilience::BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +148,10 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             batching: true,
+            queue_capacity: 1024,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            breaker: crate::resilience::BreakerConfig::default(),
         }
     }
 }
@@ -114,6 +168,11 @@ impl ServiceConfig {
                 "max_batch must be at least 1".into(),
             ));
         }
+        if self.queue_capacity == 0 {
+            return Err(MtmlfError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -128,6 +187,9 @@ struct CachedPlan {
 struct Job {
     query: Query,
     fp: QueryFingerprint,
+    /// Absolute deadline; a worker drops the job (instead of forwarding it)
+    /// once this has passed, because the client has already timed out.
+    deadline: Option<Instant>,
     reply: Sender<Result<(CachedPlan, PlanSource)>>,
 }
 
@@ -177,6 +239,10 @@ impl LatencyHistogram {
 
 /// A point-in-time snapshot of service counters, from
 /// [`PlannerService::metrics`].
+///
+/// Counting identity: `requests == cache_hits + model_plans + fallbacks +
+/// errors` — every accepted request is counted exactly once by how it
+/// returned. `timeouts` and `sheds` are sub-counts of `errors`.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceMetrics {
     /// Requests accepted by [`PlannerService::plan`].
@@ -185,8 +251,21 @@ pub struct ServiceMetrics {
     pub cache_hits: u64,
     /// Requests answered by a model forward.
     pub model_plans: u64,
-    /// Requests that returned an error.
+    /// Requests answered by the classical fallback planner.
+    pub fallbacks: u64,
+    /// Requests that returned an error (includes timeouts and sheds).
     pub errors: u64,
+    /// Requests that returned [`MtmlfError::Timeout`].
+    pub timeouts: u64,
+    /// Requests shed at admission with [`MtmlfError::Overloaded`].
+    pub sheds: u64,
+    /// Queued jobs a worker dropped without forwarding because their
+    /// deadline had already passed (their clients had timed out).
+    pub expired: u64,
+    /// Model forward attempts that were retried after a transient error.
+    pub retries: u64,
+    /// Times the circuit breaker transitioned to Open.
+    pub breaker_opens: u64,
     /// Batched forwards executed by workers.
     pub batches: u64,
     /// Cache-miss queries that went through those batches.
@@ -195,12 +274,14 @@ pub struct ServiceMetrics {
     pub cache_latency: LatencyHistogram,
     /// Latency distribution of model-served responses.
     pub model_latency: LatencyHistogram,
+    /// Latency distribution of fallback-served responses.
+    pub fallback_latency: LatencyHistogram,
 }
 
 impl ServiceMetrics {
     /// Fraction of answered requests served from the cache.
     pub fn cache_hit_rate(&self) -> f64 {
-        let answered = self.cache_hits + self.model_plans;
+        let answered = self.cache_hits + self.model_plans + self.fallbacks;
         if answered == 0 {
             0.0
         } else {
@@ -213,7 +294,12 @@ struct MetricsInner {
     requests: AtomicU64,
     cache_hits: AtomicU64,
     model_plans: AtomicU64,
+    fallbacks: AtomicU64,
     errors: AtomicU64,
+    timeouts: AtomicU64,
+    sheds: AtomicU64,
+    expired: AtomicU64,
+    retries: AtomicU64,
     batches: AtomicU64,
     batched_queries: AtomicU64,
     cache_buckets: [AtomicU64; 32],
@@ -222,6 +308,9 @@ struct MetricsInner {
     model_buckets: [AtomicU64; 32],
     model_count: AtomicU64,
     model_nanos: AtomicU64,
+    fallback_buckets: [AtomicU64; 32],
+    fallback_count: AtomicU64,
+    fallback_nanos: AtomicU64,
 }
 
 impl MetricsInner {
@@ -230,7 +319,12 @@ impl MetricsInner {
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             model_plans: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
             cache_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -239,6 +333,9 @@ impl MetricsInner {
             model_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             model_count: AtomicU64::new(0),
             model_nanos: AtomicU64::new(0),
+            fallback_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            fallback_count: AtomicU64::new(0),
+            fallback_nanos: AtomicU64::new(0),
         }
     }
 
@@ -258,6 +355,12 @@ impl MetricsInner {
                 &self.model_count,
                 &self.model_nanos,
             ),
+            PlanSource::Fallback => (
+                &self.fallbacks,
+                &self.fallback_buckets,
+                &self.fallback_count,
+                &self.fallback_nanos,
+            ),
         };
         hits.fetch_add(1, Ordering::Relaxed);
         buckets[bucket].fetch_add(1, Ordering::Relaxed);
@@ -276,29 +379,49 @@ impl MetricsInner {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             model_plans: self.model_plans.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_opens: 0,
             batches: self.batches.load(Ordering::Relaxed),
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
             cache_latency: hist(&self.cache_buckets, &self.cache_count, &self.cache_nanos),
             model_latency: hist(&self.model_buckets, &self.model_count, &self.model_nanos),
+            fallback_latency: hist(
+                &self.fallback_buckets,
+                &self.fallback_count,
+                &self.fallback_nanos,
+            ),
         }
     }
 }
 
 /// A thread-safe planning service: shared plan cache, batched inference,
-/// worker pool. See the [module docs](self) for the architecture.
+/// worker pool, and the fault-tolerance ladder of DESIGN.md §9. See the
+/// [module docs](self) for the architecture.
 ///
 /// # Example
 ///
 /// ```no_run
 /// use std::sync::Arc;
+/// use std::time::Duration;
 /// use mtmlf::prelude::*;
 /// use mtmlf::serve::ServiceConfig;
 ///
-/// # fn demo(model: MtmlfQo, query: Query) -> mtmlf::Result<()> {
-/// let service = PlannerService::start(Arc::new(model), ServiceConfig::default())?;
+/// # fn demo(model: MtmlfQo, db: Arc<mtmlf_storage::Database>, query: Query) -> mtmlf::Result<()> {
+/// let service = PlannerService::start_with_fallback(
+///     Arc::new(model),
+///     Some(FallbackPlanner::new(db)),
+///     ServiceConfig {
+///         default_deadline: Some(Duration::from_millis(50)),
+///         ..ServiceConfig::default()
+///     },
+/// )?;
 /// // Callable from any number of threads:
-/// let response = service.plan(query)?;
+/// let response = service.plan(PlanRequest::new(query).with_deadline(Duration::from_millis(10)))?;
 /// println!(
 ///     "order {:?} card {:.0} cost {:.0} via {:?} in {:?}",
 ///     response.join_order, response.est_card, response.est_cost,
@@ -315,6 +438,21 @@ pub struct PlannerService {
     workers: Mutex<Vec<JoinHandle<()>>>,
     cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
     metrics: Arc<MetricsInner>,
+    breaker: Arc<CircuitBreaker>,
+    default_deadline: Option<Duration>,
+}
+
+/// Everything one worker thread needs; cloned per worker.
+#[derive(Clone)]
+struct WorkerCtx {
+    model: Arc<MtmlfQo>,
+    cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
+    metrics: Arc<MetricsInner>,
+    fallback: Option<FallbackPlanner>,
+    breaker: Arc<CircuitBreaker>,
+    retry: RetryPolicy,
+    #[cfg(any(test, feature = "fault-injection"))]
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl PlannerService {
@@ -322,23 +460,70 @@ impl PlannerService {
     /// referenced) across client threads. Dropping the service drains and
     /// joins the workers (see [`PlannerService::shutdown`]).
     pub fn start(model: Arc<MtmlfQo>, config: ServiceConfig) -> Result<Self> {
+        Self::start_with_fallback(model, None, config)
+    }
+
+    /// Like [`PlannerService::start`], with a classical fallback planner
+    /// that answers when the model path fails or the breaker is open.
+    pub fn start_with_fallback(
+        model: Arc<MtmlfQo>,
+        fallback: Option<FallbackPlanner>,
+        config: ServiceConfig,
+    ) -> Result<Self> {
+        Self::start_inner(
+            model,
+            fallback,
+            config,
+            #[cfg(any(test, feature = "fault-injection"))]
+            None,
+        )
+    }
+
+    /// Starts a service whose worker loop consults `faults` before every
+    /// model forward — the chaos-test entry point. Test/feature-gated;
+    /// release builds have no fault-injection code at all.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn start_with_faults(
+        model: Arc<MtmlfQo>,
+        fallback: Option<FallbackPlanner>,
+        config: ServiceConfig,
+        faults: FaultPlan,
+    ) -> Result<Self> {
+        Self::start_inner(model, fallback, config, Some(Arc::new(faults)))
+    }
+
+    fn start_inner(
+        model: Arc<MtmlfQo>,
+        fallback: Option<FallbackPlanner>,
+        config: ServiceConfig,
+        #[cfg(any(test, feature = "fault-injection"))] faults: Option<Arc<FaultPlan>>,
+    ) -> Result<Self> {
         config.validate()?;
         let cache = Arc::new(ShardedLruCache::new(
             config.cache_capacity,
             config.cache_shards,
         ));
         let metrics = Arc::new(MetricsInner::new());
-        let (tx, rx) = unbounded::<Job>();
+        let breaker = Arc::new(CircuitBreaker::new(config.breaker.clone()));
+        let (tx, rx) = bounded::<Job>(config.queue_capacity);
+        let ctx = WorkerCtx {
+            model,
+            cache: Arc::clone(&cache),
+            metrics: Arc::clone(&metrics),
+            fallback,
+            breaker: Arc::clone(&breaker),
+            retry: config.retry.clone(),
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults,
+        };
         let workers = (0..config.workers)
             .map(|i| {
-                let model = Arc::clone(&model);
-                let cache = Arc::clone(&cache);
-                let metrics = Arc::clone(&metrics);
+                let ctx = ctx.clone();
                 let rx = rx.clone();
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("mtmlf-planner-{i}"))
-                    .spawn(move || worker_loop(&model, &cache, &metrics, &rx, &config))
+                    .spawn(move || worker_loop(&ctx, &rx, &config))
                     .map_err(|e| MtmlfError::Service(format!("spawn worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
@@ -347,22 +532,32 @@ impl PlannerService {
             workers: Mutex::new(workers),
             cache,
             metrics,
+            breaker,
+            default_deadline: config.default_deadline,
         })
     }
 
     /// Plans one query, from cache when possible, otherwise via the worker
-    /// pool. Blocks the calling thread until its response is ready; safe to
-    /// call concurrently from many threads.
+    /// pool. Blocks the calling thread until its response is ready or its
+    /// deadline expires; safe to call concurrently from many threads.
+    ///
+    /// Every call returns exactly one result: a [`PlanResponse`] (cached,
+    /// modeled, or fallback) or a typed error ([`MtmlfError::Timeout`],
+    /// [`MtmlfError::Overloaded`], [`MtmlfError::Service`], or the model's
+    /// own error). The chaos suite asserts this under injected faults.
     pub fn plan(&self, request: impl Into<PlanRequest>) -> Result<PlanResponse> {
-        let PlanRequest { query } = request.into();
+        let PlanRequest { query, deadline } = request.into();
         let start = Instant::now();
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let deadline = deadline.or(self.default_deadline);
+        // Saturating: a deadline too large to represent is no deadline.
+        let abs_deadline = deadline.and_then(|d| start.checked_add(d));
 
         // Refuse before the cache probe: a shut-down service answers
         // nothing, not even hits (mirrors the service model, where any
         // submit after close is Rejected). The sender is cloned out of the
         // guard so the read lock is not held across the cache probe, the
-        // (potentially blocking) send, or the reply wait.
+        // admission attempt, or the reply wait.
         let tx = {
             let guard = self.tx.read().unwrap_or_else(PoisonError::into_inner);
             guard.clone()
@@ -382,25 +577,60 @@ impl PlannerService {
         let job = Job {
             query,
             fp,
+            deadline: abs_deadline,
             reply: reply_tx,
         };
-        let sent = tx.send(job);
-        // Drop our sender clone eagerly: a shutdown that raced this call
-        // must not wait on this thread's reply round-trip to see the
-        // channel close.
+        // Admission control: never block on a full queue — shed instead.
+        // The sender clone is dropped eagerly either way: a shutdown that
+        // raced this call must not wait on this thread's reply round-trip
+        // to see the channel close.
+        let sent = tx.try_send(job);
         drop(tx);
-        sent.map_err(|_| MtmlfError::Service("planner workers are gone".into()))?;
-        match reply_rx.recv() {
-            Ok(Ok((plan, source))) => Ok(self.respond(plan, source, start)),
-            Ok(Err(e)) => {
+        match sent {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(MtmlfError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(MtmlfError::Service("planner workers are gone".into()));
+            }
+        }
+        let outcome = match abs_deadline {
+            Some(d) => match reply_rx.recv_deadline(d) {
+                Ok(outcome) => outcome,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(MtmlfError::Timeout);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(MtmlfError::Service(
+                        "planner worker dropped the reply".into(),
+                    ));
+                }
+            },
+            None => match reply_rx.recv() {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(MtmlfError::Service(
+                        "planner worker dropped the reply".into(),
+                    ));
+                }
+            },
+        };
+        match outcome {
+            Ok((plan, source)) => Ok(self.respond(plan, source, start)),
+            Err(e) => {
+                if matches!(e, MtmlfError::Timeout) {
+                    self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 Err(e)
-            }
-            Err(_) => {
-                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                Err(MtmlfError::Service(
-                    "planner worker dropped the reply".into(),
-                ))
             }
         }
     }
@@ -420,7 +650,14 @@ impl PlannerService {
     /// A point-in-time snapshot of the service counters and latency
     /// histograms.
     pub fn metrics(&self) -> ServiceMetrics {
-        self.metrics.snapshot()
+        let mut m = self.metrics.snapshot();
+        m.breaker_opens = self.breaker.times_opened();
+        m
+    }
+
+    /// The circuit breaker's current state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
     }
 
     /// Entries currently held by the plan cache.
@@ -464,13 +701,7 @@ impl Drop for PlannerService {
     }
 }
 
-fn worker_loop(
-    model: &MtmlfQo,
-    cache: &ShardedLruCache<QueryFingerprint, CachedPlan>,
-    metrics: &MetricsInner,
-    rx: &Receiver<Job>,
-    config: &ServiceConfig,
-) {
+fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>, config: &ServiceConfig) {
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         if config.batching && config.max_batch > 1 {
@@ -483,87 +714,187 @@ fn worker_loop(
                 }
             }
         }
-        process_batch(model, cache, metrics, batch);
+        process_batch(ctx, batch);
     }
 }
 
-fn process_batch(
-    model: &MtmlfQo,
-    cache: &ShardedLruCache<QueryFingerprint, CachedPlan>,
-    metrics: &MetricsInner,
-    batch: Vec<Job>,
-) {
+fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
     // Re-check the cache: another client may have planned the same query
     // between this job's miss and now.
     let mut misses: Vec<Job> = Vec::with_capacity(batch.len());
     for job in batch {
-        match cache.get(&job.fp) {
+        match ctx.cache.get(&job.fp) {
             Some(hit) => {
                 let _ = job.reply.send(Ok((hit, PlanSource::Cache)));
             }
             None => misses.push(job),
         }
     }
-    if misses.is_empty() {
+
+    // Drop work whose deadline already passed: the client's recv_deadline
+    // has fired, so forwarding would spend a model pass on an answer nobody
+    // is waiting for. The reply send keeps the one-reply invariant literal
+    // (it is a no-op for a departed client).
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(misses.len());
+    for job in misses {
+        match job.deadline {
+            Some(d) if d <= now => {
+                ctx.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(MtmlfError::Timeout));
+            }
+            _ => live.push(job),
+        }
+    }
+    if live.is_empty() {
         return;
     }
 
     // Deduplicate identical queries within the batch (cache-stampede
     // collapse): plan each distinct fingerprint once, fan the result out.
-    let mut unique_queries: Vec<Query> = Vec::with_capacity(misses.len());
-    let mut slot_of: HashMap<QueryFingerprint, usize> = HashMap::with_capacity(misses.len());
-    for job in &misses {
+    let mut unique_queries: Vec<Query> = Vec::with_capacity(live.len());
+    let mut slot_of: HashMap<QueryFingerprint, usize> = HashMap::with_capacity(live.len());
+    for job in &live {
         slot_of.entry(job.fp).or_insert_with(|| {
             unique_queries.push(job.query.clone());
             unique_queries.len() - 1
         });
     }
 
-    metrics.batches.fetch_add(1, Ordering::Relaxed);
-    metrics
+    ctx.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics
         .batched_queries
         .fetch_add(unique_queries.len() as u64, Ordering::Relaxed);
 
-    // Inference only: skip the autograd tape entirely.
-    let outcomes = no_grad(|| plan_batch(model, &unique_queries));
+    let outcomes = plan_unique(ctx, &unique_queries);
 
+    // Cache model output only: fallback plans are cheap to recompute and
+    // must stop being served the moment the model path recovers.
     for (slot, outcome) in outcomes.iter().enumerate() {
-        if let Ok(planned) = outcome {
+        if let Ok((plan, PlanSource::Model)) = outcome {
             let fp = fingerprint(&unique_queries[slot]);
-            cache.insert(
-                fp,
-                CachedPlan {
-                    join_order: planned.join_order.clone(),
-                    est_card: planned.est_card,
-                    est_cost: planned.est_cost,
-                },
-            );
+            ctx.cache.insert(fp, plan.clone());
         }
     }
-    for job in misses {
+    for job in live {
         let slot = slot_of[&job.fp];
-        let reply = match &outcomes[slot] {
-            Ok(planned) => Ok((
-                CachedPlan {
-                    join_order: planned.join_order.clone(),
-                    est_card: planned.est_card,
-                    est_cost: planned.est_cost,
-                },
-                PlanSource::Model,
-            )),
-            Err(e) => Err(e.clone()),
-        };
-        let _ = job.reply.send(reply);
+        let _ = job.reply.send(outcomes[slot].clone());
     }
+}
+
+/// Runs the degradation ladder for a batch of distinct queries: breaker
+/// admission → batched model forward with bounded retry → classical
+/// fallback for whatever the model path could not answer.
+fn plan_unique(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<(CachedPlan, PlanSource)>> {
+    let n = queries.len();
+
+    // Breaker admission per distinct query. Rejected slots skip the model
+    // entirely and degrade straight to the fallback.
+    let admissions: Vec<Admission> = queries.iter().map(|_| ctx.breaker.try_acquire()).collect();
+
+    // Model path with bounded retry for transient errors. Every attempt's
+    // outcome (success or failure) is reported to the breaker — a transient
+    // failure that will be retried is still evidence the model path is
+    // unhealthy.
+    let mut model_results: Vec<Option<Result<CachedPlan>>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..n)
+        .filter(|&slot| admissions[slot] != Admission::Rejected)
+        .collect();
+    let mut attempt: u32 = 0;
+    while !pending.is_empty() {
+        let forward_queries: Vec<Query> =
+            pending.iter().map(|&slot| queries[slot].clone()).collect();
+        let forwarded = forward(ctx, &forward_queries);
+        let mut retry_slots: Vec<usize> = Vec::new();
+        for (i, &slot) in pending.iter().enumerate() {
+            match &forwarded[i] {
+                Ok(planned) => {
+                    ctx.breaker.on_success();
+                    model_results[slot] = Some(Ok(CachedPlan {
+                        join_order: planned.join_order.clone(),
+                        est_card: planned.est_card,
+                        est_cost: planned.est_cost,
+                    }));
+                }
+                Err(e) => {
+                    ctx.breaker.on_failure();
+                    if is_transient(e) && attempt < ctx.retry.max_retries {
+                        retry_slots.push(slot);
+                    } else {
+                        model_results[slot] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        if retry_slots.is_empty() {
+            break;
+        }
+        ctx.metrics
+            .retries
+            .fetch_add(retry_slots.len() as u64, Ordering::Relaxed);
+        std::thread::sleep(ctx.retry.backoff(attempt));
+        attempt += 1;
+        pending = retry_slots;
+    }
+
+    // Final assembly: model success, else fallback, else a typed error.
+    (0..n)
+        .map(|slot| match model_results[slot].take() {
+            Some(Ok(plan)) => Ok((plan, PlanSource::Model)),
+            model_failure => {
+                let model_err = match model_failure {
+                    Some(Err(e)) => Some(e),
+                    _ => None, // breaker-rejected: the model was never asked
+                };
+                match &ctx.fallback {
+                    Some(fb) => match fb.plan(&queries[slot]) {
+                        Ok((join_order, est_card, est_cost)) => Ok((
+                            CachedPlan {
+                                join_order,
+                                est_card,
+                                est_cost,
+                            },
+                            PlanSource::Fallback,
+                        )),
+                        // The ladder ran dry: surface the model's error
+                        // when there is one (it names the primary path),
+                        // otherwise the fallback's.
+                        Err(fb_err) => Err(model_err.unwrap_or(fb_err)),
+                    },
+                    None => Err(model_err.unwrap_or_else(|| {
+                        MtmlfError::Service(
+                            "circuit breaker open and no fallback planner configured".into(),
+                        )
+                    })),
+                }
+            }
+        })
+        .collect()
+}
+
+/// One batched model forward, with the fault-injection hook ahead of it.
+fn forward(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<crate::batch::PlannedQuery>> {
+    #[cfg(any(test, feature = "fault-injection"))]
+    if let Some(faults) = &ctx.faults {
+        // `inject` sleeps through latency spikes, panics for worker-crash
+        // simulation, and returns Err for an injected forward failure.
+        if let Err(e) = faults.inject() {
+            return queries.iter().map(|_| Err(e.clone())).collect();
+        }
+    }
+    // Inference only: skip the autograd tape entirely.
+    no_grad(|| plan_batch(&ctx.model, queries))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::{BreakerConfig, Clock, ManualClock};
     use crate::MtmlfConfig;
     use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+    use mtmlf_storage::Database;
 
-    fn setup() -> (Arc<MtmlfQo>, Vec<Query>) {
+    fn setup() -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
         let mut db = imdb_lite(41, ImdbScale { scale: 0.02 });
         db.analyze_all(8, 4);
         let cfg = MtmlfConfig {
@@ -582,12 +913,25 @@ mod tests {
             11,
         );
         let model = MtmlfQo::new(&db, cfg).expect("build model");
-        (Arc::new(model), queries)
+        (Arc::new(model), Arc::new(db), queries)
+    }
+
+    /// A breaker config on a manual clock so tests control the cool-down.
+    fn manual_breaker(threshold: u32) -> (BreakerConfig, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_millis(100),
+                clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            },
+            clock,
+        )
     }
 
     #[test]
     fn serves_plans_and_caches_repeats() {
-        let (model, queries) = setup();
+        let (model, _db, queries) = setup();
         let service = PlannerService::start(
             Arc::clone(&model),
             ServiceConfig {
@@ -617,11 +961,14 @@ mod tests {
         assert!(m.cache_latency.mean() > Duration::ZERO);
         assert!(m.model_latency.mean() >= m.cache_latency.mean());
         assert_eq!(service.cached_plans(), queries.len());
+        assert_eq!(m.fallbacks, 0);
+        assert_eq!(m.breaker_opens, 0);
+        assert_eq!(service.breaker_state(), BreakerState::Closed);
     }
 
     #[test]
     fn fingerprint_equivalent_queries_share_a_cache_entry() {
-        let (model, queries) = setup();
+        let (model, _db, queries) = setup();
         let service =
             PlannerService::start(model, ServiceConfig::default()).expect("start service");
         let query = &queries[0];
@@ -635,7 +982,7 @@ mod tests {
 
     #[test]
     fn caching_can_be_disabled() {
-        let (model, queries) = setup();
+        let (model, _db, queries) = setup();
         let service = PlannerService::start(
             model,
             ServiceConfig {
@@ -655,11 +1002,19 @@ mod tests {
 
     #[test]
     fn rejects_invalid_service_config() {
-        let (model, _) = setup();
+        let (model, _db, _) = setup();
+        let err = PlannerService::start(
+            Arc::clone(&model),
+            ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(MtmlfError::InvalidConfig(_))));
         let err = PlannerService::start(
             model,
             ServiceConfig {
-                workers: 0,
+                queue_capacity: 0,
                 ..ServiceConfig::default()
             },
         );
@@ -682,5 +1037,170 @@ mod tests {
         assert_eq!(h.mean(), Duration::from_nanos(100_700 / 4));
         assert!(h.quantile(0.5) <= Duration::from_nanos(1 << 9));
         assert!(h.quantile(1.0) >= Duration::from_nanos(100_000));
+    }
+
+    #[test]
+    fn retry_recovers_from_one_transient_fault() {
+        let (model, _db, queries) = setup();
+        let (breaker, _clock) = manual_breaker(100);
+        let service = PlannerService::start_with_faults(
+            model,
+            None,
+            ServiceConfig {
+                workers: 1,
+                breaker,
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    base_backoff: Duration::from_micros(50),
+                },
+                ..ServiceConfig::default()
+            },
+            FaultPlan::new().fail_on(0),
+        )
+        .expect("start service");
+        let resp = service.plan(queries[0].clone()).expect("retried plan");
+        assert_eq!(resp.source, PlanSource::Model);
+        let m = service.metrics();
+        assert!(m.retries >= 1, "first forward failed, retry must show");
+        assert_eq!(m.fallbacks, 0);
+        assert_eq!(service.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn persistent_faults_trip_breaker_and_fallback_answers() {
+        let (model, db, queries) = setup();
+        let (breaker, _clock) = manual_breaker(2);
+        let service = PlannerService::start_with_faults(
+            Arc::clone(&model),
+            Some(FallbackPlanner::new(Arc::clone(&db))),
+            ServiceConfig {
+                workers: 1,
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+                breaker,
+                ..ServiceConfig::default()
+            },
+            // Every forward fails, deterministically.
+            FaultPlan::seeded(3, 1000),
+        )
+        .expect("start service");
+        for query in &queries {
+            let resp = service.plan(query.clone()).expect("fallback plan");
+            assert_eq!(resp.source, PlanSource::Fallback);
+            resp.join_order.validate(query).expect("legal order");
+        }
+        let m = service.metrics();
+        assert_eq!(m.fallbacks, queries.len() as u64);
+        assert_eq!(m.model_plans, 0);
+        assert!(m.breaker_opens >= 1, "persistent failures must trip");
+        assert_eq!(service.breaker_state(), BreakerState::Open);
+        // Fallback plans are never cached.
+        assert_eq!(service.cached_plans(), 0);
+    }
+
+    #[test]
+    fn failing_model_without_fallback_returns_typed_errors_and_stays_up() {
+        let (model, _db, queries) = setup();
+        let (breaker, _clock) = manual_breaker(1);
+        let service = PlannerService::start_with_faults(
+            model,
+            None,
+            ServiceConfig {
+                workers: 1,
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+                breaker,
+                ..ServiceConfig::default()
+            },
+            FaultPlan::seeded(4, 1000),
+        )
+        .expect("start service");
+        // First request reaches the model and gets the injected error;
+        // later ones are breaker-rejected with a clean Service error.
+        let first = service.plan(queries[0].clone());
+        assert!(matches!(first, Err(MtmlfError::Service(_))), "{first:?}");
+        let second = service.plan(queries[1].clone());
+        assert!(matches!(second, Err(MtmlfError::Service(_))), "{second:?}");
+        let m = service.metrics();
+        assert_eq!(m.errors, 2);
+        assert_eq!(service.breaker_state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error() {
+        let (model, _db, queries) = setup();
+        // One worker stalled by an injected latency spike + a queue of one:
+        // the burst below must shed deterministically.
+        let service = Arc::new(
+            PlannerService::start_with_faults(
+                model,
+                None,
+                ServiceConfig {
+                    workers: 1,
+                    queue_capacity: 1,
+                    batching: false,
+                    ..ServiceConfig::default()
+                },
+                FaultPlan::new().delay_on(0, Duration::from_millis(300)),
+            )
+            .expect("start service"),
+        );
+        // Occupy the worker…
+        let occupant = {
+            let service = Arc::clone(&service);
+            let query = queries[0].clone();
+            std::thread::spawn(move || service.plan(query))
+        };
+        // …give it time to dequeue and hit the delay…
+        std::thread::sleep(Duration::from_millis(100));
+        // …then overfill the queue. Capacity 1 means at most one of these
+        // is admitted; the rest must shed.
+        let mut sheds = 0;
+        let mut admitted = Vec::new();
+        for query in queries.iter().skip(1).cycle().take(8) {
+            match service.plan(PlanRequest::new(query.clone()).with_deadline(Duration::ZERO)) {
+                Err(MtmlfError::Overloaded) => sheds += 1,
+                other => admitted.push(other),
+            }
+        }
+        assert!(sheds >= 1, "queue of 1 must shed an 8-request burst");
+        let m = service.metrics();
+        assert_eq!(m.sheds, sheds);
+        assert!(m.errors >= sheds);
+        assert!(occupant.join().expect("join occupant").is_ok());
+    }
+
+    #[test]
+    fn worker_panic_yields_clean_error_and_service_survives() {
+        let (model, _db, queries) = setup();
+        // Two workers; the first forward panics its worker. The victim
+        // client gets a clean Service error (dropped reply), and later
+        // requests are served by the surviving worker.
+        let service = PlannerService::start_with_faults(
+            Arc::clone(&model),
+            None,
+            ServiceConfig {
+                workers: 2,
+                batching: false,
+                ..ServiceConfig::default()
+            },
+            FaultPlan::new().panic_on(0),
+        )
+        .expect("start service");
+        let victim = service.plan(queries[0].clone());
+        assert!(
+            matches!(victim, Err(MtmlfError::Service(_))),
+            "panicked worker must surface as a clean error, got {victim:?}"
+        );
+        for query in &queries[1..] {
+            let resp = service.plan(query.clone()).expect("survivor serves");
+            assert_eq!(resp.source, PlanSource::Model);
+        }
+        // Shutdown joins the panicked worker without propagating.
+        service.shutdown();
     }
 }

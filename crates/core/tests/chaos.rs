@@ -1,0 +1,281 @@
+//! Chaos suite: the serving path under deterministic injected faults.
+//!
+//! Requires the `fault-injection` feature (`cargo test -p mtmlf --features
+//! fault-injection`); CI runs it as a dedicated job. Every test asserts the
+//! service's core liveness contract: **each accepted `plan` call returns
+//! exactly one result** — a cached, modeled, or fallback plan, or a typed
+//! error — with no hung client, no lost reply, and no poisoned lock, under
+//! every fault the harness can express (forward errors, latency spikes,
+//! worker panics).
+//!
+//! Fault schedules are seeded or scripted ([`mtmlf::resilience::FaultPlan`]
+//! is keyed by the global forward counter), so every run replays the same
+//! storm.
+
+#![cfg(feature = "fault-injection")]
+
+use mtmlf::prelude::*;
+use mtmlf::resilience::{FaultPlan, ManualClock};
+use mtmlf::serve::ServiceConfig;
+use mtmlf::{BreakerState, Clock, MtmlfError};
+use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+use mtmlf_storage::Database;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn setup() -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
+    let mut db = imdb_lite(53, ImdbScale { scale: 0.02 });
+    db.analyze_all(8, 4);
+    let cfg = MtmlfConfig {
+        enc_queries: 10,
+        enc_epochs: 1,
+        seed: 53,
+        ..MtmlfConfig::tiny()
+    };
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 6,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        19,
+    );
+    let model = MtmlfQo::new(&db, cfg).expect("build model");
+    (Arc::new(model), Arc::new(db), queries)
+}
+
+/// Asserts the metrics counting identity that makes "exactly one reply"
+/// auditable: every accepted request is counted once by how it returned.
+fn assert_identity(m: &mtmlf::ServiceMetrics) {
+    assert_eq!(
+        m.requests,
+        m.cache_hits + m.model_plans + m.fallbacks + m.errors,
+        "counting identity violated: {m:?}"
+    );
+}
+
+/// A seeded error storm (30% of forwards fail) against a retrying,
+/// breaker-guarded service with a classical fallback: concurrent clients
+/// all get exactly one legal answer each, and no request errors out.
+#[test]
+fn seeded_error_storm_every_client_gets_one_answer() {
+    let (model, db, queries) = setup();
+    let service = Arc::new(
+        PlannerService::start_with_faults(
+            model,
+            Some(FallbackPlanner::new(Arc::clone(&db))),
+            ServiceConfig {
+                workers: 2,
+                cache_capacity: 0, // keep the model path hot for the storm
+                ..ServiceConfig::default()
+            },
+            FaultPlan::seeded(101, 300),
+        )
+        .expect("start service"),
+    );
+
+    let answered = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for offset in 0..4 {
+            let service = Arc::clone(&service);
+            let queries = queries.clone();
+            let answered = Arc::clone(&answered);
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let query = queries[(offset + round) % queries.len()].clone();
+                    let resp = service.plan(query.clone()).expect("storm answer");
+                    resp.join_order.validate(&query).expect("legal order");
+                    assert!(matches!(
+                        resp.source,
+                        PlanSource::Model | PlanSource::Fallback
+                    ));
+                    answered.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(answered.load(Ordering::Relaxed), 4 * 6);
+
+    let m = service.metrics();
+    assert_eq!(m.requests, 4 * 6);
+    assert_eq!(m.errors, 0, "retry+fallback must absorb every fault");
+    assert_identity(&m);
+}
+
+/// An injected latency spike makes the victim miss its deadline; it gets a
+/// clean [`MtmlfError::Timeout`] and the service keeps serving afterwards.
+#[test]
+fn latency_spike_times_out_cleanly() {
+    let (model, _db, queries) = setup();
+    let service = PlannerService::start_with_faults(
+        model,
+        None,
+        ServiceConfig {
+            workers: 1,
+            batching: false,
+            ..ServiceConfig::default()
+        },
+        FaultPlan::new().delay_on(0, Duration::from_millis(120)),
+    )
+    .expect("start service");
+
+    let victim = service.plan(
+        PlanRequest::new(queries[0].clone()).with_deadline(Duration::from_millis(10)),
+    );
+    assert!(matches!(victim, Err(MtmlfError::Timeout)), "{victim:?}");
+
+    // Later requests (forward 1+) are clean and fast.
+    for query in &queries[1..] {
+        let resp = service.plan(query.clone()).expect("post-spike answer");
+        assert_eq!(resp.source, PlanSource::Model);
+    }
+    let m = service.metrics();
+    assert_eq!(m.timeouts, 1);
+    assert_eq!(m.errors, 1);
+    assert_identity(&m);
+}
+
+/// Scripted forward failures trip the breaker; the fallback carries the
+/// load while it is open; a manual-clock cool-down later, the half-open
+/// probe succeeds and the model path resumes. The whole episode is
+/// deterministic.
+#[test]
+fn breaker_trips_and_recovers_deterministically() {
+    let (model, db, queries) = setup();
+    let clock = Arc::new(ManualClock::new());
+    let service = PlannerService::start_with_faults(
+        model,
+        Some(FallbackPlanner::new(Arc::clone(&db))),
+        ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(100),
+                clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            },
+            ..ServiceConfig::default()
+        },
+        // Forwards 0 and 1 fail; everything after is clean.
+        FaultPlan::new().fail_on(0).fail_on(1),
+    )
+    .expect("start service");
+
+    // Failures 1 and 2 trip the breaker; both degrade to the fallback.
+    for query in &queries[..2] {
+        let resp = service.plan(query.clone()).expect("fallback answer");
+        assert_eq!(resp.source, PlanSource::Fallback);
+    }
+    assert_eq!(service.breaker_state(), BreakerState::Open);
+
+    // Still open (clock has not moved): rejected at the breaker, no
+    // forward consumed, fallback answers.
+    let resp = service.plan(queries[2].clone()).expect("degraded answer");
+    assert_eq!(resp.source, PlanSource::Fallback);
+
+    // Cool-down passes; the probe (forward 2, clean) closes the breaker.
+    clock.advance(Duration::from_millis(150));
+    let resp = service.plan(queries[3].clone()).expect("probe answer");
+    assert_eq!(resp.source, PlanSource::Model);
+    assert_eq!(service.breaker_state(), BreakerState::Closed);
+
+    let m = service.metrics();
+    assert_eq!(m.fallbacks, 3);
+    assert_eq!(m.model_plans, 1);
+    assert_eq!(m.breaker_opens, 1);
+    assert_eq!(m.errors, 0);
+    assert_identity(&m);
+}
+
+/// With a stalled worker and a queue of one, a burst sheds with
+/// [`MtmlfError::Overloaded`] — fail-fast, no hung client — and the one
+/// admitted occupant still completes.
+#[test]
+fn overload_sheds_and_recovers() {
+    let (model, _db, queries) = setup();
+    let service = Arc::new(
+        PlannerService::start_with_faults(
+            model,
+            None,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                batching: false,
+                ..ServiceConfig::default()
+            },
+            FaultPlan::new().delay_on(0, Duration::from_millis(250)),
+        )
+        .expect("start service"),
+    );
+
+    let occupant = {
+        let service = Arc::clone(&service);
+        let query = queries[0].clone();
+        std::thread::spawn(move || service.plan(query))
+    };
+    std::thread::sleep(Duration::from_millis(80)); // let it hit the delay
+    let mut sheds = 0;
+    for query in queries.iter().skip(1).cycle().take(8) {
+        match service.plan(PlanRequest::new(query.clone()).with_deadline(Duration::ZERO)) {
+            Err(MtmlfError::Overloaded) => sheds += 1,
+            Err(MtmlfError::Timeout) => {} // admitted, then expired: also clean
+            other => {
+                other.expect("any non-shed outcome must be a plan");
+            }
+        }
+    }
+    assert!(sheds >= 1, "a queue of one must shed an 8-request burst");
+    assert!(occupant.join().expect("occupant ran").is_ok());
+
+    // The stall was transient: the service still answers.
+    let resp = service.plan(queries[1].clone()).expect("post-burst answer");
+    assert!(matches!(resp.source, PlanSource::Model | PlanSource::Cache));
+    let m = service.metrics();
+    assert_eq!(m.sheds, sheds);
+    assert_identity(&m);
+}
+
+/// An injected worker panic costs its victim one clean `Service` error and
+/// nothing else: no poisoned model lock, no poisoned cache shard, and the
+/// surviving workers keep planning.
+#[test]
+fn worker_panic_does_not_poison_the_service() {
+    let (model, _db, queries) = setup();
+    let service = PlannerService::start_with_faults(
+        Arc::clone(&model),
+        None,
+        ServiceConfig {
+            workers: 2,
+            batching: false,
+            ..ServiceConfig::default()
+        },
+        FaultPlan::new().panic_on(0),
+    )
+    .expect("start service");
+
+    let victim = service.plan(queries[0].clone());
+    assert!(
+        matches!(victim, Err(MtmlfError::Service(_))),
+        "panic must surface as a clean dropped-reply error, got {victim:?}"
+    );
+    for query in &queries[1..] {
+        let resp = service.plan(query.clone()).expect("survivor answer");
+        assert_eq!(resp.source, PlanSource::Model);
+        resp.join_order.validate(query).expect("legal order");
+    }
+    let m = service.metrics();
+    assert_eq!(m.errors, 1);
+    assert_identity(&m);
+    // Shutdown joins the panicked worker without propagating its panic...
+    service.shutdown();
+    // ...and the shared model's autograd locks are untouched.
+    for query in &queries {
+        model.plan_with_estimates(query).expect("model unpoisoned");
+    }
+}

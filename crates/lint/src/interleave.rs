@@ -12,7 +12,7 @@
 //! send/recv) are modeled as single atomic steps, so the schedules explored
 //! here are exactly the linearizations the real locks permit.
 //!
-//! Two models mirror the serving path:
+//! Three models mirror the serving path:
 //!
 //! * [`CacheModel`] — the intrusive doubly-linked LRU of
 //!   `mtmlf::cache::ShardedLruCache`, op for op (get with recency bump,
@@ -23,6 +23,12 @@
 //!   closes the queue then joins. Invariants: every submitted request gets
 //!   exactly one reply (no lost responses, no double-completion) and no
 //!   schedule deadlocks — including shutdown racing in-flight requests.
+//! * [`BreakerModel`] — `mtmlf::resilience::CircuitBreaker`
+//!   acquire/report transition for transition, with a clock thread ticking
+//!   the cool-down. Invariants: a probe flag only ever flies in the
+//!   half-open state, a cooled-down open breaker always yields a probe
+//!   (no stuck-open), and no probe admission is left unresolved at the end
+//!   of any schedule (no lost half-open probe).
 //!
 //! Deliberate-bug variants (gated behind test-only constructors) prove the
 //! checker actually catches lost replies, double completions, and
@@ -562,6 +568,256 @@ impl Interleave for ServiceModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Breaker model
+// ---------------------------------------------------------------------
+
+/// Breaker state, mirroring `mtmlf::resilience::BreakerState`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Requests flow to the model path; failures are counted.
+    Closed,
+    /// The model path is short-circuited until the cool-down elapses.
+    Open,
+    /// One probe request is testing whether the model path recovered.
+    HalfOpen,
+}
+
+/// What the model breaker told an acquiring client, mirroring
+/// `mtmlf::resilience::Admission`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelAdmission {
+    /// Closed: proceed to the model path.
+    Admitted,
+    /// Half-open: proceed as the single recovery probe.
+    Probe,
+    /// Open (or probe already in flight): degrade without the model.
+    Rejected,
+}
+
+/// One scripted client attempt: whether the model path would fail if this
+/// attempt reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// `true` → the client reports `on_failure` when admitted.
+    pub fails: bool,
+}
+
+/// Mirror of `mtmlf::resilience::CircuitBreaker` under concurrent clients
+/// and a ticking clock.
+///
+/// Each client attempt is two atomic steps, exactly the two lock
+/// acquisitions in the real code: **acquire** (`try_acquire`) and
+/// **report** (`on_success`/`on_failure`, or nothing when rejected). The
+/// last thread is a clock that advances time by one cool-down per tick, so
+/// schedules cover trips, cool-downs, probe races, and probe takeover.
+///
+/// Thread layout: `0..clients` = clients, `clients` = clock.
+#[derive(Debug, Clone)]
+pub struct BreakerModel {
+    // -- the mirrored breaker (fields of BreakerInner) --
+    state: BreakerPhase,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probe_in_flight: bool,
+    probe_started: u64,
+    threshold: u32,
+    // -- the harness --
+    now: u64, // ticks; cool-down is 1 tick
+    scripts: Vec<Vec<Attempt>>,
+    pc: Vec<usize>, // per client: step index (attempt*2 + phase)
+    pending: Vec<Option<ModelAdmission>>,
+    ticks_left: usize,
+    // Deliberate-bug switches for checker self-tests.
+    bug_lost_probe: bool,
+    bug_stuck_open: bool,
+}
+
+const COOLDOWN_TICKS: u64 = 1;
+
+impl BreakerModel {
+    /// A correct model: one client thread per script plus a clock thread
+    /// ticking `ticks` times.
+    pub fn new(threshold: u32, scripts: Vec<Vec<Attempt>>, ticks: usize) -> Self {
+        let n = scripts.len();
+        Self {
+            state: BreakerPhase::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probe_in_flight: false,
+            probe_started: 0,
+            threshold,
+            now: 0,
+            scripts,
+            pc: vec![0; n],
+            pending: vec![None; n],
+            ticks_left: ticks,
+            bug_lost_probe: false,
+            bug_stuck_open: false,
+        }
+    }
+
+    /// Buggy variant: `on_success` closes the breaker but forgets to clear
+    /// the probe-in-flight flag (must be caught as a probe flying outside
+    /// the half-open state, or as a lost probe at completion).
+    pub fn with_lost_probe(threshold: u32, scripts: Vec<Vec<Attempt>>, ticks: usize) -> Self {
+        Self {
+            bug_lost_probe: true,
+            ..Self::new(threshold, scripts, ticks)
+        }
+    }
+
+    /// Buggy variant: `try_acquire` ignores the cool-down and keeps
+    /// rejecting forever once open (must be caught as stuck-open).
+    pub fn with_stuck_open(threshold: u32, scripts: Vec<Vec<Attempt>>, ticks: usize) -> Self {
+        Self {
+            bug_stuck_open: true,
+            ..Self::new(threshold, scripts, ticks)
+        }
+    }
+
+    fn clock_idx(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Mirrors `CircuitBreaker::try_acquire`.
+    fn try_acquire(&mut self) -> ModelAdmission {
+        match self.state {
+            BreakerPhase::Closed => ModelAdmission::Admitted,
+            BreakerPhase::Open => {
+                if self.bug_stuck_open {
+                    return ModelAdmission::Rejected;
+                }
+                if self.now - self.opened_at >= COOLDOWN_TICKS {
+                    self.state = BreakerPhase::HalfOpen;
+                    self.probe_in_flight = true;
+                    self.probe_started = self.now;
+                    ModelAdmission::Probe
+                } else {
+                    ModelAdmission::Rejected
+                }
+            }
+            BreakerPhase::HalfOpen => {
+                if self.probe_in_flight && self.now - self.probe_started < COOLDOWN_TICKS {
+                    ModelAdmission::Rejected
+                } else {
+                    // Probe takeover: the old probe's worker is presumed
+                    // dead after a full cool-down with no verdict.
+                    self.probe_in_flight = true;
+                    self.probe_started = self.now;
+                    ModelAdmission::Probe
+                }
+            }
+        }
+    }
+
+    /// Mirrors `CircuitBreaker::on_success`.
+    fn on_success(&mut self) {
+        self.state = BreakerPhase::Closed;
+        self.consecutive_failures = 0;
+        if !self.bug_lost_probe {
+            self.probe_in_flight = false;
+        }
+    }
+
+    /// Mirrors `CircuitBreaker::on_failure`.
+    fn on_failure(&mut self) {
+        match self.state {
+            BreakerPhase::HalfOpen => {
+                self.state = BreakerPhase::Open;
+                self.opened_at = self.now;
+                self.probe_in_flight = false;
+            }
+            BreakerPhase::Closed => {
+                self.consecutive_failures += 1;
+                if self.threshold > 0 && self.consecutive_failures >= self.threshold {
+                    self.state = BreakerPhase::Open;
+                    self.opened_at = self.now;
+                }
+            }
+            BreakerPhase::Open => {}
+        }
+    }
+
+    /// Per-step invariant: the probe flag only flies half-open.
+    fn probe_invariant(&self) -> Result<(), String> {
+        if self.probe_in_flight && self.state != BreakerPhase::HalfOpen {
+            return Err(format!(
+                "probe in flight while breaker is {:?} (must be HalfOpen)",
+                self.state
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Interleave for BreakerModel {
+    fn threads(&self) -> usize {
+        self.scripts.len() + 1
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t < self.scripts.len() {
+            self.pc[t] >= 2 * self.scripts[t].len()
+        } else {
+            self.ticks_left == 0
+        }
+    }
+
+    fn enabled(&self, _t: usize) -> bool {
+        true // acquire, report, and tick never block
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if t == self.clock_idx() {
+            self.now += COOLDOWN_TICKS;
+            self.ticks_left -= 1;
+            return self.probe_invariant();
+        }
+        let attempt = self.scripts[t][self.pc[t] / 2];
+        if self.pc[t] % 2 == 0 {
+            // Acquire phase.
+            let was_open = self.state == BreakerPhase::Open;
+            let cooled = self.now - self.opened_at >= COOLDOWN_TICKS;
+            let admission = self.try_acquire();
+            if was_open && cooled && admission == ModelAdmission::Rejected {
+                return Err(
+                    "stuck open: cooled-down breaker rejected instead of probing".to_string(),
+                );
+            }
+            self.pending[t] = Some(admission);
+        } else {
+            // Report phase: rejected attempts bypass the breaker entirely
+            // (the real code degrades them to the fallback).
+            match self.pending[t].take() {
+                Some(ModelAdmission::Admitted) | Some(ModelAdmission::Probe) => {
+                    if attempt.fails {
+                        self.on_failure();
+                    } else {
+                        self.on_success();
+                    }
+                }
+                Some(ModelAdmission::Rejected) => {}
+                None => return Err(format!("client {t} reported without acquiring")),
+            }
+        }
+        self.pc[t] += 1;
+        self.probe_invariant()
+    }
+
+    fn check_complete(&self) -> Result<(), String> {
+        if self.probe_in_flight {
+            return Err(
+                "lost half-open probe: a probe admission was never resolved".to_string(),
+            );
+        }
+        if let Some(t) = self.pending.iter().position(Option::is_some) {
+            return Err(format!("client {t} finished with an unreported admission"));
+        }
+        Ok(())
+    }
+}
+
 /// The standard model suite run by `mtmlf-lint --check`: name, schedules
 /// explored, steps taken. Any violation aborts with its message.
 pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, String)> {
@@ -609,6 +865,39 @@ pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, St
     match explore(&ServiceModel::new(3), 20_000_000) {
         Ok(stats) => out.push(("service-3client", stats)),
         Err(v) => return Err(("service-3client".to_string(), v.to_string())),
+    }
+
+    // Trip-and-recover: two clients whose first attempts fail and second
+    // attempts succeed, one cool-down tick. Covers threshold trips,
+    // rejection while open, the half-open probe, and reclosure.
+    let trip = BreakerModel::new(
+        2,
+        vec![
+            vec![Attempt { fails: true }, Attempt { fails: false }],
+            vec![Attempt { fails: true }, Attempt { fails: false }],
+        ],
+        1,
+    );
+    match explore(&trip, 2_000_000) {
+        Ok(stats) => out.push(("breaker-trip-recover", stats)),
+        Err(v) => return Err(("breaker-trip-recover".to_string(), v.to_string())),
+    }
+
+    // Probe race: threshold one, three clients (two failing, one healthy)
+    // and two ticks, so schedules include concurrent acquire in half-open,
+    // failed probes restarting the cool-down, and probe takeover.
+    let race = BreakerModel::new(
+        1,
+        vec![
+            vec![Attempt { fails: true }],
+            vec![Attempt { fails: true }],
+            vec![Attempt { fails: false }],
+        ],
+        2,
+    );
+    match explore(&race, 2_000_000) {
+        Ok(stats) => out.push(("breaker-probe-race", stats)),
+        Err(v) => return Err(("breaker-probe-race".to_string(), v.to_string())),
     }
 
     Ok(out)
@@ -711,9 +1000,67 @@ mod tests {
     }
 
     #[test]
+    fn breaker_trip_recover_model_is_exhaustive_and_clean() {
+        let model = BreakerModel::new(
+            2,
+            vec![
+                vec![Attempt { fails: true }, Attempt { fails: false }],
+                vec![Attempt { fails: true }, Attempt { fails: false }],
+            ],
+            1,
+        );
+        let stats = explore(&model, 2_000_000).expect("no invariant failures");
+        // 9 steps interleaved three ways: 9!/(4!·4!·1!) = 630 schedules.
+        assert_eq!(stats.schedules, 630);
+    }
+
+    #[test]
+    fn breaker_probe_race_model_is_exhaustive_and_clean() {
+        let model = BreakerModel::new(
+            1,
+            vec![
+                vec![Attempt { fails: true }],
+                vec![Attempt { fails: true }],
+                vec![Attempt { fails: false }],
+            ],
+            2,
+        );
+        let stats = explore(&model, 2_000_000).expect("no invariant failures");
+        // 8 steps interleaved four ways: 8!/(2!·2!·2!·2!) = 2520 schedules.
+        assert_eq!(stats.schedules, 2520);
+    }
+
+    #[test]
+    fn checker_catches_lost_half_open_probe() {
+        // One failure trips the breaker; after a tick the probe succeeds,
+        // but the buggy on_success leaves the probe flag flying.
+        let model = BreakerModel::with_lost_probe(
+            1,
+            vec![vec![Attempt { fails: true }, Attempt { fails: false }]],
+            1,
+        );
+        let err = explore(&model, 2_000_000).expect_err("lost probe must be caught");
+        assert!(
+            err.message.contains("probe"),
+            "unexpected violation: {err}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_stuck_open_breaker() {
+        let model = BreakerModel::with_stuck_open(
+            1,
+            vec![vec![Attempt { fails: true }, Attempt { fails: false }]],
+            1,
+        );
+        let err = explore(&model, 2_000_000).expect_err("stuck open must be caught");
+        assert!(err.message.contains("stuck open"), "{err}");
+    }
+
+    #[test]
     fn model_suite_runs_clean() {
         let suite = run_model_suite().expect("suite clean");
-        assert_eq!(suite.len(), 4);
+        assert_eq!(suite.len(), 6);
         for (name, stats) in suite {
             assert!(stats.schedules > 0, "{name} explored nothing");
         }

@@ -48,6 +48,22 @@ impl<'a> PgOptimizer<'a> {
         }
     }
 
+    /// Plans a query and additionally returns the estimated cardinality of
+    /// the full join result — the `(order, card, cost)` shape the serving
+    /// layer's fallback path reports, matching what the learned planner
+    /// returns from `plan_with_estimates`.
+    pub fn plan_with_estimates(&self, query: &Query) -> Result<(PlannedQuery, f64)> {
+        let planned = self.plan(query)?;
+        let graph = query.join_graph()?;
+        let full = if graph.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << graph.len()) - 1
+        };
+        let card = PgEstimator::new(self.db).cardinality(query, &graph, full)?;
+        Ok((planned, card))
+    }
+
     /// The optimizer's cardinality estimate for a filtered base table
     /// (Table 1's "PostgreSQL" CardEst baseline evaluates these and the
     /// join estimates below).
@@ -133,6 +149,18 @@ mod tests {
             .unwrap();
         planned.order.validate(&q).unwrap();
         assert!(matches!(planned.order, JoinOrder::Bushy(_)));
+    }
+
+    #[test]
+    fn plan_with_estimates_matches_plan_and_root_estimate() {
+        let db = make_db();
+        let q = two_table_query();
+        let opt = PgOptimizer::new(&db);
+        let (planned, card) = opt.plan_with_estimates(&q).unwrap();
+        let direct = opt.plan(&q).unwrap();
+        assert_eq!(planned.order, direct.order);
+        assert_eq!(planned.estimated_cost.to_bits(), direct.estimated_cost.to_bits());
+        assert_eq!(card.to_bits(), opt.estimate_subset(&q, 0b11).unwrap().to_bits());
     }
 
     #[test]
