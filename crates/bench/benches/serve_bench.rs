@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mtmlf::plan_batch;
 use mtmlf::serve::{PlannerService, ServiceConfig};
+use mtmlf::trace::TraceConfig;
 use mtmlf_bench::serve::{build, drive_clients};
 use mtmlf_nn::no_grad;
 use std::sync::Arc;
@@ -30,20 +31,20 @@ fn bench_serve(c: &mut Criterion) {
         })
     });
 
-    let pooled = PlannerService::start(
-        Arc::clone(&exp.model),
-        ServiceConfig {
+    let pooled = PlannerService::builder(Arc::clone(&exp.model))
+        .config(ServiceConfig {
             workers: 2,
             cache_capacity: 0,
             ..ServiceConfig::default()
-        },
-    )
-    .expect("service starts");
+        })
+        .start()
+        .expect("service starts");
     c.bench_function("serve/pooled_batched", |b| {
         b.iter(|| drive_clients(&pooled, &exp.queries, 1, 4).expect("drive").1)
     });
 
-    let cached = PlannerService::start(Arc::clone(&exp.model), ServiceConfig::default())
+    let cached = PlannerService::builder(Arc::clone(&exp.model))
+        .start()
         .expect("service starts");
     for q in &exp.queries {
         cached.plan(q.clone()).expect("warm-up plan");
@@ -51,6 +52,19 @@ fn bench_serve(c: &mut Criterion) {
     let warm = exp.queries[0].clone();
     c.bench_function("serve/warm_cache_hit", |b| {
         b.iter(|| cached.plan(warm.clone()).expect("cached plan").est_cost)
+    });
+
+    // Tracing on the warm-cache path — the overhead the /metrics pipeline
+    // adds to the cheapest request.
+    let traced = PlannerService::builder(Arc::clone(&exp.model))
+        .tracing(TraceConfig::default())
+        .start()
+        .expect("service starts");
+    for q in &exp.queries {
+        traced.plan(q.clone()).expect("warm-up plan");
+    }
+    c.bench_function("serve/warm_cache_hit_traced", |b| {
+        b.iter(|| traced.plan(warm.clone()).expect("cached plan").est_cost)
     });
 }
 

@@ -1,0 +1,58 @@
+//! Stands up a traced [`PlannerService`] and exposes its Prometheus
+//! metrics at `GET /metrics` — the end-to-end observability demo.
+//!
+//! Builds the serving workload, warms the service with one pass of the
+//! query set, then serves scrapes until `--requests` connections have been
+//! handled (bounded so the binary always terminates; point a browser or
+//! `curl` at the printed address).
+//!
+//! ```text
+//! cargo run -p mtmlf-bench --release --bin serve_metrics -- \
+//!     [--scale 0.02] [--queries 12] [--seed 1] [--port 9184] [--requests 4]
+//! ```
+
+use mtmlf::prelude::*;
+use mtmlf::FallbackPlanner;
+use mtmlf_bench::serve::{build, drive_clients};
+use mtmlf_bench::{http, Args};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn main() -> mtmlf::Result<()> {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.02);
+    let queries = args.usize("queries", 12);
+    let seed = args.u64("seed", 1);
+    let port = args.usize("port", 9184);
+    let requests = args.usize("requests", 4);
+
+    let exp = build(scale, queries, seed)?;
+    let service = PlannerService::builder(Arc::clone(&exp.model))
+        .config(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .fallback(FallbackPlanner::new(Arc::clone(&exp.db)))
+        .tracing(TraceConfig::default())
+        .start()?;
+
+    // One warm pass so the scrape shows real traffic: cold model plans,
+    // then warm cache hits.
+    let (elapsed, served) = drive_clients(&service, &exp.queries, 2, 4)?;
+    println!(
+        "warmed: {served} requests in {elapsed:.2}s ({} cache hits, {} traces)",
+        service.metrics().cache_hits,
+        service.metrics().traces
+    );
+
+    let listener = TcpListener::bind(("127.0.0.1", port as u16))
+        .map_err(|e| MtmlfError::Service(format!("binding port {port}: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| MtmlfError::Service(format!("local addr: {e}")))?;
+    println!("serving metrics at http://{addr}/metrics for {requests} scrape(s)");
+    http::serve_metrics(&listener, || service.render_prometheus(), requests)
+        .map_err(|e| MtmlfError::Service(format!("metrics endpoint: {e}")))?;
+    service.shutdown();
+    Ok(())
+}

@@ -4,9 +4,13 @@
 //! serving (model rejects everything, classical fallback carries the load).
 //!
 //! Reports queries/second per mode, the warm-cache vs model-path latency
-//! split, and the resilience counters (fallbacks, sheds, timeouts) from a
-//! deliberate deadline/overload probe, and writes the raw numbers to
-//! `BENCH_serve.json`.
+//! split, the resilience counters (fallbacks, sheds, timeouts) from a
+//! deliberate deadline/overload probe, and the observability numbers: the
+//! cost of plan-lifecycle tracing (a traced re-run of the cached mode vs
+//! two untraced runs, so the overhead is read against run-to-run noise),
+//! per-stage latency histograms, op-level FLOP/allocation counts from the
+//! sequential baseline, and a Prometheus exposition round-tripped through
+//! a real `GET /metrics` scrape. Raw numbers go to `BENCH_serve.json`.
 //!
 //! ```text
 //! cargo run -p mtmlf-bench --release --bin table_serve -- \
@@ -14,10 +18,13 @@
 //!     [--workers 2] [--seed 1] [--out BENCH_serve.json]
 //! ```
 
-use mtmlf::serve::{PlanRequest, PlannerService, ServiceConfig, ServiceMetrics};
-use mtmlf::{FallbackPlanner, MtmlfError};
+use mtmlf::serve::{PlanRequest, PlannerService, ServiceConfig};
+use mtmlf::trace::{Stage, TraceConfig};
+use mtmlf::{FallbackPlanner, MetricsSnapshot, MtmlfError};
 use mtmlf_bench::serve::{build, build_with, drive_clients, ServeExperiment};
-use mtmlf_bench::{report, Args};
+use mtmlf_bench::{http, report, Args};
+use mtmlf_nn::{OpStats, ProfileGuard};
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,17 +32,39 @@ struct ModeResult {
     name: &'static str,
     elapsed_s: f64,
     qps: f64,
-    metrics: Option<ServiceMetrics>,
+    metrics: Option<MetricsSnapshot>,
+}
+
+/// Everything the observability section of the report needs.
+struct Observability {
+    /// Snapshot of the traced cached-mode run (stage histograms, traces).
+    traced: MetricsSnapshot,
+    /// Snapshot of the traced degraded run (real `fallback` stage samples).
+    traced_degraded: MetricsSnapshot,
+    /// Traced cached-mode re-run vs the untraced run, percent slower.
+    overhead_pct: f64,
+    /// Spread between the two untraced runs, percent — the noise floor the
+    /// overhead number must be read against.
+    noise_pct: f64,
+    /// Op counts from profiling the sequential baseline.
+    ops: OpStats,
+    /// The exposition actually served over HTTP, byte-for-byte.
+    prometheus: String,
 }
 
 fn run_mode(
     name: &'static str,
     exp: &ServeExperiment,
     config: ServiceConfig,
+    tracing: Option<TraceConfig>,
     repeats: usize,
     clients: usize,
 ) -> mtmlf::Result<ModeResult> {
-    let service = PlannerService::start(Arc::clone(&exp.model), config)?;
+    let mut builder = PlannerService::builder(Arc::clone(&exp.model)).config(config);
+    if let Some(t) = tracing {
+        builder = builder.tracing(t);
+    }
+    let service = builder.start()?;
     let (elapsed_s, served) = drive_clients(&service, &exp.queries, repeats, clients)?;
     Ok(ModeResult {
         name,
@@ -46,15 +75,32 @@ fn run_mode(
 }
 
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
+}
+
+fn stage_json(snapshot: &MetricsSnapshot, stage: Stage) -> String {
+    let h = snapshot.stage(stage);
+    format!(
+        "\"{}\": {{\"count\": {}, \"mean_us\": {:.3}, \"p99_us\": {:.3}, \"max_us\": {:.3}}}",
+        stage.name(),
+        h.count,
+        h.mean().as_secs_f64() * 1e6,
+        h.quantile(0.99).as_secs_f64() * 1e6,
+        Duration::from_nanos(h.max_nanos).as_secs_f64() * 1e6,
+    )
 }
 
 fn render_json(
     args: &[(&str, f64)],
     modes: &[ModeResult],
-    cached: &ServiceMetrics,
-    degraded: &ServiceMetrics,
-    probe: &ServiceMetrics,
+    cached: &MetricsSnapshot,
+    degraded: &MetricsSnapshot,
+    probe: &MetricsSnapshot,
+    obs: &Observability,
 ) -> String {
     let mut out = String::from("{\n  \"table\": \"serve\",\n  \"setup\": {");
     for (i, (k, v)) in args.iter().enumerate() {
@@ -110,7 +156,7 @@ fn render_json(
     out.push_str(&format!(
         "  \"resilience\": {{\"fallbacks\": {}, \"fallback_mean_us\": {:.3}, \
          \"sheds\": {}, \"timeouts\": {}, \"expired\": {}, \"retries\": {}, \
-         \"breaker_opens\": {}}}\n}}\n",
+         \"breaker_opens\": {}}},\n",
         degraded.fallbacks,
         degraded.fallback_latency.mean().as_secs_f64() * 1e6,
         probe.sheds,
@@ -118,6 +164,52 @@ fn render_json(
         probe.expired,
         degraded.retries + probe.retries,
         degraded.breaker_opens + probe.breaker_opens,
+    ));
+
+    // Model-path stage histograms come from the traced cached-mode run;
+    // the fallback stage comes from the traced degraded run, which is the
+    // only configuration that exercises it.
+    out.push_str("  \"observability\": {\n    \"stages\": {");
+    let model_path_stages = [
+        Stage::Fingerprint,
+        Stage::CacheLookup,
+        Stage::Queue,
+        Stage::Featurize,
+        Stage::Encode,
+        Stage::Forward,
+        Stage::Beam,
+        Stage::Retry,
+    ];
+    for (i, stage) in model_path_stages.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&stage_json(&obs.traced, *stage));
+    }
+    out.push_str(", ");
+    out.push_str(&stage_json(&obs.traced_degraded, Stage::Fallback));
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "    \"tracing_overhead_pct\": {:.3},\n    \"tracing_noise_pct\": {:.3},\n    \
+         \"traces\": {},\n",
+        obs.overhead_pct,
+        obs.noise_pct,
+        obs.traced.traces + obs.traced_degraded.traces,
+    ));
+    out.push_str(&format!(
+        "    \"sequential_ops\": {{\"matmul_calls\": {}, \"matmul_flops\": {}, \
+         \"attention_calls\": {}, \"block_forwards\": {}, \"allocations\": {}, \
+         \"allocated_floats\": {}}},\n",
+        obs.ops.matmul_calls,
+        obs.ops.matmul_flops,
+        obs.ops.attention_calls,
+        obs.ops.block_forwards,
+        obs.ops.allocations,
+        obs.ops.allocated_floats,
+    ));
+    out.push_str(&format!(
+        "    \"prometheus\": \"{}\"\n  }}\n}}\n",
+        json_escape(&obs.prometheus)
     ));
     out
 }
@@ -140,7 +232,9 @@ fn main() -> mtmlf::Result<()> {
     let exp = build(scale, queries, seed)?;
     let total = exp.queries.len() * repeats;
 
-    // Baseline: the pre-existing one-query-at-a-time public API.
+    // Baseline: the pre-existing one-query-at-a-time public API, with op
+    // profiling counting the tensor work behind it.
+    let profile = ProfileGuard::begin();
     let t0 = Instant::now();
     for _ in 0..repeats {
         for q in &exp.queries {
@@ -148,6 +242,8 @@ fn main() -> mtmlf::Result<()> {
         }
     }
     let seq_s = t0.elapsed().as_secs_f64();
+    let sequential_ops = profile.stats();
+    drop(profile);
     let mut modes = vec![ModeResult {
         name: "sequential",
         elapsed_s: seq_s,
@@ -164,6 +260,7 @@ fn main() -> mtmlf::Result<()> {
             cache_capacity: 0,
             ..ServiceConfig::default()
         },
+        None,
         repeats,
         clients,
     )?);
@@ -176,35 +273,69 @@ fn main() -> mtmlf::Result<()> {
             cache_capacity: 0,
             ..ServiceConfig::default()
         },
-        repeats,
-        clients,
-    )?);
-    modes.push(run_mode(
-        "pooled+batched+cache",
-        &exp,
-        ServiceConfig {
-            workers,
-            batching: true,
-            ..ServiceConfig::default()
-        },
+        None,
         repeats,
         clients,
     )?);
 
+    // The cached mode runs three times: twice untraced — the pair bounds
+    // run-to-run noise — and once traced, so the tracing overhead has a
+    // noise floor to be read against.
+    let cached_config = || ServiceConfig {
+        workers,
+        batching: true,
+        ..ServiceConfig::default()
+    };
+    let untraced_a = run_mode(
+        "pooled+batched+cache",
+        &exp,
+        cached_config(),
+        None,
+        repeats,
+        clients,
+    )?;
+    let untraced_b = run_mode(
+        "pooled+batched+cache",
+        &exp,
+        cached_config(),
+        None,
+        repeats,
+        clients,
+    )?;
+    let traced = run_mode(
+        "pooled+batched+cache+traced",
+        &exp,
+        cached_config(),
+        Some(TraceConfig::default()),
+        repeats,
+        clients,
+    )?;
+    let noise_pct = 100.0 * (untraced_a.elapsed_s - untraced_b.elapsed_s).abs()
+        / untraced_b.elapsed_s.max(f64::EPSILON);
+    let overhead_pct = 100.0 * (traced.elapsed_s - untraced_b.elapsed_s)
+        / untraced_b.elapsed_s.max(f64::EPSILON);
+    let traced_snapshot = traced
+        .metrics
+        .clone()
+        .ok_or_else(|| MtmlfError::Service("traced mode produced no metrics".into()))?;
+    modes.push(untraced_b);
+    modes.push(traced);
+
     // Degraded serving: a model whose serializer admits fewer tables than
     // any workload query, so every request falls through to the classical
     // fallback planner — the floor the service keeps when the model path
-    // is entirely unavailable.
+    // is entirely unavailable. Traced, so the fallback stage histogram has
+    // real samples.
     let degraded_exp = build_with(scale, queries, seed, 2)?;
-    let degraded_service = PlannerService::start_with_fallback(
-        Arc::clone(&degraded_exp.model),
-        Some(FallbackPlanner::new(Arc::clone(&degraded_exp.db))),
-        ServiceConfig {
+    let degraded_service = PlannerService::builder(Arc::clone(&degraded_exp.model))
+        .config(ServiceConfig {
             workers,
             cache_capacity: 0,
             ..ServiceConfig::default()
-        },
-    )?;
+        })
+        .fallback(FallbackPlanner::new(Arc::clone(&degraded_exp.db)))
+        .tracing(TraceConfig::default())
+        .start()?;
     let (fb_elapsed, fb_served) =
         drive_clients(&degraded_service, &degraded_exp.queries, repeats, clients)?;
     let degraded_metrics = degraded_service.metrics();
@@ -259,22 +390,50 @@ fn main() -> mtmlf::Result<()> {
             0.0
         }
     );
+    println!(
+        "tracing overhead {overhead_pct:+.2}% (run-to-run noise {noise_pct:.2}%), \
+         {} traces recorded",
+        traced_snapshot.traces
+    );
+
+    // The exposition the service renders is what a Prometheus server would
+    // scrape; round-trip it through a real HTTP GET to prove the endpoint
+    // serves it byte-for-byte.
+    let rendered = mtmlf::render_prometheus(&traced_snapshot);
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| MtmlfError::Service(format!("binding scrape port: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| MtmlfError::Service(format!("local addr: {e}")))?;
+    let scraped = std::thread::scope(|scope| -> mtmlf::Result<String> {
+        let exposition = rendered.clone();
+        scope.spawn(move || http::serve_metrics(&listener, || exposition.clone(), 1));
+        http::scrape(addr).map_err(|e| MtmlfError::Service(format!("scraping {addr}: {e}")))
+    })?;
+    if scraped != rendered {
+        return Err(MtmlfError::Service(
+            "scraped exposition differs from rendered snapshot".into(),
+        ));
+    }
+    println!(
+        "scraped {} bytes of Prometheus exposition from http://{addr}/metrics",
+        scraped.len()
+    );
 
     // Deadline/overload probe: one worker, a queue of one, and a burst of
     // zero-deadline requests. The first request occupies the worker, one
     // sits in the queue, the rest shed at admission; every admitted
     // request's deadline has already expired, so the client side reports
     // timeouts and the worker drops the queued job before the forward.
-    let probe_service = PlannerService::start(
-        Arc::clone(&exp.model),
-        ServiceConfig {
+    let probe_service = PlannerService::builder(Arc::clone(&exp.model))
+        .config(ServiceConfig {
             workers: 1,
             queue_capacity: 1,
             batching: false,
             cache_capacity: 0,
             ..ServiceConfig::default()
-        },
-    )?;
+        })
+        .start()?;
     for q in exp.queries.iter().cycle().take(16) {
         match probe_service.plan(PlanRequest::new(q.clone()).with_deadline(Duration::ZERO)) {
             Ok(_) | Err(MtmlfError::Timeout) | Err(MtmlfError::Overloaded) => {}
@@ -294,6 +453,14 @@ fn main() -> mtmlf::Result<()> {
         probe_metrics.expired,
     );
 
+    let obs = Observability {
+        traced: traced_snapshot,
+        traced_degraded: degraded_metrics.clone(),
+        overhead_pct,
+        noise_pct,
+        ops: sequential_ops,
+        prometheus: scraped,
+    };
     let setup = [
         ("scale", scale),
         ("queries", queries as f64),
@@ -302,7 +469,14 @@ fn main() -> mtmlf::Result<()> {
         ("workers", workers as f64),
         ("seed", seed as f64),
     ];
-    let json = render_json(&setup, &modes, &cached_metrics, &degraded_metrics, &probe_metrics);
+    let json = render_json(
+        &setup,
+        &modes,
+        &cached_metrics,
+        &degraded_metrics,
+        &probe_metrics,
+        &obs,
+    );
     std::fs::write(&out_path, json)
         .map_err(|e| MtmlfError::Service(format!("writing {out_path}: {e}")))?;
     println!("wrote {out_path}");

@@ -1,0 +1,109 @@
+//! A minimal blocking HTTP/1.1 endpoint for Prometheus scrapes.
+//!
+//! The serving benchmarks expose [`mtmlf::render_prometheus`] output the
+//! way a real deployment would — `GET /metrics` over TCP — without pulling
+//! in an HTTP framework: one thread, one connection at a time, text
+//! exposition format v0.0.4. [`scrape`] is the matching one-shot client,
+//! used both by the tests and by `table_serve` to prove the endpoint
+//! round-trips what the service rendered.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Content type of the Prometheus text exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Serves `GET /metrics` on `listener`, calling `render` per request for a
+/// fresh exposition, and returns after `max_requests` connections. Any
+/// other path gets a 404; malformed requests are dropped silently (the
+/// connection still counts toward `max_requests`, so a misbehaving client
+/// cannot wedge a bounded server).
+pub fn serve_metrics(
+    listener: &TcpListener,
+    render: impl Fn() -> String,
+    max_requests: usize,
+) -> io::Result<()> {
+    for _ in 0..max_requests {
+        let (mut stream, _) = listener.accept()?;
+        let _ = handle(&mut stream, &render);
+    }
+    Ok(())
+}
+
+fn handle(stream: &mut TcpStream, render: &impl Fn() -> String) -> io::Result<()> {
+    // Read until the end of the request head (or a sanity cap); the
+    // request line is all we route on.
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let request_line = request_line.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method == "GET" && path == "/metrics" {
+        ("200 OK", CONTENT_TYPE, render())
+    } else {
+        ("404 Not Found", "text/plain", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetches `http://{addr}/metrics` and returns the response body.
+/// Errors if the server answered anything but 200.
+pub fn scrape(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::Other,
+            format!("scrape failed: {status_line}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_round_trip_and_unknown_paths_get_404() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            serve_metrics(&listener, || "mtmlf_requests_total 42\n".to_string(), 2)
+        });
+
+        let body = scrape(addr).expect("scrape succeeds");
+        assert_eq!(body, "mtmlf_requests_total 42\n");
+
+        // Second connection: a wrong path must 404, not serve metrics.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+        server.join().expect("server thread").expect("server io");
+    }
+}

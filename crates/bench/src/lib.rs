@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod http;
 pub mod report;
 pub mod serve;
 pub mod single_db;

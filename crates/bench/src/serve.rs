@@ -124,14 +124,13 @@ mod tests {
     fn builds_and_drives_a_tiny_workload() {
         let exp = build(0.02, 3, 5).expect("setup");
         assert_eq!(exp.queries.len(), 3);
-        let service = PlannerService::start(
-            Arc::clone(&exp.model),
-            ServiceConfig {
+        let service = PlannerService::builder(Arc::clone(&exp.model))
+            .config(ServiceConfig {
                 workers: 1,
                 ..ServiceConfig::default()
-            },
-        )
-        .expect("service starts");
+            })
+            .start()
+            .expect("service starts");
         let (elapsed, served) = drive_clients(&service, &exp.queries, 2, 2).expect("drive");
         assert_eq!(served, 6);
         assert!(elapsed > 0.0);

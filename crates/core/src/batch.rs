@@ -16,6 +16,7 @@
 use crate::beam::beam_search;
 use crate::model::MtmlfQo;
 use crate::serialize::{serialize_plan, SerializedPlan};
+use crate::trace::{Stage, StageRecorder};
 use crate::train::table_representations;
 use crate::{MtmlfError, Result};
 use mtmlf_nn::loss::log_pred_to_estimate;
@@ -40,27 +41,44 @@ pub struct PlannedQuery {
 /// what [`MtmlfQo::plan_with_estimates`] would return (bitwise, including
 /// the `f64` estimates) for that query alone.
 pub fn plan_batch(model: &MtmlfQo, queries: &[Query]) -> Vec<Result<PlannedQuery>> {
+    let mut recorder = StageRecorder::disabled();
+    plan_batch_traced(model, queries, &mut recorder)
+}
+
+/// [`plan_batch`], with each pipeline stage recorded into `recorder`
+/// ([`Stage::Featurize`] for both serialization passes, [`Stage::Encode`]
+/// for the first packed forward, [`Stage::Beam`] for the decode, and
+/// [`Stage::Forward`] for the estimation forward plus heads). With a
+/// disabled recorder this *is* `plan_batch`: the stage closures run
+/// unchanged and no clock is read.
+pub fn plan_batch_traced(
+    model: &MtmlfQo,
+    queries: &[Query],
+    recorder: &mut StageRecorder,
+) -> Vec<Result<PlannedQuery>> {
     let config = model.config();
     let mut results: Vec<Option<Result<PlannedQuery>>> = Vec::with_capacity(queries.len());
 
     // Stage A: serialize each query's deterministic initial plan. Pure CPU
     // work; a failure here retires that query from the batch.
     let mut serialized: Vec<Option<SerializedPlan>> = Vec::with_capacity(queries.len());
-    for query in queries {
-        match model
-            .initial_plan(query)
-            .and_then(|plan| serialize_plan(model.featurization(), query, &plan, config))
-        {
-            Ok(s) => {
-                serialized.push(Some(s));
-                results.push(None);
-            }
-            Err(e) => {
-                serialized.push(None);
-                results.push(Some(Err(e)));
+    recorder.timed(Stage::Featurize, || {
+        for query in queries {
+            match model
+                .initial_plan(query)
+                .and_then(|plan| serialize_plan(model.featurization(), query, &plan, config))
+            {
+                Ok(s) => {
+                    serialized.push(Some(s));
+                    results.push(None);
+                }
+                Err(e) => {
+                    serialized.push(None);
+                    results.push(Some(Err(e)));
+                }
             }
         }
-    }
+    });
 
     // One packed forward through (S) for all live queries, then a per-query
     // beam decode over each query's slice of the output.
@@ -71,64 +89,74 @@ pub fn plan_batch(model: &MtmlfQo, queries: &[Query]) -> Vec<Result<PlannedQuery
         .iter()
         .filter_map(|&i| serialized[i].as_ref().map(|s| &s.features))
         .collect();
-    let shared_a = model.shared_module().forward_batch(&features);
+    let shared_a = recorder.timed(Stage::Encode, || {
+        model.shared_module().forward_batch(&features)
+    });
 
     let mut chosen: Vec<(usize, JoinOrder)> = Vec::with_capacity(live.len());
-    for (&i, s_out) in live.iter().zip(&shared_a) {
-        let Some(s) = serialized[i].as_ref() else {
-            continue;
-        };
-        let table_reps = table_representations(s_out, &s.scan_node_of_slot);
-        let candidates = beam_search(
-            model.jo_module(),
-            s_out,
-            &table_reps,
-            &s.graph,
-            config.beam_width,
-            true,
-        );
-        match candidates.first() {
-            Some(best) => chosen.push((
-                i,
-                JoinOrder::LeftDeep(best.slots.iter().map(|&slot| s.table_slots[slot]).collect()),
-            )),
-            None => results[i] = Some(Err(MtmlfError::NoLegalOrder)),
+    recorder.timed(Stage::Beam, || {
+        for (&i, s_out) in live.iter().zip(&shared_a) {
+            let Some(s) = serialized[i].as_ref() else {
+                continue;
+            };
+            let table_reps = table_representations(s_out, &s.scan_node_of_slot);
+            let candidates = beam_search(
+                model.jo_module(),
+                s_out,
+                &table_reps,
+                &s.graph,
+                config.beam_width,
+                true,
+            );
+            match candidates.first() {
+                Some(best) => chosen.push((
+                    i,
+                    JoinOrder::LeftDeep(
+                        best.slots.iter().map(|&slot| s.table_slots[slot]).collect(),
+                    ),
+                )),
+                None => results[i] = Some(Err(MtmlfError::NoLegalOrder)),
+            }
         }
-    }
+    });
 
     // Stage B: serialize the *chosen* plans and estimate them with one more
     // packed forward; the row-wise heads run once over all plans' rows and
     // each plan's root estimate is the last row of its segment.
     let mut stage_b: Vec<(usize, JoinOrder, SerializedPlan)> = Vec::with_capacity(chosen.len());
-    for (i, order) in chosen {
-        let step = (|| -> Result<SerializedPlan> {
-            let plan = order.to_plan()?;
-            serialize_plan(model.featurization(), &queries[i], &plan, config)
-        })();
-        match step {
-            Ok(s) => stage_b.push((i, order, s)),
-            Err(e) => results[i] = Some(Err(e)),
+    recorder.timed(Stage::Featurize, || {
+        for (i, order) in chosen {
+            let step = (|| -> Result<SerializedPlan> {
+                let plan = order.to_plan()?;
+                serialize_plan(model.featurization(), &queries[i], &plan, config)
+            })();
+            match step {
+                Ok(s) => stage_b.push((i, order, s)),
+                Err(e) => results[i] = Some(Err(e)),
+            }
         }
-    }
+    });
 
-    let features_b: Vec<&Matrix> = stage_b.iter().map(|(_, _, s)| &s.features).collect();
-    let shared_b = model.shared_module().forward_batch(&features_b);
-    if !shared_b.is_empty() {
-        let lens: Vec<usize> = shared_b.iter().map(|v| v.shape().0).collect();
-        let packed = Var::concat_rows(&shared_b);
-        let cards = model.heads_module().card(&packed).to_matrix();
-        let costs = model.heads_module().cost(&packed).to_matrix();
-        let mut offset = 0;
-        for ((i, order, _), len) in stage_b.into_iter().zip(lens) {
-            let root = offset + len - 1;
-            offset += len;
-            results[i] = Some(Ok(PlannedQuery {
-                join_order: order,
-                est_card: log_pred_to_estimate(cards.get(root, 0)),
-                est_cost: log_pred_to_estimate(costs.get(root, 0)),
-            }));
+    recorder.timed(Stage::Forward, || {
+        let features_b: Vec<&Matrix> = stage_b.iter().map(|(_, _, s)| &s.features).collect();
+        let shared_b = model.shared_module().forward_batch(&features_b);
+        if !shared_b.is_empty() {
+            let lens: Vec<usize> = shared_b.iter().map(|v| v.shape().0).collect();
+            let packed = Var::concat_rows(&shared_b);
+            let cards = model.heads_module().card(&packed).to_matrix();
+            let costs = model.heads_module().cost(&packed).to_matrix();
+            let mut offset = 0;
+            for ((i, order, _), len) in stage_b.into_iter().zip(lens) {
+                let root = offset + len - 1;
+                offset += len;
+                results[i] = Some(Ok(PlannedQuery {
+                    join_order: order,
+                    est_card: log_pred_to_estimate(cards.get(root, 0)),
+                    est_cost: log_pred_to_estimate(costs.get(root, 0)),
+                }));
+            }
         }
-    }
+    });
 
     results
         .into_iter()
@@ -193,5 +221,28 @@ mod tests {
         assert_eq!(one.len(), 1);
         let planned = one.into_iter().next().unwrap().expect("plans");
         planned.join_order.validate(&queries[0]).expect("legal");
+    }
+
+    #[test]
+    fn traced_batch_records_every_stage_and_matches_untraced() {
+        use crate::resilience::{Clock, SystemClock};
+        use std::sync::Arc;
+        let (model, queries) = setup();
+        let untraced = plan_batch(&model, &queries);
+        let mut recorder = StageRecorder::new(Arc::new(SystemClock::new()) as Arc<dyn Clock>);
+        let traced = plan_batch_traced(&model, &queries, &mut recorder);
+        for (a, b) in untraced.iter().zip(&traced) {
+            let a = a.as_ref().expect("untraced plans");
+            let b = b.as_ref().expect("traced plans");
+            assert_eq!(a.join_order, b.join_order);
+            assert_eq!(a.est_card.to_bits(), b.est_card.to_bits());
+            assert_eq!(a.est_cost.to_bits(), b.est_cost.to_bits());
+        }
+        let count = |stage: Stage| recorder.spans().iter().filter(|s| s.stage == stage).count();
+        assert_eq!(count(Stage::Featurize), 2, "both serialization passes");
+        assert_eq!(count(Stage::Encode), 1);
+        assert_eq!(count(Stage::Beam), 1);
+        assert_eq!(count(Stage::Forward), 1);
+        assert_eq!(count(Stage::Fallback), 0);
     }
 }

@@ -39,6 +39,12 @@
 //!   admission control, and a classical-optimizer [`FallbackPlanner`], so
 //!   a model failure never becomes a query failure (DESIGN.md §9's
 //!   degradation ladder).
+//! - **Observability** ([`trace`], [`metrics`]) — plan-lifecycle tracing
+//!   (per-[`trace::Stage`] latency histograms plus a ring buffer of
+//!   complete request traces, opt-in via
+//!   `PlannerService::builder(..).tracing(..)`) and Prometheus text
+//!   exposition of every service counter, histogram, and gauge
+//!   ([`metrics::render_prometheus`]); DESIGN.md §10.
 //!
 //! One deliberate implementation choice: the paper formulates `P̂_t` as a
 //! fixed-length multinoulli over the database's `n` tables. This
@@ -59,6 +65,7 @@ pub mod error;
 pub mod featurize;
 pub mod joeu;
 pub mod meta;
+pub mod metrics;
 pub mod model;
 pub mod persist;
 pub mod resilience;
@@ -66,10 +73,11 @@ pub mod serialize;
 pub mod serve;
 pub mod shared;
 pub mod tasks;
+pub mod trace;
 pub mod train;
 pub mod transjo;
 
-pub use batch::{plan_batch, PlannedQuery};
+pub use batch::{plan_batch, plan_batch_traced, PlannedQuery};
 pub use cache::ShardedLruCache;
 pub use config::{LossWeights, MtmlfConfig, MtmlfConfigBuilder};
 pub use error::MtmlfError;
@@ -78,13 +86,20 @@ pub use error::MtmlfError as Error;
 pub use featurize::FeaturizationModule;
 pub use joeu::joeu;
 pub use meta::MetaLearner;
+pub use metrics::{render_prometheus, MetricsSnapshot};
 pub use model::MtmlfQo;
 pub use resilience::{
     Admission, BreakerConfig, BreakerState, CircuitBreaker, Clock, FallbackPlanner, ManualClock,
     RetryPolicy, SystemClock,
 };
+#[allow(deprecated)]
+pub use serve::ServiceMetrics;
 pub use serve::{
-    PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceConfig, ServiceMetrics,
+    LatencyHistogram, PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceBuilder,
+    ServiceConfig,
+};
+pub use trace::{
+    RequestTrace, Stage, StageRecorder, StageSpan, TraceConfig, TraceOutcome, Tracer,
 };
 
 /// Crate-wide result alias.
@@ -99,11 +114,15 @@ pub type Result<T> = std::result::Result<T, MtmlfError>;
 pub mod prelude {
     pub use crate::config::{MtmlfConfig, MtmlfConfigBuilder};
     pub use crate::error::MtmlfError;
+    pub use crate::metrics::{render_prometheus, MetricsSnapshot};
     pub use crate::model::MtmlfQo;
     pub use crate::resilience::{BreakerConfig, BreakerState, FallbackPlanner, RetryPolicy};
+    #[allow(deprecated)]
+    pub use crate::serve::ServiceMetrics;
     pub use crate::serve::{
-        PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceConfig, ServiceMetrics,
+        PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceBuilder, ServiceConfig,
     };
+    pub use crate::trace::{RequestTrace, Stage, StageSpan, TraceConfig, TraceOutcome};
     pub use crate::Result;
     pub use mtmlf_query::{JoinOrder, Query};
 }

@@ -1,0 +1,468 @@
+//! Metrics snapshots and Prometheus text exposition.
+//!
+//! [`MetricsSnapshot`] is the one shape in which service state leaves
+//! [`PlannerService`](crate::serve::PlannerService): counters, latency
+//! histograms, gauges (cache occupancy, queue depth, breaker state), and —
+//! when tracing is enabled — the per-[`Stage`] latency histograms from the
+//! [`Tracer`](crate::trace::Tracer).
+//!
+//! # Consistency guarantee
+//!
+//! A snapshot is a single point-in-time pass over relaxed atomic counters:
+//! each field is individually exact, and no counter can decrease between
+//! snapshots. Fields are *not* read inside one global critical section, so
+//! a snapshot taken while requests are in flight may catch a request
+//! between its `requests` increment and its outcome counter; once the
+//! service is quiescent (all replies delivered, or after
+//! [`shutdown`](crate::serve::PlannerService::shutdown)) the counting
+//! identity `requests == cache_hits + model_plans + fallbacks + errors`
+//! holds exactly. The chaos suite audits this identity under fault storms.
+//!
+//! # Exposition format
+//!
+//! [`render_prometheus`] emits the Prometheus text format (v0.0.4):
+//! counters as `_total`, gauges plainly, breaker state as a one-hot state
+//! set, and every histogram with its native power-of-two buckets converted
+//! to seconds (`le` edges `2^(i+1)` ns), plus `_sum`/`_count` and a
+//! companion `_max_seconds` gauge carrying the true maximum (see
+//! [`LatencyHistogram::max_nanos`]). Output is deterministic for a given
+//! snapshot — CI diffs it against a golden file to catch format drift.
+
+use crate::resilience::BreakerState;
+use crate::serve::LatencyHistogram;
+use crate::trace::Stage;
+use std::fmt::Write as _;
+
+/// A point-in-time snapshot of service counters, histograms, and gauges,
+/// from [`metrics`](crate::serve::PlannerService::metrics). See the
+/// [module docs](self) for the consistency guarantee.
+///
+/// Counting identity: `requests == cache_hits + model_plans + fallbacks +
+/// errors` — every accepted request is counted exactly once by how it
+/// returned. `timeouts` and `sheds` are sub-counts of `errors`.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests accepted by [`plan`](crate::serve::PlannerService::plan).
+    pub requests: u64,
+    /// Requests answered from the plan cache.
+    pub cache_hits: u64,
+    /// Requests answered by a model forward.
+    pub model_plans: u64,
+    /// Requests answered by the classical fallback planner.
+    pub fallbacks: u64,
+    /// Requests that returned an error (includes timeouts and sheds).
+    pub errors: u64,
+    /// Requests that returned [`MtmlfError::Timeout`](crate::MtmlfError::Timeout).
+    pub timeouts: u64,
+    /// Requests shed at admission with
+    /// [`MtmlfError::Overloaded`](crate::MtmlfError::Overloaded).
+    pub sheds: u64,
+    /// Queued jobs a worker dropped without forwarding because their
+    /// deadline had already passed (their clients had timed out).
+    pub expired: u64,
+    /// Model forward attempts that were retried after a transient error.
+    pub retries: u64,
+    /// Times the circuit breaker transitioned to Open.
+    pub breaker_opens: u64,
+    /// Batched forwards executed by workers.
+    pub batches: u64,
+    /// Cache-miss queries that went through those batches.
+    pub batched_queries: u64,
+    /// Latency distribution of cache-served responses.
+    pub cache_latency: LatencyHistogram,
+    /// Latency distribution of model-served responses.
+    pub model_latency: LatencyHistogram,
+    /// Latency distribution of fallback-served responses.
+    pub fallback_latency: LatencyHistogram,
+    /// Circuit-breaker state at snapshot time.
+    pub breaker_state: BreakerState,
+    /// Plan-cache entries at snapshot time.
+    pub cached_plans: u64,
+    /// Admitted-but-not-yet-dequeued requests at snapshot time.
+    pub queue_depth: u64,
+    /// Whether the service was built with `.tracing(..)`.
+    pub tracing_enabled: bool,
+    /// Complete request traces recorded (0 when tracing is off).
+    pub traces: u64,
+    /// Per-stage latency histograms, indexed by [`Stage::index`]; all empty
+    /// when tracing is off.
+    pub stage_latency: [LatencyHistogram; Stage::COUNT],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self {
+            requests: 0,
+            cache_hits: 0,
+            model_plans: 0,
+            fallbacks: 0,
+            errors: 0,
+            timeouts: 0,
+            sheds: 0,
+            expired: 0,
+            retries: 0,
+            breaker_opens: 0,
+            batches: 0,
+            batched_queries: 0,
+            cache_latency: LatencyHistogram::default(),
+            model_latency: LatencyHistogram::default(),
+            fallback_latency: LatencyHistogram::default(),
+            breaker_state: BreakerState::Closed,
+            cached_plans: 0,
+            queue_depth: 0,
+            tracing_enabled: false,
+            traces: 0,
+            stage_latency: std::array::from_fn(|_| LatencyHistogram::default()),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Fraction of answered requests served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let answered = self.cache_hits + self.model_plans + self.fallbacks;
+        if answered == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / answered as f64
+        }
+    }
+
+    /// The latency histogram for one lifecycle stage.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stage_latency[stage.index()]
+    }
+}
+
+/// Renders `nanos` as decimal seconds with no trailing zeros, via exact
+/// integer arithmetic (so the exposition is deterministic — no float
+/// formatting in the output path).
+fn seconds(nanos: u64) -> String {
+    let secs = nanos / 1_000_000_000;
+    let frac = nanos % 1_000_000_000;
+    if frac == 0 {
+        return format!("{secs}");
+    }
+    let mut f = format!("{frac:09}");
+    while f.ends_with('0') {
+        f.pop();
+    }
+    format!("{secs}.{f}")
+}
+
+fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// One histogram series under an already-declared metric family.
+fn push_histogram(out: &mut String, name: &str, label: &str, value: &str, h: &LatencyHistogram) {
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        if i == h.buckets.len() - 1 {
+            // The top bucket is a catch-all, so its edge is +Inf.
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{label}=\"{value}\",le=\"+Inf\"}} {cumulative}"
+            );
+        } else {
+            let edge = seconds(1u64 << (i + 1));
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{label}=\"{value}\",le=\"{edge}\"}} {cumulative}"
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{name}_sum{{{label}=\"{value}\"}} {}",
+        seconds(h.total_nanos)
+    );
+    let _ = writeln!(out, "{name}_count{{{label}=\"{value}\"}} {}", h.count);
+}
+
+fn push_histogram_family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: impl Iterator<Item = (&'a str, &'a LatencyHistogram)> + Clone,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (value, h) in series.clone() {
+        push_histogram(out, name, label, value, h);
+    }
+    let max_name = format!("{name}_max");
+    let _ = writeln!(
+        out,
+        "# HELP {max_name} True maximum observed for {name} (histograms round up to bucket edges)."
+    );
+    let _ = writeln!(out, "# TYPE {max_name} gauge");
+    for (value, h) in series {
+        let _ = writeln!(
+            out,
+            "{max_name}{{{label}=\"{value}\"}} {}",
+            seconds(h.max_nanos)
+        );
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format (v0.0.4).
+///
+/// The output is deterministic: same snapshot, same bytes. CI compares a
+/// synthetic snapshot's rendering against
+/// `crates/core/testdata/prometheus_golden.txt` so that accidental drift in
+/// names, labels, or bucket edges fails the build.
+pub fn render_prometheus(m: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    push_counter(
+        &mut out,
+        "mtmlf_requests_total",
+        "Requests accepted by the planner service.",
+        m.requests,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_responses_total Requests answered, by plan source."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_responses_total counter");
+    let _ = writeln!(out, "mtmlf_responses_total{{source=\"cache\"}} {}", m.cache_hits);
+    let _ = writeln!(out, "mtmlf_responses_total{{source=\"model\"}} {}", m.model_plans);
+    let _ = writeln!(
+        out,
+        "mtmlf_responses_total{{source=\"fallback\"}} {}",
+        m.fallbacks
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_errors_total",
+        "Requests that returned an error (includes timeouts and sheds).",
+        m.errors,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_timeouts_total",
+        "Requests that exceeded their deadline.",
+        m.timeouts,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_sheds_total",
+        "Requests shed at admission because the queue was full.",
+        m.sheds,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_expired_total",
+        "Queued jobs dropped before the forward because their deadline had passed.",
+        m.expired,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_retries_total",
+        "Model forwards retried after a transient error.",
+        m.retries,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_breaker_opens_total",
+        "Circuit-breaker transitions to Open.",
+        m.breaker_opens,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_batches_total",
+        "Batched model forwards executed by workers.",
+        m.batches,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_batched_queries_total",
+        "Cache-miss queries planned through batched forwards.",
+        m.batched_queries,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_traces_total",
+        "Complete request traces recorded.",
+        m.traces,
+    );
+
+    push_gauge(
+        &mut out,
+        "mtmlf_cache_entries",
+        "Plan-cache entries currently held.",
+        m.cached_plans,
+    );
+    push_gauge(
+        &mut out,
+        "mtmlf_queue_depth",
+        "Admitted requests not yet dequeued by a worker.",
+        m.queue_depth,
+    );
+    push_gauge(
+        &mut out,
+        "mtmlf_tracing_enabled",
+        "1 when the service records plan-lifecycle traces.",
+        u64::from(m.tracing_enabled),
+    );
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_breaker_state Circuit-breaker state as a one-hot set."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_breaker_state gauge");
+    for (state, name) in [
+        (BreakerState::Closed, "closed"),
+        (BreakerState::Open, "open"),
+        (BreakerState::HalfOpen, "half_open"),
+    ] {
+        let _ = writeln!(
+            out,
+            "mtmlf_breaker_state{{state=\"{name}\"}} {}",
+            u64::from(m.breaker_state == state)
+        );
+    }
+
+    push_histogram_family(
+        &mut out,
+        "mtmlf_response_latency_seconds",
+        "End-to-end response latency, by plan source.",
+        "source",
+        [
+            ("cache", &m.cache_latency),
+            ("model", &m.model_latency),
+            ("fallback", &m.fallback_latency),
+        ]
+        .into_iter(),
+    );
+    push_histogram_family(
+        &mut out,
+        "mtmlf_stage_latency_seconds",
+        "Per-request time spent in each plan-lifecycle stage.",
+        "stage",
+        Stage::ALL
+            .iter()
+            .map(|&s| (s.name(), &m.stage_latency[s.index()])),
+    );
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic snapshot with every field distinct and deterministic —
+    /// the subject of the golden-file drift check.
+    fn fixture() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot {
+            requests: 100,
+            cache_hits: 40,
+            model_plans: 30,
+            fallbacks: 20,
+            errors: 10,
+            timeouts: 4,
+            sheds: 3,
+            expired: 2,
+            retries: 7,
+            breaker_opens: 1,
+            batches: 12,
+            batched_queries: 50,
+            breaker_state: BreakerState::HalfOpen,
+            cached_plans: 17,
+            queue_depth: 5,
+            tracing_enabled: true,
+            traces: 97,
+            ..MetricsSnapshot::default()
+        };
+        for nanos in [800, 1_500, 70_000] {
+            m.cache_latency.record_nanos(nanos);
+        }
+        for nanos in [2_000_000, 9_000_000] {
+            m.model_latency.record_nanos(nanos);
+        }
+        m.fallback_latency.record_nanos(350_000);
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            m.stage_latency[stage.index()].record_nanos(1_000 * (i as u64 + 1));
+            m.stage_latency[stage.index()].record_nanos(250);
+        }
+        m
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_the_golden_snapshot() {
+        let rendered = render_prometheus(&fixture());
+        if std::env::var_os("MTMLF_UPDATE_GOLDEN").is_some() {
+            std::fs::write("crates/core/testdata/prometheus_golden.txt", &rendered)
+                .expect("write golden");
+        }
+        let golden = include_str!("../testdata/prometheus_golden.txt");
+        assert_eq!(
+            rendered, golden,
+            "render_prometheus drifted from the golden snapshot; if the change \
+             is intentional, regenerate with MTMLF_UPDATE_GOLDEN=1 and commit"
+        );
+    }
+
+    #[test]
+    fn exposition_covers_counters_gauges_and_required_stages() {
+        let text = render_prometheus(&fixture());
+        assert!(text.contains("mtmlf_requests_total 100"));
+        assert!(text.contains("mtmlf_responses_total{source=\"cache\"} 40"));
+        assert!(text.contains("mtmlf_responses_total{source=\"model\"} 30"));
+        assert!(text.contains("mtmlf_responses_total{source=\"fallback\"} 20"));
+        assert!(text.contains("mtmlf_breaker_opens_total 1"));
+        assert!(text.contains("mtmlf_cache_entries 17"));
+        assert!(text.contains("mtmlf_queue_depth 5"));
+        assert!(text.contains("mtmlf_tracing_enabled 1"));
+        assert!(text.contains("mtmlf_breaker_state{state=\"half_open\"} 1"));
+        assert!(text.contains("mtmlf_breaker_state{state=\"closed\"} 0"));
+        // The acceptance-critical stages all appear with bucket series.
+        for stage in ["cache_lookup", "featurize", "forward", "beam", "fallback"] {
+            assert!(
+                text.contains(&format!(
+                    "mtmlf_stage_latency_seconds_bucket{{stage=\"{stage}\""
+                )),
+                "missing stage series {stage}"
+            );
+            assert!(text.contains(&format!(
+                "mtmlf_stage_latency_seconds_count{{stage=\"{stage}\"}} 2"
+            )));
+        }
+        // Histograms carry sum, count, +Inf, and the true-max gauge.
+        assert!(text.contains("mtmlf_response_latency_seconds_bucket{source=\"cache\",le=\"+Inf\"} 3"));
+        assert!(text.contains("mtmlf_response_latency_seconds_count{source=\"cache\"} 3"));
+        assert!(text.contains("mtmlf_response_latency_seconds_max{source=\"cache\"} 0.00007"));
+        assert!(text.contains("mtmlf_response_latency_seconds_max{source=\"model\"} 0.009"));
+    }
+
+    #[test]
+    fn seconds_formatting_is_exact_and_trimmed() {
+        assert_eq!(seconds(0), "0");
+        assert_eq!(seconds(2), "0.000000002");
+        assert_eq!(seconds(1u64 << 31), "2.147483648");
+        assert_eq!(seconds(1_000_000_000), "1");
+        assert_eq!(seconds(1_500_000_000), "1.5");
+        assert_eq!(seconds(70_000), "0.00007");
+    }
+
+    #[test]
+    fn default_snapshot_is_empty_and_closed() {
+        let m = MetricsSnapshot::default();
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.breaker_state, BreakerState::Closed);
+        assert!(!m.tracing_enabled);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.stage(Stage::Forward).count, 0);
+    }
+}

@@ -28,21 +28,25 @@
 //! output. Fallback responses are the deterministic DP optimum of
 //! `mtmlf-optd` and are never cached (the cache stores model output only).
 
-use crate::batch::plan_batch;
+use crate::batch::plan_batch_traced;
 use crate::cache::ShardedLruCache;
 use crate::error::MtmlfError;
+use crate::metrics::MetricsSnapshot;
 use crate::model::MtmlfQo;
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::resilience::FaultPlan;
 use crate::resilience::{
     is_transient, Admission, BreakerState, CircuitBreaker, FallbackPlanner, RetryPolicy,
 };
+use crate::trace::{
+    RequestTrace, Stage, StageRecorder, StageSpan, TraceBuilder, TraceConfig, TraceOutcome, Tracer,
+};
 use crate::Result;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use mtmlf_nn::no_grad;
 use mtmlf_query::{fingerprint, JoinOrder, Query, QueryFingerprint};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -191,6 +195,9 @@ struct Job {
     /// once this has passed, because the client has already timed out.
     deadline: Option<Instant>,
     reply: Sender<Result<(CachedPlan, PlanSource)>>,
+    /// The request's in-flight trace; travels with the job so whichever
+    /// thread finishes the request completes its trace.
+    trace: Option<TraceBuilder>,
 }
 
 /// Power-of-two latency histogram: bucket `i` counts samples whose latency
@@ -203,9 +210,21 @@ pub struct LatencyHistogram {
     pub count: u64,
     /// Sum of all recorded latencies, in nanoseconds.
     pub total_nanos: u64,
+    /// Largest single sample recorded, in nanoseconds (`0` when empty or
+    /// when the histogram was assembled from buckets alone).
+    pub max_nanos: u64,
 }
 
 impl LatencyHistogram {
+    /// Records one sample. The service's hot path records through atomic
+    /// mirrors instead; this is for snapshot builders and tests.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.buckets[Self::bucket(nanos)] += 1;
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
     /// Mean latency over all samples (zero when empty).
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
@@ -216,79 +235,49 @@ impl LatencyHistogram {
     }
 
     /// Upper-bound estimate of the `q`-quantile (e.g. `0.99`): the upper
-    /// edge of the first bucket at which the cumulative count reaches it.
+    /// edge of the first bucket at which the cumulative count reaches it,
+    /// capped at the true maximum. At `q = 1.0` this *is* the true maximum
+    /// (when one was recorded), not a bucket edge — a power-of-two edge can
+    /// overstate the worst case by almost 2x.
     pub fn quantile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
+        }
+        if q >= 1.0 && self.max_nanos > 0 {
+            return Duration::from_nanos(self.max_nanos);
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return Duration::from_nanos(1u64 << (i + 1).min(63));
+                let edge = 1u64 << (i + 1).min(63);
+                // Bucket-edge estimate, except it can never exceed the
+                // recorded maximum.
+                let capped = if self.max_nanos > 0 {
+                    edge.min(self.max_nanos)
+                } else {
+                    edge
+                };
+                return Duration::from_nanos(capped);
             }
         }
         Duration::from_nanos(u64::MAX)
     }
 
-    fn bucket(nanos: u64) -> usize {
+    /// The bucket index covering a sample of `nanos`.
+    pub fn bucket(nanos: u64) -> usize {
         (63 - nanos.max(1).leading_zeros() as usize).min(31)
     }
 }
 
-/// A point-in-time snapshot of service counters, from
-/// [`PlannerService::metrics`].
-///
-/// Counting identity: `requests == cache_hits + model_plans + fallbacks +
-/// errors` — every accepted request is counted exactly once by how it
-/// returned. `timeouts` and `sheds` are sub-counts of `errors`.
-#[derive(Debug, Clone, Default)]
-pub struct ServiceMetrics {
-    /// Requests accepted by [`PlannerService::plan`].
-    pub requests: u64,
-    /// Requests answered from the plan cache.
-    pub cache_hits: u64,
-    /// Requests answered by a model forward.
-    pub model_plans: u64,
-    /// Requests answered by the classical fallback planner.
-    pub fallbacks: u64,
-    /// Requests that returned an error (includes timeouts and sheds).
-    pub errors: u64,
-    /// Requests that returned [`MtmlfError::Timeout`].
-    pub timeouts: u64,
-    /// Requests shed at admission with [`MtmlfError::Overloaded`].
-    pub sheds: u64,
-    /// Queued jobs a worker dropped without forwarding because their
-    /// deadline had already passed (their clients had timed out).
-    pub expired: u64,
-    /// Model forward attempts that were retried after a transient error.
-    pub retries: u64,
-    /// Times the circuit breaker transitioned to Open.
-    pub breaker_opens: u64,
-    /// Batched forwards executed by workers.
-    pub batches: u64,
-    /// Cache-miss queries that went through those batches.
-    pub batched_queries: u64,
-    /// Latency distribution of cache-served responses.
-    pub cache_latency: LatencyHistogram,
-    /// Latency distribution of model-served responses.
-    pub model_latency: LatencyHistogram,
-    /// Latency distribution of fallback-served responses.
-    pub fallback_latency: LatencyHistogram,
-}
-
-impl ServiceMetrics {
-    /// Fraction of answered requests served from the cache.
-    pub fn cache_hit_rate(&self) -> f64 {
-        let answered = self.cache_hits + self.model_plans + self.fallbacks;
-        if answered == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / answered as f64
-        }
-    }
-}
+/// Former name of [`MetricsSnapshot`], kept as an alias so existing code
+/// keeps compiling during the deprecation window.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `mtmlf::metrics::MetricsSnapshot`; the alias will be removed in 0.2"
+)]
+pub type ServiceMetrics = MetricsSnapshot;
 
 struct MetricsInner {
     requests: AtomicU64,
@@ -305,12 +294,15 @@ struct MetricsInner {
     cache_buckets: [AtomicU64; 32],
     cache_count: AtomicU64,
     cache_nanos: AtomicU64,
+    cache_max: AtomicU64,
     model_buckets: [AtomicU64; 32],
     model_count: AtomicU64,
     model_nanos: AtomicU64,
+    model_max: AtomicU64,
     fallback_buckets: [AtomicU64; 32],
     fallback_count: AtomicU64,
     fallback_nanos: AtomicU64,
+    fallback_max: AtomicU64,
 }
 
 impl MetricsInner {
@@ -330,52 +322,62 @@ impl MetricsInner {
             cache_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_count: AtomicU64::new(0),
             cache_nanos: AtomicU64::new(0),
+            cache_max: AtomicU64::new(0),
             model_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             model_count: AtomicU64::new(0),
             model_nanos: AtomicU64::new(0),
+            model_max: AtomicU64::new(0),
             fallback_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             fallback_count: AtomicU64::new(0),
             fallback_nanos: AtomicU64::new(0),
+            fallback_max: AtomicU64::new(0),
         }
     }
 
     fn record(&self, source: PlanSource, latency: Duration) {
         let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
         let bucket = LatencyHistogram::bucket(nanos);
-        let (hits, buckets, count, total) = match source {
+        let (hits, buckets, count, total, max) = match source {
             PlanSource::Cache => (
                 &self.cache_hits,
                 &self.cache_buckets,
                 &self.cache_count,
                 &self.cache_nanos,
+                &self.cache_max,
             ),
             PlanSource::Model => (
                 &self.model_plans,
                 &self.model_buckets,
                 &self.model_count,
                 &self.model_nanos,
+                &self.model_max,
             ),
             PlanSource::Fallback => (
                 &self.fallbacks,
                 &self.fallback_buckets,
                 &self.fallback_count,
                 &self.fallback_nanos,
+                &self.fallback_max,
             ),
         };
         hits.fetch_add(1, Ordering::Relaxed);
         buckets[bucket].fetch_add(1, Ordering::Relaxed);
         count.fetch_add(1, Ordering::Relaxed);
         total.fetch_add(nanos, Ordering::Relaxed);
+        max.fetch_max(nanos, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> ServiceMetrics {
-        let hist =
-            |buckets: &[AtomicU64; 32], count: &AtomicU64, nanos: &AtomicU64| LatencyHistogram {
-                buckets: std::array::from_fn(|i| buckets[i].load(Ordering::Relaxed)),
-                count: count.load(Ordering::Relaxed),
-                total_nanos: nanos.load(Ordering::Relaxed),
-            };
-        ServiceMetrics {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let hist = |buckets: &[AtomicU64; 32],
+                    count: &AtomicU64,
+                    nanos: &AtomicU64,
+                    max: &AtomicU64| LatencyHistogram {
+            buckets: std::array::from_fn(|i| buckets[i].load(Ordering::Relaxed)),
+            count: count.load(Ordering::Relaxed),
+            total_nanos: nanos.load(Ordering::Relaxed),
+            max_nanos: max.load(Ordering::Relaxed),
+        };
+        MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             model_plans: self.model_plans.load(Ordering::Relaxed),
@@ -385,16 +387,29 @@ impl MetricsInner {
             sheds: self.sheds.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
-            breaker_opens: 0,
             batches: self.batches.load(Ordering::Relaxed),
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
-            cache_latency: hist(&self.cache_buckets, &self.cache_count, &self.cache_nanos),
-            model_latency: hist(&self.model_buckets, &self.model_count, &self.model_nanos),
+            cache_latency: hist(
+                &self.cache_buckets,
+                &self.cache_count,
+                &self.cache_nanos,
+                &self.cache_max,
+            ),
+            model_latency: hist(
+                &self.model_buckets,
+                &self.model_count,
+                &self.model_nanos,
+                &self.model_max,
+            ),
             fallback_latency: hist(
                 &self.fallback_buckets,
                 &self.fallback_count,
                 &self.fallback_nanos,
+                &self.fallback_max,
             ),
+            // Gauges (breaker, cache occupancy, queue depth, tracing) are
+            // filled in by `PlannerService::metrics`.
+            ..MetricsSnapshot::default()
         }
     }
 }
@@ -412,14 +427,14 @@ impl MetricsInner {
 /// use mtmlf::serve::ServiceConfig;
 ///
 /// # fn demo(model: MtmlfQo, db: Arc<mtmlf_storage::Database>, query: Query) -> mtmlf::Result<()> {
-/// let service = PlannerService::start_with_fallback(
-///     Arc::new(model),
-///     Some(FallbackPlanner::new(db)),
-///     ServiceConfig {
+/// let service = PlannerService::builder(Arc::new(model))
+///     .fallback(FallbackPlanner::new(db))
+///     .tracing(TraceConfig::default())
+///     .config(ServiceConfig {
 ///         default_deadline: Some(Duration::from_millis(50)),
 ///         ..ServiceConfig::default()
-///     },
-/// )?;
+///     })
+///     .start()?;
 /// // Callable from any number of threads:
 /// let response = service.plan(PlanRequest::new(query).with_deadline(Duration::from_millis(10)))?;
 /// println!(
@@ -428,6 +443,7 @@ impl MetricsInner {
 ///     response.source, response.latency,
 /// );
 /// println!("hit rate {:.2}", service.metrics().cache_hit_rate());
+/// print!("{}", service.render_prometheus());
 /// # Ok(())
 /// # }
 /// ```
@@ -439,6 +455,8 @@ pub struct PlannerService {
     cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
     metrics: Arc<MetricsInner>,
     breaker: Arc<CircuitBreaker>,
+    tracer: Option<Arc<Tracer>>,
+    queue_depth: Arc<AtomicUsize>,
     default_deadline: Option<Duration>,
 }
 
@@ -451,53 +469,93 @@ struct WorkerCtx {
     fallback: Option<FallbackPlanner>,
     breaker: Arc<CircuitBreaker>,
     retry: RetryPolicy,
+    tracer: Option<Arc<Tracer>>,
+    queue_depth: Arc<AtomicUsize>,
     #[cfg(any(test, feature = "fault-injection"))]
     faults: Option<Arc<FaultPlan>>,
 }
 
-impl PlannerService {
-    /// Spawns the worker pool and returns a handle that can be shared (or
-    /// referenced) across client threads. Dropping the service drains and
-    /// joins the workers (see [`PlannerService::shutdown`]).
-    pub fn start(model: Arc<MtmlfQo>, config: ServiceConfig) -> Result<Self> {
-        Self::start_with_fallback(model, None, config)
-    }
-
-    /// Like [`PlannerService::start`], with a classical fallback planner
-    /// that answers when the model path fails or the breaker is open.
-    pub fn start_with_fallback(
-        model: Arc<MtmlfQo>,
-        fallback: Option<FallbackPlanner>,
-        config: ServiceConfig,
-    ) -> Result<Self> {
-        Self::start_inner(
-            model,
-            fallback,
-            config,
-            #[cfg(any(test, feature = "fault-injection"))]
-            None,
-        )
-    }
-
-    /// Starts a service whose worker loop consults `faults` before every
-    /// model forward — the chaos-test entry point. Test/feature-gated;
-    /// release builds have no fault-injection code at all.
+/// Configures and starts a [`PlannerService`]; from
+/// [`PlannerService::builder`].
+///
+/// ```no_run
+/// # use std::sync::Arc;
+/// # use mtmlf::prelude::*;
+/// # fn demo(model: Arc<MtmlfQo>, fallback: FallbackPlanner) -> mtmlf::Result<()> {
+/// let service = PlannerService::builder(model)
+///     .config(ServiceConfig::default())
+///     .fallback(fallback)
+///     .tracing(TraceConfig::default())
+///     .start()?;
+/// # drop(service); Ok(())
+/// # }
+/// ```
+#[must_use = "a builder does nothing until `.start()`"]
+pub struct ServiceBuilder {
+    model: Arc<MtmlfQo>,
+    config: ServiceConfig,
+    fallback: Option<FallbackPlanner>,
+    tracing: Option<TraceConfig>,
     #[cfg(any(test, feature = "fault-injection"))]
-    pub fn start_with_faults(
-        model: Arc<MtmlfQo>,
-        fallback: Option<FallbackPlanner>,
-        config: ServiceConfig,
-        faults: FaultPlan,
-    ) -> Result<Self> {
-        Self::start_inner(model, fallback, config, Some(Arc::new(faults)))
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl ServiceBuilder {
+    fn new(model: Arc<MtmlfQo>) -> Self {
+        Self {
+            model,
+            config: ServiceConfig::default(),
+            fallback: None,
+            tracing: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: None,
+        }
     }
 
-    fn start_inner(
-        model: Arc<MtmlfQo>,
-        fallback: Option<FallbackPlanner>,
-        config: ServiceConfig,
-        #[cfg(any(test, feature = "fault-injection"))] faults: Option<Arc<FaultPlan>>,
-    ) -> Result<Self> {
+    /// Replaces the [`ServiceConfig`] (defaults to
+    /// `ServiceConfig::default()`).
+    pub fn config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the classical fallback planner that answers when the model path
+    /// fails or the breaker is open. Accepts a [`FallbackPlanner`] or an
+    /// `Option` of one (handy when it is itself configurable).
+    pub fn fallback(mut self, fallback: impl Into<Option<FallbackPlanner>>) -> Self {
+        self.fallback = fallback.into();
+        self
+    }
+
+    /// Enables plan-lifecycle tracing ([`crate::trace`]): per-stage latency
+    /// histograms plus a ring buffer of complete request traces. Off by
+    /// default; when off the service holds no tracer and pays no tracing
+    /// cost.
+    pub fn tracing(mut self, tracing: TraceConfig) -> Self {
+        self.tracing = Some(tracing);
+        self
+    }
+
+    /// Consults `faults` before every model forward — the chaos-test entry
+    /// point. Test/feature-gated; release builds have no fault-injection
+    /// code at all.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(faults));
+        self
+    }
+
+    /// Validates the config, spawns the worker pool, and returns the
+    /// running service.
+    pub fn start(self) -> Result<PlannerService> {
+        let Self {
+            model,
+            config,
+            fallback,
+            tracing,
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults,
+        } = self;
         config.validate()?;
         let cache = Arc::new(ShardedLruCache::new(
             config.cache_capacity,
@@ -505,6 +563,8 @@ impl PlannerService {
         ));
         let metrics = Arc::new(MetricsInner::new());
         let breaker = Arc::new(CircuitBreaker::new(config.breaker.clone()));
+        let tracer = tracing.map(|t| Arc::new(Tracer::new(&t)));
+        let queue_depth = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = bounded::<Job>(config.queue_capacity);
         let ctx = WorkerCtx {
             model,
@@ -513,6 +573,8 @@ impl PlannerService {
             fallback,
             breaker: Arc::clone(&breaker),
             retry: config.retry.clone(),
+            tracer: tracer.clone(),
+            queue_depth: Arc::clone(&queue_depth),
             #[cfg(any(test, feature = "fault-injection"))]
             faults,
         };
@@ -527,14 +589,70 @@ impl PlannerService {
                     .map_err(|e| MtmlfError::Service(format!("spawn worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self {
+        Ok(PlannerService {
             tx: RwLock::new(Some(tx)),
             workers: Mutex::new(workers),
             cache,
             metrics,
             breaker,
+            tracer,
+            queue_depth,
             default_deadline: config.default_deadline,
         })
+    }
+}
+
+impl PlannerService {
+    /// Starts configuring a service over `model`; finish with
+    /// [`ServiceBuilder::start`]. Dropping the started service drains and
+    /// joins the workers (see [`PlannerService::shutdown`]).
+    pub fn builder(model: Arc<MtmlfQo>) -> ServiceBuilder {
+        ServiceBuilder::new(model)
+    }
+
+    /// Spawns the worker pool with a bare config.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PlannerService::builder(model).config(config).start()`; \
+                the start_with_* constructors will be removed in 0.2"
+    )]
+    pub fn start(model: Arc<MtmlfQo>, config: ServiceConfig) -> Result<Self> {
+        Self::builder(model).config(config).start()
+    }
+
+    /// Like `start`, with a classical fallback planner.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PlannerService::builder(model).config(config).fallback(fallback).start()`; \
+                the start_with_* constructors will be removed in 0.2"
+    )]
+    pub fn start_with_fallback(
+        model: Arc<MtmlfQo>,
+        fallback: Option<FallbackPlanner>,
+        config: ServiceConfig,
+    ) -> Result<Self> {
+        Self::builder(model).config(config).fallback(fallback).start()
+    }
+
+    /// Starts a service whose worker loop consults `faults` before every
+    /// model forward.
+    #[cfg(any(test, feature = "fault-injection"))]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PlannerService::builder(model).config(config).fallback(fallback)\
+                .faults(faults).start()`; the start_with_* constructors will be removed in 0.2"
+    )]
+    pub fn start_with_faults(
+        model: Arc<MtmlfQo>,
+        fallback: Option<FallbackPlanner>,
+        config: ServiceConfig,
+        faults: FaultPlan,
+    ) -> Result<Self> {
+        Self::builder(model)
+            .config(config)
+            .fallback(fallback)
+            .faults(faults)
+            .start()
     }
 
     /// Plans one query, from cache when possible, otherwise via the worker
@@ -549,6 +667,14 @@ impl PlannerService {
         let PlanRequest { query, deadline } = request.into();
         let start = Instant::now();
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // Open the trace at admission, stamping breaker state and queue
+        // depth as the operator would have seen them.
+        let mut trace = self.tracer.as_ref().map(|t| {
+            t.begin(
+                self.breaker.state(),
+                self.queue_depth.load(Ordering::Relaxed),
+            )
+        });
         let deadline = deadline.or(self.default_deadline);
         // Saturating: a deadline too large to represent is no deadline.
         let abs_deadline = deadline.and_then(|d| start.checked_add(d));
@@ -564,37 +690,56 @@ impl PlannerService {
         };
         let Some(tx) = tx else {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            self.finish_trace(trace, TraceOutcome::Error);
             return Err(MtmlfError::Service("planner service is shut down".into()));
         };
-        let fp = fingerprint(&query);
+        let fp = match trace.as_mut() {
+            Some(tb) => tb.timed(Stage::Fingerprint, || fingerprint(&query)),
+            None => fingerprint(&query),
+        };
 
         // Fast path: answer cache hits on the calling thread, no handoff.
-        if let Some(hit) = self.cache.get(&fp) {
+        let probe = match trace.as_mut() {
+            Some(tb) => tb.timed(Stage::CacheLookup, || self.cache.get(&fp)),
+            None => self.cache.get(&fp),
+        };
+        if let Some(hit) = probe {
+            self.finish_trace(trace, TraceOutcome::Served(PlanSource::Cache));
             return Ok(self.respond(hit, PlanSource::Cache, start));
         }
 
+        if let Some(tb) = trace.as_mut() {
+            tb.mark_queued();
+        }
         let (reply_tx, reply_rx) = bounded(1);
         let job = Job {
             query,
             fp,
             deadline: abs_deadline,
             reply: reply_tx,
+            trace,
         };
         // Admission control: never block on a full queue — shed instead.
         // The sender clone is dropped eagerly either way: a shutdown that
         // raced this call must not wait on this thread's reply round-trip
-        // to see the channel close.
+        // to see the channel close. The depth gauge is raised before the
+        // send so a worker's decrement can never observe it at zero.
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
         let sent = tx.try_send(job);
         drop(tx);
         match sent {
             Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(job)) => {
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                self.finish_trace(job.trace, TraceOutcome::Shed);
                 return Err(MtmlfError::Overloaded);
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Disconnected(job)) => {
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                self.finish_trace(job.trace, TraceOutcome::Error);
                 return Err(MtmlfError::Service("planner workers are gone".into()));
             }
         }
@@ -647,12 +792,44 @@ impl PlannerService {
         }
     }
 
-    /// A point-in-time snapshot of the service counters and latency
-    /// histograms.
-    pub fn metrics(&self) -> ServiceMetrics {
+    /// Completes a client-side trace (cache hit, shed, refusal). Queued
+    /// requests are completed by the worker instead.
+    fn finish_trace(&self, trace: Option<TraceBuilder>, outcome: TraceOutcome) {
+        if let (Some(tracer), Some(tb)) = (&self.tracer, trace) {
+            tb.finish(tracer, outcome);
+        }
+    }
+
+    /// A point-in-time snapshot of the service counters, latency
+    /// histograms, and gauges. See [`crate::metrics`] for the consistency
+    /// guarantee.
+    pub fn metrics(&self) -> MetricsSnapshot {
         let mut m = self.metrics.snapshot();
         m.breaker_opens = self.breaker.times_opened();
+        m.breaker_state = self.breaker.state();
+        m.cached_plans = self.cache.len() as u64;
+        m.queue_depth = self.queue_depth.load(Ordering::Relaxed) as u64;
+        if let Some(tracer) = &self.tracer {
+            m.tracing_enabled = true;
+            m.traces = tracer.completed();
+            m.stage_latency = tracer.stage_histograms();
+        }
         m
+    }
+
+    /// The last N complete request traces, oldest first (empty when the
+    /// service was built without `.tracing(..)`).
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.recent())
+            .unwrap_or_default()
+    }
+
+    /// Renders [`PlannerService::metrics`] in the Prometheus text
+    /// exposition format ([`crate::metrics::render_prometheus`]).
+    pub fn render_prometheus(&self) -> String {
+        crate::metrics::render_prometheus(&self.metrics())
     }
 
     /// The circuit breaker's current state.
@@ -703,13 +880,17 @@ impl Drop for PlannerService {
 
 fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>, config: &ServiceConfig) {
     while let Ok(first) = rx.recv() {
+        ctx.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let mut batch = vec![first];
         if config.batching && config.max_batch > 1 {
             // Linger briefly to let concurrent misses join this batch.
             let deadline = Instant::now() + config.batch_linger;
             while batch.len() < config.max_batch {
                 match rx.recv_deadline(deadline) {
-                    Ok(job) => batch.push(job),
+                    Ok(job) => {
+                        ctx.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        batch.push(job);
+                    }
                     Err(_) => break,
                 }
             }
@@ -718,13 +899,29 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>, config: &ServiceConfig) {
     }
 }
 
+/// Completes a job's trace on the worker side (cache re-hit, expiry, or the
+/// planned outcome). Must run before the reply send, so a client that has
+/// its answer is guaranteed to find the complete trace.
+fn finish_job_trace(ctx: &WorkerCtx, job: &mut Job, outcome: TraceOutcome) {
+    if let (Some(tracer), Some(tb)) = (&ctx.tracer, job.trace.take()) {
+        tb.finish(tracer, outcome);
+    }
+}
+
 fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
+    // One clock read closes every member's queue span.
+    let dequeued_at = ctx.tracer.as_ref().map(|t| t.now());
+
     // Re-check the cache: another client may have planned the same query
     // between this job's miss and now.
     let mut misses: Vec<Job> = Vec::with_capacity(batch.len());
-    for job in batch {
+    for mut job in batch {
+        if let (Some(at), Some(tb)) = (dequeued_at, job.trace.as_mut()) {
+            tb.close_queue(at);
+        }
         match ctx.cache.get(&job.fp) {
             Some(hit) => {
+                finish_job_trace(ctx, &mut job, TraceOutcome::Served(PlanSource::Cache));
                 let _ = job.reply.send(Ok((hit, PlanSource::Cache)));
             }
             None => misses.push(job),
@@ -737,10 +934,11 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
     // (it is a no-op for a departed client).
     let now = Instant::now();
     let mut live: Vec<Job> = Vec::with_capacity(misses.len());
-    for job in misses {
+    for mut job in misses {
         match job.deadline {
             Some(d) if d <= now => {
                 ctx.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                finish_job_trace(ctx, &mut job, TraceOutcome::Expired);
                 let _ = job.reply.send(Err(MtmlfError::Timeout));
             }
             _ => live.push(job),
@@ -766,7 +964,14 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
         .batched_queries
         .fetch_add(unique_queries.len() as u64, Ordering::Relaxed);
 
-    let outcomes = plan_unique(ctx, &unique_queries);
+    // Batch-level stages (featurize/encode/forward/beam/retry) are
+    // measured once and attributed to every request in the batch — they
+    // share the packed forward, so its time is each member's time.
+    let mut recorder = match &ctx.tracer {
+        Some(tracer) => StageRecorder::new(tracer.clock()),
+        None => StageRecorder::disabled(),
+    };
+    let (outcomes, slot_spans) = plan_unique(ctx, &unique_queries, &mut recorder);
 
     // Cache model output only: fallback plans are cheap to recompute and
     // must stop being served the moment the model path recovers.
@@ -776,8 +981,21 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
             ctx.cache.insert(fp, plan.clone());
         }
     }
-    for job in live {
+    let batch_size = live.len();
+    for mut job in live {
         let slot = slot_of[&job.fp];
+        if job.trace.is_some() {
+            let outcome = match &outcomes[slot] {
+                Ok((_, source)) => TraceOutcome::Served(*source),
+                Err(_) => TraceOutcome::Error,
+            };
+            if let Some(tb) = job.trace.as_mut() {
+                tb.set_batch_size(batch_size);
+                tb.extend(recorder.spans());
+                tb.extend(&slot_spans[slot]);
+            }
+            finish_job_trace(ctx, &mut job, outcome);
+        }
         let _ = job.reply.send(outcomes[slot].clone());
     }
 }
@@ -785,7 +1003,15 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
 /// Runs the degradation ladder for a batch of distinct queries: breaker
 /// admission → batched model forward with bounded retry → classical
 /// fallback for whatever the model path could not answer.
-fn plan_unique(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<(CachedPlan, PlanSource)>> {
+///
+/// Returns the per-slot outcomes plus per-slot extra spans (fallback runs
+/// per query, so its time is attributed only to the slots that degraded);
+/// batch-shared stage spans accumulate in `recorder`.
+fn plan_unique(
+    ctx: &WorkerCtx,
+    queries: &[Query],
+    recorder: &mut StageRecorder,
+) -> (Vec<Result<(CachedPlan, PlanSource)>>, Vec<Vec<StageSpan>>) {
     let n = queries.len();
 
     // Breaker admission per distinct query. Rejected slots skip the model
@@ -804,7 +1030,7 @@ fn plan_unique(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<(CachedPlan, Pl
     while !pending.is_empty() {
         let forward_queries: Vec<Query> =
             pending.iter().map(|&slot| queries[slot].clone()).collect();
-        let forwarded = forward(ctx, &forward_queries);
+        let forwarded = forward(ctx, &forward_queries, recorder);
         let mut retry_slots: Vec<usize> = Vec::new();
         for (i, &slot) in pending.iter().enumerate() {
             match &forwarded[i] {
@@ -832,14 +1058,16 @@ fn plan_unique(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<(CachedPlan, Pl
         ctx.metrics
             .retries
             .fetch_add(retry_slots.len() as u64, Ordering::Relaxed);
-        std::thread::sleep(ctx.retry.backoff(attempt));
+        recorder.timed(Stage::Retry, || std::thread::sleep(ctx.retry.backoff(attempt)));
         attempt += 1;
         pending = retry_slots;
     }
 
     // Final assembly: model success, else fallback, else a typed error.
-    (0..n)
-        .map(|slot| match model_results[slot].take() {
+    let mut slot_spans: Vec<Vec<StageSpan>> = (0..n).map(|_| Vec::new()).collect();
+    let mut results: Vec<Result<(CachedPlan, PlanSource)>> = Vec::with_capacity(n);
+    for slot in 0..n {
+        let result = match model_results[slot].take() {
             Some(Ok(plan)) => Ok((plan, PlanSource::Model)),
             model_failure => {
                 let model_err = match model_failure {
@@ -847,20 +1075,32 @@ fn plan_unique(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<(CachedPlan, Pl
                     _ => None, // breaker-rejected: the model was never asked
                 };
                 match &ctx.fallback {
-                    Some(fb) => match fb.plan(&queries[slot]) {
-                        Ok((join_order, est_card, est_cost)) => Ok((
-                            CachedPlan {
-                                join_order,
-                                est_card,
-                                est_cost,
-                            },
-                            PlanSource::Fallback,
-                        )),
-                        // The ladder ran dry: surface the model's error
-                        // when there is one (it names the primary path),
-                        // otherwise the fallback's.
-                        Err(fb_err) => Err(model_err.unwrap_or(fb_err)),
-                    },
+                    Some(fb) => {
+                        let fb_start = recorder.now();
+                        let planned = fb.plan(&queries[slot]);
+                        // Fallback time belongs to this slot alone.
+                        if recorder.enabled() {
+                            slot_spans[slot].push(StageSpan {
+                                stage: Stage::Fallback,
+                                start: fb_start,
+                                end: recorder.now(),
+                            });
+                        }
+                        match planned {
+                            Ok((join_order, est_card, est_cost)) => Ok((
+                                CachedPlan {
+                                    join_order,
+                                    est_card,
+                                    est_cost,
+                                },
+                                PlanSource::Fallback,
+                            )),
+                            // The ladder ran dry: surface the model's error
+                            // when there is one (it names the primary path),
+                            // otherwise the fallback's.
+                            Err(fb_err) => Err(model_err.unwrap_or(fb_err)),
+                        }
+                    }
                     None => Err(model_err.unwrap_or_else(|| {
                         MtmlfError::Service(
                             "circuit breaker open and no fallback planner configured".into(),
@@ -868,12 +1108,18 @@ fn plan_unique(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<(CachedPlan, Pl
                     })),
                 }
             }
-        })
-        .collect()
+        };
+        results.push(result);
+    }
+    (results, slot_spans)
 }
 
 /// One batched model forward, with the fault-injection hook ahead of it.
-fn forward(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<crate::batch::PlannedQuery>> {
+fn forward(
+    ctx: &WorkerCtx,
+    queries: &[Query],
+    recorder: &mut StageRecorder,
+) -> Vec<Result<crate::batch::PlannedQuery>> {
     #[cfg(any(test, feature = "fault-injection"))]
     if let Some(faults) = &ctx.faults {
         // `inject` sleeps through latency spikes, panics for worker-crash
@@ -883,7 +1129,7 @@ fn forward(ctx: &WorkerCtx, queries: &[Query]) -> Vec<Result<crate::batch::Plann
         }
     }
     // Inference only: skip the autograd tape entirely.
-    no_grad(|| plan_batch(&ctx.model, queries))
+    no_grad(|| plan_batch_traced(&ctx.model, queries, recorder))
 }
 
 #[cfg(test)]
@@ -932,14 +1178,13 @@ mod tests {
     #[test]
     fn serves_plans_and_caches_repeats() {
         let (model, _db, queries) = setup();
-        let service = PlannerService::start(
-            Arc::clone(&model),
-            ServiceConfig {
+        let service = PlannerService::builder(Arc::clone(&model))
+            .config(ServiceConfig {
                 workers: 1,
                 ..ServiceConfig::default()
-            },
-        )
-        .expect("start service");
+            })
+            .start()
+            .expect("start service");
         for query in &queries {
             let cold = service.plan(query.clone()).expect("cold plan");
             assert_eq!(cold.source, PlanSource::Model);
@@ -969,8 +1214,7 @@ mod tests {
     #[test]
     fn fingerprint_equivalent_queries_share_a_cache_entry() {
         let (model, _db, queries) = setup();
-        let service =
-            PlannerService::start(model, ServiceConfig::default()).expect("start service");
+        let service = PlannerService::builder(model).start().expect("start service");
         let query = &queries[0];
         // Same query object twice stands in for any fingerprint-equal pair;
         // fingerprint canonicalization itself is proptested in mtmlf-query.
@@ -983,14 +1227,13 @@ mod tests {
     #[test]
     fn caching_can_be_disabled() {
         let (model, _db, queries) = setup();
-        let service = PlannerService::start(
-            model,
-            ServiceConfig {
+        let service = PlannerService::builder(model)
+            .config(ServiceConfig {
                 cache_capacity: 0,
                 ..ServiceConfig::default()
-            },
-        )
-        .expect("start service");
+            })
+            .start()
+            .expect("start service");
         let query = &queries[0];
         let a = service.plan(query.clone()).expect("first");
         let b = service.plan(query.clone()).expect("second");
@@ -1003,21 +1246,19 @@ mod tests {
     #[test]
     fn rejects_invalid_service_config() {
         let (model, _db, _) = setup();
-        let err = PlannerService::start(
-            Arc::clone(&model),
-            ServiceConfig {
+        let err = PlannerService::builder(Arc::clone(&model))
+            .config(ServiceConfig {
                 workers: 0,
                 ..ServiceConfig::default()
-            },
-        );
+            })
+            .start();
         assert!(matches!(err, Err(MtmlfError::InvalidConfig(_))));
-        let err = PlannerService::start(
-            model,
-            ServiceConfig {
+        let err = PlannerService::builder(model)
+            .config(ServiceConfig {
                 queue_capacity: 0,
                 ..ServiceConfig::default()
-            },
-        );
+            })
+            .start();
         assert!(matches!(err, Err(MtmlfError::InvalidConfig(_))));
     }
 
@@ -1030,23 +1271,45 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket(u64::MAX), 31);
         let mut h = LatencyHistogram::default();
         for nanos in [100u64, 200, 400, 100_000] {
-            h.buckets[LatencyHistogram::bucket(nanos)] += 1;
-            h.count += 1;
-            h.total_nanos += nanos;
+            h.record_nanos(nanos);
         }
         assert_eq!(h.mean(), Duration::from_nanos(100_700 / 4));
         assert!(h.quantile(0.5) <= Duration::from_nanos(1 << 9));
         assert!(h.quantile(1.0) >= Duration::from_nanos(100_000));
     }
 
+    /// Regression: `quantile(1.0)` used to return the power-of-two bucket
+    /// edge above the largest sample (here 131072 ns for a 100000 ns max),
+    /// overstating the worst case by up to 2x. It must return the true
+    /// recorded maximum, and sub-1.0 quantile edges must be capped by it.
+    #[test]
+    fn quantile_at_one_returns_the_true_max_not_a_bucket_edge() {
+        let mut h = LatencyHistogram::default();
+        for nanos in [100u64, 200, 400, 100_000] {
+            h.record_nanos(nanos);
+        }
+        assert_eq!(h.max_nanos, 100_000);
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(100_000));
+        assert_eq!(h.quantile(2.0), Duration::from_nanos(100_000));
+        // 0.99 of 4 samples lands in the top bucket; its edge estimate is
+        // capped at the observed max instead of 2^17.
+        assert_eq!(h.quantile(0.99), Duration::from_nanos(100_000));
+
+        // A histogram assembled from buckets alone (no recorded max) keeps
+        // the conservative bucket-edge behaviour.
+        let mut edges_only = LatencyHistogram::default();
+        edges_only.buckets[LatencyHistogram::bucket(100_000)] += 1;
+        edges_only.count += 1;
+        edges_only.total_nanos += 100_000;
+        assert_eq!(edges_only.quantile(1.0), Duration::from_nanos(1 << 17));
+    }
+
     #[test]
     fn retry_recovers_from_one_transient_fault() {
         let (model, _db, queries) = setup();
         let (breaker, _clock) = manual_breaker(100);
-        let service = PlannerService::start_with_faults(
-            model,
-            None,
-            ServiceConfig {
+        let service = PlannerService::builder(model)
+            .config(ServiceConfig {
                 workers: 1,
                 breaker,
                 retry: RetryPolicy {
@@ -1054,10 +1317,10 @@ mod tests {
                     base_backoff: Duration::from_micros(50),
                 },
                 ..ServiceConfig::default()
-            },
-            FaultPlan::new().fail_on(0),
-        )
-        .expect("start service");
+            })
+            .faults(FaultPlan::new().fail_on(0))
+            .start()
+            .expect("start service");
         let resp = service.plan(queries[0].clone()).expect("retried plan");
         assert_eq!(resp.source, PlanSource::Model);
         let m = service.metrics();
@@ -1070,10 +1333,9 @@ mod tests {
     fn persistent_faults_trip_breaker_and_fallback_answers() {
         let (model, db, queries) = setup();
         let (breaker, _clock) = manual_breaker(2);
-        let service = PlannerService::start_with_faults(
-            Arc::clone(&model),
-            Some(FallbackPlanner::new(Arc::clone(&db))),
-            ServiceConfig {
+        let service = PlannerService::builder(Arc::clone(&model))
+            .fallback(FallbackPlanner::new(Arc::clone(&db)))
+            .config(ServiceConfig {
                 workers: 1,
                 retry: RetryPolicy {
                     max_retries: 0,
@@ -1081,11 +1343,11 @@ mod tests {
                 },
                 breaker,
                 ..ServiceConfig::default()
-            },
+            })
             // Every forward fails, deterministically.
-            FaultPlan::seeded(3, 1000),
-        )
-        .expect("start service");
+            .faults(FaultPlan::seeded(3, 1000))
+            .start()
+            .expect("start service");
         for query in &queries {
             let resp = service.plan(query.clone()).expect("fallback plan");
             assert_eq!(resp.source, PlanSource::Fallback);
@@ -1104,10 +1366,8 @@ mod tests {
     fn failing_model_without_fallback_returns_typed_errors_and_stays_up() {
         let (model, _db, queries) = setup();
         let (breaker, _clock) = manual_breaker(1);
-        let service = PlannerService::start_with_faults(
-            model,
-            None,
-            ServiceConfig {
+        let service = PlannerService::builder(model)
+            .config(ServiceConfig {
                 workers: 1,
                 retry: RetryPolicy {
                     max_retries: 0,
@@ -1115,10 +1375,10 @@ mod tests {
                 },
                 breaker,
                 ..ServiceConfig::default()
-            },
-            FaultPlan::seeded(4, 1000),
-        )
-        .expect("start service");
+            })
+            .faults(FaultPlan::seeded(4, 1000))
+            .start()
+            .expect("start service");
         // First request reaches the model and gets the injected error;
         // later ones are breaker-rejected with a clean Service error.
         let first = service.plan(queries[0].clone());
@@ -1136,18 +1396,16 @@ mod tests {
         // One worker stalled by an injected latency spike + a queue of one:
         // the burst below must shed deterministically.
         let service = Arc::new(
-            PlannerService::start_with_faults(
-                model,
-                None,
-                ServiceConfig {
+            PlannerService::builder(model)
+                .config(ServiceConfig {
                     workers: 1,
                     queue_capacity: 1,
                     batching: false,
                     ..ServiceConfig::default()
-                },
-                FaultPlan::new().delay_on(0, Duration::from_millis(300)),
-            )
-            .expect("start service"),
+                })
+                .faults(FaultPlan::new().delay_on(0, Duration::from_millis(300)))
+                .start()
+                .expect("start service"),
         );
         // Occupy the worker…
         let occupant = {
@@ -1180,17 +1438,15 @@ mod tests {
         // Two workers; the first forward panics its worker. The victim
         // client gets a clean Service error (dropped reply), and later
         // requests are served by the surviving worker.
-        let service = PlannerService::start_with_faults(
-            Arc::clone(&model),
-            None,
-            ServiceConfig {
+        let service = PlannerService::builder(Arc::clone(&model))
+            .config(ServiceConfig {
                 workers: 2,
                 batching: false,
                 ..ServiceConfig::default()
-            },
-            FaultPlan::new().panic_on(0),
-        )
-        .expect("start service");
+            })
+            .faults(FaultPlan::new().panic_on(0))
+            .start()
+            .expect("start service");
         let victim = service.plan(queries[0].clone());
         assert!(
             matches!(victim, Err(MtmlfError::Service(_))),
@@ -1202,5 +1458,102 @@ mod tests {
         }
         // Shutdown joins the panicked worker without propagating.
         service.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_decompose_into_monotonic_stage_spans() {
+        let (model, _db, queries) = setup();
+        let service = PlannerService::builder(model)
+            .config(ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            })
+            .tracing(TraceConfig {
+                ring_capacity: 64,
+                ..TraceConfig::default()
+            })
+            .start()
+            .expect("start service");
+        let cold = service.plan(queries[0].clone()).expect("cold");
+        assert_eq!(cold.source, PlanSource::Model);
+        let warm = service.plan(queries[0].clone()).expect("warm");
+        assert_eq!(warm.source, PlanSource::Cache);
+        service.shutdown();
+
+        let traces = service.traces();
+        assert_eq!(traces.len(), 2, "one complete trace per request");
+        let m = service.metrics();
+        assert!(m.tracing_enabled);
+        assert_eq!(m.traces, 2);
+
+        let model_trace = &traces[0];
+        assert_eq!(model_trace.outcome, TraceOutcome::Served(PlanSource::Model));
+        assert!(model_trace.is_monotonic(), "{model_trace:?}");
+        assert_eq!(model_trace.batch_size, 1);
+        for stage in [
+            Stage::Fingerprint,
+            Stage::CacheLookup,
+            Stage::Queue,
+            Stage::Featurize,
+            Stage::Encode,
+            Stage::Forward,
+            Stage::Beam,
+        ] {
+            assert!(
+                model_trace.spans.iter().any(|s| s.stage == stage),
+                "model-path trace missing {stage:?}: {model_trace:?}"
+            );
+        }
+        assert_eq!(model_trace.stage_total(Stage::Fallback), Duration::ZERO);
+
+        let cache_trace = &traces[1];
+        assert_eq!(cache_trace.outcome, TraceOutcome::Served(PlanSource::Cache));
+        assert!(cache_trace.is_monotonic());
+        assert_eq!(cache_trace.batch_size, 0, "cache hits never reach a batch");
+        assert!(cache_trace.spans.iter().all(|s| s.stage != Stage::Queue));
+
+        // Per-stage histograms: one sample per stage per traced request.
+        assert_eq!(m.stage(Stage::CacheLookup).count, 2);
+        assert_eq!(m.stage(Stage::Forward).count, 1);
+        assert_eq!(m.stage(Stage::Beam).count, 1);
+        assert!(m.stage(Stage::Encode).mean() > Duration::ZERO);
+        assert_eq!(m.stage(Stage::Fallback).count, 0);
+
+        // And the exposition carries them.
+        let text = service.render_prometheus();
+        assert!(text.contains("mtmlf_tracing_enabled 1"));
+        assert!(text.contains("mtmlf_traces_total 2"));
+        assert!(text.contains("mtmlf_stage_latency_seconds_count{stage=\"forward\"} 1"));
+    }
+
+    #[test]
+    fn untraced_service_keeps_no_traces_and_empty_stage_histograms() {
+        let (model, _db, queries) = setup();
+        let service = PlannerService::builder(model).start().expect("start");
+        service.plan(queries[0].clone()).expect("plan");
+        assert!(service.traces().is_empty());
+        let m = service.metrics();
+        assert!(!m.tracing_enabled);
+        assert_eq!(m.traces, 0);
+        assert!(m.stage_latency.iter().all(|h| h.count == 0));
+        let text = service.render_prometheus();
+        assert!(text.contains("mtmlf_tracing_enabled 0"));
+    }
+
+    #[test]
+    fn queue_depth_gauge_returns_to_zero_when_quiescent() {
+        let (model, _db, queries) = setup();
+        let service = PlannerService::builder(model)
+            .tracing(TraceConfig::default())
+            .start()
+            .expect("start");
+        for query in &queries {
+            service.plan(query.clone()).expect("plan");
+        }
+        service.shutdown();
+        let m = service.metrics();
+        assert_eq!(m.queue_depth, 0, "all admitted jobs were dequeued");
+        assert_eq!(m.cached_plans, queries.len() as u64);
+        assert_eq!(m.breaker_state, BreakerState::Closed);
     }
 }

@@ -1,0 +1,98 @@
+//! Compatibility tests for the deprecated `PlannerService::start*`
+//! constructors: they are thin shims over [`mtmlf::ServiceBuilder`] and
+//! must keep serving until their announced removal in 0.2.
+//!
+//! The feature-gated `start_with_faults` shim has its compatibility test
+//! in `tests/chaos.rs` (it needs a `FaultPlan`).
+#![allow(deprecated)]
+
+use mtmlf::prelude::*;
+use mtmlf::serve::ServiceConfig;
+use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+use mtmlf_storage::Database;
+use std::sync::Arc;
+
+fn setup(max_query_tables: usize) -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
+    let mut db = imdb_lite(61, ImdbScale { scale: 0.02 });
+    db.analyze_all(8, 4);
+    let cfg = MtmlfConfig {
+        enc_queries: 10,
+        enc_epochs: 1,
+        seed: 61,
+        max_query_tables,
+        ..MtmlfConfig::tiny()
+    };
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 3,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        23,
+    );
+    let model = MtmlfQo::new(&db, cfg).expect("build model");
+    (Arc::new(model), Arc::new(db), queries)
+}
+
+/// `PlannerService::start` still spawns a working pool and plans queries
+/// exactly like `builder(..).config(..).start()`.
+#[test]
+fn deprecated_start_shim_still_serves() {
+    let (model, _db, queries) = setup(8);
+    let service = PlannerService::start(
+        Arc::clone(&model),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("shim starts");
+    for query in &queries {
+        let resp = service.plan(query.clone()).expect("shim plans");
+        assert_eq!(resp.source, PlanSource::Model);
+        let (order, card, cost) = model.plan_with_estimates(query).expect("direct");
+        assert_eq!(resp.join_order, order);
+        assert_eq!(resp.est_card.to_bits(), card.to_bits());
+        assert_eq!(resp.est_cost.to_bits(), cost.to_bits());
+    }
+    let m = service.metrics();
+    assert_eq!(m.requests, queries.len() as u64);
+    assert_eq!(m.errors, 0);
+    service.shutdown();
+}
+
+/// `PlannerService::start_with_fallback` still wires the classical
+/// fallback: a model that admits too few tables degrades per request.
+#[test]
+fn deprecated_start_with_fallback_shim_still_serves() {
+    let (model, db, _queries) = setup(3);
+    let big = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 2,
+            min_tables: 4,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        29,
+    );
+    let service = PlannerService::start_with_fallback(
+        model,
+        Some(FallbackPlanner::new(Arc::clone(&db))),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("shim starts");
+    for query in &big {
+        let resp = service.plan(query.clone()).expect("fallback answers");
+        assert_eq!(resp.source, PlanSource::Fallback);
+        resp.join_order.validate(query).expect("legal join order");
+    }
+    let m = service.metrics();
+    assert_eq!(m.fallbacks, big.len() as u64);
+    assert_eq!(m.errors, 0);
+    service.shutdown();
+}

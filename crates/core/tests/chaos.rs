@@ -48,7 +48,7 @@ fn setup() -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
 
 /// Asserts the metrics counting identity that makes "exactly one reply"
 /// auditable: every accepted request is counted once by how it returned.
-fn assert_identity(m: &mtmlf::ServiceMetrics) {
+fn assert_identity(m: &mtmlf::MetricsSnapshot) {
     assert_eq!(
         m.requests,
         m.cache_hits + m.model_plans + m.fallbacks + m.errors,
@@ -63,17 +63,16 @@ fn assert_identity(m: &mtmlf::ServiceMetrics) {
 fn seeded_error_storm_every_client_gets_one_answer() {
     let (model, db, queries) = setup();
     let service = Arc::new(
-        PlannerService::start_with_faults(
-            model,
-            Some(FallbackPlanner::new(Arc::clone(&db))),
-            ServiceConfig {
+        PlannerService::builder(model)
+            .config(ServiceConfig {
                 workers: 2,
                 cache_capacity: 0, // keep the model path hot for the storm
                 ..ServiceConfig::default()
-            },
-            FaultPlan::seeded(101, 300),
-        )
-        .expect("start service"),
+            })
+            .fallback(FallbackPlanner::new(Arc::clone(&db)))
+            .faults(FaultPlan::seeded(101, 300))
+            .start()
+            .expect("start service"),
     );
 
     let answered = Arc::new(AtomicU64::new(0));
@@ -109,17 +108,15 @@ fn seeded_error_storm_every_client_gets_one_answer() {
 #[test]
 fn latency_spike_times_out_cleanly() {
     let (model, _db, queries) = setup();
-    let service = PlannerService::start_with_faults(
-        model,
-        None,
-        ServiceConfig {
+    let service = PlannerService::builder(model)
+        .config(ServiceConfig {
             workers: 1,
             batching: false,
             ..ServiceConfig::default()
-        },
-        FaultPlan::new().delay_on(0, Duration::from_millis(120)),
-    )
-    .expect("start service");
+        })
+        .faults(FaultPlan::new().delay_on(0, Duration::from_millis(120)))
+        .start()
+        .expect("start service");
 
     let victim = service.plan(
         PlanRequest::new(queries[0].clone()).with_deadline(Duration::from_millis(10)),
@@ -145,10 +142,8 @@ fn latency_spike_times_out_cleanly() {
 fn breaker_trips_and_recovers_deterministically() {
     let (model, db, queries) = setup();
     let clock = Arc::new(ManualClock::new());
-    let service = PlannerService::start_with_faults(
-        model,
-        Some(FallbackPlanner::new(Arc::clone(&db))),
-        ServiceConfig {
+    let service = PlannerService::builder(model)
+        .config(ServiceConfig {
             workers: 1,
             cache_capacity: 0,
             retry: RetryPolicy {
@@ -161,11 +156,12 @@ fn breaker_trips_and_recovers_deterministically() {
                 clock: Arc::clone(&clock) as Arc<dyn Clock>,
             },
             ..ServiceConfig::default()
-        },
+        })
+        .fallback(FallbackPlanner::new(Arc::clone(&db)))
         // Forwards 0 and 1 fail; everything after is clean.
-        FaultPlan::new().fail_on(0).fail_on(1),
-    )
-    .expect("start service");
+        .faults(FaultPlan::new().fail_on(0).fail_on(1))
+        .start()
+        .expect("start service");
 
     // Failures 1 and 2 trip the breaker; both degrade to the fallback.
     for query in &queries[..2] {
@@ -200,18 +196,16 @@ fn breaker_trips_and_recovers_deterministically() {
 fn overload_sheds_and_recovers() {
     let (model, _db, queries) = setup();
     let service = Arc::new(
-        PlannerService::start_with_faults(
-            model,
-            None,
-            ServiceConfig {
+        PlannerService::builder(model)
+            .config(ServiceConfig {
                 workers: 1,
                 queue_capacity: 1,
                 batching: false,
                 ..ServiceConfig::default()
-            },
-            FaultPlan::new().delay_on(0, Duration::from_millis(250)),
-        )
-        .expect("start service"),
+            })
+            .faults(FaultPlan::new().delay_on(0, Duration::from_millis(250)))
+            .start()
+            .expect("start service"),
     );
 
     let occupant = {
@@ -247,17 +241,15 @@ fn overload_sheds_and_recovers() {
 #[test]
 fn worker_panic_does_not_poison_the_service() {
     let (model, _db, queries) = setup();
-    let service = PlannerService::start_with_faults(
-        Arc::clone(&model),
-        None,
-        ServiceConfig {
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
             workers: 2,
             batching: false,
             ..ServiceConfig::default()
-        },
-        FaultPlan::new().panic_on(0),
-    )
-    .expect("start service");
+        })
+        .faults(FaultPlan::new().panic_on(0))
+        .start()
+        .expect("start service");
 
     let victim = service.plan(queries[0].clone());
     assert!(
@@ -278,4 +270,161 @@ fn worker_panic_does_not_poison_the_service() {
     for query in &queries {
         model.plan_with_estimates(query).expect("model unpoisoned");
     }
+}
+
+/// Under a seeded error storm with tracing enabled, **every accepted
+/// request produces exactly one complete trace**: the traces counter
+/// matches the requests counter, every ring entry's stage spans are
+/// monotonically ordered inside the request window, and requests that
+/// degraded to the classical planner carry a `Fallback` span. (Worker
+/// panics are excluded by construction — a killed worker takes its
+/// in-flight traces with it, which is the documented trade.)
+#[test]
+fn every_accepted_request_yields_exactly_one_complete_trace() {
+    let (model, db, queries) = setup();
+    let service = Arc::new(
+        PlannerService::builder(model)
+            .config(ServiceConfig {
+                workers: 2,
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            })
+            .fallback(FallbackPlanner::new(Arc::clone(&db)))
+            .faults(FaultPlan::seeded(202, 300))
+            .tracing(TraceConfig {
+                ring_capacity: 256,
+                ..TraceConfig::default()
+            })
+            .start()
+            .expect("start service"),
+    );
+
+    std::thread::scope(|scope| {
+        for offset in 0..4 {
+            let service = Arc::clone(&service);
+            let queries = queries.clone();
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let query = queries[(offset + round) % queries.len()].clone();
+                    service.plan(query).expect("storm answer");
+                }
+            });
+        }
+    });
+    service.shutdown();
+
+    let m = service.metrics();
+    assert_eq!(m.requests, 4 * 6);
+    assert_identity(&m);
+    assert_eq!(
+        m.traces, m.requests,
+        "exactly one completed trace per accepted request"
+    );
+    let traces = service.traces();
+    assert_eq!(traces.len(), 4 * 6, "ring kept every trace");
+    let mut fallback_traces = 0;
+    for trace in &traces {
+        assert!(
+            trace.is_monotonic(),
+            "stage spans out of order or outside the request window: {trace:?}"
+        );
+        assert!(!trace.spans.is_empty(), "complete traces carry spans");
+        match trace.outcome {
+            TraceOutcome::Served(PlanSource::Fallback) => {
+                assert!(
+                    trace.spans.iter().any(|s| s.stage == Stage::Fallback),
+                    "fallback-served trace lacks a Fallback span: {trace:?}"
+                );
+                fallback_traces += 1;
+            }
+            TraceOutcome::Served(_) => {}
+            other => panic!("storm requests all succeed, got {other:?}"),
+        }
+    }
+    assert_eq!(fallback_traces, m.fallbacks, "one Fallback-span trace per fallback");
+}
+
+/// Shed requests trace too: with a stalled worker and a queue of one, each
+/// burst request that sheds at admission still finishes its trace — outcome
+/// `Shed`, no model-path spans — so overload is visible in the ring with
+/// the same exactly-one-trace guarantee as served traffic.
+#[test]
+fn shed_requests_complete_their_traces() {
+    let (model, _db, queries) = setup();
+    let service = Arc::new(
+        PlannerService::builder(model)
+            .config(ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                batching: false,
+                ..ServiceConfig::default()
+            })
+            .faults(FaultPlan::new().delay_on(0, Duration::from_millis(250)))
+            .tracing(TraceConfig {
+                ring_capacity: 256,
+                ..TraceConfig::default()
+            })
+            .start()
+            .expect("start service"),
+    );
+
+    let occupant = {
+        let service = Arc::clone(&service);
+        let query = queries[0].clone();
+        std::thread::spawn(move || service.plan(query))
+    };
+    std::thread::sleep(Duration::from_millis(80)); // let it hit the delay
+    for query in queries.iter().skip(1).cycle().take(8) {
+        match service.plan(PlanRequest::new(query.clone()).with_deadline(Duration::ZERO)) {
+            Err(MtmlfError::Overloaded) | Err(MtmlfError::Timeout) => {}
+            other => {
+                other.expect("any non-shed outcome must be a plan");
+            }
+        }
+    }
+    assert!(occupant.join().expect("occupant ran").is_ok());
+    service.shutdown();
+
+    let m = service.metrics();
+    assert!(m.sheds >= 1, "a queue of one must shed an 8-request burst");
+    assert_identity(&m);
+    assert_eq!(m.traces, m.requests, "shed and expired requests trace too");
+    let traces = service.traces();
+    assert_eq!(traces.len() as u64, m.requests);
+    let shed_traces: Vec<_> = traces
+        .iter()
+        .filter(|t| t.outcome == TraceOutcome::Shed)
+        .collect();
+    assert_eq!(shed_traces.len() as u64, m.sheds);
+    for trace in &traces {
+        assert!(trace.is_monotonic(), "{trace:?}");
+    }
+    for trace in shed_traces {
+        assert!(
+            !trace.spans.iter().any(|s| s.stage == Stage::Forward),
+            "a shed request never reached the model: {trace:?}"
+        );
+    }
+}
+
+/// The deprecated [`PlannerService::start_with_faults`] shim still works:
+/// existing chaos harnesses keep compiling (with a deprecation warning)
+/// and get the same builder-backed service until the 0.2 removal.
+#[test]
+#[allow(deprecated)]
+fn deprecated_start_with_faults_shim_still_serves() {
+    let (model, db, queries) = setup();
+    let service = PlannerService::start_with_faults(
+        model,
+        Some(FallbackPlanner::new(Arc::clone(&db))),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        FaultPlan::new().fail_on(0),
+    )
+    .expect("start service");
+    let resp = service.plan(queries[0].clone()).expect("shim serves");
+    resp.join_order.validate(&queries[0]).expect("legal order");
+    assert_identity(&service.metrics());
 }

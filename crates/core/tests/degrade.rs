@@ -54,17 +54,16 @@ fn expired_deadline_is_dropped_before_the_forward() {
     let (model, _db) = setup(8);
     let queries = workload(&_db, 2, 4, 4);
     let service = Arc::new(
-        PlannerService::start(
-            Arc::clone(&model),
-            ServiceConfig {
+        PlannerService::builder(Arc::clone(&model))
+            .config(ServiceConfig {
                 workers: 1,
                 // A long linger keeps the doomed job and its batch-mates in
                 // one batch, exercising the per-job expiry split.
                 batch_linger: Duration::from_millis(20),
                 ..ServiceConfig::default()
-            },
-        )
-        .expect("start service"),
+            })
+            .start()
+            .expect("start service"),
     );
 
     // A zero deadline has already expired by the time any worker can look
@@ -121,15 +120,14 @@ fn fallback_plans_are_legal_and_match_the_classical_optimizer() {
     // Model admits ≤ 3 tables; every workload query joins exactly 4.
     let (model, db) = setup(3);
     let queries = workload(&db, 4, 4, 6);
-    let service = PlannerService::start_with_fallback(
-        model,
-        Some(FallbackPlanner::new(Arc::clone(&db))),
-        ServiceConfig {
+    let service = PlannerService::builder(model)
+        .config(ServiceConfig {
             workers: 1,
             ..ServiceConfig::default()
-        },
-    )
-    .expect("start service");
+        })
+        .fallback(FallbackPlanner::new(Arc::clone(&db)))
+        .start()
+        .expect("start service");
 
     let reference = PgOptimizer::new(&db);
     for query in &queries {
@@ -151,17 +149,15 @@ fn fallback_plans_are_legal_and_match_the_classical_optimizer() {
 
 /// Breaker lifecycle Open → HalfOpen → Closed, driven by natural failures
 /// (oversized queries) and a [`ManualClock`], observed through
-/// [`mtmlf::ServiceMetrics`] and [`PlannerService::breaker_state`].
+/// [`mtmlf::MetricsSnapshot`] and [`PlannerService::breaker_state`].
 #[test]
 fn breaker_recovery_is_observable_through_metrics() {
     let (model, db) = setup(3);
     let big = workload(&db, 4, 4, 2);
     let small = workload(&db, 2, 3, 2);
     let clock = Arc::new(ManualClock::new());
-    let service = PlannerService::start_with_fallback(
-        model,
-        Some(FallbackPlanner::new(Arc::clone(&db))),
-        ServiceConfig {
+    let service = PlannerService::builder(model)
+        .config(ServiceConfig {
             workers: 1,
             breaker: BreakerConfig {
                 failure_threshold: 2,
@@ -169,9 +165,10 @@ fn breaker_recovery_is_observable_through_metrics() {
                 clock: Arc::clone(&clock) as Arc<dyn Clock>,
             },
             ..ServiceConfig::default()
-        },
-    )
-    .expect("start service");
+        })
+        .fallback(FallbackPlanner::new(Arc::clone(&db)))
+        .start()
+        .expect("start service");
 
     // Two oversized queries fail the model path twice: threshold reached.
     for query in &big {

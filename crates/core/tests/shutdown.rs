@@ -45,17 +45,16 @@ fn setup() -> (Arc<MtmlfQo>, Vec<Query>) {
 fn shutdown_with_inflight_requests_is_graceful() {
     let (model, queries) = setup();
     let service = Arc::new(
-        PlannerService::start(
-            Arc::clone(&model),
-            ServiceConfig {
+        PlannerService::builder(Arc::clone(&model))
+            .config(ServiceConfig {
                 workers: 2,
                 // Linger long enough that shutdown lands while workers
                 // still hold open batches with queued jobs behind them.
                 batch_linger: Duration::from_millis(2),
                 ..ServiceConfig::default()
-            },
-        )
-        .expect("start service"),
+            })
+            .start()
+            .expect("start service"),
     );
 
     let answered = Arc::new(AtomicUsize::new(0));
@@ -111,9 +110,8 @@ fn shutdown_with_inflight_requests_is_graceful() {
 #[test]
 fn queued_requests_survive_shutdown() {
     let (model, queries) = setup();
-    let service = Arc::new(
-        PlannerService::start(model, ServiceConfig::default()).expect("start service"),
-    );
+    let service =
+        Arc::new(PlannerService::builder(model).start().expect("start service"));
 
     // Warm every query so the follow-up requests are deterministic fast
     // cache hits regardless of where shutdown lands.

@@ -3,7 +3,7 @@
 //! | rule | name         | invariant |
 //! |------|--------------|-----------|
 //! | L1   | `panic`      | no `unwrap()` / `expect()` / `panic!`-family macros in library-crate non-test code |
-//! | L2   | `clock`      | no wall-clock or OS randomness outside `serve.rs` / bench code |
+//! | L2   | `clock`      | no wall-clock or OS randomness outside `serve.rs` / bench code; *strict* in `trace.rs` / `metrics.rs`, where any `Instant`/`SystemTime` token is flagged — the observability layer reads time only through the injectable `Clock` |
 //! | L3   | `lock-order` | no cache-lock acquisition while an autograd guard is held |
 //! | L4   | `error-impl` | every public error enum implements `std::error::Error` and `From`-converts (possibly transitively) into `MtmlfError` |
 //!
@@ -28,6 +28,14 @@ pub const LIBRARY_CRATES: &[&str] = &[
 /// Crate directories exempt from L2 entirely (measurement is their job, or
 /// they are the lint itself).
 pub const CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+/// Library-crate files where L2 is *strict*: the observability layer must
+/// read time only through the injectable `Clock` abstraction, so any
+/// `Instant` / `SystemTime` token — even a type annotation or an
+/// `.elapsed()` on a stored stamp, which ordinary L2 permits — is a
+/// violation here. This is what makes traces replayable under `ManualClock`
+/// and keeps histogram tests deterministic.
+pub const CLOCK_STRICT_FILES: &[&str] = &["trace.rs", "metrics.rs"];
 
 /// One rule violation with a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,6 +275,8 @@ pub fn check_l2(
     if scope.clock_exempt() || scope.in_test_tree {
         return;
     }
+    let strict =
+        scope.is_library_crate() && CLOCK_STRICT_FILES.contains(&scope.file_name.as_str());
     let toks = &lexed.toks;
     for i in 0..toks.len() {
         if mask[i] {
@@ -274,6 +284,23 @@ pub fn check_l2(
         }
         let t = &toks[i];
         if t.kind != TokKind::Ident {
+            continue;
+        }
+        if strict && (t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            push(
+                violations,
+                allowed,
+                lexed,
+                "L2",
+                "clock",
+                rel_path,
+                t.line,
+                format!(
+                    "`{}` in `{}`: the observability layer must read time only \
+                     through the injectable `Clock` (strict L2 file)",
+                    t.text, scope.file_name
+                ),
+            );
             continue;
         }
         let path_call = |head: &str, tail: &str| -> bool {
@@ -659,6 +686,35 @@ mod tests {
     fn l2_does_not_flag_instant_elapsed_or_duration() {
         let src = "fn f(t: Instant) -> Duration { t.elapsed() }";
         assert!(run_l2("crates/core/src/train.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_strict_files_flag_any_instant_or_systemtime_token() {
+        // In trace.rs / metrics.rs even a type annotation or a stored-stamp
+        // `.elapsed()` — legal elsewhere — is a violation.
+        let src = "fn f(t: Instant) -> Duration { t.elapsed() }";
+        let v = run_l2("crates/core/src/trace.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("injectable `Clock`"));
+        let src = "struct S { at: SystemTime }";
+        assert_eq!(run_l2("crates/core/src/metrics.rs", src).len(), 1);
+        // Same tokens in a non-strict library file keep the ordinary rules.
+        assert!(run_l2("crates/core/src/train.rs", "struct S { at: SystemTime }").is_empty());
+        // Strict files never double-report `Instant::now` (one hit, not two).
+        let v = run_l2("crates/core/src/trace.rs", "fn f() { Instant::now(); }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn l2_strict_files_accept_injected_clock_code() {
+        let src = r#"
+            pub struct Tracer { clock: Arc<dyn Clock> }
+            impl Tracer {
+                fn now(&self) -> Duration { self.clock.now() }
+            }
+        "#;
+        assert!(run_l2("crates/core/src/trace.rs", src).is_empty());
+        assert!(run_l2("crates/core/src/metrics.rs", src).is_empty());
     }
 
     fn run_l3(path: &str, src: &str) -> Vec<Violation> {

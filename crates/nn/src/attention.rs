@@ -39,6 +39,7 @@ impl MultiHeadAttention {
     /// to the attention logits (use large negative values to forbid
     /// positions — e.g. a causal mask in the decoder).
     pub fn forward(&self, query: &Var, keys_values: &Var, mask: Option<&Matrix>) -> Var {
+        crate::profile::record_attention();
         let q = self.wq.forward(query);
         let k = self.wk.forward(keys_values);
         let v = self.wv.forward(keys_values);

@@ -28,6 +28,7 @@ pub mod layers;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
+pub mod profile;
 pub mod serialize;
 pub mod transformer;
 
@@ -36,4 +37,5 @@ pub use autograd::{grad_enabled, no_grad, Var};
 pub use layers::{FeedForward, LayerNorm, Linear, Mlp, Module};
 pub use matrix::Matrix;
 pub use optim::Adam;
+pub use profile::{OpStats, ProfileGuard};
 pub use transformer::{DecoderBlock, EncoderBlock, TransformerDecoder, TransformerEncoder};

@@ -1,5 +1,6 @@
 //! Dense row-major `f32` matrices.
 
+use crate::profile;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
@@ -25,6 +26,7 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        profile::record_alloc((rows * cols) as u64);
         Self {
             rows,
             cols,
@@ -34,6 +36,7 @@ impl Matrix {
 
     /// A matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        profile::record_alloc((rows * cols) as u64);
         Self {
             rows,
             cols,
@@ -45,6 +48,7 @@ impl Matrix {
     /// `rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
+        profile::record_alloc((rows * cols) as u64);
         Self { rows, cols, data }
     }
 
@@ -64,6 +68,7 @@ impl Matrix {
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
         let a = (6.0 / (rows + cols) as f32).sqrt();
         let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+        profile::record_alloc((rows * cols) as u64);
         Self { rows, cols, data }
     }
 
@@ -125,6 +130,7 @@ impl Matrix {
     /// Matrix product `self × other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        profile::record_matmul(2 * (self.rows * other.cols * self.cols) as u64);
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order: the inner loop walks contiguous rows of
         // `other` and `out`, which the compiler auto-vectorizes.
@@ -147,6 +153,7 @@ impl Matrix {
     /// `self × otherᵀ` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        profile::record_matmul(2 * (self.rows * other.rows * self.cols) as u64);
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -162,6 +169,7 @@ impl Matrix {
     /// `selfᵀ × other` without materializing the transpose.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        profile::record_matmul(2 * (self.cols * other.cols * self.rows) as u64);
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a_row = self.row(k);

@@ -40,6 +40,7 @@ impl EncoderBlock {
     /// (e.g. a block-diagonal mask when several sequences are packed into
     /// one input).
     pub fn forward_masked(&self, x: &Var, mask: Option<&Matrix>) -> Var {
+        crate::profile::record_block_forward();
         let attended = self
             .attention
             .forward(&self.norm1.forward(x), &self.norm1.forward(x), mask);
@@ -160,6 +161,7 @@ impl DecoderBlock {
     /// Forward pass: `x` is the `(t, d_model)` decoded prefix, `memory` the
     /// `(s, d_model)` encoder output, `causal` the `(t, t)` causal mask.
     pub fn forward(&self, x: &Var, memory: &Var, causal: &Matrix) -> Var {
+        crate::profile::record_block_forward();
         let q = self.norm1.forward(x);
         let self_attended = self.self_attention.forward(&q, &q, Some(causal));
         let x = x.add(&self_attended);

@@ -1,0 +1,98 @@
+//! Pins the op-profiling counters: exact matmul FLOP and allocation
+//! deltas, zero cost (no counting) without a live guard, nested guard
+//! windows, and attention/block attribution through the real transformer
+//! stack.
+//!
+//! The counters are process-global, so every test that asserts an exact
+//! delta serializes behind one lock — parallel test threads would
+//! otherwise bleed counts into each other's windows.
+
+use mtmlf_nn::{Matrix, Module, MultiHeadAttention, OpStats, ProfileGuard, TransformerEncoder, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn matmul_flops_and_allocations_are_exact() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let a = Matrix::full(3, 5, 1.0);
+    let b = Matrix::full(5, 7, 1.0);
+    let guard = ProfileGuard::begin();
+    let _ = a.matmul(&b);
+    let stats = guard.stats();
+    assert_eq!(stats.matmul_calls, 1);
+    assert_eq!(stats.matmul_flops, 2 * 3 * 7 * 5);
+    // The output buffer is the only allocation inside matmul.
+    assert_eq!(stats.allocations, 1);
+    assert_eq!(stats.allocated_floats, 3 * 7);
+}
+
+#[test]
+fn transposed_variants_count_their_flops() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let a = Matrix::full(4, 6, 1.0);
+    let b = Matrix::full(3, 6, 1.0);
+    let c = Matrix::full(6, 4, 1.0);
+    let d = Matrix::full(6, 3, 1.0);
+    let guard = ProfileGuard::begin();
+    let _ = a.matmul_nt(&b); // (4,6) × (3,6)ᵀ → 4×3
+    let nt = guard.stats();
+    assert_eq!(nt.matmul_flops, 2 * 4 * 3 * 6);
+    let _ = c.matmul_tn(&d); // (6,4)ᵀ × (6,3) → 4×3
+    let both = guard.stats();
+    assert_eq!(both.matmul_calls, 2);
+    assert_eq!(both.matmul_flops, nt.matmul_flops + 2 * 4 * 3 * 6);
+}
+
+#[test]
+fn no_live_guard_means_no_counting() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Work done with no guard alive must be invisible to a later guard.
+    let a = Matrix::full(8, 8, 1.0);
+    let _ = a.matmul(&a);
+    let guard = ProfileGuard::begin();
+    assert_eq!(guard.stats(), OpStats::default());
+}
+
+#[test]
+fn guards_nest_and_report_their_own_window() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let a = Matrix::full(2, 2, 1.0);
+    let outer = ProfileGuard::begin();
+    let _ = a.matmul(&a);
+    {
+        let inner = ProfileGuard::begin();
+        let _ = a.matmul(&a);
+        assert_eq!(inner.stats().matmul_calls, 1);
+    }
+    // The inner guard dropping must not disable the still-live outer scope.
+    let _ = a.matmul(&a);
+    assert_eq!(outer.stats().matmul_calls, 3);
+}
+
+#[test]
+fn encoder_forward_attributes_attention_and_blocks() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(11);
+    let depth = 3;
+    let enc = TransformerEncoder::new(8, 2, depth, &mut rng);
+    assert!(enc.parameter_count() > 0);
+    let x = Var::constant(Matrix::full(4, 8, 0.1));
+    let guard = ProfileGuard::begin();
+    let _ = enc.forward(&x);
+    let stats = guard.stats();
+    assert_eq!(stats.block_forwards, depth as u64);
+    assert_eq!(stats.attention_calls, depth as u64, "one attention per block");
+    assert!(stats.matmul_calls > 0, "attention projections run matmuls");
+    assert!(stats.matmul_flops > 0);
+
+    // A lone attention forward counts exactly one attention, zero blocks.
+    let attn = MultiHeadAttention::new(8, 2, &mut rng);
+    let attn_guard = ProfileGuard::begin();
+    let _ = attn.forward(&x, &x, None);
+    let attn_stats = attn_guard.stats();
+    assert_eq!(attn_stats.attention_calls, 1);
+    assert_eq!(attn_stats.block_forwards, 0);
+}

@@ -63,14 +63,13 @@ fn concurrent_service_matches_direct_model_bitwise() {
         .map(|q| model.plan_with_estimates(q).expect("direct plan"))
         .collect();
 
-    let service = PlannerService::start(
-        Arc::clone(&model),
-        ServiceConfig {
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
             workers: 2,
             ..ServiceConfig::default()
-        },
-    )
-    .expect("service starts");
+        })
+        .start()
+        .expect("service starts");
 
     // Cold pass: every answer matches the direct path bit-for-bit, no
     // matter which worker computed it or how requests were batched.
@@ -96,6 +95,7 @@ fn concurrent_service_matches_direct_model_bitwise() {
                 .entry(match resp.source {
                     PlanSource::Cache => "cache",
                     PlanSource::Model => "model",
+                    PlanSource::Fallback => "fallback",
                 })
                 .or_default() += 1;
         }
@@ -120,16 +120,15 @@ fn unbatched_service_is_also_bitwise_identical() {
         .iter()
         .map(|q| model.plan_with_estimates(q).expect("direct plan"))
         .collect();
-    let service = PlannerService::start(
-        Arc::clone(&model),
-        ServiceConfig {
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
             workers: 2,
             batching: false,
             cache_capacity: 0,
             ..ServiceConfig::default()
-        },
-    )
-    .expect("service starts");
+        })
+        .start()
+        .expect("service starts");
     for client in concurrent_round(&service, &queries) {
         for (resp, (order, card, cost)) in client.iter().zip(&direct) {
             assert_eq!(resp.source, PlanSource::Model);
