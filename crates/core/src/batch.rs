@@ -56,6 +56,19 @@ pub fn plan_batch_traced(
     queries: &[Query],
     recorder: &mut StageRecorder,
 ) -> Vec<Result<PlannedQuery>> {
+    // The whole batched pipeline runs under the model's kernel config; the
+    // kernels are bitwise-equivalent across configs, so the batched ==
+    // sequential guarantee below is unaffected by tuning.
+    mtmlf_nn::kernel::scoped(model.config().kernel, || {
+        plan_batch_inner(model, queries, recorder)
+    })
+}
+
+fn plan_batch_inner(
+    model: &MtmlfQo,
+    queries: &[Query],
+    recorder: &mut StageRecorder,
+) -> Vec<Result<PlannedQuery>> {
     let config = model.config();
     let mut results: Vec<Option<Result<PlannedQuery>>> = Vec::with_capacity(queries.len());
 
@@ -210,6 +223,61 @@ mod tests {
             assert_eq!(planned.est_card.to_bits(), card.to_bits());
             assert_eq!(planned.est_cost.to_bits(), cost.to_bits());
             planned.join_order.validate(query).expect("legal order");
+        }
+    }
+
+    #[test]
+    fn tuned_kernels_keep_batch_and_sequential_bitwise_identical() {
+        // Two models with identical seeds — one on the reference kernels,
+        // one blocked+parallel — must produce bit-identical plans and
+        // estimates on both the sequential and the batched path. d_model is
+        // widened so the packed forwards actually cross the blocked-kernel
+        // engagement threshold.
+        use mtmlf_nn::KernelConfig;
+        let mut db = imdb_lite(31, ImdbScale { scale: 0.02 });
+        db.analyze_all(8, 4);
+        let base = MtmlfConfig {
+            d_model: 32,
+            heads: 4,
+            enc_queries: 10,
+            enc_epochs: 1,
+            seed: 31,
+            ..MtmlfConfig::tiny()
+        };
+        let tuned_cfg = MtmlfConfig {
+            kernel: KernelConfig {
+                threads: 4,
+                block_size: 8,
+            },
+            ..base.clone()
+        };
+        let queries = generate_queries(
+            &db,
+            &WorkloadConfig {
+                count: 6,
+                max_tables: 4,
+                ..WorkloadConfig::default()
+            },
+            9,
+        );
+        let reference = MtmlfQo::new(&db, base).expect("reference model");
+        let tuned = MtmlfQo::new(&db, tuned_cfg).expect("tuned model");
+        for query in &queries {
+            let (ro, rc, rk) = reference.plan_with_estimates(query).expect("reference");
+            let (to, tc, tk) = tuned.plan_with_estimates(query).expect("tuned");
+            assert_eq!(ro, to);
+            assert_eq!(rc.to_bits(), tc.to_bits());
+            assert_eq!(rk.to_bits(), tk.to_bits());
+        }
+        for (r, t) in plan_batch(&reference, &queries)
+            .into_iter()
+            .zip(plan_batch(&tuned, &queries))
+        {
+            let r = r.expect("reference batch");
+            let t = t.expect("tuned batch");
+            assert_eq!(r.join_order, t.join_order);
+            assert_eq!(r.est_card.to_bits(), t.est_card.to_bits());
+            assert_eq!(r.est_cost.to_bits(), t.est_cost.to_bits());
         }
     }
 

@@ -1,6 +1,7 @@
 //! Model hyper-parameters.
 
 use crate::error::MtmlfError;
+use mtmlf_nn::KernelConfig;
 
 /// Weights of the multi-task loss `L_QO = w_card·L_card + w_cost·L_cost +
 /// w_jo·L_jo` (paper Eq. 1; all three are 1 in the paper's experiments).
@@ -122,6 +123,11 @@ pub struct MtmlfConfig {
     pub bushy: bool,
     /// Global seed for weight init, shuffling, and encoder-query sampling.
     pub seed: u64,
+    /// Compute-kernel tuning (`threads`, `block_size`) applied to every
+    /// forward/backward this model runs (`plan`, `plan_batch`, `train`).
+    /// All settings are bitwise-equivalent — see `mtmlf_nn::kernel` — so
+    /// this affects latency only, never plans.
+    pub kernel: KernelConfig,
 }
 
 impl Default for MtmlfConfig {
@@ -146,6 +152,7 @@ impl Default for MtmlfConfig {
             lambda_illegal: 2.0,
             bushy: false,
             seed: 0,
+            kernel: KernelConfig::default(),
         }
     }
 }
@@ -247,6 +254,9 @@ impl MtmlfConfig {
                 return invalid(format!("{name} must be finite and non-negative, got {w}"));
             }
         }
+        if let Err(why) = self.kernel.validate() {
+            return invalid(why);
+        }
         Ok(())
     }
 }
@@ -311,6 +321,8 @@ impl MtmlfConfigBuilder {
         bushy: bool,
         /// Global seed.
         seed: u64,
+        /// Compute-kernel tuning (bitwise-equivalent performance knob).
+        kernel: KernelConfig,
     }
 
     /// Validates and produces the configuration.
@@ -383,6 +395,29 @@ mod tests {
             card: -1.0,
             ..LossWeights::default()
         })));
+        assert!(invalid(MtmlfConfig::builder().kernel(KernelConfig {
+            threads: 0,
+            block_size: 0,
+        })));
+        assert!(invalid(MtmlfConfig::builder().kernel(KernelConfig {
+            threads: 1,
+            block_size: 2,
+        })));
+    }
+
+    #[test]
+    fn builder_accepts_kernel_config() {
+        let c = MtmlfConfig::builder()
+            .kernel(KernelConfig {
+                threads: 4,
+                block_size: 64,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(c.kernel.threads, 4);
+        assert_eq!(c.kernel.block_size, 64);
+        // Default stays on the reference kernels (the seed behavior).
+        assert!(MtmlfConfig::default().kernel.is_reference());
     }
 
     #[test]

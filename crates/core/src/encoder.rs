@@ -43,6 +43,13 @@ impl TableEncoder {
 
     /// Encodes a token matrix `(num_predicates, token_width)` into the
     /// pooled table-distribution embedding `(1, d_model)`.
+    ///
+    /// Runs under whatever `mtmlf_nn::kernel` configuration is active —
+    /// `MtmlfQo` scopes its `config.kernel` around every call path that
+    /// reaches here. Embeddings are bitwise-identical across kernel
+    /// configurations, so serialized plans (and therefore fingerprint-keyed
+    /// cache entries) never depend on the tuning of the host that produced
+    /// them.
     pub fn encode(&self, tokens: &Matrix) -> Var {
         let x = Var::constant(tokens.clone());
         let h = self.encoder.forward(&self.input_proj.forward(&x));
@@ -143,6 +150,36 @@ mod tests {
         let wide = enc.predict_log_card(&token(0, 0.0, 0.9)).item();
         let narrow = enc.predict_log_card(&token(0, 0.4, 0.5)).item();
         assert!(wide > narrow, "wide {wide} vs narrow {narrow}");
+    }
+
+    #[test]
+    fn encode_is_bitwise_stable_across_kernel_configs() {
+        use mtmlf_nn::kernel::{self, KernelConfig};
+        let mut rng = StdRng::seed_from_u64(9);
+        // Wide enough that the blocked kernels actually engage.
+        let enc = TableEncoder::new(6, 64, 4, 2, &mut rng);
+        let tokens = Matrix::concat_rows(&[
+            &token(0, 0.0, 0.5),
+            &token(1, 0.2, 0.8),
+            &token(2, 0.1, 0.9),
+            &token(3, 0.4, 0.6),
+        ]);
+        let reference = enc.embed(&tokens);
+        for cfg in [
+            KernelConfig::single_threaded(8),
+            KernelConfig::single_threaded(64),
+            KernelConfig {
+                threads: 4,
+                block_size: 8,
+            },
+        ] {
+            let tuned = kernel::scoped(cfg, || enc.embed(&tokens));
+            assert_eq!(
+                reference.data(),
+                tuned.data(),
+                "embedding drifted under {cfg:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::train::{prepare_sample, run_training, table_representations};
 use crate::transjo::TransJo;
 use crate::Result;
 use mtmlf_datagen::LabeledQuery;
+use mtmlf_nn::kernel;
 use mtmlf_nn::loss::log_pred_to_estimate;
 use mtmlf_query::{JoinOrder, PlanNode, Query};
 use mtmlf_storage::Database;
@@ -30,7 +31,8 @@ impl MtmlfQo {
     /// Builds a fresh model for one database: fits (pre-trains) the
     /// per-table encoders and initializes (S) and (T).
     pub fn new(db: &Database, config: MtmlfConfig) -> Result<Self> {
-        let featurization = FeaturizationModule::fit(db, &config)?;
+        let featurization =
+            kernel::scoped(config.kernel, || FeaturizationModule::fit(db, &config))?;
         Ok(Self {
             shared: SharedModule::new(&config),
             heads: TaskHeads::new(&config),
@@ -74,7 +76,9 @@ impl MtmlfQo {
     /// shifts, only the featurization and encoding module of MTMLF needs
     /// to be updated without affecting the other two modules".
     pub fn refresh_featurization(&mut self, db: &Database) -> Result<()> {
-        self.featurization = FeaturizationModule::fit(db, &self.config)?;
+        self.featurization = kernel::scoped(self.config.kernel, || {
+            FeaturizationModule::fit(db, &self.config)
+        })?;
         Ok(())
     }
 
@@ -87,19 +91,21 @@ impl MtmlfQo {
     /// Jointly trains (S) and (T) on labelled queries with the configured
     /// loss weights (Eq. 1). Returns per-epoch mean losses.
     pub fn train(&mut self, data: &[LabeledQuery]) -> Result<Vec<f32>> {
-        let samples = data
-            .iter()
-            .map(|l| prepare_sample(&self.featurization, l, &self.config))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(run_training(
-            &self.shared,
-            &self.heads,
-            &self.jo,
-            &samples,
-            &self.config,
-            self.config.epochs,
-            self.config.lr,
-        ))
+        kernel::scoped(self.config.kernel, || {
+            let samples = data
+                .iter()
+                .map(|l| prepare_sample(&self.featurization, l, &self.config))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(run_training(
+                &self.shared,
+                &self.heads,
+                &self.jo,
+                &samples,
+                &self.config,
+                self.config.epochs,
+                self.config.lr,
+            ))
+        })
     }
 
     /// Two-phase training (the paper's Section 3.2 "research
@@ -113,26 +119,28 @@ impl MtmlfQo {
         precious: &[LabeledQuery],
         phase1_epochs: usize,
     ) -> Result<(Vec<f32>, Vec<f32>)> {
-        let phase1 = cheap
-            .iter()
-            .map(|l| {
-                crate::train::prepare_sample_with(
-                    &self.featurization,
-                    l,
-                    &self.config,
-                    crate::train::JoTarget::InitialPlan,
-                )
-            })
-            .collect::<Result<Vec<_>>>()?;
-        let h1 = run_training(
-            &self.shared,
-            &self.heads,
-            &self.jo,
-            &phase1,
-            &self.config,
-            phase1_epochs,
-            self.config.lr,
-        );
+        let h1 = kernel::scoped(self.config.kernel, || -> Result<Vec<f32>> {
+            let phase1 = cheap
+                .iter()
+                .map(|l| {
+                    crate::train::prepare_sample_with(
+                        &self.featurization,
+                        l,
+                        &self.config,
+                        crate::train::JoTarget::InitialPlan,
+                    )
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(run_training(
+                &self.shared,
+                &self.heads,
+                &self.jo,
+                &phase1,
+                &self.config,
+                phase1_epochs,
+                self.config.lr,
+            ))
+        })?;
         let h2 = self.train(precious)?;
         Ok((h1, h2))
     }
@@ -140,37 +148,41 @@ impl MtmlfQo {
     /// Fine-tunes (S) and (T) on a small set of queries from this model's
     /// database (the user-side step of the pre-train/fine-tune workflow).
     pub fn fine_tune(&mut self, data: &[LabeledQuery], epochs: usize, lr: f32) -> Result<Vec<f32>> {
-        let samples = data
-            .iter()
-            .map(|l| prepare_sample(&self.featurization, l, &self.config))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(run_training(
-            &self.shared,
-            &self.heads,
-            &self.jo,
-            &samples,
-            &self.config,
-            epochs,
-            lr,
-        ))
+        kernel::scoped(self.config.kernel, || {
+            let samples = data
+                .iter()
+                .map(|l| prepare_sample(&self.featurization, l, &self.config))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(run_training(
+                &self.shared,
+                &self.heads,
+                &self.jo,
+                &samples,
+                &self.config,
+                epochs,
+                lr,
+            ))
+        })
     }
 
     /// Predicts `(cardinality, cost)` for the sub-plan rooted at every node
     /// of `plan`, in post-order (the modified CardEst/CostEst tasks of
     /// Section 3.2 I).
     pub fn predict_nodes(&self, query: &Query, plan: &PlanNode) -> Result<Vec<(f64, f64)>> {
-        let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
-        let s = self.shared.forward(&serialized.features);
-        let cards = self.heads.card(&s).to_matrix();
-        let costs = self.heads.cost(&s).to_matrix();
-        Ok((0..cards.rows())
-            .map(|r| {
-                (
-                    log_pred_to_estimate(cards.get(r, 0)),
-                    log_pred_to_estimate(costs.get(r, 0)),
-                )
-            })
-            .collect())
+        kernel::scoped(self.config.kernel, || {
+            let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
+            let s = self.shared.forward(&serialized.features);
+            let cards = self.heads.card(&s).to_matrix();
+            let costs = self.heads.cost(&s).to_matrix();
+            Ok((0..cards.rows())
+                .map(|r| {
+                    (
+                        log_pred_to_estimate(cards.get(r, 0)),
+                        log_pred_to_estimate(costs.get(r, 0)),
+                    )
+                })
+                .collect())
+        })
     }
 
     /// Recommends the access path for each query table — the
@@ -182,9 +194,12 @@ impl MtmlfQo {
         query: &Query,
         plan: &PlanNode,
     ) -> Result<Vec<(mtmlf_storage::TableId, mtmlf_query::ScanOp)>> {
-        let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
-        let s = self.shared.forward(&serialized.features);
-        let logits = self.heads.advisor(&s).to_matrix();
+        let (serialized, logits) = kernel::scoped(self.config.kernel, || {
+            let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
+            let s = self.shared.forward(&serialized.features);
+            let logits = self.heads.advisor(&s).to_matrix();
+            Ok::<_, MtmlfError>((serialized, logits))
+        })?;
         Ok(serialized
             .table_slots
             .iter()
@@ -206,16 +221,19 @@ impl MtmlfQo {
     /// left-deep search when no legal bushy candidate survives (e.g. on an
     /// untrained head).
     pub fn predict_bushy_join_order(&self, query: &Query, plan: &PlanNode) -> Result<JoinOrder> {
-        let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
-        let s = self.shared.forward(&serialized.features);
-        let table_reps = table_representations(&s, &serialized.scan_node_of_slot);
-        let candidates = crate::beam::beam_search_bushy(
-            &self.jo,
-            &s,
-            &table_reps,
-            &serialized.graph,
-            self.config.beam_width,
-        );
+        let (serialized, candidates) = kernel::scoped(self.config.kernel, || {
+            let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
+            let s = self.shared.forward(&serialized.features);
+            let table_reps = table_representations(&s, &serialized.scan_node_of_slot);
+            let candidates = crate::beam::beam_search_bushy(
+                &self.jo,
+                &s,
+                &table_reps,
+                &serialized.graph,
+                self.config.beam_width,
+            );
+            Ok::<_, MtmlfError>((serialized, candidates))
+        })?;
         match candidates.first() {
             Some(best) => {
                 // Re-index leaves from slots to global table ids.
@@ -252,31 +270,33 @@ impl MtmlfQo {
 
     /// The legality-constrained beam's candidate orders, best-first.
     fn beam_orders(&self, query: &Query, plan: &PlanNode) -> Result<Vec<JoinOrder>> {
-        let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
-        let s = self.shared.forward(&serialized.features);
-        let table_reps = table_representations(&s, &serialized.scan_node_of_slot);
-        let candidates = beam_search(
-            &self.jo,
-            &s,
-            &table_reps,
-            &serialized.graph,
-            self.config.beam_width,
-            true,
-        );
-        if candidates.is_empty() {
-            return Err(MtmlfError::NoLegalOrder);
-        }
-        Ok(candidates
-            .into_iter()
-            .map(|c| {
-                JoinOrder::LeftDeep(
-                    c.slots
-                        .iter()
-                        .map(|&slot| serialized.table_slots[slot])
-                        .collect(),
-                )
-            })
-            .collect())
+        kernel::scoped(self.config.kernel, || {
+            let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
+            let s = self.shared.forward(&serialized.features);
+            let table_reps = table_representations(&s, &serialized.scan_node_of_slot);
+            let candidates = beam_search(
+                &self.jo,
+                &s,
+                &table_reps,
+                &serialized.graph,
+                self.config.beam_width,
+                true,
+            );
+            if candidates.is_empty() {
+                return Err(MtmlfError::NoLegalOrder);
+            }
+            Ok(candidates
+                .into_iter()
+                .map(|c| {
+                    JoinOrder::LeftDeep(
+                        c.slots
+                            .iter()
+                            .map(|&slot| serialized.table_slots[slot])
+                            .collect(),
+                    )
+                })
+                .collect())
+        })
     }
 
     /// Multi-task consistent inference (the paper's Section 2.3: "the

@@ -239,12 +239,23 @@ impl LatencyHistogram {
     /// capped at the true maximum. At `q = 1.0` this *is* the true maximum
     /// (when one was recorded), not a bucket edge — a power-of-two edge can
     /// overstate the worst case by almost 2x.
+    ///
+    /// Returns [`Duration::ZERO`] on an empty histogram; use
+    /// [`Self::try_quantile`] to distinguish "no samples" from a genuine
+    /// zero-latency quantile.
     pub fn quantile(&self, q: f64) -> Duration {
+        self.try_quantile(q).unwrap_or(Duration::ZERO)
+    }
+
+    /// [`Self::quantile`], but `None` when no samples have been recorded —
+    /// an empty histogram has no quantiles, and dashboards that plot the
+    /// raw value would otherwise render a phantom bucket bound.
+    pub fn try_quantile(&self, q: f64) -> Option<Duration> {
         if self.count == 0 {
-            return Duration::ZERO;
+            return None;
         }
         if q >= 1.0 && self.max_nanos > 0 {
-            return Duration::from_nanos(self.max_nanos);
+            return Some(Duration::from_nanos(self.max_nanos));
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
         let mut seen = 0;
@@ -259,10 +270,17 @@ impl LatencyHistogram {
                 } else {
                     edge
                 };
-                return Duration::from_nanos(capped);
+                return Some(Duration::from_nanos(capped));
             }
         }
-        Duration::from_nanos(u64::MAX)
+        // Reachable only for hand-assembled histograms whose `count`
+        // exceeds the bucket sum; answer with the most honest bound we
+        // have instead of a sentinel that reads as a 584-year latency.
+        Some(if self.max_nanos > 0 {
+            Duration::from_nanos(self.max_nanos)
+        } else {
+            Duration::from_nanos(1u64 << 32)
+        })
     }
 
     /// The bucket index covering a sample of `nanos`.
@@ -631,7 +649,10 @@ impl PlannerService {
         fallback: Option<FallbackPlanner>,
         config: ServiceConfig,
     ) -> Result<Self> {
-        Self::builder(model).config(config).fallback(fallback).start()
+        Self::builder(model)
+            .config(config)
+            .fallback(fallback)
+            .start()
     }
 
     /// Starts a service whose worker loop consults `faults` before every
@@ -820,10 +841,7 @@ impl PlannerService {
     /// The last N complete request traces, oldest first (empty when the
     /// service was built without `.tracing(..)`).
     pub fn traces(&self) -> Vec<RequestTrace> {
-        self.tracer
-            .as_ref()
-            .map(|t| t.recent())
-            .unwrap_or_default()
+        self.tracer.as_ref().map(|t| t.recent()).unwrap_or_default()
     }
 
     /// Renders [`PlannerService::metrics`] in the Prometheus text
@@ -1058,7 +1076,9 @@ fn plan_unique(
         ctx.metrics
             .retries
             .fetch_add(retry_slots.len() as u64, Ordering::Relaxed);
-        recorder.timed(Stage::Retry, || std::thread::sleep(ctx.retry.backoff(attempt)));
+        recorder.timed(Stage::Retry, || {
+            std::thread::sleep(ctx.retry.backoff(attempt))
+        });
         attempt += 1;
         pending = retry_slots;
     }
@@ -1214,7 +1234,9 @@ mod tests {
     #[test]
     fn fingerprint_equivalent_queries_share_a_cache_entry() {
         let (model, _db, queries) = setup();
-        let service = PlannerService::builder(model).start().expect("start service");
+        let service = PlannerService::builder(model)
+            .start()
+            .expect("start service");
         let query = &queries[0];
         // Same query object twice stands in for any fingerprint-equal pair;
         // fingerprint canonicalization itself is proptested in mtmlf-query.
@@ -1302,6 +1324,36 @@ mod tests {
         edges_only.count += 1;
         edges_only.total_nanos += 100_000;
         assert_eq!(edges_only.quantile(1.0), Duration::from_nanos(1 << 17));
+    }
+
+    /// Regression: an empty histogram used to fall through to a
+    /// `u64::MAX`-nanosecond sentinel on some quantiles; empty must mean
+    /// `None` from `try_quantile` and a plain zero from `quantile`, at
+    /// every `q`.
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0, 2.0, -1.0] {
+            assert_eq!(h.try_quantile(q), None, "q={q}");
+            assert_eq!(h.quantile(q), Duration::ZERO, "q={q}");
+        }
+        assert_eq!(h.mean(), Duration::ZERO);
+
+        // One sample flips both surfaces to real values.
+        let mut h = h;
+        h.record_nanos(700);
+        assert!(h.try_quantile(0.5).is_some());
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(700));
+
+        // A malformed hand-assembled histogram (count exceeding the bucket
+        // sum) answers with a sane bound, never a 584-year sentinel.
+        let mut broken = LatencyHistogram {
+            count: 5,
+            ..LatencyHistogram::default()
+        };
+        assert!(broken.quantile(0.9) < Duration::from_secs(10));
+        broken.max_nanos = 42;
+        assert_eq!(broken.quantile(0.9), Duration::from_nanos(42));
     }
 
     #[test]

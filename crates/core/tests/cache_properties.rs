@@ -1,0 +1,110 @@
+//! Property tests for [`mtmlf::ShardedLruCache`].
+//!
+//! Two invariants over arbitrary interleaved op sequences:
+//!
+//! 1. **Bounded occupancy** — the cache never holds more entries than its
+//!    shard-rounded capacity, `ceil(capacity / shards) * shards`. (Capacity
+//!    is split evenly across shards, rounding each shard's share up, so the
+//!    total bound can exceed the nominal capacity by at most `shards − 1`;
+//!    a zero-capacity cache stores nothing at all.)
+//! 2. **Get-after-put** — immediately after `insert(k, v)`, `get(&k)`
+//!    returns `v` whenever the cache can hold anything: the inserted key is
+//!    the most-recently-used entry of its shard and therefore cannot have
+//!    been evicted by its own insertion.
+
+use mtmlf::ShardedLruCache;
+use proptest::prelude::*;
+
+/// One step of an interleaved workload: `(tag, key, value)` where an even
+/// tag is `insert(key, value)` and an odd tag is `get(&key)`. Keys are drawn
+/// from a small domain so sequences revisit keys and actually exercise
+/// recency bumps and in-place updates, not just cold inserts.
+type Op = (u8, u64, u64);
+
+fn arb_ops(key_domain: u64, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..=3, 0u64..key_domain, 0u64..1000), 1..max_len)
+}
+
+fn shard_rounded_bound(capacity: usize, shards: usize) -> usize {
+    let shards = shards.max(1);
+    capacity.div_ceil(shards) * shards
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The occupancy bound holds after every single operation, for every
+    /// capacity/shard geometry, including degenerate ones (zero capacity,
+    /// one shard, more shards than capacity).
+    #[test]
+    fn never_exceeds_shard_rounded_capacity(
+        capacity in 0usize..=32,
+        shards in 1usize..=8,
+        ops in arb_ops(24, 160),
+    ) {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(capacity, shards);
+        let bound = shard_rounded_bound(capacity, shards);
+        for &(tag, key, value) in &ops {
+            if tag % 2 == 0 {
+                cache.insert(key, value);
+            } else {
+                let _ = cache.get(&key);
+            }
+            prop_assert!(
+                cache.len() <= bound,
+                "len {} exceeded bound {} (capacity {}, shards {})",
+                cache.len(), bound, capacity, shards
+            );
+            if capacity == 0 {
+                prop_assert!(cache.is_empty(), "zero-capacity cache stored an entry");
+            }
+        }
+    }
+
+    /// An insert is immediately observable: the new entry is its shard's
+    /// most-recently-used, so the eviction triggered by that same insert
+    /// can never have removed it.
+    #[test]
+    fn get_after_put_returns_the_value(
+        capacity in 1usize..=32,
+        shards in 1usize..=8,
+        ops in arb_ops(24, 160),
+    ) {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(capacity, shards);
+        for &(tag, key, value) in &ops {
+            if tag % 2 == 0 {
+                cache.insert(key, value);
+                prop_assert_eq!(
+                    cache.get(&key),
+                    Some(value),
+                    "inserted key {} not readable back", key
+                );
+            } else {
+                // A hit must return the value most recently inserted for
+                // that key: interleaved gets never corrupt entries.
+                let _ = cache.get(&key);
+            }
+        }
+    }
+
+    /// A get that hits returns the *latest* value written for that key,
+    /// across arbitrary interleavings of updates and reads.
+    #[test]
+    fn hits_return_the_latest_write(
+        shards in 1usize..=4,
+        ops in arb_ops(8, 120),
+    ) {
+        // Capacity comfortably above the key domain: nothing is ever
+        // evicted, so every get must hit and must see the latest write.
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(64, shards);
+        let mut latest: std::collections::HashMap<u64, u64> = Default::default();
+        for &(tag, key, value) in &ops {
+            if tag % 2 == 0 {
+                cache.insert(key, value);
+                latest.insert(key, value);
+            } else {
+                prop_assert_eq!(cache.get(&key), latest.get(&key).copied());
+            }
+        }
+    }
+}

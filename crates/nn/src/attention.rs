@@ -44,7 +44,6 @@ impl MultiHeadAttention {
         let k = self.wk.forward(keys_values);
         let v = self.wv.forward(keys_values);
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mask_var = mask.map(|m| Var::constant(m.clone()));
 
         let mut head_outputs = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
@@ -53,11 +52,9 @@ impl MultiHeadAttention {
             let qh = q.slice_cols(lo, hi);
             let kh = k.slice_cols(lo, hi);
             let vh = v.slice_cols(lo, hi);
-            let mut scores = qh.matmul_nt(&kh).scale(scale);
-            if let Some(m) = &mask_var {
-                scores = scores.add(m);
-            }
-            let attention = scores.softmax_rows();
+            // Fused score+softmax kernel: one buffer instead of the
+            // scale/add/softmax chain, bitwise-identical output.
+            let attention = qh.attention_scores(&kh, scale, mask);
             head_outputs.push(attention.matmul(&vh));
         }
         let concat = Var::concat_cols(&head_outputs);

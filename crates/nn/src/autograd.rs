@@ -351,6 +351,40 @@ impl Var {
         )
     }
 
+    /// Fused attention scores: `softmax_rows(self × keysᵀ · scale [+ mask])`
+    /// in one kernel ([`Matrix::attention_scores`]) instead of the
+    /// `matmul_nt → scale → add → softmax_rows` chain of tape nodes and
+    /// intermediates. The forward value is bitwise-identical to the chain;
+    /// the backward applies the same chain rule with the scale folded in.
+    pub fn attention_scores(&self, keys: &Var, scale: f32, mask: Option<&Matrix>) -> Var {
+        let value = self.value().attention_scores(&keys.value(), scale, mask);
+        if !grad_enabled() || !(self.requires_grad() || keys.requires_grad()) {
+            // Skip the y-capture clone entirely on the inference path.
+            return Var::constant(value);
+        }
+        let y = value.clone();
+        Var::derived(
+            value,
+            vec![self.clone(), keys.clone()],
+            Box::new(move |g, p| {
+                // Softmax backward first: dS_r = y_r ⊙ (g_r − (g_r · y_r)),
+                // then through the scaled score product (the mask is a
+                // constant): dQ = scale·(dS × K), dK = scale·(dSᵀ × Q).
+                let mut ds = Matrix::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                    for (d, (&yv, &gv)) in ds.row_mut(r).iter_mut().zip(yr.iter().zip(gr)) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                p[0].accumulate(&ds.matmul(&p[1].value()).scale(scale));
+                p[1].accumulate(&ds.matmul_tn(&p[0].value()).scale(scale));
+            }),
+        )
+    }
+
     // ------------------------------------------------------------------
     // Nonlinearities
     // ------------------------------------------------------------------
@@ -821,6 +855,35 @@ mod tests {
             assert_close(a, fd, 1e-2);
             let (a, fd) = finite_diff(|p| p.relu().sum(), at.clone(), idx);
             assert_close(a, fd, 1e-2);
+        }
+    }
+
+    #[test]
+    fn fused_attention_scores_forward_bitwise_and_grads_close() {
+        let q = Var::parameter(Matrix::from_vec(2, 3, vec![0.3, -1.2, 0.7, 2.0, -0.4, 0.1]));
+        let k = Var::parameter(Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.1, -0.3, 0.7]));
+        let mask = Matrix::from_vec(2, 2, vec![0.0, -1e9, 0.0, 0.0]);
+        let scale = 1.0 / 3f32.sqrt();
+
+        let fused = q.attention_scores(&k, scale, Some(&mask));
+        let composed = q
+            .matmul_nt(&k)
+            .scale(scale)
+            .add(&Var::constant(mask.clone()))
+            .softmax_rows();
+        assert_eq!(fused.to_matrix(), composed.to_matrix());
+
+        let w = Var::constant(Matrix::from_vec(2, 2, vec![0.3, -0.7, 1.1, 0.2]));
+        fused.hadamard(&w).sum().backward();
+        let (fq, fk) = (q.grad(), k.grad());
+        q.zero_grad();
+        k.zero_grad();
+        composed.hadamard(&w).sum().backward();
+        for (a, b) in fq.data().iter().zip(q.grad().data()) {
+            assert_close(*a, *b, 1e-5);
+        }
+        for (a, b) in fk.data().iter().zip(k.grad().data()) {
+            assert_close(*a, *b, 1e-5);
         }
     }
 

@@ -1,0 +1,817 @@
+//! Tuned compute kernels behind the [`Matrix`](crate::Matrix) surface.
+//!
+//! Three pieces live here, all gated by a process-wide (and thread-locally
+//! overridable) [`KernelConfig`]:
+//!
+//! 1. **Cache-blocked GEMM.** [`gemm`] packs `B` into column panels of
+//!    `block_size` columns — transposing on the fly for the `A·Bᵀ` variant,
+//!    so both variants share one contiguous, autovectorization-friendly
+//!    inner loop — and streams each panel across all rows of `A` while it
+//!    is hot in cache.
+//! 2. **A hand-rolled worker pool.** Large products split their output
+//!    rows across `threads` persistent workers fed over crossbeam channels
+//!    (the same pattern as `mtmlf::serve`'s planner pool — no rayon). The
+//!    calling thread computes the first chunk itself, then *drains the
+//!    shared job queue* while waiting, so progress never depends on a
+//!    worker being alive; chunks whose reply is lost (a worker died
+//!    mid-task) are recomputed inline.
+//! 3. **A per-thread buffer arena.** Matrix buffers are recycled through a
+//!    thread-local free list, so steady-state forward passes allocate
+//!    nothing (observable through [`crate::profile::OpStats`]:
+//!    `allocations` counts pool misses, `arena_reuses` counts hits).
+//!
+//! # Equivalence contract
+//!
+//! The naive kernels remain compiled as the always-available reference
+//! path ([`reference_gemm`], reachable as `Matrix::matmul_reference` /
+//! `Matrix::matmul_nt_reference`). The blocked and parallel paths preserve
+//! the reference *accumulation order*: every output element accumulates
+//! its `k` products in ascending-`k` order into a single accumulator, and
+//! row-parallel splits never change any element's order. For finite inputs
+//! that do not overflow, the tuned paths are therefore *bitwise identical*
+//! to the reference on every `{threads, block_size}` combination — which is
+//! what lets a `KernelConfig` change ship without perturbing a single
+//! serving decision. The differential suite (`crates/nn/tests/kernel_diff.rs`)
+//! pins exact equality for single-threaded configs and enforces the
+//! documented [`ULP_TOLERANCE`] everywhere else as contractual headroom
+//! for future kernels that may reassociate.
+//!
+//! No clocks, no OS randomness, no unsafe code.
+
+use crate::profile;
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Upper bound on configured worker threads.
+pub const MAX_THREADS: usize = 64;
+/// Bounds on a non-zero `block_size` (panel width in columns).
+pub const MIN_BLOCK: usize = 4;
+/// See [`MIN_BLOCK`].
+pub const MAX_BLOCK: usize = 1024;
+
+/// Maximum units-in-the-last-place divergence the differential suite
+/// tolerates between the tuned and reference kernels.
+///
+/// The current kernels are accumulation-order-preserving and therefore
+/// exact (0 ULP) for finite, non-overflowing inputs; the tolerance is the
+/// *contract*, kept slightly loose so a future kernel that reassociates
+/// (e.g. SIMD lane-split reductions) can ship against the same suite. The
+/// single-threaded fixed-order configuration is additionally pinned to
+/// exact bitwise equality and gets no such headroom.
+pub const ULP_TOLERANCE: u32 = 4;
+
+/// Tuning knobs for the `mtmlf_nn` compute kernels.
+///
+/// `block_size == 0` selects the naive reference kernels (the default, and
+/// the seed behavior); any other value selects the cache-blocked path with
+/// that column-panel width. `threads > 1` additionally row-parallelizes
+/// products large enough to amortize the split. Every combination produces
+/// bitwise-identical results for finite inputs (see the module docs), so
+/// this is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Worker threads for large products (`1` = stay on the calling
+    /// thread). Clamped to `1..=`[`MAX_THREADS`] on install.
+    pub threads: usize,
+    /// Column-panel width of the blocked GEMM; `0` selects the reference
+    /// kernels. Non-zero values are clamped to
+    /// [`MIN_BLOCK`]`..=`[`MAX_BLOCK`] on install.
+    pub block_size: usize,
+}
+
+impl KernelConfig {
+    /// The naive reference kernels (single-threaded, unblocked).
+    pub const fn reference() -> Self {
+        Self {
+            threads: 1,
+            block_size: 0,
+        }
+    }
+
+    /// Single-threaded blocked kernels with the given panel width — the
+    /// fixed-accumulation-order configuration the differential suite pins
+    /// to exact equality.
+    pub const fn single_threaded(block_size: usize) -> Self {
+        Self {
+            threads: 1,
+            block_size,
+        }
+    }
+
+    /// Blocked kernels with one worker per available core (capped) and a
+    /// 64-column panel — a good default for serving hosts.
+    pub fn tuned() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            threads: threads.min(8),
+            block_size: 64,
+        }
+    }
+
+    /// Whether this configuration selects the reference kernels.
+    pub fn is_reference(&self) -> bool {
+        self.block_size == 0
+    }
+
+    /// Checks the bounds [`install`] would otherwise clamp to, so config
+    /// builders can reject out-of-range values loudly instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 || self.threads > MAX_THREADS {
+            return Err(format!(
+                "kernel.threads must be in 1..={MAX_THREADS}, got {}",
+                self.threads
+            ));
+        }
+        if self.block_size != 0 && !(MIN_BLOCK..=MAX_BLOCK).contains(&self.block_size) {
+            return Err(format!(
+                "kernel.block_size must be 0 (reference) or in \
+                 {MIN_BLOCK}..={MAX_BLOCK}, got {}",
+                self.block_size
+            ));
+        }
+        Ok(())
+    }
+
+    fn clamped(self) -> Self {
+        Self {
+            threads: self.threads.clamp(1, MAX_THREADS),
+            block_size: if self.block_size == 0 {
+                0
+            } else {
+                self.block_size.clamp(MIN_BLOCK, MAX_BLOCK)
+            },
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config plumbing: one process-wide slot plus a thread-local override.
+// ---------------------------------------------------------------------------
+
+const fn pack(cfg: KernelConfig) -> u64 {
+    ((cfg.threads as u64) << 32) | cfg.block_size as u64
+}
+
+fn unpack(bits: u64) -> KernelConfig {
+    KernelConfig {
+        threads: (bits >> 32) as usize,
+        block_size: (bits & 0xffff_ffff) as usize,
+    }
+}
+
+/// Sentinel meaning "no thread-local override"; an impossible packing
+/// (threads would exceed [`MAX_THREADS`]).
+const NO_OVERRIDE: u64 = u64::MAX;
+
+static INSTALLED: AtomicU64 = AtomicU64::new(pack(KernelConfig::reference()));
+
+thread_local! {
+    static OVERRIDE: Cell<u64> = const { Cell::new(NO_OVERRIDE) };
+}
+
+/// Installs `cfg` (clamped to valid bounds) as the process-wide default and
+/// returns the previous default. Because every configuration computes
+/// bit-identical results, installs can race harmlessly; this is a
+/// performance knob, not a correctness one.
+pub fn install(cfg: KernelConfig) -> KernelConfig {
+    unpack(INSTALLED.swap(pack(cfg.clamped()), Ordering::Relaxed))
+}
+
+/// The process-wide default configuration.
+pub fn installed() -> KernelConfig {
+    unpack(INSTALLED.load(Ordering::Relaxed))
+}
+
+/// The configuration kernels on this thread currently dispatch on: the
+/// innermost live [`scoped`] override, or the [`installed`] default.
+pub fn current() -> KernelConfig {
+    let bits = OVERRIDE.with(Cell::get);
+    if bits == NO_OVERRIDE {
+        installed()
+    } else {
+        unpack(bits)
+    }
+}
+
+/// Runs `f` with `cfg` (clamped) as this thread's kernel configuration,
+/// restoring the previous override afterwards (panic-safe). This is how
+/// `mtmlf`'s planning paths pin a model's configured kernels regardless of
+/// what other models in the process installed.
+pub fn scoped<T>(cfg: KernelConfig, f: impl FnOnce() -> T) -> T {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(pack(cfg.clamped())));
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread buffer arena.
+// ---------------------------------------------------------------------------
+
+/// Most buffers kept per thread; excess recycles are dropped.
+const ARENA_MAX_BUFFERS: usize = 128;
+/// Buffers above this capacity are never pooled (bounds worst-case
+/// retention at 4 MiB per slot).
+const ARENA_MAX_FLOATS: usize = 1 << 20;
+
+thread_local! {
+    static ARENA: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the smallest pooled buffer with capacity for `len` floats, if any.
+fn pop_fitting(len: usize) -> Option<Vec<f32>> {
+    ARENA.with(|a| {
+        let mut pool = a.borrow_mut();
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, buf) in pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        best.map(|(i, _)| pool.swap_remove(i))
+    })
+}
+
+/// A buffer of exactly `len` floats, all set to `fill`. Reuses a pooled
+/// buffer when one fits (recorded as an arena reuse), otherwise allocates
+/// (recorded as an allocation).
+pub(crate) fn take(len: usize, fill: f32) -> Vec<f32> {
+    match pop_fitting(len) {
+        Some(mut buf) => {
+            profile::record_arena_reuse();
+            buf.clear();
+            buf.resize(len, fill);
+            buf
+        }
+        None => {
+            profile::record_alloc(len as u64);
+            vec![fill; len]
+        }
+    }
+}
+
+/// A buffer holding a copy of `src` (pooled when possible).
+pub(crate) fn take_copy(src: &[f32]) -> Vec<f32> {
+    match pop_fitting(src.len()) {
+        Some(mut buf) => {
+            profile::record_arena_reuse();
+            buf.clear();
+            buf.extend_from_slice(src);
+            buf
+        }
+        None => {
+            profile::record_alloc(src.len() as u64);
+            src.to_vec()
+        }
+    }
+}
+
+/// An empty buffer with capacity for at least `cap` floats (pooled when
+/// possible) — for `extend_from_slice`-style builders.
+pub(crate) fn take_empty(cap: usize) -> Vec<f32> {
+    match pop_fitting(cap) {
+        Some(mut buf) => {
+            profile::record_arena_reuse();
+            buf.clear();
+            buf
+        }
+        None => {
+            profile::record_alloc(cap as u64);
+            Vec::with_capacity(cap)
+        }
+    }
+}
+
+/// Returns a buffer to the current thread's pool (dropping it if the pool
+/// is full or the buffer is empty/oversized).
+pub(crate) fn recycle(buf: Vec<f32>) {
+    if buf.capacity() == 0 || buf.capacity() > ARENA_MAX_FLOATS {
+        return;
+    }
+    ARENA.with(|a| {
+        let mut pool = a.borrow_mut();
+        if pool.len() < ARENA_MAX_BUFFERS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Drops every buffer pooled on the current thread. Tests and benchmarks
+/// call this so allocation counts start from a cold, deterministic state.
+pub fn arena_clear() {
+    ARENA.with(|a| a.borrow_mut().clear());
+}
+
+/// Buffers currently pooled on this thread (diagnostics/tests).
+pub fn arena_buffers() -> usize {
+    ARENA.with(|a| a.borrow().len())
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: reference, blocked, and row-parallel paths.
+// ---------------------------------------------------------------------------
+
+/// How the `B` operand of [`gemm`] is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BKind {
+    /// `B` is `k×n` row-major; compute `A·B`. The reference path skips
+    /// zero `A` elements (the featurizer emits very sparse one-hot rows),
+    /// and the blocked path mirrors that skip exactly.
+    RowMajor,
+    /// `B` is `n×k` row-major; compute `A·Bᵀ`. The reference path is a
+    /// per-element dot product with no zero skip; the blocked path packs
+    /// `Bᵀ` and mirrors the no-skip accumulation exactly.
+    Transposed,
+}
+
+impl BKind {
+    fn skip_zero(self) -> bool {
+        matches!(self, BKind::RowMajor)
+    }
+}
+
+/// Below this FLOP count the blocked path stays on the reference kernel
+/// (packing would dominate).
+const BLOCKED_MIN_FLOPS: u64 = 2 * 24 * 24 * 24;
+/// Below this FLOP count a parallel split is not worth the channel round
+/// trip.
+const PARALLEL_MIN_FLOPS: u64 = 2 * 96 * 96 * 96;
+
+/// `out += A·B` (or `A·Bᵀ`), dispatching on [`current`]'s configuration.
+/// `out` must be zeroed, `m·k`, `k·n` (or `n·k`), and `m·n` sized.
+pub(crate) fn gemm(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bkind: BKind,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let cfg = current();
+    let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    if cfg.is_reference() || flops < BLOCKED_MIN_FLOPS {
+        reference_gemm(a, m, k, b, n, bkind, out);
+        return;
+    }
+    let nb = cfg.block_size;
+    if cfg.threads > 1 && flops >= PARALLEL_MIN_FLOPS && m >= cfg.threads * 2 {
+        parallel_gemm(a, m, k, b, n, bkind, nb, cfg.threads, out);
+    } else {
+        let packed = pack_b(b, k, n, bkind, nb);
+        blocked_gemm(a, m, k, &packed, n, nb, bkind.skip_zero(), out);
+        recycle(packed);
+    }
+}
+
+/// The naive kernels, byte-for-byte the loops the seed shipped with. This
+/// is the pinned reference the differential suite compares against.
+pub(crate) fn reference_gemm(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bkind: BKind,
+    out: &mut [f32],
+) {
+    match bkind {
+        BKind::RowMajor => {
+            // i-k-j loop order: the inner loop walks contiguous rows of
+            // `b` and `out`, which the compiler auto-vectorizes.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        BKind::Transposed => {
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+                }
+            }
+        }
+    }
+}
+
+/// Packs `B` into `⌈n/nb⌉` column panels of width `nb` (the last possibly
+/// narrower). Panel `p` stores element `(kk, jj)` — i.e. `B[kk, p·nb+jj]`
+/// for the row-major kind, `B[p·nb+jj, kk]` transposed — contiguously at
+/// `p·k·nb + kk·w + jj`, so the micro-kernel's inner loop reads one dense
+/// row regardless of the original layout.
+fn pack_b(b: &[f32], k: usize, n: usize, bkind: BKind, nb: usize) -> Vec<f32> {
+    let panels = n.div_ceil(nb);
+    let mut packed = take(panels * k * nb, 0.0);
+    for p in 0..panels {
+        let j0 = p * nb;
+        let w = nb.min(n - j0);
+        let base = p * k * nb;
+        match bkind {
+            BKind::RowMajor => {
+                for kk in 0..k {
+                    let src = &b[kk * n + j0..kk * n + j0 + w];
+                    packed[base + kk * w..base + kk * w + w].copy_from_slice(src);
+                }
+            }
+            BKind::Transposed => {
+                for (jj, j) in (j0..j0 + w).enumerate() {
+                    let src = &b[j * k..(j + 1) * k];
+                    for (kk, &v) in src.iter().enumerate() {
+                        packed[base + kk * w + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+    packed
+}
+
+/// The cache-blocked micro-kernel over packed panels: each panel stays hot
+/// while every row of `A` streams across it. Per output element the `k`
+/// products accumulate in ascending order into a single slot — exactly the
+/// reference order — so this path is bit-compatible with [`reference_gemm`]
+/// for finite inputs.
+fn blocked_gemm(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    nb: usize,
+    skip_zero: bool,
+    out: &mut [f32],
+) {
+    let panels = n.div_ceil(nb);
+    for p in 0..panels {
+        let j0 = p * nb;
+        let w = nb.min(n - j0);
+        let panel = &packed[p * k * nb..p * k * nb + k * w];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_seg = &mut out[i * n + j0..i * n + j0 + w];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if skip_zero && av == 0.0 {
+                    continue;
+                }
+                let prow = &panel[kk * w..(kk + 1) * w];
+                for (o, &bv) in out_seg.iter_mut().zip(prow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool (crossbeam channels; the calling thread helps drain).
+// ---------------------------------------------------------------------------
+
+struct GemmTask {
+    a_chunk: Vec<f32>,
+    rows: usize,
+    k: usize,
+    n: usize,
+    nb: usize,
+    skip_zero: bool,
+    packed: Arc<Vec<f32>>,
+    out_chunk: Vec<f32>,
+    index: usize,
+    reply: Sender<GemmDone>,
+}
+
+struct GemmDone {
+    index: usize,
+    a_chunk: Vec<f32>,
+    out_chunk: Vec<f32>,
+}
+
+impl GemmTask {
+    fn run(mut self) {
+        blocked_gemm(
+            &self.a_chunk,
+            self.rows,
+            self.k,
+            &self.packed,
+            self.n,
+            self.nb,
+            self.skip_zero,
+            &mut self.out_chunk,
+        );
+        // Release the shared panels *before* replying, so once the caller
+        // has collected every reply its own Arc is the last one and the
+        // pack buffer returns to its arena.
+        drop(std::mem::take(&mut self.packed));
+        let _ = self.reply.clone().send(GemmDone {
+            index: self.index,
+            a_chunk: std::mem::take(&mut self.a_chunk),
+            out_chunk: std::mem::take(&mut self.out_chunk),
+        });
+    }
+}
+
+fn job_channel() -> &'static (Sender<GemmTask>, Receiver<GemmTask>) {
+    static JOBS: OnceLock<(Sender<GemmTask>, Receiver<GemmTask>)> = OnceLock::new();
+    JOBS.get_or_init(channel::unbounded)
+}
+
+static SPAWNED_WORKERS: Mutex<usize> = Mutex::new(0);
+
+/// Grows the shared worker set to at least `want` threads. Spawn failures
+/// are tolerated: the caller's drain loop runs queued tasks inline, so the
+/// pool degrades to single-threaded instead of erroring.
+fn ensure_workers(want: usize) {
+    let mut spawned = SPAWNED_WORKERS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    while *spawned < want {
+        let rx = job_channel().1.clone();
+        let name = format!("mtmlf-kernel-{}", *spawned);
+        let handle = std::thread::Builder::new().name(name).spawn(move || {
+            while let Ok(task) = rx.recv() {
+                task.run();
+            }
+        });
+        if handle.is_err() {
+            break;
+        }
+        *spawned += 1;
+    }
+}
+
+/// Evenly splits `m` rows into `parts` contiguous `(row0, rows)` chunks.
+fn split_rows(m: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.min(m).max(1);
+    let base = m / parts;
+    let extra = m % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut row0 = 0;
+    for i in 0..parts {
+        let rows = base + usize::from(i < extra);
+        chunks.push((row0, rows));
+        row0 += rows;
+    }
+    chunks
+}
+
+fn parallel_gemm(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    bkind: BKind,
+    nb: usize,
+    threads: usize,
+    out: &mut [f32],
+) {
+    let skip_zero = bkind.skip_zero();
+    let packed = Arc::new(pack_b(b, k, n, bkind, nb));
+    let chunks = split_rows(m, threads);
+    ensure_workers(chunks.len().saturating_sub(1));
+    let (reply_tx, reply_rx) = channel::bounded::<GemmDone>(chunks.len());
+    let jobs = job_channel();
+
+    // Ship every chunk but the first; buffers come from (and return to)
+    // this thread's arena, so the workers allocate nothing.
+    for (index, &(row0, rows)) in chunks.iter().enumerate().skip(1) {
+        let task = GemmTask {
+            a_chunk: take_copy(&a[row0 * k..(row0 + rows) * k]),
+            rows,
+            k,
+            n,
+            nb,
+            skip_zero,
+            packed: Arc::clone(&packed),
+            out_chunk: take(rows * n, 0.0),
+            index,
+            reply: reply_tx.clone(),
+        };
+        if jobs.0.send(task).is_err() {
+            // Unreachable (the receiver is static), but degrade gracefully.
+            break;
+        }
+    }
+    drop(reply_tx);
+
+    // Our own share, straight into `out`.
+    let (_, rows0) = chunks[0];
+    blocked_gemm(
+        &a[..rows0 * k],
+        rows0,
+        k,
+        &packed,
+        n,
+        nb,
+        skip_zero,
+        &mut out[..rows0 * n],
+    );
+
+    let mut done = vec![false; chunks.len()];
+    done[0] = true;
+    let mut pending = chunks.len() - 1;
+    let stitch = |d: GemmDone, done: &mut [bool], out: &mut [f32]| {
+        let (row0, rows) = chunks[d.index];
+        out[row0 * n..(row0 + rows) * n].copy_from_slice(&d.out_chunk);
+        done[d.index] = true;
+        recycle(d.a_chunk);
+        recycle(d.out_chunk);
+    };
+    'collect: while pending > 0 {
+        match reply_rx.try_recv() {
+            Ok(d) => {
+                stitch(d, &mut done, out);
+                pending -= 1;
+                continue;
+            }
+            Err(TryRecvError::Disconnected) => break 'collect,
+            Err(TryRecvError::Empty) => {}
+        }
+        // Help drain the shared queue (this also guarantees progress when
+        // no worker thread could be spawned at all).
+        match jobs.1.try_recv() {
+            Ok(task) => task.run(),
+            Err(_) => match reply_rx.recv() {
+                // Queue empty: every one of our tasks is done or running
+                // elsewhere, so a blocking wait cannot deadlock.
+                Ok(d) => {
+                    stitch(d, &mut done, out);
+                    pending -= 1;
+                }
+                Err(_) => break 'collect,
+            },
+        }
+    }
+    // Any chunk whose reply was lost (a worker died mid-task) is recomputed
+    // here; correctness never depends on the pool's health.
+    for (index, &(row0, rows)) in chunks.iter().enumerate() {
+        if !done[index] {
+            blocked_gemm(
+                &a[row0 * k..(row0 + rows) * k],
+                rows,
+                k,
+                &packed,
+                n,
+                nb,
+                skip_zero,
+                &mut out[row0 * n..(row0 + rows) * n],
+            );
+        }
+    }
+    if let Ok(buf) = Arc::try_unwrap(packed) {
+        recycle(buf);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ULP distance (the differential suite's metric).
+// ---------------------------------------------------------------------------
+
+/// Units-in-the-last-place distance between two `f32`s: 0 iff bitwise
+/// equal or both zero (any signs); `u32::MAX` if either is NaN; otherwise
+/// the number of representable floats strictly between them (+1), summed
+/// through zero when the signs differ.
+pub fn ulp_distance(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    let ab = a.abs().to_bits();
+    let bb = b.abs().to_bits();
+    if a.is_sign_positive() == b.is_sign_positive() {
+        ab.abs_diff(bb)
+    } else {
+        ab.saturating_add(bb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_packs_and_clamps() {
+        assert_eq!(
+            unpack(pack(KernelConfig::reference())),
+            KernelConfig::reference()
+        );
+        let wild = KernelConfig {
+            threads: 1000,
+            block_size: 1 << 20,
+        };
+        let c = wild.clamped();
+        assert_eq!(c.threads, MAX_THREADS);
+        assert_eq!(c.block_size, MAX_BLOCK);
+        assert_eq!(
+            KernelConfig {
+                threads: 0,
+                block_size: 2
+            }
+            .clamped(),
+            KernelConfig {
+                threads: 1,
+                block_size: MIN_BLOCK
+            }
+        );
+        assert!(KernelConfig::reference().validate().is_ok());
+        assert!(KernelConfig::tuned().validate().is_ok());
+        assert!(KernelConfig {
+            threads: 0,
+            block_size: 0
+        }
+        .validate()
+        .is_err());
+        assert!(KernelConfig {
+            threads: 1,
+            block_size: 2
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn scoped_overrides_nest_and_restore() {
+        let base = current();
+        let inner = KernelConfig::single_threaded(8);
+        let observed = scoped(inner, || {
+            let outer_view = current();
+            let nested = scoped(KernelConfig::single_threaded(16), current);
+            (outer_view, nested)
+        });
+        assert_eq!(observed.0, inner);
+        assert_eq!(observed.1.block_size, 16);
+        assert_eq!(current(), base);
+    }
+
+    #[test]
+    fn arena_round_trips_buffers() {
+        arena_clear();
+        let b = take(64, 0.0);
+        assert_eq!(b.len(), 64);
+        recycle(b);
+        assert_eq!(arena_buffers(), 1);
+        let b2 = take(16, 1.5);
+        assert_eq!(arena_buffers(), 0, "the pooled buffer was reused");
+        assert!(b2.iter().all(|&v| v == 1.5));
+        recycle(b2);
+        arena_clear();
+        assert_eq!(arena_buffers(), 0);
+    }
+
+    #[test]
+    fn split_rows_covers_everything() {
+        for m in [1usize, 2, 7, 64, 65] {
+            for parts in [1usize, 2, 3, 8] {
+                let chunks = split_rows(m, parts);
+                let total: usize = chunks.iter().map(|&(_, r)| r).sum();
+                assert_eq!(total, m);
+                assert!(chunks.iter().all(|&(_, r)| r > 0));
+                let mut next = 0;
+                for &(row0, rows) in &chunks {
+                    assert_eq!(row0, next);
+                    next += rows;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u32::MAX);
+        assert!(ulp_distance(-1.0, 1.0) > 1_000_000);
+        assert_eq!(ulp_distance(2.0, -3.0), ulp_distance(-3.0, 2.0));
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod attention;
 pub mod autograd;
+pub mod kernel;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
@@ -34,6 +35,7 @@ pub mod transformer;
 
 pub use attention::MultiHeadAttention;
 pub use autograd::{grad_enabled, no_grad, Var};
+pub use kernel::KernelConfig;
 pub use layers::{FeedForward, LayerNorm, Linear, Mlp, Module};
 pub use matrix::Matrix;
 pub use optim::Adam;

@@ -1,16 +1,45 @@
 //! Dense row-major `f32` matrices.
+//!
+//! Buffers are recycled through [`kernel`]'s per-thread arena: every
+//! constructor asks the arena for its backing `Vec<f32>` and [`Drop`]
+//! returns it, so steady-state forward passes allocate nothing. The
+//! `profile::OpStats` counters reflect this — `allocations` counts arena
+//! *misses* (a genuine heap allocation), `arena_reuses` counts hits.
+//!
+//! The matmul family dispatches through [`kernel::gemm`], which selects
+//! the reference, cache-blocked, or row-parallel path based on
+//! [`kernel::current`]. All paths are bitwise-identical for finite inputs
+//! (see the `kernel` module docs); `matmul_reference` / `matmul_nt_reference`
+//! pin the naive kernels unconditionally for the differential suite.
 
+use crate::kernel;
 use crate::profile;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: kernel::take_copy(&self.data),
+        }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        kernel::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -26,26 +55,25 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        profile::record_alloc((rows * cols) as u64);
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: kernel::take(rows * cols, 0.0),
         }
     }
 
     /// A matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        profile::record_alloc((rows * cols) as u64);
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: kernel::take(rows * cols, value),
         }
     }
 
     /// Builds from a row-major vector; `data.len()` must equal
-    /// `rows * cols`.
+    /// `rows * cols`. The buffer arrives from outside the arena, so this
+    /// always counts as an allocation.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
         profile::record_alloc((rows * cols) as u64);
@@ -67,8 +95,8 @@ impl Matrix {
     /// `a = sqrt(6 / (rows + cols))`.
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
         let a = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
-        profile::record_alloc((rows * cols) as u64);
+        let mut data = kernel::take_empty(rows * cols);
+        data.extend((0..rows * cols).map(|_| rng.gen_range(-a..a)));
         Self { rows, cols, data }
     }
 
@@ -127,46 +155,81 @@ impl Matrix {
         self.data[0]
     }
 
-    /// Matrix product `self × other`.
+    /// Matrix product `self × other`, via the configured kernel
+    /// ([`kernel::current`]). Bitwise-identical to [`Self::matmul_reference`]
+    /// for finite inputs on every configuration.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         profile::record_matmul(2 * (self.rows * other.cols * self.cols) as u64);
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: the inner loop walks contiguous rows of
-        // `other` and `out`, which the compiler auto-vectorizes.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernel::gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            kernel::BKind::RowMajor,
+            &mut out.data,
+        );
         out
     }
 
-    /// `self × otherᵀ` without materializing the transpose.
+    /// `self × otherᵀ` without materializing the transpose, via the
+    /// configured kernel.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         profile::record_matmul(2 * (self.rows * other.rows * self.cols) as u64);
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                *o = dot(a_row, b_row);
-            }
-        }
+        kernel::gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            kernel::BKind::Transposed,
+            &mut out.data,
+        );
         out
     }
 
-    /// `selfᵀ × other` without materializing the transpose.
+    /// [`Self::matmul`] pinned to the naive reference kernel regardless of
+    /// the installed [`kernel::KernelConfig`] — the differential suite's
+    /// ground truth.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        profile::record_matmul(2 * (self.rows * other.cols * self.cols) as u64);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernel::reference_gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            kernel::BKind::RowMajor,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// [`Self::matmul_nt`] pinned to the naive reference kernel.
+    pub fn matmul_nt_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        profile::record_matmul(2 * (self.rows * other.rows * self.cols) as u64);
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        kernel::reference_gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            kernel::BKind::Transposed,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ × other` without materializing the transpose. Only the
+    /// backward pass uses this, so it stays on the naive kernel.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         profile::record_matmul(2 * (self.cols * other.cols * self.rows) as u64);
@@ -185,6 +248,29 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Fused attention scores: `softmax_rows(self × keysᵀ · scale [+ mask])`
+    /// in one pass over one buffer, instead of the scale/add/softmax chain
+    /// of intermediates. Bitwise-identical to the composed form (Rust
+    /// never contracts the `*`/`+` pair into an FMA).
+    pub fn attention_scores(&self, keys: &Matrix, scale: f32, mask: Option<&Matrix>) -> Matrix {
+        let mut scores = self.matmul_nt(keys);
+        match mask {
+            Some(m) => {
+                assert_eq!(scores.shape(), m.shape(), "attention mask shape mismatch");
+                for (o, &mv) in scores.data.iter_mut().zip(&m.data) {
+                    *o = *o * scale + mv;
+                }
+            }
+            None => {
+                for o in scores.data.iter_mut() {
+                    *o *= scale;
+                }
+            }
+        }
+        scores.softmax_rows_in_place();
+        scores
     }
 
     /// Transposed copy.
@@ -236,24 +322,23 @@ impl Matrix {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut data = kernel::take_empty(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
     /// Elementwise zip-map.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        let mut data = kernel::take_empty(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -290,7 +375,7 @@ impl Matrix {
         Matrix {
             rows: hi - lo,
             cols: self.cols,
-            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+            data: kernel::take_copy(&self.data[lo * self.cols..hi * self.cols]),
         }
     }
 
@@ -309,7 +394,7 @@ impl Matrix {
         assert!(!parts.is_empty(), "concat of nothing");
         let cols = parts[0].cols;
         let rows = parts.iter().map(|m| m.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = kernel::take_empty(rows * cols);
         for m in parts {
             assert_eq!(m.cols, cols, "concat_rows width mismatch");
             data.extend_from_slice(&m.data);
@@ -337,8 +422,15 @@ impl Matrix {
     /// Row-wise softmax.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
+        out.softmax_rows_in_place();
+        out
+    }
+
+    /// Row-wise softmax in place (the allocation-free half of
+    /// [`Self::softmax_rows`], shared with the fused attention kernel).
+    fn softmax_rows_in_place(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -351,18 +443,13 @@ impl Matrix {
                 }
             }
         }
-        out
     }
-}
-
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelConfig;
     use rand::SeedableRng;
 
     fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
@@ -399,6 +486,34 @@ mod tests {
         for (x, y) in fast.data().iter().zip(slow.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn blocked_kernel_is_bitwise_equal_to_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::xavier(33, 50, &mut rng);
+        let b = Matrix::xavier(50, 41, &mut rng);
+        let bt = Matrix::xavier(41, 50, &mut rng);
+        let blocked = crate::kernel::scoped(KernelConfig::single_threaded(8), || {
+            (a.matmul(&b), a.matmul_nt(&bt))
+        });
+        assert_eq!(blocked.0.data(), a.matmul_reference(&b).data());
+        assert_eq!(blocked.1.data(), a.matmul_nt_reference(&bt).data());
+    }
+
+    #[test]
+    fn fused_attention_scores_match_composed_chain_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = Matrix::xavier(6, 8, &mut rng);
+        let k = Matrix::xavier(6, 8, &mut rng);
+        let mask = Matrix::full(6, 6, -0.5);
+        let scale = 1.0 / (8f32).sqrt();
+        let fused = q.attention_scores(&k, scale, Some(&mask));
+        let composed = q.matmul_nt(&k).scale(scale).add(&mask).softmax_rows();
+        assert_eq!(fused.data(), composed.data());
+        let fused_nomask = q.attention_scores(&k, scale, None);
+        let composed_nomask = q.matmul_nt(&k).scale(scale).softmax_rows();
+        assert_eq!(fused_nomask.data(), composed_nomask.data());
     }
 
     #[test]

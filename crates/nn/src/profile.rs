@@ -28,6 +28,7 @@ static ATTENTION_CALLS: AtomicU64 = AtomicU64::new(0);
 static BLOCK_FORWARDS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_FLOATS: AtomicU64 = AtomicU64::new(0);
+static ARENA_REUSES: AtomicU64 = AtomicU64::new(0);
 
 /// Records one matrix product of `flops` floating-point operations
 /// (`2·m·n·k` for an `(m,k)×(k,n)` product).
@@ -55,12 +56,24 @@ pub(crate) fn record_block_forward() {
     }
 }
 
-/// Records one matrix buffer allocation of `floats` elements.
+/// Records one matrix buffer allocation of `floats` elements. Since the
+/// kernel arena landed, this fires only on arena *misses* — i.e. genuine
+/// heap allocations; arena hits go to [`record_arena_reuse`] instead, so
+/// a steady-state forward pass reports zero allocations.
 #[inline]
 pub(crate) fn record_alloc(floats: u64) {
     if ENABLED.load(Ordering::Relaxed) {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_FLOATS.fetch_add(floats, Ordering::Relaxed);
+    }
+}
+
+/// Records one matrix buffer satisfied from the per-thread kernel arena
+/// (no heap allocation happened).
+#[inline]
+pub(crate) fn record_arena_reuse() {
+    if ENABLED.load(Ordering::Relaxed) {
+        ARENA_REUSES.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -76,10 +89,12 @@ pub struct OpStats {
     pub attention_calls: u64,
     /// Transformer encoder/decoder block forwards.
     pub block_forwards: u64,
-    /// Matrix buffers allocated.
+    /// Matrix buffers heap-allocated (arena misses).
     pub allocations: u64,
     /// Total `f32` elements across those buffers.
     pub allocated_floats: u64,
+    /// Matrix buffers served from the per-thread arena instead of the heap.
+    pub arena_reuses: u64,
 }
 
 impl OpStats {
@@ -91,6 +106,7 @@ impl OpStats {
             block_forwards: BLOCK_FORWARDS.load(Ordering::Relaxed),
             allocations: ALLOCATIONS.load(Ordering::Relaxed),
             allocated_floats: ALLOCATED_FLOATS.load(Ordering::Relaxed),
+            arena_reuses: ARENA_REUSES.load(Ordering::Relaxed),
         }
     }
 
@@ -102,7 +118,10 @@ impl OpStats {
             attention_calls: self.attention_calls.saturating_sub(earlier.attention_calls),
             block_forwards: self.block_forwards.saturating_sub(earlier.block_forwards),
             allocations: self.allocations.saturating_sub(earlier.allocations),
-            allocated_floats: self.allocated_floats.saturating_sub(earlier.allocated_floats),
+            allocated_floats: self
+                .allocated_floats
+                .saturating_sub(earlier.allocated_floats),
+            arena_reuses: self.arena_reuses.saturating_sub(earlier.arena_reuses),
         }
     }
 }

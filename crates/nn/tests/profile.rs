@@ -7,7 +7,9 @@
 //! delta serializes behind one lock — parallel test threads would
 //! otherwise bleed counts into each other's windows.
 
-use mtmlf_nn::{Matrix, Module, MultiHeadAttention, OpStats, ProfileGuard, TransformerEncoder, Var};
+use mtmlf_nn::{
+    Matrix, Module, MultiHeadAttention, OpStats, ProfileGuard, TransformerEncoder, Var,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
@@ -84,7 +86,10 @@ fn encoder_forward_attributes_attention_and_blocks() {
     let _ = enc.forward(&x);
     let stats = guard.stats();
     assert_eq!(stats.block_forwards, depth as u64);
-    assert_eq!(stats.attention_calls, depth as u64, "one attention per block");
+    assert_eq!(
+        stats.attention_calls, depth as u64,
+        "one attention per block"
+    );
     assert!(stats.matmul_calls > 0, "attention projections run matmuls");
     assert!(stats.matmul_flops > 0);
 
@@ -95,4 +100,36 @@ fn encoder_forward_attributes_attention_and_blocks() {
     let attn_stats = attn_guard.stats();
     assert_eq!(attn_stats.attention_calls, 1);
     assert_eq!(attn_stats.block_forwards, 0);
+}
+
+#[test]
+fn steady_state_forward_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Fresh arena so the reuse counts below are deterministic.
+    mtmlf_nn::kernel::arena_clear();
+    let mut rng = StdRng::seed_from_u64(7);
+    let enc = TransformerEncoder::new(32, 2, 2, &mut rng);
+    let x = Var::constant(Matrix::full(6, 32, 0.1));
+    mtmlf_nn::no_grad(|| {
+        // Warm-up forwards seed the per-thread arena with every
+        // intermediate buffer size the pass needs; after that, a
+        // steady-state inference forward must be allocation-free.
+        for _ in 0..2 {
+            let _ = enc.forward(&x);
+        }
+        let guard = ProfileGuard::begin();
+        let _ = enc.forward(&x);
+        let stats = guard.stats();
+        // CI greps this line out of the test log (run with --nocapture).
+        println!(
+            "opstats: steady-state forward allocations={} allocated_floats={} arena_reuses={}",
+            stats.allocations, stats.allocated_floats, stats.arena_reuses
+        );
+        assert_eq!(
+            stats.allocations, 0,
+            "steady-state forward must run entirely off the arena"
+        );
+        assert_eq!(stats.allocated_floats, 0);
+        assert!(stats.arena_reuses > 0, "the arena was never consulted");
+    });
 }

@@ -422,7 +422,8 @@ mod proptests {
             // Rotate table order, reverse join order, swap every join's
             // sides, reverse the filter list: all semantically identical.
             let mut tables = q.tables().to_vec();
-            tables.rotate_left(perm_seed % tables.len());
+            let rot = perm_seed % tables.len();
+            tables.rotate_left(rot);
             let mut shuffled_joins: Vec<JoinPredicate> =
                 joins.iter().map(swap_sides).collect();
             shuffled_joins.reverse();

@@ -8,6 +8,52 @@ use mtmlf_query::treecodec::{codec_dim, decode, encode};
 use mtmlf_query::JoinOrder;
 use proptest::prelude::*;
 
+/// Rebuilds `q` with its join list deterministically permuted (rotation +
+/// optional reversal keyed on `variant`), every other predicate's sides
+/// swapped, and each table's filter list rotated. All of these are
+/// *semantics-preserving* rewrites: the query denotes the same result, so
+/// the canonical fingerprint and any cost-based planner's chosen plan must
+/// not change.
+fn permuted_query(q: &mtmlf_query::Query, variant: u64) -> mtmlf_query::Query {
+    use mtmlf_query::JoinPredicate;
+    let mut joins: Vec<JoinPredicate> = q
+        .joins()
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            if (i as u64 + variant) % 2 == 1 {
+                // `a JOIN b ON a.x = b.y` ≡ `... ON b.y = a.x`.
+                JoinPredicate::new(j.right, j.left)
+            } else {
+                *j
+            }
+        })
+        .collect();
+    if !joins.is_empty() {
+        let r = (variant as usize) % joins.len();
+        joins.rotate_left(r);
+    }
+    if variant % 3 == 0 {
+        joins.reverse();
+    }
+    let filters = q
+        .filters()
+        .map(|(t, preds)| {
+            let mut preds = preds.to_vec();
+            if !preds.is_empty() {
+                let rot = (variant as usize + 1) % preds.len();
+                preds.rotate_left(rot);
+            }
+            if variant % 2 == 1 {
+                preds.reverse();
+            }
+            (t, preds)
+        })
+        .collect();
+    mtmlf_query::Query::new(q.tables().to_vec(), joins, filters)
+        .expect("a permuted well-formed query stays well-formed")
+}
+
 fn db_and_queries(seed: u64) -> (mtmlf_storage::Database, Vec<mtmlf_query::Query>) {
     let pipeline = PipelineConfig {
         min_rows: 100,
@@ -117,6 +163,60 @@ proptest! {
                     prop_assert!(card <= rows);
                 }
             }
+        }
+    }
+
+    /// Metamorphic invariant: reordering join clauses (including flipping
+    /// the sides of individual equi-predicates) is a purely syntactic
+    /// rewrite, so the canonical fingerprint must not move — the plan cache
+    /// keys on it, and a spurious miss here would silently re-plan
+    /// identical queries.
+    #[test]
+    fn fingerprint_invariant_under_join_clause_reordering(
+        seed in 0u64..500,
+        variant in 1u64..64,
+    ) {
+        let (_db, queries) = db_and_queries(seed);
+        for q in &queries {
+            let permuted = permuted_query(q, variant);
+            prop_assert_eq!(
+                mtmlf_query::fingerprint(q),
+                mtmlf_query::fingerprint(&permuted),
+                "fingerprint moved under syntactic rewrite of {}", q
+            );
+        }
+    }
+
+    /// Metamorphic invariant: the classical planner's chosen plan cost is
+    /// a function of query *semantics*, not of the order in which join
+    /// clauses or filter predicates happen to be written.
+    #[test]
+    fn planner_cost_invariant_under_predicate_permutation(
+        seed in 0u64..500,
+        variant in 1u64..64,
+    ) {
+        let (db, queries) = db_and_queries(seed);
+        let optimizer = PgOptimizer::new(&db);
+        for q in &queries {
+            let permuted = permuted_query(q, variant);
+            let original = optimizer.plan(q).unwrap();
+            let rewritten = optimizer.plan(&permuted).unwrap();
+            // Cost arithmetic may sum multi-predicate selectivities in
+            // clause order, so allow float-reassociation slack only.
+            let tol = original.estimated_cost.abs() * 1e-9 + 1e-9;
+            prop_assert!(
+                (original.estimated_cost - rewritten.estimated_cost).abs() <= tol,
+                "cost moved: {} vs {} on {}",
+                original.estimated_cost, rewritten.estimated_cost, q
+            );
+            // And the exact-DP planner agrees on the permuted query too.
+            let a = exact_optimal_order(&db, q).unwrap();
+            let b = exact_optimal_order(&db, &permuted).unwrap();
+            let tol = a.estimated_cost.abs() * 1e-9 + 1e-9;
+            prop_assert!(
+                (a.estimated_cost - b.estimated_cost).abs() <= tol,
+                "exact-DP cost moved: {} vs {}", a.estimated_cost, b.estimated_cost
+            );
         }
     }
 }
