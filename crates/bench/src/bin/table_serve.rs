@@ -12,16 +12,28 @@
 //! sequential baseline, and a Prometheus exposition round-tripped through
 //! a real `GET /metrics` scrape. Raw numbers go to `BENCH_serve.json`.
 //!
+//! A cluster-scaling section drives the same client harness through a
+//! `ClusterService` of 1, 2, and 4 simulated replicas (fixed model-path
+//! service time, private caches, consistent-hash routing) on an
+//! all-distinct-fingerprint workload — pure cache misses, so throughput
+//! scaling is limited only by the router's key split. `--cluster` runs
+//! just that section.
+//!
 //! ```text
 //! cargo run -p mtmlf-bench --release --bin table_serve -- \
 //!     [--scale 0.03] [--queries 24] [--repeats 4] [--clients 8] \
-//!     [--workers 2] [--seed 1] [--out BENCH_serve.json]
+//!     [--workers 2] [--seed 1] [--out BENCH_serve.json] \
+//!     [--cluster] [--cluster-queries 128] [--cluster-service-us 1500] \
+//!     [--cluster-clients 16]
 //! ```
 
 use mtmlf::serve::{PlanRequest, PlannerService, ServiceConfig};
 use mtmlf::trace::{Stage, TraceConfig};
 use mtmlf::{FallbackPlanner, MetricsSnapshot, MtmlfError};
-use mtmlf_bench::serve::{build, build_with, drive_clients, ServeExperiment};
+use mtmlf_bench::serve::{
+    build, build_with, cluster_workload, drive_clients, drive_plan_clients, sim_cluster,
+    ServeExperiment,
+};
 use mtmlf_bench::{http, report, Args};
 use mtmlf_nn::{OpStats, ProfileGuard};
 use std::net::TcpListener;
@@ -74,6 +86,93 @@ fn run_mode(
     })
 }
 
+struct ClusterSizeResult {
+    replicas: usize,
+    elapsed_s: f64,
+    qps: f64,
+    /// Largest single-replica share of routed requests — how uneven the
+    /// key split was, the ceiling on achievable speedup.
+    max_share: f64,
+}
+
+/// Drives the all-miss workload through simulated clusters of each size
+/// with the same client harness the single-node modes use.
+fn run_cluster_scaling(
+    sizes: &[usize],
+    query_count: usize,
+    service_us: u64,
+    clients: usize,
+) -> mtmlf::Result<Vec<ClusterSizeResult>> {
+    let queries = cluster_workload(query_count)?;
+    let mut out = Vec::new();
+    for &n in sizes {
+        let (cluster, _sims) = sim_cluster(n, Duration::from_micros(service_us))?;
+        let (elapsed_s, served) = drive_plan_clients(&cluster, &queries, 1, clients)?;
+        let snapshot = cluster.metrics();
+        let routed_max = snapshot.replicas.iter().map(|r| r.routed).max().unwrap_or(0);
+        out.push(ClusterSizeResult {
+            replicas: n,
+            elapsed_s,
+            qps: served as f64 / elapsed_s,
+            max_share: routed_max as f64 / served.max(1) as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// The `"cluster"` JSON object (no trailing comma or newline).
+fn cluster_json(
+    sizes: &[ClusterSizeResult],
+    query_count: usize,
+    clients: usize,
+    service_us: u64,
+) -> String {
+    let base = sizes.first().map(|c| c.qps).unwrap_or(0.0);
+    let mut out = format!(
+        "\"cluster\": {{\"queries\": {query_count}, \"clients\": {clients}, \
+         \"service_time_us\": {service_us}, \"sizes\": [\n"
+    );
+    for (i, c) in sizes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"replicas\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.3}, \
+             \"speedup_vs_single\": {:.4}, \"max_key_share\": {:.4}}}{}",
+            c.replicas,
+            c.elapsed_s,
+            c.qps,
+            if base > 0.0 { c.qps / base } else { 0.0 },
+            c.max_share,
+            if i + 1 < sizes.len() { ",\n" } else { "\n" }
+        ));
+    }
+    out.push_str("  ]}");
+    out
+}
+
+fn print_cluster_table(sizes: &[ClusterSizeResult]) {
+    let base = sizes.first().map(|c| c.qps).unwrap_or(0.0);
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|c| {
+            vec![
+                c.replicas.to_string(),
+                format!("{:.3}", c.elapsed_s),
+                format!("{:.1}", c.qps),
+                format!("{:.2}x", if base > 0.0 { c.qps / base } else { 0.0 }),
+                format!("{:.0}%", 100.0 * c.max_share),
+            ]
+        })
+        .collect();
+    println!();
+    println!("# Cluster scaling — all-miss workload, consistent-hash router");
+    print!(
+        "{}",
+        report::render_table(
+            &["Replicas", "Elapsed (s)", "QPS", "Speedup", "Max key share"],
+            &rows
+        )
+    );
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('"', "\\\"")
@@ -100,6 +199,7 @@ fn render_json(
     cached: &MetricsSnapshot,
     degraded: &MetricsSnapshot,
     probe: &MetricsSnapshot,
+    cluster_block: &str,
     obs: &Observability,
 ) -> String {
     let mut out = String::from("{\n  \"table\": \"serve\",\n  \"setup\": {");
@@ -165,6 +265,7 @@ fn render_json(
         degraded.retries + probe.retries,
         degraded.breaker_opens + probe.breaker_opens,
     ));
+    out.push_str(&format!("  {cluster_block},\n"));
 
     // Model-path stage histograms come from the traced cached-mode run;
     // the fallback stage comes from the traced degraded run, which is the
@@ -223,6 +324,46 @@ fn main() -> mtmlf::Result<()> {
     let workers = args.usize("workers", 2);
     let seed = args.u64("seed", 1);
     let out_path = args.str("out", "BENCH_serve.json");
+    let cluster_queries = args.usize("cluster-queries", 128);
+    let cluster_service_us = args.u64("cluster-service-us", 1500);
+    // More clients than the single-node modes: with 4 replicas each
+    // serializing its model path, fewer than ~4 waiting clients per
+    // replica starves the tail of the run and understates scaling.
+    let cluster_clients = args.usize("cluster-clients", 16);
+    const CLUSTER_SIZES: [usize; 3] = [1, 2, 4];
+
+    if args.flag("cluster") {
+        // Cluster-only mode: just the replica-scaling experiment.
+        println!("# Cluster serving throughput — simulated replicas");
+        println!(
+            "# {cluster_queries} distinct-fingerprint queries, {cluster_clients} clients, \
+             {cluster_service_us}us model path per plan"
+        );
+        let scaling = run_cluster_scaling(
+            &CLUSTER_SIZES,
+            cluster_queries,
+            cluster_service_us,
+            cluster_clients,
+        )?;
+        print_cluster_table(&scaling);
+        let base = scaling.first().map(|c| c.qps).unwrap_or(0.0);
+        if let Some(two) = scaling.iter().find(|c| c.replicas == 2) {
+            println!();
+            println!(
+                "2-replica speedup on the all-miss workload: {:.2}x",
+                if base > 0.0 { two.qps / base } else { 0.0 }
+            );
+        }
+        let json = format!(
+            "{{\n  \"table\": \"serve-cluster\",\n  \"setup\": {{\"clients\": {cluster_clients}}},\n  {}\n}}\n",
+            cluster_json(&scaling, cluster_queries, cluster_clients, cluster_service_us)
+        );
+        std::fs::write(&out_path, json)
+            .map_err(|e| MtmlfError::Service(format!("writing {out_path}: {e}")))?;
+        println!("wrote {out_path}");
+        return Ok(());
+    }
+
     println!("# Serving throughput — sequential vs PlannerService");
     println!(
         "# scale {scale}, {queries} queries x {repeats} repeats, \
@@ -453,6 +594,17 @@ fn main() -> mtmlf::Result<()> {
         probe_metrics.expired,
     );
 
+    // Cluster scaling: the same client harness over 1/2/4 simulated
+    // replicas behind the consistent-hash router.
+    let scaling = run_cluster_scaling(
+        &CLUSTER_SIZES,
+        cluster_queries,
+        cluster_service_us,
+        cluster_clients,
+    )?;
+    print_cluster_table(&scaling);
+    let cluster_block = cluster_json(&scaling, cluster_queries, cluster_clients, cluster_service_us);
+
     let obs = Observability {
         traced: traced_snapshot,
         traced_degraded: degraded_metrics.clone(),
@@ -475,6 +627,7 @@ fn main() -> mtmlf::Result<()> {
         &cached_metrics,
         &degraded_metrics,
         &probe_metrics,
+        &cluster_block,
         &obs,
     );
     std::fs::write(&out_path, json)

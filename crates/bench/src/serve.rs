@@ -6,13 +6,17 @@
 //! not on learned weights, and skipping encoder pre-training keeps the
 //! benchmark setup to a few seconds.
 
+use mtmlf::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
+use mtmlf::cluster::{ClusterConfig, ClusterService, DirectTransport, ReplicaNode};
 use mtmlf::serve::PlannerService;
 use mtmlf::{FeaturizationModule, MtmlfConfig, MtmlfError, MtmlfQo};
 use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
-use mtmlf_query::Query;
-use mtmlf_storage::Database;
-use std::sync::Arc;
-use std::time::Instant;
+use mtmlf_query::{fingerprint, JoinOrder, Query, QueryFingerprint};
+use mtmlf_storage::{Database, TableId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// A model plus a query workload for serving experiments.
 pub struct ServeExperiment {
@@ -82,6 +86,18 @@ pub fn drive_clients(
     repeats: usize,
     clients: usize,
 ) -> mtmlf::Result<(f64, usize)> {
+    drive_plan_clients(service, queries, repeats, clients)
+}
+
+/// [`drive_clients`] over any [`PlanClient`] — the same driver works for a
+/// single [`PlannerService`] and a [`ClusterService`], so single-node and
+/// cluster numbers are measured identically.
+pub fn drive_plan_clients<C: PlanClient + ?Sized>(
+    client: &C,
+    queries: &[Query],
+    repeats: usize,
+    clients: usize,
+) -> mtmlf::Result<(f64, usize)> {
     let work: Vec<&Query> = (0..repeats).flat_map(|_| queries.iter()).collect();
     let clients = clients.max(1);
     let t0 = Instant::now();
@@ -92,7 +108,7 @@ pub fn drive_clients(
                 scope.spawn(move || -> mtmlf::Result<usize> {
                     let mut served = 0;
                     for q in work.iter().skip(c).step_by(clients) {
-                        service.plan((*q).clone())?;
+                        client.plan(PlanRequest::new((*q).clone()))?;
                         served += 1;
                     }
                     Ok(served)
@@ -115,6 +131,141 @@ pub fn drive_clients(
     Ok((elapsed, served))
 }
 
+/// A simulated cluster replica for router-scaling benchmarks: one "CPU"
+/// (a mutex serializing the model path), a fixed model-path service time,
+/// and a private plan cache.
+///
+/// Real replicas differ only in *what* the model path costs, not in how
+/// requests contend for it, so a fixed service time isolates exactly the
+/// quantity the scaling benchmark is after: how much of one replica's
+/// serialized model path the router can spread across N replicas.
+pub struct SimReplica {
+    cache: Mutex<HashMap<QueryFingerprint, PlanPayload>>,
+    cpu: Mutex<()>,
+    service_time: Duration,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl SimReplica {
+    /// A healthy replica whose model path takes `service_time` per plan.
+    pub fn new(service_time: Duration) -> Self {
+        Self {
+            cache: Mutex::new(HashMap::new()),
+            cpu: Mutex::new(()),
+            service_time,
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests this replica has planned.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from this replica's cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// A deterministic payload derived from the fingerprint, so replicas
+    /// agree on answers without sharing state.
+    fn payload_for(fp: &QueryFingerprint) -> PlanPayload {
+        let x = fp.as_u128() as u64;
+        let card = (x % 9973) as f64 + 1.0;
+        PlanPayload::new(
+            JoinOrder::LeftDeep(vec![TableId((x % 16) as u32)]),
+            card,
+            card * 3.0,
+        )
+    }
+}
+
+impl ReplicaNode for SimReplica {
+    fn plan(&self, request: PlanRequest) -> mtmlf::Result<PlanResponse> {
+        let fp = fingerprint(&request.query);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let cached = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fp)
+            .cloned();
+        if let Some(p) = cached {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PlanResponse::from_payload(p, PlanSource::Cache, Duration::ZERO));
+        }
+        // The model path: serialized per replica, fixed cost per plan.
+        let _cpu = self.cpu.lock().unwrap_or_else(PoisonError::into_inner);
+        std::thread::sleep(self.service_time);
+        let payload = Self::payload_for(&fp);
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp, payload.clone());
+        Ok(PlanResponse::from_payload(
+            payload,
+            PlanSource::Model,
+            self.service_time,
+        ))
+    }
+
+    fn warm(&self, fp: QueryFingerprint, payload: PlanPayload) {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp, payload);
+    }
+
+    fn invalidate(&self, fp: &QueryFingerprint) -> bool {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(fp)
+            .is_some()
+    }
+}
+
+/// A [`ClusterService`] over `replicas` [`SimReplica`]s, plus handles to
+/// the replicas for inspection. 512 vnodes keeps the key split close to
+/// even at small replica counts, and warm gossip is off — the scaling
+/// benchmark measures cold-cache routing, where warming a peer's cache
+/// for keys it will never be asked about is pure overhead.
+pub fn sim_cluster(
+    replicas: usize,
+    service_time: Duration,
+) -> mtmlf::Result<(ClusterService, Vec<Arc<SimReplica>>)> {
+    let sims: Vec<Arc<SimReplica>> = (0..replicas)
+        .map(|_| Arc::new(SimReplica::new(service_time)))
+        .collect();
+    let nodes: Vec<Arc<dyn ReplicaNode>> = sims
+        .iter()
+        .map(|s| Arc::clone(s) as Arc<dyn ReplicaNode>)
+        .collect();
+    let cluster = ClusterService::from_replicas(
+        nodes,
+        ClusterConfig {
+            vnodes: 512,
+            warm_gossip: false,
+            ..ClusterConfig::default()
+        },
+        Arc::new(DirectTransport::new()),
+    )?;
+    Ok((cluster, sims))
+}
+
+/// `n` structurally distinct single-table queries: every fingerprint is
+/// unique, so one pass over the workload is all cache misses — the
+/// worst case for a plan cache and the best case for replica scaling.
+pub fn cluster_workload(n: usize) -> mtmlf::Result<Vec<Query>> {
+    (0..n)
+        .map(|i| {
+            Query::new(vec![TableId(i as u32)], Vec::new(), BTreeMap::new()).map_err(Into::into)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +286,26 @@ mod tests {
         assert_eq!(served, 6);
         assert!(elapsed > 0.0);
         assert_eq!(service.metrics().requests, 6);
+    }
+
+    #[test]
+    fn sim_cluster_routes_a_distinct_key_workload_across_replicas() {
+        let (cluster, sims) = sim_cluster(2, Duration::from_micros(50)).expect("cluster");
+        let queries = cluster_workload(24).expect("workload");
+        let (_, served) = drive_plan_clients(&cluster, &queries, 1, 4).expect("drive");
+        assert_eq!(served, 24);
+        let snapshot = cluster.metrics();
+        let routed: u64 = snapshot.replicas.iter().map(|r| r.routed).sum();
+        assert_eq!(routed, 24, "every request routed to exactly one replica");
+        assert!(
+            snapshot.replicas.iter().all(|r| r.routed > 0),
+            "both replicas took a share of 24 distinct keys"
+        );
+        // Distinct fingerprints, single pass: pure cache misses.
+        assert_eq!(sims.iter().map(|s| s.cache_hits()).sum::<u64>(), 0);
+        // A second pass is all warm hits on the owning replica.
+        let (_, served2) = drive_plan_clients(&cluster, &queries, 1, 4).expect("drive");
+        assert_eq!(served2, 24);
+        assert_eq!(sims.iter().map(|s| s.cache_hits()).sum::<u64>(), 24);
     }
 }

@@ -90,6 +90,15 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         self.push_front(idx);
     }
 
+    /// Removes `key`, returning its value. The slab slot joins the free
+    /// list for reuse.
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.free.push(idx);
+        Some(self.entries[idx].value.clone())
+    }
+
     /// Unlinks a listed entry from the recency list.
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
@@ -170,6 +179,16 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
             .insert(key, value);
     }
 
+    /// Removes `key` from its shard, returning the value it held. The
+    /// cluster layer uses this for cache invalidation: a removed plan stops
+    /// being served immediately on this node.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(key)
+    }
+
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -227,6 +246,28 @@ mod tests {
         cache.insert(3, 30);
         assert_eq!(cache.get(&1), Some(11), "updated in place");
         assert_eq!(cache.get(&2), None, "stale entry evicted");
+    }
+
+    #[test]
+    fn remove_deletes_and_frees_the_slot() {
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(2, 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.remove(&1), Some(10));
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.remove(&1), None, "second remove is a miss");
+        assert_eq!(cache.len(), 1);
+        // The freed slot is reused without evicting the survivor.
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.len(), 2);
+        // Removing the only remaining entries empties the shard cleanly.
+        assert_eq!(cache.remove(&2), Some(20));
+        assert_eq!(cache.remove(&3), Some(30));
+        assert!(cache.is_empty());
+        cache.insert(4, 40);
+        assert_eq!(cache.get(&4), Some(40), "empty list re-grows");
     }
 
     #[test]

@@ -39,6 +39,13 @@
 //!   admission control, and a classical-optimizer [`FallbackPlanner`], so
 //!   a model failure never becomes a query failure (DESIGN.md §9's
 //!   degradation ladder).
+//! - **Clustered serving** ([`cluster`], [`client`]) — N replica services
+//!   behind a consistent-hash router ([`ClusterService`]): canonical query
+//!   fingerprints shard onto a virtual-node [`HashRing`], plans gossip to
+//!   peer caches with epoch-tombstoned invalidation, and per-replica
+//!   circuit breakers fail requests over to ring survivors. Single-node and
+//!   cluster modes share the [`PlanClient`] trait, so callers are
+//!   mode-agnostic (DESIGN.md §12).
 //! - **Observability** ([`trace`], [`metrics`]) — plan-lifecycle tracing
 //!   (per-[`trace::Stage`] latency histograms plus a ring buffer of
 //!   complete request traces, opt-in via
@@ -59,6 +66,8 @@
 pub mod batch;
 pub mod beam;
 pub mod cache;
+pub mod client;
+pub mod cluster;
 pub mod config;
 pub mod encoder;
 pub mod error;
@@ -79,6 +88,8 @@ pub mod transjo;
 
 pub use batch::{plan_batch, plan_batch_traced, PlannedQuery};
 pub use cache::ShardedLruCache;
+pub use client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
+pub use cluster::{ClusterBuilder, ClusterConfig, ClusterService, HashRing, ReplicaId};
 pub use config::{LossWeights, MtmlfConfig, MtmlfConfigBuilder};
 pub use error::MtmlfError;
 /// The crate's unified error type, under its conventional short name.
@@ -92,12 +103,7 @@ pub use resilience::{
     Admission, BreakerConfig, BreakerState, CircuitBreaker, Clock, FallbackPlanner, ManualClock,
     RetryPolicy, SystemClock,
 };
-#[allow(deprecated)]
-pub use serve::ServiceMetrics;
-pub use serve::{
-    LatencyHistogram, PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceBuilder,
-    ServiceConfig,
-};
+pub use serve::{LatencyHistogram, PlannerService, ServiceBuilder, ServiceConfig};
 pub use trace::{
     RequestTrace, Stage, StageRecorder, StageSpan, TraceConfig, TraceOutcome, Tracer,
 };
@@ -116,12 +122,10 @@ pub mod prelude {
     pub use crate::error::MtmlfError;
     pub use crate::metrics::{render_prometheus, MetricsSnapshot};
     pub use crate::model::MtmlfQo;
+    pub use crate::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
+    pub use crate::cluster::{ClusterBuilder, ClusterConfig, ClusterService, ReplicaId};
     pub use crate::resilience::{BreakerConfig, BreakerState, FallbackPlanner, RetryPolicy};
-    #[allow(deprecated)]
-    pub use crate::serve::ServiceMetrics;
-    pub use crate::serve::{
-        PlanRequest, PlanResponse, PlanSource, PlannerService, ServiceBuilder, ServiceConfig,
-    };
+    pub use crate::serve::{PlannerService, ServiceBuilder, ServiceConfig};
     pub use crate::trace::{RequestTrace, Stage, StageSpan, TraceConfig, TraceOutcome};
     pub use crate::Result;
     pub use mtmlf_query::{JoinOrder, Query};

@@ -358,6 +358,165 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
     out
 }
 
+/// One counter family with a `replica` label, one series per replica.
+fn push_replica_counter(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: impl Iterator<Item = (usize, u64)>,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (id, value) in series {
+        let _ = writeln!(out, "{name}{{replica=\"{id}\"}} {value}");
+    }
+}
+
+/// Renders a cluster snapshot in the Prometheus text exposition format:
+/// router-level counters plus per-replica series labeled `replica="N"`.
+///
+/// Deterministic like [`render_prometheus`]; CI diffs a synthetic
+/// snapshot's rendering against
+/// `crates/core/testdata/prometheus_cluster_golden.txt`.
+pub fn render_prometheus_cluster(m: &crate::cluster::ClusterMetricsSnapshot) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+
+    push_replica_counter(
+        &mut out,
+        "mtmlf_cluster_routed_total",
+        "Requests answered by each replica.",
+        m.replicas.iter().map(|r| (r.id, r.routed)),
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_failovers_total",
+        "Requests answered by a replica other than their ring primary.",
+        m.failovers,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_breaker_skips_total",
+        "Route candidates skipped because their router-side breaker was open.",
+        m.breaker_skips,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_unhealthy_skips_total",
+        "Route candidates skipped because the replica reported unhealthy.",
+        m.unhealthy_skips,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_warms_sent_total",
+        "Cache-warming messages gossiped to peer replicas.",
+        m.warms_sent,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_warms_applied_total",
+        "Cache-warming messages applied to a peer's plan cache.",
+        m.warms_applied,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_warms_discarded_total",
+        "Cache-warming messages discarded as stale (tombstoned).",
+        m.warms_discarded,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_cluster_invalidations_total",
+        "Cluster-wide plan invalidations issued.",
+        m.invalidations,
+    );
+    push_gauge(
+        &mut out,
+        "mtmlf_cluster_epoch",
+        "Current cluster coherence epoch (bumped by every invalidation).",
+        m.epoch,
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_cluster_replica_healthy 1 when the replica passes the router's health check."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_cluster_replica_healthy gauge");
+    for r in &m.replicas {
+        let _ = writeln!(
+            out,
+            "mtmlf_cluster_replica_healthy{{replica=\"{}\"}} {}",
+            r.id,
+            u64::from(r.healthy)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_cluster_replica_in_ring 1 when the replica currently owns ring positions."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_cluster_replica_in_ring gauge");
+    for r in &m.replicas {
+        let _ = writeln!(
+            out,
+            "mtmlf_cluster_replica_in_ring{{replica=\"{}\"}} {}",
+            r.id,
+            u64::from(r.in_ring)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_cluster_replica_breaker_state Router-side breaker state per replica, one-hot."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_cluster_replica_breaker_state gauge");
+    for r in &m.replicas {
+        for (state, name) in [
+            (BreakerState::Closed, "closed"),
+            (BreakerState::Open, "open"),
+            (BreakerState::HalfOpen, "half_open"),
+        ] {
+            let _ = writeln!(
+                out,
+                "mtmlf_cluster_replica_breaker_state{{replica=\"{}\",state=\"{name}\"}} {}",
+                r.id,
+                u64::from(r.breaker_state == state)
+            );
+        }
+    }
+
+    // Per-replica service counters, for replicas that keep service metrics.
+    push_replica_counter(
+        &mut out,
+        "mtmlf_cluster_replica_requests_total",
+        "Requests accepted by each replica's planner service.",
+        m.replicas
+            .iter()
+            .filter_map(|r| r.service.as_ref().map(|s| (r.id, s.requests))),
+    );
+    push_replica_counter(
+        &mut out,
+        "mtmlf_cluster_replica_cache_hits_total",
+        "Plan-cache hits served by each replica.",
+        m.replicas
+            .iter()
+            .filter_map(|r| r.service.as_ref().map(|s| (r.id, s.cache_hits))),
+    );
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_cluster_replica_cache_entries Plan-cache entries currently held per replica."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_cluster_replica_cache_entries gauge");
+    for r in &m.replicas {
+        if let Some(s) = &r.service {
+            let _ = writeln!(
+                out,
+                "mtmlf_cluster_replica_cache_entries{{replica=\"{}\"}} {}",
+                r.id, s.cached_plans
+            );
+        }
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +603,87 @@ mod tests {
         assert!(text.contains("mtmlf_response_latency_seconds_count{source=\"cache\"} 3"));
         assert!(text.contains("mtmlf_response_latency_seconds_max{source=\"cache\"} 0.00007"));
         assert!(text.contains("mtmlf_response_latency_seconds_max{source=\"model\"} 0.009"));
+    }
+
+    /// A synthetic cluster snapshot: two replicas in different states, one
+    /// with service metrics and one without.
+    fn cluster_fixture() -> crate::cluster::ClusterMetricsSnapshot {
+        use crate::cluster::{ClusterMetricsSnapshot, ReplicaSnapshot};
+        let service = MetricsSnapshot {
+            requests: 60,
+            cache_hits: 25,
+            cached_plans: 9,
+            ..MetricsSnapshot::default()
+        };
+        ClusterMetricsSnapshot {
+            replicas: vec![
+                ReplicaSnapshot {
+                    id: 0,
+                    routed: 55,
+                    healthy: true,
+                    in_ring: true,
+                    breaker_state: BreakerState::Closed,
+                    service: Some(service),
+                },
+                ReplicaSnapshot {
+                    id: 1,
+                    routed: 45,
+                    healthy: false,
+                    in_ring: false,
+                    breaker_state: BreakerState::Open,
+                    service: None,
+                },
+            ],
+            failovers: 6,
+            breaker_skips: 4,
+            unhealthy_skips: 3,
+            warms_sent: 80,
+            warms_applied: 70,
+            warms_discarded: 5,
+            invalidations: 2,
+            epoch: 2,
+        }
+    }
+
+    #[test]
+    fn cluster_prometheus_rendering_matches_the_golden_snapshot() {
+        let rendered = render_prometheus_cluster(&cluster_fixture());
+        if std::env::var_os("MTMLF_UPDATE_GOLDEN").is_some() {
+            std::fs::write("crates/core/testdata/prometheus_cluster_golden.txt", &rendered)
+                .expect("write golden");
+        }
+        let golden = include_str!("../testdata/prometheus_cluster_golden.txt");
+        assert_eq!(
+            rendered, golden,
+            "render_prometheus_cluster drifted from the golden snapshot; if \
+             the change is intentional, regenerate with MTMLF_UPDATE_GOLDEN=1 \
+             and commit"
+        );
+    }
+
+    #[test]
+    fn cluster_exposition_labels_every_replica() {
+        let text = render_prometheus_cluster(&cluster_fixture());
+        assert!(text.contains("mtmlf_cluster_routed_total{replica=\"0\"} 55"));
+        assert!(text.contains("mtmlf_cluster_routed_total{replica=\"1\"} 45"));
+        assert!(text.contains("mtmlf_cluster_failovers_total 6"));
+        assert!(text.contains("mtmlf_cluster_breaker_skips_total 4"));
+        assert!(text.contains("mtmlf_cluster_warms_sent_total 80"));
+        assert!(text.contains("mtmlf_cluster_warms_discarded_total 5"));
+        assert!(text.contains("mtmlf_cluster_epoch 2"));
+        assert!(text.contains("mtmlf_cluster_replica_healthy{replica=\"0\"} 1"));
+        assert!(text.contains("mtmlf_cluster_replica_healthy{replica=\"1\"} 0"));
+        assert!(text.contains("mtmlf_cluster_replica_in_ring{replica=\"1\"} 0"));
+        assert!(text.contains(
+            "mtmlf_cluster_replica_breaker_state{replica=\"1\",state=\"open\"} 1"
+        ));
+        assert!(text.contains(
+            "mtmlf_cluster_replica_breaker_state{replica=\"0\",state=\"closed\"} 1"
+        ));
+        // Service sub-metrics appear only for the replica that has them.
+        assert!(text.contains("mtmlf_cluster_replica_requests_total{replica=\"0\"} 60"));
+        assert!(!text.contains("mtmlf_cluster_replica_requests_total{replica=\"1\"}"));
+        assert!(text.contains("mtmlf_cluster_replica_cache_entries{replica=\"0\"} 9"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::batch::plan_batch_traced;
 use crate::cache::ShardedLruCache;
+pub use crate::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
 use crate::error::MtmlfError;
 use crate::metrics::MetricsSnapshot;
 use crate::model::MtmlfQo;
@@ -44,77 +45,14 @@ use crate::trace::{
 use crate::Result;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use mtmlf_nn::no_grad;
-use mtmlf_query::{fingerprint, JoinOrder, Query, QueryFingerprint};
+use mtmlf_query::{fingerprint, Query, QueryFingerprint};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A planning request. Convertible from a bare [`Query`]; a struct so the
-/// API can grow fields without breaking callers.
-#[derive(Debug, Clone)]
-pub struct PlanRequest {
-    /// The query to plan.
-    pub query: Query,
-    /// Time budget for this request, measured from the `plan` call. When it
-    /// expires the caller gets [`MtmlfError::Timeout`] and any work still
-    /// queued for it is dropped before the forward. `None` falls back to
-    /// [`ServiceConfig::default_deadline`].
-    pub deadline: Option<Duration>,
-}
-
-impl PlanRequest {
-    /// A request with no per-request deadline override.
-    pub fn new(query: Query) -> Self {
-        Self {
-            query,
-            deadline: None,
-        }
-    }
-
-    /// Sets this request's deadline.
-    pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
-        self
-    }
-}
-
-impl From<Query> for PlanRequest {
-    fn from(query: Query) -> Self {
-        Self::new(query)
-    }
-}
-
-/// Where a response came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PlanSource {
-    /// Replayed from the plan cache without running the model.
-    Cache,
-    /// Computed by a (possibly batched) model forward.
-    Model,
-    /// Computed by the classical [`FallbackPlanner`] because the model path
-    /// failed or the circuit breaker rejected it.
-    Fallback,
-}
-
-/// A planned query as returned by [`PlannerService::plan`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct PlanResponse {
-    /// The chosen join order (always legal for the query).
-    pub join_order: JoinOrder,
-    /// Predicted root cardinality of the chosen plan.
-    pub est_card: f64,
-    /// Predicted total cost of the chosen plan.
-    pub est_cost: f64,
-    /// Whether the answer was cached, freshly computed, or degraded.
-    pub source: PlanSource,
-    /// End-to-end latency observed by the calling thread, including any
-    /// queueing and batching delay.
-    pub latency: Duration,
-}
-
-/// Tuning knobs for [`PlannerService::start`].
+/// Tuning knobs for [`ServiceBuilder::start`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Inference worker threads (≥ 1).
@@ -181,23 +119,32 @@ impl ServiceConfig {
     }
 }
 
-#[derive(Clone)]
-struct CachedPlan {
-    join_order: JoinOrder,
-    est_card: f64,
-    est_cost: f64,
-}
-
 struct Job {
     query: Query,
     fp: QueryFingerprint,
     /// Absolute deadline; a worker drops the job (instead of forwarding it)
     /// once this has passed, because the client has already timed out.
     deadline: Option<Instant>,
-    reply: Sender<Result<(CachedPlan, PlanSource)>>,
+    reply: Sender<Result<(PlanPayload, PlanSource)>>,
     /// The request's in-flight trace; travels with the job so whichever
     /// thread finishes the request completes its trace.
     trace: Option<TraceBuilder>,
+}
+
+/// A submitted-but-unanswered request, produced by the submit half of
+/// [`PlannerService::plan`]. Splitting submit from wait lets
+/// [`PlanClient::plan_batch`] enqueue every request before blocking on any
+/// reply, so concurrent misses land in one cross-query batch.
+enum PendingPlan {
+    /// Answered (or refused) on the submitting thread: cache hit, shed,
+    /// shutdown refusal.
+    Ready(Result<PlanResponse>),
+    /// Queued for the worker pool; the reply arrives on `reply_rx`.
+    Waiting {
+        reply_rx: Receiver<Result<(PlanPayload, PlanSource)>>,
+        abs_deadline: Option<Instant>,
+        start: Instant,
+    },
 }
 
 /// Power-of-two latency histogram: bucket `i` counts samples whose latency
@@ -288,14 +235,6 @@ impl LatencyHistogram {
         (63 - nanos.max(1).leading_zeros() as usize).min(31)
     }
 }
-
-/// Former name of [`MetricsSnapshot`], kept as an alias so existing code
-/// keeps compiling during the deprecation window.
-#[deprecated(
-    since = "0.1.0",
-    note = "renamed to `mtmlf::metrics::MetricsSnapshot`; the alias will be removed in 0.2"
-)]
-pub type ServiceMetrics = MetricsSnapshot;
 
 struct MetricsInner {
     requests: AtomicU64,
@@ -470,7 +409,7 @@ pub struct PlannerService {
     /// so shutdown can race concurrent [`PlannerService::plan`] calls.
     tx: RwLock<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
+    cache: Arc<ShardedLruCache<QueryFingerprint, PlanPayload>>,
     metrics: Arc<MetricsInner>,
     breaker: Arc<CircuitBreaker>,
     tracer: Option<Arc<Tracer>>,
@@ -482,7 +421,7 @@ pub struct PlannerService {
 #[derive(Clone)]
 struct WorkerCtx {
     model: Arc<MtmlfQo>,
-    cache: Arc<ShardedLruCache<QueryFingerprint, CachedPlan>>,
+    cache: Arc<ShardedLruCache<QueryFingerprint, PlanPayload>>,
     metrics: Arc<MetricsInner>,
     fallback: Option<FallbackPlanner>,
     breaker: Arc<CircuitBreaker>,
@@ -628,54 +567,6 @@ impl PlannerService {
         ServiceBuilder::new(model)
     }
 
-    /// Spawns the worker pool with a bare config.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `PlannerService::builder(model).config(config).start()`; \
-                the start_with_* constructors will be removed in 0.2"
-    )]
-    pub fn start(model: Arc<MtmlfQo>, config: ServiceConfig) -> Result<Self> {
-        Self::builder(model).config(config).start()
-    }
-
-    /// Like `start`, with a classical fallback planner.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `PlannerService::builder(model).config(config).fallback(fallback).start()`; \
-                the start_with_* constructors will be removed in 0.2"
-    )]
-    pub fn start_with_fallback(
-        model: Arc<MtmlfQo>,
-        fallback: Option<FallbackPlanner>,
-        config: ServiceConfig,
-    ) -> Result<Self> {
-        Self::builder(model)
-            .config(config)
-            .fallback(fallback)
-            .start()
-    }
-
-    /// Starts a service whose worker loop consults `faults` before every
-    /// model forward.
-    #[cfg(any(test, feature = "fault-injection"))]
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `PlannerService::builder(model).config(config).fallback(fallback)\
-                .faults(faults).start()`; the start_with_* constructors will be removed in 0.2"
-    )]
-    pub fn start_with_faults(
-        model: Arc<MtmlfQo>,
-        fallback: Option<FallbackPlanner>,
-        config: ServiceConfig,
-        faults: FaultPlan,
-    ) -> Result<Self> {
-        Self::builder(model)
-            .config(config)
-            .fallback(fallback)
-            .faults(faults)
-            .start()
-    }
-
     /// Plans one query, from cache when possible, otherwise via the worker
     /// pool. Blocks the calling thread until its response is ready or its
     /// deadline expires; safe to call concurrently from many threads.
@@ -685,17 +576,36 @@ impl PlannerService {
     /// [`MtmlfError::Overloaded`], [`MtmlfError::Service`], or the model's
     /// own error). The chaos suite asserts this under injected faults.
     pub fn plan(&self, request: impl Into<PlanRequest>) -> Result<PlanResponse> {
-        let PlanRequest { query, deadline } = request.into();
+        let pending = self.submit_request(request.into());
+        self.wait_for(pending)
+    }
+
+    /// The submit half of [`PlannerService::plan`]: admission, the cache
+    /// fast path, and the queue handoff — everything except blocking on the
+    /// worker's reply. [`PlanClient::plan_batch`] submits every request
+    /// before waiting on any so concurrent misses share one batch.
+    fn submit_request(&self, request: PlanRequest) -> PendingPlan {
+        let PlanRequest {
+            query,
+            deadline,
+            trace: trace_pref,
+        } = request;
         let start = Instant::now();
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         // Open the trace at admission, stamping breaker state and queue
-        // depth as the operator would have seen them.
-        let mut trace = self.tracer.as_ref().map(|t| {
-            t.begin(
-                self.breaker.state(),
-                self.queue_depth.load(Ordering::Relaxed),
-            )
-        });
+        // depth as the operator would have seen them. `trace: Some(false)`
+        // opts the request out even on a tracing service; `Some(true)` is a
+        // no-op without a tracer.
+        let mut trace = if trace_pref.unwrap_or(true) {
+            self.tracer.as_ref().map(|t| {
+                t.begin(
+                    self.breaker.state(),
+                    self.queue_depth.load(Ordering::Relaxed),
+                )
+            })
+        } else {
+            None
+        };
         let deadline = deadline.or(self.default_deadline);
         // Saturating: a deadline too large to represent is no deadline.
         let abs_deadline = deadline.and_then(|d| start.checked_add(d));
@@ -712,7 +622,9 @@ impl PlannerService {
         let Some(tx) = tx else {
             self.metrics.errors.fetch_add(1, Ordering::Relaxed);
             self.finish_trace(trace, TraceOutcome::Error);
-            return Err(MtmlfError::Service("planner service is shut down".into()));
+            return PendingPlan::Ready(Err(MtmlfError::Service(
+                "planner service is shut down".into(),
+            )));
         };
         let fp = match trace.as_mut() {
             Some(tb) => tb.timed(Stage::Fingerprint, || fingerprint(&query)),
@@ -726,7 +638,7 @@ impl PlannerService {
         };
         if let Some(hit) = probe {
             self.finish_trace(trace, TraceOutcome::Served(PlanSource::Cache));
-            return Ok(self.respond(hit, PlanSource::Cache, start));
+            return PendingPlan::Ready(Ok(self.respond(hit, PlanSource::Cache, start)));
         }
 
         if let Some(tb) = trace.as_mut() {
@@ -755,15 +667,36 @@ impl PlannerService {
                 self.metrics.sheds.fetch_add(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 self.finish_trace(job.trace, TraceOutcome::Shed);
-                return Err(MtmlfError::Overloaded);
+                return PendingPlan::Ready(Err(MtmlfError::Overloaded));
             }
             Err(TrySendError::Disconnected(job)) => {
                 self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 self.finish_trace(job.trace, TraceOutcome::Error);
-                return Err(MtmlfError::Service("planner workers are gone".into()));
+                return PendingPlan::Ready(Err(MtmlfError::Service(
+                    "planner workers are gone".into(),
+                )));
             }
         }
+        PendingPlan::Waiting {
+            reply_rx,
+            abs_deadline,
+            start,
+        }
+    }
+
+    /// The wait half of [`PlannerService::plan`]: blocks on the worker's
+    /// reply (bounded by the request's absolute deadline) and turns the
+    /// outcome into a [`PlanResponse`].
+    fn wait_for(&self, pending: PendingPlan) -> Result<PlanResponse> {
+        let (reply_rx, abs_deadline, start) = match pending {
+            PendingPlan::Ready(result) => return result,
+            PendingPlan::Waiting {
+                reply_rx,
+                abs_deadline,
+                start,
+            } => (reply_rx, abs_deadline, start),
+        };
         let outcome = match abs_deadline {
             Some(d) => match reply_rx.recv_deadline(d) {
                 Ok(outcome) => outcome,
@@ -801,7 +734,7 @@ impl PlannerService {
         }
     }
 
-    fn respond(&self, plan: CachedPlan, source: PlanSource, start: Instant) -> PlanResponse {
+    fn respond(&self, plan: PlanPayload, source: PlanSource, start: Instant) -> PlanResponse {
         let latency = start.elapsed();
         self.metrics.record(source, latency);
         PlanResponse {
@@ -860,6 +793,26 @@ impl PlannerService {
         self.cache.len()
     }
 
+    /// Seeds the plan cache with a payload computed elsewhere. The cluster
+    /// layer calls this when a peer replica gossips a freshly computed plan
+    /// so the next local request for `fp` is a cache hit.
+    pub fn warm(&self, fp: QueryFingerprint, payload: PlanPayload) {
+        self.cache.insert(fp, payload);
+    }
+
+    /// Drops the cached plan for `fp`, returning `true` when an entry was
+    /// removed. The cluster layer's invalidation protocol fans this out to
+    /// every replica so a stale plan stops being served anywhere.
+    pub fn invalidate(&self, fp: &QueryFingerprint) -> bool {
+        self.cache.remove(fp).is_some()
+    }
+
+    /// Peeks the plan cache without planning. Used by the cluster layer to
+    /// source warm-gossip payloads and by tests to observe cache state.
+    pub fn cached_payload(&self, fp: &QueryFingerprint) -> Option<PlanPayload> {
+        self.cache.get(fp)
+    }
+
     /// Stops accepting new requests and joins the worker pool.
     ///
     /// Graceful by construction: requests already queued (or mid-batch) are
@@ -893,6 +846,50 @@ impl PlannerService {
 impl Drop for PlannerService {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+impl PlanClient for PlannerService {
+    fn plan(&self, request: PlanRequest) -> Result<PlanResponse> {
+        PlannerService::plan(self, request)
+    }
+
+    /// Submits every request before waiting on any reply, so concurrent
+    /// misses from one batch call land in the same cross-query model
+    /// forward instead of serializing through the worker pool.
+    fn plan_batch(&self, requests: Vec<PlanRequest>) -> Vec<Result<PlanResponse>> {
+        let pending: Vec<PendingPlan> = requests
+            .into_iter()
+            .map(|r| self.submit_request(r))
+            .collect();
+        pending.into_iter().map(|p| self.wait_for(p)).collect()
+    }
+}
+
+/// The single-threaded facade speaks the same client vocabulary: no cache,
+/// no workers, no breaker — every request runs one model forward inline on
+/// the calling thread and reports [`PlanSource::Model`].
+///
+/// Deadlines are checked after the forward (the facade cannot interrupt a
+/// running forward): a request whose budget was exceeded by the time the
+/// plan is ready gets [`MtmlfError::Timeout`], keeping the [`PlanClient`]
+/// deadline contract — a caller never receives a response later than it
+/// agreed to wait.
+impl PlanClient for MtmlfQo {
+    fn plan(&self, request: PlanRequest) -> Result<PlanResponse> {
+        let start = Instant::now();
+        let (join_order, est_card, est_cost) = self.plan_with_estimates(&request.query)?;
+        let latency = start.elapsed();
+        if let Some(deadline) = request.deadline {
+            if latency > deadline {
+                return Err(MtmlfError::Timeout);
+            }
+        }
+        Ok(PlanResponse::from_payload(
+            PlanPayload::new(join_order, est_card, est_cost),
+            PlanSource::Model,
+            latency,
+        ))
     }
 }
 
@@ -1029,7 +1026,7 @@ fn plan_unique(
     ctx: &WorkerCtx,
     queries: &[Query],
     recorder: &mut StageRecorder,
-) -> (Vec<Result<(CachedPlan, PlanSource)>>, Vec<Vec<StageSpan>>) {
+) -> (Vec<Result<(PlanPayload, PlanSource)>>, Vec<Vec<StageSpan>>) {
     let n = queries.len();
 
     // Breaker admission per distinct query. Rejected slots skip the model
@@ -1040,7 +1037,7 @@ fn plan_unique(
     // outcome (success or failure) is reported to the breaker — a transient
     // failure that will be retried is still evidence the model path is
     // unhealthy.
-    let mut model_results: Vec<Option<Result<CachedPlan>>> = (0..n).map(|_| None).collect();
+    let mut model_results: Vec<Option<Result<PlanPayload>>> = (0..n).map(|_| None).collect();
     let mut pending: Vec<usize> = (0..n)
         .filter(|&slot| admissions[slot] != Admission::Rejected)
         .collect();
@@ -1054,7 +1051,7 @@ fn plan_unique(
             match &forwarded[i] {
                 Ok(planned) => {
                     ctx.breaker.on_success();
-                    model_results[slot] = Some(Ok(CachedPlan {
+                    model_results[slot] = Some(Ok(PlanPayload {
                         join_order: planned.join_order.clone(),
                         est_card: planned.est_card,
                         est_cost: planned.est_cost,
@@ -1085,7 +1082,7 @@ fn plan_unique(
 
     // Final assembly: model success, else fallback, else a typed error.
     let mut slot_spans: Vec<Vec<StageSpan>> = (0..n).map(|_| Vec::new()).collect();
-    let mut results: Vec<Result<(CachedPlan, PlanSource)>> = Vec::with_capacity(n);
+    let mut results: Vec<Result<(PlanPayload, PlanSource)>> = Vec::with_capacity(n);
     for slot in 0..n {
         let result = match model_results[slot].take() {
             Some(Ok(plan)) => Ok((plan, PlanSource::Model)),
@@ -1108,7 +1105,7 @@ fn plan_unique(
                         }
                         match planned {
                             Ok((join_order, est_card, est_cost)) => Ok((
-                                CachedPlan {
+                                PlanPayload {
                                     join_order,
                                     est_card,
                                     est_cost,

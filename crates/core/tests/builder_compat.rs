@@ -1,16 +1,14 @@
-//! Compatibility tests for the deprecated `PlannerService::start*`
-//! constructors: they are thin shims over [`mtmlf::ServiceBuilder`] and
-//! must keep serving until their announced removal in 0.2.
-//!
-//! The feature-gated `start_with_faults` shim has its compatibility test
-//! in `tests/chaos.rs` (it needs a `FaultPlan`).
-#![allow(deprecated)]
+//! Surface tests for the 0.2 client API: the builder is the only way to
+//! start a service (the deprecated `start*` shims are gone), and every
+//! planning mode — the single-threaded facade and the worker-pool service —
+//! speaks the unified [`PlanClient`] request/response vocabulary.
 
 use mtmlf::prelude::*;
 use mtmlf::serve::ServiceConfig;
 use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
 use mtmlf_storage::Database;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn setup(max_query_tables: usize) -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
     let mut db = imdb_lite(61, ImdbScale { scale: 0.02 });
@@ -35,21 +33,20 @@ fn setup(max_query_tables: usize) -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
     (Arc::new(model), Arc::new(db), queries)
 }
 
-/// `PlannerService::start` still spawns a working pool and plans queries
-/// exactly like `builder(..).config(..).start()`.
+/// `builder(..).config(..).start()` spawns a working pool whose answers
+/// are bitwise identical to the facade's.
 #[test]
-fn deprecated_start_shim_still_serves() {
+fn builder_starts_a_service_that_matches_the_facade() {
     let (model, _db, queries) = setup(8);
-    let service = PlannerService::start(
-        Arc::clone(&model),
-        ServiceConfig {
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
             workers: 1,
             ..ServiceConfig::default()
-        },
-    )
-    .expect("shim starts");
+        })
+        .start()
+        .expect("builder starts");
     for query in &queries {
-        let resp = service.plan(query.clone()).expect("shim plans");
+        let resp = service.plan(query.clone()).expect("service plans");
         assert_eq!(resp.source, PlanSource::Model);
         let (order, card, cost) = model.plan_with_estimates(query).expect("direct");
         assert_eq!(resp.join_order, order);
@@ -62,37 +59,101 @@ fn deprecated_start_shim_still_serves() {
     service.shutdown();
 }
 
-/// `PlannerService::start_with_fallback` still wires the classical
-/// fallback: a model that admits too few tables degrades per request.
+/// The facade and the service implement the same [`PlanClient`] trait and
+/// produce the same payloads through it: callers can hold `&dyn PlanClient`
+/// and stay oblivious to the serving mode.
 #[test]
-fn deprecated_start_with_fallback_shim_still_serves() {
-    let (model, db, _queries) = setup(3);
-    let big = generate_queries(
-        &db,
-        &WorkloadConfig {
-            count: 2,
-            min_tables: 4,
-            max_tables: 4,
-            ..WorkloadConfig::default()
-        },
-        29,
-    );
-    let service = PlannerService::start_with_fallback(
-        model,
-        Some(FallbackPlanner::new(Arc::clone(&db))),
-        ServiceConfig {
+fn facade_and_service_agree_through_the_plan_client_trait() {
+    let (model, _db, queries) = setup(8);
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
             workers: 1,
             ..ServiceConfig::default()
-        },
-    )
-    .expect("shim starts");
-    for query in &big {
-        let resp = service.plan(query.clone()).expect("fallback answers");
-        assert_eq!(resp.source, PlanSource::Fallback);
-        resp.join_order.validate(query).expect("legal join order");
+        })
+        .start()
+        .expect("builder starts");
+    let modes: [(&str, &dyn PlanClient); 2] = [("facade", &*model), ("service", &service)];
+    for query in &queries {
+        let mut payloads = Vec::new();
+        for (name, client) in modes {
+            let resp = client
+                .plan(PlanRequest::new(query.clone()))
+                .unwrap_or_else(|e| panic!("{name} plans: {e}"));
+            assert_eq!(resp.source, PlanSource::Model, "{name} reports model source");
+            payloads.push(resp.payload());
+        }
+        assert_eq!(payloads[0], payloads[1], "modes agree on the payload");
     }
-    let m = service.metrics();
-    assert_eq!(m.fallbacks, big.len() as u64);
-    assert_eq!(m.errors, 0);
     service.shutdown();
+}
+
+/// `plan_batch` answers every request in order, mixing cache hits with
+/// fresh plans, and the batched answers match the one-at-a-time answers.
+#[test]
+fn plan_batch_answers_every_request_in_order() {
+    let (model, _db, queries) = setup(8);
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .start()
+        .expect("builder starts");
+    // Duplicate the workload so the batch contains repeats (cache collapse).
+    let requests: Vec<PlanRequest> = queries
+        .iter()
+        .chain(queries.iter())
+        .map(|q| PlanRequest::new(q.clone()))
+        .collect();
+    let responses = PlanClient::plan_batch(&service, requests);
+    assert_eq!(responses.len(), queries.len() * 2);
+    for (i, resp) in responses.iter().enumerate() {
+        let resp = resp.as_ref().expect("batched request answered");
+        let query = &queries[i % queries.len()];
+        let (order, ..) = model.plan_with_estimates(query).expect("direct");
+        assert_eq!(resp.join_order, order, "response {i} kept its slot");
+    }
+    service.shutdown();
+}
+
+/// The unified request shape carries deadline and trace opt-out to the
+/// service: an opted-out request leaves no trace even on a tracing service.
+#[test]
+fn requests_carry_deadline_and_trace_preferences() {
+    let (model, _db, queries) = setup(8);
+    let service = PlannerService::builder(Arc::clone(&model))
+        .config(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .tracing(TraceConfig::default())
+        .start()
+        .expect("builder starts");
+    let query = queries[0].clone();
+    let traced = service
+        .plan(PlanRequest::new(query.clone()).with_deadline(Duration::from_secs(30)))
+        .expect("traced plan");
+    assert_eq!(traced.source, PlanSource::Model);
+    assert_eq!(service.traces().len(), 1, "default: traced when configured");
+    let _ = service
+        .plan(PlanRequest::new(query).with_tracing(false))
+        .expect("opted-out plan");
+    assert_eq!(service.traces().len(), 1, "opt-out left no new trace");
+    service.shutdown();
+}
+
+/// The facade honors the request deadline contract: an impossible budget
+/// yields `Timeout`, never a late response.
+#[test]
+fn facade_rejects_blown_deadlines() {
+    let (model, _db, queries) = setup(8);
+    let client: &dyn PlanClient = &*model;
+    let err = client
+        .plan(PlanRequest::new(queries[0].clone()).with_deadline(Duration::ZERO))
+        .expect_err("zero budget cannot be met");
+    assert!(matches!(err, MtmlfError::Timeout));
+    let ok = client
+        .plan(PlanRequest::new(queries[0].clone()).with_deadline(Duration::from_secs(60)))
+        .expect("generous budget is met");
+    assert_eq!(ok.source, PlanSource::Model);
 }

@@ -406,25 +406,3 @@ fn shed_requests_complete_their_traces() {
         );
     }
 }
-
-/// The deprecated [`PlannerService::start_with_faults`] shim still works:
-/// existing chaos harnesses keep compiling (with a deprecation warning)
-/// and get the same builder-backed service until the 0.2 removal.
-#[test]
-#[allow(deprecated)]
-fn deprecated_start_with_faults_shim_still_serves() {
-    let (model, db, queries) = setup();
-    let service = PlannerService::start_with_faults(
-        model,
-        Some(FallbackPlanner::new(Arc::clone(&db))),
-        ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        },
-        FaultPlan::new().fail_on(0),
-    )
-    .expect("start service");
-    let resp = service.plan(queries[0].clone()).expect("shim serves");
-    resp.join_order.validate(&queries[0]).expect("legal order");
-    assert_identity(&service.metrics());
-}

@@ -1,0 +1,156 @@
+//! Property tests for the cluster's consistent-hash ring
+//! ([`mtmlf::cluster::HashRing`]).
+//!
+//! Three invariants over arbitrary memberships and key sets:
+//!
+//! 1. **Join/leave stability** — removing one of N members re-homes only
+//!    the keys that member owned; every other key keeps its owner. Adding
+//!    a member steals keys only for itself (no key moves between two
+//!    surviving members). This is the property that makes replica churn
+//!    cheap: ~K/N keys move, not all of them.
+//! 2. **Uniformity within documented bounds** — with enough virtual nodes,
+//!    no member owns more than a small multiple of its fair share of a
+//!    large pseudo-random key population.
+//! 3. **Determinism and total coverage** — routing is a pure function of
+//!    (membership, key), independent of insertion order, and the failover
+//!    candidate list is always a permutation of the full membership with
+//!    the primary first.
+
+use mtmlf::cluster::{HashRing, ReplicaId};
+use proptest::prelude::*;
+
+/// A well-mixed key population derived from an arbitrary seed.
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    // SplitMix64 stream: decorrelates consecutive seeds.
+    let mut x = seed;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn ring_of(members: &[usize], vnodes: usize) -> HashRing {
+    let mut ring = HashRing::new(vnodes);
+    for &m in members {
+        ring.add(ReplicaId(m));
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Removing a member re-homes exactly that member's keys; the rest
+    /// keep their owner. Re-adding it restores the original assignment.
+    #[test]
+    fn leave_moves_only_the_departed_members_keys(
+        n in 2usize..=8,
+        victim_idx in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let members: Vec<usize> = (0..n).collect();
+        let victim = ReplicaId(victim_idx % n);
+        let mut ring = ring_of(&members, 48);
+        let population = keys(seed, 600);
+        let before: Vec<ReplicaId> =
+            population.iter().map(|&k| ring.route(k).unwrap()).collect();
+        ring.remove(victim);
+        let mut moved = 0usize;
+        for (&k, &owner) in population.iter().zip(&before) {
+            let now = ring.route(k).unwrap();
+            if owner == victim {
+                prop_assert!(now != victim, "departed member still owns key {}", k);
+                moved += 1;
+            } else {
+                prop_assert_eq!(now, owner, "a surviving member's key moved");
+            }
+        }
+        // The departed member owned roughly 1/n of the keys; allow a wide
+        // (4x fair share) bound since this is a hash distribution.
+        prop_assert!(
+            moved <= 4 * population.len() / n,
+            "{} of {} keys moved on a 1-of-{} leave",
+            moved, population.len(), n
+        );
+        ring.add(victim);
+        for (&k, &owner) in population.iter().zip(&before) {
+            prop_assert_eq!(ring.route(k), Some(owner), "re-join did not restore routing");
+        }
+    }
+
+    /// Adding a member steals keys only for itself: no key moves between
+    /// two members that were present both before and after the join.
+    #[test]
+    fn join_steals_keys_only_for_the_newcomer(
+        n in 1usize..=7,
+        seed in any::<u64>(),
+    ) {
+        let members: Vec<usize> = (0..n).collect();
+        let mut ring = ring_of(&members, 48);
+        let population = keys(seed, 600);
+        let before: Vec<ReplicaId> =
+            population.iter().map(|&k| ring.route(k).unwrap()).collect();
+        let newcomer = ReplicaId(n);
+        ring.add(newcomer);
+        for (&k, &owner) in population.iter().zip(&before) {
+            let now = ring.route(k).unwrap();
+            prop_assert!(
+                now == owner || now == newcomer,
+                "key {} moved between two surviving members ({:?} -> {:?})",
+                k, owner, now
+            );
+        }
+    }
+
+    /// With 64 vnodes, no member of an N-replica ring owns more than 3x its
+    /// fair share of 4096 pseudo-random keys (and every member owns some).
+    #[test]
+    fn ownership_is_near_uniform(
+        n in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let members: Vec<usize> = (0..n).collect();
+        let ring = ring_of(&members, 64);
+        let population = keys(seed, 4096);
+        let mut counts = vec![0usize; n];
+        for &k in &population {
+            counts[ring.route(k).unwrap().0] += 1;
+        }
+        let fair = population.len() / n;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "member {} owns no keys at 64 vnodes", i);
+            prop_assert!(
+                c <= 3 * fair,
+                "member {} owns {} of {} keys (fair share {})",
+                i, c, population.len(), fair
+            );
+        }
+    }
+
+    /// Routing ignores insertion order, and the candidate list is a
+    /// permutation of the membership led by the primary.
+    #[test]
+    fn routing_is_order_independent_and_candidates_cover_members(
+        n in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let forward: Vec<usize> = (0..n).collect();
+        let reverse: Vec<usize> = (0..n).rev().collect();
+        let a = ring_of(&forward, 32);
+        let b = ring_of(&reverse, 32);
+        for &k in keys(seed, 200).iter() {
+            prop_assert_eq!(a.route(k), b.route(k), "insertion order changed routing");
+            let cands = a.candidates(k);
+            prop_assert_eq!(cands.len(), n, "candidates miss a member");
+            prop_assert_eq!(Some(&cands[0]), a.route(k).as_ref(), "primary not first");
+            let mut sorted: Vec<usize> = cands.iter().map(|r| r.0).collect();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, forward.clone(), "candidates are not a permutation");
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! send/recv) are modeled as single atomic steps, so the schedules explored
 //! here are exactly the linearizations the real locks permit.
 //!
-//! Three models mirror the serving path:
+//! Four models mirror the serving path:
 //!
 //! * [`CacheModel`] — the intrusive doubly-linked LRU of
 //!   `mtmlf::cache::ShardedLruCache`, op for op (get with recency bump,
@@ -29,6 +29,13 @@
 //!   half-open state, a cooled-down open breaker always yields a probe
 //!   (no stuck-open), and no probe admission is left unresolved at the end
 //!   of any schedule (no lost half-open probe).
+//! * [`RouterModel`] — `mtmlf::cluster::ClusterService` routing: clients
+//!   dispatch to their key's primary replica and walk the candidate list on
+//!   transient failure while a killer thread kills and revives replicas —
+//!   including mid-flight, after dispatch but before the replica answers.
+//!   Invariants: every request gets exactly one reply (a success from a
+//!   live candidate or an explicit all-candidates-down error — never
+//!   silence), no double completion, and no schedule deadlocks.
 //!
 //! Deliberate-bug variants (gated behind test-only constructors) prove the
 //! checker actually catches lost replies, double completions, and
@@ -818,6 +825,226 @@ impl Interleave for BreakerModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Router model
+// ---------------------------------------------------------------------
+
+/// A reply as observed by a model cluster client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterReply {
+    /// Some candidate replica planned the request (which one).
+    Planned(usize),
+    /// Every candidate was down; the router surfaced an explicit error.
+    Unavailable,
+}
+
+/// One killer-thread action against the replica set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillerOp {
+    /// Mark a replica dead: new dispatches fail immediately and requests
+    /// already in flight come back as transient errors.
+    Kill(usize),
+    /// Bring a replica back; it serves again from the next dispatch.
+    Revive(usize),
+}
+
+/// Mirror of `mtmlf::cluster::ClusterService::plan` under replica churn.
+///
+/// Each client owns one request with a fixed key whose candidate order is
+/// the rotation `[key % n, (key+1) % n, ..]` — the shape `HashRing::
+/// candidates` guarantees (a permutation of the membership, primary
+/// first). An attempt is two atomic steps, matching the two points where
+/// the real router observes replica state: **dispatch** (the health /
+/// breaker check before `ReplicaNode::plan`) and **execute** (the
+/// replica's own alive check inside `plan`). A kill landing between the
+/// two is exactly the in-flight failure the failover walk must absorb.
+///
+/// Thread layout: `0..clients` = clients, `clients` = killer.
+#[derive(Debug, Clone)]
+pub struct RouterModel {
+    alive: Vec<bool>,
+    keys: Vec<usize>,
+    attempt: Vec<usize>,          // per client: index into its candidate list
+    in_flight: Vec<Option<usize>>, // per client: replica executing its request
+    client_pc: Vec<u8>,           // 0 = dispatch, 1 = execute, 2 = observe, 3 = done
+    replies: Vec<Option<RouterReply>>,
+    killer_script: Vec<KillerOp>,
+    killer_pc: usize,
+    // Deliberate-bug switches for checker self-tests.
+    bug_drop_in_flight: bool,
+    bug_reply_then_failover: bool,
+}
+
+impl RouterModel {
+    /// A correct model: one client per key over `replicas` replicas, plus a
+    /// killer thread running `script`.
+    pub fn new(replicas: usize, keys: Vec<usize>, script: Vec<KillerOp>) -> Self {
+        let n = keys.len();
+        Self {
+            alive: vec![true; replicas],
+            keys,
+            attempt: vec![0; n],
+            in_flight: vec![None; n],
+            client_pc: vec![0; n],
+            replies: vec![None; n],
+            killer_script: script,
+            killer_pc: 0,
+            bug_drop_in_flight: false,
+            bug_reply_then_failover: false,
+        }
+    }
+
+    /// Buggy variant: a request whose replica dies mid-flight is silently
+    /// dropped instead of failing over (must be caught as a deadlocked
+    /// client or a lost response).
+    pub fn with_dropped_in_flight(
+        replicas: usize,
+        keys: Vec<usize>,
+        script: Vec<KillerOp>,
+    ) -> Self {
+        Self {
+            bug_drop_in_flight: true,
+            ..Self::new(replicas, keys, script)
+        }
+    }
+
+    /// Buggy variant: a mid-flight failure is reported to the client as an
+    /// error *and* retried on the next candidate, which then replies again
+    /// (must be caught as a double completion).
+    pub fn with_reply_then_failover(
+        replicas: usize,
+        keys: Vec<usize>,
+        script: Vec<KillerOp>,
+    ) -> Self {
+        Self {
+            bug_reply_then_failover: true,
+            ..Self::new(replicas, keys, script)
+        }
+    }
+
+    fn replica_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn killer_idx(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The candidate walk for a key: primary first, then the ring
+    /// survivors, covering every member exactly once.
+    fn candidate(&self, key: usize, attempt: usize) -> usize {
+        (key + attempt) % self.replica_count()
+    }
+
+    fn deliver(&mut self, client: usize, reply: RouterReply) -> Result<(), String> {
+        if self.replies[client].is_some() {
+            return Err(format!("double completion: client {client} replied twice"));
+        }
+        self.replies[client] = Some(reply);
+        Ok(())
+    }
+}
+
+impl Interleave for RouterModel {
+    fn threads(&self) -> usize {
+        self.keys.len() + 1
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t < self.keys.len() {
+            self.client_pc[t] == 3
+        } else {
+            self.killer_pc >= self.killer_script.len()
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        if t < self.keys.len() {
+            match self.client_pc[t] {
+                0 | 1 => true,                      // dispatch / replica execution
+                2 => self.replies[t].is_some(),     // blocked on the reply channel
+                _ => false,
+            }
+        } else {
+            true // kill and revive never block
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if t == self.killer_idx() {
+            match self.killer_script[self.killer_pc] {
+                KillerOp::Kill(r) => self.alive[r] = false,
+                KillerOp::Revive(r) => self.alive[r] = true,
+            }
+            self.killer_pc += 1;
+            return Ok(());
+        }
+        match self.client_pc[t] {
+            0 => {
+                // Dispatch: the router's pre-flight health check.
+                if self.attempt[t] >= self.replica_count() {
+                    // Candidate list exhausted — the router answers with an
+                    // explicit error rather than hanging the client.
+                    self.deliver(t, RouterReply::Unavailable)?;
+                    self.client_pc[t] = 2;
+                } else {
+                    let r = self.candidate(self.keys[t], self.attempt[t]);
+                    if self.alive[r] {
+                        self.in_flight[t] = Some(r);
+                        self.client_pc[t] = 1;
+                    } else {
+                        // Immediate connect failure: walk to the next
+                        // candidate without consuming a reply.
+                        self.attempt[t] += 1;
+                    }
+                }
+                Ok(())
+            }
+            1 => {
+                // Execute: the replica answers — unless it was killed after
+                // dispatch, which surfaces as a transient error.
+                let r = self.in_flight[t]
+                    .take()
+                    .ok_or_else(|| format!("client {t} executing with no dispatch"))?;
+                if self.alive[r] {
+                    self.deliver(t, RouterReply::Planned(r))?;
+                    self.client_pc[t] = 2;
+                } else if self.bug_drop_in_flight {
+                    // Bug: the error is swallowed; the client waits forever.
+                    self.client_pc[t] = 2;
+                } else {
+                    if self.bug_reply_then_failover {
+                        // Bug: report the transient error as a final answer
+                        // but keep walking the candidates anyway.
+                        self.deliver(t, RouterReply::Unavailable)?;
+                    }
+                    self.attempt[t] += 1;
+                    self.client_pc[t] = 0;
+                }
+                Ok(())
+            }
+            2 => {
+                // Reply observed; consume it.
+                self.client_pc[t] = 3;
+                Ok(())
+            }
+            _ => Err(format!("client {t} stepped after completion")),
+        }
+    }
+
+    fn check_complete(&self) -> Result<(), String> {
+        for (i, r) in self.replies.iter().enumerate() {
+            if r.is_none() {
+                return Err(format!("lost response: client {i} never got a reply"));
+            }
+        }
+        if let Some(t) = self.in_flight.iter().position(Option::is_some) {
+            return Err(format!("client {t} finished with a request still in flight"));
+        }
+        Ok(())
+    }
+}
+
 /// The standard model suite run by `mtmlf-lint --check`: name, schedules
 /// explored, steps taken. Any violation aborts with its message.
 pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, String)> {
@@ -898,6 +1125,33 @@ pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, St
     match explore(&race, 2_000_000) {
         Ok(stats) => out.push(("breaker-probe-race", stats)),
         Err(v) => return Err(("breaker-probe-race".to_string(), v.to_string())),
+    }
+
+    // Replica churn: two clients on distinct primaries while the killer
+    // takes replica 0 down and brings it back. Schedules include kills
+    // landing mid-flight (after dispatch, before the replica answers), so
+    // the failover walk is exercised under every interleaving.
+    let churn = RouterModel::new(
+        2,
+        vec![0, 1],
+        vec![KillerOp::Kill(0), KillerOp::Revive(0)],
+    );
+    match explore(&churn, 20_000_000) {
+        Ok(stats) => out.push(("router-replica-churn", stats)),
+        Err(v) => return Err(("router-replica-churn".to_string(), v.to_string())),
+    }
+
+    // Total outage: both replicas die and only one comes back, so some
+    // schedules exhaust the candidate list — the router must answer with
+    // an explicit error, never silence.
+    let outage = RouterModel::new(
+        2,
+        vec![0, 1],
+        vec![KillerOp::Kill(0), KillerOp::Kill(1), KillerOp::Revive(1)],
+    );
+    match explore(&outage, 20_000_000) {
+        Ok(stats) => out.push(("router-total-outage", stats)),
+        Err(v) => return Err(("router-total-outage".to_string(), v.to_string())),
     }
 
     Ok(out)
@@ -1058,9 +1312,62 @@ mod tests {
     }
 
     #[test]
+    fn router_churn_model_has_exactly_one_reply_per_request() {
+        let model = RouterModel::new(
+            2,
+            vec![0, 1],
+            vec![KillerOp::Kill(0), KillerOp::Revive(0)],
+        );
+        let stats = explore(&model, 20_000_000).expect("no invariant failures");
+        assert!(
+            stats.schedules > 100,
+            "expected a real schedule space, got {}",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn router_total_outage_model_answers_every_client() {
+        let model = RouterModel::new(
+            2,
+            vec![0, 1],
+            vec![KillerOp::Kill(0), KillerOp::Kill(1), KillerOp::Revive(1)],
+        );
+        let stats = explore(&model, 20_000_000).expect("no invariant failures");
+        assert!(stats.schedules > 100);
+    }
+
+    #[test]
+    fn checker_catches_requests_dropped_mid_flight() {
+        let err = explore(
+            &RouterModel::with_dropped_in_flight(2, vec![0], vec![KillerOp::Kill(0)]),
+            2_000_000,
+        )
+        .expect_err("swallowed in-flight failure must be caught");
+        assert!(
+            err.message.contains("deadlock") || err.message.contains("lost response"),
+            "unexpected violation: {err}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_reply_then_failover_double_completion() {
+        let err = explore(
+            &RouterModel::with_reply_then_failover(
+                2,
+                vec![0],
+                vec![KillerOp::Kill(0), KillerOp::Revive(1)],
+            ),
+            2_000_000,
+        )
+        .expect_err("reply-then-failover must be caught");
+        assert!(err.message.contains("double completion"), "{err}");
+    }
+
+    #[test]
     fn model_suite_runs_clean() {
         let suite = run_model_suite().expect("suite clean");
-        assert_eq!(suite.len(), 6);
+        assert_eq!(suite.len(), 8);
         for (name, stats) in suite {
             assert!(stats.schedules > 0, "{name} explored nothing");
         }

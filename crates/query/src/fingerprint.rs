@@ -49,6 +49,13 @@ impl QueryFingerprint {
         }
     }
 
+    /// Reassembles a fingerprint from its raw halves. For replaying stored
+    /// or transmitted fingerprints (cluster gossip, tests); fingerprints of
+    /// live queries come from [`QueryFingerprint::of`].
+    pub fn from_parts(hi: u64, lo: u64) -> Self {
+        Self { hi, lo }
+    }
+
     /// The fingerprint as a single 128-bit integer.
     pub fn as_u128(self) -> u128 {
         (u128::from(self.hi) << 64) | u128::from(self.lo)
