@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn setup_db() -> (Database, Vec<Query>) {
-    let mut db = imdb_lite(1, ImdbScale { scale: 0.05 });
+    let mut db = imdb_lite(1, ImdbScale { scale: 0.05 }).unwrap();
     db.analyze_all(16, 8);
     let queries = generate_queries(
         &db,

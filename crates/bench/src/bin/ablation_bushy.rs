@@ -28,7 +28,7 @@ fn main() -> mtmlf::Result<()> {
     println!("# Ablation — learned bushy vs left-deep decoding");
     println!("# scale {scale}, {train_n} train / {test_n} test, seed {seed}");
 
-    let mut db = imdb_lite(seed, ImdbScale { scale });
+    let mut db = imdb_lite(seed, ImdbScale { scale }).expect("imdb_lite schema is static");
     db.analyze_all(24, 12);
     let wl = |count, s| {
         generate_queries(

@@ -59,7 +59,7 @@ fn main() -> mtmlf::Result<()> {
     println!("# Ablation — data drift and featurization refresh");
 
     // Version 1 of the database and the model trained on it.
-    let mut db_v1 = imdb_lite(seed, ImdbScale { scale });
+    let mut db_v1 = imdb_lite(seed, ImdbScale { scale }).expect("imdb_lite schema is static");
     db_v1.analyze_all(24, 12);
     let train = workload(&db_v1, train_n, seed ^ 0xD1)?;
     let config = MtmlfConfig {
@@ -72,7 +72,7 @@ fn main() -> mtmlf::Result<()> {
 
     // Drift: regenerate the database with a different seed — same schema,
     // different value distributions, popularity ranks, and string pools.
-    let mut db_v2 = imdb_lite(seed ^ 0xD21F7, ImdbScale { scale });
+    let mut db_v2 = imdb_lite(seed ^ 0xD21F7, ImdbScale { scale }).expect("imdb_lite schema is static");
     db_v2.analyze_all(24, 12);
     let test_v2 = workload(&db_v2, test_n, seed ^ 0xD2)?;
 

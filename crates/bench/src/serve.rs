@@ -45,7 +45,7 @@ pub fn build_with(
     seed: u64,
     max_query_tables: usize,
 ) -> mtmlf::Result<ServeExperiment> {
-    let mut db = imdb_lite(seed, ImdbScale { scale });
+    let mut db = imdb_lite(seed, ImdbScale { scale }).expect("imdb_lite schema is static");
     db.analyze_all(8, 4);
     let config = MtmlfConfig {
         max_query_tables,

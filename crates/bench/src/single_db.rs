@@ -60,7 +60,7 @@ pub struct SingleDbExperiment {
 impl SingleDbExperiment {
     /// Builds the database, both workloads, and all labels.
     pub fn build(setup: SingleDbSetup) -> mtmlf::Result<Self> {
-        let mut db = imdb_lite(setup.seed, ImdbScale { scale: setup.scale });
+        let mut db = imdb_lite(setup.seed, ImdbScale { scale: setup.scale }).expect("imdb_lite schema is static");
         db.analyze_all(24, 12);
         let wl = |count: usize, seed: u64| {
             WorkloadConfig {

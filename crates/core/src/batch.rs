@@ -190,7 +190,7 @@ mod tests {
     use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
 
     fn setup() -> (MtmlfQo, Vec<Query>) {
-        let mut db = imdb_lite(31, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(31, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let cfg = MtmlfConfig {
             enc_queries: 10,
@@ -234,7 +234,7 @@ mod tests {
         // widened so the packed forwards actually cross the blocked-kernel
         // engagement threshold.
         use mtmlf_nn::KernelConfig;
-        let mut db = imdb_lite(31, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(31, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let base = MtmlfConfig {
             d_model: 32,

@@ -290,7 +290,7 @@ mod tests {
     use mtmlf_storage::ColumnId;
 
     fn small_db() -> Database {
-        imdb_lite(1, ImdbScale { scale: 0.02 })
+        imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap()
     }
 
     #[test]

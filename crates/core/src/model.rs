@@ -376,7 +376,7 @@ mod tests {
     use mtmlf_optd::q_error;
 
     fn setup(count: usize) -> (Database, Vec<LabeledQuery>) {
-        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let queries = generate_queries(
             &db,
@@ -477,7 +477,7 @@ mod two_phase_tests {
 
     #[test]
     fn two_phase_training_runs_and_stays_finite() {
-        let mut db = imdb_lite(13, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(13, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let queries = generate_queries(
             &db,
@@ -522,7 +522,7 @@ mod costed_inference_tests {
 
     #[test]
     fn costed_order_legal_and_never_worse_under_own_cost_model() {
-        let mut db = imdb_lite(15, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(15, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let queries = generate_queries(
             &db,
@@ -574,7 +574,7 @@ mod advisor_tests {
 
     #[test]
     fn advisor_learns_access_path_selection() {
-        let mut db = imdb_lite(17, ImdbScale { scale: 0.03 });
+        let mut db = imdb_lite(17, ImdbScale { scale: 0.03 }).unwrap();
         db.analyze_all(16, 8);
         let queries = generate_queries(
             &db,

@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn weights_roundtrip_preserves_predictions() {
-        let mut db = imdb_lite(9, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(9, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let queries = generate_queries(
             &db,
@@ -215,7 +215,7 @@ mod tests {
     }
 
     fn tiny_model(seed: u64) -> (MtmlfQo, std::path::PathBuf) {
-        let mut db = imdb_lite(10, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(10, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let cfg = MtmlfConfig {
             enc_queries: 5,
@@ -231,7 +231,7 @@ mod tests {
 
     #[test]
     fn wrong_architecture_rejected() {
-        let mut db = imdb_lite(10, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(10, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let small = MtmlfConfig {
             enc_queries: 5,

@@ -161,7 +161,7 @@ mod tests {
         FeaturizationModule,
         MtmlfConfig,
     ) {
-        let db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        let db = imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap();
         let cfg = MtmlfConfig::tiny();
         let module = FeaturizationModule::untrained(&db, &cfg).unwrap();
         let queries = generate_queries(

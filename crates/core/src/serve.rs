@@ -1158,7 +1158,7 @@ mod tests {
     use mtmlf_storage::Database;
 
     fn setup() -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
-        let mut db = imdb_lite(41, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(41, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let cfg = MtmlfConfig {
             enc_queries: 10,

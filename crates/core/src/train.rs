@@ -326,7 +326,7 @@ mod tests {
         FeaturizationModule,
         MtmlfConfig,
     ) {
-        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let cfg = MtmlfConfig::tiny();
         let module = FeaturizationModule::untrained(&db, &cfg).unwrap();

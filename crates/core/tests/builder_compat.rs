@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn setup(max_query_tables: usize) -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
-    let mut db = imdb_lite(61, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(61, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let cfg = MtmlfConfig {
         enc_queries: 10,

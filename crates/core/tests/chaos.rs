@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn setup() -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
-    let mut db = imdb_lite(53, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(53, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let cfg = MtmlfConfig {
         enc_queries: 10,

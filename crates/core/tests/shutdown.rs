@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn setup() -> (Arc<MtmlfQo>, Vec<Query>) {
-    let mut db = imdb_lite(47, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(47, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let cfg = MtmlfConfig {
         enc_queries: 10,

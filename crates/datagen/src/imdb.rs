@@ -13,7 +13,9 @@
 
 use crate::distribution::ZipfSampler;
 use crate::text::compose_string;
-use mtmlf_storage::{Column, ColumnDef, ColumnType, Database, Table, TableId, TableSchema};
+use mtmlf_storage::{
+    Column, ColumnDef, ColumnType, Database, StorageError, Table, TableId, TableSchema,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,7 +38,7 @@ fn scaled(base: usize, s: f64) -> usize {
 }
 
 /// Builds the IMDB-shaped database. Deterministic in `seed`.
-pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
+pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Result<Database, StorageError> {
     let s = scale.scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new("imdb_lite");
@@ -98,10 +100,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(kinds),
                 Column::str_from_strings(&titles),
             ],
-        )
-        .expect("title schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
     let title_id = TableId(0);
 
     // --- name: people.
@@ -125,10 +125,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(genders),
                 Column::str_from_strings(&names),
             ],
-        )
-        .expect("name schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
     let name_id = TableId(1);
 
     // --- company_name: country skewed (most companies from few countries).
@@ -155,10 +153,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(countries),
                 Column::str_from_strings(&companies),
             ],
-        )
-        .expect("company_name schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
     let company_id = TableId(2);
 
     // --- keyword.
@@ -179,10 +175,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int((0..n_keyword as i64).collect()),
                 Column::str_from_strings(&keywords),
             ],
-        )
-        .expect("keyword schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
     let keyword_id = TableId(3);
 
     // Popularity skew: a few titles attract most satellite rows — this is
@@ -223,10 +217,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(ci_person),
                 Column::Int(ci_role),
             ],
-        )
-        .expect("cast_info schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
 
     // --- movie_info(movie_id, info_type, info): info strings share tokens
     // with the info_type (correlated string column).
@@ -258,10 +250,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(mi_type),
                 Column::str_from_strings(&mi_info),
             ],
-        )
-        .expect("movie_info schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
 
     // --- movie_companies(movie_id, company_id, company_type).
     let mut mc_movie = Vec::with_capacity(n_mc);
@@ -289,10 +279,8 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(mc_company),
                 Column::Int(mc_type),
             ],
-        )
-        .expect("movie_companies schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
 
     // --- movie_keyword(movie_id, keyword_id).
     let mut mk_movie = Vec::with_capacity(n_mk);
@@ -316,12 +304,10 @@ pub fn imdb_lite(seed: u64, scale: ImdbScale) -> Database {
                 Column::Int(mk_movie),
                 Column::Int(mk_keyword),
             ],
-        )
-        .expect("movie_keyword schema consistent"),
-    )
-    .expect("fresh database");
+        )?,
+    )?;
 
-    db
+    Ok(db)
 }
 
 #[cfg(test)]
@@ -330,7 +316,7 @@ mod tests {
 
     #[test]
     fn eight_tables_with_hub() {
-        let db = imdb_lite(1, ImdbScale { scale: 0.05 });
+        let db = imdb_lite(1, ImdbScale { scale: 0.05 }).unwrap();
         assert_eq!(db.table_count(), 8);
         assert!(db.table_by_name("title").is_ok());
         assert!(db.table_by_name("cast_info").is_ok());
@@ -346,7 +332,7 @@ mod tests {
 
     #[test]
     fn foreign_keys_in_range() {
-        let db = imdb_lite(2, ImdbScale { scale: 0.05 });
+        let db = imdb_lite(2, ImdbScale { scale: 0.05 }).unwrap();
         for e in db.join_edges().iter().filter(|e| e.pk_fk) {
             let fk = db
                 .table(e.from)
@@ -362,7 +348,7 @@ mod tests {
 
     #[test]
     fn year_kind_correlation() {
-        let db = imdb_lite(3, ImdbScale { scale: 0.1 });
+        let db = imdb_lite(3, ImdbScale { scale: 0.1 }).unwrap();
         let title = db.table_by_name("title").unwrap();
         let years = title
             .column_by_name("production_year")
@@ -385,7 +371,7 @@ mod tests {
 
     #[test]
     fn popularity_skew() {
-        let db = imdb_lite(4, ImdbScale { scale: 0.1 });
+        let db = imdb_lite(4, ImdbScale { scale: 0.1 }).unwrap();
         let ci = db.table_by_name("cast_info").unwrap();
         let movie_ids = ci.column_by_name("movie_id").unwrap().as_int().unwrap();
         let n_title = db.table_by_name("title").unwrap().rows();
@@ -403,8 +389,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = imdb_lite(5, ImdbScale { scale: 0.05 });
-        let b = imdb_lite(5, ImdbScale { scale: 0.05 });
+        let a = imdb_lite(5, ImdbScale { scale: 0.05 }).unwrap();
+        let b = imdb_lite(5, ImdbScale { scale: 0.05 }).unwrap();
         let ta = a.table_by_name("title").unwrap();
         let tb = b.table_by_name("title").unwrap();
         assert_eq!(

@@ -153,10 +153,10 @@ pub fn label_workload(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("labeller thread panicked"))
+            .map(|h| h.join().unwrap_or(Err(OptError::WorkerPanicked)))
             .collect()
     })
-    .expect("crossbeam scope");
+    .unwrap_or_else(|_| vec![Err(OptError::WorkerPanicked)]);
     let mut out = Vec::with_capacity(queries.len());
     for r in results {
         out.extend(r?);
@@ -171,7 +171,7 @@ mod tests {
     use crate::workload::{generate_queries, WorkloadConfig};
 
     fn setup() -> (Database, Vec<Query>) {
-        let mut db = imdb_lite(1, ImdbScale { scale: 0.03 });
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.03 }).unwrap();
         db.analyze_all(16, 8);
         let cfg = WorkloadConfig {
             count: 12,
@@ -284,7 +284,7 @@ mod bushy_tests {
 
     #[test]
     fn bushy_labels_present_and_legal_when_requested() {
-        let mut db = imdb_lite(2, ImdbScale { scale: 0.03 });
+        let mut db = imdb_lite(2, ImdbScale { scale: 0.03 }).unwrap();
         db.analyze_all(16, 8);
         let qs = generate_queries(
             &db,

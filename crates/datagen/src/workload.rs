@@ -382,7 +382,7 @@ mod tests {
     use crate::imdb::{imdb_lite, ImdbScale};
 
     fn small_db() -> Database {
-        imdb_lite(1, ImdbScale { scale: 0.03 })
+        imdb_lite(1, ImdbScale { scale: 0.03 }).unwrap()
     }
 
     #[test]

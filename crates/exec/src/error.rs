@@ -34,6 +34,11 @@ pub enum ExecError {
         /// The configured limit.
         limit: usize,
     },
+    /// An executor-internal bookkeeping invariant failed (e.g. an expected
+    /// DP table entry or cost observation was missing). Indicates a bug in
+    /// the executor itself, surfaced as an error instead of a panic so a
+    /// serving process degrades to its fallback planner.
+    Internal(&'static str),
 }
 
 impl fmt::Display for ExecError {
@@ -52,6 +57,7 @@ impl fmt::Display for ExecError {
             Self::RowLimitExceeded { limit } => {
                 write!(f, "intermediate result exceeded the row limit of {limit}")
             }
+            Self::Internal(what) => write!(f, "executor invariant violated: {what}"),
         }
     }
 }

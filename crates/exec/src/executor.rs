@@ -132,9 +132,15 @@ impl<'a> Executor<'a> {
             }
             PlanNode::Join { op, left, right } => {
                 let l = self.eval(query, left, tracker, nodes)?;
-                let l_cost = nodes.last().expect("left observation pushed").subplan_cost;
+                let l_cost = nodes
+                    .last()
+                    .ok_or(ExecError::Internal("left child pushed no observation"))?
+                    .subplan_cost;
                 let r = self.eval(query, right, tracker, nodes)?;
-                let r_cost = nodes.last().expect("right observation pushed").subplan_cost;
+                let r_cost = nodes
+                    .last()
+                    .ok_or(ExecError::Internal("right child pushed no observation"))?
+                    .subplan_cost;
                 let predicates = connecting_predicates(query, l.tables(), r.tables());
                 if predicates.is_empty() {
                     return Err(ExecError::NoJoinPredicate {
@@ -198,8 +204,12 @@ impl<'a> Executor<'a> {
                         bits &= bits - 1;
                         let rest = s & !(1u64 << v);
                         if graph.subset_connected(rest) && graph.frontier(rest) & (1 << v) != 0 {
-                            let left = relations.get(&rest).expect("smaller subsets built");
-                            let right = relations.get(&(1u64 << v)).expect("singleton built");
+                            let left = relations
+                                .get(&rest)
+                                .ok_or(ExecError::Internal("smaller subsets built"))?;
+                            let right = relations
+                                .get(&(1u64 << v))
+                                .ok_or(ExecError::Internal("singleton built"))?;
                             let preds = connecting_predicates(query, left.tables(), right.tables());
                             debug_assert!(!preds.is_empty());
                             let out =

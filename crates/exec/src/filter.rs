@@ -92,12 +92,13 @@ fn eval_cmp(
                     _ => {
                         let boundary =
                             dict.iter().take_while(|(_, w)| *w < s.as_ref()).count() as u32;
+                        let lt = matches!(op, CmpOp::Lt | CmpOp::Le);
                         Ok(scan_rows(codes.len(), candidates, |r| {
                             let c = codes[r];
-                            match op {
-                                CmpOp::Lt | CmpOp::Le => c < boundary,
-                                CmpOp::Gt | CmpOp::Ge => c >= boundary,
-                                CmpOp::Eq | CmpOp::Neq => unreachable!("handled above"),
+                            if lt {
+                                c < boundary
+                            } else {
+                                c >= boundary
                             }
                         }))
                     }

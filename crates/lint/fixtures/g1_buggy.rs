@@ -1,0 +1,26 @@
+//! Lint fixture (buggy, G1): two functions acquire the same pair of locks
+//! in opposite orders. Running `ab` and `ba` concurrently can deadlock:
+//! each thread holds one lock and waits forever for the other.
+//!
+//! Fed to the analyzer under a synthetic `crates/core/src/` path by
+//! `crates/lint/tests/fixtures.rs`; never compiled into the workspace.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *ga - *gb
+    }
+}

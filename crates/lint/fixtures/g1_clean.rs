@@ -1,0 +1,23 @@
+//! Lint fixture (clean, G1): the same pair of locks as `g1_buggy.rs`, but
+//! every function acquires them in the same global order (`a` before `b`),
+//! so the lock-acquisition graph is acyclic and no deadlock is possible.
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn diff(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga - *gb
+    }
+}

@@ -1,0 +1,20 @@
+//! Lint fixture (buggy, G2): a blocking `recv()` runs while a mutex guard
+//! is live. If the sender needs the same lock to make progress, the system
+//! deadlocks; even when it does not, the lock is held for an unbounded time.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Inbox {
+    state: Mutex<u64>,
+    rx: Receiver<u64>,
+}
+
+impl Inbox {
+    pub fn drain_locked(&self) -> u64 {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while let Ok(v) = self.rx.recv() {
+            *g += v;
+        }
+        *g
+    }
+}

@@ -1,0 +1,24 @@
+//! Lint fixture (clean, G2): the guard is scoped to a block and dropped
+//! before the blocking `recv()` loop starts, so no lock is held across a
+//! blocking call.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Inbox {
+    state: Mutex<u64>,
+    rx: Receiver<u64>,
+}
+
+impl Inbox {
+    pub fn drain_unlocked(&self) -> u64 {
+        let start = {
+            let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            *g
+        };
+        let mut acc = start;
+        while let Ok(v) = self.rx.recv() {
+            acc += v;
+        }
+        acc
+    }
+}

@@ -1,0 +1,9 @@
+//! Lint fixture (buggy, L5): a function marked `lint: hot-path` allocates a
+//! fresh `Vec` on every call via `collect()`, defeating the zero-allocation
+//! contract of the hot region.
+
+// lint: hot-path
+pub fn sum_squares(xs: &[f64]) -> f64 {
+    let squares: Vec<f64> = xs.iter().map(|x| x * x).collect();
+    squares.iter().sum()
+}

@@ -1,0 +1,16 @@
+//! Lint fixture (clean, L5): the same hot-path computation written as a
+//! streaming fold — no heap allocation, so the `lint: hot-path` marker is
+//! satisfied. A second unmarked function may allocate freely.
+
+// lint: hot-path
+pub fn sum_squares(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x * x;
+    }
+    acc
+}
+
+pub fn collect_squares(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| x * x).collect()
+}

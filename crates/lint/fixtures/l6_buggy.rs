@@ -1,0 +1,17 @@
+//! Lint fixture (buggy, L6): an unbounded channel constructed in a file
+//! outside the reviewed allowlist. A slow consumer lets the queue grow
+//! without backpressure until memory is exhausted.
+use std::sync::mpsc;
+use std::thread;
+
+pub fn start() -> mpsc::Sender<u64> {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let mut acc = 0u64;
+        while let Ok(v) = rx.recv() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+    tx
+}

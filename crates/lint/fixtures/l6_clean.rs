@@ -1,0 +1,17 @@
+//! Lint fixture (clean, L6): a bounded channel — producers block (apply
+//! backpressure) once the queue holds 64 in-flight items, so queue depth
+//! cannot grow without bound.
+use std::sync::mpsc;
+use std::thread;
+
+pub fn start() -> mpsc::SyncSender<u64> {
+    let (tx, rx) = mpsc::sync_channel(64);
+    thread::spawn(move || {
+        let mut acc = 0u64;
+        while let Ok(v) = rx.recv() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+    tx
+}

@@ -1,0 +1,744 @@
+//! Whole-program concurrency passes over the [`crate::ir`] view.
+//!
+//! | rule | name                | invariant |
+//! |------|---------------------|-----------|
+//! | G1   | `lock-cycle`        | the global lock-acquisition graph (edge `A → B` when `B` is acquired while a guard on `A` is live, interprocedurally to [`CALL_DEPTH`]) is acyclic, and no lock is re-acquired while already held |
+//! | G2   | `block-under-guard` | no blocking operation (`recv` / `recv_timeout` / no-arg `join` / `sleep` / `send` on a known-bounded channel) while any lock guard is live, interprocedurally to [`CALL_DEPTH`] |
+//! | L5   | `hot-path`          | functions marked `// lint: hot-path` perform no heap allocation (`Vec::new`, `Box::new`, `.clone()`, `.to_vec()`, `vec!`, …) |
+//! | L6   | `unbounded-channel` | no unbounded-channel construction outside [`UNBOUNDED_ALLOWLIST`] |
+//!
+//! Soundness trade-offs (full discussion in DESIGN.md §13):
+//!
+//! * Call edges resolve by *bare name* against every workspace function of
+//!   that name — an over-approximation. Method calls whose names are too
+//!   generic to resolve meaningfully (`get`, `insert`, `new`, …) are
+//!   excluded from interprocedural propagation ([`METHOD_BLOCKLIST`]), an
+//!   under-approximation in the other direction; direct (same-function)
+//!   acquisitions are always seen.
+//! * Lock identity unifies by field name across types (`self.cache` in two
+//!   different structs is one graph node). This can manufacture cycles
+//!   that no single runtime object participates in; the escape hatch and
+//!   per-rule baseline absorb deliberate cases.
+//! * `send` is only considered blocking when the sender variable was bound
+//!   from a bounded-channel constructor in the same file. Senders passed
+//!   across functions are not tracked (under-approximation).
+//! * L5 checks direct allocations only; a hot function calling a cold
+//!   allocating helper is not flagged.
+
+use crate::ir::{CallSite, EventKind, FileIr};
+use crate::rules::{Allowed, Violation};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Maximum interprocedural propagation depth for G1/G2 (direct = depth 0).
+pub const CALL_DEPTH: usize = 3;
+
+/// Callee names too generic to resolve by bare name (see module docs).
+/// Applies to method *and* path calls: `Foo::new` or `PlanId::from`
+/// resolving to every workspace `new`/`from` drowns real findings.
+/// `send`/`recv`-family names are here because channel blocking is modeled
+/// as direct [`EventKind`]s, not through call resolution.
+pub const CALL_BLOCKLIST: &[&str] = &[
+    "new", "default", "clone", "next", "iter", "into_iter", "get", "insert",
+    "remove", "len", "is_empty", "push", "pop", "clear", "extend", "drain",
+    "contains", "contains_key", "entry", "or_default", "or_insert", "map",
+    "and_then", "unwrap_or", "unwrap_or_else", "expect", "unwrap", "fmt",
+    "eq", "cmp", "hash", "from", "into", "as_ref", "as_mut", "to_vec",
+    "to_string", "write_str", "index", "min", "max", "abs", "get_or_init",
+    "send", "recv", "try_send", "try_recv", "recv_timeout", "drop", "run",
+    "spawn", "join", "sleep", "write", "read", "lock", "value", "build",
+    "with", "call", "apply", "update", "add", "sub", "mul", "div", "scale",
+];
+
+/// Files permitted to construct unbounded channels, with the reason.
+/// Everything else needs `// lint: allow(unbounded-channel)` or a fix.
+pub const UNBOUNDED_ALLOWLIST: &[(&str, &str)] = &[(
+    "crates/nn/src/kernel.rs",
+    "global GEMM job queue: outstanding jobs are bounded by the chunk count \
+     of in-flight matmuls, and the submitting thread steals work from the \
+     same queue, so depth cannot grow unboundedly",
+)];
+
+/// Where a transitively-reached fact came from, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Provenance {
+    /// Hop count (0 = in this function).
+    depth: usize,
+    /// Human-readable chain, e.g. "via `flush` → acquired in `push_msg` (file:12)".
+    desc: String,
+}
+
+/// One fn flattened into the global index.
+struct FnEntry<'a> {
+    file: &'a str,
+    f: &'a crate::ir::FnIr,
+    bounded: &'a HashSet<String>,
+}
+
+/// Lock-acquisition and blocking-operation summaries per function,
+/// propagated [`CALL_DEPTH`] hops along the (name-resolved) call graph.
+struct Summaries {
+    /// fn idx → lock name → provenance of the shallowest acquisition.
+    locks: Vec<BTreeMap<String, Provenance>>,
+    /// fn idx → blocking-op label → provenance.
+    blocking: Vec<BTreeMap<String, Provenance>>,
+}
+
+/// Candidate fns for a call site. When the calling file itself defines a
+/// fn of that name, resolution is restricted to those — the local
+/// definition is almost always the intended target, and cross-file
+/// same-name matches are the main false-positive source.
+fn resolvable(
+    call: &CallSite,
+    caller: usize,
+    fns: &[FnEntry<'_>],
+    index: &HashMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    if CALL_BLOCKLIST.contains(&call.callee.as_str()) {
+        return Vec::new();
+    }
+    let all = match index.get(call.callee.as_str()) {
+        Some(all) => all,
+        None => return Vec::new(),
+    };
+    // The caller itself never adds facts (its direct events are already in
+    // its own summary), and a same-name method on another type (e.g.
+    // `Matrix::matmul` called inside `Var::matmul`) must not be shadowed
+    // by it.
+    let others: Vec<usize> = all.iter().copied().filter(|&i| i != caller).collect();
+    let local: Vec<usize> = others
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].file == fns[caller].file)
+        .collect();
+    if local.is_empty() {
+        others
+    } else {
+        local
+    }
+}
+
+fn blocking_label(kind: &EventKind, bounded: &HashSet<String>) -> Option<String> {
+    match kind {
+        EventKind::Recv => Some("recv()".to_string()),
+        EventKind::RecvTimeout => Some("recv_timeout()".to_string()),
+        EventKind::Join => Some("join()".to_string()),
+        EventKind::Sleep => Some("sleep()".to_string()),
+        EventKind::Send { sender } if bounded.contains(sender) => {
+            Some(format!("send() on bounded channel `{sender}`"))
+        }
+        _ => None,
+    }
+}
+
+fn build_summaries(fns: &[FnEntry<'_>], index: &HashMap<&str, Vec<usize>>) -> Summaries {
+    let guard_fns: HashSet<&str> = fns
+        .iter()
+        .filter(|e| e.f.returns_guard)
+        .map(|e| e.f.name.as_str())
+        .collect();
+
+    // Depth 0: direct facts.
+    let mut locks: Vec<BTreeMap<String, Provenance>> = Vec::with_capacity(fns.len());
+    let mut blocking: Vec<BTreeMap<String, Provenance>> = Vec::with_capacity(fns.len());
+    for e in fns {
+        let mut l = BTreeMap::new();
+        let mut b = BTreeMap::new();
+        for ev in &e.f.events {
+            if let EventKind::LockAcquire { lock, .. } = &ev.kind {
+                l.entry(lock.clone()).or_insert(Provenance {
+                    depth: 0,
+                    desc: format!("acquired in `{}` ({}:{})", e.f.name, e.file, ev.line),
+                });
+            }
+            if let Some(label) = blocking_label(&ev.kind, e.bounded) {
+                b.entry(label.clone()).or_insert(Provenance {
+                    depth: 0,
+                    desc: format!("`{label}` in `{}` ({}:{})", e.f.name, e.file, ev.line),
+                });
+            }
+        }
+        // A call to a guard-returning wrapper is itself an acquisition.
+        for c in &e.f.calls {
+            if guard_fns.contains(c.callee.as_str()) {
+                if let Some(lock) = &c.arg_lock {
+                    l.entry(lock.clone()).or_insert(Provenance {
+                        depth: 0,
+                        desc: format!(
+                            "acquired via `{}` in `{}` ({}:{})",
+                            c.callee, e.f.name, e.file, c.line
+                        ),
+                    });
+                }
+            }
+        }
+        locks.push(l);
+        blocking.push(b);
+    }
+
+    // Propagate along call edges, CALL_DEPTH hops.
+    for _ in 0..CALL_DEPTH {
+        let mut next_locks = locks.clone();
+        let mut next_blocking = blocking.clone();
+        for (i, e) in fns.iter().enumerate() {
+            for c in &e.f.calls {
+                for callee in resolvable(c, i, fns, index) {
+                    for (lock, prov) in &locks[callee] {
+                        if prov.depth + 1 > CALL_DEPTH {
+                            continue;
+                        }
+                        let cand = Provenance {
+                            depth: prov.depth + 1,
+                            desc: format!(
+                                "via `{}` ({}:{}): {}",
+                                c.callee, e.file, c.line, prov.desc
+                            ),
+                        };
+                        let slot = next_locks[i].entry(lock.clone()).or_insert(cand.clone());
+                        if cand.depth < slot.depth {
+                            *slot = cand;
+                        }
+                    }
+                    for (label, prov) in &blocking[callee] {
+                        if prov.depth + 1 > CALL_DEPTH {
+                            continue;
+                        }
+                        let cand = Provenance {
+                            depth: prov.depth + 1,
+                            desc: format!(
+                                "via `{}` ({}:{}): {}",
+                                c.callee, e.file, c.line, prov.desc
+                            ),
+                        };
+                        let slot = next_blocking[i]
+                            .entry(label.clone())
+                            .or_insert(cand.clone());
+                        if cand.depth < slot.depth {
+                            *slot = cand;
+                        }
+                    }
+                }
+            }
+        }
+        locks = next_locks;
+        blocking = next_blocking;
+    }
+    Summaries { locks, blocking }
+}
+
+/// A lock-order edge with its first witness.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    desc: String,
+}
+
+/// Runs G1/G2/L5/L6 over the extracted IRs. `is_allowed(file, line, rule)`
+/// consults the per-file escape-hatch directives. Findings land in
+/// `violations` (or `allowed` when escaped / allowlisted); the caller
+/// routes bench-crate findings to the advisory section.
+pub fn check_concurrency(
+    irs: &[FileIr],
+    is_allowed: &dyn Fn(&str, u32, &str) -> bool,
+    violations: &mut Vec<Violation>,
+    allowed: &mut Vec<Allowed>,
+) {
+    // Flatten fns and build the name index.
+    let mut fns: Vec<FnEntry<'_>> = Vec::new();
+    for ir in irs {
+        for f in &ir.fns {
+            fns.push(FnEntry {
+                file: &ir.file,
+                f,
+                bounded: &ir.bounded_senders,
+            });
+        }
+    }
+    let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, e) in fns.iter().enumerate() {
+        index.entry(e.f.name.as_str()).or_default().push(i);
+    }
+    let guard_fns: HashSet<&str> = fns
+        .iter()
+        .filter(|e| e.f.returns_guard)
+        .map(|e| e.f.name.as_str())
+        .collect();
+    let summaries = build_summaries(&fns, &index);
+
+    let push = |violations: &mut Vec<Violation>,
+                    allowed: &mut Vec<Allowed>,
+                    rule: &'static str,
+                    rule_name: &str,
+                    file: &str,
+                    line: u32,
+                    message: String| {
+        let v = Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        };
+        if is_allowed(file, line, rule_name) {
+            allowed.push(v);
+        } else {
+            violations.push(v);
+        }
+    };
+
+    // ---- gather guard live ranges and scan them (G1 edges + G2) -------
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    // One interprocedural G2 per (file, call line, lock): a call can reach
+    // several blocking ops through several candidate callees, but the
+    // actionable unit is the call site itself.
+    let mut g2_seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for (ei, e) in fns.iter().enumerate() {
+        // Guard sites: direct acquisitions + guard-returning wrapper calls.
+        let mut guard_sites: Vec<(String, usize, usize, u32, bool)> = Vec::new(); // (lock, start, until, line, bound)
+        for ev in &e.f.events {
+            if let EventKind::LockAcquire { lock, until, bound } = &ev.kind {
+                guard_sites.push((lock.clone(), ev.tok, *until, ev.line, *bound));
+            }
+        }
+        for c in &e.f.calls {
+            if guard_fns.contains(c.callee.as_str()) {
+                if let Some(lock) = &c.arg_lock {
+                    guard_sites.push((lock.clone(), c.tok, c.until, c.line, true));
+                }
+            }
+        }
+
+        for (lock, start, until, gline, bound) in &guard_sites {
+            // Direct acquisitions inside the live range.
+            for ev in &e.f.events {
+                if ev.tok <= *start || ev.tok >= *until {
+                    continue;
+                }
+                match &ev.kind {
+                    EventKind::LockAcquire { lock: inner, .. } => {
+                        if inner == lock {
+                            if *bound {
+                                push(
+                                    violations,
+                                    allowed,
+                                    "G1",
+                                    "lock-cycle",
+                                    e.file,
+                                    ev.line,
+                                    format!(
+                                        "lock `{lock}` re-acquired while the guard taken on \
+                                         line {gline} is still live (std locks are not \
+                                         reentrant; this self-deadlocks)"
+                                    ),
+                                );
+                            }
+                        } else {
+                            edges
+                                .entry((lock.clone(), inner.clone()))
+                                .or_insert_with(|| Edge {
+                                    from: lock.clone(),
+                                    to: inner.clone(),
+                                    file: e.file.to_string(),
+                                    line: ev.line,
+                                    desc: format!(
+                                        "`{inner}` acquired on line {} of `{}` while the \
+                                         guard on `{lock}` (line {gline}) is live",
+                                        ev.line, e.f.name
+                                    ),
+                                });
+                        }
+                    }
+                    kind => {
+                        // G2: direct blocking op under guard.
+                        if let Some(label) = blocking_label(kind, e.bounded) {
+                            push(
+                                violations,
+                                allowed,
+                                "G2",
+                                "block-under-guard",
+                                e.file,
+                                ev.line,
+                                format!(
+                                    "blocking `{label}` while the guard on `{lock}` \
+                                     (line {gline}) is live; release the guard before \
+                                     blocking or use a try_/deadline variant"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // Calls inside the live range: pull callee summaries.
+            for c in &e.f.calls {
+                if c.tok <= *start || c.tok >= *until {
+                    continue;
+                }
+                // Wrapper-call acquisitions are already guard sites; still
+                // record the ordering edge from the outer lock.
+                if guard_fns.contains(c.callee.as_str()) {
+                    if let Some(inner) = &c.arg_lock {
+                        if inner != lock {
+                            edges
+                                .entry((lock.clone(), inner.clone()))
+                                .or_insert_with(|| Edge {
+                                    from: lock.clone(),
+                                    to: inner.clone(),
+                                    file: e.file.to_string(),
+                                    line: c.line,
+                                    desc: format!(
+                                        "`{inner}` acquired via `{}` on line {} while the \
+                                         guard on `{lock}` (line {gline}) is live",
+                                        c.callee, c.line
+                                    ),
+                                });
+                        }
+                    }
+                }
+                for callee in resolvable(c, ei, &fns, &index) {
+                    for (inner, prov) in &summaries.locks[callee] {
+                        if inner == lock {
+                            continue; // re-entry through calls is too
+                                      // imprecise to report (same-name
+                                      // unification would dominate)
+                        }
+                        edges
+                            .entry((lock.clone(), inner.clone()))
+                            .or_insert_with(|| Edge {
+                                from: lock.clone(),
+                                to: inner.clone(),
+                                file: e.file.to_string(),
+                                line: c.line,
+                                desc: format!(
+                                    "call to `{}` on line {} can acquire `{inner}` \
+                                     ({}) while the guard on `{lock}` (line {gline}) \
+                                     is live",
+                                    c.callee, c.line, prov.desc
+                                ),
+                            });
+                    }
+                    for (_label, prov) in &summaries.blocking[callee] {
+                        if !g2_seen.insert((e.file.to_string(), c.line, lock.clone())) {
+                            continue;
+                        }
+                        push(
+                            violations,
+                            allowed,
+                            "G2",
+                            "block-under-guard",
+                            e.file,
+                            c.line,
+                            format!(
+                                "call to `{}` can block ({}) while the guard on \
+                                 `{lock}` (line {gline}) is live",
+                                c.callee, prov.desc
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- L5: hot-path allocations --------------------------------
+        if e.f.hot {
+            for ev in &e.f.events {
+                if let EventKind::Alloc { what } = &ev.kind {
+                    push(
+                        violations,
+                        allowed,
+                        "L5",
+                        "hot-path",
+                        e.file,
+                        ev.line,
+                        format!(
+                            "`{what}` allocates inside hot-path function `{}`; use a \
+                             preallocated buffer or arena (escape hatch: \
+                             `// lint: allow(hot-path)`)",
+                            e.f.name
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ---- L6: unbounded channels ----------------------------------
+        for ev in &e.f.events {
+            if matches!(ev.kind, EventKind::ChannelUnbounded) {
+                let allowlisted = UNBOUNDED_ALLOWLIST
+                    .iter()
+                    .find(|(file, _)| *file == e.file);
+                let v = Violation {
+                    rule: "L6",
+                    file: e.file.to_string(),
+                    line: ev.line,
+                    message: match allowlisted {
+                        Some((_, reason)) => format!(
+                            "unbounded channel in allowlisted file (`{}`): {reason}",
+                            e.file
+                        ),
+                        None => format!(
+                            "unbounded channel constructed in `{}`; use a bounded \
+                             channel for backpressure or add the file to the L6 \
+                             allowlist with a justification",
+                            e.f.name
+                        ),
+                    },
+                };
+                if allowlisted.is_some() || is_allowed(e.file, ev.line, "unbounded-channel") {
+                    allowed.push(v);
+                } else {
+                    violations.push(v);
+                }
+            }
+        }
+    }
+
+    // ---- G1: cycles in the lock graph ---------------------------------
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().insert(to.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for edge in edges.values() {
+        if reaches(&edge.to, &edge.from) {
+            push(
+                violations,
+                allowed,
+                "G1",
+                "lock-cycle",
+                &edge.file,
+                edge.line,
+                format!(
+                    "lock-order cycle: edge `{}` → `{}` closes a cycle back to \
+                     `{}` ({}); pick one global order for these locks",
+                    edge.from, edge.to, edge.from, edge.desc
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::extract;
+    use crate::lexer::lex;
+    use crate::rules::{test_mask, FileScope};
+
+    fn run(files: &[(&str, &str)]) -> (Vec<Violation>, Vec<Allowed>) {
+        let mut irs = Vec::new();
+        let mut lexed_by_file = std::collections::HashMap::new();
+        for (path, src) in files {
+            let lexed = lex(src);
+            let mask = test_mask(&lexed.toks);
+            irs.push(extract(path, &FileScope::of(path), &lexed, &mask));
+            lexed_by_file.insert(path.to_string(), lexed);
+        }
+        let is_allowed = |file: &str, line: u32, rule: &str| {
+            lexed_by_file
+                .get(file)
+                .is_some_and(|l| l.is_allowed(line, rule))
+        };
+        let (mut v, mut a) = (Vec::new(), Vec::new());
+        check_concurrency(&irs, &is_allowed, &mut v, &mut a);
+        (v, a)
+    }
+
+    #[test]
+    fn g1_two_file_cycle_is_detected() {
+        let a = r#"
+            fn forward(&self) {
+                let g = self.tape.lock().unwrap();
+                let c = self.cache.lock().unwrap();
+            }
+        "#;
+        let b = r#"
+            fn evict(&self) {
+                let c = self.cache.lock().unwrap();
+                let g = self.tape.lock().unwrap();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", a), ("crates/core/src/b.rs", b)]);
+        let g1: Vec<_> = v.iter().filter(|v| v.rule == "G1").collect();
+        assert_eq!(g1.len(), 2, "both edges of the cycle: {v:?}");
+    }
+
+    #[test]
+    fn g1_consistent_order_is_clean() {
+        let a = r#"
+            fn one(&self) {
+                let g = self.tape.lock().unwrap();
+                let c = self.cache.lock().unwrap();
+            }
+            fn two(&self) {
+                let g = self.tape.lock().unwrap();
+                let c = self.cache.lock().unwrap();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", a)]);
+        assert!(v.iter().all(|v| v.rule != "G1"), "{v:?}");
+    }
+
+    #[test]
+    fn g1_interprocedural_cycle_through_helper() {
+        let a = r#"
+            fn outer(&self) {
+                let g = self.tape.lock().unwrap();
+                self.helper_locks_cache();
+            }
+            fn helper_locks_cache(&self) {
+                let c = self.cache.lock().unwrap();
+            }
+            fn reverse(&self) {
+                let c = self.cache.lock().unwrap();
+                let g = self.tape.lock().unwrap();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", a)]);
+        assert!(
+            v.iter().any(|v| v.rule == "G1" && v.message.contains("helper_locks_cache")
+                || v.rule == "G1"),
+            "cycle through the helper call must be found: {v:?}"
+        );
+        assert!(v.iter().filter(|v| v.rule == "G1").count() >= 2);
+    }
+
+    #[test]
+    fn g1_self_reacquire_is_flagged() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.state.lock().unwrap();
+                let h = self.state.lock().unwrap();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(
+            v.iter().any(|v| v.rule == "G1" && v.message.contains("re-acquired")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn g2_recv_under_guard() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.peers.lock().unwrap();
+                let msg = self.rx.recv();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(v.iter().any(|v| v.rule == "G2"), "{v:?}");
+    }
+
+    #[test]
+    fn g2_recv_after_guard_scope_is_clean() {
+        let src = r#"
+            fn f(&self) {
+                {
+                    let g = self.peers.lock().unwrap();
+                }
+                let msg = self.rx.recv();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(v.iter().all(|v| v.rule != "G2"), "{v:?}");
+    }
+
+    #[test]
+    fn g2_bounded_send_under_guard_and_unbounded_send_clean() {
+        let src = r#"
+            fn f(&self) {
+                let (tx, rx) = bounded(1);
+                let g = self.peers.lock().unwrap();
+                tx.send(1);
+            }
+            fn ok(&self, utx: &Sender<u8>) {
+                let g = self.peers.lock().unwrap();
+                utx.send(1);
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        let g2: Vec<_> = v.iter().filter(|v| v.rule == "G2").collect();
+        assert_eq!(g2.len(), 1, "only the known-bounded send blocks: {v:?}");
+    }
+
+    #[test]
+    fn g2_interprocedural_blocking_callee() {
+        let src = r#"
+            fn waits(&self) {
+                let x = self.rx.recv();
+            }
+            fn f(&self) {
+                let g = self.peers.lock().unwrap();
+                self.waits();
+            }
+        "#;
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(
+            v.iter().any(|v| v.rule == "G2" && v.message.contains("waits")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn g2_escape_hatch_reclassifies() {
+        let src = "fn f(&self) {\n let g = self.m.lock().unwrap();\n let x = self.rx.recv(); // lint: allow(block-under-guard)\n }";
+        let (v, a) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(v.iter().all(|v| v.rule != "G2"), "{v:?}");
+        assert!(a.iter().any(|a| a.rule == "G2"));
+    }
+
+    #[test]
+    fn l5_flags_allocs_only_in_hot_fns() {
+        let src = r#"
+            // lint: hot-path
+            fn hot(&self) {
+                let v = Vec::new();
+            }
+            fn cold(&self) {
+                let v = Vec::new();
+            }
+        "#;
+        let (v, _) = run(&[("crates/nn/src/a.rs", src)]);
+        let l5: Vec<_> = v.iter().filter(|v| v.rule == "L5").collect();
+        assert_eq!(l5.len(), 1, "{v:?}");
+        assert!(l5[0].message.contains("hot"));
+    }
+
+    #[test]
+    fn l6_unbounded_flagged_allowlist_and_hatch_reclassify() {
+        let src = "fn f() { let (tx, rx) = unbounded(); }";
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(v.iter().any(|v| v.rule == "L6"), "{v:?}");
+        // Allowlisted file: recorded as allowed, not a violation.
+        let (v, a) = run(&[("crates/nn/src/kernel.rs", src)]);
+        assert!(v.iter().all(|v| v.rule != "L6"), "{v:?}");
+        assert!(a.iter().any(|a| a.rule == "L6"));
+        let hatched = "fn f() { let (tx, rx) = unbounded(); // lint: allow(unbounded-channel)\n }";
+        let (v, a) = run(&[("crates/core/src/a.rs", hatched)]);
+        assert!(v.iter().all(|v| v.rule != "L6"));
+        assert!(a.iter().any(|a| a.rule == "L6"));
+    }
+
+    #[test]
+    fn bounded_channel_is_clean_for_l6() {
+        let src = "fn f() { let (tx, rx) = bounded(8); }";
+        let (v, _) = run(&[("crates/core/src/a.rs", src)]);
+        assert!(v.iter().all(|v| v.rule != "L6"), "{v:?}");
+    }
+}

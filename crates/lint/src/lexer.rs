@@ -66,6 +66,10 @@ pub struct Lexed {
     /// applies to the line it sits on; when the comment is alone on its
     /// line it also applies to the following line.
     pub allows: HashMap<u32, Vec<String>>,
+    /// Lines carrying a `// lint: hot-path` marker. The marker covers the
+    /// next `fn` item (see [`crate::ir`]); like `allow`, a marker alone on
+    /// its line also registers the following line.
+    pub hot_markers: std::collections::HashSet<u32>,
 }
 
 impl Lexed {
@@ -75,6 +79,13 @@ impl Lexed {
             .get(&line)
             .is_some_and(|rules| rules.iter().any(|r| r == rule))
     }
+}
+
+/// Whether a comment body carries the `lint: hot-path` region marker.
+fn parse_hot_path(comment: &str) -> bool {
+    comment
+        .find("lint:")
+        .is_some_and(|at| comment[at + 5..].trim_start().starts_with("hot-path"))
 }
 
 /// Parses `lint: allow(a, b)` out of a comment body, if present.
@@ -146,6 +157,12 @@ pub fn lex(src: &str) -> Lexed {
                     out.allows.entry(line).or_default().extend(rules.clone());
                     if !line_has_code {
                         out.allows.entry(line + 1).or_default().extend(rules);
+                    }
+                }
+                if parse_hot_path(comment) {
+                    out.hot_markers.insert(line);
+                    if !line_has_code {
+                        out.hot_markers.insert(line + 1);
                     }
                 }
             }

@@ -23,42 +23,104 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod concurrency;
 pub mod interleave;
+pub mod ir;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod walk;
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::Path;
+
+/// One source file prepared for analysis: workspace-relative path plus its
+/// contents. Public so tests can drive the analyzer on in-memory fixtures.
+pub struct SourceFile {
+    /// Workspace-relative path (drives scoping and lock identities).
+    pub rel: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Runs every pass (token rules L1–L4, IR extraction, concurrency passes
+/// G1/G2/L5/L6) over in-memory sources. `crates/bench` findings are routed
+/// to the advisory (report-only) section.
+pub fn analyze_sources(sources: &[SourceFile], rep: &mut report::Report) {
+    let mut graph = rules::ErrorGraph::default();
+    let mut irs: Vec<ir::FileIr> = Vec::new();
+    let mut lexed_by_file: HashMap<String, lexer::Lexed> = HashMap::new();
+    for sf in sources {
+        let lexed = lexer::lex(&sf.src);
+        let mask = rules::test_mask(&lexed.toks);
+        let mut scope = rules::FileScope::of(&sf.rel);
+        let bench = scope.crate_dir.as_deref() == Some("bench");
+        if bench {
+            // Satellite: bench coverage is report-only. Run the same rules
+            // with library scoping forced on, but collect into `advisory`
+            // so the findings never gate `--check`.
+            scope.library_override = true;
+            rules::check_l1(&sf.rel, &scope, &lexed, &mask, &mut rep.advisory, &mut rep.allowed);
+            rules::check_l3(&sf.rel, &scope, &lexed, &mask, &mut rep.advisory, &mut rep.allowed);
+        } else {
+            rules::check_l1(&sf.rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
+            rules::check_l2(&sf.rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
+            rules::check_l3(&sf.rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
+            graph.collect(&sf.rel, &scope, &lexed, &mask);
+        }
+        // IR feeds the whole-program passes: library + bench sources, no
+        // integration-test trees (panicking/blocking is fine in a test).
+        if scope.is_library_crate() && !scope.in_test_tree {
+            irs.push(ir::extract(&sf.rel, &scope, &lexed, &mask));
+        }
+        lexed_by_file.insert(sf.rel.clone(), lexed);
+        rep.files_scanned += 1;
+    }
+    graph.finalize(&mut rep.violations);
+
+    for ir in &irs {
+        rep.ir_stats.absorb(ir);
+    }
+    let is_allowed = |file: &str, line: u32, rule: &str| {
+        lexed_by_file
+            .get(file)
+            .is_some_and(|l| l.is_allowed(line, rule))
+    };
+    let mut conc = Vec::new();
+    concurrency::check_concurrency(&irs, &is_allowed, &mut conc, &mut rep.allowed);
+    for v in conc {
+        if v.file.starts_with("crates/bench/") {
+            rep.advisory.push(v);
+        } else {
+            rep.violations.push(v);
+        }
+    }
+
+    let order = |a: &rules::Violation, b: &rules::Violation| {
+        (a.rule, a.file.clone(), a.line).cmp(&(b.rule, b.file.clone(), b.line))
+    };
+    rep.violations.sort_by(order);
+    rep.advisory.sort_by(order);
+}
 
 /// Runs the full static pass over a workspace root, returning the report
 /// (model suite not yet attached).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<report::Report> {
-    let mut rep = report::Report::default();
-    let mut graph = rules::ErrorGraph::default();
-    let files = walk::rust_files(root)?;
-    for path in &files {
+    let mut sources = Vec::new();
+    for path in &walk::rust_files(root)? {
         let rel = walk::relative(root, path);
         if rel.starts_with("crates/lint/") {
             // The lint does not lint itself: its sources are full of the
             // very token patterns it hunts for.
             continue;
         }
-        let src = fs::read_to_string(path)?;
-        let lexed = lexer::lex(&src);
-        let mask = rules::test_mask(&lexed.toks);
-        let scope = rules::FileScope::of(&rel);
-        rules::check_l1(&rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
-        rules::check_l2(&rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
-        rules::check_l3(&rel, &scope, &lexed, &mask, &mut rep.violations, &mut rep.allowed);
-        graph.collect(&rel, &scope, &lexed, &mask);
-        rep.files_scanned += 1;
+        sources.push(SourceFile {
+            rel,
+            src: fs::read_to_string(path)?,
+        });
     }
-    graph.finalize(&mut rep.violations);
-    rep.violations.sort_by(|a, b| {
-        (a.rule, &a.file, a.line)
-            .cmp(&(b.rule, &b.file, b.line))
-    });
+    let mut rep = report::Report::default();
+    analyze_sources(&sources, &mut rep);
     Ok(rep)
 }

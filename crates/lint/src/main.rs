@@ -99,16 +99,26 @@ fn main() -> ExitCode {
     }
     let counts = report.rule_counts();
     let total: u64 = counts.values().sum();
+    let per_rule: Vec<String> = mtmlf_lint::report::ALL_RULES
+        .iter()
+        .map(|r| format!("{r}={}", counts.get(*r).copied().unwrap_or(0)))
+        .collect();
     println!(
-        "mtmlf-lint: {} files; L1={} L2={} L3={} L4={} ({} total, {} beyond baseline, {} allowed)",
+        "mtmlf-lint: {} files; {} ({} total, {} beyond baseline, {} allowed, {} advisory)",
         report.files_scanned,
-        counts.get("L1").copied().unwrap_or(0),
-        counts.get("L2").copied().unwrap_or(0),
-        counts.get("L3").copied().unwrap_or(0),
-        counts.get("L4").copied().unwrap_or(0),
+        per_rule.join(" "),
         total,
         report.new_violations,
         report.allowed.len(),
+        report.advisory.len(),
+    );
+    println!(
+        "  ir: {} fns, {} calls, {} guard sites, {} channels, {} spawns",
+        report.ir_stats.functions,
+        report.ir_stats.calls,
+        report.ir_stats.guards,
+        report.ir_stats.channels,
+        report.ir_stats.spawns,
     );
     for (rule, file, budget, actual) in &report.improved {
         println!("  tightenable: {rule} {file} baseline {budget} > actual {actual}");
@@ -126,16 +136,18 @@ fn main() -> ExitCode {
         eprintln!("model {model} FAILED: {message}");
     }
 
-    // Machine-readable report.
+    // Machine-readable reports: LINT.json + SARIF for CI artifact upload.
     let results_dir = args.root.join("results");
     let json_path = results_dir.join("LINT.json");
+    let sarif_path = results_dir.join("lint.sarif");
     if let Err(e) = fs::create_dir_all(&results_dir)
         .and_then(|()| fs::write(&json_path, report.to_json()))
+        .and_then(|()| fs::write(&sarif_path, report.to_sarif()))
     {
         eprintln!("mtmlf-lint: cannot write {}: {e}", json_path.display());
         return ExitCode::FAILURE;
     }
-    println!("wrote {}", json_path.display());
+    println!("wrote {} and {}", json_path.display(), sarif_path.display());
 
     if args.check && report.failed() {
         eprintln!(

@@ -62,6 +62,10 @@ pub struct FileScope {
     pub in_test_tree: bool,
     /// File name (last path component).
     pub file_name: String,
+    /// Treat the file as library code even when its crate is not in
+    /// [`LIBRARY_CRATES`] — used for the advisory (report-only) pass over
+    /// `crates/bench`.
+    pub library_override: bool,
 }
 
 impl FileScope {
@@ -79,13 +83,17 @@ impl FileScope {
             crate_dir,
             in_test_tree,
             file_name,
+            library_override: false,
         }
     }
 
-    fn is_library_crate(&self) -> bool {
-        self.crate_dir
-            .as_deref()
-            .is_some_and(|d| LIBRARY_CRATES.contains(&d))
+    /// Whether the per-file rules treat this as library code.
+    pub fn is_library_crate(&self) -> bool {
+        self.library_override
+            || self
+                .crate_dir
+                .as_deref()
+                .is_some_and(|d| LIBRARY_CRATES.contains(&d))
     }
 
     fn clock_exempt(&self) -> bool {

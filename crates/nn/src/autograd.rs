@@ -142,18 +142,21 @@ impl Var {
 
     /// Clone the accumulated gradient (all-zeros if none has flowed).
     pub fn grad(&self) -> Matrix {
-        let g = self
-            .node
-            .grad
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match &*g {
-            Some(m) => m.clone(),
-            None => {
-                let (r, c) = self.shape();
-                Matrix::zeros(r, c)
+        // Release the grad guard before `shape()` re-enters the value lock:
+        // holding both orders grad→value, while `backward` accumulates
+        // under value→grad. Never nest the two.
+        {
+            let g = self
+                .node
+                .grad
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(m) = &*g {
+                return m.clone();
             }
         }
+        let (r, c) = self.shape();
+        Matrix::zeros(r, c)
     }
 
     /// Shape of the value.
@@ -325,6 +328,12 @@ impl Var {
 
     /// Matrix product.
     pub fn matmul(&self, other: &Var) -> Var {
+        // The worker-pool GEMM blocks on its private reply channel while
+        // both value read-guards are held. Safe: kernel workers never touch
+        // the tape, and the drain loop in `parallel_gemm` guarantees
+        // progress even with zero workers. Copying the operands out of the
+        // guards instead would defeat the zero-allocation warm path.
+        // lint: allow(block-under-guard)
         let value = self.value().matmul(&other.value());
         Var::derived(
             value,
@@ -339,6 +348,9 @@ impl Var {
 
     /// `self × otherᵀ` (used by attention scores).
     pub fn matmul_nt(&self, other: &Var) -> Var {
+        // Same argument as `matmul`: pool recv under the value guards is
+        // deadlock-free by the kernel drain-loop progress guarantee.
+        // lint: allow(block-under-guard)
         let value = self.value().matmul_nt(&other.value());
         Var::derived(
             value,
@@ -357,6 +369,9 @@ impl Var {
     /// intermediates. The forward value is bitwise-identical to the chain;
     /// the backward applies the same chain rule with the scale folded in.
     pub fn attention_scores(&self, keys: &Var, scale: f32, mask: Option<&Matrix>) -> Var {
+        // Same argument as `matmul`: pool recv under the value guards is
+        // deadlock-free by the kernel drain-loop progress guarantee.
+        // lint: allow(block-under-guard)
         let value = self.value().attention_scores(&keys.value(), scale, mask);
         if !grad_enabled() || !(self.requires_grad() || keys.requires_grad()) {
             // Skip the y-capture clone entirely on the inference path.

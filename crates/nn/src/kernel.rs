@@ -428,6 +428,7 @@ pub(crate) fn reference_gemm(
 /// for the row-major kind, `B[p·nb+jj, kk]` transposed — contiguously at
 /// `p·k·nb + kk·w + jj`, so the micro-kernel's inner loop reads one dense
 /// row regardless of the original layout.
+// lint: hot-path
 fn pack_b(b: &[f32], k: usize, n: usize, bkind: BKind, nb: usize) -> Vec<f32> {
     let panels = n.div_ceil(nb);
     let mut packed = take(panels * k * nb, 0.0);
@@ -460,6 +461,7 @@ fn pack_b(b: &[f32], k: usize, n: usize, bkind: BKind, nb: usize) -> Vec<f32> {
 /// products accumulate in ascending order into a single slot — exactly the
 /// reference order — so this path is bit-compatible with [`reference_gemm`]
 /// for finite inputs.
+// lint: hot-path
 fn blocked_gemm(
     a: &[f32],
     m: usize,
@@ -515,6 +517,7 @@ struct GemmDone {
 }
 
 impl GemmTask {
+    // lint: hot-path
     fn run(mut self) {
         blocked_gemm(
             &self.a_chunk,
@@ -530,11 +533,12 @@ impl GemmTask {
         // has collected every reply its own Arc is the last one and the
         // pack buffer returns to its arena.
         drop(std::mem::take(&mut self.packed));
-        let _ = self.reply.clone().send(GemmDone {
+        let done = GemmDone {
             index: self.index,
             a_chunk: std::mem::take(&mut self.a_chunk),
             out_chunk: std::mem::take(&mut self.out_chunk),
-        });
+        };
+        let _ = self.reply.send(done);
     }
 }
 

@@ -19,6 +19,8 @@ pub enum OptError {
     NoPlanFound,
     /// A cardinality was requested for a subset with no DP entry.
     MissingCardinality(u64),
+    /// A parallel labelling worker panicked; its chunk's labels are lost.
+    WorkerPanicked,
 }
 
 impl fmt::Display for OptError {
@@ -31,6 +33,7 @@ impl fmt::Display for OptError {
             Self::MissingCardinality(s) => {
                 write!(f, "no cardinality available for subset {s:#b}")
             }
+            Self::WorkerPanicked => write!(f, "a labelling worker thread panicked"),
         }
     }
 }

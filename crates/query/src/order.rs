@@ -72,10 +72,13 @@ impl JoinOrder {
         let graph = query.join_graph()?;
         match self {
             JoinOrder::LeftDeep(order) => {
-                let local: Vec<usize> = order
-                    .iter()
-                    .map(|t| graph.vertex_of(*t).expect("validated membership"))
-                    .collect();
+                let mut local = Vec::with_capacity(order.len());
+                for t in order {
+                    match graph.vertex_of(*t) {
+                        Some(v) => local.push(v),
+                        None => return Err(QueryError::OrderNotAPermutation),
+                    }
+                }
                 graph.check_left_deep(&local)
             }
             JoinOrder::Bushy(tree) => check_bushy(tree, &graph).map(|_| ()),

@@ -177,10 +177,15 @@ impl<'a> Lexer<'a> {
                             }
                             Some(_) => {
                                 let ch_start = self.pos;
-                                let ch =
-                                    self.src[ch_start..].chars().next().expect("in-bounds char");
-                                s.push(ch);
-                                self.pos += ch.len_utf8();
+                                match self.src[ch_start..].chars().next() {
+                                    Some(ch) => {
+                                        s.push(ch);
+                                        self.pos += ch.len_utf8();
+                                    }
+                                    // Unreachable: `bytes.get(pos)` was `Some`,
+                                    // so a char starts here; bail defensively.
+                                    None => break,
+                                }
                             }
                             None => {
                                 return Err(SqlError::Lex {
@@ -289,7 +294,7 @@ impl<'a> Parser<'a> {
         matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
     }
 
-    fn expect(&mut self, token: Token, what: &str) -> Result<(), SqlError> {
+    fn expect_token(&mut self, token: Token, what: &str) -> Result<(), SqlError> {
         match self.bump() {
             Some(t) if t == token => Ok(()),
             _ => Err(self.error(format!("expected {what}"))),
@@ -299,9 +304,9 @@ impl<'a> Parser<'a> {
     fn parse_query(&mut self) -> Result<Query, SqlError> {
         self.expect_keyword("SELECT")?;
         self.expect_keyword("COUNT")?;
-        self.expect(Token::LParen, "`(`")?;
-        self.expect(Token::Star, "`*`")?;
-        self.expect(Token::RParen, "`)`")?;
+        self.expect_token(Token::LParen, "`(`")?;
+        self.expect_token(Token::Star, "`*`")?;
+        self.expect_token(Token::RParen, "`)`")?;
         self.expect_keyword("FROM")?;
         self.parse_table_list()?;
 
@@ -377,7 +382,7 @@ impl<'a> Parser<'a> {
             Some(Token::Ident(s)) => s,
             _ => return Err(self.error("expected qualified column `table.column`")),
         };
-        self.expect(Token::Dot, "`.` in qualified column")?;
+        self.expect_token(Token::Dot, "`.` in qualified column")?;
         let column_name = match self.bump() {
             Some(Token::Ident(s)) => s,
             _ => return Err(self.error("expected column name")),
@@ -397,7 +402,15 @@ impl<'a> Parser<'a> {
                 schema.name
             ))
         })?;
-        let ctype = schema.column(column).expect("resolved id").ctype;
+        let ctype = schema
+            .column(column)
+            .ok_or_else(|| {
+                SqlError::Resolve(format!(
+                    "column id {column} missing on table `{}`",
+                    schema.name
+                ))
+            })?
+            .ctype;
         Ok((ColumnRef::new(table, column), ctype))
     }
 
@@ -453,7 +466,7 @@ impl<'a> Parser<'a> {
         }
         if self.keyword_is("IN") {
             self.bump();
-            self.expect(Token::LParen, "`(` after IN")?;
+            self.expect_token(Token::LParen, "`(` after IN")?;
             let mut values = Vec::new();
             loop {
                 values.push(self.parse_literal(ctype)?);

@@ -140,7 +140,11 @@ pub fn decode(embeddings: &[DecodingEmbedding]) -> Result<JoinTree> {
 
 fn build(labels: &[Option<TableId>]) -> Result<JoinTree> {
     debug_assert!(!labels.is_empty());
-    let first = labels[0].expect("occupancy checked by caller");
+    let Some(Some(first)) = labels.first().copied() else {
+        return Err(QueryError::InvalidTreeEmbedding(
+            "empty or unoccupied label block".into(),
+        ));
+    };
     if labels.iter().all(|&l| l == Some(first)) {
         return Ok(JoinTree::Leaf(first));
     }

@@ -140,8 +140,10 @@ impl Column {
             Column::Float(v) => Value::Float(v[row]),
             Column::Str { codes, dict } => {
                 let code = codes[row];
+                // Codes are only ever produced by this column's own dictionary,
+                // and `get` returns `Value` (not `Result`) by API contract.
                 Value::Str(Arc::from(
-                    dict.decode(code).expect("dictionary code in range"),
+                    dict.decode(code).expect("dictionary code in range"), // lint: allow(panic)
                 ))
             }
         }
@@ -182,15 +184,11 @@ impl Column {
                 v.push(*x);
                 Ok(())
             }
-            (col @ Column::Str { .. }, Value::Str(_)) => {
+            (Column::Str { codes, dict }, Value::Str(s)) => {
                 // Appending to a dictionary-encoded column is only supported
                 // when the value already exists in the dictionary: bulk
                 // construction should use `str_from_strings`.
-                let Column::Str { codes, dict } = col else {
-                    unreachable!()
-                };
-                let s = value.as_str().expect("matched Str variant");
-                match dict.encode(s) {
+                match dict.encode(s.as_ref()) {
                     Some(code) => {
                         codes.push(code);
                         Ok(())

@@ -33,7 +33,7 @@ impl Histogram {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs in stored data"));
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         let buckets = buckets.min(n);
         let mut bounds = Vec::with_capacity(buckets + 1);
@@ -81,7 +81,7 @@ impl Histogram {
         if x <= self.bounds[0] {
             return 0.0;
         }
-        if x > *self.bounds.last().expect("non-empty bounds") {
+        if self.bounds.last().is_some_and(|&hi| x > hi) {
             return 1.0;
         }
         let mut acc = 0u64;

@@ -163,7 +163,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn setup() -> (Database, Query) {
-        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let q = mtmlf_query::Query::new(
             vec![TableId(0), TableId(4)],

@@ -103,11 +103,13 @@ impl TreeLstm {
             }
         };
         let features = {
+            // `featurize` of a single (shallow-copied) node yields exactly one
+            // row by construction, so `pop` cannot see an empty vector.
             let f = self
                 .featurizer
                 .featurize(db, query, &shallow_copy(node))
                 .pop()
-                .expect("at least the root feature");
+                .expect("at least the root feature"); // lint: allow(panic)
             Var::constant(Matrix::row_vec(f))
         };
         let input = Var::concat_cols(&[features, left.h, right.h]);
@@ -200,7 +202,7 @@ mod tests {
     use mtmlf_optd::q_error;
 
     fn setup(count: usize) -> (Database, Vec<LabeledQuery>) {
-        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+        let mut db = imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap();
         db.analyze_all(8, 4);
         let queries = generate_queries(
             &db,

@@ -19,7 +19,7 @@ use mtmlf_storage::{ColumnId, TableId, Value};
 use std::collections::BTreeMap;
 
 fn main() {
-    let mut db = imdb_lite(3, ImdbScale { scale: 0.1 });
+    let mut db = imdb_lite(3, ImdbScale { scale: 0.1 }).expect("imdb_lite schema is static");
     db.analyze_all(24, 12);
     let title = TableId(0);
 

@@ -15,7 +15,7 @@ use mtmlf_optd::PgOptimizer;
 use mtmlf_query::JoinOrder;
 
 fn main() {
-    let mut db = imdb_lite(11, ImdbScale { scale: 0.05 });
+    let mut db = imdb_lite(11, ImdbScale { scale: 0.05 }).expect("imdb_lite schema is static");
     db.analyze_all(16, 8);
     let queries = generate_queries(
         &db,

@@ -15,7 +15,7 @@ use mtmlf_optd::q_error;
 fn main() {
     // 1. A database. `imdb_lite` generates a skewed, correlated snowflake
     //    shaped like IMDB; in production this would be your own data.
-    let mut db = imdb_lite(7, ImdbScale { scale: 0.04 });
+    let mut db = imdb_lite(7, ImdbScale { scale: 0.04 }).expect("imdb_lite schema is static");
     db.analyze_all(16, 8); // the "ANALYZE" pass of the paper's workflow
     println!("database `{}` with {} tables", db.name(), db.table_count());
 

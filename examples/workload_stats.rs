@@ -12,7 +12,7 @@ use mtmlf_datagen::{
 use mtmlf_optd::{q_error, PgEstimator, PlanCoster};
 
 fn main() {
-    let mut db = imdb_lite(1, ImdbScale { scale: 0.06 });
+    let mut db = imdb_lite(1, ImdbScale { scale: 0.06 }).expect("imdb_lite schema is static");
     db.analyze_all(24, 12);
     let queries = generate_queries(
         &db,

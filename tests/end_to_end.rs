@@ -12,7 +12,7 @@ use mtmlf_query::JoinOrder;
 use mtmlf_storage::Database;
 
 fn pipeline(seed: u64, count: usize) -> (Database, Vec<LabeledQuery>) {
-    let mut db = imdb_lite(seed, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(seed, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let queries = generate_queries(
         &db,

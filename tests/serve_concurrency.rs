@@ -11,7 +11,7 @@ use std::sync::Arc;
 const CLIENTS: usize = 8;
 
 fn setup(seed: u64, count: usize) -> (Arc<MtmlfQo>, Vec<Query>) {
-    let mut db = imdb_lite(seed, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(seed, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let queries = generate_queries(
         &db,

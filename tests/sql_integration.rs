@@ -8,7 +8,7 @@ use mtmlf_query::sql::parse_sql;
 
 #[test]
 fn job_style_sql_parses_and_executes() {
-    let mut db = imdb_lite(1, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(1, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let q = parse_sql(
         &db,
@@ -37,7 +37,7 @@ fn job_style_sql_parses_and_executes() {
 
 #[test]
 fn like_predicates_from_sql() {
-    let mut db = imdb_lite(2, ImdbScale { scale: 0.02 });
+    let mut db = imdb_lite(2, ImdbScale { scale: 0.02 }).unwrap();
     db.analyze_all(8, 4);
     let q = parse_sql(
         &db,
