@@ -19,6 +19,12 @@
 //! scaling is limited only by the router's key split. `--cluster` runs
 //! just that section.
 //!
+//! A model-lifecycle section measures hot swap under load: clients hammer
+//! the service while a swapper thread cycles swap → rollback, timing each
+//! `swap_model` call, then a staged canary takes half the batches until a
+//! clean window promotes it. The `"lifecycle"` block records swap latency,
+//! requests served during the storm, and the canary window.
+//!
 //! ```text
 //! cargo run -p mtmlf-bench --release --bin table_serve -- \
 //!     [--scale 0.03] [--queries 24] [--repeats 4] [--clients 8] \
@@ -29,7 +35,10 @@
 
 use mtmlf::serve::{PlanRequest, PlannerService, ServiceConfig};
 use mtmlf::trace::{Stage, TraceConfig};
-use mtmlf::{FallbackPlanner, MetricsSnapshot, MtmlfError};
+use mtmlf::{
+    CanaryPolicy, CanaryVerdict, FallbackPlanner, MetricsSnapshot, ModelVersion, MtmlfError,
+    MtmlfQo, SwapOutcome,
+};
 use mtmlf_bench::serve::{
     build, build_with, cluster_workload, drive_clients, drive_plan_clients, sim_cluster,
     ServeExperiment,
@@ -37,6 +46,7 @@ use mtmlf_bench::serve::{
 use mtmlf_bench::{http, report, Args};
 use mtmlf_nn::{OpStats, ProfileGuard};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -173,6 +183,167 @@ fn print_cluster_table(sizes: &[ClusterSizeResult]) {
     );
 }
 
+struct LifecycleResult {
+    /// Completed swap → rollback cycles during the storm.
+    swaps: u64,
+    rollbacks: u64,
+    swap_mean_us: f64,
+    swap_max_us: f64,
+    /// Requests the service answered while the swapper was cycling.
+    requests_during_swaps: u64,
+    elapsed_s: f64,
+    qps: f64,
+    canary_window: u64,
+    canary_requests: u64,
+    canary_fraction_permille: u16,
+    canary_verdict: String,
+    final_version: u64,
+}
+
+/// Hot swap under load, measured with the same client harness as the
+/// serving modes: `clients` threads drive the workload `repeats` times
+/// while a swapper thread cycles `swap_model` → `rollback_model`, timing
+/// each swap call. The cache is off so every request crosses the model
+/// slot the swapper is exchanging — the worst case for swap interference.
+/// Afterwards a canary run stages the candidate on half the batches until
+/// a clean window promotes it.
+fn run_lifecycle(
+    exp: &ServeExperiment,
+    candidate: &Arc<MtmlfQo>,
+    workers: usize,
+    repeats: usize,
+    clients: usize,
+) -> mtmlf::Result<LifecycleResult> {
+    let service = PlannerService::builder(Arc::clone(&exp.model))
+        .config(ServiceConfig {
+            workers,
+            batching: true,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .model_version(ModelVersion(1))
+        .start()?;
+
+    let clients = clients.max(1);
+    let done = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (served, swap_latencies_us) =
+        std::thread::scope(|scope| -> mtmlf::Result<(usize, Vec<f64>)> {
+            let swapper = {
+                let service = &service;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        let t = Instant::now();
+                        let outcome =
+                            service.swap_model(Arc::clone(candidate), ModelVersion(2));
+                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                        if matches!(outcome, SwapOutcome::Swapped { .. }) {
+                            let _ = service.rollback_model();
+                        }
+                        // Let a few batches land on each version between cycles.
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    latencies
+                })
+            };
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let service = &service;
+                    let queries = &exp.queries;
+                    scope.spawn(move || -> mtmlf::Result<usize> {
+                        let mut served = 0;
+                        for r in 0..repeats {
+                            for q in queries.iter().skip((c + r) % clients).step_by(clients) {
+                                service.plan(PlanRequest::new(q.clone()))?;
+                                served += 1;
+                            }
+                        }
+                        Ok(served)
+                    })
+                })
+                .collect();
+            let mut served = 0;
+            for h in handles {
+                served += h.join().unwrap_or_else(|_| {
+                    Err(MtmlfError::Service("lifecycle client panicked".into()))
+                })?;
+            }
+            done.store(true, Ordering::Release);
+            let latencies = swapper.join().unwrap_or_default();
+            Ok((served, latencies))
+        })?;
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let storm = service.metrics();
+    let swap_mean_us = if swap_latencies_us.is_empty() {
+        0.0
+    } else {
+        swap_latencies_us.iter().sum::<f64>() / swap_latencies_us.len() as f64
+    };
+    let swap_max_us = swap_latencies_us.iter().copied().fold(0.0_f64, f64::max);
+
+    // Canary: the candidate takes ~half the batches; a clean window of
+    // `min_window` canary batches promotes it to the active slot.
+    let policy = CanaryPolicy {
+        min_window: 16,
+        max_failure_rate: 0.05,
+    };
+    service.begin_canary(Arc::clone(candidate), ModelVersion(2), 500);
+    let mut verdict = CanaryVerdict::Pending;
+    'drive: for _ in 0..64 {
+        for q in &exp.queries {
+            service.plan(PlanRequest::new(q.clone()))?;
+            verdict = service.resolve_canary(&policy);
+            if verdict != CanaryVerdict::Pending {
+                break 'drive;
+            }
+        }
+    }
+    let final_metrics = service.metrics();
+    let verdict_text = match verdict {
+        CanaryVerdict::Promoted(v) => format!("promoted v{}", v.0),
+        CanaryVerdict::RolledBack(v) => format!("rolled back v{}", v.0),
+        CanaryVerdict::Pending => "pending".into(),
+    };
+    Ok(LifecycleResult {
+        swaps: storm.swaps,
+        rollbacks: storm.rollbacks,
+        swap_mean_us,
+        swap_max_us,
+        requests_during_swaps: served as u64,
+        elapsed_s,
+        qps: served as f64 / elapsed_s,
+        canary_window: policy.min_window,
+        canary_requests: final_metrics.canary_requests,
+        canary_fraction_permille: 500,
+        canary_verdict: verdict_text,
+        final_version: service.model_version().0,
+    })
+}
+
+/// The `"lifecycle"` JSON object (no trailing comma or newline).
+fn lifecycle_json(l: &LifecycleResult) -> String {
+    format!(
+        "\"lifecycle\": {{\"swaps\": {}, \"rollbacks\": {}, \"swap_mean_us\": {:.3}, \
+         \"swap_max_us\": {:.3}, \"requests_during_swaps\": {}, \"elapsed_s\": {:.6}, \
+         \"qps_during_swaps\": {:.3}, \"canary\": {{\"window\": {}, \"requests\": {}, \
+         \"fraction_permille\": {}, \"verdict\": \"{}\"}}, \"final_version\": {}}}",
+        l.swaps,
+        l.rollbacks,
+        l.swap_mean_us,
+        l.swap_max_us,
+        l.requests_during_swaps,
+        l.elapsed_s,
+        l.qps,
+        l.canary_window,
+        l.canary_requests,
+        l.canary_fraction_permille,
+        json_escape(&l.canary_verdict),
+        l.final_version,
+    )
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('"', "\\\"")
@@ -200,6 +371,7 @@ fn render_json(
     degraded: &MetricsSnapshot,
     probe: &MetricsSnapshot,
     cluster_block: &str,
+    lifecycle_block: &str,
     obs: &Observability,
 ) -> String {
     let mut out = String::from("{\n  \"table\": \"serve\",\n  \"setup\": {");
@@ -266,6 +438,7 @@ fn render_json(
         degraded.breaker_opens + probe.breaker_opens,
     ));
     out.push_str(&format!("  {cluster_block},\n"));
+    out.push_str(&format!("  {lifecycle_block},\n"));
 
     // Model-path stage histograms come from the traced cached-mode run;
     // the fallback stage comes from the traced degraded run, which is the
@@ -605,6 +778,34 @@ fn main() -> mtmlf::Result<()> {
     print_cluster_table(&scaling);
     let cluster_block = cluster_json(&scaling, cluster_queries, cluster_clients, cluster_service_us);
 
+    // Model lifecycle: hot swap under load, then a canary promotion. The
+    // candidate is an independently built model over the same schema —
+    // different seed, so its weights (and plans) genuinely differ from
+    // the live model's.
+    let candidate = build(scale, queries, seed.wrapping_add(0x11))?.model;
+    let lifecycle = run_lifecycle(&exp, &candidate, workers, repeats, clients)?;
+    println!();
+    println!("# Model lifecycle — hot swap under load, then canary");
+    println!(
+        "swap latency {:.1}us mean / {:.1}us max over {} swaps; \
+         {} requests served during the storm at {:.1} qps, 0 dropped",
+        lifecycle.swap_mean_us,
+        lifecycle.swap_max_us,
+        lifecycle.swaps,
+        lifecycle.requests_during_swaps,
+        lifecycle.qps,
+    );
+    println!(
+        "canary at {}/1000 of batches: {} after {} canary requests \
+         (window {}); active model v{}",
+        lifecycle.canary_fraction_permille,
+        lifecycle.canary_verdict,
+        lifecycle.canary_requests,
+        lifecycle.canary_window,
+        lifecycle.final_version,
+    );
+    let lifecycle_block = lifecycle_json(&lifecycle);
+
     let obs = Observability {
         traced: traced_snapshot,
         traced_degraded: degraded_metrics.clone(),
@@ -628,6 +829,7 @@ fn main() -> mtmlf::Result<()> {
         &degraded_metrics,
         &probe_metrics,
         &cluster_block,
+        &lifecycle_block,
         &obs,
     );
     std::fs::write(&out_path, json)

@@ -141,7 +141,12 @@ pub fn drive_plan_clients<C: PlanClient + ?Sized>(
 /// serialized model path the router can spread across N replicas.
 pub struct SimReplica {
     cache: Mutex<HashMap<QueryFingerprint, PlanPayload>>,
-    cpu: Mutex<()>,
+    /// When the simulated CPU next comes free. Serialization is modeled by
+    /// *reserving* a service slot under the lock and sleeping until the
+    /// reserved deadline after releasing it, so no thread ever sleeps while
+    /// holding the mutex (waiters would otherwise serialize on the lock
+    /// itself rather than on the modeled CPU).
+    cpu: Mutex<Instant>,
     service_time: Duration,
     requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -152,7 +157,7 @@ impl SimReplica {
     pub fn new(service_time: Duration) -> Self {
         Self {
             cache: Mutex::new(HashMap::new()),
-            cpu: Mutex::new(()),
+            cpu: Mutex::new(Instant::now()),
             service_time,
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -197,8 +202,17 @@ impl ReplicaNode for SimReplica {
             return Ok(PlanResponse::from_payload(p, PlanSource::Cache, Duration::ZERO));
         }
         // The model path: serialized per replica, fixed cost per plan.
-        let _cpu = self.cpu.lock().unwrap_or_else(PoisonError::into_inner);
-        std::thread::sleep(self.service_time);
+        // Reserve a slot on the simulated CPU, then sleep outside the lock.
+        let deadline = {
+            let mut next_free = self.cpu.lock().unwrap_or_else(PoisonError::into_inner);
+            let start = (*next_free).max(Instant::now());
+            *next_free = start + self.service_time;
+            *next_free
+        };
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
         let payload = Self::payload_for(&fp);
         self.cache
             .lock()

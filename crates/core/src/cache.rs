@@ -131,6 +131,14 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
 }
 
 /// A thread-safe LRU cache split into independently locked shards.
@@ -205,6 +213,21 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drops every entry in every shard. The model lifecycle layer calls
+    /// this on hot swap and rollback: cached plans are artifacts of the
+    /// model version that produced them, so a version change makes the
+    /// whole cache stale at once. Shards are cleared one at a time, so
+    /// concurrent readers never block on a global lock — they just start
+    /// missing.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +269,22 @@ mod tests {
         cache.insert(3, 30);
         assert_eq!(cache.get(&1), Some(11), "updated in place");
         assert_eq!(cache.get(&2), None, "stale entry evicted");
+    }
+
+    #[test]
+    fn clear_empties_every_shard_and_allows_reuse() {
+        // Per-shard capacity 16: no shard can overflow on 12 keys, whatever
+        // the (randomly seeded) shard hash does.
+        let cache: ShardedLruCache<u64, u64> = ShardedLruCache::new(64, 4);
+        for k in 0..12 {
+            cache.insert(k, k * 10);
+        }
+        assert_eq!(cache.len(), 12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&3), None);
+        cache.insert(3, 31);
+        assert_eq!(cache.get(&3), Some(31), "cache usable after clear");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 use crate::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
 use crate::error::MtmlfError;
+use crate::lifecycle::{ModelVersion, SwapOutcome};
 use crate::metrics::MetricsSnapshot;
 use crate::model::MtmlfQo;
 use crate::resilience::{
@@ -202,6 +203,18 @@ pub trait ReplicaNode: Send + Sync {
     fn metrics(&self) -> Option<MetricsSnapshot> {
         None
     }
+
+    /// Hot-swaps this replica's model; `true` when the replica supports
+    /// model swaps and now serves `version`. Simulated replicas that keep
+    /// no model report `false` and the cluster fan-out skips them.
+    fn swap_model(&self, _candidate: &Arc<MtmlfQo>, _version: ModelVersion) -> bool {
+        false
+    }
+
+    /// Rolls this replica back to its previous model; `true` on success.
+    fn rollback_model(&self) -> bool {
+        false
+    }
 }
 
 /// A [`PlannerService`] participating in a cluster, with a kill switch for
@@ -267,6 +280,20 @@ impl ReplicaNode for ServiceReplica {
 
     fn metrics(&self) -> Option<MetricsSnapshot> {
         Some(self.service.metrics())
+    }
+
+    fn swap_model(&self, candidate: &Arc<MtmlfQo>, version: ModelVersion) -> bool {
+        // Applied even when "down", like `invalidate`: a swap is a durable
+        // version change, and a replica must never revive serving a model
+        // the cluster has since replaced.
+        matches!(
+            self.service.swap_model(Arc::clone(candidate), version),
+            SwapOutcome::Swapped { .. } | SwapOutcome::AlreadyActive
+        )
+    }
+
+    fn rollback_model(&self) -> bool {
+        self.service.rollback_model().is_ok()
     }
 }
 
@@ -741,6 +768,27 @@ impl ClusterService {
             }
         }
         held
+    }
+
+    /// Rolls the candidate model out to every replica. Each replica swaps
+    /// atomically on its own slot (requests in flight on a replica finish
+    /// on the model they started with); the cluster converges replica by
+    /// replica rather than pausing globally. Returns how many replicas now
+    /// serve `version`.
+    pub fn swap_model(&self, candidate: &Arc<MtmlfQo>, version: ModelVersion) -> usize {
+        self.replicas
+            .iter()
+            .filter(|node| node.swap_model(candidate, version))
+            .count()
+    }
+
+    /// Rolls every replica back to its previous model. Returns how many
+    /// replicas had a previous model to restore.
+    pub fn rollback_model(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|node| node.rollback_model())
+            .count()
     }
 
     /// Advances the transport one round and applies every deliverable

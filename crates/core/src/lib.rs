@@ -52,6 +52,12 @@
 //!   `PlannerService::builder(..).tracing(..)`) and Prometheus text
 //!   exposition of every service counter, histogram, and gauge
 //!   ([`metrics::render_prometheus`]); DESIGN.md §10.
+//! - **Model lifecycle** ([`lifecycle`]) — a versioned, checksummed
+//!   [`ModelRegistry`] over the persist envelope, q-error/JOEU drift
+//!   detection on a sliding window of traced production requests, shadow
+//!   evaluation of candidate models with a regression gate, and atomic hot
+//!   swap into a live service with canary fraction and one-level rollback
+//!   (DESIGN.md §14).
 //!
 //! One deliberate implementation choice: the paper formulates `P̂_t` as a
 //! fixed-length multinoulli over the database's `n` tables. This
@@ -73,6 +79,7 @@ pub mod encoder;
 pub mod error;
 pub mod featurize;
 pub mod joeu;
+pub mod lifecycle;
 pub mod meta;
 pub mod metrics;
 pub mod model;
@@ -96,6 +103,11 @@ pub use error::MtmlfError;
 pub use error::MtmlfError as Error;
 pub use featurize::FeaturizationModule;
 pub use joeu::joeu;
+pub use lifecycle::{
+    shadow_evaluate, CanaryPolicy, CanaryVerdict, DriftConfig, DriftDetector, DriftSample,
+    DriftScore, ModelRegistry, ModelSlot, ModelVersion, ShadowConfig, ShadowReport, ShadowVerdict,
+    SwapOutcome,
+};
 pub use meta::MetaLearner;
 pub use metrics::{render_prometheus, MetricsSnapshot};
 pub use model::MtmlfQo;
@@ -120,6 +132,10 @@ pub type Result<T> = std::result::Result<T, MtmlfError>;
 pub mod prelude {
     pub use crate::config::{MtmlfConfig, MtmlfConfigBuilder};
     pub use crate::error::MtmlfError;
+    pub use crate::lifecycle::{
+        shadow_evaluate, CanaryPolicy, CanaryVerdict, DriftConfig, DriftDetector, ModelRegistry,
+        ModelVersion, ShadowConfig, ShadowReport, ShadowVerdict, SwapOutcome,
+    };
     pub use crate::metrics::{render_prometheus, MetricsSnapshot};
     pub use crate::model::MtmlfQo;
     pub use crate::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};

@@ -1,0 +1,1007 @@
+//! Online model lifecycle: versioned registry, drift detection, shadow
+//! evaluation, and atomic hot swap with canary/rollback.
+//!
+//! The paper's central claim is that one transferable model can serve
+//! evolving workloads. This module makes that operational for a live
+//! [`PlannerService`](crate::serve::PlannerService):
+//!
+//! 1. [`ModelRegistry`] — a directory of versioned, checksummed weight
+//!    snapshots over the persist envelope (`crate::persist`). Versions are
+//!    monotonic; every load re-validates the FNV-1a checksum, so a
+//!    truncated or bit-flipped candidate is rejected with
+//!    [`MtmlfError::Corrupt`] *before* any parameter is touched and can
+//!    never be promoted.
+//! 2. [`DriftDetector`] — a sliding window of recent production requests
+//!    (captured from the [`RequestTrace`](crate::trace::RequestTrace) ring
+//!    buffer) scored by median q-error and mean JOEU; it fires when either
+//!    regresses past configurable thresholds.
+//! 3. [`shadow_evaluate`] — replays the drift window against a candidate
+//!    model off the hot path and produces a promote/reject verdict with
+//!    the regression-gate methodology from `results/ablation_drift.txt`:
+//!    a candidate is promoted only if its window q-error does not regress
+//!    past the baseline's by more than a configured factor (and its JOEU
+//!    does not drop past a tolerance).
+//! 4. [`ModelSlot`] — the swap point itself. Workers resolve the model
+//!    *once per batch* through [`ModelSlot::select`], so a batch is planned
+//!    end-to-end by exactly one version; the swap is a single short
+//!    write-lock pointer exchange, and in-flight batches keep their `Arc`
+//!    to the old version until they finish. A canary stage routes a
+//!    configurable fraction of batches to the candidate first, with
+//!    automatic rollback on canary regression or breaker trip
+//!    ([`PlannerService::resolve_canary`](crate::serve::PlannerService::resolve_canary)).
+//!
+//! Candidate models must be *freshly constructed* instances
+//! (`MtmlfQo::new` is deterministic per seed): parameters are shared
+//! handles, so loading registry weights into anything aliasing the live
+//! model would mutate it in place. [`ModelRegistry::load_into`] therefore
+//! takes `&mut MtmlfQo` — the caller proves it owns the target exclusively.
+//!
+//! Determinism (lint rule L2, strict tier like `trace.rs`): this module
+//! never reads a std clock and never names one — windows are counted in
+//! requests, not seconds, and anything time-like is injected by callers.
+
+use crate::error::MtmlfError;
+use crate::model::MtmlfQo;
+use crate::trace::{RequestTrace, TraceOutcome};
+use crate::Result;
+use mtmlf_query::{JoinOrder, Query};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// A monotonically increasing model version. `ModelVersion(0)` is the
+/// boot version of a service started from an unregistered model; the
+/// registry hands out versions starting at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ModelVersion(pub u64);
+
+impl ModelVersion {
+    /// The successor version.
+    pub fn next(self) -> Self {
+        ModelVersion(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model registry
+// ---------------------------------------------------------------------------
+
+/// A directory of versioned weight snapshots in the checksummed persist
+/// envelope. Thread-safe: `publish` serializes version assignment under a
+/// mutex, so concurrent publishers get distinct, strictly increasing
+/// versions.
+pub struct ModelRegistry {
+    dir: PathBuf,
+    /// Sorted list of versions present on disk.
+    versions: Mutex<Vec<u64>>,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry at `dir` and scans it for
+    /// existing snapshots. Files that do not match the snapshot naming
+    /// scheme are ignored.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut versions = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if let Some(v) = Self::parse_version(&entry.file_name().to_string_lossy()) {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        versions.dedup();
+        Ok(Self {
+            dir,
+            versions: Mutex::new(versions),
+        })
+    }
+
+    fn parse_version(name: &str) -> Option<u64> {
+        let rest = name.strip_prefix("model-v")?;
+        let digits = rest.strip_suffix(".weights")?;
+        digits.parse().ok()
+    }
+
+    fn file_name(version: ModelVersion) -> String {
+        // Zero-padded so lexicographic directory order equals version order.
+        format!("model-v{:020}.weights", version.0)
+    }
+
+    /// The on-disk path of `version`'s snapshot (whether or not it exists).
+    /// Fault-injection tests corrupt the file behind this path to prove
+    /// that a damaged candidate can never be promoted.
+    pub fn path_of(&self, version: ModelVersion) -> PathBuf {
+        self.dir.join(Self::file_name(version))
+    }
+
+    /// Snapshots `model`'s weights as the next version and returns it.
+    /// The write goes to a temporary file first and is renamed into place,
+    /// so a crash mid-publish leaves no half-written snapshot under a
+    /// version name — and even if it did, the checksum check on load
+    /// rejects it.
+    pub fn publish(&self, model: &MtmlfQo) -> Result<ModelVersion> {
+        let mut versions = self.versions.lock().unwrap_or_else(PoisonError::into_inner);
+        let version = ModelVersion(versions.last().copied().unwrap_or(0).saturating_add(1));
+        let path = self.path_of(version);
+        let tmp = path.with_extension("weights.tmp");
+        model.save_weights(&tmp)?;
+        std::fs::rename(&tmp, &path)?;
+        versions.push(version.0);
+        Ok(version)
+    }
+
+    /// All versions on disk, oldest first.
+    pub fn versions(&self) -> Vec<ModelVersion> {
+        self.versions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .map(ModelVersion)
+            .collect()
+    }
+
+    /// The newest published version, if any.
+    pub fn latest(&self) -> Option<ModelVersion> {
+        self.versions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .last()
+            .copied()
+            .map(ModelVersion)
+    }
+
+    /// Whether `version` has a snapshot on disk.
+    pub fn contains(&self, version: ModelVersion) -> bool {
+        self.versions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .binary_search(&version.0)
+            .is_ok()
+    }
+
+    /// Loads `version`'s weights into `target`, a freshly constructed model
+    /// of the same architecture. The persist envelope validates magic,
+    /// length, and checksum before any parameter is written, so on
+    /// [`MtmlfError::Corrupt`] (or any other error) `target` is untouched
+    /// — and the live model, which `target` must not alias, is never at
+    /// risk.
+    pub fn load_into(&self, version: ModelVersion, target: &mut MtmlfQo) -> Result<()> {
+        target.load_weights(self.path_of(version))
+    }
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("dir", &self.dir)
+            .field("versions", &self.versions())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drift detection
+// ---------------------------------------------------------------------------
+
+/// The q-error of a cardinality estimate: `max(est/actual, actual/est)`,
+/// the symmetric multiplicative error from the cardinality-estimation
+/// literature. Non-positive inputs (an empty or impossible estimate) score
+/// as infinitely wrong rather than panicking or going negative.
+pub fn qerror(estimated: f64, actual: f64) -> f64 {
+    if !(estimated > 0.0) || !(actual > 0.0) {
+        return f64::INFINITY;
+    }
+    (estimated / actual).max(actual / estimated)
+}
+
+/// Flattens a left-deep join order into the table-id sequence JOEU scores;
+/// bushy orders have no canonical sequence and yield `None`.
+pub fn order_sequence(order: &JoinOrder) -> Option<Vec<usize>> {
+    match order {
+        JoinOrder::LeftDeep(tables) => Some(tables.iter().map(|t| t.0 as usize).collect()),
+        JoinOrder::Bushy(_) => None,
+    }
+}
+
+/// One production observation in the drift window: a served query, the
+/// model's cardinality estimate, the observed actual, and (optionally) the
+/// served and reference join orders for JOEU scoring.
+#[derive(Debug, Clone)]
+pub struct DriftSample {
+    /// The query as served.
+    pub query: Arc<Query>,
+    /// The model's cardinality estimate at serve time.
+    pub predicted_card: f64,
+    /// The actual cardinality observed at execution time.
+    pub actual_card: f64,
+    /// The served join order as a table sequence, when left-deep.
+    pub served_order: Option<Vec<usize>>,
+    /// The reference (known-good) join order, when one exists — e.g. from
+    /// the classical optimizer or an offline exhaustive search.
+    pub reference_order: Option<Vec<usize>>,
+}
+
+/// Thresholds for [`DriftDetector`]. Defaults follow
+/// `results/ablation_drift.txt`: the stale model's window median q-error
+/// there was ~1.8 and the drifted one ~2.9, so a threshold of 2.5 separates
+/// "still fine" from "refreshed-stats regression" with margin on both
+/// sides.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Sliding-window size in samples; older samples are evicted.
+    pub window: usize,
+    /// Minimum samples before the detector may fire (a two-sample window
+    /// should not trigger a retrain).
+    pub min_samples: usize,
+    /// Fire when the window's median q-error exceeds this.
+    pub qerror_threshold: f64,
+    /// Fire when the window's mean JOEU (over samples that have both a
+    /// served and a reference order) drops below this.
+    pub joeu_floor: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 256,
+            min_samples: 16,
+            qerror_threshold: 2.5,
+            joeu_floor: 0.5,
+        }
+    }
+}
+
+/// A point-in-time score of the drift window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScore {
+    /// Samples currently in the window.
+    pub samples: usize,
+    /// Median q-error over the window (`0.0` for an empty window).
+    pub median_qerror: f64,
+    /// Mean JOEU over samples carrying both orders; `None` when no sample
+    /// does.
+    pub mean_joeu: Option<f64>,
+    /// Whether the thresholds say the model has drifted.
+    pub drifted: bool,
+}
+
+/// A sliding window of production observations scored for drift. Not
+/// internally synchronized: the lifecycle loop that owns it feeds it from
+/// trace snapshots off the hot path.
+#[derive(Debug)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    samples: VecDeque<DriftSample>,
+}
+
+impl DriftDetector {
+    /// An empty detector with `config` thresholds.
+    pub fn new(config: DriftConfig) -> Self {
+        Self {
+            config,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Pushes one observation, evicting the oldest past the window size.
+    pub fn observe(&mut self, sample: DriftSample) {
+        if self.config.window == 0 {
+            return;
+        }
+        if self.samples.len() >= self.config.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Feeds a completed [`RequestTrace`] paired with the actual
+    /// cardinality observed at execution. Traces without a captured query
+    /// or estimate (cache hits, sheds, untraced paths) are skipped, as are
+    /// requests that were not served.
+    pub fn observe_trace(&mut self, trace: &RequestTrace, actual_card: f64) {
+        let (Some(query), Some(est)) = (&trace.query, trace.est_card) else {
+            return;
+        };
+        if !matches!(trace.outcome, TraceOutcome::Served(_)) {
+            return;
+        }
+        self.observe(DriftSample {
+            query: Arc::clone(query),
+            predicted_card: est,
+            actual_card,
+            served_order: None,
+            reference_order: None,
+        });
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The current window, oldest first — the input to [`shadow_evaluate`].
+    pub fn window(&self) -> Vec<DriftSample> {
+        self.samples.iter().cloned().collect()
+    }
+
+    /// Drops all samples (after a swap, the old model's window says nothing
+    /// about the new model).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Scores the window against the configured thresholds.
+    pub fn score(&self) -> DriftScore {
+        let mut qerrors: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|s| qerror(s.predicted_card, s.actual_card))
+            .collect();
+        let median_qerror = median(&mut qerrors).unwrap_or(0.0);
+        let joeus: Vec<f64> = self
+            .samples
+            .iter()
+            .filter_map(|s| match (&s.served_order, &s.reference_order) {
+                (Some(u), Some(opt)) => Some(crate::joeu::joeu(u, opt)),
+                _ => None,
+            })
+            .collect();
+        let mean_joeu = if joeus.is_empty() {
+            None
+        } else {
+            Some(joeus.iter().sum::<f64>() / joeus.len() as f64)
+        };
+        let armed = self.samples.len() >= self.config.min_samples.max(1);
+        let drifted = armed
+            && (median_qerror > self.config.qerror_threshold
+                || mean_joeu.is_some_and(|j| j < self.config.joeu_floor));
+        DriftScore {
+            samples: self.samples.len(),
+            median_qerror,
+            mean_joeu,
+            drifted,
+        }
+    }
+
+    /// Whether the current window breaches a threshold.
+    pub fn drifted(&self) -> bool {
+        self.score().drifted
+    }
+}
+
+/// Median of `xs` (sorted in place); `None` when empty. NaNs sort last, so
+/// a window of infinite q-errors still yields an infinite median rather
+/// than poisoning the comparison.
+fn median(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        Some(xs[mid])
+    } else {
+        Some((xs[mid - 1] + xs[mid]) / 2.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shadow evaluation
+// ---------------------------------------------------------------------------
+
+/// The regression gate for [`shadow_evaluate`]. Defaults allow a candidate
+/// a 10% median-q-error regression over the baseline (measurement noise on
+/// small windows) and a 5-point JOEU drop, and require 8 replayable
+/// samples before any promotion.
+#[derive(Debug, Clone)]
+pub struct ShadowConfig {
+    /// Minimum samples successfully replayed by both models.
+    pub min_samples: usize,
+    /// Promote only if `candidate_median <= max(baseline_median, 1.0) *
+    /// max_qerror_regression` — a baseline below 1.0 is impossible, so the
+    /// floor keeps the gate meaningful on near-perfect baselines.
+    pub max_qerror_regression: f64,
+    /// Promote only if the candidate's mean JOEU is within this of the
+    /// baseline's (when both are measurable).
+    pub joeu_tolerance: f64,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        Self {
+            min_samples: 8,
+            max_qerror_regression: 1.10,
+            joeu_tolerance: 0.05,
+        }
+    }
+}
+
+/// The verdict of one shadow evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowVerdict {
+    /// The candidate held the gate: safe to promote.
+    Promote,
+    /// The candidate regressed (or the window was too thin to tell).
+    Reject,
+}
+
+/// The full result of one shadow evaluation.
+#[derive(Debug, Clone)]
+pub struct ShadowReport {
+    /// Promote or reject.
+    pub verdict: ShadowVerdict,
+    /// Human-readable reason for the verdict.
+    pub reason: String,
+    /// Samples replayed successfully by both models.
+    pub samples: usize,
+    /// Baseline (live model) median q-error over the replayed window.
+    pub baseline_median_qerror: f64,
+    /// Candidate median q-error over the replayed window.
+    pub candidate_median_qerror: f64,
+    /// Baseline mean JOEU vs the reference orders, when measurable.
+    pub baseline_mean_joeu: Option<f64>,
+    /// Candidate mean JOEU vs the reference orders, when measurable.
+    pub candidate_mean_joeu: Option<f64>,
+}
+
+impl ShadowReport {
+    /// Whether the verdict is [`ShadowVerdict::Promote`].
+    pub fn promoted(&self) -> bool {
+        self.verdict == ShadowVerdict::Promote
+    }
+
+    fn reject(reason: String, samples: usize) -> Self {
+        Self {
+            verdict: ShadowVerdict::Reject,
+            reason,
+            samples,
+            baseline_median_qerror: 0.0,
+            candidate_median_qerror: 0.0,
+            baseline_mean_joeu: None,
+            candidate_mean_joeu: None,
+        }
+    }
+}
+
+/// Replays `window` against `baseline` and `candidate` off the hot path
+/// and gates promotion on relative regression: the candidate is promoted
+/// only if its median q-error and mean JOEU over the window do not regress
+/// past `config`'s allowances. A candidate that fails to plan any window
+/// query is rejected outright; window queries the *baseline* cannot plan
+/// are skipped (they carry no comparable signal).
+pub fn shadow_evaluate(
+    window: &[DriftSample],
+    baseline: &MtmlfQo,
+    candidate: &MtmlfQo,
+    config: &ShadowConfig,
+) -> Result<ShadowReport> {
+    let mut base_q = Vec::new();
+    let mut cand_q = Vec::new();
+    let mut base_joeu = Vec::new();
+    let mut cand_joeu = Vec::new();
+    for sample in window {
+        let Ok((base_order, base_card, _)) = baseline.plan_with_estimates(&sample.query) else {
+            continue;
+        };
+        let (cand_order, cand_card, _) = match candidate.plan_with_estimates(&sample.query) {
+            Ok(out) => out,
+            Err(e) => {
+                return Ok(ShadowReport::reject(
+                    format!("candidate failed to plan a window query: {e}"),
+                    base_q.len(),
+                ));
+            }
+        };
+        base_q.push(qerror(base_card, sample.actual_card));
+        cand_q.push(qerror(cand_card, sample.actual_card));
+        if let Some(reference) = &sample.reference_order {
+            if let Some(seq) = order_sequence(&base_order) {
+                base_joeu.push(crate::joeu::joeu(&seq, reference));
+            }
+            if let Some(seq) = order_sequence(&cand_order) {
+                cand_joeu.push(crate::joeu::joeu(&seq, reference));
+            }
+        }
+    }
+    let samples = cand_q.len();
+    if samples < config.min_samples.max(1) {
+        return Ok(ShadowReport::reject(
+            format!(
+                "window too thin: {samples} replayable samples, need {}",
+                config.min_samples.max(1)
+            ),
+            samples,
+        ));
+    }
+    let baseline_median = median(&mut base_q).unwrap_or(f64::INFINITY);
+    let candidate_median = median(&mut cand_q).unwrap_or(f64::INFINITY);
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    };
+    let baseline_mean_joeu = mean(&base_joeu);
+    let candidate_mean_joeu = mean(&cand_joeu);
+    let qerror_budget = baseline_median.max(1.0) * config.max_qerror_regression;
+    let (verdict, reason) = if candidate_median > qerror_budget {
+        (
+            ShadowVerdict::Reject,
+            format!(
+                "median q-error regressed: candidate {candidate_median:.3} > budget \
+                 {qerror_budget:.3} (baseline {baseline_median:.3})"
+            ),
+        )
+    } else if let (Some(b), Some(c)) = (baseline_mean_joeu, candidate_mean_joeu) {
+        if c + config.joeu_tolerance < b {
+            (
+                ShadowVerdict::Reject,
+                format!("mean JOEU regressed: candidate {c:.3} < baseline {b:.3} - tolerance"),
+            )
+        } else {
+            (
+                ShadowVerdict::Promote,
+                format!(
+                    "candidate held the gate: q-error {candidate_median:.3} vs baseline \
+                     {baseline_median:.3}, JOEU {c:.3} vs {b:.3}"
+                ),
+            )
+        }
+    } else {
+        (
+            ShadowVerdict::Promote,
+            format!(
+                "candidate held the gate: q-error {candidate_median:.3} vs baseline \
+                 {baseline_median:.3}"
+            ),
+        )
+    };
+    Ok(ShadowReport {
+        verdict,
+        reason,
+        samples,
+        baseline_median_qerror: baseline_median,
+        candidate_median_qerror: candidate_median,
+        baseline_mean_joeu,
+        candidate_mean_joeu,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The swap point
+// ---------------------------------------------------------------------------
+
+/// The model resolved for one worker batch: which `Arc` to plan with,
+/// which version it is, and whether it was the canary. Workers call
+/// [`ModelSlot::select`] exactly once per batch and thread this through the
+/// whole batch, so no batch ever straddles a swap.
+#[derive(Clone)]
+pub struct BatchModel {
+    /// The model to plan this batch with.
+    pub model: Arc<MtmlfQo>,
+    /// Its version.
+    pub version: ModelVersion,
+    /// Whether this batch was routed to the canary candidate.
+    pub canary: bool,
+}
+
+impl fmt::Debug for BatchModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchModel")
+            .field("version", &self.version)
+            .field("canary", &self.canary)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of a [`ModelSlot::swap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// The slot now serves the new version; the displaced version is kept
+    /// for one level of rollback.
+    Swapped {
+        /// The version that was displaced.
+        previous: ModelVersion,
+    },
+    /// The requested version was already active; nothing changed (swap is
+    /// idempotent — promoting twice equals promoting once, and does not
+    /// clobber the rollback target).
+    AlreadyActive,
+}
+
+/// When [`PlannerService::resolve_canary`](crate::serve::PlannerService::resolve_canary)
+/// promotes or rolls back a canary.
+#[derive(Debug, Clone)]
+pub struct CanaryPolicy {
+    /// Canary batches that must complete before a promote decision.
+    pub min_window: u64,
+    /// Roll back when `failures / served` exceeds this (evaluated once the
+    /// window is full; a breaker trip rolls back immediately).
+    pub max_failure_rate: f64,
+}
+
+impl Default for CanaryPolicy {
+    fn default() -> Self {
+        Self {
+            min_window: 32,
+            max_failure_rate: 0.05,
+        }
+    }
+}
+
+/// The verdict of one [`resolve_canary`](crate::serve::PlannerService::resolve_canary) poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanaryVerdict {
+    /// Not enough canary traffic yet (or no canary staged) — keep serving.
+    Pending,
+    /// The canary held its window and is now the active version.
+    Promoted(ModelVersion),
+    /// The canary regressed (or the breaker tripped) and was discarded;
+    /// the active version is unchanged.
+    RolledBack(ModelVersion),
+}
+
+struct CanaryState {
+    model: Arc<MtmlfQo>,
+    version: ModelVersion,
+    /// Batches-per-thousand routed to the canary.
+    fraction_permille: u16,
+}
+
+struct SlotState {
+    active: Arc<MtmlfQo>,
+    version: ModelVersion,
+    previous: Option<(Arc<MtmlfQo>, ModelVersion)>,
+    canary: Option<CanaryState>,
+}
+
+/// The atomic swap point a [`PlannerService`](crate::serve::PlannerService)
+/// plans through.
+///
+/// # Atomicity argument
+///
+/// The only mutable state is one `RwLock<SlotState>`. Workers take the
+/// read lock exactly once per batch ([`ModelSlot::select`]) and clone an
+/// `Arc` out; a swap takes the write lock and exchanges pointers. Thus:
+///
+/// * A batch observes the state before a swap or after it — never a mix.
+///   "Half-swapped" is unrepresentable because the unit of exchange is one
+///   pointer, not a field-by-field copy.
+/// * In-flight batches that selected the old model keep it alive through
+///   their own `Arc` and complete normally; the swap never blocks on them
+///   and they never block the swap (the write lock is held only for the
+///   pointer exchange, not for any planning).
+/// * No request is dropped: the request queue, worker pool, and reply
+///   channels are untouched by a swap — only the pointer workers resolve
+///   per batch changes.
+pub struct ModelSlot {
+    state: RwLock<SlotState>,
+    /// Batch counter driving deterministic canary selection.
+    ticks: AtomicU64,
+    canary_served: AtomicU64,
+    canary_failures: AtomicU64,
+}
+
+impl ModelSlot {
+    /// A slot serving `model` as [`ModelVersion::default`] (v0).
+    pub fn new(model: Arc<MtmlfQo>) -> Self {
+        Self::with_version(model, ModelVersion::default())
+    }
+
+    /// A slot serving `model` as `version`.
+    pub fn with_version(model: Arc<MtmlfQo>, version: ModelVersion) -> Self {
+        Self {
+            state: RwLock::new(SlotState {
+                active: model,
+                version,
+                previous: None,
+                canary: None,
+            }),
+            ticks: AtomicU64::new(0),
+            canary_served: AtomicU64::new(0),
+            canary_failures: AtomicU64::new(0),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, SlotState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, SlotState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resolves the model for one worker batch: the active model, or the
+    /// canary for its configured fraction of batches (deterministic
+    /// round-robin over a batch counter, so tests can pin exactly which
+    /// batches hit the canary).
+    pub fn select(&self) -> BatchModel {
+        let state = self.read();
+        if let Some(canary) = &state.canary {
+            let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+            if (tick % 1000) < u64::from(canary.fraction_permille) {
+                return BatchModel {
+                    model: Arc::clone(&canary.model),
+                    version: canary.version,
+                    canary: true,
+                };
+            }
+        }
+        BatchModel {
+            model: Arc::clone(&state.active),
+            version: state.version,
+            canary: false,
+        }
+    }
+
+    /// The active model and its version.
+    pub fn active(&self) -> (Arc<MtmlfQo>, ModelVersion) {
+        let state = self.read();
+        (Arc::clone(&state.active), state.version)
+    }
+
+    /// The active version.
+    pub fn version(&self) -> ModelVersion {
+        self.read().version
+    }
+
+    /// The staged canary's version, if a canary is live.
+    pub fn canary_version(&self) -> Option<ModelVersion> {
+        self.read().canary.as_ref().map(|c| c.version)
+    }
+
+    /// Atomically makes `model` the active version. Idempotent on
+    /// `version`: re-swapping the already-active version is a no-op that
+    /// preserves the rollback target. A real swap displaces the active
+    /// model into the rollback slot and discards any staged canary.
+    pub fn swap(&self, model: Arc<MtmlfQo>, version: ModelVersion) -> SwapOutcome {
+        let mut state = self.write();
+        if state.version == version {
+            return SwapOutcome::AlreadyActive;
+        }
+        let previous_version = state.version;
+        let displaced = std::mem::replace(&mut state.active, model);
+        state.previous = Some((displaced, previous_version));
+        state.version = version;
+        state.canary = None;
+        self.reset_canary_counters();
+        SwapOutcome::Swapped {
+            previous: previous_version,
+        }
+    }
+
+    /// Restores the previously active model. One level deep: a second
+    /// rollback without an intervening swap is an error, not a panic.
+    pub fn rollback(&self) -> Result<ModelVersion> {
+        let mut state = self.write();
+        let Some((model, version)) = state.previous.take() else {
+            return Err(MtmlfError::Service(
+                "rollback: no previous model version to restore".into(),
+            ));
+        };
+        state.active = model;
+        state.version = version;
+        state.canary = None;
+        self.reset_canary_counters();
+        Ok(version)
+    }
+
+    /// Stages `model` as a canary receiving `fraction_permille`/1000 of
+    /// batches. Replaces any existing canary and resets canary counters.
+    pub fn begin_canary(&self, model: Arc<MtmlfQo>, version: ModelVersion, fraction_permille: u16) {
+        let mut state = self.write();
+        state.canary = Some(CanaryState {
+            model,
+            version,
+            fraction_permille: fraction_permille.min(1000),
+        });
+        self.reset_canary_counters();
+    }
+
+    /// Discards the staged canary (the active model is untouched),
+    /// returning its version if one was live.
+    pub fn cancel_canary(&self) -> Option<ModelVersion> {
+        let mut state = self.write();
+        let version = state.canary.take().map(|c| c.version);
+        if version.is_some() {
+            self.reset_canary_counters();
+        }
+        version
+    }
+
+    /// Promotes the staged canary to active (displacing the active model
+    /// into the rollback slot). Errors when no canary is staged.
+    pub fn promote_canary(&self) -> Result<ModelVersion> {
+        let mut state = self.write();
+        let Some(canary) = state.canary.take() else {
+            return Err(MtmlfError::Service("promote: no canary staged".into()));
+        };
+        let previous_version = state.version;
+        let displaced = std::mem::replace(&mut state.active, canary.model);
+        state.previous = Some((displaced, previous_version));
+        state.version = canary.version;
+        self.reset_canary_counters();
+        Ok(canary.version)
+    }
+
+    /// Records the outcome of one canary batch: `served` requests, of
+    /// which `failures` errored.
+    pub fn record_canary_batch(&self, served: u64, failures: u64) {
+        self.canary_served.fetch_add(served, Ordering::Relaxed);
+        self.canary_failures.fetch_add(failures, Ordering::Relaxed);
+    }
+
+    /// `(served, failures)` accumulated by the current canary.
+    pub fn canary_stats(&self) -> (u64, u64) {
+        (
+            self.canary_served.load(Ordering::Relaxed),
+            self.canary_failures.load(Ordering::Relaxed),
+        )
+    }
+
+    fn reset_canary_counters(&self) {
+        self.canary_served.store(0, Ordering::Relaxed);
+        self.canary_failures.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for ModelSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.read();
+        f.debug_struct("ModelSlot")
+            .field("version", &state.version)
+            .field("previous", &state.previous.as_ref().map(|(_, v)| *v))
+            .field("canary", &state.canary.as_ref().map(|c| c.version))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmlf_storage::TableId;
+    use std::collections::BTreeMap;
+
+    fn sample(predicted: f64, actual: f64) -> DriftSample {
+        let query = Query::new(vec![TableId(0)], Vec::new(), BTreeMap::new()).expect("query");
+        DriftSample {
+            query: Arc::new(query),
+            predicted_card: predicted,
+            actual_card: actual,
+            served_order: None,
+            reference_order: None,
+        }
+    }
+
+    #[test]
+    fn version_ordering_and_display() {
+        assert!(ModelVersion(1) < ModelVersion(2));
+        assert_eq!(ModelVersion(3).next(), ModelVersion(4));
+        assert_eq!(ModelVersion(7).to_string(), "v7");
+        assert_eq!(ModelVersion::default(), ModelVersion(0));
+    }
+
+    #[test]
+    fn registry_file_names_sort_like_versions() {
+        let a = ModelRegistry::file_name(ModelVersion(9));
+        let b = ModelRegistry::file_name(ModelVersion(10));
+        assert!(a < b, "zero padding keeps lexicographic == numeric");
+        assert_eq!(ModelRegistry::parse_version(&a), Some(9));
+        assert_eq!(ModelRegistry::parse_version("weights.bin"), None);
+        assert_eq!(ModelRegistry::parse_version("model-vX.weights"), None);
+    }
+
+    #[test]
+    fn qerror_is_symmetric_and_guards_nonpositive() {
+        assert_eq!(qerror(10.0, 10.0), 1.0);
+        assert_eq!(qerror(100.0, 10.0), 10.0);
+        assert_eq!(qerror(10.0, 100.0), 10.0);
+        assert_eq!(qerror(0.0, 10.0), f64::INFINITY);
+        assert_eq!(qerror(10.0, -1.0), f64::INFINITY);
+        assert_eq!(qerror(f64::NAN, 10.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn drift_detector_respects_min_samples_and_window() {
+        let mut d = DriftDetector::new(DriftConfig {
+            window: 4,
+            min_samples: 3,
+            qerror_threshold: 2.0,
+            joeu_floor: 0.0,
+        });
+        d.observe(sample(100.0, 10.0));
+        d.observe(sample(100.0, 10.0));
+        assert!(!d.drifted(), "below min_samples the detector stays quiet");
+        d.observe(sample(100.0, 10.0));
+        assert!(d.drifted(), "armed and far past the threshold");
+        // Sliding window: four accurate samples evict the bad ones.
+        for _ in 0..4 {
+            d.observe(sample(10.0, 10.0));
+        }
+        assert_eq!(d.len(), 4);
+        let score = d.score();
+        assert_eq!(score.median_qerror, 1.0);
+        assert!(!score.drifted);
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn drift_detector_fires_on_joeu_floor() {
+        let mut d = DriftDetector::new(DriftConfig {
+            window: 8,
+            min_samples: 2,
+            qerror_threshold: 100.0,
+            joeu_floor: 0.6,
+        });
+        for _ in 0..3 {
+            let mut s = sample(10.0, 10.0);
+            s.served_order = Some(vec![2, 1, 0]);
+            s.reference_order = Some(vec![0, 1, 2]);
+            d.observe(s);
+        }
+        let score = d.score();
+        assert_eq!(score.mean_joeu, Some(0.0));
+        assert!(score.drifted, "perfect q-error but JOEU under the floor");
+    }
+
+    #[test]
+    fn order_sequence_flattens_left_deep_only() {
+        let order = JoinOrder::LeftDeep(vec![TableId(2), TableId(0), TableId(1)]);
+        assert_eq!(order_sequence(&order), Some(vec![2, 0, 1]));
+    }
+
+    #[test]
+    fn observe_trace_skips_unreplayable_traces() {
+        let mut d = DriftDetector::new(DriftConfig::default());
+        let tracer = crate::trace::Tracer::new(&crate::trace::TraceConfig {
+            ring_capacity: 4,
+            clock: Arc::new(crate::resilience::ManualClock::new()),
+        });
+        // A trace with no query/est_card attached (e.g. a cache hit).
+        tracer
+            .begin(crate::resilience::BreakerState::Closed, 0)
+            .finish(
+                &tracer,
+                TraceOutcome::Served(crate::client::PlanSource::Cache),
+            );
+        // A model-path trace with both attached.
+        let mut tb = tracer.begin(crate::resilience::BreakerState::Closed, 0);
+        let query = Query::new(vec![TableId(0)], Vec::new(), BTreeMap::new()).expect("query");
+        tb.attach_query(Arc::new(query));
+        tb.set_est_card(42.0);
+        tb.finish(
+            &tracer,
+            TraceOutcome::Served(crate::client::PlanSource::Model),
+        );
+        for trace in tracer.recent() {
+            d.observe_trace(&trace, 40.0);
+        }
+        assert_eq!(d.len(), 1, "only the replayable trace became a sample");
+        assert!((d.window()[0].predicted_card - 42.0).abs() < 1e-12);
+    }
+}

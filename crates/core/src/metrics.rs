@@ -68,6 +68,26 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Cache-miss queries that went through those batches.
     pub batched_queries: u64,
+    /// Model hot swaps completed (direct swaps plus canary promotions).
+    pub swaps: u64,
+    /// Model rollbacks (explicit restores plus canary roll-backs).
+    pub rollbacks: u64,
+    /// Candidate adoptions rejected before promotion (corrupt or
+    /// truncated registry snapshots).
+    pub swap_rejections: u64,
+    /// Shadow evaluations run against candidate models.
+    pub shadow_evals: u64,
+    /// Requests routed to a canary model.
+    pub canary_requests: u64,
+    /// Active model version (registry-assigned; 0 for an unregistered
+    /// boot model).
+    pub model_version: u64,
+    /// Whether a canary model is currently staged.
+    pub canary_active: bool,
+    /// Last drift score published by the lifecycle loop
+    /// ([`set_drift_score`](crate::serve::PlannerService::set_drift_score)):
+    /// the drift window's median q-error.
+    pub drift_score: f64,
     /// Latency distribution of cache-served responses.
     pub cache_latency: LatencyHistogram,
     /// Latency distribution of model-served responses.
@@ -104,6 +124,14 @@ impl Default for MetricsSnapshot {
             breaker_opens: 0,
             batches: 0,
             batched_queries: 0,
+            swaps: 0,
+            rollbacks: 0,
+            swap_rejections: 0,
+            shadow_evals: 0,
+            canary_requests: 0,
+            model_version: 0,
+            canary_active: false,
+            drift_score: 0.0,
             cache_latency: LatencyHistogram::default(),
             model_latency: LatencyHistogram::default(),
             fallback_latency: LatencyHistogram::default(),
@@ -160,6 +188,21 @@ fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} gauge");
     let _ = writeln!(out, "{name} {value}");
+}
+
+/// A float-valued gauge. Rust's shortest-round-trip `Display` is
+/// deterministic for a given value; non-finite values use Prometheus
+/// spelling (`+Inf`/`-Inf`/`NaN`).
+fn push_float_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    if value.is_nan() {
+        let _ = writeln!(out, "{name} NaN");
+    } else if value.is_infinite() {
+        let _ = writeln!(out, "{name} {}Inf", if value > 0.0 { "+" } else { "-" });
+    } else {
+        let _ = writeln!(out, "{name} {value}");
+    }
 }
 
 /// One histogram series under an already-declared metric family.
@@ -297,6 +340,36 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         "Complete request traces recorded.",
         m.traces,
     );
+    push_counter(
+        &mut out,
+        "mtmlf_model_swaps_total",
+        "Model hot swaps completed (direct swaps plus canary promotions).",
+        m.swaps,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_model_rollbacks_total",
+        "Model rollbacks (explicit restores plus canary roll-backs).",
+        m.rollbacks,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_swap_rejected_total",
+        "Candidate adoptions rejected before promotion (corrupt snapshots).",
+        m.swap_rejections,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_shadow_evals_total",
+        "Shadow evaluations run against candidate models.",
+        m.shadow_evals,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_canary_requests_total",
+        "Requests routed to a canary model.",
+        m.canary_requests,
+    );
 
     push_gauge(
         &mut out,
@@ -315,6 +388,24 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         "mtmlf_tracing_enabled",
         "1 when the service records plan-lifecycle traces.",
         u64::from(m.tracing_enabled),
+    );
+    push_gauge(
+        &mut out,
+        "mtmlf_model_version",
+        "Active model version (0 for an unregistered boot model).",
+        m.model_version,
+    );
+    push_gauge(
+        &mut out,
+        "mtmlf_canary_active",
+        "1 when a canary model is staged.",
+        u64::from(m.canary_active),
+    );
+    push_float_gauge(
+        &mut out,
+        "mtmlf_drift_score",
+        "Last published drift score (drift-window median q-error).",
+        m.drift_score,
     );
     let _ = writeln!(
         out,
@@ -513,6 +604,20 @@ pub fn render_prometheus_cluster(m: &crate::cluster::ClusterMetricsSnapshot) -> 
             );
         }
     }
+    let _ = writeln!(
+        out,
+        "# HELP mtmlf_cluster_replica_model_version Active model version per replica."
+    );
+    let _ = writeln!(out, "# TYPE mtmlf_cluster_replica_model_version gauge");
+    for r in &m.replicas {
+        if let Some(s) = &r.service {
+            let _ = writeln!(
+                out,
+                "mtmlf_cluster_replica_model_version{{replica=\"{}\"}} {}",
+                r.id, s.model_version
+            );
+        }
+    }
 
     out
 }
@@ -542,6 +647,14 @@ mod tests {
             queue_depth: 5,
             tracing_enabled: true,
             traces: 97,
+            swaps: 6,
+            rollbacks: 2,
+            swap_rejections: 1,
+            shadow_evals: 9,
+            canary_requests: 11,
+            model_version: 4,
+            canary_active: true,
+            drift_score: 1.75,
             ..MetricsSnapshot::default()
         };
         for nanos in [800, 1_500, 70_000] {
@@ -586,6 +699,14 @@ mod tests {
         assert!(text.contains("mtmlf_tracing_enabled 1"));
         assert!(text.contains("mtmlf_breaker_state{state=\"half_open\"} 1"));
         assert!(text.contains("mtmlf_breaker_state{state=\"closed\"} 0"));
+        assert!(text.contains("mtmlf_model_swaps_total 6"));
+        assert!(text.contains("mtmlf_model_rollbacks_total 2"));
+        assert!(text.contains("mtmlf_swap_rejected_total 1"));
+        assert!(text.contains("mtmlf_shadow_evals_total 9"));
+        assert!(text.contains("mtmlf_canary_requests_total 11"));
+        assert!(text.contains("mtmlf_model_version 4"));
+        assert!(text.contains("mtmlf_canary_active 1"));
+        assert!(text.contains("mtmlf_drift_score 1.75"));
         // The acceptance-critical stages all appear with bucket series.
         for stage in ["cache_lookup", "featurize", "forward", "beam", "fallback"] {
             assert!(
@@ -613,6 +734,7 @@ mod tests {
             requests: 60,
             cache_hits: 25,
             cached_plans: 9,
+            model_version: 3,
             ..MetricsSnapshot::default()
         };
         ClusterMetricsSnapshot {
@@ -684,6 +806,24 @@ mod tests {
         assert!(text.contains("mtmlf_cluster_replica_requests_total{replica=\"0\"} 60"));
         assert!(!text.contains("mtmlf_cluster_replica_requests_total{replica=\"1\"}"));
         assert!(text.contains("mtmlf_cluster_replica_cache_entries{replica=\"0\"} 9"));
+        assert!(text.contains("mtmlf_cluster_replica_model_version{replica=\"0\"} 3"));
+        assert!(!text.contains("mtmlf_cluster_replica_model_version{replica=\"1\"}"));
+    }
+
+    #[test]
+    fn float_gauge_spells_nonfinite_values_like_prometheus() {
+        let mut out = String::new();
+        push_float_gauge(&mut out, "g", "h", f64::INFINITY);
+        assert!(out.contains("g +Inf"));
+        out.clear();
+        push_float_gauge(&mut out, "g", "h", f64::NEG_INFINITY);
+        assert!(out.contains("g -Inf"));
+        out.clear();
+        push_float_gauge(&mut out, "g", "h", f64::NAN);
+        assert!(out.contains("g NaN"));
+        out.clear();
+        push_float_gauge(&mut out, "g", "h", 0.25);
+        assert!(out.contains("g 0.25"));
     }
 
     #[test]

@@ -32,6 +32,10 @@ use crate::batch::plan_batch_traced;
 use crate::cache::ShardedLruCache;
 pub use crate::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
 use crate::error::MtmlfError;
+use crate::lifecycle::{
+    BatchModel, CanaryPolicy, CanaryVerdict, DriftSample, ModelRegistry, ModelSlot, ModelVersion,
+    ShadowConfig, ShadowReport, SwapOutcome,
+};
 use crate::metrics::MetricsSnapshot;
 use crate::model::MtmlfQo;
 #[cfg(any(test, feature = "fault-injection"))]
@@ -248,6 +252,13 @@ struct MetricsInner {
     retries: AtomicU64,
     batches: AtomicU64,
     batched_queries: AtomicU64,
+    swaps: AtomicU64,
+    rollbacks: AtomicU64,
+    swap_rejections: AtomicU64,
+    shadow_evals: AtomicU64,
+    canary_requests: AtomicU64,
+    /// Last published drift score, stored as `f64::to_bits`.
+    drift_score_bits: AtomicU64,
     cache_buckets: [AtomicU64; 32],
     cache_count: AtomicU64,
     cache_nanos: AtomicU64,
@@ -276,6 +287,12 @@ impl MetricsInner {
             retries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            swap_rejections: AtomicU64::new(0),
+            shadow_evals: AtomicU64::new(0),
+            canary_requests: AtomicU64::new(0),
+            drift_score_bits: AtomicU64::new(0.0f64.to_bits()),
             cache_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_count: AtomicU64::new(0),
             cache_nanos: AtomicU64::new(0),
@@ -346,6 +363,12 @@ impl MetricsInner {
             retries: self.retries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            swap_rejections: self.swap_rejections.load(Ordering::Relaxed),
+            shadow_evals: self.shadow_evals.load(Ordering::Relaxed),
+            canary_requests: self.canary_requests.load(Ordering::Relaxed),
+            drift_score: f64::from_bits(self.drift_score_bits.load(Ordering::Relaxed)),
             cache_latency: hist(
                 &self.cache_buckets,
                 &self.cache_count,
@@ -415,12 +438,16 @@ pub struct PlannerService {
     tracer: Option<Arc<Tracer>>,
     queue_depth: Arc<AtomicUsize>,
     default_deadline: Option<Duration>,
+    /// The swap point workers plan through ([`crate::lifecycle`]).
+    slot: Arc<ModelSlot>,
 }
 
 /// Everything one worker thread needs; cloned per worker.
 #[derive(Clone)]
 struct WorkerCtx {
-    model: Arc<MtmlfQo>,
+    /// The model swap point; workers resolve a model from it once per
+    /// batch, so a hot swap never splits a batch across versions.
+    slot: Arc<ModelSlot>,
     cache: Arc<ShardedLruCache<QueryFingerprint, PlanPayload>>,
     metrics: Arc<MetricsInner>,
     fallback: Option<FallbackPlanner>,
@@ -450,6 +477,7 @@ struct WorkerCtx {
 #[must_use = "a builder does nothing until `.start()`"]
 pub struct ServiceBuilder {
     model: Arc<MtmlfQo>,
+    model_version: ModelVersion,
     config: ServiceConfig,
     fallback: Option<FallbackPlanner>,
     tracing: Option<TraceConfig>,
@@ -461,12 +489,22 @@ impl ServiceBuilder {
     fn new(model: Arc<MtmlfQo>) -> Self {
         Self {
             model,
+            model_version: ModelVersion::default(),
             config: ServiceConfig::default(),
             fallback: None,
             tracing: None,
             #[cfg(any(test, feature = "fault-injection"))]
             faults: None,
         }
+    }
+
+    /// Labels the boot model with a registry version (defaults to `v0`,
+    /// the unregistered boot version). Hot swaps are idempotent on
+    /// version, so starting from the version the model was published
+    /// under makes a redundant swap of the same snapshot a no-op.
+    pub fn model_version(mut self, version: ModelVersion) -> Self {
+        self.model_version = version;
+        self
     }
 
     /// Replaces the [`ServiceConfig`] (defaults to
@@ -507,6 +545,7 @@ impl ServiceBuilder {
     pub fn start(self) -> Result<PlannerService> {
         let Self {
             model,
+            model_version,
             config,
             fallback,
             tracing,
@@ -522,9 +561,10 @@ impl ServiceBuilder {
         let breaker = Arc::new(CircuitBreaker::new(config.breaker.clone()));
         let tracer = tracing.map(|t| Arc::new(Tracer::new(&t)));
         let queue_depth = Arc::new(AtomicUsize::new(0));
+        let slot = Arc::new(ModelSlot::with_version(model, model_version));
         let (tx, rx) = bounded::<Job>(config.queue_capacity);
         let ctx = WorkerCtx {
-            model,
+            slot: Arc::clone(&slot),
             cache: Arc::clone(&cache),
             metrics: Arc::clone(&metrics),
             fallback,
@@ -555,6 +595,7 @@ impl ServiceBuilder {
             tracer,
             queue_depth,
             default_deadline: config.default_deadline,
+            slot,
         })
     }
 }
@@ -643,6 +684,10 @@ impl PlannerService {
 
         if let Some(tb) = trace.as_mut() {
             tb.mark_queued();
+            // Model-path requests capture their query so the completed
+            // trace is replayable by the lifecycle layer's shadow
+            // evaluator; cache hits above never need it.
+            tb.attach_query(Arc::new(query.clone()));
         }
         let (reply_tx, reply_rx) = bounded(1);
         let job = Job {
@@ -763,6 +808,8 @@ impl PlannerService {
         m.breaker_state = self.breaker.state();
         m.cached_plans = self.cache.len() as u64;
         m.queue_depth = self.queue_depth.load(Ordering::Relaxed) as u64;
+        m.model_version = self.slot.version().0;
+        m.canary_active = self.slot.canary_version().is_some();
         if let Some(tracer) = &self.tracer {
             m.tracing_enabled = true;
             m.traces = tracer.completed();
@@ -811,6 +858,141 @@ impl PlannerService {
     /// source warm-gossip payloads and by tests to observe cache state.
     pub fn cached_payload(&self, fp: &QueryFingerprint) -> Option<PlanPayload> {
         self.cache.get(fp)
+    }
+
+    // --- Model lifecycle (see `crate::lifecycle` and DESIGN.md §14) ---
+
+    /// The active model version.
+    pub fn model_version(&self) -> ModelVersion {
+        self.slot.version()
+    }
+
+    /// Atomically hot-swaps `candidate` in as the active model. In-flight
+    /// batches finish on the version they selected; subsequent batches
+    /// plan with `candidate`; no request is dropped. On a real swap the
+    /// plan cache is cleared (its entries belong to the displaced
+    /// version) and the displaced model is retained for one
+    /// [`PlannerService::rollback_model`]. Idempotent on `version`.
+    pub fn swap_model(&self, candidate: Arc<MtmlfQo>, version: ModelVersion) -> SwapOutcome {
+        let outcome = self.slot.swap(candidate, version);
+        if matches!(outcome, SwapOutcome::Swapped { .. }) {
+            self.cache.clear();
+            self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Restores the model displaced by the last swap (one level deep),
+    /// clearing the plan cache so no plan from the rolled-back version
+    /// survives. Errors when there is nothing to roll back to.
+    pub fn rollback_model(&self) -> Result<ModelVersion> {
+        let version = self.slot.rollback()?;
+        self.cache.clear();
+        self.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Loads `version` from `registry` into `fresh` — a freshly
+    /// constructed model that must not alias the live one — and swaps it
+    /// in. A corrupt or truncated snapshot is rejected before any
+    /// parameter is touched: the live model keeps serving, the candidate
+    /// is never promoted, and the `swap_rejected` metric records the
+    /// attempt.
+    pub fn adopt_version(
+        &self,
+        registry: &ModelRegistry,
+        version: ModelVersion,
+        mut fresh: MtmlfQo,
+    ) -> Result<SwapOutcome> {
+        match registry.load_into(version, &mut fresh) {
+            Ok(()) => Ok(self.swap_model(Arc::new(fresh), version)),
+            Err(e) => {
+                self.metrics.swap_rejections.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Stages `candidate` as a canary receiving `fraction_permille`/1000
+    /// of worker batches; the active model keeps the rest. Poll
+    /// [`PlannerService::resolve_canary`] to promote or roll back.
+    pub fn begin_canary(
+        &self,
+        candidate: Arc<MtmlfQo>,
+        version: ModelVersion,
+        fraction_permille: u16,
+    ) {
+        self.slot.begin_canary(candidate, version, fraction_permille);
+    }
+
+    /// Discards a staged canary without touching the active model,
+    /// returning its version if one was staged.
+    pub fn cancel_canary(&self) -> Option<ModelVersion> {
+        self.slot.cancel_canary()
+    }
+
+    /// Decides the staged canary's fate from its observed window: rolls it
+    /// back immediately when the circuit breaker has tripped or (once
+    /// `policy.min_window` canary requests completed) its failure rate
+    /// exceeds `policy.max_failure_rate`; promotes it when the window
+    /// completes clean; otherwise keeps waiting. Safe to poll repeatedly.
+    pub fn resolve_canary(&self, policy: &CanaryPolicy) -> CanaryVerdict {
+        if self.slot.canary_version().is_none() {
+            return CanaryVerdict::Pending;
+        }
+        let (served, failures) = self.slot.canary_stats();
+        let breaker_tripped = self.breaker.state() != BreakerState::Closed;
+        let window_full = served >= policy.min_window.max(1);
+        let failure_rate = if served == 0 {
+            0.0
+        } else {
+            failures as f64 / served as f64
+        };
+        if breaker_tripped || (window_full && failure_rate > policy.max_failure_rate) {
+            return match self.slot.cancel_canary() {
+                Some(version) => {
+                    self.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    CanaryVerdict::RolledBack(version)
+                }
+                None => CanaryVerdict::Pending,
+            };
+        }
+        if window_full {
+            return match self.slot.promote_canary() {
+                Ok(version) => {
+                    // Promotion changes the active version: stale plans out.
+                    self.cache.clear();
+                    self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+                    CanaryVerdict::Promoted(version)
+                }
+                Err(_) => CanaryVerdict::Pending,
+            };
+        }
+        CanaryVerdict::Pending
+    }
+
+    /// Replays `window` against the live model and `candidate` off the hot
+    /// path ([`crate::lifecycle::shadow_evaluate`]), counting the
+    /// evaluation in the service metrics.
+    pub fn shadow_evaluate(
+        &self,
+        window: &[DriftSample],
+        candidate: &MtmlfQo,
+        config: &ShadowConfig,
+    ) -> Result<ShadowReport> {
+        self.metrics.shadow_evals.fetch_add(1, Ordering::Relaxed);
+        let (baseline, _) = self.slot.active();
+        crate::lifecycle::shadow_evaluate(window, &baseline, candidate, config)
+    }
+
+    /// Publishes the latest drift score so it rides along in
+    /// [`PlannerService::metrics`] and the Prometheus exposition. The
+    /// lifecycle loop that owns the [`crate::lifecycle::DriftDetector`]
+    /// calls this after each scoring pass.
+    pub fn set_drift_score(&self, score: f64) {
+        self.metrics
+            .drift_score_bits
+            .store(score.to_bits(), Ordering::Relaxed);
     }
 
     /// Stops accepting new requests and joins the worker pool.
@@ -986,14 +1168,22 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
         Some(tracer) => StageRecorder::new(tracer.clock()),
         None => StageRecorder::disabled(),
     };
-    let (outcomes, slot_spans) = plan_unique(ctx, &unique_queries, &mut recorder);
+    // Resolve the model exactly once for the whole batch: every member is
+    // planned by the same version, so a concurrent hot swap can never
+    // split a batch across models.
+    let batch_model = ctx.slot.select();
+    let (outcomes, slot_spans) = plan_unique(ctx, &batch_model, &unique_queries, &mut recorder);
 
     // Cache model output only: fallback plans are cheap to recompute and
-    // must stop being served the moment the model path recovers.
-    for (slot, outcome) in outcomes.iter().enumerate() {
-        if let Ok((plan, PlanSource::Model)) = outcome {
-            let fp = fingerprint(&unique_queries[slot]);
-            ctx.cache.insert(fp, plan.clone());
+    // must stop being served the moment the model path recovers. Canary
+    // output is also never cached — the cache belongs to the active
+    // version, and a rolled-back canary must leave no plans behind.
+    if !batch_model.canary {
+        for (slot, outcome) in outcomes.iter().enumerate() {
+            if let Ok((plan, PlanSource::Model)) = outcome {
+                let fp = fingerprint(&unique_queries[slot]);
+                ctx.cache.insert(fp, plan.clone());
+            }
         }
     }
     let batch_size = live.len();
@@ -1008,6 +1198,9 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
                 tb.set_batch_size(batch_size);
                 tb.extend(recorder.spans());
                 tb.extend(&slot_spans[slot]);
+                if let Ok((plan, PlanSource::Model)) = &outcomes[slot] {
+                    tb.set_est_card(plan.est_card);
+                }
             }
             finish_job_trace(ctx, &mut job, outcome);
         }
@@ -1024,10 +1217,16 @@ fn process_batch(ctx: &WorkerCtx, batch: Vec<Job>) {
 /// batch-shared stage spans accumulate in `recorder`.
 fn plan_unique(
     ctx: &WorkerCtx,
+    batch_model: &BatchModel,
     queries: &[Query],
     recorder: &mut StageRecorder,
 ) -> (Vec<Result<(PlanPayload, PlanSource)>>, Vec<Vec<StageSpan>>) {
     let n = queries.len();
+    if batch_model.canary {
+        ctx.metrics
+            .canary_requests
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
 
     // Breaker admission per distinct query. Rejected slots skip the model
     // entirely and degrade straight to the fallback.
@@ -1045,7 +1244,7 @@ fn plan_unique(
     while !pending.is_empty() {
         let forward_queries: Vec<Query> =
             pending.iter().map(|&slot| queries[slot].clone()).collect();
-        let forwarded = forward(ctx, &forward_queries, recorder);
+        let forwarded = forward(ctx, &batch_model.model, &forward_queries, recorder);
         let mut retry_slots: Vec<usize> = Vec::new();
         for (i, &slot) in pending.iter().enumerate() {
             match &forwarded[i] {
@@ -1078,6 +1277,17 @@ fn plan_unique(
         });
         attempt += 1;
         pending = retry_slots;
+    }
+
+    // Canary accounting happens before assembly consumes the results: a
+    // slot the canary model failed to answer counts against it even when
+    // the fallback rescues the request.
+    if batch_model.canary {
+        let failures = model_results
+            .iter()
+            .filter(|r| matches!(r, Some(Err(_))))
+            .count();
+        ctx.slot.record_canary_batch(n as u64, failures as u64);
     }
 
     // Final assembly: model success, else fallback, else a typed error.
@@ -1134,6 +1344,7 @@ fn plan_unique(
 /// One batched model forward, with the fault-injection hook ahead of it.
 fn forward(
     ctx: &WorkerCtx,
+    model: &Arc<MtmlfQo>,
     queries: &[Query],
     recorder: &mut StageRecorder,
 ) -> Vec<Result<crate::batch::PlannedQuery>> {
@@ -1146,7 +1357,7 @@ fn forward(
         }
     }
     // Inference only: skip the autograd tape entirely.
-    no_grad(|| plan_batch_traced(&ctx.model, queries, recorder))
+    no_grad(|| plan_batch_traced(model, queries, recorder))
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 
 use crate::resilience::{BreakerState, Clock};
 use crate::serve::{LatencyHistogram, PlanSource};
+use mtmlf_query::Query;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -161,6 +162,17 @@ pub struct RequestTrace {
     pub batch_size: usize,
     /// Stage spans in the order they were recorded.
     pub spans: Vec<StageSpan>,
+    /// The planned query, captured for requests that took the model path so
+    /// the lifecycle layer can replay the recent-request window against a
+    /// candidate model ([`crate::lifecycle`]). `None` for cache hits, sheds,
+    /// and untraced paths — those carry no replayable input. Stored behind
+    /// an `Arc` so capture is one pointer clone per request.
+    pub query: Option<Arc<Query>>,
+    /// The model's cardinality estimate for the served plan, when the
+    /// request was answered by the model. Paired with an executed actual
+    /// cardinality this yields the q-error samples the drift detector
+    /// consumes.
+    pub est_card: Option<f64>,
 }
 
 impl RequestTrace {
@@ -297,6 +309,8 @@ impl Tracer {
             queued_at: None,
             batch_size: 0,
             spans: Vec::new(),
+            query: None,
+            est_card: None,
         }
     }
 
@@ -369,6 +383,8 @@ pub struct TraceBuilder {
     queued_at: Option<Duration>,
     batch_size: usize,
     spans: Vec<StageSpan>,
+    query: Option<Arc<Query>>,
+    est_card: Option<f64>,
 }
 
 impl TraceBuilder {
@@ -414,6 +430,18 @@ impl TraceBuilder {
         self.batch_size = batch_size;
     }
 
+    /// Attaches the request's query so the completed trace is replayable by
+    /// the lifecycle layer's shadow evaluator. Called on the model path
+    /// (cache miss) only; one `Arc` clone, no deep copy.
+    pub fn attach_query(&mut self, query: Arc<Query>) {
+        self.query = Some(query);
+    }
+
+    /// Records the model's cardinality estimate for the served plan.
+    pub fn set_est_card(&mut self, est_card: f64) {
+        self.est_card = Some(est_card);
+    }
+
     /// Appends pre-measured spans (the batch-level stage spans).
     pub fn extend(&mut self, spans: &[StageSpan]) {
         self.spans.extend_from_slice(spans);
@@ -435,6 +463,8 @@ impl TraceBuilder {
             queue_depth: self.queue_depth,
             batch_size: self.batch_size,
             spans: self.spans,
+            query: self.query,
+            est_card: self.est_card,
         });
     }
 }

@@ -406,3 +406,236 @@ fn shed_requests_complete_their_traces() {
         );
     }
 }
+
+/// One hundred seeded storm schedules, each with a swapper thread cycling
+/// hot swap and rollback under the error storm: every accepted request
+/// gets exactly one answer (no client hangs, none is dropped by a swap),
+/// the counting identity holds, and the service lands on a whole model —
+/// the boot version or the candidate, never anything in between.
+#[test]
+fn swap_during_storm_no_request_is_dropped() {
+    let (model, db, queries) = setup();
+    // The candidate is a fresh, independently constructed model (same DB,
+    // different seed) — built once; swapping shares it via Arc.
+    let candidate = Arc::new(
+        MtmlfQo::new(
+            &db,
+            MtmlfConfig {
+                enc_queries: 10,
+                enc_epochs: 1,
+                seed: 54,
+                ..MtmlfConfig::tiny()
+            },
+        )
+        .expect("build candidate"),
+    );
+
+    for seed in 0..100u64 {
+        let service = Arc::new(
+            PlannerService::builder(Arc::clone(&model))
+                .model_version(mtmlf::ModelVersion(1))
+                .config(ServiceConfig {
+                    workers: 2,
+                    cache_capacity: 0,
+                    ..ServiceConfig::default()
+                })
+                .fallback(FallbackPlanner::new(Arc::clone(&db)))
+                .faults(FaultPlan::seeded(1_000 + seed, 300))
+                .start()
+                .expect("start service"),
+        );
+
+        let answered = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for offset in 0..2usize {
+                let service = Arc::clone(&service);
+                let queries = queries.clone();
+                let answered = Arc::clone(&answered);
+                scope.spawn(move || {
+                    for round in 0..4 {
+                        let query = queries[(offset + round) % queries.len()].clone();
+                        let resp = service.plan(query.clone()).expect("storm answer");
+                        resp.join_order.validate(&query).expect("legal order");
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let service = Arc::clone(&service);
+            let candidate = Arc::clone(&candidate);
+            scope.spawn(move || {
+                for _ in 0..2 {
+                    service.swap_model(Arc::clone(&candidate), mtmlf::ModelVersion(2));
+                    let _ = service.rollback_model();
+                }
+            });
+        });
+
+        assert_eq!(answered.load(Ordering::Relaxed), 2 * 4, "seed {seed}");
+        let m = service.metrics();
+        assert_eq!(m.requests, 2 * 4, "seed {seed}");
+        assert_eq!(m.errors, 0, "seed {seed}: retry+fallback absorb faults");
+        assert_identity(&m);
+        let v = service.model_version().0;
+        assert!(v == 1 || v == 2, "seed {seed}: half-swapped version {v}");
+        service.shutdown();
+    }
+}
+
+/// A swap racing shutdown: clients, a swapper, and a shutdown all run
+/// concurrently. Nothing hangs, every accepted request is answered or
+/// fails with a typed error, and the counting identity survives the race.
+#[test]
+fn swap_racing_shutdown_stays_clean() {
+    let (model, db, queries) = setup();
+    let candidate = Arc::new(
+        MtmlfQo::new(
+            &db,
+            MtmlfConfig {
+                enc_queries: 10,
+                enc_epochs: 1,
+                seed: 55,
+                ..MtmlfConfig::tiny()
+            },
+        )
+        .expect("build candidate"),
+    );
+
+    for round in 0..20u64 {
+        let service = Arc::new(
+            PlannerService::builder(Arc::clone(&model))
+                .model_version(mtmlf::ModelVersion(1))
+                .config(ServiceConfig {
+                    workers: 2,
+                    cache_capacity: 0,
+                    ..ServiceConfig::default()
+                })
+                .fallback(FallbackPlanner::new(Arc::clone(&db)))
+                .start()
+                .expect("start service"),
+        );
+
+        std::thread::scope(|scope| {
+            for offset in 0..2usize {
+                let service = Arc::clone(&service);
+                let queries = queries.clone();
+                scope.spawn(move || {
+                    for i in 0..4 {
+                        let query = queries[(offset + i) % queries.len()].clone();
+                        match service.plan(query) {
+                            Ok(resp) => assert!(matches!(
+                                resp.source,
+                                PlanSource::Model | PlanSource::Fallback | PlanSource::Cache
+                            )),
+                            // A request landing after shutdown fails with a
+                            // typed error — never a hang or a panic.
+                            Err(e) => assert!(
+                                matches!(
+                                    e,
+                                    MtmlfError::Service(_)
+                                        | MtmlfError::Overloaded
+                                        | MtmlfError::Timeout
+                                ),
+                                "round {round}: unexpected {e:?}"
+                            ),
+                        }
+                    }
+                });
+            }
+            {
+                let service = Arc::clone(&service);
+                let candidate = Arc::clone(&candidate);
+                scope.spawn(move || {
+                    service.swap_model(Arc::clone(&candidate), mtmlf::ModelVersion(2));
+                    let _ = service.rollback_model();
+                });
+            }
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                if round % 2 == 0 {
+                    std::thread::yield_now();
+                }
+                service.shutdown();
+            });
+        });
+
+        let m = service.metrics();
+        assert_identity(&m);
+        let v = service.model_version().0;
+        assert!(v == 1 || v == 2, "round {round}: half-swapped version {v}");
+    }
+}
+
+/// A corrupt candidate snapshot — bit-flipped or truncated — is rejected
+/// before it touches the live model: adoption fails with
+/// [`MtmlfError::Corrupt`], the `swap_rejected` counter records it, the
+/// active version is unchanged, and the service's plans stay bitwise
+/// identical to the pre-attempt baseline.
+#[test]
+fn corrupt_candidate_never_replaces_the_live_model() {
+    let (model, db, queries) = setup();
+    let dir = std::env::temp_dir().join("mtmlf_chaos_corrupt_candidate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = ModelRegistry::open(&dir).expect("open registry");
+    let v1 = registry.publish(&model).expect("publish v1");
+    let v2 = registry.publish(&model).expect("publish v2");
+
+    let service = PlannerService::builder(Arc::clone(&model))
+        .model_version(ModelVersion(0))
+        .config(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .start()
+        .expect("start service");
+    let baseline: Vec<_> = queries
+        .iter()
+        .map(|q| service.plan(q.clone()).expect("baseline plan"))
+        .collect();
+
+    // Bit-flip one payload byte of v1's snapshot.
+    let path = registry.path_of(v1);
+    let mut bytes = std::fs::read(&path).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write corrupted snapshot");
+
+    let fresh = |seed: u64| {
+        MtmlfQo::new(
+            &db,
+            MtmlfConfig {
+                enc_queries: 10,
+                enc_epochs: 1,
+                seed,
+                ..MtmlfConfig::tiny()
+            },
+        )
+        .expect("build fresh candidate")
+    };
+
+    let err = service
+        .adopt_version(&registry, v1, fresh(53))
+        .expect_err("bit-flipped snapshot must be rejected");
+    assert!(matches!(err, MtmlfError::Corrupt(_)), "{err:?}");
+
+    // Truncate v2's snapshot mid-payload.
+    let path2 = registry.path_of(v2);
+    let bytes2 = std::fs::read(&path2).expect("read snapshot");
+    std::fs::write(&path2, &bytes2[..bytes2.len() / 3]).expect("truncate snapshot");
+    let err = service
+        .adopt_version(&registry, v2, fresh(53))
+        .expect_err("truncated snapshot must be rejected");
+    assert!(matches!(err, MtmlfError::Corrupt(_)), "{err:?}");
+
+    let m = service.metrics();
+    assert_eq!(m.swaps, 0, "no corrupt candidate was promoted");
+    assert_eq!(m.swap_rejections, 2, "both corruptions recorded");
+    assert_eq!(service.model_version(), ModelVersion(0));
+    for (q, base) in queries.iter().zip(&baseline) {
+        let resp = service.plan(q.clone()).expect("post-rejection plan");
+        assert_eq!(resp.join_order, base.join_order, "live model disturbed");
+        assert_eq!(resp.est_card.to_bits(), base.est_card.to_bits());
+        assert_eq!(resp.est_cost.to_bits(), base.est_cost.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

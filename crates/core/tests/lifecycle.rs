@@ -1,0 +1,503 @@
+//! Integration tests for the model lifecycle (`mtmlf::lifecycle`):
+//! registry properties, swap idempotence, bitwise rollback, drift
+//! detection on a skewed window, the shadow-evaluation gate, and the
+//! canary promote/rollback loop.
+//!
+//! Everything here is seeded and deterministic: models are rebuilt from
+//! fixed seeds (`MtmlfQo::new` is deterministic per seed), drift windows
+//! are counted in requests rather than seconds, and canary routing is a
+//! round-robin over a batch counter.
+
+use mtmlf::lifecycle::{CanaryVerdict, DriftSample, ModelSlot, SwapOutcome};
+use mtmlf::prelude::*;
+use mtmlf::serve::ServiceConfig;
+use mtmlf::MtmlfError;
+use mtmlf_datagen::{generate_queries, imdb::ImdbScale, imdb_lite, WorkloadConfig};
+use mtmlf_storage::Database;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn setup() -> (Arc<MtmlfQo>, Arc<Database>, Vec<Query>) {
+    let mut db = imdb_lite(53, ImdbScale { scale: 0.02 }).unwrap();
+    db.analyze_all(8, 4);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 12,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        19,
+    );
+    let model = build_model(&db, 53);
+    (Arc::new(model), Arc::new(db), queries)
+}
+
+fn build_model(db: &Database, seed: u64) -> MtmlfQo {
+    MtmlfQo::new(
+        db,
+        MtmlfConfig {
+            enc_queries: 10,
+            enc_epochs: 1,
+            seed,
+            ..MtmlfConfig::tiny()
+        },
+    )
+    .expect("build model")
+}
+
+fn temp_registry(tag: &str) -> (std::path::PathBuf, ModelRegistry) {
+    let dir = std::env::temp_dir().join(format!("mtmlf_lifecycle_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = ModelRegistry::open(&dir).expect("open registry");
+    (dir, registry)
+}
+
+// ---------------------------------------------------------------- registry
+
+#[test]
+fn registry_roundtrip_restores_bitwise_identical_plans() {
+    let (model, db, queries) = setup();
+    let (dir, registry) = temp_registry("roundtrip");
+    let version = registry.publish(&model).expect("publish");
+    assert_eq!(registry.latest(), Some(version));
+
+    let mut restored = build_model(&db, 99); // different seed: different weights
+    registry
+        .load_into(version, &mut restored)
+        .expect("load snapshot");
+    for query in &queries {
+        let (base_order, base_card, base_cost) =
+            model.plan_with_estimates(query).expect("baseline plan");
+        let (rest_order, rest_card, rest_cost) =
+            restored.plan_with_estimates(query).expect("restored plan");
+        assert_eq!(base_order, rest_order);
+        assert_eq!(base_card.to_bits(), rest_card.to_bits());
+        assert_eq!(base_cost.to_bits(), rest_cost.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `open` recovers exactly the sorted, deduplicated version set from
+    /// the snapshot files on disk, whatever order they were created in —
+    /// the zero-padded file names make lexicographic order numeric order.
+    #[test]
+    fn registry_scan_orders_versions_numerically(
+        versions in proptest::collection::vec(1u64..1_000_000, 1..12),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir().join(format!("mtmlf_lifecycle_scan_{case}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for v in &versions {
+            // Scanning reads names only, so placeholder bytes suffice.
+            std::fs::write(dir.join(format!("model-v{v:020}.weights")), b"x")
+                .expect("touch snapshot");
+        }
+        // Distractors the scan must ignore.
+        std::fs::write(dir.join("notes.txt"), b"x").expect("touch distractor");
+        std::fs::write(dir.join("model-vNaN.weights"), b"x").expect("touch distractor");
+
+        let registry = ModelRegistry::open(&dir).expect("open registry");
+        let mut expected: Vec<u64> = versions.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<u64> = registry.versions().iter().map(|v| v.0).collect();
+        prop_assert_eq!(got, expected.clone());
+        prop_assert_eq!(registry.latest().map(|v| v.0), expected.last().copied());
+        for v in expected {
+            prop_assert!(registry.contains(ModelVersion(v)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Publishing always yields strictly increasing versions, regardless
+    /// of what versions already exist on disk.
+    #[test]
+    fn publish_is_monotonic_over_any_existing_set(
+        existing in proptest::collection::vec(1u64..1_000, 0..6),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir().join(format!("mtmlf_lifecycle_mono_{case}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for v in &existing {
+            std::fs::write(dir.join(format!("model-v{v:020}.weights")), b"x")
+                .expect("touch snapshot");
+        }
+        let registry = ModelRegistry::open(&dir).expect("open registry");
+        let model = trivial_model();
+        let floor = existing.iter().copied().max().unwrap_or(0);
+        let first = registry.publish(&model).expect("publish");
+        let second = registry.publish(&model).expect("publish again");
+        prop_assert!(first.0 > floor);
+        prop_assert!(second > first);
+        prop_assert_eq!(registry.latest(), Some(second));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A minimal model over a tiny database, built once and shared across
+/// proptest cases (publish and swap only read it).
+fn trivial_model() -> Arc<MtmlfQo> {
+    static MODEL: std::sync::OnceLock<Arc<MtmlfQo>> = std::sync::OnceLock::new();
+    Arc::clone(MODEL.get_or_init(|| {
+        let mut db = imdb_lite(7, ImdbScale { scale: 0.005 }).unwrap();
+        db.analyze_all(4, 2);
+        Arc::new(
+            MtmlfQo::new(
+                &db,
+                MtmlfConfig {
+                    enc_queries: 2,
+                    enc_epochs: 1,
+                    seed: 7,
+                    ..MtmlfConfig::tiny()
+                },
+            )
+            .expect("build trivial model"),
+        )
+    }))
+}
+
+// -------------------------------------------------------------------- swap
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Swap is idempotent: applying each swap of a random version sequence
+    /// twice leaves the slot in exactly the state of applying it once —
+    /// same active version, and the same rollback target (the doubled
+    /// apply must not clobber `previous` with the version itself).
+    #[test]
+    fn doubled_swaps_equal_single_swaps(
+        versions in proptest::collection::vec(1u64..50, 1..10),
+    ) {
+        let model = trivial_model();
+        let single = ModelSlot::new(Arc::clone(&model));
+        let doubled = ModelSlot::new(Arc::clone(&model));
+        for &v in &versions {
+            single.swap(Arc::clone(&model), ModelVersion(v));
+            doubled.swap(Arc::clone(&model), ModelVersion(v));
+            let second = doubled.swap(Arc::clone(&model), ModelVersion(v));
+            if let SwapOutcome::Swapped { .. } = second {
+                // A same-version re-swap must be recognized, not re-applied.
+                prop_assert!(false, "second swap to v{v} was not idempotent");
+            }
+            prop_assert_eq!(single.version(), doubled.version());
+        }
+        // The rollback target agrees too.
+        let single_rb = single.rollback().map(|v| v.0).ok();
+        let doubled_rb = doubled.rollback().map(|v| v.0).ok();
+        prop_assert_eq!(single_rb, doubled_rb);
+        prop_assert_eq!(single.version(), doubled.version());
+    }
+}
+
+#[test]
+fn rollback_after_swap_restores_bitwise_identical_plans() {
+    let (model, db, queries) = setup();
+    let candidate = Arc::new(build_model(&db, 54));
+    let service = PlannerService::builder(Arc::clone(&model))
+        .model_version(ModelVersion(1))
+        .config(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .start()
+        .expect("start service");
+
+    let pinned: Vec<_> = queries.iter().take(6).cloned().collect();
+    let baseline: Vec<_> = pinned
+        .iter()
+        .map(|q| service.plan(q.clone()).expect("baseline plan"))
+        .collect();
+
+    match service.swap_model(Arc::clone(&candidate), ModelVersion(2)) {
+        SwapOutcome::Swapped { previous } => assert_eq!(previous, ModelVersion(1)),
+        other => panic!("expected a swap, got {other:?}"),
+    }
+    assert_eq!(service.model_version(), ModelVersion(2));
+    // The candidate actually serves (sanity, not bitwise-compared).
+    for q in &pinned {
+        service.plan(q.clone()).expect("candidate plan");
+    }
+
+    let restored = service.rollback_model().expect("rollback");
+    assert_eq!(restored, ModelVersion(1));
+    for (q, base) in pinned.iter().zip(&baseline) {
+        let resp = service.plan(q.clone()).expect("post-rollback plan");
+        assert_eq!(resp.join_order, base.join_order, "order changed after rollback");
+        assert_eq!(resp.est_card.to_bits(), base.est_card.to_bits());
+        assert_eq!(resp.est_cost.to_bits(), base.est_cost.to_bits());
+    }
+    // One level deep: a second rollback has no target.
+    assert!(matches!(
+        service.rollback_model(),
+        Err(MtmlfError::Service(_))
+    ));
+
+    let m = service.metrics();
+    assert_eq!(m.swaps, 1);
+    assert_eq!(m.rollbacks, 1);
+}
+
+// ------------------------------------------------------------------- drift
+
+/// End to end: a traced service serves a workload; its traces, joined with
+/// skewed "observed" cardinalities (each actual is 4x the estimate —
+/// drifting table statistics), push the window's median q-error past the
+/// threshold and the detector fires. The same window with faithful actuals
+/// stays quiet.
+#[test]
+fn drift_detector_fires_on_seeded_stat_skew() {
+    let (model, _db, queries) = setup();
+    let service = PlannerService::builder(model)
+        .config(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .tracing(TraceConfig {
+            ring_capacity: 64,
+            ..TraceConfig::default()
+        })
+        .start()
+        .expect("start service");
+    for q in &queries {
+        service.plan(q.clone()).expect("serve");
+    }
+    let traces = service.traces();
+    assert!(traces.len() >= queries.len(), "ring kept the workload");
+
+    let config = DriftConfig {
+        min_samples: 8,
+        qerror_threshold: 2.5,
+        ..DriftConfig::default()
+    };
+    let mut healthy = DriftDetector::new(config.clone());
+    let mut skewed = DriftDetector::new(config);
+    let mut replayable = 0;
+    for trace in &traces {
+        let Some(est) = trace.est_card else { continue };
+        replayable += 1;
+        healthy.observe_trace(trace, est); // stats faithful: q-error 1
+        skewed.observe_trace(trace, est * 4.0); // stats drifted 4x
+    }
+    assert!(replayable >= 8, "need a full window, got {replayable}");
+
+    let quiet = healthy.score();
+    assert!(!quiet.drifted, "faithful stats must not fire: {quiet:?}");
+    let fired = skewed.score();
+    assert!(fired.drifted, "4x skew must fire: {fired:?}");
+    assert!(fired.median_qerror >= 4.0 - 1e-9);
+
+    // The service publishes the score for scraping.
+    service.set_drift_score(fired.median_qerror);
+    let m = service.metrics();
+    assert!((m.drift_score - fired.median_qerror).abs() < 1e-12);
+}
+
+// ------------------------------------------------------------------ shadow
+
+/// The shadow gate on a captured window, with *trained* models — untrained
+/// card heads all predict the one-tuple floor, which would make every
+/// candidate look equivalent. The baseline and candidates are trained; a
+/// candidate trained on the same data is promoted, one trained against a
+/// different data distribution (stale statistics) is rejected.
+#[test]
+fn shadow_gate_promotes_equivalent_and_rejects_regressed_candidates() {
+    use mtmlf_datagen::{label_workload, LabelConfig};
+
+    let mut db = imdb_lite(53, ImdbScale { scale: 0.02 }).unwrap();
+    db.analyze_all(8, 4);
+    let queries = generate_queries(
+        &db,
+        &WorkloadConfig {
+            count: 12,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        19,
+    );
+    let labeled = label_workload(&db, &queries, &LabelConfig::default()).unwrap();
+    let train_cfg = |seed: u64| MtmlfConfig {
+        enc_queries: 25,
+        enc_epochs: 4,
+        epochs: 3,
+        seed,
+        ..MtmlfConfig::tiny()
+    };
+    let mut baseline = MtmlfQo::new(&db, train_cfg(53)).expect("build baseline");
+    baseline.train(&labeled).expect("train baseline");
+
+    // Ground truth = the baseline's own predictions: the baseline scores a
+    // perfect q-error of 1 on every sample, so the 10% regression budget
+    // bites any candidate whose estimates drift from the baseline's.
+    let window: Vec<DriftSample> = queries
+        .iter()
+        .filter_map(|q| {
+            let (_, card, _) = baseline.plan_with_estimates(q).ok()?;
+            Some(DriftSample {
+                query: Arc::new(q.clone()),
+                predicted_card: card,
+                actual_card: card,
+                served_order: None,
+                reference_order: None,
+            })
+        })
+        .collect();
+    assert!(window.len() >= 8, "window too thin: {}", window.len());
+
+    let config = ShadowConfig {
+        min_samples: 8,
+        ..ShadowConfig::default()
+    };
+    // Same seed, same data, same (deterministic) training: equivalent.
+    let mut equivalent = MtmlfQo::new(&db, train_cfg(53)).expect("build equivalent");
+    equivalent.train(&labeled).expect("train equivalent");
+    let report = shadow_evaluate(&window, &baseline, &equivalent, &config).expect("evaluate");
+    assert!(report.promoted(), "equivalent candidate rejected: {report:?}");
+
+    // The regressed candidate was fitted to a different database instance:
+    // same schema, different data distribution, so its estimates diverge
+    // from this window's ground truth — the model-staleness failure mode
+    // the shadow gate exists to catch.
+    let mut stale_db = imdb_lite(99, ImdbScale { scale: 0.02 }).unwrap();
+    stale_db.analyze_all(8, 4);
+    let stale_queries = generate_queries(
+        &stale_db,
+        &WorkloadConfig {
+            count: 12,
+            max_tables: 4,
+            ..WorkloadConfig::default()
+        },
+        19,
+    );
+    let stale_labeled = label_workload(&stale_db, &stale_queries, &LabelConfig::default()).unwrap();
+    let mut regressed = MtmlfQo::new(&stale_db, train_cfg(53)).expect("build regressed");
+    regressed.train(&stale_labeled).expect("train regressed");
+    let report = shadow_evaluate(&window, &baseline, &regressed, &config).expect("evaluate");
+    assert!(
+        !report.promoted(),
+        "regressed candidate promoted: {report:?}"
+    );
+
+    // Through the service wrapper, the evaluation is counted.
+    let service = PlannerService::builder(Arc::new(baseline))
+        .config(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .start()
+        .expect("start service");
+    let _ = service
+        .shadow_evaluate(&window, &equivalent, &config)
+        .expect("service-side evaluate");
+    assert_eq!(service.metrics().shadow_evals, 1);
+}
+
+// ------------------------------------------------------------------ canary
+
+#[test]
+fn canary_promotes_after_a_clean_window() {
+    let (model, db, queries) = setup();
+    let candidate = Arc::new(build_model(&db, 53)); // healthy candidate
+    let service = PlannerService::builder(Arc::clone(&model))
+        .model_version(ModelVersion(1))
+        .config(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .start()
+        .expect("start service");
+
+    service.begin_canary(Arc::clone(&candidate), ModelVersion(2), 1_000);
+    let policy = CanaryPolicy {
+        min_window: 4,
+        max_failure_rate: 0.05,
+    };
+    assert_eq!(service.resolve_canary(&policy), CanaryVerdict::Pending);
+    for q in queries.iter().take(5) {
+        service.plan(q.clone()).expect("canary-window plan");
+    }
+    match service.resolve_canary(&policy) {
+        CanaryVerdict::Promoted(v) => assert_eq!(v, ModelVersion(2)),
+        other => panic!("expected promotion, got {other:?}"),
+    }
+    assert_eq!(service.model_version(), ModelVersion(2));
+    let m = service.metrics();
+    assert_eq!(m.swaps, 1);
+    assert_eq!(m.rollbacks, 0);
+    assert!(m.canary_requests >= 4, "canary traffic counted: {m:?}");
+    assert!(!m.canary_active, "promotion clears the canary");
+
+    // The promotion kept a rollback target: the pre-canary model.
+    assert_eq!(service.rollback_model().expect("rollback"), ModelVersion(1));
+}
+
+#[test]
+fn canary_rolls_back_automatically_on_regression() {
+    let (model, db, queries) = setup();
+    // A candidate that cannot plan the workload at all: its table bound is
+    // below the workload's join sizes, so every canary request fails.
+    let broken = Arc::new(
+        MtmlfQo::new(
+            &db,
+            MtmlfConfig {
+                enc_queries: 10,
+                enc_epochs: 1,
+                seed: 53,
+                max_query_tables: 2,
+                ..MtmlfConfig::tiny()
+            },
+        )
+        .expect("build broken candidate"),
+    );
+    let service = PlannerService::builder(Arc::clone(&model))
+        .model_version(ModelVersion(1))
+        .config(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .start()
+        .expect("start service");
+
+    // Sanity: the workload needs more than two tables somewhere.
+    assert!(
+        queries.iter().any(|q| q.tables().len() > 2),
+        "workload too small to regress the broken candidate"
+    );
+
+    service.begin_canary(Arc::clone(&broken), ModelVersion(2), 1_000);
+    let policy = CanaryPolicy {
+        min_window: 4,
+        max_failure_rate: 0.05,
+    };
+    for q in &queries {
+        let _ = service.plan(q.clone()); // failures expected and typed
+    }
+    match service.resolve_canary(&policy) {
+        CanaryVerdict::RolledBack(v) => assert_eq!(v, ModelVersion(2)),
+        other => panic!("expected rollback, got {other:?}"),
+    }
+    assert_eq!(
+        service.model_version(),
+        ModelVersion(1),
+        "live model untouched by the failed canary"
+    );
+    let m = service.metrics();
+    assert_eq!(m.swaps, 0, "a rolled-back canary never counts as a swap");
+    assert_eq!(m.rollbacks, 1);
+    assert!(!m.canary_active);
+
+    // The service still serves on the original model.
+    for q in queries.iter().take(3) {
+        service.plan(q.clone()).expect("post-rollback plan");
+    }
+}

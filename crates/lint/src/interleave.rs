@@ -36,6 +36,13 @@
 //!   Invariants: every request gets exactly one reply (a success from a
 //!   live candidate or an explicit all-candidates-down error — never
 //!   silence), no double completion, and no schedule deadlocks.
+//! * [`SwapModel`] — `mtmlf::lifecycle::ModelSlot` hot swap under load:
+//!   clients submit requests a worker serves by reading the slot's
+//!   (model, version) pair while a swapper thread swaps and rolls back the
+//!   active model. Invariants: every request gets exactly one reply, no
+//!   request is dropped by a swap, and every reply was produced by a
+//!   consistent pair — never a half-swapped model (one half read before a
+//!   swap, the other after).
 //!
 //! Deliberate-bug variants (gated behind test-only constructors) prove the
 //! checker actually catches lost replies, double completions, and
@@ -1045,6 +1052,223 @@ impl Interleave for RouterModel {
     }
 }
 
+/// One swapper operation in a [`SwapModel`] script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOp {
+    /// Install this version as the active model (write-lock pointer swap;
+    /// the displaced pair becomes the rollback target).
+    Swap(usize),
+    /// Restore the displaced pair, if one exists (a rollback with no
+    /// previous model is a no-op here; the real API returns an error).
+    Rollback,
+}
+
+/// Mirror of `mtmlf::lifecycle::ModelSlot` under a serving load.
+///
+/// The slot is modeled as the two halves a careless reader could observe
+/// separately — the model pointer and its version. The real `select()`
+/// takes the read lock exactly once and clones both out together, so a
+/// batch can never straddle a swap; the model encodes that as the worker
+/// reading both halves in one atomic step. Swap and rollback are single
+/// write-lock steps. Invariant: every reply carries a consistent
+/// (model, version) pair, every client gets exactly one reply, and no
+/// queued request is lost to a swap.
+///
+/// Thread layout: `0..clients` = clients, `clients` = worker,
+/// `clients + 1` = swapper.
+#[derive(Debug, Clone)]
+pub struct SwapModel {
+    // The slot's two halves. A correct install always writes (v, v), so
+    // any mismatched pair in a reply is proof of a torn read.
+    active_model: usize,
+    active_version: usize,
+    previous: Option<(usize, usize)>,
+    queue: VecDeque<usize>,
+    replies: Vec<Option<(usize, usize)>>,
+    client_pc: Vec<u8>, // 0 = submit, 1 = await reply, 2 = done
+    // Mid-read state for the torn-read bug: (client, model half).
+    torn: Option<(usize, usize)>,
+    script: Vec<SwapOp>,
+    swapper_pc: usize,
+    // Deliberate-bug switches for checker self-tests.
+    bug_drop_in_flight: bool,
+    bug_torn_read: bool,
+}
+
+impl SwapModel {
+    /// A correct model: `clients` one-request clients served by one worker
+    /// while the swapper runs `script`. Boot version is 1.
+    pub fn new(clients: usize, script: Vec<SwapOp>) -> Self {
+        Self {
+            active_model: 1,
+            active_version: 1,
+            previous: None,
+            queue: VecDeque::new(),
+            replies: vec![None; clients],
+            client_pc: vec![0; clients],
+            torn: None,
+            script,
+            swapper_pc: 0,
+            bug_drop_in_flight: false,
+            bug_torn_read: false,
+        }
+    }
+
+    /// Buggy variant: a swap tears down the worker queue, dropping every
+    /// queued request (must be caught as a deadlocked client or a lost
+    /// response).
+    pub fn with_dropped_in_flight(clients: usize, script: Vec<SwapOp>) -> Self {
+        Self {
+            bug_drop_in_flight: true,
+            ..Self::new(clients, script)
+        }
+    }
+
+    /// Buggy variant: the worker reads the model half and the version half
+    /// under two separate lock acquisitions, so a swap landing between
+    /// them produces a half-swapped reply (must be caught as an
+    /// inconsistent pair).
+    pub fn with_torn_read(clients: usize, script: Vec<SwapOp>) -> Self {
+        Self {
+            bug_torn_read: true,
+            ..Self::new(clients, script)
+        }
+    }
+
+    fn clients(&self) -> usize {
+        self.replies.len()
+    }
+
+    fn worker_idx(&self) -> usize {
+        self.clients()
+    }
+
+    fn swapper_idx(&self) -> usize {
+        self.clients() + 1
+    }
+
+    fn all_submitted(&self) -> bool {
+        self.client_pc.iter().all(|&pc| pc >= 1)
+    }
+
+    fn deliver(&mut self, client: usize, pair: (usize, usize)) -> Result<(), String> {
+        if self.replies[client].is_some() {
+            return Err(format!("double completion: client {client} replied twice"));
+        }
+        if pair.0 != pair.1 {
+            return Err(format!(
+                "half-swapped model: client {client} served by model {} at version {}",
+                pair.0, pair.1
+            ));
+        }
+        self.replies[client] = Some(pair);
+        Ok(())
+    }
+}
+
+impl Interleave for SwapModel {
+    fn threads(&self) -> usize {
+        self.clients() + 2
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t < self.clients() {
+            self.client_pc[t] == 2
+        } else if t == self.worker_idx() {
+            self.all_submitted() && self.queue.is_empty() && self.torn.is_none()
+        } else {
+            self.swapper_pc >= self.script.len()
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        if t < self.clients() {
+            match self.client_pc[t] {
+                0 => true,
+                1 => self.replies[t].is_some(),
+                _ => false,
+            }
+        } else if t == self.worker_idx() {
+            !self.queue.is_empty() || self.torn.is_some()
+        } else {
+            true // swap and rollback never block
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if t == self.swapper_idx() {
+            match self.script[self.swapper_pc] {
+                SwapOp::Swap(v) => {
+                    self.previous = Some((self.active_model, self.active_version));
+                    self.active_model = v;
+                    self.active_version = v;
+                    if self.bug_drop_in_flight {
+                        // Bug: the swap tears down the queue; queued
+                        // clients wait forever.
+                        self.queue.clear();
+                    }
+                }
+                SwapOp::Rollback => {
+                    if let Some((m, v)) = self.previous.take() {
+                        self.active_model = m;
+                        self.active_version = v;
+                    }
+                }
+            }
+            self.swapper_pc += 1;
+            return Ok(());
+        }
+        if t == self.worker_idx() {
+            if let Some((client, model_half)) = self.torn.take() {
+                // Second half of a torn read: the version observed now may
+                // postdate the model observed before.
+                return self.deliver(client, (model_half, self.active_version));
+            }
+            let client = self
+                .queue
+                .pop_front()
+                .ok_or_else(|| "worker stepped with an empty queue".to_string())?;
+            if self.bug_torn_read {
+                self.torn = Some((client, self.active_model));
+                return Ok(());
+            }
+            // The real select(): one read lock, both halves together.
+            let pair = (self.active_model, self.active_version);
+            return self.deliver(client, pair);
+        }
+        match self.client_pc[t] {
+            0 => {
+                self.queue.push_back(t);
+                self.client_pc[t] = 1;
+                Ok(())
+            }
+            1 => {
+                self.client_pc[t] = 2;
+                Ok(())
+            }
+            _ => Err(format!("client {t} stepped after completion")),
+        }
+    }
+
+    fn check_complete(&self) -> Result<(), String> {
+        for (i, r) in self.replies.iter().enumerate() {
+            match r {
+                None => return Err(format!("lost response: client {i} never got a reply")),
+                Some((m, v)) if m != v => {
+                    return Err(format!(
+                        "half-swapped model: client {i} served by model {m} at version {v}"
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        if self.torn.is_some() {
+            return Err("worker finished with a read still torn open".to_string());
+        }
+        Ok(())
+    }
+}
+
 /// The standard model suite run by `mtmlf-lint --check`: name, schedules
 /// explored, steps taken. Any violation aborts with its message.
 pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, String)> {
@@ -1152,6 +1376,16 @@ pub fn run_model_suite() -> Result<Vec<(&'static str, Exploration)>, (String, St
     match explore(&outage, 20_000_000) {
         Ok(stats) => out.push(("router-total-outage", stats)),
         Err(v) => return Err(("router-total-outage".to_string(), v.to_string())),
+    }
+
+    // Hot swap under load: two clients served across a swap and a
+    // rollback. Schedules include the swap landing between a request's
+    // enqueue and its service, and the rollback racing the second request
+    // — every reply must come from a consistent (model, version) pair.
+    let swap = SwapModel::new(2, vec![SwapOp::Swap(2), SwapOp::Rollback]);
+    match explore(&swap, 20_000_000) {
+        Ok(stats) => out.push(("swap-during-serve", stats)),
+        Err(v) => return Err(("swap-during-serve".to_string(), v.to_string())),
     }
 
     Ok(out)
@@ -1365,9 +1599,54 @@ mod tests {
     }
 
     #[test]
+    fn swap_model_serves_only_consistent_pairs() {
+        let model = SwapModel::new(2, vec![SwapOp::Swap(2), SwapOp::Rollback]);
+        let stats = explore(&model, 20_000_000).expect("no invariant failures");
+        assert!(
+            stats.schedules > 100,
+            "expected a real schedule space, got {}",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn swap_model_survives_swap_chains_without_rollback_target() {
+        // Rollback-before-swap is a no-op; double swap retargets rollback.
+        let model = SwapModel::new(
+            1,
+            vec![SwapOp::Rollback, SwapOp::Swap(2), SwapOp::Swap(3), SwapOp::Rollback],
+        );
+        let stats = explore(&model, 20_000_000).expect("no invariant failures");
+        assert!(stats.schedules > 10);
+    }
+
+    #[test]
+    fn checker_catches_swap_dropping_queued_requests() {
+        let err = explore(
+            &SwapModel::with_dropped_in_flight(2, vec![SwapOp::Swap(2)]),
+            2_000_000,
+        )
+        .expect_err("queue-clearing swap must be caught");
+        assert!(
+            err.message.contains("deadlock") || err.message.contains("lost response"),
+            "unexpected violation: {err}"
+        );
+    }
+
+    #[test]
+    fn checker_catches_half_swapped_reads() {
+        let err = explore(
+            &SwapModel::with_torn_read(1, vec![SwapOp::Swap(2)]),
+            2_000_000,
+        )
+        .expect_err("torn slot read must be caught");
+        assert!(err.message.contains("half-swapped"), "{err}");
+    }
+
+    #[test]
     fn model_suite_runs_clean() {
         let suite = run_model_suite().expect("suite clean");
-        assert_eq!(suite.len(), 8);
+        assert_eq!(suite.len(), 9);
         for (name, stats) in suite {
             assert!(stats.schedules > 0, "{name} explored nothing");
         }

@@ -3,7 +3,7 @@
 //! | rule | name         | invariant |
 //! |------|--------------|-----------|
 //! | L1   | `panic`      | no `unwrap()` / `expect()` / `panic!`-family macros in library-crate non-test code |
-//! | L2   | `clock`      | no wall-clock or OS randomness outside `serve.rs` / bench code; *strict* in `trace.rs` / `metrics.rs`, where any `Instant`/`SystemTime` token is flagged — the observability layer reads time only through the injectable `Clock` |
+//! | L2   | `clock`      | no wall-clock or OS randomness outside `serve.rs` / bench code; *strict* in `trace.rs` / `metrics.rs` / `lifecycle.rs`, where any `Instant`/`SystemTime` token is flagged — the observability and lifecycle layers read time only through the injectable `Clock` |
 //! | L3   | `lock-order` | no cache-lock acquisition while an autograd guard is held |
 //! | L4   | `error-impl` | every public error enum implements `std::error::Error` and `From`-converts (possibly transitively) into `MtmlfError` |
 //!
@@ -34,8 +34,10 @@ pub const CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
 /// `Instant` / `SystemTime` token — even a type annotation or an
 /// `.elapsed()` on a stored stamp, which ordinary L2 permits — is a
 /// violation here. This is what makes traces replayable under `ManualClock`
-/// and keeps histogram tests deterministic.
-pub const CLOCK_STRICT_FILES: &[&str] = &["trace.rs", "metrics.rs"];
+/// and keeps histogram tests deterministic. `lifecycle.rs` is held to the
+/// same bar: drift windows are counted in requests, not seconds, so drift
+/// and shadow-evaluation tests replay deterministically.
+pub const CLOCK_STRICT_FILES: &[&str] = &["trace.rs", "metrics.rs", "lifecycle.rs"];
 
 /// One rule violation with a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
