@@ -89,7 +89,10 @@ fn bench_beam_and_codec(c: &mut Criterion) {
     let s = shared.forward(&serialized.features);
     let reps = mtmlf::train::table_representations(&s, &serialized.scan_node_of_slot);
     c.bench_function("mtmlf/beam_search_k4", |b| {
-        b.iter(|| mtmlf::beam::beam_search(&jo, &s, &reps, &serialized.graph, 4, true).len())
+        b.iter(|| {
+            mtmlf::beam::beam_search(&jo, &s, &reps, &serialized.graph, &mtmlf::BeamConfig::new(4))
+                .len()
+        })
     });
 
     let tree = JoinTree::left_deep(&(0..7).map(TableId).collect::<Vec<_>>()).unwrap();

@@ -39,7 +39,7 @@ fn main() -> mtmlf::Result<()> {
     for k in 1..=max_beam {
         // Rebuild the model view with the new beam width (weights shared).
         let config = MtmlfConfig {
-            beam_width: k,
+            beam: mtmlf::BeamConfig::new(k),
             ..exp.model_config(LossWeights::default())
         };
         let view = mtmlf::MtmlfQo::from_modules(

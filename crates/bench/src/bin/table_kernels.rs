@@ -48,17 +48,26 @@ const GEMM_SHAPES: [(usize, usize, usize, Kind, &str); 7] = [
     (256, 128, 256, Kind::Nt, "grad accum (256x128x256)"),
 ];
 
-/// Best-of-N wall time for `f`, in seconds.
+/// Best-of-N wall time for `f`, in seconds per call. Fast calls are batched
+/// so every sample spans at least ~200µs of wall time — a single µs-scale
+/// matmul timed alone is mostly timer and scheduler noise, and the shortest
+/// shapes here run in single-digit µs. The calibration pass's output is
+/// also returned so callers can differentially check it.
 fn best_secs<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
+    const MIN_SAMPLE_SECS: f64 = 200e-6;
+    let t0 = Instant::now();
+    let out = f();
+    let est = t0.elapsed().as_secs_f64();
+    let iters = ((MIN_SAMPLE_SECS / est.max(1e-9)).ceil() as usize).clamp(1, 1024);
+    let mut best = est;
     for _ in 0..repeats.max(1) {
         let t0 = Instant::now();
-        let out = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(out);
+        for _ in 0..iters {
+            let _ = f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
     }
-    (best, last.expect("repeats >= 1"))
+    (best, out)
 }
 
 fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
@@ -120,6 +129,68 @@ fn measure_gemms(repeats: usize, blocked: KernelConfig, parallel: KernelConfig) 
                 reference: gflops(m, k, n, ref_s),
                 blocked: gflops(m, k, n, blk_s),
                 parallel: gflops(m, k, n, par_s),
+            }
+        })
+        .collect()
+}
+
+/// One GEMM shape's throughput at each measured worker count.
+struct CurveRow {
+    label: &'static str,
+    kind: Kind,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// `(threads, GFLOP/s)` per measured point.
+    points: Vec<(usize, f64)>,
+}
+
+/// Throughput of every GEMM shape across worker counts, so a serving host
+/// can read the scaling curve (and its saturation point) straight from the
+/// bench instead of re-tuning blind. Every point is differentially checked
+/// against the reference output before its number counts.
+fn measure_thread_curves(repeats: usize, block: usize, thread_counts: &[usize]) -> Vec<CurveRow> {
+    let mut rng = StdRng::seed_from_u64(41);
+    GEMM_SHAPES
+        .into_iter()
+        .map(|(m, k, n, kind, label)| {
+            let a = Matrix::xavier(m, k, &mut rng);
+            let b = match kind {
+                Kind::Nn => Matrix::xavier(k, n, &mut rng),
+                Kind::Nt => Matrix::xavier(n, k, &mut rng),
+            };
+            let reference = match kind {
+                Kind::Nn => a.matmul_reference(&b),
+                Kind::Nt => a.matmul_nt_reference(&b),
+            };
+            let points = thread_counts
+                .iter()
+                .map(|&threads| {
+                    let cfg = KernelConfig {
+                        threads,
+                        block_size: block,
+                    };
+                    let (secs, out) = best_secs(repeats, || {
+                        kernel::scoped(cfg, || match kind {
+                            Kind::Nn => a.matmul(&b),
+                            Kind::Nt => a.matmul_nt(&b),
+                        })
+                    });
+                    assert_eq!(
+                        reference.data(),
+                        out.data(),
+                        "thread-curve drifted at {label} with {threads} threads"
+                    );
+                    (threads, gflops(m, k, n, secs))
+                })
+                .collect();
+            CurveRow {
+                label,
+                kind,
+                m,
+                k,
+                n,
+                points,
             }
         })
         .collect()
@@ -193,6 +264,7 @@ fn json_num(v: f64) -> String {
 
 fn render_json(
     gemms: &[GemmRow],
+    curves: &[CurveRow],
     stages: &[StageRow],
     steady: (u64, u64, u64),
     blocked: KernelConfig,
@@ -223,6 +295,24 @@ fn render_json(
             json_num(r.parallel),
             json_num(r.blocked / r.reference),
             if i + 1 < gemms.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"gemm_thread_curves\": [\n");
+    for (i, r) in curves.iter().enumerate() {
+        let points: Vec<String> = r
+            .points
+            .iter()
+            .map(|&(t, gf)| format!("\"{}\": {}", t, json_num(gf)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}x{}x{}\", \"kind\": \"{}\", \"label\": \"{}\", \"gflops_by_threads\": {{{}}}}}{}\n",
+            r.m,
+            r.k,
+            r.n,
+            if r.kind == Kind::Nt { "nt" } else { "nn" },
+            r.label,
+            points.join(", "),
+            if i + 1 < curves.len() { "," } else { "" },
         ));
     }
     out.push_str("  ],\n  \"stage_latency_us\": [\n");
@@ -261,6 +351,7 @@ fn main() {
     }
 
     let gemms = measure_gemms(repeats, blocked, parallel);
+    let curves = measure_thread_curves(repeats, block, &[1, 2, 4]);
     let stages = measure_stages(repeats, parallel);
     let steady = steady_state(parallel);
 
@@ -284,6 +375,27 @@ fn main() {
             &rows,
         )
     );
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.label.to_string()];
+            row.extend(r.points.iter().map(|&(_, gf)| report::fmt(gf)));
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("shape".to_string())
+        .chain(
+            curves
+                .first()
+                .map(|c| c.points.as_slice())
+                .unwrap_or_default()
+                .iter()
+                .map(|&(t, _)| format!("{t} thr")),
+        )
+        .collect();
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("GEMM scaling by worker count (GFLOP/s, block={block}):\n");
+    println!("{}", report::render_table(&headers, &rows));
     let rows: Vec<Vec<String>> = stages
         .iter()
         .map(|r| {
@@ -304,7 +416,7 @@ fn main() {
         steady.0, steady.1, steady.2
     );
 
-    let json = render_json(&gemms, &stages, steady, blocked, parallel, repeats);
+    let json = render_json(&gemms, &curves, &stages, steady, blocked, parallel, repeats);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);

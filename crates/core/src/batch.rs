@@ -108,19 +108,44 @@ fn plan_batch_inner(
 
     let mut chosen: Vec<(usize, JoinOrder)> = Vec::with_capacity(live.len());
     recorder.timed(Stage::Beam, || {
-        for (&i, s_out) in live.iter().zip(&shared_a) {
-            let Some(s) = serialized[i].as_ref() else {
-                continue;
-            };
-            let table_reps = table_representations(s_out, &s.scan_node_of_slot);
-            let candidates = beam_search(
-                model.jo_module(),
-                s_out,
-                &table_reps,
-                &s.graph,
-                config.beam_width,
-                true,
-            );
+        // Serving must emit executable left-deep orders: legality pruning
+        // is forced on regardless of the configured default. With
+        // `beam.batch` every step of every live query's beam is scored in
+        // ONE packed decoder forward (`beam_search_multi`); otherwise the
+        // queries decode one at a time. Both are bitwise-identical.
+        let beam_config = config.beam.constrained().left_deep();
+        let jo = model.jo_module();
+        let mut decoded: Vec<(usize, &SerializedPlan, Vec<crate::beam::BeamCandidate>)> =
+            Vec::with_capacity(live.len());
+        if beam_config.batch {
+            let mut plans: Vec<(usize, &SerializedPlan)> = Vec::with_capacity(live.len());
+            let mut caches = Vec::with_capacity(live.len());
+            let mut graphs = Vec::with_capacity(live.len());
+            for (&i, s_out) in live.iter().zip(&shared_a) {
+                let Some(s) = serialized[i].as_ref() else {
+                    continue;
+                };
+                let table_reps = table_representations(s_out, &s.scan_node_of_slot);
+                caches.push(jo.decode_cache(s_out, &table_reps));
+                graphs.push(&s.graph);
+                plans.push((i, s));
+            }
+            let all = crate::beam::beam_search_multi(jo, &caches, &graphs, &beam_config);
+            for ((i, s), candidates) in plans.into_iter().zip(all) {
+                decoded.push((i, s, candidates));
+            }
+        } else {
+            for (&i, s_out) in live.iter().zip(&shared_a) {
+                let Some(s) = serialized[i].as_ref() else {
+                    continue;
+                };
+                let table_reps = table_representations(s_out, &s.scan_node_of_slot);
+                let candidates =
+                    beam_search(jo, s_out, &table_reps, &s.graph, &beam_config);
+                decoded.push((i, s, candidates));
+            }
+        }
+        for (i, s, candidates) in decoded {
             match candidates.first() {
                 Some(best) => chosen.push((
                     i,

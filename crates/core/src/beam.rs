@@ -9,9 +9,107 @@
 //! candidate source for the sequence-level loss of Section 5, whose `λ`
 //! term penalizes illegal mass.
 
-use crate::transjo::TransJo;
+use crate::transjo::{DecodeCache, TransJo};
 use mtmlf_nn::Var;
 use mtmlf_query::JoinGraph;
+
+/// Which candidate extensions a beam step may propose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Legality {
+    /// Only frontier tables (joinable with the prefix) — every emitted
+    /// order is executable.
+    Constrained,
+    /// The model's raw preferences; legality is recorded per candidate
+    /// (the candidate source for the Section 5 sequence-level loss).
+    Unconstrained,
+}
+
+/// The plan space the decoder searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Left-deep join orders (pointer decoding, Section 4.3).
+    LeftDeep,
+    /// Bushy trees via the Section 4.1 codec's position head.
+    Bushy,
+}
+
+/// How a beam search is decoded: its width, legality pruning, plan shape,
+/// and whether each step scores all live prefixes in one packed forward
+/// (`batch`) or one decoder call per prefix. The batched path is
+/// bitwise-identical to the sequential one (pinned by
+/// `tests/beam_equivalence.rs`) — `batch: false` exists for differential
+/// testing and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeamConfig {
+    /// Beam width (≥ 1).
+    pub width: usize,
+    /// Extension pruning mode.
+    pub legality: Legality,
+    /// Searched plan shape.
+    pub shape: TreeShape,
+    /// Score all live prefixes per step in one packed decoder forward.
+    pub batch: bool,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl BeamConfig {
+    /// Constrained, left-deep, batched decoding at `width`.
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            legality: Legality::Constrained,
+            shape: TreeShape::LeftDeep,
+            batch: true,
+        }
+    }
+
+    /// Sets the beam width.
+    pub fn width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Only propose executable extensions.
+    pub fn constrained(mut self) -> Self {
+        self.legality = Legality::Constrained;
+        self
+    }
+
+    /// Keep the model's raw top-k and record legality per candidate.
+    pub fn unconstrained(mut self) -> Self {
+        self.legality = Legality::Unconstrained;
+        self
+    }
+
+    /// Search left-deep join orders.
+    pub fn left_deep(mut self) -> Self {
+        self.shape = TreeShape::LeftDeep;
+        self
+    }
+
+    /// Search bushy join trees.
+    pub fn bushy(mut self) -> Self {
+        self.shape = TreeShape::Bushy;
+        self
+    }
+
+    /// One packed decoder forward per step (the default).
+    pub fn batched(mut self) -> Self {
+        self.batch = true;
+        self
+    }
+
+    /// One decoder call per live prefix per step.
+    pub fn sequential(mut self) -> Self {
+        self.batch = false;
+        self
+    }
+}
 
 /// One beam-search candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,78 +122,220 @@ pub struct BeamCandidate {
     pub legal: bool,
 }
 
-/// Runs beam search with width `width` over the `m` tables of a query.
+/// One proposed extension of a live prefix: `beams[parent]` extended by
+/// `slot`. Candidates stay `Copy` so a beam step never clones prefix
+/// vectors — only the `width` survivors of the sort are materialized.
+#[derive(Clone, Copy)]
+struct Extension {
+    parent: u32,
+    slot: u32,
+    log_prob: f32,
+}
+
+/// Proposes every allowed extension of one live prefix, renormalizing the
+/// step's probability mass over the available tables. Candidate order —
+/// ascending slot within a prefix, prefixes in beam order — is part of the
+/// bitwise-equivalence contract with the sequential path: the final stable
+/// sort breaks ties by this insertion order.
+// lint: hot-path
+fn extend_prefix(
+    row: &[f32],
+    prefix: &[usize],
+    parent: u32,
+    log_prob: f32,
+    graph: &JoinGraph,
+    legality: Legality,
+    next: &mut Vec<Extension>,
+) {
+    let m = graph.len();
+    let chosen: u64 = prefix.iter().fold(0, |b, &s| b | (1 << s));
+    let frontier = graph.frontier(chosen);
+    let allowed = |s: usize| {
+        chosen & (1 << s) == 0
+            && (legality == Legality::Unconstrained || frontier & (1 << s) != 0)
+    };
+    // Log-softmax over the available tables, accumulated in ascending slot
+    // order (the same order the sequential path used).
+    let mut max = f32::NEG_INFINITY;
+    for (s, &v) in row.iter().enumerate().take(m) {
+        if allowed(s) {
+            max = max.max(v);
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        return; // no available extension
+    }
+    let mut sum = 0.0f32;
+    for (s, &v) in row.iter().enumerate().take(m) {
+        if allowed(s) {
+            sum += (v - max).exp();
+        }
+    }
+    let lse = max + sum.ln();
+    for (s, &v) in row.iter().enumerate().take(m) {
+        if allowed(s) {
+            next.push(Extension {
+                parent,
+                slot: s as u32,
+                log_prob: log_prob + v - lse,
+            });
+        }
+    }
+}
+
+/// Per-query beam state shared by the sequential and batched drivers.
+struct BeamState<'a> {
+    graph: &'a JoinGraph,
+    /// Live prefixes with cumulative log-probabilities.
+    beams: Vec<(Vec<usize>, f32)>,
+    /// Extension scratch, reused across steps.
+    next: Vec<Extension>,
+    done: bool,
+}
+
+impl<'a> BeamState<'a> {
+    fn new(graph: &'a JoinGraph) -> Self {
+        Self {
+            graph,
+            beams: vec![(Vec::new(), 0.0)],
+            next: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Applies one step's logits rows (one row per live prefix, in beam
+    /// order): proposes extensions, keeps the top `width` by stable sort,
+    /// and materializes the surviving prefixes.
+    fn advance(&mut self, rows: &[&[f32]], legality: Legality, width: usize) {
+        debug_assert_eq!(rows.len(), self.beams.len());
+        self.next.clear();
+        for (i, ((prefix, lp), row)) in self.beams.iter().zip(rows).enumerate() {
+            extend_prefix(row, prefix, i as u32, *lp, self.graph, legality, &mut self.next);
+        }
+        self.next.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+        self.next.truncate(width);
+        if self.next.is_empty() {
+            self.done = true;
+            return;
+        }
+        let survivors: Vec<(Vec<usize>, f32)> = self
+            .next
+            .iter()
+            .map(|e| {
+                let parent = &self.beams[e.parent as usize].0;
+                let mut slots = Vec::with_capacity(parent.len() + 1);
+                slots.extend_from_slice(parent);
+                slots.push(e.slot as usize);
+                (slots, e.log_prob)
+            })
+            .collect();
+        self.beams = survivors;
+    }
+
+    /// Full-length candidates, legality-checked and sorted by descending
+    /// log-probability.
+    fn finish(self) -> Vec<BeamCandidate> {
+        let m = self.graph.len();
+        let graph = self.graph;
+        let mut out: Vec<BeamCandidate> = self
+            .beams
+            .into_iter()
+            .filter(|(slots, _)| slots.len() == m)
+            .map(|(slots, log_prob)| {
+                let legal = graph.check_left_deep(&slots).is_ok();
+                BeamCandidate {
+                    slots,
+                    log_prob,
+                    legal,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+        out
+    }
+}
+
+/// Runs left-deep beam search for one query under `config`.
 ///
-/// With `constrained = true`, steps only propose legal extensions
-/// (guaranteeing an executable result); with `false`, the top-k raw model
-/// preferences are kept and legality is recorded per candidate.
+/// With `config.batch` every step scores all live prefixes in one packed
+/// decoder forward against a per-query [`DecodeCache`]; otherwise the
+/// decoder runs once per prefix. Both paths are bitwise-identical.
 /// Candidates are returned sorted by descending log-probability.
 pub fn beam_search(
     jo: &TransJo,
     memory: &Var,
     table_reps: &Var,
     graph: &JoinGraph,
-    width: usize,
-    constrained: bool,
+    config: &BeamConfig,
 ) -> Vec<BeamCandidate> {
+    if config.batch {
+        let cache = jo.decode_cache(memory, table_reps);
+        return beam_search_multi(jo, &[cache], &[graph], config)
+            .pop()
+            .unwrap_or_default();
+    }
     let m = graph.len();
     debug_assert!(m >= 1);
-    let width = width.max(1);
-    let mut beams: Vec<(Vec<usize>, f32)> = vec![(Vec::new(), 0.0)];
+    let width = config.width.max(1);
+    let mut state = BeamState::new(graph);
     for _step in 0..m {
-        let mut next: Vec<(Vec<usize>, f32)> = Vec::with_capacity(beams.len() * m);
-        for (prefix, lp) in &beams {
-            let logits = jo.step_logits(memory, table_reps, prefix).to_matrix();
-            let row = logits.row(prefix.len());
-            let chosen: u64 = prefix.iter().fold(0, |b, &s| b | (1 << s));
-            // Log-softmax over the not-yet-chosen tables (probability mass
-            // is always renormalized over available tables; legality
-            // masking additionally removes non-frontier tables).
-            let frontier = graph.frontier(chosen);
-            let available: Vec<usize> = (0..m)
-                .filter(|&s| chosen & (1 << s) == 0)
-                .filter(|&s| !constrained || frontier & (1 << s) != 0)
-                .collect();
-            if available.is_empty() {
-                continue;
-            }
-            let max = available
-                .iter()
-                .map(|&s| row[s])
-                .fold(f32::NEG_INFINITY, f32::max);
-            let lse = max
-                + available
-                    .iter()
-                    .map(|&s| (row[s] - max).exp())
-                    .sum::<f32>()
-                    .ln();
-            for &s in &available {
-                let mut slots = prefix.clone();
-                slots.push(s);
-                next.push((slots, lp + row[s] - lse));
-            }
-        }
-        next.sort_by(|a, b| b.1.total_cmp(&a.1));
-        next.truncate(width);
-        if next.is_empty() {
+        let logits: Vec<mtmlf_nn::Matrix> = state
+            .beams
+            .iter()
+            .map(|(prefix, _)| jo.step_logits(memory, table_reps, prefix).to_matrix())
+            .collect();
+        let rows: Vec<&[f32]> = logits
+            .iter()
+            .zip(&state.beams)
+            .map(|(l, (prefix, _))| l.row(prefix.len()))
+            .collect();
+        state.advance(&rows, config.legality, width);
+        if state.done {
             break;
         }
-        beams = next;
     }
-    let mut out: Vec<BeamCandidate> = beams
-        .into_iter()
-        .filter(|(slots, _)| slots.len() == m)
-        .map(|(slots, log_prob)| {
-            let legal = graph.check_left_deep(&slots).is_ok();
-            BeamCandidate {
-                slots,
-                log_prob,
-                legal,
+    state.finish()
+}
+
+/// Runs left-deep beam search for several queries at once: every step
+/// scores all live prefixes of all queries in **one** packed decoder
+/// forward ([`TransJo::step_logits_batch`]). Returns per-query candidate
+/// lists in input order, each bitwise-identical to a per-query
+/// [`beam_search`].
+pub fn beam_search_multi(
+    jo: &TransJo,
+    caches: &[DecodeCache],
+    graphs: &[&JoinGraph],
+    config: &BeamConfig,
+) -> Vec<Vec<BeamCandidate>> {
+    debug_assert_eq!(caches.len(), graphs.len());
+    let width = config.width.max(1);
+    let mut states: Vec<BeamState> = graphs.iter().map(|g| BeamState::new(g)).collect();
+    let max_steps = graphs.iter().map(|g| g.len()).max().unwrap_or(0);
+    for step in 0..max_steps {
+        let mut entries: Vec<(usize, &[usize])> = Vec::new();
+        for (qi, state) in states.iter().enumerate() {
+            if state.done || step >= state.graph.len() {
+                continue;
             }
-        })
-        .collect();
-    out.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
-    out
+            for (prefix, _) in &state.beams {
+                entries.push((qi, prefix.as_slice()));
+            }
+        }
+        if entries.is_empty() {
+            break;
+        }
+        let logits = jo.step_logits_batch(caches, &entries);
+        for (qi, state) in states.iter_mut().enumerate() {
+            if state.done || step >= state.graph.len() {
+                continue;
+            }
+            let per_query = &logits[qi];
+            let rows: Vec<&[f32]> = (0..state.beams.len()).map(|r| per_query.row(r)).collect();
+            state.advance(&rows, config.legality, width);
+        }
+    }
+    states.into_iter().map(BeamState::finish).collect()
 }
 
 /// A bushy beam-search candidate: a full join tree over query slots.
@@ -120,10 +360,11 @@ pub fn beam_search_bushy(
     memory: &Var,
     table_reps: &Var,
     graph: &JoinGraph,
-    width: usize,
+    config: &BeamConfig,
 ) -> Vec<BushyCandidate> {
     use mtmlf_query::treecodec::{decode, DecodingEmbedding};
 
+    let width = config.width.max(1);
     let m = graph.len();
     let dim = jo.position_width();
     // Active codec width for m tables: 2^(m-1), capped by the head width.
@@ -337,7 +578,7 @@ mod tests {
     fn constrained_candidates_all_legal() {
         let (jo, memory, table_reps, _) = setup(4);
         let g = chain(4);
-        let out = beam_search(&jo, &memory, &table_reps, &g, 4, true);
+        let out = beam_search(&jo, &memory, &table_reps, &g, &BeamConfig::new(4));
         assert!(!out.is_empty());
         for c in &out {
             assert!(c.legal);
@@ -354,7 +595,13 @@ mod tests {
     fn unconstrained_may_contain_illegal_and_marks_them() {
         let (jo, memory, table_reps, _) = setup(4);
         let g = chain(4);
-        let out = beam_search(&jo, &memory, &table_reps, &g, 8, false);
+        let out = beam_search(
+            &jo,
+            &memory,
+            &table_reps,
+            &g,
+            &BeamConfig::new(8).unconstrained(),
+        );
         assert!(!out.is_empty());
         for c in &out {
             assert_eq!(c.legal, g.check_left_deep(&c.slots).is_ok());
@@ -363,7 +610,7 @@ mod tests {
         // explored permutation of a chain is typically illegal; at minimum
         // the count of candidates exceeds the number of legal chain orders
         // found by the constrained search with the same width.
-        let constrained = beam_search(&jo, &memory, &table_reps, &g, 8, true);
+        let constrained = beam_search(&jo, &memory, &table_reps, &g, &BeamConfig::new(8));
         assert!(out.len() >= constrained.len());
     }
 
@@ -371,7 +618,7 @@ mod tests {
     fn candidates_are_permutations() {
         let (jo, memory, table_reps, _) = setup(5);
         let g = chain(5);
-        for c in beam_search(&jo, &memory, &table_reps, &g, 3, true) {
+        for c in beam_search(&jo, &memory, &table_reps, &g, &BeamConfig::new(3)) {
             let mut sorted = c.slots.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
@@ -383,9 +630,49 @@ mod tests {
         let (jo, memory, table_reps, _) = setup(1);
         let g = JoinGraph::from_edges(vec![TableId(0)], &[]).unwrap();
         let single_rep = table_reps.slice_rows(0, 1);
-        let out = beam_search(&jo, &memory, &single_rep, &g, 4, true);
+        let out = beam_search(&jo, &memory, &single_rep, &g, &BeamConfig::new(4));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].slots, vec![0]);
+    }
+
+    #[test]
+    fn batched_matches_sequential_bitwise() {
+        let (jo, memory, table_reps, _) = setup(4);
+        for g in [chain(4), {
+            let vertices = (0..4u32).map(TableId).collect();
+            JoinGraph::from_edges(vertices, &[(0, 1), (0, 2), (0, 3)]).unwrap()
+        }] {
+            for width in [1usize, 2, 4, 8] {
+                for legality in [Legality::Constrained, Legality::Unconstrained] {
+                    let cfg = BeamConfig {
+                        width,
+                        legality,
+                        shape: TreeShape::LeftDeep,
+                        batch: false,
+                    };
+                    let seq = beam_search(&jo, &memory, &table_reps, &g, &cfg);
+                    let bat = beam_search(&jo, &memory, &table_reps, &g, &cfg.batched());
+                    assert_eq!(seq, bat, "width {width} legality {legality:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_query_matches_per_query() {
+        let (jo, memory, table_reps, _) = setup(4);
+        let g1 = chain(4);
+        let g2 = chain(3);
+        let reps2 = table_reps.slice_rows(0, 3);
+        let config = BeamConfig::new(4);
+        let caches = [
+            jo.decode_cache(&memory, &table_reps),
+            jo.decode_cache(&memory, &reps2),
+        ];
+        let multi = beam_search_multi(&jo, &caches, &[&g1, &g2], &config);
+        let one = beam_search(&jo, &memory, &table_reps, &g1, &config);
+        let two = beam_search(&jo, &memory, &reps2, &g2, &config);
+        assert_eq!(multi, vec![one, two]);
     }
 
     #[test]
@@ -394,7 +681,7 @@ mod tests {
         let (jo, memory, table_reps, _) = setup(4);
         let vertices = (0..4u32).map(TableId).collect();
         let g = JoinGraph::from_edges(vertices, &[(0, 1), (0, 2), (0, 3)]).unwrap();
-        for c in beam_search(&jo, &memory, &table_reps, &g, 6, true) {
+        for c in beam_search(&jo, &memory, &table_reps, &g, &BeamConfig::new(6)) {
             let hub_pos = c.slots.iter().position(|&s| s == 0).unwrap();
             assert!(hub_pos <= 1, "hub at {hub_pos} in {:?}", c.slots);
         }
@@ -437,7 +724,7 @@ mod bushy_tests {
     fn bushy_candidates_are_valid_trees() {
         let (jo, memory, table_reps) = setup(4);
         let g = clique(4);
-        let out = beam_search_bushy(&jo, &memory, &table_reps, &g, 4);
+        let out = beam_search_bushy(&jo, &memory, &table_reps, &g, &BeamConfig::new(4).bushy());
         assert!(!out.is_empty(), "clique accepts any tree shape");
         for c in &out {
             assert_eq!(c.tree.leaf_count(), 4);
@@ -455,7 +742,7 @@ mod bushy_tests {
     fn bushy_candidates_respect_chain_legality() {
         let (jo, memory, table_reps) = setup(4);
         let g = chain(4);
-        for c in beam_search_bushy(&jo, &memory, &table_reps, &g, 8) {
+        for c in beam_search_bushy(&jo, &memory, &table_reps, &g, &BeamConfig::new(8).bushy()) {
             // Every join node must connect its sides in the chain; e.g. a
             // (0⋈2) node would be illegal. Re-check with the local checker.
             let leaves = c.tree.leaves();
@@ -480,7 +767,7 @@ mod bushy_tests {
         let (jo, memory, table_reps) = setup(1);
         let g = JoinGraph::from_edges(vec![TableId(0)], &[]).unwrap();
         let reps = table_reps.slice_rows(0, 1);
-        let out = beam_search_bushy(&jo, &memory, &reps, &g, 4);
+        let out = beam_search_bushy(&jo, &memory, &reps, &g, &BeamConfig::new(4).bushy());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].tree, mtmlf_query::JoinTree::Leaf(TableId(0)));
     }

@@ -1,5 +1,6 @@
 //! Model hyper-parameters.
 
+use crate::beam::BeamConfig;
 use crate::error::MtmlfError;
 use mtmlf_nn::KernelConfig;
 
@@ -110,8 +111,11 @@ pub struct MtmlfConfig {
     pub enc_epochs: usize,
     /// Single-table queries generated per table for encoder pre-training.
     pub enc_queries: usize,
-    /// Beam width `k` of the join-order beam search (Section 4.3).
-    pub beam_width: usize,
+    /// Join-order beam decoding: width `k` (Section 4.3), legality
+    /// pruning, plan shape, and batched-vs-sequential stepping. All
+    /// settings of `beam.batch` are bitwise-equivalent — see
+    /// `tests/beam_equivalence.rs` — so it affects latency only.
+    pub beam: BeamConfig,
     /// Train `Trans_JO` with the sequence-level JOEU loss (Section 5)
     /// instead of token-level cross-entropy only.
     pub sequence_loss: bool,
@@ -147,7 +151,7 @@ impl Default for MtmlfConfig {
             enc_lr: 2e-3,
             enc_epochs: 30,
             enc_queries: 200,
-            beam_width: 8,
+            beam: BeamConfig::new(8),
             sequence_loss: false,
             lambda_illegal: 2.0,
             bushy: false,
@@ -184,14 +188,17 @@ impl MtmlfConfig {
     /// let config = MtmlfConfig::builder()
     ///     .d_model(64)
     ///     .heads(4)
-    ///     .beam_width(4)
+    ///     .beam(mtmlf::BeamConfig::new(4))
     ///     .build()
     ///     .unwrap();
     /// assert_eq!(config.d_model, 64);
     ///
     /// // d_model must divide into heads; zero beam width is meaningless.
     /// assert!(MtmlfConfig::builder().d_model(10).heads(3).build().is_err());
-    /// assert!(MtmlfConfig::builder().beam_width(0).build().is_err());
+    /// assert!(MtmlfConfig::builder()
+    ///     .beam(mtmlf::BeamConfig::new(0))
+    ///     .build()
+    ///     .is_err());
     /// ```
     pub fn builder() -> MtmlfConfigBuilder {
         MtmlfConfigBuilder {
@@ -217,8 +224,8 @@ impl MtmlfConfig {
                 self.d_model, self.heads
             ));
         }
-        if self.beam_width == 0 {
-            return invalid("beam_width must be at least 1".into());
+        if self.beam.width == 0 {
+            return invalid("beam.width must be at least 1".into());
         }
         if self.max_cols == 0 {
             return invalid("max_cols must be positive".into());
@@ -311,8 +318,8 @@ impl MtmlfConfigBuilder {
         enc_epochs: usize,
         /// Single-table queries per table for encoder pre-training.
         enc_queries: usize,
-        /// Beam width of the join-order beam search.
-        beam_width: usize,
+        /// Join-order beam decoding (width, legality, shape, batching).
+        beam: BeamConfig,
         /// Use the sequence-level JOEU loss.
         sequence_loss: bool,
         /// Penalty on illegal candidate mass in the sequence-level loss.
@@ -365,7 +372,7 @@ mod tests {
         let c = MtmlfConfig::builder()
             .d_model(24)
             .heads(3)
-            .beam_width(2)
+            .beam(BeamConfig::new(2))
             .epochs(1)
             .seed(7)
             .build()
@@ -385,7 +392,7 @@ mod tests {
         assert!(invalid(MtmlfConfig::builder().d_model(10).heads(3)));
         assert!(invalid(MtmlfConfig::builder().d_model(0)));
         assert!(invalid(MtmlfConfig::builder().heads(0)));
-        assert!(invalid(MtmlfConfig::builder().beam_width(0)));
+        assert!(invalid(MtmlfConfig::builder().beam(BeamConfig::new(0))));
         assert!(invalid(MtmlfConfig::builder().max_query_tables(0)));
         assert!(invalid(MtmlfConfig::builder().max_query_tables(40)));
         assert!(invalid(MtmlfConfig::builder().lr(0.0)));

@@ -67,6 +67,18 @@ impl TableEncoder {
         self.card_head.forward(&self.encode(tokens))
     }
 
+    /// The detached embedding *and* the predicted log-cardinality from one
+    /// encoder forward. [`TableEncoder::embed`] followed by
+    /// [`TableEncoder::predict_log_card`] runs the transformer twice on the
+    /// same tokens; the serializer needs both outputs for every scan node,
+    /// so this shared-forward variant halves featurization encoder work.
+    /// Outputs are bitwise-identical to the two separate calls.
+    pub fn embed_with_logcard(&self, tokens: &Matrix) -> (Matrix, f32) {
+        let pooled = self.encode(tokens);
+        let log_card = self.card_head.forward(&pooled).item();
+        (pooled.to_matrix(), log_card)
+    }
+
     /// Pre-trains the encoder on `(tokens, true_cardinality)` samples with
     /// the Q-error surrogate. Returns the final-epoch mean loss.
     pub fn fit(&mut self, samples: &[(Matrix, u64)], epochs: usize, lr: f32, seed: u64) -> f32 {

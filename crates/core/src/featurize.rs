@@ -22,11 +22,28 @@ use mtmlf_query::{CmpOp, FilterPredicate, LikePattern};
 use mtmlf_storage::{Column, Database, TableId, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// Predicate-kind slots: eq, neq, lt, le, gt, ge, between, like-contains,
 /// like-prefix, like-suffix, in-set.
 const PRED_KINDS: usize = 11;
+
+/// Upper bound on distinct memoized encoder forwards. Serving workloads
+/// repeat a small set of per-table filter shapes, so a few thousand entries
+/// cover them; past the cap new results are returned uncached rather than
+/// evicted (no LRU bookkeeping on the hot path).
+const EMBED_CACHE_CAP: usize = 4096;
+
+/// One memoized encoder forward. The exact token bit pattern is kept so a
+/// hash collision can never serve the wrong embedding: hits require the
+/// full token matrix to match bit-for-bit.
+struct CachedEmbedding {
+    token_bits: Vec<u32>,
+    embedding: Matrix,
+    log_card: f32,
+}
 
 /// The per-database featurization module: per-table encoders plus the
 /// column metadata needed for value normalization.
@@ -46,6 +63,11 @@ pub struct FeaturizationModule {
     max_cols: usize,
     needle_buckets: usize,
     d_model: usize,
+    /// Memoized encoder forwards keyed by `(table, token-bits hash)`, with
+    /// exact token verification per entry. Shared across clones (encoders
+    /// are frozen after [`FeaturizationModule::fit`], so entries never go
+    /// stale) and bounded by [`EMBED_CACHE_CAP`].
+    embed_cache: Arc<Mutex<HashMap<(usize, u64), Vec<CachedEmbedding>>>>,
 }
 
 impl FeaturizationModule {
@@ -111,6 +133,7 @@ impl FeaturizationModule {
             max_cols: config.max_cols,
             needle_buckets: config.needle_buckets,
             d_model: config.d_model,
+            embed_cache: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -216,11 +239,7 @@ impl FeaturizationModule {
     /// The table-distribution embedding `E(f(T_i))` as a detached matrix
     /// `(1, d_model)`.
     pub fn table_embedding(&self, table: TableId, filters: &[FilterPredicate]) -> Result<Matrix> {
-        let enc = self
-            .encoders
-            .get(table.index())
-            .ok_or(MtmlfError::EncoderMissing(table.0))?;
-        Ok(enc.embed(&self.predicate_tokens(table, filters)))
+        Ok(self.table_embedding_with_logcard(table, filters)?.0)
     }
 
     /// The table-distribution embedding plus the encoder's own predicted
@@ -228,6 +247,12 @@ impl FeaturizationModule {
     /// The serializer feeds both to the shared module: the embedding is the
     /// learned distribution summary, the log-cardinality an explicit
     /// filtered-size signal (both are (F)-module outputs, detached).
+    ///
+    /// Both values come from *one* encoder forward
+    /// ([`TableEncoder::embed_with_logcard`]) and are memoized per exact
+    /// token matrix: repeated filter shapes — the common case in serving
+    /// workloads — skip the transformer entirely. Cached results are the
+    /// stored matrices themselves, so hits are bitwise-identical to misses.
     pub fn table_embedding_with_logcard(
         &self,
         table: TableId,
@@ -238,7 +263,39 @@ impl FeaturizationModule {
             .get(table.index())
             .ok_or(MtmlfError::EncoderMissing(table.0))?;
         let tokens = self.predicate_tokens(table, filters);
-        Ok((enc.embed(&tokens), enc.predict_log_card(&tokens).item()))
+        let bits: Vec<u32> = tokens.data().iter().map(|v| v.to_bits()).collect();
+        let key = (table.index(), hash_token_bits(&bits));
+        {
+            let cache = self.embed_cache.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(bucket) = cache.get(&key) {
+                for entry in bucket {
+                    if entry.token_bits == bits {
+                        return Ok((entry.embedding.clone(), entry.log_card));
+                    }
+                }
+            }
+        }
+        let (embedding, log_card) = enc.embed_with_logcard(&tokens);
+        let mut cache = self.embed_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if cache.len() < EMBED_CACHE_CAP {
+            cache.entry(key).or_default().push(CachedEmbedding {
+                token_bits: bits,
+                embedding: embedding.clone(),
+                log_card,
+            });
+        }
+        Ok((embedding, log_card))
+    }
+
+    /// Drops all memoized encoder forwards. Must be called after any
+    /// in-place mutation of encoder parameters — e.g. loading persisted
+    /// weights — otherwise later lookups would serve embeddings computed
+    /// from the old weights.
+    pub fn invalidate_embedding_cache(&self) {
+        self.embed_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
     }
 
     /// Borrow a table's encoder (evaluation of encoder quality).
@@ -281,6 +338,12 @@ fn hash_needle(needle: &str, buckets: usize) -> usize {
     let mut h = mtmlf_exec::hasher::FxHasher::default();
     needle.hash(&mut h);
     (h.finish() as usize) % buckets.max(1)
+}
+
+fn hash_token_bits(bits: &[u32]) -> u64 {
+    let mut h = mtmlf_exec::hasher::FxHasher::default();
+    bits.hash(&mut h);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -371,6 +434,38 @@ mod tests {
         let e2 = f.table_embedding(TableId(2), &[]).unwrap();
         assert_eq!(e1.shape(), (1, cfg.d_model));
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn logcard_embedding_memoized_and_bitwise_stable() {
+        let db = small_db();
+        let cfg = MtmlfConfig::tiny();
+        let f = FeaturizationModule::untrained(&db, &cfg).unwrap();
+        let filters = vec![FilterPredicate::Cmp {
+            column: ColumnId(1),
+            op: CmpOp::Le,
+            value: Value::Int(1990),
+        }];
+        // Reference: the historical pair of separate encoder forwards.
+        let enc = f.encoder(TableId(0)).unwrap();
+        let tokens = f.predicate_tokens(TableId(0), &filters);
+        let reference = (enc.embed(&tokens), enc.predict_log_card(&tokens).item());
+        // Cache miss, then hit: both must match the reference bitwise.
+        let miss = f.table_embedding_with_logcard(TableId(0), &filters).unwrap();
+        let hit = f.table_embedding_with_logcard(TableId(0), &filters).unwrap();
+        assert_eq!(miss.0, reference.0);
+        assert_eq!(miss.1.to_bits(), reference.1.to_bits());
+        assert_eq!(hit.0, miss.0);
+        assert_eq!(hit.1.to_bits(), miss.1.to_bits());
+        // Clones share the memo (encoder parameters are frozen/shared too).
+        let clone = f.clone();
+        let via_clone = clone
+            .table_embedding_with_logcard(TableId(0), &filters)
+            .unwrap();
+        assert_eq!(via_clone.0, miss.0);
+        assert_eq!(via_clone.1.to_bits(), miss.1.to_bits());
+        // The plain-embedding entry point rides the same cache.
+        assert_eq!(f.table_embedding(TableId(0), &filters).unwrap(), miss.0);
     }
 
     #[test]

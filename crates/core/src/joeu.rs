@@ -39,9 +39,9 @@ fn order_log_prob(jo: &TransJo, memory: &Var, table_reps: &Var, order: &[usize])
 
 /// Builds the sequence-level loss `L_JO` of Eq. 3 for one query.
 ///
-/// Candidates come from an *unconstrained* beam search of width
-/// `beam_width` (so the model's illegal preferences are visible to the
-/// `λ` term).
+/// Candidates come from an *unconstrained* beam search at `beam.width`
+/// (legality pruning is forced off regardless of the configured default,
+/// so the model's illegal preferences are visible to the `λ` term).
 ///
 /// **Stabilized realization.** Read literally, Eq. 3's second and third
 /// terms add `weight · log p(u)` with positive weights — unbounded below:
@@ -60,15 +60,20 @@ pub fn sequence_level_loss(
     table_reps: &Var,
     graph: &JoinGraph,
     optimal: &[usize],
-    beam_width: usize,
+    beam: &crate::beam::BeamConfig,
     lambda: f32,
 ) -> Var {
     let m = optimal.len().max(1) as f32;
     // Term 1: −log p(u*), averaged per step (matching the token loss scale).
     let loss = order_log_prob(jo, memory, table_reps, optimal).scale(-1.0 / m);
 
-    let candidates: Vec<BeamCandidate> =
-        beam_search(jo, memory, table_reps, graph, beam_width, false);
+    let candidates: Vec<BeamCandidate> = beam_search(
+        jo,
+        memory,
+        table_reps,
+        graph,
+        &beam.unconstrained().left_deep(),
+    );
     if candidates.is_empty() {
         return loss;
     }
@@ -138,14 +143,28 @@ mod tests {
         graph.check_left_deep(&optimal).unwrap();
         let mut opt = Adam::new(mtmlf_nn::layers::Module::parameters(&jo), 3e-3);
         for _ in 0..60 {
-            let loss = sequence_level_loss(&jo, &memory, &table_reps, &graph, &optimal, 4, 2.0);
+            let loss = sequence_level_loss(
+                &jo,
+                &memory,
+                &table_reps,
+                &graph,
+                &optimal,
+                &crate::beam::BeamConfig::new(4),
+                2.0,
+            );
             opt.zero_grad();
             loss.backward();
             opt.step();
         }
         // The constrained beam's best candidate should now be the optimal
         // order.
-        let best = beam_search(&jo, &memory, &table_reps, &graph, 4, true)
+        let best = beam_search(
+            &jo,
+            &memory,
+            &table_reps,
+            &graph,
+            &crate::beam::BeamConfig::new(4),
+        )
             .into_iter()
             .next()
             .unwrap();
@@ -162,7 +181,13 @@ mod tests {
         let graph = chain(3);
         let optimal = [0usize, 1, 2];
         let illegal_mass = |jo: &TransJo| -> f32 {
-            beam_search(jo, &memory, &table_reps, &graph, 6, false)
+            beam_search(
+                jo,
+                &memory,
+                &table_reps,
+                &graph,
+                &crate::beam::BeamConfig::new(6).unconstrained(),
+            )
                 .iter()
                 .filter(|c| !c.legal)
                 .map(|c| c.log_prob.exp())
@@ -171,7 +196,15 @@ mod tests {
         let before = illegal_mass(&jo);
         let mut opt = Adam::new(mtmlf_nn::layers::Module::parameters(&jo), 3e-3);
         for _ in 0..50 {
-            let loss = sequence_level_loss(&jo, &memory, &table_reps, &graph, &optimal, 6, 4.0);
+            let loss = sequence_level_loss(
+                &jo,
+                &memory,
+                &table_reps,
+                &graph,
+                &optimal,
+                &crate::beam::BeamConfig::new(6),
+                4.0,
+            );
             opt.zero_grad();
             loss.backward();
             opt.step();

@@ -94,6 +94,7 @@ pub mod train;
 pub mod transjo;
 
 pub use batch::{plan_batch, plan_batch_traced, PlannedQuery};
+pub use beam::{BeamConfig, Legality, TreeShape};
 pub use cache::ShardedLruCache;
 pub use client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
 pub use cluster::{ClusterBuilder, ClusterConfig, ClusterService, HashRing, ReplicaId};
@@ -130,6 +131,7 @@ pub type Result<T> = std::result::Result<T, MtmlfError>;
 /// use mtmlf::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::beam::{BeamConfig, Legality, TreeShape};
     pub use crate::config::{MtmlfConfig, MtmlfConfigBuilder};
     pub use crate::error::MtmlfError;
     pub use crate::lifecycle::{

@@ -230,7 +230,7 @@ impl MtmlfQo {
                 &s,
                 &table_reps,
                 &serialized.graph,
-                self.config.beam_width,
+                &self.config.beam.bushy(),
             );
             Ok::<_, MtmlfError>((serialized, candidates))
         })?;
@@ -274,13 +274,14 @@ impl MtmlfQo {
             let serialized = serialize_plan(&self.featurization, query, plan, &self.config)?;
             let s = self.shared.forward(&serialized.features);
             let table_reps = table_representations(&s, &serialized.scan_node_of_slot);
+            // Serving must emit an executable order: legality pruning is
+            // forced on regardless of the configured default.
             let candidates = beam_search(
                 &self.jo,
                 &s,
                 &table_reps,
                 &serialized.graph,
-                self.config.beam_width,
-                true,
+                &self.config.beam.constrained().left_deep(),
             );
             if candidates.is_empty() {
                 return Err(MtmlfError::NoLegalOrder);
@@ -338,7 +339,10 @@ impl MtmlfQo {
     /// wants to supply its own starting plan.
     pub fn plan(&self, query: &Query) -> Result<JoinOrder> {
         let initial = self.initial_plan(query)?;
-        self.predict_join_order(query, &initial)
+        match self.config.beam.shape {
+            crate::beam::TreeShape::LeftDeep => self.predict_join_order(query, &initial),
+            crate::beam::TreeShape::Bushy => self.predict_bushy_join_order(query, &initial),
+        }
     }
 
     /// Plans a query and returns the predicted join order together with the

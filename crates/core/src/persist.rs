@@ -104,7 +104,11 @@ impl MtmlfQo {
     pub fn load_weights(&mut self, path: impl AsRef<Path>) -> Result<()> {
         let bytes = fs::read(path).map_err(MtmlfError::from)?;
         let payload = validate_envelope(&bytes)?;
-        load_parameters(payload, &self.all_parameters()).map_err(MtmlfError::from)
+        load_parameters(payload, &self.all_parameters()).map_err(MtmlfError::from)?;
+        // The encoder parameters just changed under the featurizer's memo
+        // cache; drop it so no stale embedding survives the swap.
+        self.featurization().invalidate_embedding_cache();
+        Ok(())
     }
 
     /// Loads a legacy headerless weight file (raw `mtmlf-nn` payload with
@@ -118,7 +122,9 @@ impl MtmlfQo {
                 "not a legacy mtmlf weight payload (bad magic)".into(),
             ));
         }
-        load_parameters(&bytes[..], &self.all_parameters()).map_err(MtmlfError::from)
+        load_parameters(&bytes[..], &self.all_parameters()).map_err(MtmlfError::from)?;
+        self.featurization().invalidate_embedding_cache();
+        Ok(())
     }
 }
 

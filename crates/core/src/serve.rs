@@ -1080,9 +1080,25 @@ fn worker_loop(ctx: &WorkerCtx, rx: &Receiver<Job>, config: &ServiceConfig) {
         ctx.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let mut batch = vec![first];
         if config.batching && config.max_batch > 1 {
-            // Linger briefly to let concurrent misses join this batch.
+            // Adaptive flush: sweep whatever is already queued without
+            // blocking, then linger only while admitted work is still in
+            // flight toward the channel. When the admission gauge reads
+            // zero there is nothing left to wait for, and lingering the
+            // full `batch_linger` would just add dead time to every
+            // batch under light load.
             let deadline = Instant::now() + config.batch_linger;
             while batch.len() < config.max_batch {
+                match rx.try_recv() {
+                    Ok(job) => {
+                        ctx.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        batch.push(job);
+                        continue;
+                    }
+                    Err(_) => {}
+                }
+                if ctx.queue_depth.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
                 match rx.recv_deadline(deadline) {
                     Ok(job) => {
                         ctx.queue_depth.fetch_sub(1, Ordering::Relaxed);

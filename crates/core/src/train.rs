@@ -261,7 +261,7 @@ pub fn sample_loss(
                     &table_reps,
                     &sample.graph,
                     target,
-                    config.beam_width,
+                    &config.beam,
                     config.lambda_illegal,
                 );
                 jo_loss = jo_loss.add(&seq);

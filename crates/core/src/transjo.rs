@@ -18,6 +18,31 @@ use mtmlf_nn::{Matrix, TransformerDecoder, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Per-query state computed once and reused across every decode step of a
+/// beam: the encoder memory, the table representations, and the two linear
+/// projections of `table_reps` (`pointer` keys and `input_proj` rows) that
+/// the sequential path recomputes at every step. Each row of `proj`/`keys`
+/// is bitwise-identical to the corresponding one-row forward because both
+/// projections are row-wise matmuls with fixed ascending-k accumulation.
+#[derive(Clone)]
+pub struct DecodeCache {
+    /// The full shared representation `(nodes, d_model)`.
+    pub memory: Var,
+    /// `(m, d_model)` scan-node rows in slot order.
+    pub table_reps: Var,
+    /// Pointer keys: `pointer.forward(table_reps)`, computed once.
+    keys: Var,
+    /// Projected decoder inputs: `input_proj.forward(table_reps)`, once.
+    proj: Var,
+}
+
+impl DecodeCache {
+    /// Number of candidate tables (pointer-logit width).
+    pub fn tables(&self) -> usize {
+        self.table_reps.shape().0
+    }
+}
+
 /// The join-order decoder.
 #[derive(Clone)]
 pub struct TransJo {
@@ -119,6 +144,138 @@ impl TransJo {
         let prefix = &target[..target.len() - 1];
         self.step_logits(memory, table_reps, prefix)
     }
+
+    /// Builds the per-query decode cache: encoder memory plus the pointer
+    /// keys and projected decoder inputs computed once instead of once per
+    /// beam step.
+    pub fn decode_cache(&self, memory: &Var, table_reps: &Var) -> DecodeCache {
+        DecodeCache {
+            memory: memory.clone(),
+            table_reps: table_reps.clone(),
+            keys: self.pointer.forward(table_reps),
+            proj: self.input_proj.forward(table_reps),
+        }
+    }
+
+    /// Batched step logits: scores every live prefix of every query in one
+    /// packed decoder forward.
+    ///
+    /// `entries` are `(cache_index, prefix)` pairs; the packed decoder input
+    /// concatenates each prefix's `[start, proj[slot]...] + step_pos` rows,
+    /// self-attention is block-causal per prefix, and cross-attention
+    /// restricts each prefix to its own query's memory block. Returns one
+    /// matrix per cache whose rows are the *next-step* pointer logits of
+    /// that cache's entries, in `entries` order — bitwise-identical to row
+    /// `prefix.len()` of [`TransJo::step_logits`] per entry.
+    pub fn step_logits_batch(
+        &self,
+        caches: &[DecodeCache],
+        entries: &[(usize, &[usize])],
+    ) -> Vec<Matrix> {
+        let widths: Vec<usize> = caches.iter().map(DecodeCache::tables).collect();
+        if entries.is_empty() {
+            return widths.iter().map(|&m| Matrix::zeros(0, m)).collect();
+        }
+        // Pack every prefix's decoder input rows into one matrix, written
+        // row-at-a-time: row `t` of an entry is `(start | proj[slot]) +
+        // step_pos[t]` — the same element-wise sums the per-entry
+        // concat-and-add formulation produces, without one `Var` (and one
+        // heap matrix) per entry per step. Beam scores never carry
+        // gradients (candidates are plain floats), so a constant input
+        // severs nothing the sequential path kept.
+        let d = self.start.shape().1;
+        let total: usize = entries.iter().map(|&(_, p)| p.len() + 1).sum();
+        let mut x_lens = Vec::with_capacity(entries.len());
+        let mut xm = Matrix::zeros(total, d);
+        {
+            // Concurrent read guards on *distinct* per-node RwLocks —
+            // read-read on separate locks cannot deadlock; the analyzer
+            // folds every `.value()` into one global tape identity.
+            let start = self.start.value(); // lint: allow(lock-cycle)
+            let pos = self.step_pos.value(); // lint: allow(lock-cycle)
+            let mut r = 0;
+            for &(ci, prefix) in entries {
+                let proj = caches[ci].proj.value(); // lint: allow(lock-cycle)
+                x_lens.push(prefix.len() + 1);
+                for (t, src) in std::iter::once(start.row(0))
+                    .chain(prefix.iter().map(|&slot| proj.row(slot)))
+                    .enumerate()
+                {
+                    for ((o, &a), &b) in xm.row_mut(r).iter_mut().zip(src).zip(pos.row(t)) {
+                        *o = a + b;
+                    }
+                    r += 1;
+                }
+            }
+        }
+        let x = Var::constant(xm);
+        // Pack only the memories the entries actually reference, remapping
+        // cache indices onto the compacted block list.
+        let mut block_of = vec![usize::MAX; caches.len()];
+        let mut memories = Vec::new();
+        let mut mem_lens = Vec::new();
+        let mut mem_of = Vec::with_capacity(entries.len());
+        for &(ci, _) in entries {
+            if block_of[ci] == usize::MAX {
+                block_of[ci] = memories.len();
+                memories.push(caches[ci].memory.clone());
+                mem_lens.push(caches[ci].memory.shape().0);
+            }
+            mem_of.push(block_of[ci]);
+        }
+        let decoded = if let ([steps], [memory]) = (x_lens.as_slice(), memories.as_slice()) {
+            debug_assert_eq!(*steps, x.shape().0);
+            self.decoder.forward(&x, memory)
+        } else {
+            let memory = Var::concat_rows(&memories);
+            self.decoder
+                .forward_packed(&x, &memory, &x_lens, &mem_lens, &mem_of)
+        };
+        // Gather each entry's last decoded row and point it at its own
+        // cache's keys: one `(count, d) × (m, d)ᵀ` product per query. The
+        // gather copies rows straight out of the decoded value instead of
+        // concatenating per-entry `Var` slices — same bytes, one
+        // allocation per query.
+        let mut last_row = Vec::with_capacity(entries.len());
+        let mut off = 0;
+        for &len in &x_lens {
+            last_row.push(off + len - 1);
+            off += len;
+        }
+        // Gather while the decoded-value guard is live, then release it
+        // before the keys products: `matmul_nt` can park on the kernel
+        // worker pool, and nothing should hold a tape guard across that.
+        let gathers: Vec<Matrix> = {
+            let dec = decoded.value();
+            (0..caches.len())
+                .map(|ci| {
+                    let rows: Vec<usize> = entries
+                        .iter()
+                        .zip(&last_row)
+                        .filter(|((c, _), _)| *c == ci)
+                        .map(|(_, &r)| r)
+                        .collect();
+                    let mut g = Matrix::zeros(rows.len(), d);
+                    for (i, &r) in rows.iter().enumerate() {
+                        g.row_mut(i).copy_from_slice(dec.row(r));
+                    }
+                    g
+                })
+                .collect()
+        };
+        gathers
+            .into_iter()
+            .zip(caches)
+            .enumerate()
+            .map(|(ci, (g, cache))| {
+                if g.shape().0 == 0 {
+                    Matrix::zeros(0, widths[ci])
+                } else {
+                    g.matmul_nt(&cache.keys.value())
+                }
+            })
+            .collect()
+    }
 }
 
 impl Module for TransJo {
@@ -206,6 +363,44 @@ mod tests {
             prefix.push(best);
         }
         assert_eq!(prefix, target);
+    }
+
+    #[test]
+    fn batched_step_logits_match_sequential_bitwise() {
+        // The packed multi-prefix, multi-query forward must reproduce the
+        // per-prefix sequential logits bit for bit.
+        let cfg = MtmlfConfig::tiny();
+        let jo = TransJo::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(31);
+        let queries = [(7usize, 4usize), (5, 3)];
+        let caches: Vec<DecodeCache> = queries
+            .iter()
+            .map(|&(nodes, m)| {
+                let memory = Var::constant(Matrix::xavier(nodes, cfg.d_model, &mut rng));
+                let reps = Var::constant(Matrix::xavier(m, cfg.d_model, &mut rng));
+                jo.decode_cache(&memory, &reps)
+            })
+            .collect();
+        let prefixes: [(usize, &[usize]); 5] =
+            [(0, &[]), (1, &[2]), (0, &[1, 3]), (1, &[0, 2]), (0, &[2])];
+        let batched = jo.step_logits_batch(&caches, &prefixes);
+        let mut row_of = vec![0usize; caches.len()];
+        for &(ci, prefix) in &prefixes {
+            let cache = &caches[ci];
+            let seq = jo.step_logits(&cache.memory, &cache.table_reps, prefix);
+            let seq = seq.to_matrix();
+            let got = &batched[ci];
+            assert_eq!(got.row(row_of[ci]), seq.row(prefix.len()));
+            row_of[ci] += 1;
+        }
+        // Single-entry batch exercises the unpacked fallback path.
+        let one: [(usize, &[usize]); 1] = [(1, &[1, 0])];
+        let single = jo.step_logits_batch(&caches, &one);
+        let seq = jo
+            .step_logits(&caches[1].memory, &caches[1].table_reps, &[1, 0])
+            .to_matrix();
+        assert_eq!(single[1].row(0), seq.row(2));
+        assert_eq!(single[0].shape(), (0, 4));
     }
 
     #[test]

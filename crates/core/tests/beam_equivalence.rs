@@ -1,0 +1,156 @@
+//! Property suite pinning the batched-decode equivalence contract.
+//!
+//! The decode API promises that every [`BeamConfig`] knob combination is
+//! *bitwise* equivalent across execution strategies — `batch` chooses how
+//! the work is scheduled, never what is computed:
+//!
+//! 1. **Batched == sequential** — one packed decoder forward per step
+//!    scores exactly what one forward per live prefix scores, for every
+//!    width × topology × legality combination.
+//! 2. **Multi-query == per-query** — packing several queries' beams into
+//!    one forward ([`beam_search_multi`]) returns each query's exact
+//!    solo result.
+//! 3. **Inference == training-mode forward** — the segment-local packed
+//!    attention used under [`no_grad`] reproduces the masked dense path
+//!    bit for bit.
+//! 4. **Bushy ignores `batch`** — the position-head decode has no step
+//!    loop; the scheduling flag must not leak into its output.
+//!
+//! Equality is `assert_eq!` on candidate vectors, which compares `f32`
+//! log-probabilities exactly — any reassociation or re-accumulation in
+//! the packed path fails the suite.
+
+use mtmlf::beam::{beam_search, beam_search_bushy, beam_search_multi, BeamConfig};
+use mtmlf::config::MtmlfConfig;
+use mtmlf::transjo::TransJo;
+use mtmlf_nn::{no_grad, Matrix, Var};
+use mtmlf_query::JoinGraph;
+use mtmlf_storage::TableId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three join-graph topologies the suite sweeps: a chain (each table
+/// joins the next), a star (every table joins a hub), and a clique (every
+/// pair joins — legality never prunes).
+fn graph(topology: u8, m: usize) -> JoinGraph {
+    let vertices = (0..m as u32).map(TableId).collect();
+    let edges: Vec<(usize, usize)> = match topology % 3 {
+        0 => (0..m - 1).map(|i| (i, i + 1)).collect(),
+        1 => (1..m).map(|i| (0, i)).collect(),
+        _ => (0..m)
+            .flat_map(|a| ((a + 1)..m).map(move |b| (a, b)))
+            .collect(),
+    };
+    JoinGraph::from_edges(vertices, &edges).expect("valid join graph")
+}
+
+/// A decoder plus random-but-seeded encoder memory and table reps for an
+/// `m`-table query. The model is untrained — equivalence is a property of
+/// the computation, not the weights.
+fn setup(seed: u64, m: usize) -> (TransJo, Var, Var) {
+    let cfg = MtmlfConfig::tiny();
+    let jo = TransJo::new(&cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let memory = Var::constant(Matrix::xavier(2 * m - 1, cfg.d_model, &mut rng));
+    let table_reps = Var::constant(Matrix::xavier(m, cfg.d_model, &mut rng));
+    (jo, memory, table_reps)
+}
+
+fn beam_config(width_sel: u8, constrained: bool) -> BeamConfig {
+    let config = BeamConfig::new([1, 2, 4, 8][width_sel as usize % 4]);
+    if constrained {
+        config.constrained()
+    } else {
+        config.unconstrained()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched decoding returns bit-for-bit what sequential decoding
+    /// returns, across widths {1,2,4,8} × {chain,star,clique} ×
+    /// {constrained,unconstrained}, with and without gradients enabled.
+    #[test]
+    fn batched_decode_is_bitwise_sequential(
+        seed in 0u64..1_000,
+        m in 2usize..=6,
+        width_sel in 0u8..4,
+        topology in 0u8..3,
+        constrained in 0u8..2,
+    ) {
+        let constrained = constrained == 0;
+        let (jo, memory, table_reps) = setup(seed, m);
+        let g = graph(topology, m);
+        let config = beam_config(width_sel, constrained);
+
+        let sequential = beam_search(&jo, &memory, &table_reps, &g, &config.sequential());
+        let batched = beam_search(&jo, &memory, &table_reps, &g, &config.batched());
+        prop_assert_eq!(&sequential, &batched, "batched != sequential");
+
+        // The inference path (segment-local attention under `no_grad`)
+        // must reproduce the training-mode masked forward bitwise.
+        let inference = no_grad(|| beam_search(&jo, &memory, &table_reps, &g, &config.batched()));
+        prop_assert_eq!(&batched, &inference, "no_grad != grad-enabled");
+    }
+
+    /// Packing several queries into one multi-query decode returns each
+    /// query's exact solo result, in input order — including queries of
+    /// different sizes and topologies retiring at different steps.
+    #[test]
+    fn multi_query_decode_matches_per_query(
+        seed in 0u64..1_000,
+        sizes in proptest::collection::vec((2usize..=5, 0u8..3), 1..4),
+        width_sel in 0u8..4,
+        constrained in 0u8..2,
+    ) {
+        let constrained = constrained == 0;
+        let max_m = sizes.iter().map(|&(m, _)| m).max().unwrap_or(2);
+        let (jo, memory, table_reps) = setup(seed, max_m);
+        let config = beam_config(width_sel, constrained);
+
+        let graphs: Vec<JoinGraph> = sizes
+            .iter()
+            .map(|&(m, topology)| graph(topology, m))
+            .collect();
+        let reps: Vec<Var> = sizes
+            .iter()
+            .map(|&(m, _)| table_reps.slice_rows(0, m))
+            .collect();
+        let caches: Vec<_> = reps
+            .iter()
+            .map(|r| jo.decode_cache(&memory, r))
+            .collect();
+        let graph_refs: Vec<&JoinGraph> = graphs.iter().collect();
+
+        let multi = no_grad(|| beam_search_multi(&jo, &caches, &graph_refs, &config));
+        for (i, (g, r)) in graphs.iter().zip(&reps).enumerate() {
+            let solo = no_grad(|| beam_search(&jo, &memory, r, g, &config));
+            prop_assert_eq!(&multi[i], &solo, "query {} diverged in the pack", i);
+        }
+    }
+
+    /// Bushy decoding has no step loop to batch: the `batch` scheduling
+    /// flag must not change its output, under either gradient mode.
+    #[test]
+    fn bushy_decode_ignores_batch_flag(
+        seed in 0u64..1_000,
+        m in 2usize..=5,
+        width_sel in 0u8..4,
+        topology in 0u8..3,
+    ) {
+        let (jo, memory, table_reps) = setup(seed, m);
+        let g = graph(topology, m);
+        let config = beam_config(width_sel, true).bushy();
+
+        let sequential =
+            beam_search_bushy(&jo, &memory, &table_reps, &g, &config.sequential());
+        let batched = beam_search_bushy(&jo, &memory, &table_reps, &g, &config.batched());
+        prop_assert_eq!(&sequential, &batched, "batch flag leaked into bushy decode");
+
+        let inference =
+            no_grad(|| beam_search_bushy(&jo, &memory, &table_reps, &g, &config.batched()));
+        prop_assert_eq!(&batched, &inference, "bushy no_grad != grad-enabled");
+    }
+}

@@ -61,6 +61,163 @@ impl MultiHeadAttention {
         self.wo.forward(&concat)
     }
 
+    /// Segment-local packed attention for the inference decode path.
+    ///
+    /// Query segments of lengths `q_lens` are packed row-wise into
+    /// `query`; key/value blocks of lengths `kv_lens` are packed row-wise
+    /// into `keys_values`; segment `s` attends only to block `kv_of[s]`
+    /// (causally within it when `causal` is set, which requires
+    /// `q_lens[s] == kv_lens[kv_of[s]]`). The q/k/v/output projections
+    /// still run as single packed matmuls — the win over the masked dense
+    /// formulation is that scores, softmax, and the weighted sum run per
+    /// segment, so their cost is linear in the number of segments instead
+    /// of quadratic in total packed rows.
+    ///
+    /// Bitwise-identical to the additive-mask path: a masked logit scores
+    /// `s·scale − 1e9`, which is never the row max and underflows to
+    /// exactly `+0.0` after softmax, so it adds nothing to the row sum
+    /// (`x + 0.0 == x` for the non-negative partial sums) and is skipped
+    /// by the weighted-sum matmul's skip-zero rule. What remains is the
+    /// in-block arithmetic, in the same ascending order. Gradients do not
+    /// flow through this path — callers gate on [`crate::grad_enabled`].
+    // lint: hot-path
+    pub fn forward_segmented(
+        &self,
+        query: &Var,
+        keys_values: &Var,
+        q_lens: &[usize],
+        kv_lens: &[usize],
+        kv_of: &[usize],
+        causal: bool,
+    ) -> Var {
+        crate::profile::record_attention();
+        let q = self.wq.forward(query);
+        let k = self.wk.forward(keys_values);
+        let v = self.wv.forward(keys_values);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let (q_rows, d_model) = q.shape();
+        let kv_rows = k.shape().0;
+        debug_assert_eq!(q_lens.iter().sum::<usize>(), q_rows);
+        debug_assert_eq!(kv_lens.iter().sum::<usize>(), kv_rows);
+        debug_assert_eq!(q_lens.len(), kv_of.len());
+        // One tiny usize vec per forward (not per segment); an f32 arena
+        // buffer can't hold offsets.
+        // lint: allow(hot-path)
+        let mut kv_offs = Vec::with_capacity(kv_lens.len());
+        let mut off = 0;
+        for &len in kv_lens {
+            kv_offs.push(off);
+            off += len;
+        }
+
+        let hd = self.head_dim;
+        let mut concat = Matrix::zeros(q_rows, d_model);
+        {
+            // Three read guards on three *distinct* per-node RwLocks —
+            // read-read on separate locks cannot deadlock; the analyzer
+            // folds every `.value()` into one global tape identity.
+            let qv = q.value(); // lint: allow(lock-cycle)
+            let kv = k.value(); // lint: allow(lock-cycle)
+            let vv = v.value(); // lint: allow(lock-cycle)
+            // Per-head column gathers (the same copies `slice_cols` makes)
+            // and per-segment score/output scratch — all pooled, so the
+            // steady-state serve loop allocates nothing here.
+            let mut qh = crate::kernel::take(q_rows * hd, 0.0);
+            let mut kh = crate::kernel::take(kv_rows * hd, 0.0);
+            let mut vh = crate::kernel::take(kv_rows * hd, 0.0);
+            let mut scores = crate::kernel::take_empty(0);
+            let mut seg_out = crate::kernel::take_empty(0);
+            for h in 0..self.heads {
+                let lo = h * hd;
+                for (r, dst) in qh.chunks_exact_mut(hd).enumerate() {
+                    dst.copy_from_slice(&qv.row(r)[lo..lo + hd]);
+                }
+                for (r, (dk, dv)) in kh
+                    .chunks_exact_mut(hd)
+                    .zip(vh.chunks_exact_mut(hd))
+                    .enumerate()
+                {
+                    dk.copy_from_slice(&kv.row(r)[lo..lo + hd]);
+                    dv.copy_from_slice(&vv.row(r)[lo..lo + hd]);
+                }
+                let mut q_off = 0;
+                for (s, &ql) in q_lens.iter().enumerate() {
+                    let (ko, kl) = (kv_offs[kv_of[s]], kv_lens[kv_of[s]]);
+                    crate::profile::record_matmul(2 * (ql * kl * hd) as u64);
+                    scores.clear();
+                    scores.resize(ql * kl, 0.0);
+                    // Pool recv under the value guards is deadlock-free by
+                    // the kernel drain-loop progress guarantee (see
+                    // `Var::matmul`).
+                    // lint: allow(block-under-guard)
+                    crate::kernel::gemm(
+                        &qh[q_off * hd..(q_off + ql) * hd],
+                        ql,
+                        hd,
+                        &kh[ko * hd..(ko + kl) * hd],
+                        kl,
+                        crate::kernel::BKind::Transposed,
+                        &mut scores,
+                    );
+                    // Scale (+ causal mask): the literal masked formula for
+                    // causal rows, the maskless one otherwise — matching
+                    // what the per-sequence path applies in each case.
+                    if causal {
+                        debug_assert_eq!(ql, kl);
+                        for (r, row) in scores.chunks_exact_mut(kl).enumerate() {
+                            for (c, o) in row.iter_mut().enumerate() {
+                                *o = *o * scale + if c <= r { 0.0 } else { -1e9 };
+                            }
+                        }
+                    } else {
+                        for o in scores.iter_mut() {
+                            *o *= scale;
+                        }
+                    }
+                    // Row-wise softmax, the exact op order of
+                    // `Matrix::softmax_rows`.
+                    for row in scores.chunks_exact_mut(kl) {
+                        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0;
+                        for x in row.iter_mut() {
+                            *x = (*x - max).exp();
+                            sum += *x;
+                        }
+                        if sum > 0.0 {
+                            for x in row.iter_mut() {
+                                *x /= sum;
+                            }
+                        }
+                    }
+                    crate::profile::record_matmul(2 * (ql * hd * kl) as u64);
+                    seg_out.clear();
+                    seg_out.resize(ql * hd, 0.0);
+                    // Same argument as the scores GEMM above.
+                    // lint: allow(block-under-guard)
+                    crate::kernel::gemm(
+                        &scores,
+                        ql,
+                        kl,
+                        &vh[ko * hd..(ko + kl) * hd],
+                        hd,
+                        crate::kernel::BKind::RowMajor,
+                        &mut seg_out,
+                    );
+                    for (r, src) in seg_out.chunks_exact(hd).enumerate() {
+                        concat.row_mut(q_off + r)[lo..lo + hd].copy_from_slice(src);
+                    }
+                    q_off += ql;
+                }
+            }
+            crate::kernel::recycle(qh);
+            crate::kernel::recycle(kh);
+            crate::kernel::recycle(vh);
+            crate::kernel::recycle(scores);
+            crate::kernel::recycle(seg_out);
+        }
+        self.wo.forward(&Var::constant(concat))
+    }
+
     /// A causal (lower-triangular) mask for decoder self-attention:
     /// position `i` may attend to positions `0..=i` only.
     pub fn causal_mask(len: usize) -> Matrix {
@@ -90,6 +247,55 @@ impl MultiHeadAttention {
                 }
             }
             offset += len;
+        }
+        m
+    }
+
+    /// A block-causal mask for packed batched *decoder* self-attention:
+    /// several prefixes of lengths `lens` are concatenated row-wise, and
+    /// position `i` of a prefix may attend to positions `0..=i` of the
+    /// same prefix only. The intersection of [`Self::causal_mask`] per
+    /// segment with [`Self::block_diagonal_mask`] across segments.
+    pub fn block_causal_mask(lens: &[usize]) -> Matrix {
+        let total: usize = lens.iter().sum();
+        let mut m = Matrix::full(total, total, -1e9);
+        let mut offset = 0;
+        for &len in lens {
+            for r in 0..len {
+                for c in 0..=r {
+                    m.set(offset + r, offset + c, 0.0);
+                }
+            }
+            offset += len;
+        }
+        m
+    }
+
+    /// A rectangular cross-attention mask for packed multi-query decoding:
+    /// query segments of lengths `q_lens` are concatenated row-wise, memory
+    /// blocks of lengths `mem_lens` are concatenated row-wise, and query
+    /// segment `i` may attend only to memory block `mem_of[i]`.
+    pub fn cross_block_mask(q_lens: &[usize], mem_lens: &[usize], mem_of: &[usize]) -> Matrix {
+        assert_eq!(q_lens.len(), mem_of.len(), "one memory block per segment");
+        let q_total: usize = q_lens.iter().sum();
+        let mem_total: usize = mem_lens.iter().sum();
+        let mut mem_offsets = Vec::with_capacity(mem_lens.len());
+        let mut off = 0;
+        for &len in mem_lens {
+            mem_offsets.push(off);
+            off += len;
+        }
+        let mut m = Matrix::full(q_total, mem_total, -1e9);
+        let mut q_off = 0;
+        for (seg, &q_len) in q_lens.iter().enumerate() {
+            let block = mem_of[seg];
+            let (m_off, m_len) = (mem_offsets[block], mem_lens[block]);
+            for r in q_off..q_off + q_len {
+                for c in m_off..m_off + m_len {
+                    m.set(r, c, 0.0);
+                }
+            }
+            q_off += q_len;
         }
         m
     }

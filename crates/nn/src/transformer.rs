@@ -48,6 +48,21 @@ impl EncoderBlock {
         let fed = self.feed_forward.forward(&self.norm2.forward(&x));
         x.add(&fed)
     }
+
+    /// Packed inference forward: each sequence in the row-wise packing
+    /// attends only within itself, via segment-local attention instead of
+    /// a block-diagonal mask. Bitwise-equal to [`Self::forward`] per
+    /// sequence; see [`MultiHeadAttention::forward_segmented`].
+    pub fn forward_segmented(&self, x: &Var, lens: &[usize], identity: &[usize]) -> Var {
+        crate::profile::record_block_forward();
+        let normed = self.norm1.forward(x);
+        let attended = self
+            .attention
+            .forward_segmented(&normed, &normed, lens, lens, identity, false);
+        let x = x.add(&attended);
+        let fed = self.feed_forward.forward(&self.norm2.forward(&x));
+        x.add(&fed)
+    }
 }
 
 impl Module for EncoderBlock {
@@ -101,6 +116,17 @@ impl TransformerEncoder {
     pub fn forward_packed(&self, x: &Var, lens: &[usize]) -> Var {
         if lens.len() <= 1 {
             return self.forward(x);
+        }
+        if !crate::autograd::grad_enabled() {
+            // Inference: segment-local attention — linear in the number of
+            // packed sequences where the masked path is quadratic in total
+            // rows. Bitwise-equal per sequence.
+            let identity: Vec<usize> = (0..lens.len()).collect();
+            let mut h = x.clone();
+            for block in &self.blocks {
+                h = block.forward_segmented(&h, lens, &identity);
+            }
+            return self.final_norm.forward(&h);
         }
         let mask = MultiHeadAttention::block_diagonal_mask(lens);
         self.forward_masked(x, Some(&mask))
@@ -161,13 +187,60 @@ impl DecoderBlock {
     /// Forward pass: `x` is the `(t, d_model)` decoded prefix, `memory` the
     /// `(s, d_model)` encoder output, `causal` the `(t, t)` causal mask.
     pub fn forward(&self, x: &Var, memory: &Var, causal: &Matrix) -> Var {
+        self.forward_masked(x, memory, causal, None)
+    }
+
+    /// Forward pass with explicit masks on both attention stages:
+    /// `self_mask` is the `(t, t)` additive mask for self-attention
+    /// (causal, or block-causal when several prefixes are packed), and
+    /// `cross_mask` an optional `(t, s)` additive mask restricting each
+    /// packed segment to its own memory block.
+    pub fn forward_masked(
+        &self,
+        x: &Var,
+        memory: &Var,
+        self_mask: &Matrix,
+        cross_mask: Option<&Matrix>,
+    ) -> Var {
         crate::profile::record_block_forward();
         let q = self.norm1.forward(x);
-        let self_attended = self.self_attention.forward(&q, &q, Some(causal));
+        let self_attended = self.self_attention.forward(&q, &q, Some(self_mask));
         let x = x.add(&self_attended);
         let cross = self
             .cross_attention
-            .forward(&self.norm2.forward(&x), memory, None);
+            .forward(&self.norm2.forward(&x), memory, cross_mask);
+        let x = x.add(&cross);
+        let fed = self.feed_forward.forward(&self.norm3.forward(&x));
+        x.add(&fed)
+    }
+
+    /// Packed inference forward: causal segment-local self-attention over
+    /// each prefix, segment-local cross-attention from each prefix to its
+    /// own memory block. Bitwise-equal to per-prefix [`Self::forward`];
+    /// see [`MultiHeadAttention::forward_segmented`].
+    pub fn forward_segmented(
+        &self,
+        x: &Var,
+        memory: &Var,
+        x_lens: &[usize],
+        identity: &[usize],
+        mem_lens: &[usize],
+        mem_of: &[usize],
+    ) -> Var {
+        crate::profile::record_block_forward();
+        let q = self.norm1.forward(x);
+        let self_attended = self
+            .self_attention
+            .forward_segmented(&q, &q, x_lens, x_lens, identity, true);
+        let x = x.add(&self_attended);
+        let cross = self.cross_attention.forward_segmented(
+            &self.norm2.forward(&x),
+            memory,
+            x_lens,
+            mem_lens,
+            mem_of,
+            false,
+        );
         let x = x.add(&cross);
         let fed = self.feed_forward.forward(&self.norm3.forward(&x));
         x.add(&fed)
@@ -211,6 +284,53 @@ impl TransformerDecoder {
         let mut h = x.clone();
         for block in &self.blocks {
             h = block.forward(&h, memory, &causal);
+        }
+        self.final_norm.forward(&h)
+    }
+
+    /// Forward pass over several decoded prefixes packed row-wise into one
+    /// `(Σx_lens, d_model)` input. Self-attention is block-causal within
+    /// each prefix; cross-attention restricts each prefix to its own memory
+    /// block (`mem_of[i]` indexes into `mem_lens`, whose blocks are packed
+    /// row-wise into `memory`). Output rows equal what per-prefix
+    /// [`TransformerDecoder::forward`] calls against the prefix's own
+    /// memory block would produce, bitwise, while every linear layer runs
+    /// as a single batched matmul.
+    pub fn forward_packed(
+        &self,
+        x: &Var,
+        memory: &Var,
+        x_lens: &[usize],
+        mem_lens: &[usize],
+        mem_of: &[usize],
+    ) -> Var {
+        if x_lens.len() <= 1 {
+            return self.forward(x, memory);
+        }
+        if !crate::autograd::grad_enabled() {
+            // Inference: segment-local attention on both stages — linear
+            // in the number of packed prefixes where the masked path is
+            // quadratic in total rows. Bitwise-equal per prefix.
+            let identity: Vec<usize> = (0..x_lens.len()).collect();
+            let mut h = x.clone();
+            for block in &self.blocks {
+                h = block.forward_segmented(&h, memory, x_lens, &identity, mem_lens, mem_of);
+            }
+            return self.final_norm.forward(&h);
+        }
+        let self_mask = MultiHeadAttention::block_causal_mask(x_lens);
+        // A single shared memory block needs no cross mask: every segment
+        // attends over all of it, exactly as the sequential path does.
+        let cross_mask = if mem_lens.len() <= 1 {
+            None
+        } else {
+            Some(MultiHeadAttention::cross_block_mask(
+                x_lens, mem_lens, mem_of,
+            ))
+        };
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward_masked(&h, memory, &self_mask, cross_mask.as_ref());
         }
         self.final_norm.forward(&h)
     }
@@ -362,6 +482,62 @@ mod tests {
         let x = Var::constant(Matrix::xavier(4, 8, &mut rng));
         let one = enc.forward_batch(std::slice::from_ref(&x));
         assert_eq!(one[0].to_matrix(), enc.forward(&x).to_matrix());
+    }
+
+    #[test]
+    fn packed_decoder_is_bitwise_identical_to_per_prefix() {
+        // The batched beam path packs every live prefix of every query into
+        // one decoder forward; its rows must equal one-prefix-at-a-time
+        // decoding exactly, or beam results drift.
+        let mut rng = StdRng::seed_from_u64(11);
+        let dec = TransformerDecoder::new(16, 4, 2, &mut rng);
+        let memories: Vec<Var> = [4usize, 6]
+            .iter()
+            .map(|&s| Var::constant(Matrix::xavier(s, 16, &mut rng)))
+            .collect();
+        // Prefixes of assorted lengths, each tied to one of the two
+        // memories (interleaved to exercise the cross-block mask).
+        let prefixes: Vec<(usize, Var)> = [(0usize, 3usize), (1, 2), (0, 1), (1, 3), (0, 2)]
+            .iter()
+            .map(|&(m, t)| (m, Var::constant(Matrix::xavier(t, 16, &mut rng))))
+            .collect();
+        let individual: Vec<Matrix> = prefixes
+            .iter()
+            .map(|(m, x)| dec.forward(x, &memories[*m]).to_matrix())
+            .collect();
+        let x_lens: Vec<usize> = prefixes.iter().map(|(_, x)| x.shape().0).collect();
+        let mem_lens: Vec<usize> = memories.iter().map(|m| m.shape().0).collect();
+        let mem_of: Vec<usize> = prefixes.iter().map(|(m, _)| *m).collect();
+        let packed_x = Var::concat_rows(&prefixes.iter().map(|(_, x)| x.clone()).collect::<Vec<_>>());
+        let packed_mem = Var::concat_rows(&memories);
+        let packed = dec
+            .forward_packed(&packed_x, &packed_mem, &x_lens, &mem_lens, &mem_of)
+            .split_rows(&x_lens);
+        let batched: Vec<Matrix> = packed.iter().map(Var::to_matrix).collect();
+        assert_eq!(individual, batched);
+    }
+
+    #[test]
+    fn packed_decoder_single_memory_matches_sequential() {
+        // One query, many live prefixes: the common beam case. No cross
+        // mask is needed — every segment sees the whole (only) memory.
+        let mut rng = StdRng::seed_from_u64(12);
+        let dec = TransformerDecoder::new(8, 2, 1, &mut rng);
+        let memory = Var::constant(Matrix::xavier(5, 8, &mut rng));
+        let prefixes: Vec<Var> = [2usize, 2, 3, 1]
+            .iter()
+            .map(|&t| Var::constant(Matrix::xavier(t, 8, &mut rng)))
+            .collect();
+        let individual: Vec<Matrix> = prefixes
+            .iter()
+            .map(|x| dec.forward(x, &memory).to_matrix())
+            .collect();
+        let lens: Vec<usize> = prefixes.iter().map(|x| x.shape().0).collect();
+        let packed = dec
+            .forward_packed(&Var::concat_rows(&prefixes), &memory, &lens, &[5], &vec![0; 4])
+            .split_rows(&lens);
+        let batched: Vec<Matrix> = packed.iter().map(Var::to_matrix).collect();
+        assert_eq!(individual, batched);
     }
 
     #[test]
