@@ -25,6 +25,14 @@
 //! clean window promotes it. The `"lifecycle"` block records swap latency,
 //! requests served during the storm, and the canary window.
 //!
+//! A durability section runs the cached mode against a persistent plan
+//! cache, restarts the service, and re-drives the workload from the
+//! recovered cache: the `"durability"` block records cold vs warm-start
+//! QPS, the recovery time, and the hit-rate restoration (the run *fails*
+//! under 90%). Its spill probe re-executes model-chosen plans with every
+//! column spilled behind a deliberately undersized buffer pool and errors
+//! unless the outcomes are bitwise-equal to the in-RAM run.
+//!
 //! ```text
 //! cargo run -p mtmlf-bench --release --bin table_serve -- \
 //!     [--scale 0.03] [--queries 24] [--repeats 4] [--clients 8] \
@@ -44,7 +52,11 @@ use mtmlf_bench::serve::{
     ServeExperiment,
 };
 use mtmlf_bench::{http, report, Args};
+use mtmlf_datagen::{imdb::ImdbScale, imdb_lite};
+use mtmlf_exec::{ExecOutcome, Executor};
 use mtmlf_nn::{OpStats, ProfileGuard};
+use mtmlf_query::JoinOrder;
+use mtmlf_storage::{BufferPool, BufferPoolConfig, Database};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -322,6 +334,210 @@ fn run_lifecycle(
     })
 }
 
+struct DurabilityResult {
+    cold_elapsed_s: f64,
+    cold_qps: f64,
+    cold_hit_rate: f64,
+    /// Wall time of the warm reboot: log replay + service start.
+    recovery_s: f64,
+    warm_start_entries: u64,
+    warm_elapsed_s: f64,
+    warm_qps: f64,
+    warm_hit_rate: f64,
+    /// Warm-run hit rate over cold-run hit rate; the durability contract
+    /// is ≥ 0.9 (the restarted cache serves at least 90% as well).
+    hit_rate_restored: f64,
+    log_bytes: u64,
+    log_compactions: u64,
+    spill: SpillProbe,
+}
+
+struct SpillProbe {
+    /// Columns across all tables — all spilled to disk for the probe.
+    columns: usize,
+    /// Buffer-pool frames: half the database's columns, so the workload
+    /// can never be fully resident and the replacer must churn, while any
+    /// single operator's pinned working set (join keys, filter columns)
+    /// still fits.
+    frame_budget: usize,
+    spilled_frames: u64,
+    frame_loads: u64,
+    evictions: u64,
+    queries_executed: usize,
+}
+
+/// The same serving workload through a durably-cached service, twice: a
+/// cold run on a fresh directory, then a shutdown and a rebooted run on
+/// the recovered cache. The reboot's first pass must hit where the cold
+/// run's first pass missed, so the warm hit rate strictly dominates —
+/// anything under 90% restoration is a durability bug and fails the bench.
+fn run_durability(
+    exp: &ServeExperiment,
+    workers: usize,
+    repeats: usize,
+    clients: usize,
+    scale: f64,
+    seed: u64,
+) -> mtmlf::Result<DurabilityResult> {
+    let dir = std::env::temp_dir().join(format!("mtmlf_bench_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServiceConfig {
+        workers,
+        batching: true,
+        ..ServiceConfig::default()
+    };
+
+    let cold_service = PlannerService::builder(Arc::clone(&exp.model))
+        .config(config())
+        .durable(&dir)
+        .start()?;
+    let (cold_elapsed_s, cold_served) = drive_clients(&cold_service, &exp.queries, repeats, clients)?;
+    let cold = cold_service.metrics();
+    cold_service.shutdown();
+
+    let t = Instant::now();
+    let warm_service = PlannerService::builder(Arc::clone(&exp.model))
+        .config(config())
+        .durable(&dir)
+        .start()?;
+    let recovery_s = t.elapsed().as_secs_f64();
+    let warm_start_entries = warm_service.metrics().warm_start_entries;
+    let (warm_elapsed_s, warm_served) = drive_clients(&warm_service, &exp.queries, repeats, clients)?;
+    let warm = warm_service.metrics();
+    let log_bytes = warm_service.plan_store().log_bytes();
+    warm_service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_hit_rate = cold.cache_hit_rate();
+    let warm_hit_rate = warm.cache_hit_rate();
+    let hit_rate_restored = if cold_hit_rate > 0.0 {
+        warm_hit_rate / cold_hit_rate
+    } else {
+        0.0
+    };
+    if hit_rate_restored < 0.9 {
+        return Err(MtmlfError::Service(format!(
+            "warm start restored only {:.1}% of the cold-run cache hit rate \
+             ({warm_hit_rate:.4} vs {cold_hit_rate:.4})",
+            100.0 * hit_rate_restored
+        )));
+    }
+
+    Ok(DurabilityResult {
+        cold_elapsed_s,
+        cold_qps: cold_served as f64 / cold_elapsed_s,
+        cold_hit_rate,
+        recovery_s,
+        warm_start_entries,
+        warm_elapsed_s,
+        warm_qps: warm_served as f64 / warm_elapsed_s,
+        warm_hit_rate,
+        hit_rate_restored,
+        log_bytes,
+        log_compactions: warm.log_compactions,
+        spill: run_spill_probe(exp, scale, seed)?,
+    })
+}
+
+/// Memory-bounded storage probe: executes model-chosen plans over the same
+/// deterministic database twice — fully resident, then with every column
+/// spilled behind a buffer pool too small to hold the workload — and demands
+/// bitwise-identical [`ExecOutcome`]s. Errors (rather than records) on any
+/// divergence: a spill that changes results is corruption, not a tradeoff.
+fn run_spill_probe(exp: &ServeExperiment, scale: f64, seed: u64) -> mtmlf::Result<SpillProbe> {
+    // `imdb_lite` is deterministic in (seed, scale): both copies hold
+    // identical bytes, matching the database `exp.model` was built on.
+    let build_db = || -> mtmlf::Result<Database> {
+        let mut db = imdb_lite(seed, ImdbScale { scale })?;
+        db.analyze_all(8, 4);
+        Ok(db)
+    };
+    let resident = build_db()?;
+    let mut spilled = build_db()?;
+
+    let orders: Vec<(&mtmlf::prelude::Query, JoinOrder)> = exp
+        .queries
+        .iter()
+        .take(8)
+        .map(|q| Ok((q, exp.model.plan_with_estimates(q)?.0)))
+        .collect::<mtmlf::Result<_>>()?;
+
+    // Joins pin two key columns per predicate for the join's duration, so
+    // the budget must cover one operator's working set; half the database
+    // keeps it well clear of that while forcing evictions across queries.
+    let widest = spilled.tables().map(|(_, t)| t.arity()).max().unwrap_or(1);
+    let columns: usize = spilled.tables().map(|(_, t)| t.arity()).sum();
+    let frame_budget = (columns / 2).max(widest + 1);
+    let spill_dir =
+        std::env::temp_dir().join(format!("mtmlf_bench_spill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    let pool = BufferPool::new(BufferPoolConfig {
+        frame_budget,
+        dir: spill_dir.clone(),
+    })?;
+    let ids: Vec<_> = spilled.tables().map(|(id, _)| id).collect();
+    for id in ids {
+        spilled.table_mut(id)?.spill_to(&pool)?;
+    }
+
+    let baseline_exec = Executor::new(&resident);
+    let spilled_exec = Executor::new(&spilled);
+    for (query, order) in &orders {
+        let want: ExecOutcome = baseline_exec.execute_order(query, order)?;
+        let got: ExecOutcome = spilled_exec.execute_order(query, order)?;
+        let bitwise = want.output_cardinality == got.output_cardinality
+            && want.total_units.to_bits() == got.total_units.to_bits()
+            && want.sim_minutes.to_bits() == got.sim_minutes.to_bits()
+            && want.nodes == got.nodes;
+        if !bitwise {
+            return Err(MtmlfError::Service(
+                "spilled execution diverged from the in-RAM run".into(),
+            ));
+        }
+    }
+    let probe = SpillProbe {
+        columns,
+        frame_budget,
+        spilled_frames: pool.spilled_frames(),
+        frame_loads: pool.frame_loads(),
+        evictions: pool.evictions(),
+        queries_executed: orders.len(),
+    };
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    Ok(probe)
+}
+
+/// The `"durability"` JSON object (no trailing comma or newline).
+fn durability_json(d: &DurabilityResult) -> String {
+    format!(
+        "\"durability\": {{\"cold\": {{\"elapsed_s\": {:.6}, \"qps\": {:.3}, \
+         \"hit_rate\": {:.4}}}, \"reboot\": {{\"recovery_s\": {:.6}, \
+         \"warm_start_entries\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.3}, \
+         \"hit_rate\": {:.4}}}, \"hit_rate_restored\": {:.4}, \"log_bytes\": {}, \
+         \"log_compactions\": {}, \"spill\": {{\"columns\": {}, \"frame_budget\": {}, \
+         \"spilled_frames\": {}, \"frame_loads\": {}, \"evictions\": {}, \
+         \"queries_executed\": {}, \"bitwise_equal\": true}}}}",
+        d.cold_elapsed_s,
+        d.cold_qps,
+        d.cold_hit_rate,
+        d.recovery_s,
+        d.warm_start_entries,
+        d.warm_elapsed_s,
+        d.warm_qps,
+        d.warm_hit_rate,
+        d.hit_rate_restored,
+        d.log_bytes,
+        d.log_compactions,
+        d.spill.columns,
+        d.spill.frame_budget,
+        d.spill.spilled_frames,
+        d.spill.frame_loads,
+        d.spill.evictions,
+        d.spill.queries_executed,
+    )
+}
+
 /// The `"lifecycle"` JSON object (no trailing comma or newline).
 fn lifecycle_json(l: &LifecycleResult) -> String {
     format!(
@@ -372,6 +588,7 @@ fn render_json(
     probe: &MetricsSnapshot,
     cluster_block: &str,
     lifecycle_block: &str,
+    durability_block: &str,
     obs: &Observability,
 ) -> String {
     let mut out = String::from("{\n  \"table\": \"serve\",\n  \"setup\": {");
@@ -439,6 +656,7 @@ fn render_json(
     ));
     out.push_str(&format!("  {cluster_block},\n"));
     out.push_str(&format!("  {lifecycle_block},\n"));
+    out.push_str(&format!("  {durability_block},\n"));
 
     // Model-path stage histograms come from the traced cached-mode run;
     // the fallback stage comes from the traced degraded run, which is the
@@ -806,6 +1024,35 @@ fn main() -> mtmlf::Result<()> {
     );
     let lifecycle_block = lifecycle_json(&lifecycle);
 
+    // Durability: cold vs warm-start serving over a persistent plan cache,
+    // plus the memory-bounded storage probe (spilled execution must be
+    // bitwise-equal to in-RAM or `run_durability` errors out).
+    let durability = run_durability(&exp, workers, repeats, clients, scale, seed)?;
+    println!();
+    println!("# Durability — persistent plan cache across a restart");
+    println!(
+        "cold run {:.1} qps (hit rate {:.2}); reboot recovered {} plans in {:.1}ms; \
+         warm run {:.1} qps (hit rate {:.2}, {:.0}% of cold restored)",
+        durability.cold_qps,
+        durability.cold_hit_rate,
+        durability.warm_start_entries,
+        durability.recovery_s * 1e3,
+        durability.warm_qps,
+        durability.warm_hit_rate,
+        100.0 * durability.hit_rate_restored,
+    );
+    println!(
+        "spill probe: {} columns behind {} frames — {} spills, {} loads, {} evictions; \
+         {} plans executed bitwise-equal to in-RAM",
+        durability.spill.columns,
+        durability.spill.frame_budget,
+        durability.spill.spilled_frames,
+        durability.spill.frame_loads,
+        durability.spill.evictions,
+        durability.spill.queries_executed,
+    );
+    let durability_block = durability_json(&durability);
+
     let obs = Observability {
         traced: traced_snapshot,
         traced_degraded: degraded_metrics.clone(),
@@ -830,6 +1077,7 @@ fn main() -> mtmlf::Result<()> {
         &probe_metrics,
         &cluster_block,
         &lifecycle_block,
+        &durability_block,
         &obs,
     );
     std::fs::write(&out_path, json)

@@ -132,6 +132,18 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         self.map.len()
     }
 
+    /// Entries from least to most recently used.
+    fn entries_lru_first(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            let entry = &self.entries[idx];
+            out.push((entry.key.clone(), entry.value.clone()));
+            idx = entry.prev;
+        }
+        out
+    }
+
     fn clear(&mut self) {
         self.map.clear();
         self.entries.clear();
@@ -212,6 +224,26 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLruCache<K, V> {
     /// True when no shard holds an entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A point-in-time copy of every entry, shard by shard, each shard
+    /// listed from least to most recently used. Re-inserting the entries
+    /// in this order reproduces each shard's eviction order, which is what
+    /// the durable layer's snapshot compaction and warm-start replay need.
+    /// Shards are locked one at a time, so concurrent mutators are never
+    /// blocked globally (the copy is a consistent snapshot per shard, not
+    /// across shards — same contract as [`ShardedLruCache::len`]).
+    pub fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .entries_lru_first(),
+            );
+        }
+        out
     }
 
     /// Drops every entry in every shard. The model lifecycle layer calls

@@ -938,6 +938,7 @@ pub struct ClusterBuilder {
     fallback: Option<FallbackPlanner>,
     tracing: Option<TraceConfig>,
     transport: Option<Arc<dyn Transport>>,
+    durable: Option<crate::durable::DurableConfig>,
 }
 
 impl ClusterBuilder {
@@ -950,6 +951,7 @@ impl ClusterBuilder {
             fallback: None,
             tracing: None,
             transport: None,
+            durable: None,
         }
     }
 
@@ -990,6 +992,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// Makes every replica's plan cache durable under `dir`: replica `i`
+    /// persists to `dir/replica_i`, so a cluster restarted over the same
+    /// directory warm-starts every replica's cache — including epoch
+    /// tombstones written by cluster-wide invalidation and hot swaps
+    /// (DESIGN.md §16).
+    pub fn durable(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_config(crate::durable::DurableConfig::new(dir))
+    }
+
+    /// Like [`ClusterBuilder::durable`] with full control over the
+    /// durability policy. `config.dir` is the cluster root; each replica
+    /// still gets its own `replica_i` subdirectory.
+    pub fn durable_config(mut self, config: crate::durable::DurableConfig) -> Self {
+        self.durable = Some(config);
+        self
+    }
+
     /// Validates the config, starts every replica service, and assembles
     /// the routed cluster.
     pub fn start(self) -> Result<ClusterService> {
@@ -999,12 +1018,17 @@ impl ClusterBuilder {
             ));
         }
         let mut nodes: Vec<Arc<dyn ReplicaNode>> = Vec::with_capacity(self.replicas);
-        for _ in 0..self.replicas {
+        for i in 0..self.replicas {
             let mut builder = PlannerService::builder(Arc::clone(&self.model))
                 .config(self.service_config.clone())
                 .fallback(self.fallback.clone());
             if let Some(tracing) = &self.tracing {
                 builder = builder.tracing(tracing.clone());
+            }
+            if let Some(durable) = &self.durable {
+                let mut per_replica = durable.clone();
+                per_replica.dir = durable.dir.join(format!("replica_{i}"));
+                builder = builder.durable_config(per_replica);
             }
             nodes.push(Arc::new(ServiceReplica::new(builder.start()?)));
         }

@@ -122,7 +122,16 @@ impl FeaturizationModule {
                 config.enc_blocks,
                 &mut rng,
             ));
-            col_ranges.push(table.columns().iter().map(column_range).collect::<Vec<_>>());
+            // `read_column` works on resident and spilled tables alike, so
+            // featurizers can be fitted over buffer-managed databases.
+            let mut ranges = Vec::with_capacity(table.arity());
+            for c in 0..table.arity() {
+                let col = table
+                    .read_column(mtmlf_storage::ColumnId(c as u32))
+                    .map_err(MtmlfError::from)?;
+                ranges.push(column_range(&col));
+            }
+            col_ranges.push(ranges);
             table_rows.push(table.rows());
         }
         Ok(Self {

@@ -58,6 +58,15 @@
 //!   evaluation of candidate models with a regression gate, and atomic hot
 //!   swap into a live service with canary fraction and one-level rollback
 //!   (DESIGN.md §14).
+//! - **Durability** ([`durable`]) — a write-behind persistent plan cache:
+//!   an append-only checksummed record log with snapshot compaction
+//!   behind [`PlanStore`], opened via
+//!   `PlannerService::builder(..).durable(path)` so a rebooted service
+//!   warm-starts its cache and serves the first pass of a repeated
+//!   workload bitwise-identically with zero model forwards. Tombstone and
+//!   epoch records flush eagerly, so invalidations and hot-swap clears
+//!   survive any crash; recovery replays the longest valid log prefix and
+//!   truncates torn tails (DESIGN.md §16).
 //!
 //! One deliberate implementation choice: the paper formulates `P̂_t` as a
 //! fixed-length multinoulli over the database's `n` tables. This
@@ -75,6 +84,7 @@ pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod durable;
 pub mod encoder;
 pub mod error;
 pub mod featurize;
@@ -99,6 +109,7 @@ pub use cache::ShardedLruCache;
 pub use client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
 pub use cluster::{ClusterBuilder, ClusterConfig, ClusterService, HashRing, ReplicaId};
 pub use config::{LossWeights, MtmlfConfig, MtmlfConfigBuilder};
+pub use durable::{DurableConfig, DurableLog, LogRecord, PlanStore, RecoveryReport};
 pub use error::MtmlfError;
 /// The crate's unified error type, under its conventional short name.
 pub use error::MtmlfError as Error;
@@ -133,6 +144,7 @@ pub type Result<T> = std::result::Result<T, MtmlfError>;
 pub mod prelude {
     pub use crate::beam::{BeamConfig, Legality, TreeShape};
     pub use crate::config::{MtmlfConfig, MtmlfConfigBuilder};
+    pub use crate::durable::{DurableConfig, PlanStore};
     pub use crate::error::MtmlfError;
     pub use crate::lifecycle::{
         shadow_evaluate, CanaryPolicy, CanaryVerdict, DriftConfig, DriftDetector, ModelRegistry,

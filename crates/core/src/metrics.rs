@@ -88,6 +88,16 @@ pub struct MetricsSnapshot {
     /// ([`set_drift_score`](crate::serve::PlannerService::set_drift_score)):
     /// the drift window's median q-error.
     pub drift_score: f64,
+    /// Plan-cache entries restored from the durable log when the service
+    /// started (0 for volatile services; DESIGN.md §16).
+    pub warm_start_entries: u64,
+    /// Durable-log snapshot compactions performed since the service
+    /// started.
+    pub log_compactions: u64,
+    /// Storage buffer-manager columns currently spilled to disk, as last
+    /// published via
+    /// [`set_spilled_frames`](crate::serve::PlannerService::set_spilled_frames).
+    pub spilled_frames: u64,
     /// Latency distribution of cache-served responses.
     pub cache_latency: LatencyHistogram,
     /// Latency distribution of model-served responses.
@@ -132,6 +142,9 @@ impl Default for MetricsSnapshot {
             model_version: 0,
             canary_active: false,
             drift_score: 0.0,
+            warm_start_entries: 0,
+            log_compactions: 0,
+            spilled_frames: 0,
             cache_latency: LatencyHistogram::default(),
             model_latency: LatencyHistogram::default(),
             fallback_latency: LatencyHistogram::default(),
@@ -370,6 +383,18 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         "Requests routed to a canary model.",
         m.canary_requests,
     );
+    push_counter(
+        &mut out,
+        "mtmlf_warm_start_entries_total",
+        "Plan-cache entries restored from the durable log at service start.",
+        m.warm_start_entries,
+    );
+    push_counter(
+        &mut out,
+        "mtmlf_log_compactions_total",
+        "Durable-log snapshot compactions since service start.",
+        m.log_compactions,
+    );
 
     push_gauge(
         &mut out,
@@ -406,6 +431,12 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
         "mtmlf_drift_score",
         "Last published drift score (drift-window median q-error).",
         m.drift_score,
+    );
+    push_gauge(
+        &mut out,
+        "mtmlf_spilled_frames",
+        "Buffer-manager columns currently spilled to disk.",
+        m.spilled_frames,
     );
     let _ = writeln!(
         out,
@@ -655,6 +686,9 @@ mod tests {
             model_version: 4,
             canary_active: true,
             drift_score: 1.75,
+            warm_start_entries: 13,
+            log_compactions: 3,
+            spilled_frames: 8,
             ..MetricsSnapshot::default()
         };
         for nanos in [800, 1_500, 70_000] {
@@ -707,6 +741,9 @@ mod tests {
         assert!(text.contains("mtmlf_model_version 4"));
         assert!(text.contains("mtmlf_canary_active 1"));
         assert!(text.contains("mtmlf_drift_score 1.75"));
+        assert!(text.contains("mtmlf_warm_start_entries_total 13"));
+        assert!(text.contains("mtmlf_log_compactions_total 3"));
+        assert!(text.contains("mtmlf_spilled_frames 8"));
         // The acceptance-critical stages all appear with bucket series.
         for stage in ["cache_lookup", "featurize", "forward", "beam", "fallback"] {
             assert!(

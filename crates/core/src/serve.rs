@@ -29,7 +29,7 @@
 //! `mtmlf-optd` and are never cached (the cache stores model output only).
 
 use crate::batch::plan_batch_traced;
-use crate::cache::ShardedLruCache;
+use crate::durable::{DurableConfig, PlanStore};
 pub use crate::client::{PlanClient, PlanPayload, PlanRequest, PlanResponse, PlanSource};
 use crate::error::MtmlfError;
 use crate::lifecycle::{
@@ -259,6 +259,9 @@ struct MetricsInner {
     canary_requests: AtomicU64,
     /// Last published drift score, stored as `f64::to_bits`.
     drift_score_bits: AtomicU64,
+    /// Last published buffer-manager spill gauge
+    /// ([`PlannerService::set_spilled_frames`]).
+    spilled_frames: AtomicU64,
     cache_buckets: [AtomicU64; 32],
     cache_count: AtomicU64,
     cache_nanos: AtomicU64,
@@ -293,6 +296,7 @@ impl MetricsInner {
             shadow_evals: AtomicU64::new(0),
             canary_requests: AtomicU64::new(0),
             drift_score_bits: AtomicU64::new(0.0f64.to_bits()),
+            spilled_frames: AtomicU64::new(0),
             cache_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             cache_count: AtomicU64::new(0),
             cache_nanos: AtomicU64::new(0),
@@ -369,6 +373,7 @@ impl MetricsInner {
             shadow_evals: self.shadow_evals.load(Ordering::Relaxed),
             canary_requests: self.canary_requests.load(Ordering::Relaxed),
             drift_score: f64::from_bits(self.drift_score_bits.load(Ordering::Relaxed)),
+            spilled_frames: self.spilled_frames.load(Ordering::Relaxed),
             cache_latency: hist(
                 &self.cache_buckets,
                 &self.cache_count,
@@ -432,7 +437,7 @@ pub struct PlannerService {
     /// so shutdown can race concurrent [`PlannerService::plan`] calls.
     tx: RwLock<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    cache: Arc<ShardedLruCache<QueryFingerprint, PlanPayload>>,
+    cache: Arc<PlanStore>,
     metrics: Arc<MetricsInner>,
     breaker: Arc<CircuitBreaker>,
     tracer: Option<Arc<Tracer>>,
@@ -448,7 +453,7 @@ struct WorkerCtx {
     /// The model swap point; workers resolve a model from it once per
     /// batch, so a hot swap never splits a batch across versions.
     slot: Arc<ModelSlot>,
-    cache: Arc<ShardedLruCache<QueryFingerprint, PlanPayload>>,
+    cache: Arc<PlanStore>,
     metrics: Arc<MetricsInner>,
     fallback: Option<FallbackPlanner>,
     breaker: Arc<CircuitBreaker>,
@@ -481,6 +486,7 @@ pub struct ServiceBuilder {
     config: ServiceConfig,
     fallback: Option<FallbackPlanner>,
     tracing: Option<TraceConfig>,
+    durable: Option<DurableConfig>,
     #[cfg(any(test, feature = "fault-injection"))]
     faults: Option<Arc<FaultPlan>>,
 }
@@ -493,6 +499,7 @@ impl ServiceBuilder {
             config: ServiceConfig::default(),
             fallback: None,
             tracing: None,
+            durable: None,
             #[cfg(any(test, feature = "fault-injection"))]
             faults: None,
         }
@@ -531,6 +538,21 @@ impl ServiceBuilder {
         self
     }
 
+    /// Makes the plan cache durable under `dir` with the default policy
+    /// (see [`DurableConfig::new`]): every cache mutation is mirrored to a
+    /// write-behind log, and `.start()` warm-starts the cache from
+    /// whatever a previous service persisted there (DESIGN.md §16).
+    pub fn durable(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_config(DurableConfig::new(dir))
+    }
+
+    /// Like [`ServiceBuilder::durable`] with full control over the
+    /// compaction threshold, write-behind buffer, and record clock.
+    pub fn durable_config(mut self, config: DurableConfig) -> Self {
+        self.durable = Some(config);
+        self
+    }
+
     /// Consults `faults` before every model forward — the chaos-test entry
     /// point. Test/feature-gated; release builds have no fault-injection
     /// code at all.
@@ -549,14 +571,19 @@ impl ServiceBuilder {
             config,
             fallback,
             tracing,
+            durable,
             #[cfg(any(test, feature = "fault-injection"))]
             faults,
         } = self;
         config.validate()?;
-        let cache = Arc::new(ShardedLruCache::new(
-            config.cache_capacity,
-            config.cache_shards,
-        ));
+        let cache = Arc::new(match &durable {
+            // Durable mode: recover the directory and warm-start the
+            // cache before the first request arrives.
+            Some(durable) => {
+                PlanStore::open(config.cache_capacity, config.cache_shards, durable)?
+            }
+            None => PlanStore::in_memory(config.cache_capacity, config.cache_shards),
+        });
         let metrics = Arc::new(MetricsInner::new());
         let breaker = Arc::new(CircuitBreaker::new(config.breaker.clone()));
         let tracer = tracing.map(|t| Arc::new(Tracer::new(&t)));
@@ -807,6 +834,8 @@ impl PlannerService {
         m.breaker_opens = self.breaker.times_opened();
         m.breaker_state = self.breaker.state();
         m.cached_plans = self.cache.len() as u64;
+        m.warm_start_entries = self.cache.warm_start_entries();
+        m.log_compactions = self.cache.log_compactions();
         m.queue_depth = self.queue_depth.load(Ordering::Relaxed) as u64;
         m.model_version = self.slot.version().0;
         m.canary_active = self.slot.canary_version().is_some();
@@ -995,6 +1024,21 @@ impl PlannerService {
             .store(score.to_bits(), Ordering::Relaxed);
     }
 
+    /// Publishes the storage buffer manager's spilled-frame count (a
+    /// gauge, like the drift score) so memory-bounded deployments can
+    /// watch spill pressure next to the serving counters. The embedder
+    /// that owns the [`mtmlf_storage::BufferPool`] calls this.
+    pub fn set_spilled_frames(&self, frames: u64) {
+        self.metrics.spilled_frames.store(frames, Ordering::Relaxed);
+    }
+
+    /// The [`PlanStore`] backing this service's cache: warm-start and
+    /// compaction counters, explicit [`PlanStore::compact`] /
+    /// [`PlanStore::flush`], and (in tests) compaction kill points.
+    pub fn plan_store(&self) -> &Arc<PlanStore> {
+        &self.cache
+    }
+
     /// Stops accepting new requests and joins the worker pool.
     ///
     /// Graceful by construction: requests already queued (or mid-batch) are
@@ -1022,6 +1066,9 @@ impl PlannerService {
         for handle in handles {
             let _ = handle.join();
         }
+        // Workers are gone: nothing mutates the cache anymore, so a final
+        // flush makes an orderly shutdown lose no write-behind records.
+        self.cache.flush();
     }
 }
 

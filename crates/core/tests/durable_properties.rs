@@ -1,0 +1,226 @@
+//! Property tests for the durable plan-cache log ([`mtmlf::durable`]).
+//!
+//! Three properties over arbitrary inputs:
+//!
+//! 1. **Record round-trip** — any [`LogRecord`], including plans whose
+//!    estimates are NaN, ±∞, -0.0, or subnormal, survives
+//!    `encode_record` → `decode_record_payload` bitwise.
+//! 2. **Replay fidelity** — an arbitrary interleaving of puts, removes,
+//!    and epoch clears, under arbitrary write-behind buffering and
+//!    compaction thresholds, replays on reopen to *exactly* the state an
+//!    in-memory model predicts, with bitwise plan equality.
+//! 3. **Prefix recovery** — truncating the log at an arbitrary byte
+//!    recovers exactly the complete-record prefix: never a partial record,
+//!    never a mangled plan.
+
+use mtmlf::durable::{decode_record_payload, encode_record, LogRecord};
+use mtmlf::resilience::ManualClock;
+use mtmlf::{DurableConfig, PlanPayload, PlanStore};
+use mtmlf_query::{JoinOrder, JoinTree, QueryFingerprint};
+use mtmlf_storage::TableId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic + u64 length + u64 checksum, per DESIGN.md §16.
+const HEADER_LEN: usize = 24;
+
+fn fp(n: u64) -> QueryFingerprint {
+    QueryFingerprint::from_parts(n, n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A plan from raw bits: both order shapes, float estimates taken directly
+/// from the bit pattern so NaNs and every other awkward value occur.
+fn plan(bits: u64) -> PlanPayload {
+    let order = if bits & 1 == 0 {
+        let n = 1 + (bits >> 1) % 5;
+        JoinOrder::LeftDeep((0..n).map(|i| TableId((bits >> 8) as u32 % 64 + i as u32)).collect())
+    } else {
+        JoinOrder::Bushy(JoinTree::Node(
+            Box::new(JoinTree::Leaf(TableId((bits >> 2) as u32 % 64))),
+            Box::new(JoinTree::Node(
+                Box::new(JoinTree::Leaf(TableId((bits >> 9) as u32 % 64))),
+                Box::new(JoinTree::Leaf(TableId((bits >> 16) as u32 % 64))),
+            )),
+        ))
+    };
+    PlanPayload::new(order, f64::from_bits(bits.rotate_left(13)), f64::from_bits(bits.rotate_left(47)))
+}
+
+fn same_plan(a: &PlanPayload, b: &PlanPayload) -> bool {
+    a.join_order == b.join_order
+        && a.est_card.to_bits() == b.est_card.to_bits()
+        && a.est_cost.to_bits() == b.est_cost.to_bits()
+}
+
+fn same_record(a: &LogRecord, b: &LogRecord) -> bool {
+    match (a, b) {
+        (
+            LogRecord::Put { stamp: sa, fp: fa, plan: pa },
+            LogRecord::Put { stamp: sb, fp: fb, plan: pb },
+        ) => sa == sb && fa == fb && same_plan(pa, pb),
+        (
+            LogRecord::Tombstone { stamp: sa, fp: fa },
+            LogRecord::Tombstone { stamp: sb, fp: fb },
+        ) => sa == sb && fa == fb,
+        (LogRecord::Epoch { stamp: sa }, LogRecord::Epoch { stamp: sb }) => sa == sb,
+        _ => false,
+    }
+}
+
+/// Fresh per-case directory: proptest runs many cases per process, so a
+/// global counter keeps them from trampling each other.
+fn casedir(tag: &str) -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "mtmlf_durprop_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One workload step: `(tag, key, bits)`. tag%8: 0–4 put, 5–6 remove,
+/// 7 epoch clear. Keys come from a small domain so removes hit live
+/// entries and re-puts exercise last-writer-wins.
+type Op = (u8, u64, u64);
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..=7, 0u64..10, any::<u64>()), 1..max_len)
+}
+
+fn arb_record() -> impl Strategy<Value = (u8, u64, u64, u64)> {
+    (0u8..=2, any::<u64>(), 0u64..1 << 32, any::<u64>())
+}
+
+fn build_record((kind, stamp, key, bits): (u8, u64, u64, u64)) -> LogRecord {
+    match kind {
+        0 => LogRecord::Put { stamp, fp: fp(key), plan: plan(bits) },
+        1 => LogRecord::Tombstone { stamp, fp: fp(key) },
+        _ => LogRecord::Epoch { stamp },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: every record round-trips bitwise through the envelope.
+    #[test]
+    fn record_roundtrips_bitwise(raw in arb_record()) {
+        let record = build_record(raw);
+        let frame = encode_record(&record);
+        prop_assert!(frame.len() > HEADER_LEN);
+        let declared = u64::from_le_bytes(frame[8..16].try_into().unwrap()) as usize;
+        prop_assert_eq!(frame.len(), HEADER_LEN + declared);
+        let decoded = decode_record_payload(&frame[HEADER_LEN..]).expect("own frame decodes");
+        prop_assert!(
+            same_record(&record, &decoded),
+            "round-trip mismatch: {:?} vs {:?}", record, decoded
+        );
+    }
+
+    /// Property 2: arbitrary op sequences under arbitrary buffering and
+    /// compaction replay to the model state exactly.
+    #[test]
+    fn replay_matches_model_bitwise(
+        ops in arb_ops(60),
+        buffer in 1usize..=8,
+        threshold in 4usize..=64,
+    ) {
+        let dir = casedir("replay");
+        let config = DurableConfig::new(&dir)
+            .with_clock(Arc::new(ManualClock::new()))
+            .with_buffer_records(buffer)
+            .with_compact_threshold(threshold);
+
+        let mut model: HashMap<u128, PlanPayload> = HashMap::new();
+        {
+            let store = PlanStore::open(128, 4, &config).expect("open fresh");
+            for &(tag, key, bits) in &ops {
+                match tag % 8 {
+                    0..=4 => {
+                        let p = plan(bits);
+                        store.insert(fp(key), p.clone());
+                        model.insert(fp(key).as_u128(), p);
+                    }
+                    5..=6 => {
+                        store.remove(&fp(key));
+                        model.remove(&fp(key).as_u128());
+                    }
+                    _ => {
+                        store.clear();
+                        model.clear();
+                    }
+                }
+            }
+            // Drop flushes the write-behind buffer (clean shutdown).
+        }
+
+        let store = PlanStore::open(128, 4, &config).expect("reopen");
+        prop_assert_eq!(store.len(), model.len());
+        for key in 0..10u64 {
+            let got = store.get(&fp(key));
+            let want = model.get(&fp(key).as_u128());
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => prop_assert!(
+                    same_plan(&g, w),
+                    "fp {} differs after replay: {:?} vs {:?}", key, g, w
+                ),
+                (g, w) => prop_assert!(false, "fp {} presence differs: {:?} vs {:?}", key, g, w),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Property 3: truncating the log at an arbitrary byte recovers the
+    /// complete-record prefix, bitwise, and reports the dropped tail.
+    #[test]
+    fn truncated_log_recovers_complete_prefix(
+        raws in proptest::collection::vec(arb_record(), 1..12),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let records: Vec<LogRecord> = raws.into_iter().map(build_record).collect();
+        let mut log = Vec::new();
+        let mut spans = Vec::new();
+        for record in &records {
+            let frame = encode_record(record);
+            spans.push((log.len(), log.len() + frame.len()));
+            log.extend_from_slice(&frame);
+        }
+        let cut = ((log.len() as f64) * cut_frac) as usize;
+
+        let dir = casedir("prefix");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("plans.log"), &log[..cut.min(log.len())]).expect("write log");
+
+        let config = DurableConfig::new(&dir).with_clock(Arc::new(ManualClock::new()));
+        let (store, report) = PlanStore::open_with_report(128, 4, &config).expect("recover");
+
+        let survivors = spans.iter().filter(|&&(_, end)| end <= cut).count();
+        prop_assert_eq!(report.log_records, survivors);
+
+        // Model replay of the surviving prefix.
+        let mut model: HashMap<u128, PlanPayload> = HashMap::new();
+        for record in &records[..survivors] {
+            match record {
+                LogRecord::Put { fp, plan, .. } => { model.insert(fp.as_u128(), plan.clone()); }
+                LogRecord::Tombstone { fp, .. } => { model.remove(&fp.as_u128()); }
+                LogRecord::Epoch { .. } => model.clear(),
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        for (key, want) in &model {
+            let f = QueryFingerprint::from_parts((key >> 64) as u64, *key as u64);
+            let got = store.get(&f);
+            prop_assert!(
+                got.as_ref().is_some_and(|g| same_plan(g, want)),
+                "prefix entry lost or mangled: {:?} vs {:?}", got, want
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,489 @@
+//! Crash-recovery fault-injection suite for the durable plan cache.
+//!
+//! Requires the `fault-injection` feature (`cargo test -p mtmlf --features
+//! fault-injection`); CI runs it in the `durability` job. The suite attacks
+//! the on-disk state of [`mtmlf::PlanStore`] the way real crashes and disk
+//! faults do — torn tail writes, flipped bits, a process kill at either
+//! step of the compaction protocol — and pins the recovery contract from
+//! DESIGN.md §16:
+//!
+//! 1. **Longest valid prefix.** Recovery replays exactly the log records
+//!    before the first torn or corrupt frame, truncates the rest, and
+//!    reports how many bytes it dropped.
+//! 2. **No corrupt plan is ever surfaced.** Every plan a recovered store
+//!    returns is bitwise-identical to a plan that was actually written for
+//!    that fingerprint. Losing tail entries is legal; inventing or mangling
+//!    one never is.
+//! 3. **Removals never resurrect.** Tombstones and epochs are flushed
+//!    eagerly, so an entry removed before a crash stays removed after
+//!    recovery — including across compaction crash states.
+//!
+//! Deterministic edge cases (every truncation boundary, every envelope
+//! byte) run exhaustively; on top of those, 100 splitmix64-seeded schedules
+//! interleave puts, removes, epochs, compactions, and injected kills, then
+//! corrupt the files and check recovery against an independently computed
+//! model of the surviving prefix.
+
+#![cfg(feature = "fault-injection")]
+
+use mtmlf::durable::{decode_record_payload, encode_record, KillPoint, LogRecord};
+use mtmlf::resilience::ManualClock;
+use mtmlf::{DurableConfig, PlanPayload, PlanStore};
+use mtmlf_query::{JoinOrder, JoinTree, QueryFingerprint};
+use mtmlf_storage::TableId;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Envelope geometry, restated independently of the implementation so a
+/// silent format change fails loudly here: 8-byte magic, u64 LE payload
+/// length, u64 LE FNV-1a checksum, then the payload.
+const HEADER_LEN: usize = 24;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// The repo's standard seeded PRNG (splitmix64): one u64 of state, full
+/// 64-bit output, replayable from the schedule seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fp(n: u64) -> QueryFingerprint {
+    QueryFingerprint::from_parts(n, n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A plan derived deterministically from `bits`, covering both order shapes
+/// and adversarial float values (±0.0, infinities, NaN, subnormals) so the
+/// bitwise-equality contract is exercised where `==` on f64 would lie.
+fn plan(bits: u64) -> PlanPayload {
+    let order = if bits & 1 == 0 {
+        let n = 2 + (bits >> 1) % 4;
+        JoinOrder::LeftDeep((0..n).map(|i| TableId((bits >> 8) as u32 % 97 + i as u32)).collect())
+    } else {
+        let t = |i: u64| Box::new(JoinTree::Leaf(TableId((bits >> (8 + 4 * i)) as u32 % 31)));
+        JoinOrder::Bushy(JoinTree::Node(
+            Box::new(JoinTree::Node(t(0), t(1))),
+            Box::new(JoinTree::Node(t(2), t(3))),
+        ))
+    };
+    PlanPayload::new(order, weird_f64(bits.rotate_left(17)), weird_f64(bits.rotate_left(43)))
+}
+
+/// Floats that distinguish bitwise equality from `==`.
+fn weird_f64(bits: u64) -> f64 {
+    match bits % 8 {
+        0 => -0.0,
+        1 => f64::NAN,
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => f64::MIN_POSITIVE / 2.0, // subnormal
+        5 => f64::MAX,
+        _ => (bits % 100_000) as f64 * 0.125,
+    }
+}
+
+/// Bitwise plan equality: identical join order and identical f64 bit
+/// patterns (NaN == NaN, -0.0 != +0.0).
+fn same_plan(a: &PlanPayload, b: &PlanPayload) -> bool {
+    a.join_order == b.join_order
+        && a.est_card.to_bits() == b.est_card.to_bits()
+        && a.est_cost.to_bits() == b.est_cost.to_bits()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtmlf_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic-clock, flush-every-record config: each op is on disk
+/// before the next, so the log contents are exactly the op history.
+fn eager(dir: &Path) -> DurableConfig {
+    DurableConfig::new(dir)
+        .with_clock(Arc::new(ManualClock::new()))
+        .with_buffer_records(1)
+        .with_compact_threshold(usize::MAX / 2)
+}
+
+/// Parses the `(start, end)` byte span of every record in an *uncorrupted*
+/// log using only the envelope geometry. Panics on a malformed file — the
+/// store is supposed to write whole records only.
+fn record_spans(log: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut at = 0;
+    while at < log.len() {
+        assert!(at + HEADER_LEN <= log.len(), "log ends inside a header");
+        let len = u64::from_le_bytes(log[at + 8..at + 16].try_into().unwrap()) as usize;
+        let end = at + HEADER_LEN + len;
+        assert!(end <= log.len(), "log ends inside a payload");
+        spans.push((at, end));
+        at = end;
+    }
+    spans
+}
+
+/// Decodes every record of an uncorrupted log via the public decoder.
+fn decode_log(log: &[u8]) -> Vec<LogRecord> {
+    record_spans(log)
+        .iter()
+        .map(|&(start, end)| {
+            decode_record_payload(&log[start + HEADER_LEN..end]).expect("valid record")
+        })
+        .collect()
+}
+
+/// Independent replay model: the state a correct recovery must produce
+/// from a record sequence (last-writer-wins puts, tombstone removes,
+/// epoch clears).
+fn replay(records: &[LogRecord]) -> HashMap<u128, PlanPayload> {
+    let mut state = HashMap::new();
+    for record in records {
+        match record {
+            LogRecord::Put { fp, plan, .. } => {
+                state.insert(fp.as_u128(), plan.clone());
+            }
+            LogRecord::Tombstone { fp, .. } => {
+                state.remove(&fp.as_u128());
+            }
+            LogRecord::Epoch { .. } => state.clear(),
+        }
+    }
+    state
+}
+
+/// Key domain shared by every schedule: small enough that re-puts, removes
+/// of live keys, and resurrect attempts all actually happen.
+const DOMAIN: u64 = 12;
+
+/// Asserts a recovered store holds exactly `expected`, bitwise.
+fn assert_state(store: &PlanStore, expected: &HashMap<u128, PlanPayload>, context: &str) {
+    assert_eq!(store.len(), expected.len(), "{context}: entry count");
+    for key in 0..DOMAIN {
+        let f = fp(key);
+        match (store.get(&f), expected.get(&f.as_u128())) {
+            (None, None) => {}
+            (Some(got), Some(want)) => assert!(
+                same_plan(&got, want),
+                "{context}: fp {key} differs: got {got:?}, want {want:?}"
+            ),
+            (got, want) => {
+                panic!("{context}: fp {key} presence differs: got {got:?}, want {want:?}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic exhaustive cases
+// ---------------------------------------------------------------------------
+
+/// Pins the envelope geometry this suite's span parser assumes against the
+/// public encoder, so a format change cannot silently defang the suite.
+#[test]
+fn envelope_geometry_matches_public_encoder() {
+    let epoch = encode_record(&LogRecord::Epoch { stamp: 7 });
+    // Epoch payload is kind (1 byte) + stamp (8 bytes).
+    assert_eq!(epoch.len(), HEADER_LEN + 9);
+    assert_eq!(u64::from_le_bytes(epoch[8..16].try_into().unwrap()), 9);
+    let put = encode_record(&LogRecord::Put { stamp: 7, fp: fp(1), plan: plan(2) });
+    assert_eq!(&put[..8], &epoch[..8], "all records share the magic");
+    assert_eq!(decode_record_payload(&epoch[HEADER_LEN..]).unwrap(), LogRecord::Epoch { stamp: 7 });
+}
+
+/// Writes a six-op history, then truncates the log at **every byte
+/// boundary of the final record** (and its interior): recovery must replay
+/// exactly the complete-record prefix and report the dropped bytes.
+#[test]
+fn truncation_at_every_byte_of_final_record() {
+    let base = tmpdir("trunc_base");
+    {
+        let store = PlanStore::open(64, 2, &eager(&base)).unwrap();
+        for key in 0..4 {
+            store.insert(fp(key), plan(key * 31 + 5));
+        }
+        store.remove(&fp(1));
+        store.insert(fp(4), plan(999));
+        store.flush();
+    }
+    let log = std::fs::read(base.join("plans.log")).unwrap();
+    let spans = record_spans(&log);
+    assert_eq!(spans.len(), 6, "six ops, six records");
+    let records = decode_log(&log);
+    let (last_start, last_end) = *spans.last().unwrap();
+
+    for cut in last_start..=last_end {
+        let dir = tmpdir("trunc_case");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("plans.log"), &log[..cut]).unwrap();
+
+        let survivors = spans.iter().filter(|&&(_, end)| end <= cut).count();
+        // End of the last complete record: where recovery must truncate to.
+        let prefix_end = spans[..survivors].last().map_or(0, |&(_, end)| end);
+        let expected = replay(&records[..survivors]);
+        let (store, report) =
+            PlanStore::open_with_report(64, 2, &eager(&dir)).unwrap();
+        assert_state(&store, &expected, &format!("cut at {cut}"));
+        assert_eq!(report.log_records, survivors, "cut at {cut}");
+        assert_eq!(report.truncated_bytes, cut - prefix_end, "cut at {cut}");
+        assert!(!report.snapshot_loaded);
+        // The invalid tail must be physically gone so appends can resume.
+        drop(store);
+        let healed = std::fs::read(dir.join("plans.log")).unwrap();
+        assert_eq!(healed.len(), prefix_end, "cut at {cut}: tail not truncated");
+    }
+}
+
+/// Flips one bit in **every byte of every record** — magic, length,
+/// checksum, and payload alike: the flipped record and everything after it
+/// are dropped; everything before survives bitwise-intact.
+#[test]
+fn bitflip_in_every_envelope_byte_detected() {
+    let base = tmpdir("flip_base");
+    {
+        let store = PlanStore::open(64, 2, &eager(&base)).unwrap();
+        store.insert(fp(0), plan(11));
+        store.insert(fp(1), plan(22));
+        store.remove(&fp(0));
+        store.insert(fp(2), plan(33));
+        store.flush();
+    }
+    let log = std::fs::read(base.join("plans.log")).unwrap();
+    let spans = record_spans(&log);
+    let records = decode_log(&log);
+
+    for (idx, &(start, end)) in spans.iter().enumerate() {
+        let expected = replay(&records[..idx]);
+        for byte in start..end {
+            let mut corrupted = log.clone();
+            corrupted[byte] ^= 1 << (byte % 8);
+
+            let dir = tmpdir("flip_case");
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("plans.log"), &corrupted).unwrap();
+            let (store, report) = PlanStore::open_with_report(64, 2, &eager(&dir)).unwrap();
+            let context = format!("flip byte {byte} in record {idx}");
+            assert_state(&store, &expected, &context);
+            assert_eq!(report.log_records, idx, "{context}");
+            assert_eq!(report.truncated_bytes, log.len() - start, "{context}");
+        }
+    }
+}
+
+/// Kills compaction at both protocol steps and restarts. Before the rename
+/// the old state must be recovered from the log; after the rename the new
+/// snapshot is the committed truth. Either way the surfaced state is
+/// identical — the kill is invisible to readers.
+#[test]
+fn kill_points_mid_compaction_are_invisible_after_restart() {
+    let dir = tmpdir("kill");
+    let mut expected: HashMap<u128, PlanPayload> = HashMap::new();
+    {
+        let store = PlanStore::open(64, 2, &eager(&dir)).unwrap();
+        for key in 0..3 {
+            store.insert(fp(key), plan(key * 7 + 1));
+            expected.insert(fp(key).as_u128(), plan(key * 7 + 1));
+        }
+        store.arm_kill(KillPoint::AfterTmpWrite);
+        store.compact().expect_err("armed kill must abort compaction");
+        assert_eq!(store.log_compactions(), 0);
+    }
+    // Crash state: tmp file present, snapshot absent, log intact.
+    assert!(dir.join("plans.snapshot.tmp").exists());
+    {
+        let (store, report) = PlanStore::open_with_report(64, 2, &eager(&dir)).unwrap();
+        assert!(!report.snapshot_loaded, "tmp write is not a commit");
+        assert!(!dir.join("plans.snapshot.tmp").exists(), "recovery removes the orphan tmp");
+        assert_state(&store, &expected, "after AfterTmpWrite kill");
+
+        store.insert(fp(5), plan(404));
+        expected.insert(fp(5).as_u128(), plan(404));
+        store.arm_kill(KillPoint::AfterRename);
+        store.compact().expect_err("armed kill must abort compaction");
+    }
+    // Crash state: snapshot committed, log not yet truncated — replaying
+    // the stale log over the snapshot must be idempotent.
+    {
+        let (store, report) = PlanStore::open_with_report(64, 2, &eager(&dir)).unwrap();
+        assert!(report.snapshot_loaded, "rename committed the snapshot");
+        assert_state(&store, &expected, "after AfterRename kill");
+        store.compact().expect("unarmed compaction succeeds");
+        assert_eq!(store.log_bytes(), 0, "successful compaction empties the log");
+    }
+    let (store, report) = PlanStore::open_with_report(64, 2, &eager(&dir)).unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.log_records, 0);
+    assert_state(&store, &expected, "after clean compaction");
+}
+
+/// Satellite regression: a removed entry must stay dead across a torn tail
+/// *and* across compaction. Garbage appended after the tombstone cannot
+/// resurrect it, because the tombstone was flushed before the remove was
+/// acknowledged.
+#[test]
+fn removals_stay_dead_through_torn_tails_and_compaction() {
+    let dir = tmpdir("resurrect");
+    {
+        let store = PlanStore::open(64, 2, &eager(&dir)).unwrap();
+        store.insert(fp(0), plan(1));
+        store.insert(fp(1), plan(2));
+        store.remove(&fp(0));
+        store.flush();
+    }
+    // A torn partial record lands after the tombstone.
+    let log_path = dir.join("plans.log");
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    let garbage = encode_record(&LogRecord::Put { stamp: 9, fp: fp(0), plan: plan(66) });
+    bytes.extend_from_slice(&garbage[..garbage.len() - 3]);
+    std::fs::write(&log_path, &bytes).unwrap();
+    {
+        let store = PlanStore::open(64, 2, &eager(&dir)).unwrap();
+        assert!(store.get(&fp(0)).is_none(), "torn tail resurrected a removed plan");
+        assert!(store.get(&fp(1)).is_some());
+        store.compact().unwrap();
+    }
+    // And again after the tombstone has been folded into the snapshot.
+    let store = PlanStore::open(64, 2, &eager(&dir)).unwrap();
+    assert!(store.get(&fp(0)).is_none(), "compaction resurrected a removed plan");
+    assert!(store.get(&fp(1)).is_some());
+}
+
+// ---------------------------------------------------------------------------
+// 100 seeded schedules
+// ---------------------------------------------------------------------------
+
+/// 100 seeded random schedules. Even seeds exercise the compaction path
+/// (auto and explicit, with kills injected at both protocol steps) and
+/// must round-trip *exactly*. Odd seeds skip compaction — making the log
+/// the complete history — then corrupt it (truncation or a bit flip) and
+/// check recovery against the independently computed surviving prefix.
+/// Every schedule also checks the global soundness rule: no surfaced plan
+/// differs bitwise from one that was written for its fingerprint.
+#[test]
+fn hundred_seeded_schedules_recover_exactly() {
+    for seed in 0..100 {
+        run_schedule(seed);
+    }
+}
+
+fn run_schedule(seed: u64) {
+    let mut rng = seed ^ 0xdead_beef_cafe_f00d;
+    let with_compaction = seed % 2 == 0;
+    let dir = tmpdir(&format!("sched{seed}"));
+    let ctx = format!("seed {seed}");
+
+    let mut config = DurableConfig::new(&dir)
+        .with_clock(Arc::new(ManualClock::new()))
+        .with_buffer_records(1);
+    config = if with_compaction {
+        // Small threshold so auto-compaction fires mid-schedule too.
+        config.with_compact_threshold(8 + (splitmix64(&mut rng) % 8) as usize)
+    } else {
+        config.with_compact_threshold(usize::MAX / 2)
+    };
+
+    let (store, report) = PlanStore::open_with_report(256, 4, &config).unwrap();
+    assert_eq!(report, Default::default(), "{ctx}: fresh dir must recover nothing");
+
+    // Reference model of the final state, plus every plan ever written per
+    // fingerprint (for the no-corrupt-plan rule, which holds even when the
+    // recovered state is an earlier prefix).
+    let mut model: HashMap<u128, PlanPayload> = HashMap::new();
+    let mut written: HashMap<u128, Vec<PlanPayload>> = HashMap::new();
+
+    let ops = 20 + (splitmix64(&mut rng) % 40) as usize;
+    for _ in 0..ops {
+        let key = splitmix64(&mut rng) % DOMAIN;
+        match splitmix64(&mut rng) % 16 {
+            0..=9 => {
+                let p = plan(splitmix64(&mut rng));
+                store.insert(fp(key), p.clone());
+                model.insert(fp(key).as_u128(), p.clone());
+                written.entry(fp(key).as_u128()).or_default().push(p);
+            }
+            10..=12 => {
+                store.remove(&fp(key));
+                model.remove(&fp(key).as_u128());
+            }
+            13 => {
+                store.clear();
+                model.clear();
+            }
+            _ if with_compaction => {
+                if splitmix64(&mut rng) % 3 == 0 {
+                    let point = if splitmix64(&mut rng) % 2 == 0 {
+                        KillPoint::AfterTmpWrite
+                    } else {
+                        KillPoint::AfterRename
+                    };
+                    store.arm_kill(point);
+                    store.compact().expect_err("armed kill must abort");
+                } else {
+                    store.compact().unwrap();
+                }
+            }
+            _ => {}
+        }
+    }
+    store.flush();
+    drop(store);
+
+    let expected = if with_compaction {
+        // Snapshot + log must reproduce the full history exactly.
+        model.clone()
+    } else {
+        // The log *is* the history; corrupt it and compute the surviving
+        // prefix independently.
+        let log_path = dir.join("plans.log");
+        let log = std::fs::read(&log_path).unwrap();
+        let spans = record_spans(&log);
+        let records = decode_log(&log);
+        let full = replay(&records);
+        assert_eq!(full.len(), model.len(), "{ctx}: log does not reproduce the model");
+        for (key, want) in &model {
+            assert!(same_plan(&full[key], want), "{ctx}: log replay differs from model");
+        }
+
+        match splitmix64(&mut rng) % 3 {
+            0 => model.clone(), // no corruption: exact round-trip
+            1 => {
+                let cut = (splitmix64(&mut rng) as usize) % (log.len() + 1);
+                std::fs::write(&log_path, &log[..cut]).unwrap();
+                let survivors = spans.iter().filter(|&&(_, end)| end <= cut).count();
+                replay(&records[..survivors])
+            }
+            _ => {
+                let byte = (splitmix64(&mut rng) as usize) % log.len();
+                let mut corrupted = log.clone();
+                corrupted[byte] ^= 1 << (splitmix64(&mut rng) % 8);
+                std::fs::write(&log_path, &corrupted).unwrap();
+                let hit = spans.iter().position(|&(start, end)| start <= byte && byte < end);
+                replay(&records[..hit.expect("flip lands inside some record")])
+            }
+        }
+    };
+
+    let (store, report) = PlanStore::open_with_report(256, 4, &config).unwrap();
+    assert_state(&store, &expected, &ctx);
+    assert_eq!(
+        store.warm_start_entries(),
+        expected.len() as u64,
+        "{ctx}: warm-start counter"
+    );
+    assert_eq!(report.entries_restored, expected.len(), "{ctx}: report entries");
+    // Soundness: nothing surfaced that was never written.
+    for key in 0..DOMAIN {
+        if let Some(got) = store.get(&fp(key)) {
+            let history = written.get(&fp(key).as_u128());
+            assert!(
+                history.is_some_and(|h| h.iter().any(|p| same_plan(p, &got))),
+                "{ctx}: fp {key} surfaced a plan that was never written: {got:?}"
+            );
+        }
+    }
+}

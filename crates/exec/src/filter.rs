@@ -14,10 +14,12 @@ pub fn evaluate_filters(table: &Table, filters: &[FilterPredicate]) -> Result<Ve
     }
     let mut selected: Option<Vec<u32>> = None;
     for pred in filters {
-        let column = table.column(pred.column())?;
+        // `read_column` pins spilled columns for the duration of this
+        // predicate's scan; resident tables borrow as before.
+        let column = table.read_column(pred.column())?;
         selected = Some(match selected {
-            None => eval_predicate(column, pred, None)?,
-            Some(prev) => eval_predicate(column, pred, Some(&prev))?,
+            None => eval_predicate(&column, pred, None)?,
+            Some(prev) => eval_predicate(&column, pred, Some(&prev))?,
         });
         if selected.as_ref().is_some_and(Vec::is_empty) {
             break;

@@ -10,13 +10,20 @@ use crate::hasher::FxHashMap;
 use crate::relation::Relation;
 use crate::Result;
 use mtmlf_query::predicate::JoinPredicate;
-use mtmlf_storage::{Database, TableId};
+use mtmlf_storage::{ColumnRef, Database, TableId};
 
 /// Resolved join key: position of the bound table in the relation plus the
-/// base-table key column data.
+/// base-table key column (pinned for the join's duration when spilled).
 struct KeySide<'a> {
     position: usize,
-    data: &'a [i64],
+    col: ColumnRef<'a>,
+}
+
+impl KeySide<'_> {
+    /// The integer key data; int-ness was validated at resolve time.
+    fn data(&self) -> &[i64] {
+        self.col.as_int().expect("validated at resolve_side") // lint: allow(panic)
+    }
 }
 
 fn resolve_side<'a>(
@@ -28,12 +35,11 @@ fn resolve_side<'a>(
     let position = relation
         .position_of(table)
         .ok_or(ExecError::PlanTableNotInQuery(table))?;
-    let data = db
-        .table(table)?
-        .column(column)?
-        .as_int()
-        .ok_or(ExecError::NonIntegerJoinKey { table })?;
-    Ok(KeySide { position, data })
+    let col = db.table(table)?.read_column(column)?;
+    if col.as_int().is_none() {
+        return Err(ExecError::NonIntegerJoinKey { table });
+    }
+    Ok(KeySide { position, col })
 }
 
 /// Joins `left` and `right` on the given predicates. Every predicate must
@@ -100,8 +106,9 @@ pub fn equi_join_limited(
 
     let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
     let build_rows = build_rel.rows_of(build_key.position);
+    let build_data = build_key.data();
     for (tuple, &row) in build_rows.iter().enumerate() {
-        let key = build_key.data[row as usize];
+        let key = build_data[row as usize];
         table.entry(key).or_default().push(tuple as u32);
     }
 
@@ -116,8 +123,9 @@ pub fn equi_join_limited(
     let left_arity = left.tables().len();
 
     let probe_rows = probe_rel.rows_of(probe_key.position);
+    let probe_data = probe_key.data();
     for (probe_tuple, &row) in probe_rows.iter().enumerate() {
-        let key = probe_key.data[row as usize];
+        let key = probe_data[row as usize];
         let Some(matches) = table.get(&key) else {
             continue;
         };
@@ -129,8 +137,8 @@ pub fn equi_join_limited(
             };
             // Verify residual predicates.
             let ok = residual.iter().all(|(ls, rs)| {
-                let lv = ls.data[left.rows_of(ls.position)[l_tuple] as usize];
-                let rv = rs.data[right.rows_of(rs.position)[r_tuple] as usize];
+                let lv = ls.data()[left.rows_of(ls.position)[l_tuple] as usize];
+                let rv = rs.data()[right.rows_of(rs.position)[r_tuple] as usize];
                 lv == rv
             });
             if !ok {

@@ -36,8 +36,10 @@ pub const CLOCK_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
 /// violation here. This is what makes traces replayable under `ManualClock`
 /// and keeps histogram tests deterministic. `lifecycle.rs` is held to the
 /// same bar: drift windows are counted in requests, not seconds, so drift
-/// and shadow-evaluation tests replay deterministically.
-pub const CLOCK_STRICT_FILES: &[&str] = &["trace.rs", "metrics.rs", "lifecycle.rs"];
+/// and shadow-evaluation tests replay deterministically. `durable.rs` too:
+/// log-record stamps come from the injected clock, so recovery tests can
+/// replay byte-identical logs.
+pub const CLOCK_STRICT_FILES: &[&str] = &["trace.rs", "metrics.rs", "lifecycle.rs", "durable.rs"];
 
 /// One rule violation with a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]

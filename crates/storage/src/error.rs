@@ -27,6 +27,17 @@ pub enum StorageError {
     DuplicateTable(String),
     /// Statistics were requested before being built.
     StatsNotBuilt(String),
+    /// A borrow-only accessor reached a column that has been spilled to a
+    /// buffer pool (use `Table::read_column`, which pins transparently).
+    ColumnSpilled { table: String, column: u32 },
+    /// Every frame in the buffer pool is pinned; nothing can be evicted to
+    /// make room (or the pool was configured with a zero budget).
+    BufferExhausted { budget: usize },
+    /// A spill file failed its integrity envelope (bad magic, truncation,
+    /// checksum mismatch, or malformed payload).
+    Corrupt(String),
+    /// An underlying filesystem operation failed.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -64,6 +75,16 @@ impl fmt::Display for StorageError {
             Self::StatsNotBuilt(name) => {
                 write!(f, "statistics for table `{name}` have not been built")
             }
+            Self::ColumnSpilled { table, column } => write!(
+                f,
+                "column {column} of table `{table}` is spilled; read it through read_column"
+            ),
+            Self::BufferExhausted { budget } => write!(
+                f,
+                "buffer pool exhausted: all {budget} frames are pinned"
+            ),
+            Self::Corrupt(msg) => write!(f, "corrupt spill data: {msg}"),
+            Self::Io(msg) => write!(f, "storage io error: {msg}"),
         }
     }
 }

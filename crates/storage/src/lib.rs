@@ -18,9 +18,14 @@
 //!   which makes `LIKE` evaluation a dictionary scan plus a code lookup and
 //!   gives every distinct value a stable id for value embeddings.
 //! - Everything is deterministic; sampling takes an explicit seed.
+//! - A memory-bounded mode ([`buffer`]): tables larger than RAM spill
+//!   their columns to checksummed per-column files under a fixed-budget
+//!   [`BufferPool`] with pin/unpin and LRU replacement; the executor reads
+//!   through [`table::ColumnRef`] and gets bitwise-identical results.
 
 #![forbid(unsafe_code)]
 
+pub mod buffer;
 pub mod catalog;
 pub mod column;
 pub mod error;
@@ -30,12 +35,13 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use buffer::{BufferPool, BufferPoolConfig, LruReplacer, PinnedColumn, SpillId};
 pub use catalog::{Catalog, Database, JoinEdge};
 pub use column::{Column, StrDict};
 pub use error::StorageError;
 pub use schema::{ColumnDef, ColumnId, ColumnType, KeyRole, TableId, TableSchema};
 pub use stats::{ColumnStats, Histogram, Mcv, TableStats};
-pub use table::Table;
+pub use table::{ColumnRef, Table};
 pub use value::Value;
 
 /// Crate-wide result alias.

@@ -1,19 +1,64 @@
 //! Tables: a schema plus one column per column definition.
+//!
+//! A table's columns are either *resident* (plain in-memory [`Column`]s,
+//! the default) or *spilled* into a [`BufferPool`]
+//! ([`Table::spill_to`]). Readers that must work in both modes go through
+//! [`Table::read_column`], which returns a [`ColumnRef`] — a borrowed
+//! column for resident data, a pinned buffer-pool frame for spilled data —
+//! and is bitwise-equal either way. The borrow-only accessors
+//! ([`Table::column`], [`Table::column_by_name`]) keep their cheap
+//! signatures and fail with [`StorageError::ColumnSpilled`] on spilled
+//! columns.
 
+use crate::buffer::{BufferPool, PinnedColumn, SpillId};
 use crate::column::Column;
 use crate::error::StorageError;
 use crate::schema::{ColumnId, TableSchema};
-use crate::stats::TableStats;
+use crate::stats::{ColumnStats, TableStats};
 use crate::value::Value;
 use crate::Result;
+use std::ops::Deref;
+use std::sync::Arc;
 
-/// An in-memory table.
+/// Physical home of one column: in memory or in a buffer-pool spill file.
+#[derive(Debug, Clone)]
+enum ColumnStore {
+    Resident(Column),
+    Spilled(SpillId),
+}
+
+/// A readable view of one column, independent of where it lives.
+/// Dereferences to [`Column`].
+#[derive(Debug)]
+pub enum ColumnRef<'a> {
+    /// Borrowed from a resident table.
+    Borrowed(&'a Column),
+    /// Pinned in a buffer pool for the lifetime of this guard.
+    Pinned(PinnedColumn),
+}
+
+impl Deref for ColumnRef<'_> {
+    type Target = Column;
+
+    fn deref(&self) -> &Column {
+        match self {
+            ColumnRef::Borrowed(c) => c,
+            ColumnRef::Pinned(p) => p,
+        }
+    }
+}
+
+/// An in-memory (or partially spilled) table.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    columns: Vec<Column>,
+    columns: Vec<ColumnStore>,
     rows: usize,
     stats: Option<TableStats>,
+    /// Set once any column has been spilled. Clones share the pool and its
+    /// spill files, which is sound because spilled columns are immutable
+    /// (`insert` refuses spilled tables).
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Table {
@@ -22,13 +67,14 @@ impl Table {
         let columns = schema
             .columns
             .iter()
-            .map(|c| Column::empty(c.ctype))
+            .map(|c| ColumnStore::Resident(Column::empty(c.ctype)))
             .collect();
         Self {
             schema,
             columns,
             rows: 0,
             stats: None,
+            pool: None,
         }
     }
 
@@ -59,9 +105,10 @@ impl Table {
         }
         Ok(Self {
             schema,
-            columns,
+            columns: columns.into_iter().map(ColumnStore::Resident).collect(),
             rows,
             stats: None,
+            pool: None,
         })
     }
 
@@ -85,8 +132,14 @@ impl Table {
         self.columns.len()
     }
 
-    /// Borrow a column by id.
-    pub fn column(&self, id: ColumnId) -> Result<&Column> {
+    /// True when at least one column lives in a buffer pool.
+    pub fn is_spilled(&self) -> bool {
+        self.columns
+            .iter()
+            .any(|c| matches!(c, ColumnStore::Spilled(_)))
+    }
+
+    fn store(&self, id: ColumnId) -> Result<&ColumnStore> {
         self.columns
             .get(id.index())
             .ok_or_else(|| StorageError::ColumnIdOutOfRange {
@@ -95,7 +148,19 @@ impl Table {
             })
     }
 
-    /// Borrow a column by name.
+    /// Borrow a resident column by id. Spilled columns cannot be borrowed;
+    /// read them through [`Table::read_column`].
+    pub fn column(&self, id: ColumnId) -> Result<&Column> {
+        match self.store(id)? {
+            ColumnStore::Resident(c) => Ok(c),
+            ColumnStore::Spilled(_) => Err(StorageError::ColumnSpilled {
+                table: self.schema.name.clone(),
+                column: id.0,
+            }),
+        }
+    }
+
+    /// Borrow a resident column by name (see [`Table::column`]).
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
         let id = self
             .schema
@@ -107,13 +172,41 @@ impl Table {
         self.column(id)
     }
 
-    /// All columns in schema order.
-    pub fn columns(&self) -> &[Column] {
-        &self.columns
+    /// Reads a column wherever it lives: a plain borrow for resident
+    /// columns, a pinned buffer-pool frame for spilled ones. This is the
+    /// executor's access path; results are bitwise identical to the
+    /// resident case.
+    pub fn read_column(&self, id: ColumnId) -> Result<ColumnRef<'_>> {
+        match self.store(id)? {
+            ColumnStore::Resident(c) => Ok(ColumnRef::Borrowed(c)),
+            ColumnStore::Spilled(spill) => {
+                let pool = self.pool.as_ref().ok_or_else(|| {
+                    StorageError::Corrupt("spilled column without a buffer pool".into())
+                })?;
+                Ok(ColumnRef::Pinned(pool.pin(*spill)?))
+            }
+        }
+    }
+
+    /// Moves every column into `pool`, replacing resident data with spill
+    /// ids. After this the table's memory footprint is its schema and
+    /// stats; reads go through `pool` under its frame budget. Statistics
+    /// survive (they are summaries, not row data). Idempotent per column:
+    /// already spilled columns are left where they are.
+    pub fn spill_to(&mut self, pool: &Arc<BufferPool>) -> Result<()> {
+        for slot in &mut self.columns {
+            if let ColumnStore::Resident(col) = slot {
+                let id = pool.spill(col)?;
+                *slot = ColumnStore::Spilled(id);
+            }
+        }
+        self.pool = Some(Arc::clone(pool));
+        Ok(())
     }
 
     /// Appends one row; `row` must match the schema arity and types.
-    /// Invalidates previously built statistics.
+    /// Invalidates previously built statistics. Refused on spilled tables:
+    /// spill files are immutable.
     pub fn insert(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.schema.arity() {
             return Err(StorageError::ArityMismatch {
@@ -121,8 +214,18 @@ impl Table {
                 got: row.len(),
             });
         }
-        for ((col, def), v) in self.columns.iter_mut().zip(&self.schema.columns).zip(row) {
-            col.push(v, &def.name)?;
+        if self.is_spilled() {
+            return Err(StorageError::ColumnSpilled {
+                table: self.schema.name.clone(),
+                column: 0,
+            });
+        }
+        for ((slot, def), v) in self.columns.iter_mut().zip(&self.schema.columns).zip(row) {
+            match slot {
+                ColumnStore::Resident(col) => col.push(v, &def.name)?,
+                // Unreachable: checked above while no mutable borrow lived.
+                ColumnStore::Spilled(_) => unreachable!("insert on spilled table"), // lint: allow(panic)
+            }
         }
         self.rows += 1;
         self.stats = None;
@@ -130,24 +233,44 @@ impl Table {
     }
 
     /// Reads a full row (mainly for tests and debugging; the executor works
-    /// column-wise).
+    /// column-wise). Returns `None` past the end or when a spilled column
+    /// cannot be pinned.
     pub fn row(&self, index: usize) -> Option<Vec<Value>> {
         if index >= self.rows {
             return None;
         }
-        Some(self.columns.iter().map(|c| c.get(index)).collect())
+        (0..self.columns.len())
+            .map(|c| {
+                self.read_column(ColumnId(c as u32))
+                    .ok()
+                    .map(|col| col.get(index))
+            })
+            .collect()
     }
 
     /// Builds and caches per-column statistics with `buckets` histogram
     /// buckets and `mcvs` most-common values (the storage analogue of
-    /// PostgreSQL's `ANALYZE`, which the paper's user-side workflow invokes).
+    /// PostgreSQL's `ANALYZE`). On a spilled table columns are pinned one
+    /// at a time, so the pass runs within the pool's frame budget.
+    pub fn try_analyze(&mut self, buckets: usize, mcvs: usize) -> Result<()> {
+        let mut per_column = Vec::with_capacity(self.columns.len());
+        for c in 0..self.columns.len() {
+            let col = self.read_column(ColumnId(c as u32))?;
+            per_column.push(ColumnStats::build(&col, buckets, mcvs));
+        }
+        self.stats = Some(TableStats {
+            columns: per_column,
+            rows: self.rows as u64,
+        });
+        Ok(())
+    }
+
+    /// [`Table::try_analyze`] for the resident-table common case, where no
+    /// error is possible. Panics if a spilled column fails to load (pin the
+    /// failure earlier with `try_analyze` when analyzing spilled tables).
     pub fn analyze(&mut self, buckets: usize, mcvs: usize) {
-        self.stats = Some(TableStats::build(
-            &self.schema,
-            &self.columns,
-            buckets,
-            mcvs,
-        ));
+        self.try_analyze(buckets, mcvs)
+            .expect("analyze: spilled column failed to load") // lint: allow(panic)
     }
 
     /// Previously built statistics.
@@ -166,6 +289,7 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::BufferPoolConfig;
     use crate::schema::{ColumnDef, ColumnType};
 
     fn two_col_schema() -> TableSchema {
@@ -176,6 +300,16 @@ mod tests {
                 ColumnDef::attr("b", ColumnType::Float),
             ],
         )
+    }
+
+    fn small_pool(budget: usize, tag: &str) -> Arc<BufferPool> {
+        let dir = std::env::temp_dir().join(format!("mtmlf_table_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        BufferPool::new(BufferPoolConfig {
+            frame_budget: budget,
+            dir,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -238,5 +372,85 @@ mod tests {
         let t = Table::empty(two_col_schema());
         assert!(t.column_by_name("missing").is_err());
         assert!(t.column(ColumnId(5)).is_err());
+    }
+
+    #[test]
+    fn spill_then_read_back_bitwise() {
+        let mut t = Table::from_columns(
+            two_col_schema(),
+            vec![
+                Column::Int(vec![10, 20, 30]),
+                Column::Float(vec![1.25, -0.0, f64::MAX]),
+            ],
+        )
+        .unwrap();
+        let before: Vec<Vec<Value>> = (0..3).map(|r| t.row(r).unwrap()).collect();
+        let pool = small_pool(1, "bitwise");
+        t.spill_to(&pool).unwrap();
+        assert!(t.is_spilled());
+        assert_eq!(pool.spilled_frames(), 2);
+
+        // Borrow-only accessors refuse; read_column works, bit-for-bit.
+        assert!(matches!(
+            t.column(ColumnId(0)),
+            Err(StorageError::ColumnSpilled { .. })
+        ));
+        assert!(t.column_by_name("a").is_err());
+        let col = t.read_column(ColumnId(0)).unwrap();
+        assert_eq!(col.as_int(), Some(&[10i64, 20, 30][..]));
+        drop(col);
+        for (r, want) in before.iter().enumerate() {
+            assert_eq!(t.row(r).as_ref(), Some(want));
+        }
+    }
+
+    #[test]
+    fn spilled_tables_refuse_inserts() {
+        let mut t = Table::from_columns(
+            two_col_schema(),
+            vec![Column::Int(vec![1]), Column::Float(vec![1.0])],
+        )
+        .unwrap();
+        t.spill_to(&small_pool(2, "insert")).unwrap();
+        let err = t.insert(&[Value::Int(2), Value::Float(2.0)]).unwrap_err();
+        assert!(matches!(err, StorageError::ColumnSpilled { .. }));
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn analyze_on_spilled_matches_resident() {
+        let cols = vec![
+            Column::Int((0..50).map(|i| i % 7).collect()),
+            Column::Float((0..50).map(|i| i as f64 * 0.25).collect()),
+        ];
+        let mut resident = Table::from_columns(two_col_schema(), cols.clone()).unwrap();
+        resident.analyze(8, 4);
+        let mut spilled = Table::from_columns(two_col_schema(), cols).unwrap();
+        // Budget of one frame: the analyze pass must pin one column at a time.
+        spilled.spill_to(&small_pool(1, "analyze")).unwrap();
+        spilled.try_analyze(8, 4).unwrap();
+        let a = resident.stats().unwrap();
+        let b = spilled.stats().unwrap();
+        assert_eq!(a.rows, b.rows);
+        for (ca, cb) in a.columns.iter().zip(&b.columns) {
+            assert_eq!(ca.distinct, cb.distinct);
+            assert_eq!(ca.min.to_bits(), cb.min.to_bits());
+            assert_eq!(ca.max.to_bits(), cb.max.to_bits());
+            assert_eq!(ca.histogram, cb.histogram);
+            assert_eq!(ca.mcvs, cb.mcvs);
+        }
+    }
+
+    #[test]
+    fn stats_survive_spilling() {
+        let mut t = Table::from_columns(
+            two_col_schema(),
+            vec![Column::Int(vec![1, 2]), Column::Float(vec![1.0, 2.0])],
+        )
+        .unwrap();
+        t.analyze(4, 2);
+        t.spill_to(&small_pool(1, "stats")).unwrap();
+        assert!(t.has_stats(), "spilling loses no statistics");
+        assert_eq!(t.stats().unwrap().rows, 2);
     }
 }
